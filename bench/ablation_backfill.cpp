@@ -1,0 +1,56 @@
+// Ablation: batch-scheduler configuration (queue order x EASY backfilling)
+// under a fixed I/O policy. DESIGN.md calls out WFP+EASY as the Cobalt
+// behaviour we mirror; this bench quantifies how much each piece matters
+// and confirms the I/O-policy effect is robust to the batch layer.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/simulation.h"
+#include "driver/scenario.h"
+#include "figure_common.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main() {
+  using namespace iosched;
+  struct Variant {
+    const char* label;
+    sched::QueueOrder order;
+    bool backfill;
+  };
+  const std::vector<Variant> variants = {
+      {"WFP + EASY backfill (Cobalt)", sched::QueueOrder::kWfp, true},
+      {"WFP, no backfill", sched::QueueOrder::kWfp, false},
+      {"FCFS + EASY backfill", sched::QueueOrder::kFcfs, true},
+      {"FCFS, no backfill", sched::QueueOrder::kFcfs, false},
+  };
+  std::printf("== Ablation: batch scheduler variants (Workload 2, %.0f days) "
+              "==\n\n", bench::BenchDays());
+
+  driver::Scenario scenario =
+      driver::MakeEvaluationScenario(2, bench::BenchDays());
+  for (const char* policy : {"BASE_LINE", "ADAPTIVE"}) {
+    util::Table table({"batch variant", "avg wait (min)",
+                       "avg response (min)", "utilization"});
+    for (const Variant& v : variants) {
+      core::SimulationConfig config = scenario.config;
+      config.policy = policy;
+      config.batch.order = v.order;
+      config.batch.easy_backfill = v.backfill;
+      auto result = core::RunSimulation(config, scenario.jobs);
+      table.AddRow(
+          {v.label,
+           util::Table::Num(
+               util::SecondsToMinutes(result.report.avg_wait_seconds), 1),
+           util::Table::Num(
+               util::SecondsToMinutes(result.report.avg_response_seconds), 1),
+           util::Table::Num(result.report.utilization * 100.0, 1) + "%"});
+    }
+    std::printf("I/O policy: %s\n%s\n", policy, table.ToString().c_str());
+  }
+  std::printf("Expected: EASY backfilling cuts wait substantially under "
+              "either queue order;\nthe ADAPTIVE-vs-BASE_LINE gap persists "
+              "across batch variants.\n");
+  return 0;
+}

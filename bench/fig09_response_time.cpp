@@ -1,0 +1,22 @@
+// Figure 9 reproduction: average job response time per policy on the three
+// one-month evaluation workloads.
+#include "figure_common.h"
+
+int main() {
+  using namespace iosched;
+  std::printf("== Figure 9: average response time (6 policies x 3 workloads, "
+              "%.0f days) ==\n\n", bench::BenchDays());
+  util::ThreadPool pool;
+  bench::PaperSeries paper = bench::PaperFig9Response();
+  for (int wl = 1; wl <= 3; ++wl) {
+    auto runs = bench::RunMonth(wl, pool);
+    bench::PrintTimeFigure("Fig. 9: average response time", wl, runs, paper,
+                           [](const metrics::Report& r) {
+                             return r.avg_response_seconds;
+                           });
+  }
+  std::printf("Reproduction target: ADAPTIVE/MIN_AGGR_SLD reduce response "
+              "time (up to ~30%%/20%%);\nFCFS and MAX_UTIL land near "
+              "BASE_LINE.\n");
+  return 0;
+}

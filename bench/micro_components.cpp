@@ -1,0 +1,160 @@
+// Microbenchmarks of the framework's hot components (google-benchmark):
+// event queue, RNG, knapsack DP, policy scheduling cycles, storage model
+// rate updates, partition allocator, and an end-to-end simulation day.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/io_policy.h"
+#include "core/knapsack.h"
+#include "core/policy_factory.h"
+#include "core/simulation.h"
+#include "driver/scenario.h"
+#include "machine/machine.h"
+#include "sim/event_queue.h"
+#include "storage/storage_model.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace iosched;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  std::vector<double> times(count);
+  for (auto& t : times) t = rng.Uniform(0, 1e6);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (double t : times) q.Push(t, [] {});
+    while (!q.Empty()) benchmark::DoNotOptimize(q.Pop().time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  const std::size_t count = 4096;
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::vector<sim::EventId> ids;
+    ids.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      ids.push_back(q.Push(static_cast<double>(i % 97), [] {}));
+    }
+    for (std::size_t i = 0; i < count; i += 2) q.Cancel(ids[i]);
+    while (!q.Empty()) benchmark::DoNotOptimize(q.Pop().id);
+  }
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+void BM_Pcg32(benchmark::State& state) {
+  util::Pcg32 g(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g());
+  }
+}
+BENCHMARK(BM_Pcg32);
+
+void BM_RngLogNormal(benchmark::State& state) {
+  util::Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.LogNormal(8.6, 0.85));
+  }
+}
+BENCHMARK(BM_RngLogNormal);
+
+void BM_Knapsack(benchmark::State& state) {
+  const auto items_count = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(13);
+  std::vector<core::KnapsackItem> items(items_count);
+  for (auto& item : items) {
+    item.weight = rng.Uniform(4.0, 250.0);
+    item.value = rng.Uniform(512.0, 16384.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SolveKnapsack01(items, 250.0, 1.0));
+  }
+}
+BENCHMARK(BM_Knapsack)->Arg(8)->Arg(32)->Arg(128);
+
+std::vector<core::IoJobView> MakeActiveSet(std::size_t count) {
+  util::Rng rng(99);
+  std::vector<core::IoJobView> active(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto& v = active[i];
+    v.id = static_cast<workload::JobId>(i + 1);
+    v.nodes = 512 << rng.UniformInt(0, 4);
+    v.full_rate_gbps = 0.03125 * rng.Uniform(0.15, 0.75) * v.nodes;
+    v.volume_gb = rng.Uniform(10, 5000);
+    v.transferred_gb = v.volume_gb * rng.Uniform(0.0, 0.8);
+    v.request_arrival = rng.Uniform(0, 100);
+    v.job_start = 0;
+    v.completed_compute_seconds = rng.Uniform(10, 1000);
+    v.completed_io_seconds = rng.Uniform(0, 100);
+  }
+  return active;
+}
+
+void BM_PolicyAssign(benchmark::State& state, const char* policy_name) {
+  auto policy = core::MakePolicy(policy_name);
+  auto active = MakeActiveSet(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->Assign(active, 250.0, 200.0));
+  }
+}
+BENCHMARK_CAPTURE(BM_PolicyAssign, baseline, "BASE_LINE")->Arg(8)->Arg(64);
+BENCHMARK_CAPTURE(BM_PolicyAssign, fcfs, "FCFS")->Arg(8)->Arg(64);
+BENCHMARK_CAPTURE(BM_PolicyAssign, max_util, "MAX_UTIL")->Arg(8)->Arg(64);
+BENCHMARK_CAPTURE(BM_PolicyAssign, min_aggr, "MIN_AGGR_SLD")->Arg(8)->Arg(64);
+BENCHMARK_CAPTURE(BM_PolicyAssign, adaptive, "ADAPTIVE")->Arg(8)->Arg(64);
+
+void BM_StorageAdvance(benchmark::State& state) {
+  const auto transfers = static_cast<std::size_t>(state.range(0));
+  storage::StorageModel sm(storage::StorageConfig{250.0, false});
+  for (std::size_t i = 0; i < transfers; ++i) {
+    auto id = static_cast<workload::JobId>(i + 1);
+    sm.Begin(id, 512, 16.0, 1e12, 0.0);
+    sm.SetRate(id, std::min(16.0, 250.0 / static_cast<double>(transfers)));
+  }
+  double now = 0.0;
+  for (auto _ : state) {
+    now += 0.25;
+    sm.AdvanceTo(now);
+    benchmark::DoNotOptimize(sm.NextCompletion());
+  }
+}
+BENCHMARK(BM_StorageAdvance)->Arg(8)->Arg(64);
+
+void BM_MachineAllocateRelease(benchmark::State& state) {
+  machine::Machine machine(machine::MachineConfig::Mira());
+  for (auto _ : state) {
+    auto a = machine.Allocate(512);
+    auto b = machine.Allocate(8192);
+    auto c = machine.Allocate(2048);
+    machine.Release(*c);
+    machine.Release(*b);
+    machine.Release(*a);
+  }
+}
+BENCHMARK(BM_MachineAllocateRelease);
+
+void BM_SimulateOneDay(benchmark::State& state, const char* policy) {
+  driver::Scenario scenario = driver::MakeEvaluationScenario(2, 1.0);
+  core::SimulationConfig config = scenario.config;
+  config.policy = policy;
+  for (auto _ : state) {
+    auto result = core::RunSimulation(config, scenario.jobs);
+    benchmark::DoNotOptimize(result.report.avg_wait_seconds);
+  }
+}
+BENCHMARK_CAPTURE(BM_SimulateOneDay, baseline, "BASE_LINE")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SimulateOneDay, adaptive, "ADAPTIVE")
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Visualize the congestion structure a policy faces: ASCII strip charts of
+// machine occupancy and storage demand (relative to BWmax) over one week of
+// Workload 1, under BASE_LINE and ADAPTIVE.
+//
+// Usage: congestion_timeline [workload=1] [days=7]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/simulation.h"
+#include "driver/scenario.h"
+#include "metrics/bandwidth.h"
+#include "metrics/timeline.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace iosched;
+  int index = argc > 1 ? std::atoi(argv[1]) : 1;
+  double days = argc > 2 ? std::atof(argv[2]) : 7.0;
+  if (index < 1 || index > 3 || days <= 0) {
+    std::fprintf(stderr, "usage: %s [workload 1..3] [days]\n", argv[0]);
+    return 1;
+  }
+
+  driver::Scenario scenario = driver::MakeEvaluationScenario(index, days);
+  const double bucket = 2.0 * util::kSecondsPerHour;
+
+  for (const char* policy : {"BASE_LINE", "ADAPTIVE"}) {
+    core::SimulationConfig config = scenario.config;
+    config.policy = policy;
+    config.keep_bandwidth_samples = true;
+    core::SimulationResult result =
+        core::RunSimulation(config, scenario.jobs);
+
+    std::printf("=== %s on %s (%.0f days) ===\n", policy,
+                scenario.name.c_str(), days);
+    metrics::TimelineSeries occupancy = metrics::OccupancyTimeline(
+        result.records, config.machine.total_nodes(), bucket);
+    std::printf("machine occupancy (busy-node fraction, 2h buckets)\n%s\n",
+                metrics::RenderTimeline(occupancy, 8, 1.0, 0.9).c_str());
+
+    metrics::BandwidthTracker tracker(config.storage.max_bandwidth_gbps);
+    for (const metrics::BandwidthSample& s : result.bandwidth_samples) {
+      tracker.Record(s);
+    }
+    metrics::TimelineSeries demand = metrics::DemandTimeline(tracker, bucket);
+    std::printf("storage demand / BWmax (dashes mark 1.0 = congestion)\n%s\n",
+                metrics::RenderTimeline(demand, 8, 2.0, 1.0).c_str());
+    std::printf("congested %.1f%% of the time across %zu episodes, mean "
+                "episode %.1f min\n\n",
+                result.bandwidth.congested_fraction * 100.0,
+                result.bandwidth.episode_count,
+                util::SecondsToMinutes(result.bandwidth.mean_episode_seconds));
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Interactive sensitivity exploration (the Figure 11 axis, but for any
+// workload/policy/EF combination).
+//
+// Usage: sensitivity_explorer [workload 1..3] [policy] [EF%] [days]
+//   e.g. sensitivity_explorer 1 ADAPTIVE 150 14
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/simulation.h"
+#include "driver/scenario.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace iosched;
+  int workload_index = argc > 1 ? std::atoi(argv[1]) : 1;
+  std::string policy = argc > 2 ? argv[2] : "ADAPTIVE";
+  double ef_percent = argc > 3 ? std::atof(argv[3]) : 100.0;
+  double days = argc > 4 ? std::atof(argv[4]) : 14.0;
+  if (workload_index < 1 || workload_index > 3 || ef_percent <= 0 ||
+      days <= 0) {
+    std::fprintf(stderr,
+                 "usage: %s [workload 1..3] [policy] [EF%%] [days]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  driver::Scenario scenario =
+      driver::MakeEvaluationScenario(workload_index, days);
+  scenario = driver::WithExpansionFactor(scenario, ef_percent / 100.0);
+  core::SimulationConfig config = scenario.config;
+  config.policy = policy;
+
+  core::SimulationResult result = core::RunSimulation(config, scenario.jobs);
+  const metrics::Report& r = result.report;
+  std::printf("%s under %s (EF=%.0f%%, %.0f days)\n", scenario.name.c_str(),
+              result.policy_name.c_str(), ef_percent, days);
+  std::printf("  jobs                 %zu\n", r.job_count);
+  std::printf("  avg wait             %.1f min (p90 %.1f)\n",
+              util::SecondsToMinutes(r.avg_wait_seconds),
+              util::SecondsToMinutes(r.p90_wait_seconds));
+  std::printf("  avg response         %.1f min (p90 %.1f)\n",
+              util::SecondsToMinutes(r.avg_response_seconds),
+              util::SecondsToMinutes(r.p90_response_seconds));
+  std::printf("  utilization          %.1f%%\n", r.utilization * 100.0);
+  std::printf("  avg runtime stretch  %.3fx (I/O slowdown %.3fx)\n",
+              r.avg_runtime_expansion, r.avg_io_slowdown);
+  std::printf("  engine               %llu events, %llu I/O cycles\n",
+              static_cast<unsigned long long>(result.events_processed),
+              static_cast<unsigned long long>(result.io_scheduling_cycles));
+  return 0;
+}

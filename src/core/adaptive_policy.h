@@ -1,0 +1,43 @@
+// ADAPTIVE policy (paper Section III-C.2, Algorithm 1, Figure 7).
+//
+// Starts as Cons-FCFS: admit requests in arrival order while they fit under
+// BWmax. When a request does not fit, instead of making it wait the policy
+// estimates two average I/O completion times over Sopt ∪ {J_i}:
+//   T_FCFS     — admitted jobs finish at full rate; J_i starts at the
+//                earliest time T_i enough bandwidth has been released;
+//   T_Adaptive — J_i is admitted immediately and the whole set fair-shares
+//                BWmax per node.
+// If T_Adaptive < T_FCFS the job is admitted (bandwidth bound broken on
+// purpose) and the remaining budget drops to zero, so every later candidate
+// must also pass the comparison against the enlarged set.
+//
+// Estimation detail (the paper leaves it open): both estimates freeze rates
+// at their initial values — they ignore future release/re-share events
+// within the compared horizon. This mirrors "calculate the average time" in
+// Algorithm 1 lines 12-13 and keeps each cycle O(K log K).
+#pragma once
+
+#include "core/io_policy.h"
+
+namespace iosched::core {
+
+class AdaptivePolicy final : public IoPolicy {
+ public:
+  const std::string& name() const override;
+  std::vector<RateGrant> Assign(std::span<const IoJobView> active,
+                                double max_bandwidth_gbps,
+                                sim::SimTime now) override;
+};
+
+/// Earliest time J_i (index `candidate`) could start I/O if not admitted
+/// now: admitted jobs release bandwidth as they finish at their granted
+/// rates; returns the completion time of the release that first makes
+/// b*N_i (capped at BWmax) available. Exposed for unit tests.
+sim::SimTime EarliestStartIfDeferred(std::span<const IoJobView> active,
+                                     std::span<const std::uint8_t> admitted,
+                                     std::span<const double> rates,
+                                     std::size_t candidate,
+                                     double max_bandwidth_gbps,
+                                     sim::SimTime now);
+
+}  // namespace iosched::core

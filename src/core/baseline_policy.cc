@@ -1,0 +1,84 @@
+#include "core/baseline_policy.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace iosched::core {
+
+namespace {
+/// Grants everyone their full rate when total demand fits.
+bool TryUncongested(std::span<const IoJobView> active,
+                    double max_bandwidth_gbps,
+                    std::vector<RateGrant>& grants) {
+  double total_demand = 0.0;
+  for (const IoJobView& v : active) total_demand += v.full_rate_gbps;
+  if (total_demand > max_bandwidth_gbps) return false;
+  grants.reserve(active.size());
+  for (const IoJobView& v : active) {
+    grants.push_back({v.id, v.full_rate_gbps});
+  }
+  return true;
+}
+}  // namespace
+
+const std::string& BaselinePolicy::name() const {
+  static const std::string kName = "BASE_LINE";
+  return kName;
+}
+
+std::vector<RateGrant> BaselinePolicy::Assign(
+    std::span<const IoJobView> active, double max_bandwidth_gbps,
+    sim::SimTime now) {
+  (void)now;
+  std::vector<RateGrant> grants;
+  if (active.empty() || TryUncongested(active, max_bandwidth_gbps, grants)) {
+    return grants;
+  }
+  // Congestion: static even split. Applications that need less than their
+  // slice leave it idle (the round-robin reference point of Section IV-D).
+  double slice = max_bandwidth_gbps / static_cast<double>(active.size());
+  grants.reserve(active.size());
+  for (const IoJobView& v : active) {
+    grants.push_back({v.id, std::min(v.full_rate_gbps, slice)});
+  }
+  return grants;
+}
+
+const std::string& MaxMinPolicy::name() const {
+  static const std::string kName = "BASE_LINE_MAXMIN";
+  return kName;
+}
+
+std::vector<RateGrant> MaxMinPolicy::Assign(std::span<const IoJobView> active,
+                                            double max_bandwidth_gbps,
+                                            sim::SimTime now) {
+  (void)now;
+  std::vector<RateGrant> grants;
+  if (active.empty() || TryUncongested(active, max_bandwidth_gbps, grants)) {
+    return grants;
+  }
+  // Max-min fairness: ascending-demand progressive filling; slack from
+  // applications that cannot use their slice flows to the bigger ones.
+  std::vector<std::size_t> by_demand(active.size());
+  for (std::size_t i = 0; i < by_demand.size(); ++i) by_demand[i] = i;
+  std::sort(by_demand.begin(), by_demand.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (active[a].full_rate_gbps != active[b].full_rate_gbps) {
+                return active[a].full_rate_gbps < active[b].full_rate_gbps;
+              }
+              return active[a].id < active[b].id;
+            });
+  grants.resize(active.size());
+  double remaining = max_bandwidth_gbps;
+  std::size_t left = active.size();
+  for (std::size_t i : by_demand) {
+    double share = remaining / static_cast<double>(left);
+    double rate = std::min(active[i].full_rate_gbps, share);
+    grants[i] = {active[i].id, rate};
+    remaining -= rate;
+    --left;
+  }
+  return grants;
+}
+
+}  // namespace iosched::core

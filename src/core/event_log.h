@@ -1,0 +1,57 @@
+// Scheduling event log: the Qsim-style output trace.
+//
+// Qsim "replays the job scheduling ... and generates a new sequence of
+// scheduling events as an output log". This module is that output side: a
+// time-ordered record of every externally visible scheduling event, which
+// downstream tooling (or a site's accounting pipeline) can consume as CSV.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "workload/job.h"
+
+namespace iosched::core {
+
+enum class SchedEventKind {
+  kSubmit,      // job entered the wait queue
+  kStart,       // partition allocated, job began executing
+  kIoRequest,   // job issued an I/O request (detail = volume GB)
+  kIoComplete,  // the request finished (detail = volume GB)
+  kEnd,         // job completed all phases
+  kKill,        // job terminated at its walltime limit
+};
+
+const char* ToString(SchedEventKind kind);
+
+struct SchedEvent {
+  sim::SimTime time = 0.0;
+  SchedEventKind kind = SchedEventKind::kSubmit;
+  workload::JobId job = 0;
+  /// Kind-specific payload (I/O volume in GB; nodes for kStart).
+  double detail = 0.0;
+};
+
+class EventLog {
+ public:
+  void Append(sim::SimTime time, SchedEventKind kind, workload::JobId job,
+              double detail = 0.0);
+
+  const std::vector<SchedEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// Events of one kind, in time order.
+  std::vector<SchedEvent> OfKind(SchedEventKind kind) const;
+
+  /// CSV: time,kind,job,detail.
+  void WriteCsv(std::ostream& out) const;
+
+ private:
+  std::vector<SchedEvent> events_;
+};
+
+}  // namespace iosched::core

@@ -1,0 +1,41 @@
+#include "core/io_policy.h"
+
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "util/units.h"
+
+namespace iosched::core {
+
+void ValidateGrants(std::span<const IoJobView> active,
+                    std::span<const RateGrant> grants) {
+  if (active.size() != grants.size()) {
+    throw std::logic_error("ValidateGrants: grant count mismatch");
+  }
+  std::unordered_map<workload::JobId, double> by_id;
+  by_id.reserve(grants.size());
+  for (const RateGrant& g : grants) {
+    if (g.rate_gbps < 0) {
+      throw std::logic_error("ValidateGrants: negative rate for job " +
+                             std::to_string(g.id));
+    }
+    if (!by_id.emplace(g.id, g.rate_gbps).second) {
+      throw std::logic_error("ValidateGrants: duplicate grant for job " +
+                             std::to_string(g.id));
+    }
+  }
+  for (const IoJobView& v : active) {
+    auto it = by_id.find(v.id);
+    if (it == by_id.end()) {
+      throw std::logic_error("ValidateGrants: missing grant for job " +
+                             std::to_string(v.id));
+    }
+    if (it->second > v.full_rate_gbps * (1.0 + 1e-9) + util::kVolumeEpsilon) {
+      throw std::logic_error("ValidateGrants: job " + std::to_string(v.id) +
+                             " granted above its full rate");
+    }
+  }
+}
+
+}  // namespace iosched::core

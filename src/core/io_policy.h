@@ -1,0 +1,74 @@
+// The I/O-aware scheduling policy interface (paper Section III-C).
+//
+// Whenever the set of in-flight I/O requests changes (a request arrives or
+// completes — one "scheduling cycle"), the framework presents the policy
+// with a view of every job that is performing or ready to perform I/O. The
+// policy answers with a bandwidth grant per request: rate 0 suspends a job's
+// I/O, a positive rate lets it transfer. Conservative policies keep the sum
+// of grants within BWmax; the adaptive policy may admit an overflow job, in
+// which case the admitted set fair-shares BWmax.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "workload/job.h"
+
+namespace iosched::core {
+
+/// The policy-visible state of one job's current I/O request.
+struct IoJobView {
+  workload::JobId id = 0;
+  /// Partition size N_i.
+  int nodes = 0;
+  /// Full-speed demand b*N_i (GB/s).
+  double full_rate_gbps = 0.0;
+  /// Total volume of the current request, Vol_{i,k} (GB).
+  double volume_gb = 0.0;
+  /// Transferred so far within this request, W_{i,k} (GB).
+  double transferred_gb = 0.0;
+  /// Start time of the current request, t^{I/O}_{i,k}.
+  sim::SimTime request_arrival = 0.0;
+  /// Job start time t^{start}_i.
+  sim::SimTime job_start = 0.0;
+  /// Sum of compute durations of the job's completed compute phases
+  /// (sum_{j<=k} T^{com}_{i,j}).
+  double completed_compute_seconds = 0.0;
+  /// Sum of *uncongested* I/O times of completed I/O phases
+  /// (sum_{j<k} T^{I/O}_{i,j}).
+  double completed_io_seconds = 0.0;
+
+  double RemainingGb() const { return volume_gb - transferred_gb; }
+};
+
+/// One bandwidth grant.
+struct RateGrant {
+  workload::JobId id = 0;
+  double rate_gbps = 0.0;
+};
+
+class IoPolicy {
+ public:
+  virtual ~IoPolicy() = default;
+
+  /// Policy name as it appears in the paper's figures (e.g. "ADAPTIVE").
+  virtual const std::string& name() const = 0;
+
+  /// Produce a grant for *every* view in `active` (suspended jobs get 0).
+  /// `active` is ordered by (request_arrival, id) — FCFS order. Must be
+  /// deterministic.
+  virtual std::vector<RateGrant> Assign(std::span<const IoJobView> active,
+                                        double max_bandwidth_gbps,
+                                        sim::SimTime now) = 0;
+};
+
+/// Verify a grant vector covers exactly the active set with non-negative
+/// rates, each at most the job's full rate; throws std::logic_error
+/// otherwise. Used by the framework to catch buggy policies at the boundary.
+void ValidateGrants(std::span<const IoJobView> active,
+                    std::span<const RateGrant> grants);
+
+}  // namespace iosched::core

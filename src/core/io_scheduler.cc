@@ -1,0 +1,233 @@
+#include "core/io_scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace iosched::core {
+
+IoScheduler::IoScheduler(sim::Simulator& simulator,
+                         storage::StorageModel& storage,
+                         double node_bandwidth_gbps,
+                         std::unique_ptr<IoPolicy> policy,
+                         CompletionCallback on_complete)
+    : simulator_(simulator),
+      storage_(storage),
+      node_bandwidth_gbps_(node_bandwidth_gbps),
+      policy_(std::move(policy)),
+      on_complete_(std::move(on_complete)) {
+  if (node_bandwidth_gbps_ <= 0) {
+    throw std::invalid_argument("IoScheduler: non-positive node bandwidth");
+  }
+  if (!policy_) throw std::invalid_argument("IoScheduler: null policy");
+  if (!on_complete_) throw std::invalid_argument("IoScheduler: null callback");
+}
+
+void IoScheduler::RegisterJob(const workload::Job& job,
+                              sim::SimTime start_time) {
+  if (!jobs_.emplace(job.id, JobContext{&job, start_time, 0.0, 0.0}).second) {
+    throw std::logic_error("IoScheduler: job " + std::to_string(job.id) +
+                           " already registered");
+  }
+}
+
+void IoScheduler::UnregisterJob(workload::JobId id) {
+  if (storage_.Has(id)) {
+    throw std::logic_error("IoScheduler: job " + std::to_string(id) +
+                           " still has an in-flight transfer");
+  }
+  if (jobs_.erase(id) == 0) {
+    throw std::logic_error("IoScheduler: job " + std::to_string(id) +
+                           " not registered");
+  }
+}
+
+void IoScheduler::AddCompletedCompute(workload::JobId id, double seconds) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    throw std::logic_error("IoScheduler: job " + std::to_string(id) +
+                           " not registered");
+  }
+  it->second.completed_compute_seconds += seconds;
+}
+
+void IoScheduler::SubmitRequest(workload::JobId id, double volume_gb,
+                                sim::SimTime now) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    throw std::logic_error("IoScheduler: job " + std::to_string(id) +
+                           " not registered");
+  }
+  if (volume_gb <= 0) {
+    throw std::invalid_argument("IoScheduler: non-positive volume");
+  }
+  ++submitted_requests_;
+  const workload::Job& job = *it->second.job;
+  double full_rate = job.FullIoRate(node_bandwidth_gbps_);
+  if (burst_buffer_ != nullptr) {
+    burst_buffer_->AdvanceTo(now);
+    if (burst_buffer_->CanAbsorb(volume_gb)) {
+      // Absorbed: the write lands in the buffer at link speed, never
+      // touching the policy-managed storage path. The drain it triggers
+      // reduces the policy's usable bandwidth, so run a cycle.
+      burst_buffer_->Absorb(volume_gb);
+      double duration = volume_gb / full_rate;
+      simulator_.ScheduleAfter(duration, [this, id, duration] {
+        // A buffer-absorbed request runs at link speed: its completed
+        // uncongested time equals its actual time.
+        jobs_.at(id).completed_io_seconds += duration;
+        on_complete_(id, simulator_.Now());
+      });
+      Reschedule(now);
+      return;
+    }
+  }
+  storage_.Begin(id, job.nodes, full_rate, volume_gb, now);
+  Reschedule(now);
+}
+
+void IoScheduler::AbortRequest(workload::JobId id, sim::SimTime now) {
+  if (!storage_.Has(id)) return;
+  storage_.AdvanceTo(now);
+  storage_.Abort(id);
+  Reschedule(now);
+}
+
+std::vector<IoJobView> IoScheduler::BuildViews(sim::SimTime now) const {
+  (void)now;
+  std::vector<IoJobView> views;
+  auto active = storage_.ActiveByArrival();
+  views.reserve(active.size());
+  for (const storage::Transfer* t : active) {
+    auto it = jobs_.find(t->job_id);
+    if (it == jobs_.end()) {
+      throw std::logic_error("IoScheduler: transfer for unregistered job " +
+                             std::to_string(t->job_id));
+    }
+    const JobContext& ctx = it->second;
+    IoJobView v;
+    v.id = t->job_id;
+    v.nodes = t->nodes;
+    v.full_rate_gbps = t->full_rate_gbps;
+    v.volume_gb = t->volume_gb;
+    v.transferred_gb = t->transferred_gb;
+    v.request_arrival = t->request_arrival;
+    v.job_start = ctx.start_time;
+    v.completed_compute_seconds = ctx.completed_compute_seconds;
+    v.completed_io_seconds = ctx.completed_io_seconds;
+    views.push_back(v);
+  }
+  return views;
+}
+
+void IoScheduler::Reschedule(sim::SimTime now) {
+  storage_.AdvanceTo(now);
+  ++cycles_;
+
+  // The burst-buffer drain has priority on the file servers: it shrinks the
+  // bandwidth the policy may grant to direct traffic until the queue empties
+  // (at which point a scheduled cycle restores the full BWmax).
+  double usable_bandwidth = storage_.config().max_bandwidth_gbps;
+  if (burst_buffer_ != nullptr) {
+    burst_buffer_->AdvanceTo(now);
+    usable_bandwidth = std::max(
+        0.0, usable_bandwidth - burst_buffer_->CurrentDrainRate());
+    if (has_drain_event_) {
+      simulator_.Cancel(drain_event_);
+      has_drain_event_ = false;
+    }
+    if (burst_buffer_->queued_gb() > 0) {
+      // Keep the wakeup strictly in the future even when the remaining
+      // drain time is below the clock's resolution at this timestamp.
+      sim::SimTime wake =
+          std::max(burst_buffer_->DrainEmptyTime(), now + 1e-4);
+      drain_event_ = simulator_.ScheduleAt(wake, [this] {
+        has_drain_event_ = false;
+        Reschedule(simulator_.Now());
+      });
+      has_drain_event_ = true;
+    }
+  }
+
+  std::vector<IoJobView> views = BuildViews(now);
+  std::vector<RateGrant> grants = policy_->Assign(views, usable_bandwidth, now);
+  ValidateGrants(views, grants);
+  for (const RateGrant& g : grants) {
+    storage_.SetRate(g.id, g.rate_gbps);
+  }
+  // Physics check: even the adaptive policy only over-admits *demand*; the
+  // granted rates must always fit the disks.
+  storage_.ValidateAssignment();
+
+  if (bandwidth_tracker_ != nullptr) {
+    metrics::BandwidthSample sample;
+    sample.time = now;
+    for (const IoJobView& v : views) sample.demand_gbps += v.full_rate_gbps;
+    sample.active_requests = static_cast<int>(views.size());
+    for (const RateGrant& g : grants) {
+      sample.granted_gbps += g.rate_gbps;
+      if (g.rate_gbps <= 0) ++sample.suspended_requests;
+    }
+    bandwidth_tracker_->Record(sample);
+  }
+
+  if (has_pending_event_) {
+    simulator_.Cancel(pending_event_);
+    has_pending_event_ = false;
+  }
+  auto next = storage_.NextCompletion();
+  if (next) {
+    pending_event_ =
+        simulator_.ScheduleAt(next->first, [this] { OnCompletionEvent(); });
+    has_pending_event_ = true;
+  }
+}
+
+void IoScheduler::OnCompletionEvent() {
+  has_pending_event_ = false;
+  sim::SimTime now = simulator_.Now();
+  storage_.AdvanceTo(now);
+
+  // Collect every transfer that is complete at this instant (rate changes
+  // can align several completions on one timestamp).
+  std::vector<workload::JobId> done;
+  for (const storage::Transfer* t : storage_.ActiveByArrival()) {
+    if (t->Complete()) done.push_back(t->job_id);
+  }
+  if (done.empty()) {
+    // Float round-off left a sliver. If a transfer would finish within the
+    // clock's resolution anyway, write the sliver off — re-arming an event
+    // at an unrepresentable future instant would spin forever.
+    for (const storage::Transfer* t : storage_.ActiveByArrival()) {
+      if (t->rate_gbps > 0 &&
+          t->RemainingGb() <= t->rate_gbps * 1e-4) {
+        storage_.ForceComplete(t->job_id, t->rate_gbps * 1e-4);
+        done.push_back(t->job_id);
+      }
+    }
+  }
+  if (done.empty()) {
+    // A genuine rate change moved the completion; reschedule from state.
+    Reschedule(now);
+    return;
+  }
+  for (workload::JobId id : done) {
+    auto it = jobs_.find(id);
+    const storage::Transfer& t = storage_.Get(id);
+    it->second.completed_io_seconds += t.volume_gb / t.full_rate_gbps;
+    storage_.End(id);
+  }
+  Reschedule(now);
+  // Notify after rates are re-assigned so callbacks observing the storage
+  // see a consistent post-cycle state. Callbacks may submit new requests
+  // (the next phase is compute, so in practice they do not re-enter I/O at
+  // the same instant, but nested Reschedule calls are safe regardless).
+  for (workload::JobId id : done) {
+    on_complete_(id, now);
+  }
+}
+
+}  // namespace iosched::core

@@ -1,0 +1,118 @@
+// Runtime I/O coordination (paper Section III-B, Figure 6).
+//
+// The IoScheduler is the framework piece that makes the batch scheduler
+// "I/O-aware": it monitors every in-flight I/O request (the blue arrow in
+// Figure 6) and, on each scheduling cycle — an I/O request arriving or
+// completing — asks the configured policy for a bandwidth assignment and
+// imposes it on the storage model (the yellow arrow: dynamic control of
+// running jobs, i.e. suspending/resuming their I/O).
+//
+// It also maintains the per-job accounting the slowdown metrics need
+// (completed compute seconds, completed uncongested I/O seconds) and drives
+// the single pending completion event on the simulator.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "core/io_policy.h"
+#include "metrics/bandwidth.h"
+#include "sim/simulator.h"
+#include "storage/burst_buffer.h"
+#include "storage/storage_model.h"
+#include "workload/job.h"
+
+namespace iosched::core {
+
+class IoScheduler {
+ public:
+  /// Called when a job's current I/O request has fully transferred.
+  using CompletionCallback =
+      std::function<void(workload::JobId, sim::SimTime)>;
+
+  /// All references must outlive the IoScheduler. `node_bandwidth_gbps` is
+  /// the per-node link speed b used to derive each job's full I/O rate.
+  IoScheduler(sim::Simulator& simulator, storage::StorageModel& storage,
+              double node_bandwidth_gbps, std::unique_ptr<IoPolicy> policy,
+              CompletionCallback on_complete);
+
+  /// Register a job when it starts running (t_start for AggrSld).
+  void RegisterJob(const workload::Job& job, sim::SimTime start_time);
+
+  /// Remove a finished job's context. Its transfer must already be done.
+  void UnregisterJob(workload::JobId id);
+
+  /// Account a finished compute phase (feeds AggrSld's denominator).
+  void AddCompletedCompute(workload::JobId id, double seconds);
+
+  /// A job issues its next I/O request of `volume_gb`; triggers a
+  /// scheduling cycle. Volume must be > 0 (callers skip empty phases).
+  void SubmitRequest(workload::JobId id, double volume_gb, sim::SimTime now);
+
+  /// Abort a job's in-flight request without completing it (walltime kill).
+  /// No completion callback fires; a scheduling cycle redistributes the
+  /// freed bandwidth. No-op if the job has no in-flight transfer.
+  void AbortRequest(workload::JobId id, sim::SimTime now);
+
+  /// Number of jobs currently performing/awaiting I/O.
+  std::size_t active_requests() const { return storage_.active_count(); }
+
+  const IoPolicy& policy() const { return *policy_; }
+
+  /// Scheduling cycles executed (policy invocations).
+  std::uint64_t cycles() const { return cycles_; }
+
+  /// Attach a bandwidth tracker; every scheduling cycle records a sample
+  /// (demand, grant, suspended count). Pass nullptr to detach. The tracker
+  /// must outlive the scheduler or be detached first.
+  void SetBandwidthTracker(metrics::BandwidthTracker* tracker) {
+    bandwidth_tracker_ = tracker;
+  }
+
+  /// Attach a burst buffer. Requests that fit its free space are absorbed
+  /// at the job's full link rate (bypassing the policy); the drain reserves
+  /// its bandwidth out of BWmax, shrinking what the policy can grant to
+  /// direct traffic. The buffer must outlive the scheduler.
+  void AttachBurstBuffer(storage::BurstBuffer* burst_buffer) {
+    burst_buffer_ = burst_buffer;
+  }
+
+  /// Total I/O requests submitted (absorbed + direct).
+  std::uint64_t submitted_requests() const { return submitted_requests_; }
+
+  /// Build the policy view of the active set at `now` (exposed for tests).
+  std::vector<IoJobView> BuildViews(sim::SimTime now) const;
+
+ private:
+  struct JobContext {
+    const workload::Job* job = nullptr;
+    sim::SimTime start_time = 0.0;
+    double completed_compute_seconds = 0.0;
+    double completed_io_seconds = 0.0;  // uncongested equivalents
+  };
+
+  /// Run one scheduling cycle: advance progress, re-assign rates, and
+  /// reschedule the completion event.
+  void Reschedule(sim::SimTime now);
+
+  /// Completion event handler: finish every complete transfer, then cycle.
+  void OnCompletionEvent();
+
+  sim::Simulator& simulator_;
+  storage::StorageModel& storage_;
+  double node_bandwidth_gbps_;
+  std::unique_ptr<IoPolicy> policy_;
+  CompletionCallback on_complete_;
+  std::unordered_map<workload::JobId, JobContext> jobs_;
+  sim::EventId pending_event_ = 0;
+  bool has_pending_event_ = false;
+  sim::EventId drain_event_ = 0;
+  bool has_drain_event_ = false;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t submitted_requests_ = 0;
+  metrics::BandwidthTracker* bandwidth_tracker_ = nullptr;
+  storage::BurstBuffer* burst_buffer_ = nullptr;
+};
+
+}  // namespace iosched::core

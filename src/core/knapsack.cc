@@ -1,0 +1,62 @@
+#include "core/knapsack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace iosched::core {
+
+KnapsackSolution SolveKnapsack01(std::span<const KnapsackItem> items,
+                                 double capacity, double unit) {
+  if (capacity < 0 || unit <= 0) {
+    throw std::invalid_argument("SolveKnapsack01: bad capacity/unit");
+  }
+  KnapsackSolution solution;
+  if (items.empty() || capacity == 0) return solution;
+
+  auto cap_units = static_cast<std::size_t>(std::floor(capacity / unit));
+  if (cap_units == 0) return solution;
+
+  // Discretised weights, rounded up (feasibility preserved).
+  std::vector<std::size_t> w(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].weight < 0 || items[i].value < 0) {
+      throw std::invalid_argument("SolveKnapsack01: negative item");
+    }
+    w[i] = static_cast<std::size_t>(std::ceil(items[i].weight / unit - 1e-12));
+    if (w[i] == 0 && items[i].weight > 0) w[i] = 1;
+  }
+
+  // DP over capacity with per-item take bits for reconstruction.
+  const std::size_t cols = cap_units + 1;
+  std::vector<double> best(cols, 0.0);
+  std::vector<std::vector<bool>> take(items.size(),
+                                      std::vector<bool>(cols, false));
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (w[i] > cap_units) continue;
+    // Iterate capacity downwards: classic 0/1 in-place update.
+    for (std::size_t c = cap_units; c + 1 > w[i]; --c) {
+      double candidate = best[c - w[i]] + items[i].value;
+      if (candidate > best[c]) {
+        best[c] = candidate;
+        take[i][c] = true;
+      }
+      if (c == 0) break;  // unsigned guard (w[i]==0 case)
+    }
+  }
+
+  // Reconstruct from the full-capacity cell.
+  std::size_t c = cap_units;
+  for (std::size_t i = items.size(); i-- > 0;) {
+    if (w[i] <= c && take[i][c]) {
+      solution.selected.push_back(i);
+      solution.total_value += items[i].value;
+      solution.total_weight += items[i].weight;
+      c -= w[i];
+    }
+  }
+  std::reverse(solution.selected.begin(), solution.selected.end());
+  return solution;
+}
+
+}  // namespace iosched::core

@@ -1,0 +1,40 @@
+// 0-1 knapsack solver for the Cons-MaxUtil policy (paper Section III-C.2).
+//
+// Cons-MaxUtil selects the subset of I/O-ready jobs whose aggregate
+// bandwidth demand fits within BWmax while maximizing the number of compute
+// nodes kept busy. The paper (following the authors' earlier power-aware
+// work) casts this as 0-1 knapsack solved by dynamic programming in
+// pseudo-polynomial time. Weights (bandwidth demands) are discretised to a
+// configurable unit; rounding weights *up* keeps every solution feasible.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace iosched::core {
+
+struct KnapsackItem {
+  /// Bandwidth demand (GB/s).
+  double weight = 0.0;
+  /// Objective contribution (compute nodes for MaxUtil).
+  double value = 0.0;
+};
+
+struct KnapsackSolution {
+  /// Indices into the input item span, ascending.
+  std::vector<std::size_t> selected;
+  double total_value = 0.0;
+  double total_weight = 0.0;
+};
+
+/// Solve max sum(value) s.t. sum(weight) <= capacity, each item 0/1.
+/// `unit` is the discretisation granularity in GB/s (default 1.0; Mira's
+/// BWmax of 250 GB/s gives a 250-column DP table). Items with weight > the
+/// capacity are never selected. Deterministic tie-break: among equal-value
+/// solutions the DP prefers not taking later items, so earlier (FCFS-order)
+/// items win ties.
+KnapsackSolution SolveKnapsack01(std::span<const KnapsackItem> items,
+                                 double capacity, double unit = 1.0);
+
+}  // namespace iosched::core

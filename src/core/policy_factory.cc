@@ -1,0 +1,54 @@
+#include "core/policy_factory.h"
+
+#include <stdexcept>
+
+#include "core/adaptive_policy.h"
+#include "core/baseline_policy.h"
+#include "core/conservative_policy.h"
+#include "util/strings.h"
+
+namespace iosched::core {
+
+const std::vector<std::string>& AllPolicyNames() {
+  static const std::vector<std::string> kNames = {
+      "BASE_LINE", "FCFS", "MAX_UTIL", "MIN_INST_SLD", "MIN_AGGR_SLD",
+      "ADAPTIVE"};
+  return kNames;
+}
+
+std::unique_ptr<IoPolicy> MakePolicy(const std::string& name) {
+  std::string n = util::ToLower(name);
+  if (n == "base_line" || n == "baseline") {
+    return std::make_unique<BaselinePolicy>();
+  }
+  if (n == "base_line_maxmin" || n == "maxmin") {
+    return std::make_unique<MaxMinPolicy>();
+  }
+  if (n == "fcfs" || n == "cons_fcfs" || n == "cons-fcfs") {
+    return std::make_unique<ConservativePolicy>(ConservativeOrder::kFcfs);
+  }
+  if (n == "max_util" || n == "cons_maxutil" || n == "cons-maxutil") {
+    return std::make_unique<ConservativePolicy>(ConservativeOrder::kMaxUtil);
+  }
+  if (n == "min_inst_sld" || n == "cons_mininstsld") {
+    return std::make_unique<ConservativePolicy>(
+        ConservativeOrder::kMinInstSld);
+  }
+  if (n == "min_aggr_sld" || n == "cons_minaggrsld") {
+    return std::make_unique<ConservativePolicy>(
+        ConservativeOrder::kMinAggrSld);
+  }
+  if (n == "adaptive") {
+    return std::make_unique<AdaptivePolicy>();
+  }
+  if (n == "sjf") {
+    return std::make_unique<ConservativePolicy>(
+        ConservativeOrder::kShortestFirst);
+  }
+  if (n == "wsjf" || n == "smith") {
+    return std::make_unique<ConservativePolicy>(ConservativeOrder::kSmithRule);
+  }
+  throw std::invalid_argument("MakePolicy: unknown policy '" + name + "'");
+}
+
+}  // namespace iosched::core

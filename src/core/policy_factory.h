@@ -1,0 +1,21 @@
+// Construction of I/O policies by their figure names.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/io_policy.h"
+
+namespace iosched::core {
+
+/// Policy names exactly as the paper's figures label them.
+/// {"BASE_LINE", "FCFS", "MAX_UTIL", "MIN_INST_SLD", "MIN_AGGR_SLD",
+///  "ADAPTIVE"}.
+const std::vector<std::string>& AllPolicyNames();
+
+/// Build a policy by name (case-insensitive); throws std::invalid_argument
+/// for unknown names.
+std::unique_ptr<IoPolicy> MakePolicy(const std::string& name);
+
+}  // namespace iosched::core

@@ -1,0 +1,80 @@
+#include "core/predictor.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace iosched::core {
+
+IoBehaviorPredictor::IoBehaviorPredictor(Options options) : options_(options) {
+  if (options_.alpha <= 0 || options_.alpha > 1) {
+    throw std::invalid_argument("IoBehaviorPredictor: alpha not in (0,1]");
+  }
+  if (options_.node_bandwidth_gbps <= 0) {
+    throw std::invalid_argument("IoBehaviorPredictor: bad node bandwidth");
+  }
+}
+
+void IoBehaviorPredictor::Ewma::Update(double fraction, double phases,
+                                       double efficiency, double alpha) {
+  if (count == 0) {
+    io_fraction = fraction;
+    io_phases = phases;
+    io_efficiency = efficiency;
+  } else {
+    io_fraction += alpha * (fraction - io_fraction);
+    io_phases += alpha * (phases - io_phases);
+    io_efficiency += alpha * (efficiency - io_efficiency);
+  }
+  ++count;
+}
+
+void IoBehaviorPredictor::Observe(const workload::Job& job) {
+  double fraction = job.IoFraction(options_.node_bandwidth_gbps);
+  auto phases = static_cast<double>(job.IoPhaseCount());
+  double efficiency = job.io_efficiency;
+  global_.Update(fraction, phases, efficiency, options_.alpha);
+  if (!job.project.empty()) {
+    by_project_[job.project].Update(fraction, phases, efficiency,
+                                    options_.alpha);
+  }
+  if (!job.user.empty()) {
+    by_user_[job.user].Update(fraction, phases, efficiency, options_.alpha);
+  }
+}
+
+const IoBehaviorPredictor::Ewma* IoBehaviorPredictor::Lookup(
+    const std::unordered_map<std::string, Ewma>& table,
+    const std::string& key) const {
+  if (key.empty()) return nullptr;
+  auto it = table.find(key);
+  if (it == table.end()) return nullptr;
+  if (it->second.count < options_.min_support) return nullptr;
+  return &it->second;
+}
+
+IoPrediction IoBehaviorPredictor::Predict(const workload::Job& job) const {
+  const Ewma* source = Lookup(by_project_, job.project);
+  if (source == nullptr) source = Lookup(by_user_, job.user);
+  if (source == nullptr && global_.count > 0) source = &global_;
+  IoPrediction prediction;
+  if (source == nullptr) return prediction;  // no history at all
+  prediction.io_fraction = source->io_fraction;
+  prediction.io_phases = source->io_phases;
+  prediction.io_efficiency = source->io_efficiency;
+  prediction.support = source->count;
+  return prediction;
+}
+
+double EvaluateFractionError(const IoBehaviorPredictor& predictor,
+                             const workload::Workload& jobs,
+                             double node_bandwidth_gbps) {
+  if (jobs.empty()) return 0.0;
+  double total = 0.0;
+  for (const workload::Job& job : jobs) {
+    IoPrediction p = predictor.Predict(job);
+    total += std::abs(p.io_fraction - job.IoFraction(node_bandwidth_gbps));
+  }
+  return total / static_cast<double>(jobs.size());
+}
+
+}  // namespace iosched::core

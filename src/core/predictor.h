@@ -1,0 +1,85 @@
+// I/O-behavior prediction from past traces (the paper's stated future work:
+// "build a model to predict an application's I/O behavior based on its past
+// I/O trace").
+//
+// The predictor learns, per project and per user, exponentially weighted
+// moving averages of the I/O characteristics that drive scheduling: the
+// I/O-time fraction, the number of I/O phases, and the application's
+// effective I/O efficiency. Prediction falls back hierarchically:
+// project -> user -> global, weighting each level by how much evidence it
+// has. On Mira-like workloads projects have consistent I/O behaviour
+// (checkpointing style is a property of the code base), which makes this
+// learnable — our synthetic generator reproduces exactly that structure.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+
+#include "workload/workload.h"
+
+namespace iosched::core {
+
+struct IoPrediction {
+  /// Predicted fraction of the uncongested runtime spent in I/O.
+  double io_fraction = 0.0;
+  /// Predicted number of I/O requests over the job's lifetime.
+  double io_phases = 0.0;
+  /// Predicted application I/O efficiency (fraction of link bandwidth).
+  double io_efficiency = 1.0;
+  /// Evidence count behind the strongest contributing level.
+  std::size_t support = 0;
+};
+
+class IoBehaviorPredictor {
+ public:
+  struct Options {
+    /// EWMA smoothing factor in (0, 1]: weight of the newest observation.
+    double alpha = 0.25;
+    /// Per-node link bandwidth used to derive I/O fractions.
+    double node_bandwidth_gbps = 1536.0 / 49152.0;
+    /// Observations at a level before it is trusted over its fallback.
+    std::size_t min_support = 3;
+  };
+
+  explicit IoBehaviorPredictor(Options options);
+
+  /// Learn from a completed (or historical) job.
+  void Observe(const workload::Job& job);
+
+  /// Predict the I/O behaviour of `job` from its provenance. Jobs from
+  /// unseen projects/users fall back to the global average; with no history
+  /// at all the prediction is the I/O-free default with support 0.
+  IoPrediction Predict(const workload::Job& job) const;
+
+  std::size_t observed_jobs() const { return global_.count; }
+  std::size_t known_projects() const { return by_project_.size(); }
+  std::size_t known_users() const { return by_user_.size(); }
+
+ private:
+  struct Ewma {
+    double io_fraction = 0.0;
+    double io_phases = 0.0;
+    double io_efficiency = 1.0;
+    std::size_t count = 0;
+
+    void Update(double fraction, double phases, double efficiency,
+                double alpha);
+  };
+
+  const Ewma* Lookup(const std::unordered_map<std::string, Ewma>& table,
+                     const std::string& key) const;
+
+  Options options_;
+  Ewma global_;
+  std::unordered_map<std::string, Ewma> by_project_;
+  std::unordered_map<std::string, Ewma> by_user_;
+};
+
+/// Mean absolute error of the predictor's io_fraction over a workload
+/// (evaluation helper used by tests, the example, and EXPERIMENTS.md).
+double EvaluateFractionError(const IoBehaviorPredictor& predictor,
+                             const workload::Workload& jobs,
+                             double node_bandwidth_gbps);
+
+}  // namespace iosched::core

@@ -1,0 +1,255 @@
+#include "core/simulation.h"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/io_scheduler.h"
+#include "core/policy_factory.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace iosched::core {
+
+namespace {
+
+/// Per-running-job execution state: walks the phase list.
+struct ExecState {
+  const workload::Job* job = nullptr;
+  machine::Partition partition;
+  sim::SimTime start_time = 0.0;
+  std::size_t next_phase = 0;
+  /// Time the current I/O request was issued (for io_time_actual).
+  sim::SimTime io_request_start = 0.0;
+  double io_time_actual = 0.0;
+  /// Whether the job is currently blocked in an I/O request.
+  bool in_io = false;
+  /// Pending walltime-kill event (enforce_walltime mode only).
+  sim::EventId kill_event = 0;
+  bool has_kill_event = false;
+  /// Pending compute-phase-completion event (cancelled on kill).
+  sim::EventId compute_event = 0;
+  bool has_compute_event = false;
+};
+
+class Engine {
+ public:
+  Engine(const SimulationConfig& config, const workload::Workload& jobs,
+         EventLog* event_log)
+      : config_(config),
+        jobs_(jobs),
+        event_log_(event_log),
+        machine_(config.machine),
+        storage_(config.storage),
+        batch_(machine_, config.batch),
+        utilization_(config.machine.total_nodes()),
+        bandwidth_tracker_(config.storage.max_bandwidth_gbps),
+        io_scheduler_(simulator_, storage_, config.machine.node_bandwidth_gbps,
+                      MakePolicy(config.policy),
+                      [this](workload::JobId id, sim::SimTime now) {
+                        OnIoComplete(id, now);
+                      }) {
+    if (config_.track_bandwidth) {
+      io_scheduler_.SetBandwidthTracker(&bandwidth_tracker_);
+    }
+    if (config_.burst_buffer.enabled()) {
+      if (config_.burst_buffer.drain_gbps >=
+          config_.storage.max_bandwidth_gbps) {
+        throw std::invalid_argument(
+            "RunSimulation: burst-buffer drain must stay below BWmax");
+      }
+      burst_buffer_.emplace(config_.burst_buffer);
+      io_scheduler_.AttachBurstBuffer(&*burst_buffer_);
+    }
+  }
+
+  SimulationResult Run() {
+    for (const workload::Job& job : jobs_) {
+      std::string err = job.Validate();
+      if (!err.empty()) {
+        throw std::invalid_argument("RunSimulation: job " +
+                                    std::to_string(job.id) + ": " + err);
+      }
+      simulator_.ScheduleAt(job.submit_time, [this, &job] { OnSubmit(job); });
+    }
+    simulator_.Run();
+    if (!running_.empty() || batch_.queue_size() != 0) {
+      throw std::logic_error(
+          "RunSimulation: event queue drained with unfinished jobs");
+    }
+
+    SimulationResult result;
+    std::sort(records_.begin(), records_.end(),
+              [](const metrics::JobRecord& a, const metrics::JobRecord& b) {
+                return a.id < b.id;
+              });
+    result.records = std::move(records_);
+    result.report =
+        metrics::Summarize(result.records, utilization_,
+                           config_.warmup_fraction, config_.cooldown_fraction);
+    result.bandwidth = bandwidth_tracker_.Summarize();
+    if (config_.keep_bandwidth_samples) {
+      result.bandwidth_samples = bandwidth_tracker_.samples();
+    }
+    if (burst_buffer_.has_value()) {
+      result.bb_absorbed_gb = burst_buffer_->total_absorbed_gb();
+      result.bb_absorbed_requests = burst_buffer_->absorbed_requests();
+    }
+    result.io_requests = io_scheduler_.submitted_requests();
+    result.events_processed = simulator_.processed_events();
+    result.io_scheduling_cycles = io_scheduler_.cycles();
+    result.policy_name = io_scheduler_.policy().name();
+    return result;
+  }
+
+ private:
+  void OnSubmit(const workload::Job& job) {
+    Log(SchedEventKind::kSubmit, job.id, static_cast<double>(job.nodes));
+    batch_.Submit(job);
+    RunSchedulingPass();
+  }
+
+  void Log(SchedEventKind kind, workload::JobId id, double detail = 0.0) {
+    if (event_log_ != nullptr) {
+      event_log_->Append(simulator_.Now(), kind, id, detail);
+    }
+  }
+
+  void RunSchedulingPass() {
+    sim::SimTime now = simulator_.Now();
+    for (const sched::StartDecision& d : batch_.Schedule(now)) {
+      StartJob(*d.job, d.partition, now);
+    }
+    utilization_.Record(now, machine_.busy_nodes());
+  }
+
+  void StartJob(const workload::Job& job, const machine::Partition& partition,
+                sim::SimTime now) {
+    ExecState state;
+    state.job = &job;
+    state.partition = partition;
+    state.start_time = now;
+    Log(SchedEventKind::kStart, job.id, static_cast<double>(partition.nodes));
+    if (config_.enforce_walltime) {
+      state.kill_event = simulator_.ScheduleAfter(
+          job.requested_walltime, [this, id = job.id] { KillJob(id); });
+      state.has_kill_event = true;
+    }
+    running_.emplace(job.id, state);
+    io_scheduler_.RegisterJob(job, now);
+    AdvancePhase(job.id);
+  }
+
+  /// Walltime expired: terminate the job wherever it is in its phase list.
+  void KillJob(workload::JobId id) {
+    auto it = running_.find(id);
+    if (it == running_.end()) return;  // finished at the same instant
+    ExecState& state = it->second;
+    state.has_kill_event = false;
+    sim::SimTime now = simulator_.Now();
+    if (state.has_compute_event) {
+      simulator_.Cancel(state.compute_event);
+      state.has_compute_event = false;
+    }
+    if (state.in_io) {
+      state.io_time_actual += now - state.io_request_start;
+      io_scheduler_.AbortRequest(id, now);
+      state.in_io = false;
+    }
+    FinishJob(id, now, /*killed=*/true);
+  }
+
+  /// Enter the next phase of a job (or finish it).
+  void AdvancePhase(workload::JobId id) {
+    ExecState& state = running_.at(id);
+    sim::SimTime now = simulator_.Now();
+    for (;;) {
+      if (state.next_phase >= state.job->phases.size()) {
+        FinishJob(id, now, /*killed=*/false);
+        return;
+      }
+      const workload::Phase& phase = state.job->phases[state.next_phase];
+      ++state.next_phase;
+      if (phase.kind == workload::PhaseKind::kCompute) {
+        if (phase.compute_seconds <= 0) continue;  // empty phase: skip
+        state.compute_event = simulator_.ScheduleAfter(
+            phase.compute_seconds, [this, id, dur = phase.compute_seconds] {
+              running_.at(id).has_compute_event = false;
+              io_scheduler_.AddCompletedCompute(id, dur);
+              AdvancePhase(id);
+            });
+        state.has_compute_event = true;
+        return;
+      }
+      // I/O phase.
+      if (phase.io_volume_gb <= util::kVolumeEpsilon) continue;
+      state.io_request_start = now;
+      state.in_io = true;
+      Log(SchedEventKind::kIoRequest, id, phase.io_volume_gb);
+      io_scheduler_.SubmitRequest(id, phase.io_volume_gb, now);
+      return;
+    }
+  }
+
+  void OnIoComplete(workload::JobId id, sim::SimTime now) {
+    ExecState& state = running_.at(id);
+    state.io_time_actual += now - state.io_request_start;
+    state.in_io = false;
+    Log(SchedEventKind::kIoComplete, id);
+    AdvancePhase(id);
+  }
+
+  void FinishJob(workload::JobId id, sim::SimTime now, bool killed) {
+    Log(killed ? SchedEventKind::kKill : SchedEventKind::kEnd, id);
+    ExecState state = running_.at(id);
+    running_.erase(id);
+    if (state.has_kill_event) simulator_.Cancel(state.kill_event);
+    io_scheduler_.UnregisterJob(id);
+    batch_.OnJobEnd(id, now);
+
+    metrics::JobRecord record;
+    record.id = id;
+    record.requested_nodes = state.job->nodes;
+    record.allocated_nodes = state.partition.nodes;
+    record.submit_time = state.job->submit_time;
+    record.start_time = state.start_time;
+    record.end_time = now;
+    record.uncongested_runtime =
+        state.job->UncongestedRuntime(config_.machine.node_bandwidth_gbps);
+    record.requested_walltime = state.job->requested_walltime;
+    record.io_time_actual = state.io_time_actual;
+    record.io_time_uncongested =
+        state.job->UncongestedIoSeconds(config_.machine.node_bandwidth_gbps);
+    record.io_phase_count = state.job->IoPhaseCount();
+    record.killed = killed;
+    records_.push_back(record);
+
+    RunSchedulingPass();
+  }
+
+  const SimulationConfig& config_;
+  const workload::Workload& jobs_;
+  EventLog* event_log_;
+  sim::Simulator simulator_;
+  machine::Machine machine_;
+  storage::StorageModel storage_;
+  sched::BatchScheduler batch_;
+  metrics::UtilizationTracker utilization_;
+  metrics::BandwidthTracker bandwidth_tracker_;
+  std::optional<storage::BurstBuffer> burst_buffer_;
+  IoScheduler io_scheduler_;
+  std::unordered_map<workload::JobId, ExecState> running_;
+  metrics::JobRecords records_;
+};
+
+}  // namespace
+
+SimulationResult RunSimulation(const SimulationConfig& config,
+                               const workload::Workload& jobs,
+                               EventLog* event_log) {
+  Engine engine(config, jobs, event_log);
+  return engine.Run();
+}
+
+}  // namespace iosched::core

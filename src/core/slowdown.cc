@@ -1,0 +1,27 @@
+#include "core/slowdown.h"
+
+#include <algorithm>
+
+#include "util/units.h"
+
+namespace iosched::core {
+
+double InstantSlowdown(const IoJobView& view, sim::SimTime now) {
+  double elapsed = now - view.request_arrival;
+  if (elapsed <= util::kTimeEpsilon) return 1.0;
+  double ideal_gb = view.full_rate_gbps * elapsed;
+  if (view.transferred_gb <= util::kVolumeEpsilon) return kSlowdownCap;
+  return std::max(1.0, std::min(kSlowdownCap, ideal_gb / view.transferred_gb));
+}
+
+double AggregateSlowdown(const IoJobView& view, sim::SimTime now) {
+  double elapsed = now - view.job_start;
+  double ideal =
+      view.completed_compute_seconds + view.completed_io_seconds;
+  if (ideal <= util::kTimeEpsilon) {
+    return elapsed <= util::kTimeEpsilon ? 1.0 : kSlowdownCap;
+  }
+  return std::max(1.0, std::min(kSlowdownCap, elapsed / ideal));
+}
+
+}  // namespace iosched::core

@@ -1,0 +1,30 @@
+// Job-performance quantification under I/O congestion (paper Section
+// III-C.1, Equations 1 and 2).
+#pragma once
+
+#include "core/io_policy.h"
+#include "sim/time.h"
+
+namespace iosched::core {
+
+/// Cap applied when a slowdown is undefined/unbounded (no data transferred
+/// yet): such a request has been starved completely and sorts last among
+/// "low slowdown first" orderings, matching the equations' limits.
+inline constexpr double kSlowdownCap = 1e12;
+
+/// InstSld (Eq. 1): ratio of the data the job could have moved at full rate
+/// since this request started to the data it actually moved. 1 = no
+/// interference; grows as the request is suspended or squeezed.
+///   InstSld = b*N_i*(t - t_io) / W_{i,k}
+/// Edge cases: at t == t_io the request just arrived -> 1. W == 0 with
+/// elapsed time -> kSlowdownCap.
+double InstantSlowdown(const IoJobView& view, sim::SimTime now);
+
+/// AggrSld (Eq. 2): total elapsed lifetime over the congestion-free time of
+/// everything the job has executed so far:
+///   AggrSld = (t - t_start) / (sum_{j<=k} T_com + sum_{j<k} T_io)
+/// Edge case: zero denominator (job started with I/O immediately) ->
+/// kSlowdownCap unless the numerator is also ~0, which gives 1.
+double AggregateSlowdown(const IoJobView& view, sim::SimTime now);
+
+}  // namespace iosched::core

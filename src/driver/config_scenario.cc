@@ -1,0 +1,128 @@
+#include "driver/config_scenario.h"
+
+#include <stdexcept>
+
+#include "sched/queue_policy.h"
+#include "util/strings.h"
+#include "workload/synthetic.h"
+
+namespace iosched::driver {
+
+namespace {
+double RequirePositive(const util::Config& config, const std::string& key,
+                       double fallback) {
+  double value = config.GetDoubleOr(key, fallback);
+  if (value <= 0) {
+    throw std::runtime_error("config: '" + key + "' must be positive");
+  }
+  return value;
+}
+}  // namespace
+
+Scenario ScenarioFromConfig(const util::Config& config) {
+  Scenario scenario;
+
+  // Machine.
+  std::string preset =
+      util::ToLower(config.GetStringOr("machine.preset", "mira"));
+  if (preset == "mira") {
+    scenario.config.machine = machine::MachineConfig::Mira();
+  } else if (preset == "intrepid") {
+    scenario.config.machine = machine::MachineConfig::Intrepid();
+  } else if (preset == "small") {
+    scenario.config.machine = machine::MachineConfig::Small();
+  } else {
+    throw std::runtime_error("config: unknown machine.preset '" + preset +
+                             "'");
+  }
+  if (config.Has("machine.node_bandwidth_gbps")) {
+    scenario.config.machine.node_bandwidth_gbps =
+        RequirePositive(config, "machine.node_bandwidth_gbps", 1.0);
+  }
+
+  // Storage / burst buffer.
+  scenario.config.storage.max_bandwidth_gbps =
+      RequirePositive(config, "storage.bwmax_gbps", 250.0);
+  scenario.config.burst_buffer.capacity_gb =
+      config.GetDoubleOr("burst_buffer.capacity_gb", 0.0);
+  scenario.config.burst_buffer.drain_gbps =
+      config.GetDoubleOr("burst_buffer.drain_gbps", 0.0);
+
+  // Batch scheduler.
+  scenario.config.batch.order =
+      sched::ParseQueueOrder(config.GetStringOr("batch.order", "wfp"));
+  scenario.config.batch.easy_backfill =
+      config.GetBoolOr("batch.easy_backfill", true);
+
+  // Policy & simulation knobs.
+  scenario.config.policy = config.GetStringOr("policy.name", "BASE_LINE");
+  scenario.config.enforce_walltime =
+      config.GetBoolOr("simulation.enforce_walltime", false);
+  scenario.config.warmup_fraction =
+      config.GetDoubleOr("simulation.warmup_fraction", 0.05);
+  scenario.config.cooldown_fraction =
+      config.GetDoubleOr("simulation.cooldown_fraction", 0.05);
+
+  // Workload.
+  int month = static_cast<int>(config.GetIntOr("workload.month", 1));
+  workload::SyntheticConfig wl = workload::EvaluationMonthConfig(month);
+  wl.duration_days = RequirePositive(config, "workload.days", 30.0);
+  wl.node_bandwidth_gbps = scenario.config.machine.node_bandwidth_gbps;
+  if (config.Has("workload.jobs_per_day")) {
+    wl.jobs_per_day = RequirePositive(config, "workload.jobs_per_day", 1.0);
+  }
+  if (config.Has("workload.checkpoint_period_seconds")) {
+    wl.checkpoint_period_seconds =
+        RequirePositive(config, "workload.checkpoint_period_seconds", 1.0);
+  }
+  if (config.Has("workload.io_efficiency_lo")) {
+    wl.io_efficiency_lo = config.RequireDouble("workload.io_efficiency_lo");
+  }
+  if (config.Has("workload.io_efficiency_hi")) {
+    wl.io_efficiency_hi = config.RequireDouble("workload.io_efficiency_hi");
+  }
+  if (config.Has("workload.restart_read_probability")) {
+    wl.restart_read_probability =
+        config.RequireDouble("workload.restart_read_probability");
+  }
+  // Drop size classes the configured machine cannot host (a small-machine
+  // config with the Mira month presets would otherwise generate unplaceable
+  // jobs).
+  {
+    std::vector<int> menu;
+    std::vector<double> weights;
+    for (std::size_t i = 0; i < wl.size_menu.size(); ++i) {
+      if (wl.size_menu[i] <= scenario.config.machine.total_nodes()) {
+        menu.push_back(wl.size_menu[i]);
+        weights.push_back(wl.size_weights[i]);
+      }
+    }
+    if (menu.empty()) {
+      throw std::runtime_error(
+          "config: machine too small for every workload size class");
+    }
+    wl.size_menu = std::move(menu);
+    wl.size_weights = std::move(weights);
+  }
+  auto seed =
+      static_cast<std::uint64_t>(config.GetIntOr("workload.seed", 101));
+  scenario.jobs = workload::GenerateWorkload(wl, seed);
+  scenario.name = "month" + std::to_string(month) + "/seed" +
+                  std::to_string(seed);
+
+  double factor = config.GetDoubleOr("workload.expansion_factor", 1.0);
+  if (factor != 1.0) {
+    if (factor < 0) {
+      throw std::runtime_error("config: negative workload.expansion_factor");
+    }
+    workload::ApplyExpansionFactor(scenario.jobs, factor);
+    scenario.name += "/ef" + std::to_string(factor);
+  }
+  return scenario;
+}
+
+Scenario ScenarioFromConfigFile(const std::string& path) {
+  return ScenarioFromConfig(util::Config::FromFile(path));
+}
+
+}  // namespace iosched::driver

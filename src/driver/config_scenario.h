@@ -1,0 +1,56 @@
+// Build a complete scenario (machine + storage + batch + policy + workload)
+// from an INI configuration file, so experiments are reproducible from a
+// checked-in config instead of code edits.
+//
+// Recognized keys (all optional; defaults in parentheses):
+//
+//   [machine]
+//   preset = mira | intrepid | small (mira)
+//   node_bandwidth_gbps = <double>   (preset value)
+//
+//   [storage]
+//   bwmax_gbps = <double>            (250)
+//
+//   [batch]
+//   order = wfp | fcfs               (wfp)
+//   easy_backfill = <bool>           (true)
+//
+//   [policy]
+//   name = BASE_LINE | ... | ADAPTIVE (BASE_LINE)
+//
+//   [burst_buffer]
+//   capacity_gb = <double>           (0 = disabled)
+//   drain_gbps = <double>            (0)
+//
+//   [simulation]
+//   enforce_walltime = <bool>        (false)
+//   warmup_fraction = <double>       (0.05)
+//   cooldown_fraction = <double>     (0.05)
+//
+//   [workload]
+//   month = 1..3                     (use the built-in evaluation month)
+//   days = <double>                  (30)
+//   seed = <int>                     (101)
+//   expansion_factor = <double>      (1.0)
+//   # Generator overrides (applied on top of the month's config):
+//   jobs_per_day = <double>
+//   checkpoint_period_seconds = <double>
+//   io_efficiency_lo / io_efficiency_hi = <double>
+//   restart_read_probability = <double>
+#pragma once
+
+#include <string>
+
+#include "driver/scenario.h"
+#include "util/config.h"
+
+namespace iosched::driver {
+
+/// Build a scenario from a parsed config. Throws std::runtime_error with
+/// the offending key on invalid values.
+Scenario ScenarioFromConfig(const util::Config& config);
+
+/// Convenience: parse the file then build.
+Scenario ScenarioFromConfigFile(const std::string& path);
+
+}  // namespace iosched::driver

@@ -1,0 +1,161 @@
+#include "driver/experiment.h"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/simulation.h"
+#include "util/csv.h"
+#include "util/units.h"
+
+namespace iosched::driver {
+
+namespace {
+PolicyRun RunOne(const Scenario& scenario, const std::string& policy) {
+  core::SimulationConfig config = scenario.config;
+  config.policy = policy;
+  auto t0 = std::chrono::steady_clock::now();
+  core::SimulationResult result = core::RunSimulation(config, scenario.jobs);
+  auto t1 = std::chrono::steady_clock::now();
+
+  PolicyRun run;
+  run.policy = result.policy_name;
+  run.scenario = scenario.name;
+  run.report = result.report;
+  run.events_processed = result.events_processed;
+  run.io_cycles = result.io_scheduling_cycles;
+  run.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return run;
+}
+}  // namespace
+
+std::vector<PolicyRun> RunPolicySweep(const Scenario& scenario,
+                                      std::span<const std::string> policies,
+                                      util::ThreadPool* pool) {
+  std::vector<PolicyRun> runs(policies.size());
+  if (pool != nullptr && policies.size() > 1) {
+    pool->ParallelFor(policies.size(), [&](std::size_t i) {
+      runs[i] = RunOne(scenario, policies[i]);
+    });
+  } else {
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      runs[i] = RunOne(scenario, policies[i]);
+    }
+  }
+  return runs;
+}
+
+std::vector<PolicyRun> RunExpansionSweep(
+    const Scenario& scenario, std::span<const double> expansion_factors,
+    std::span<const std::string> policies, util::ThreadPool* pool) {
+  std::vector<Scenario> scaled;
+  scaled.reserve(expansion_factors.size());
+  for (double factor : expansion_factors) {
+    scaled.push_back(WithExpansionFactor(scenario, factor));
+  }
+  std::vector<PolicyRun> runs(expansion_factors.size() * policies.size());
+  auto run_cell = [&](std::size_t cell) {
+    std::size_t f = cell / policies.size();
+    std::size_t p = cell % policies.size();
+    runs[cell] = RunOne(scaled[f], policies[p]);
+  };
+  if (pool != nullptr && runs.size() > 1) {
+    pool->ParallelFor(runs.size(), run_cell);
+  } else {
+    for (std::size_t cell = 0; cell < runs.size(); ++cell) run_cell(cell);
+  }
+  return runs;
+}
+
+namespace {
+util::Table MetricTable(std::span<const PolicyRun> runs, const char* header,
+                        double (*metric)(const metrics::Report&)) {
+  util::Table table({"policy", header, "vs " + runs.front().policy});
+  double base = metric(runs.front().report);
+  for (const PolicyRun& run : runs) {
+    double value = metric(run.report);
+    double change = base > 0 ? (value - base) / base : 0.0;
+    table.AddRow({run.policy, util::Table::Num(value, 1),
+                  util::Table::Percent(change, 1)});
+  }
+  return table;
+}
+}  // namespace
+
+util::Table WaitTimeTable(std::span<const PolicyRun> runs) {
+  if (runs.empty()) throw std::invalid_argument("WaitTimeTable: no runs");
+  return MetricTable(runs, "avg wait (min)", [](const metrics::Report& r) {
+    return util::SecondsToMinutes(r.avg_wait_seconds);
+  });
+}
+
+util::Table ResponseTimeTable(std::span<const PolicyRun> runs) {
+  if (runs.empty()) throw std::invalid_argument("ResponseTimeTable: no runs");
+  return MetricTable(runs, "avg response (min)",
+                     [](const metrics::Report& r) {
+                       return util::SecondsToMinutes(r.avg_response_seconds);
+                     });
+}
+
+util::Table UtilizationTable(std::span<const PolicyRun> runs) {
+  if (runs.empty()) throw std::invalid_argument("UtilizationTable: no runs");
+  util::Table table(
+      {"policy", "utilization", "normalized vs " + runs.front().policy});
+  double base = runs.front().report.utilization;
+  for (const PolicyRun& run : runs) {
+    double normalized = base > 0 ? run.report.utilization / base : 0.0;
+    table.AddRow({run.policy,
+                  util::Table::Num(run.report.utilization * 100.0, 1) + "%",
+                  util::Table::Ratio(normalized, 3)});
+  }
+  return table;
+}
+
+util::Table SensitivityTable(std::span<const PolicyRun> runs,
+                             std::span<const double> expansion_factors,
+                             std::span<const std::string> policies) {
+  if (runs.size() != expansion_factors.size() * policies.size()) {
+    throw std::invalid_argument("SensitivityTable: size mismatch");
+  }
+  std::vector<std::string> headers = {"EF"};
+  for (const std::string& p : policies) headers.push_back(p);
+  util::Table table(headers);
+  for (std::size_t f = 0; f < expansion_factors.size(); ++f) {
+    std::vector<std::string> row = {
+        util::Table::Num(expansion_factors[f] * 100.0, 0) + "%"};
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const PolicyRun& run = runs[f * policies.size() + p];
+      row.push_back(util::Table::Num(
+          util::SecondsToMinutes(run.report.avg_wait_seconds), 1));
+    }
+    table.AddRow(row);
+  }
+  return table;
+}
+
+std::string RunsToCsv(std::span<const PolicyRun> runs) {
+  std::ostringstream os;
+  util::CsvWriter csv(os);
+  csv.Header({"scenario", "policy", "jobs", "avg_wait_min",
+              "avg_response_min", "utilization", "p90_wait_min",
+              "avg_expansion", "avg_io_slowdown", "events", "io_cycles",
+              "wall_seconds"});
+  for (const PolicyRun& run : runs) {
+    csv.Row()
+        .Add(run.scenario)
+        .Add(run.policy)
+        .Add(run.report.job_count)
+        .Add(util::SecondsToMinutes(run.report.avg_wait_seconds))
+        .Add(util::SecondsToMinutes(run.report.avg_response_seconds))
+        .Add(run.report.utilization)
+        .Add(util::SecondsToMinutes(run.report.p90_wait_seconds))
+        .Add(run.report.avg_runtime_expansion)
+        .Add(run.report.avg_io_slowdown)
+        .Add(static_cast<unsigned long long>(run.events_processed))
+        .Add(static_cast<unsigned long long>(run.io_cycles))
+        .Add(run.wall_seconds);
+  }
+  return os.str();
+}
+
+}  // namespace iosched::driver

@@ -1,0 +1,57 @@
+// Experiment runner: policy sweeps and the table emitters that regenerate
+// the paper's figures (8, 9, 10, 11).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "driver/scenario.h"
+#include "metrics/report.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace iosched::driver {
+
+struct PolicyRun {
+  std::string policy;
+  std::string scenario;
+  metrics::Report report;
+  std::uint64_t events_processed = 0;
+  std::uint64_t io_cycles = 0;
+  double wall_seconds = 0.0;  // host time spent simulating
+};
+
+/// Run one scenario under each policy. When `pool` is non-null the runs
+/// execute concurrently (each simulation stays single-threaded and
+/// deterministic). Results are returned in `policies` order.
+std::vector<PolicyRun> RunPolicySweep(const Scenario& scenario,
+                                      std::span<const std::string> policies,
+                                      util::ThreadPool* pool = nullptr);
+
+/// Expansion-factor sweep (paper Fig. 11): run `scenario` at each EF under
+/// each policy. Result is row-major: result[f * policies.size() + p].
+std::vector<PolicyRun> RunExpansionSweep(
+    const Scenario& scenario, std::span<const double> expansion_factors,
+    std::span<const std::string> policies, util::ThreadPool* pool = nullptr);
+
+/// Fig. 8-style table: average wait time (minutes) per policy, with the
+/// change vs the first row's policy (BASE_LINE in the paper).
+util::Table WaitTimeTable(std::span<const PolicyRun> runs);
+
+/// Fig. 9-style table: average response time (minutes) per policy.
+util::Table ResponseTimeTable(std::span<const PolicyRun> runs);
+
+/// Fig. 10-style table: utilization normalized to the first row's policy.
+util::Table UtilizationTable(std::span<const PolicyRun> runs);
+
+/// Fig. 11-style table: rows = expansion factors, columns = policies,
+/// cells = average wait time in minutes.
+util::Table SensitivityTable(std::span<const PolicyRun> runs,
+                             std::span<const double> expansion_factors,
+                             std::span<const std::string> policies);
+
+/// CSV dump of any run list (one row per run) for offline plotting.
+std::string RunsToCsv(std::span<const PolicyRun> runs);
+
+}  // namespace iosched::driver

@@ -1,0 +1,117 @@
+#include "driver/replication.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/simulation.h"
+#include "util/stats.h"
+#include "util/units.h"
+#include "workload/synthetic.h"
+
+namespace iosched::driver {
+
+namespace {
+MetricStats ToStats(const util::RunningStats& s) {
+  return MetricStats{s.mean(), s.stddev(), s.count()};
+}
+}  // namespace
+
+std::vector<ReplicatedRun> RunReplications(
+    const ScenarioFactory& factory, std::span<const std::uint64_t> seeds,
+    std::span<const std::string> policies, util::ThreadPool* pool) {
+  if (seeds.empty() || policies.empty()) {
+    throw std::invalid_argument("RunReplications: empty seeds or policies");
+  }
+  // One result slot per (policy, seed); aggregate afterwards so the
+  // parallel path is race-free and ordering-independent.
+  struct Cell {
+    double wait = 0;
+    double response = 0;
+    double utilization = 0;
+    double expansion = 0;
+  };
+  std::vector<Cell> cells(policies.size() * seeds.size());
+  auto run_cell = [&](std::size_t index) {
+    std::size_t p = index / seeds.size();
+    std::size_t s = index % seeds.size();
+    Scenario scenario = factory(seeds[s]);
+    core::SimulationConfig config = scenario.config;
+    config.policy = policies[p];
+    core::SimulationResult result =
+        core::RunSimulation(config, scenario.jobs);
+    cells[index] = Cell{result.report.avg_wait_seconds,
+                        result.report.avg_response_seconds,
+                        result.report.utilization,
+                        result.report.avg_runtime_expansion};
+  };
+  if (pool != nullptr && cells.size() > 1) {
+    pool->ParallelFor(cells.size(), run_cell);
+  } else {
+    for (std::size_t i = 0; i < cells.size(); ++i) run_cell(i);
+  }
+
+  std::vector<ReplicatedRun> out(policies.size());
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    util::RunningStats wait;
+    util::RunningStats response;
+    util::RunningStats utilization;
+    util::RunningStats expansion;
+    for (std::size_t s = 0; s < seeds.size(); ++s) {
+      const Cell& c = cells[p * seeds.size() + s];
+      wait.Add(c.wait);
+      response.Add(c.response);
+      utilization.Add(c.utilization);
+      expansion.Add(c.expansion);
+    }
+    out[p].policy = std::string(policies[p]);
+    out[p].wait_seconds = ToStats(wait);
+    out[p].response_seconds = ToStats(response);
+    out[p].utilization = ToStats(utilization);
+    out[p].runtime_expansion = ToStats(expansion);
+  }
+  return out;
+}
+
+ScenarioFactory EvaluationMonthFactory(int index, double duration_days) {
+  // Validate eagerly so a bad index fails at factory creation.
+  workload::EvaluationMonthConfig(index);
+  return [index, duration_days](std::uint64_t seed) {
+    workload::SyntheticConfig cfg = workload::EvaluationMonthConfig(index);
+    cfg.duration_days = duration_days;
+    Scenario scenario;
+    scenario.name = "WL" + std::to_string(index) + "/seed" +
+                    std::to_string(seed);
+    scenario.config.machine = machine::MachineConfig::Mira();
+    cfg.node_bandwidth_gbps = scenario.config.machine.node_bandwidth_gbps;
+    scenario.config.storage.max_bandwidth_gbps = 250.0;
+    scenario.jobs = workload::GenerateWorkload(cfg, seed);
+    return scenario;
+  };
+}
+
+util::Table ReplicationTable(std::span<const ReplicatedRun> runs) {
+  if (runs.empty()) throw std::invalid_argument("ReplicationTable: no runs");
+  util::Table table({"policy", "avg wait (min)", "vs " + runs.front().policy,
+                     "avg response (min)", "utilization"});
+  double base = runs.front().wait_seconds.mean;
+  for (const ReplicatedRun& run : runs) {
+    table.AddRow(
+        {run.policy,
+         util::Table::Num(util::SecondsToMinutes(run.wait_seconds.mean), 1) +
+             " +- " +
+             util::Table::Num(
+                 util::SecondsToMinutes(run.wait_seconds.stddev), 1),
+         util::Table::Percent(
+             base > 0 ? run.wait_seconds.mean / base - 1.0 : 0.0, 1),
+         util::Table::Num(
+             util::SecondsToMinutes(run.response_seconds.mean), 1) +
+             " +- " +
+             util::Table::Num(
+                 util::SecondsToMinutes(run.response_seconds.stddev), 1),
+         util::Table::Num(run.utilization.mean * 100.0, 1) + "% +- " +
+             util::Table::Num(run.utilization.stddev * 100.0, 1)});
+  }
+  return table;
+}
+
+}  // namespace iosched::driver

@@ -1,0 +1,51 @@
+// Replication support: run a policy over several independently seeded
+// instances of the same workload model and aggregate mean/stddev of each
+// metric. The paper reports single-trace numbers; replications show which
+// policy gaps are robust and which are month-to-month noise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "driver/scenario.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace iosched::driver {
+
+/// Scenario factory: given a seed, produce the workload instance.
+using ScenarioFactory = std::function<Scenario(std::uint64_t seed)>;
+
+/// Mean and sample stddev of one metric across replications.
+struct MetricStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t n = 0;
+};
+
+struct ReplicatedRun {
+  std::string policy;
+  MetricStats wait_seconds;
+  MetricStats response_seconds;
+  MetricStats utilization;
+  MetricStats runtime_expansion;
+};
+
+/// Run every (policy, seed) combination and aggregate per policy. Results
+/// follow `policies` order. When `pool` is non-null the runs execute
+/// concurrently; aggregation is order-independent, so results are
+/// deterministic either way.
+std::vector<ReplicatedRun> RunReplications(
+    const ScenarioFactory& factory, std::span<const std::uint64_t> seeds,
+    std::span<const std::string> policies, util::ThreadPool* pool = nullptr);
+
+/// A factory for evaluation month `index` with variable seed.
+ScenarioFactory EvaluationMonthFactory(int index, double duration_days);
+
+/// Render: avg wait mean +- stddev (minutes) and change vs the first policy.
+util::Table ReplicationTable(std::span<const ReplicatedRun> runs);
+
+}  // namespace iosched::driver

@@ -1,0 +1,66 @@
+#include "driver/scenario.h"
+
+#include <cstdio>
+
+namespace iosched::driver {
+
+Scenario MakeEvaluationScenario(int index, double duration_days) {
+  workload::SyntheticConfig wl_cfg =
+      workload::EvaluationMonthConfig(index);
+  wl_cfg.duration_days = duration_days;
+
+  Scenario scenario;
+  scenario.name = "WL" + std::to_string(index);
+  scenario.config.machine = machine::MachineConfig::Mira();
+  wl_cfg.node_bandwidth_gbps = scenario.config.machine.node_bandwidth_gbps;
+  scenario.config.storage.max_bandwidth_gbps = 250.0;
+  scenario.jobs = workload::GenerateWorkload(
+      wl_cfg, /*seed=*/100 + static_cast<std::uint64_t>(index));
+  return scenario;
+}
+
+Scenario MakeTestScenario(std::uint64_t seed, double duration_days,
+                          double jobs_per_day) {
+  Scenario scenario;
+  scenario.name = "TEST";
+  scenario.config.machine = machine::MachineConfig::Small();  // 4,096 nodes
+
+  workload::SyntheticConfig wl_cfg;
+  wl_cfg.duration_days = duration_days;
+  wl_cfg.jobs_per_day = jobs_per_day;
+  wl_cfg.size_menu = {512, 1024, 2048};
+  wl_cfg.size_weights = {0.55, 0.30, 0.15};
+  wl_cfg.runtime_log_mean = 7.2;   // ~22 min median
+  wl_cfg.runtime_log_sigma = 0.7;
+  wl_cfg.min_runtime_seconds = 300.0;
+  wl_cfg.max_runtime_seconds = 4.0 * 3600.0;
+  wl_cfg.checkpoint_period_seconds = 600.0;
+  wl_cfg.max_io_phases = 20;
+  wl_cfg.node_bandwidth_gbps = scenario.config.machine.node_bandwidth_gbps;
+  // Heterogeneous application I/O rates, as on the real system: this is
+  // what makes the even-split BASE_LINE non-work-conserving.
+  wl_cfg.io_efficiency_lo = 0.2;
+  wl_cfg.io_efficiency_hi = 0.9;
+
+  // Keep Mira's congestion geometry: machine aggregate link bandwidth is
+  // ~6.1x the storage cap (1536/250). Small machine: 4096 nodes * b = 128
+  // GB/s aggregate -> BWmax ~ 21 GB/s.
+  double aggregate =
+      scenario.config.machine.total_nodes() *
+      scenario.config.machine.node_bandwidth_gbps;
+  scenario.config.storage.max_bandwidth_gbps = aggregate / 6.144;
+
+  scenario.jobs = workload::GenerateWorkload(wl_cfg, seed);
+  return scenario;
+}
+
+Scenario WithExpansionFactor(const Scenario& base, double expansion_factor) {
+  Scenario out = base;
+  workload::ApplyExpansionFactor(out.jobs, expansion_factor);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g%%", expansion_factor * 100.0);
+  out.name = base.name + "/EF=" + buf;
+  return out;
+}
+
+}  // namespace iosched::driver

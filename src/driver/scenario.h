@@ -1,0 +1,37 @@
+// Evaluation scenarios: the single source of truth for the workloads and
+// system configuration used by the paper-reproduction benchmarks, the
+// examples, and the integration tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/simulation.h"
+#include "workload/synthetic.h"
+#include "workload/workload.h"
+
+namespace iosched::driver {
+
+struct Scenario {
+  std::string name;
+  workload::Workload jobs;
+  core::SimulationConfig config;
+};
+
+/// The paper's evaluation month WL<index> (index 1..3) on the Mira model.
+/// `duration_days` can shrink the month for quick runs (tests use 4-8 days;
+/// the benchmarks use the full 30).
+Scenario MakeEvaluationScenario(int index, double duration_days = 30.0);
+
+/// A reduced-scale scenario (Small machine, few days, scaled BWmax) used by
+/// unit/integration tests so they run in milliseconds. The storage cap is
+/// scaled with the machine so the congestion regime matches Mira's
+/// (aggregate link demand ~6x the storage bandwidth).
+Scenario MakeTestScenario(std::uint64_t seed, double duration_days = 2.0,
+                          double jobs_per_day = 260.0);
+
+/// Apply the paper's sensitivity-study knob: scale every job's I/O volume
+/// by `expansion_factor` (EF). Returns a renamed copy.
+Scenario WithExpansionFactor(const Scenario& base, double expansion_factor);
+
+}  // namespace iosched::driver

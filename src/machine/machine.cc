@@ -1,0 +1,124 @@
+#include "machine/machine.h"
+
+#include <stdexcept>
+
+namespace iosched::machine {
+
+MachineConfig MachineConfig::Mira() { return MachineConfig{}; }
+
+MachineConfig MachineConfig::Intrepid() {
+  MachineConfig cfg;
+  cfg.midplanes_per_row = 16;  // 8 racks x 2 midplanes
+  cfg.rows = 5;
+  // 40,960 nodes driving ~512 GB/s of aggregate injection.
+  cfg.node_bandwidth_gbps = 512.0 / 40960.0;
+  return cfg;
+}
+
+MachineConfig MachineConfig::Small() {
+  MachineConfig cfg;
+  cfg.midplanes_per_row = 8;
+  cfg.rows = 1;
+  return cfg;
+}
+
+Machine::Machine(MachineConfig config)
+    : config_(config),
+      occupied_(static_cast<std::size_t>(config.total_midplanes()), false) {
+  if (config_.nodes_per_midplane <= 0 || config_.midplanes_per_row <= 0 ||
+      config_.rows <= 0) {
+    throw std::invalid_argument("Machine: non-positive geometry");
+  }
+  if (config_.node_bandwidth_gbps <= 0) {
+    throw std::invalid_argument("Machine: non-positive node bandwidth");
+  }
+}
+
+int Machine::BlockMidplanesFor(int requested_nodes) const {
+  if (requested_nodes <= 0) return -1;
+  int per_mp = config_.nodes_per_midplane;
+  int row = config_.midplanes_per_row;
+  int needed = (requested_nodes + per_mp - 1) / per_mp;  // ceil
+  if (needed > config_.total_midplanes()) return -1;
+  // Power-of-two block inside one row.
+  int block = 1;
+  while (block < needed && block < row) block *= 2;
+  if (needed <= block && block <= row) return block;
+  // Multi-row blocks: whole rows only.
+  for (int rows = 2; rows <= config_.rows; ++rows) {
+    if (needed <= rows * row) return rows * row;
+  }
+  return -1;
+}
+
+std::optional<int> Machine::BlockNodesFor(int requested_nodes) const {
+  int mps = BlockMidplanesFor(requested_nodes);
+  if (mps < 0) return std::nullopt;
+  return mps * config_.nodes_per_midplane;
+}
+
+bool Machine::RunFree(int start, int count) const {
+  for (int i = start; i < start + count; ++i) {
+    if (occupied_[static_cast<std::size_t>(i)]) return false;
+  }
+  return true;
+}
+
+int Machine::FindFreeRun(int midplanes) const {
+  int row = config_.midplanes_per_row;
+  if (midplanes <= row) {
+    // Aligned run inside any single row.
+    for (int r = 0; r < config_.rows; ++r) {
+      for (int off = 0; off + midplanes <= row; off += midplanes) {
+        int start = r * row + off;
+        if (RunFree(start, midplanes)) return start;
+      }
+    }
+    return -1;
+  }
+  // Whole-row groups: contiguous rows.
+  int rows_needed = midplanes / row;
+  for (int r = 0; r + rows_needed <= config_.rows; ++r) {
+    int start = r * row;
+    if (RunFree(start, rows_needed * row)) return start;
+  }
+  return -1;
+}
+
+bool Machine::CanAllocate(int requested_nodes) const {
+  int mps = BlockMidplanesFor(requested_nodes);
+  if (mps < 0) return false;
+  return FindFreeRun(mps) >= 0;
+}
+
+std::optional<Partition> Machine::Allocate(int requested_nodes) {
+  int mps = BlockMidplanesFor(requested_nodes);
+  if (mps < 0) return std::nullopt;
+  int start = FindFreeRun(mps);
+  if (start < 0) return std::nullopt;
+  for (int i = start; i < start + mps; ++i) {
+    occupied_[static_cast<std::size_t>(i)] = true;
+  }
+  busy_midplanes_ += mps;
+  busy_nodes_ += mps * config_.nodes_per_midplane;
+  return Partition{start, mps, mps * config_.nodes_per_midplane};
+}
+
+void Machine::Release(const Partition& partition) {
+  if (!partition.valid() ||
+      partition.first_midplane + partition.midplane_count >
+          config_.total_midplanes()) {
+    throw std::invalid_argument("Machine::Release: bogus partition");
+  }
+  for (int i = partition.first_midplane;
+       i < partition.first_midplane + partition.midplane_count; ++i) {
+    if (!occupied_[static_cast<std::size_t>(i)]) {
+      throw std::logic_error("Machine::Release: midplane already free");
+    }
+    occupied_[static_cast<std::size_t>(i)] = false;
+  }
+  busy_midplanes_ -= partition.midplane_count;
+  busy_nodes_ -= partition.nodes;
+}
+
+}  // namespace iosched::machine

@@ -1,0 +1,102 @@
+// Blue Gene/Q-style machine model with partition-based exclusive allocation.
+//
+// Mira (Section II of the paper): 48 racks in 3 rows of 16; each rack has two
+// 512-node midplanes, so 96 midplanes / 49,152 nodes. The smallest
+// allocatable partition is one midplane (512 nodes). Larger partitions are
+// power-of-two groups of midplanes aligned inside a 32-midplane row
+// (512..16,384 nodes); two adjacent rows form a 32,768-node partition and
+// all three rows the full 49,152-node machine. Compute resources inside a
+// partition are dedicated to the job running on it (exclusive allocation),
+// exactly as Cobalt does on Mira.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace iosched::machine {
+
+/// Geometry and I/O capability of the modeled system.
+struct MachineConfig {
+  int nodes_per_midplane = 512;
+  int midplanes_per_row = 32;
+  int rows = 3;
+  /// Per-compute-node injection bandwidth into the I/O network, GB/s.
+  /// Mira: 1536 GB/s aggregate over 49,152 nodes = 0.03125 GB/s per node.
+  double node_bandwidth_gbps = 1536.0 / 49152.0;
+
+  int total_midplanes() const { return midplanes_per_row * rows; }
+  int total_nodes() const { return total_midplanes() * nodes_per_midplane; }
+
+  /// The production Mira configuration (defaults above).
+  static MachineConfig Mira();
+  /// Mira's predecessor Intrepid (IBM Blue Gene/P): 40 racks in 5 rows of
+  /// 8, 40,960 nodes, ~88 GB/s storage-era injection fabric (approximate
+  /// public numbers; the paper quotes Intrepid at 0.5 PF with ~1/3 of
+  /// Mira's I/O throughput).
+  static MachineConfig Intrepid();
+  /// A small test machine: 1 row of 8 midplanes (4,096 nodes).
+  static MachineConfig Small();
+};
+
+/// A granted partition: a contiguous aligned run of midplanes.
+struct Partition {
+  int first_midplane = 0;
+  int midplane_count = 0;
+  /// Total nodes in the partition (may exceed the job's request).
+  int nodes = 0;
+
+  bool valid() const { return midplane_count > 0; }
+};
+
+/// Tracks midplane occupancy and implements the partition allocator.
+class Machine {
+ public:
+  explicit Machine(MachineConfig config);
+
+  const MachineConfig& config() const { return config_; }
+  int total_nodes() const { return config_.total_nodes(); }
+
+  /// Nodes currently inside allocated partitions (includes internal
+  /// fragmentation when a job's request is smaller than its block).
+  int busy_nodes() const { return busy_nodes_; }
+  int free_nodes() const { return total_nodes() - busy_nodes_; }
+  /// Number of midplanes currently allocated.
+  int busy_midplanes() const { return busy_midplanes_; }
+
+  /// Smallest allocatable block (in nodes) that can hold `requested_nodes`,
+  /// or nullopt when the request exceeds the machine.
+  std::optional<int> BlockNodesFor(int requested_nodes) const;
+
+  /// True when a partition for `requested_nodes` could be carved out of the
+  /// current free midplanes (used by the backfill planner).
+  bool CanAllocate(int requested_nodes) const;
+
+  /// Allocate a partition for `requested_nodes`; nullopt when no aligned
+  /// free block exists. Deterministic: lowest-numbered candidate wins.
+  std::optional<Partition> Allocate(int requested_nodes);
+
+  /// Return a partition's midplanes to the free pool. Throws on a partition
+  /// that is not currently allocated exactly as given.
+  void Release(const Partition& partition);
+
+  /// Occupancy bitmap (one flag per midplane), for tests and visualization.
+  const std::vector<bool>& occupancy() const { return occupied_; }
+
+ private:
+  /// Midplane count of the block serving `requested_nodes` (1,2,4,...,row,
+  /// 2*row, 3*row), or -1 when impossible.
+  int BlockMidplanesFor(int requested_nodes) const;
+  /// Find the lowest feasible start index for an aligned free run of
+  /// `midplanes`, or -1.
+  int FindFreeRun(int midplanes) const;
+  bool RunFree(int start, int count) const;
+
+  MachineConfig config_;
+  std::vector<bool> occupied_;
+  int busy_nodes_ = 0;
+  int busy_midplanes_ = 0;
+};
+
+}  // namespace iosched::machine

@@ -1,0 +1,100 @@
+#include "metrics/bandwidth.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace iosched::metrics {
+
+BandwidthTracker::BandwidthTracker(double max_bandwidth_gbps)
+    : max_bandwidth_(max_bandwidth_gbps) {
+  if (max_bandwidth_ <= 0) {
+    throw std::invalid_argument("BandwidthTracker: non-positive BWmax");
+  }
+}
+
+void BandwidthTracker::Record(const BandwidthSample& sample) {
+  if (sample.demand_gbps < 0 || sample.granted_gbps < 0 ||
+      sample.suspended_requests < 0 ||
+      sample.suspended_requests > sample.active_requests) {
+    throw std::invalid_argument("BandwidthTracker: bogus sample");
+  }
+  if (!samples_.empty()) {
+    if (sample.time < samples_.back().time - util::kTimeEpsilon) {
+      throw std::logic_error("BandwidthTracker: time went backwards");
+    }
+    if (sample.time <= samples_.back().time + util::kTimeEpsilon) {
+      samples_.back() = sample;
+      return;
+    }
+  }
+  samples_.push_back(sample);
+}
+
+std::vector<CongestionEpisode> BandwidthTracker::Episodes() const {
+  std::vector<CongestionEpisode> episodes;
+  bool in_episode = false;
+  CongestionEpisode current;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const BandwidthSample& s = samples_[i];
+    bool congested = s.demand_gbps > max_bandwidth_;
+    if (congested && !in_episode) {
+      in_episode = true;
+      current = CongestionEpisode{s.time, s.time, s.demand_gbps / max_bandwidth_};
+    } else if (congested && in_episode) {
+      current.peak_overload =
+          std::max(current.peak_overload, s.demand_gbps / max_bandwidth_);
+    } else if (!congested && in_episode) {
+      current.end = s.time;
+      episodes.push_back(current);
+      in_episode = false;
+    }
+  }
+  if (in_episode) {
+    current.end = samples_.back().time;
+    episodes.push_back(current);
+  }
+  return episodes;
+}
+
+BandwidthSummary BandwidthTracker::Summarize() const {
+  BandwidthSummary summary;
+  if (samples_.size() < 2) return summary;
+  double span = samples_.back().time - samples_.front().time;
+  summary.time_span = span;
+  if (span <= 0) return summary;
+
+  double congested_time = 0.0;
+  double demand_integral = 0.0;
+  double granted_integral = 0.0;
+  double wasted_integral = 0.0;
+  for (std::size_t i = 0; i + 1 < samples_.size(); ++i) {
+    const BandwidthSample& s = samples_[i];
+    double dt = samples_[i + 1].time - s.time;
+    if (s.demand_gbps > max_bandwidth_) congested_time += dt;
+    demand_integral += s.demand_gbps * dt;
+    granted_integral += s.granted_gbps * dt;
+    double usable = std::min(s.demand_gbps, max_bandwidth_);
+    wasted_integral += std::max(0.0, usable - s.granted_gbps) * dt;
+  }
+  summary.congested_fraction = congested_time / span;
+  summary.mean_demand_gbps = demand_integral / span;
+  summary.mean_granted_gbps = granted_integral / span;
+  summary.mean_wasted_gbps = wasted_integral / span;
+
+  auto episodes = Episodes();
+  summary.episode_count = episodes.size();
+  double total = 0.0;
+  for (const CongestionEpisode& e : episodes) {
+    total += e.Duration();
+    summary.max_episode_seconds =
+        std::max(summary.max_episode_seconds, e.Duration());
+  }
+  if (!episodes.empty()) {
+    summary.mean_episode_seconds = total / static_cast<double>(episodes.size());
+  }
+  return summary;
+}
+
+}  // namespace iosched::metrics

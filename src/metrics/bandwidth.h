@@ -1,0 +1,82 @@
+// Storage-bandwidth accounting: demand vs grant over time and congestion
+// episodes.
+//
+// The I/O scheduler reports, at every scheduling cycle, the aggregate
+// demand (sum of active requests' full rates), the aggregate granted rate,
+// and the number of suspended requests. From that step function this module
+// derives the paper-relevant facts: how often the storage is congested, how
+// long episodes last, how much bandwidth the policy leaves unused while
+// requests are suspended (the "waste" the adaptive policy attacks), and
+// time-weighted averages.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace iosched::metrics {
+
+/// One scheduling-cycle sample.
+struct BandwidthSample {
+  sim::SimTime time = 0.0;
+  /// Sum of active requests' full rates (GB/s).
+  double demand_gbps = 0.0;
+  /// Sum of granted rates (GB/s).
+  double granted_gbps = 0.0;
+  /// Requests with a zero grant.
+  int suspended_requests = 0;
+  /// Total in-flight requests.
+  int active_requests = 0;
+};
+
+/// A maximal interval during which demand exceeded BWmax.
+struct CongestionEpisode {
+  sim::SimTime start = 0.0;
+  sim::SimTime end = 0.0;
+  /// Peak demand/BWmax ratio seen within the episode (>= 1).
+  double peak_overload = 1.0;
+
+  double Duration() const { return end - start; }
+};
+
+struct BandwidthSummary {
+  double time_span = 0.0;
+  /// Fraction of time with demand > BWmax.
+  double congested_fraction = 0.0;
+  std::size_t episode_count = 0;
+  double mean_episode_seconds = 0.0;
+  double max_episode_seconds = 0.0;
+  /// Time-weighted mean demand and grant (GB/s).
+  double mean_demand_gbps = 0.0;
+  double mean_granted_gbps = 0.0;
+  /// Time-weighted mean of (min(demand, BWmax) - granted), the bandwidth
+  /// the policy left idle although requests wanted it (GB/s).
+  double mean_wasted_gbps = 0.0;
+};
+
+class BandwidthTracker {
+ public:
+  /// `max_bandwidth_gbps` is the BWmax threshold for congestion.
+  explicit BandwidthTracker(double max_bandwidth_gbps);
+
+  /// Record a scheduling-cycle sample; times must be non-decreasing.
+  /// Samples at the same instant overwrite (last cycle of the instant wins).
+  void Record(const BandwidthSample& sample);
+
+  std::size_t sample_count() const { return samples_.size(); }
+  const std::vector<BandwidthSample>& samples() const { return samples_; }
+  double max_bandwidth() const { return max_bandwidth_; }
+
+  /// Maximal demand>BWmax intervals, in time order.
+  std::vector<CongestionEpisode> Episodes() const;
+
+  /// Aggregate the whole series.
+  BandwidthSummary Summarize() const;
+
+ private:
+  double max_bandwidth_;
+  std::vector<BandwidthSample> samples_;
+};
+
+}  // namespace iosched::metrics

@@ -1,0 +1,67 @@
+#include "metrics/breakdown.h"
+
+#include <cstdio>
+
+#include "util/units.h"
+
+namespace iosched::metrics {
+
+std::vector<ClassSummary> BreakdownBy(
+    const JobRecords& records,
+    const std::function<std::string(const JobRecord&)>& key) {
+  std::map<std::string, ClassSummary> groups;
+  for (const JobRecord& r : records) {
+    ClassSummary& g = groups[key(r)];
+    ++g.job_count;
+    g.avg_wait_seconds += r.WaitTime();
+    g.avg_response_seconds += r.ResponseTime();
+    g.avg_runtime_expansion += r.RuntimeExpansion();
+    g.avg_io_slowdown += r.IoSlowdown();
+    g.total_node_seconds +=
+        static_cast<double>(r.allocated_nodes) * r.Runtime();
+  }
+  std::vector<ClassSummary> out;
+  out.reserve(groups.size());
+  for (auto& [label, g] : groups) {
+    auto n = static_cast<double>(g.job_count);
+    g.label = label;
+    g.avg_wait_seconds /= n;
+    g.avg_response_seconds /= n;
+    g.avg_runtime_expansion /= n;
+    g.avg_io_slowdown /= n;
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+std::vector<ClassSummary> BreakdownBySize(const JobRecords& records) {
+  auto out = BreakdownBy(records, [](const JobRecord& r) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%6d", r.requested_nodes);
+    return std::string(buf);
+  });
+  for (ClassSummary& c : out) {
+    // Strip the sort padding for display.
+    std::size_t pos = c.label.find_first_not_of(' ');
+    c.label = c.label.substr(pos);
+  }
+  return out;
+}
+
+util::Table BreakdownTable(const std::vector<ClassSummary>& classes) {
+  util::Table table({"class", "jobs", "avg wait (min)", "avg response (min)",
+                     "runtime stretch", "io slowdown", "node-hours"});
+  for (const ClassSummary& c : classes) {
+    table.AddRow({c.label, std::to_string(c.job_count),
+                  util::Table::Num(
+                      util::SecondsToMinutes(c.avg_wait_seconds), 1),
+                  util::Table::Num(
+                      util::SecondsToMinutes(c.avg_response_seconds), 1),
+                  util::Table::Num(c.avg_runtime_expansion, 3),
+                  util::Table::Num(c.avg_io_slowdown, 3),
+                  util::Table::Num(c.total_node_seconds / 3600.0, 0)});
+  }
+  return table;
+}
+
+}  // namespace iosched::metrics

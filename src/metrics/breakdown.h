@@ -1,0 +1,40 @@
+// Per-class breakdowns of job outcomes: group records by job size (or any
+// key) and summarize wait/response/slowdown per group. This is the analysis
+// that exposes *why* a policy moves the averages — e.g. the even-split
+// BASE_LINE squeezing capability-class (8K+ node) jobs.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/job_record.h"
+#include "util/table.h"
+
+namespace iosched::metrics {
+
+struct ClassSummary {
+  std::string label;
+  std::size_t job_count = 0;
+  double avg_wait_seconds = 0.0;
+  double avg_response_seconds = 0.0;
+  double avg_runtime_expansion = 1.0;
+  double avg_io_slowdown = 1.0;
+  double total_node_seconds = 0.0;
+};
+
+/// Group records with `key` and summarize each group. Groups are returned
+/// in ascending key order.
+std::vector<ClassSummary> BreakdownBy(
+    const JobRecords& records,
+    const std::function<std::string(const JobRecord&)>& key);
+
+/// Standard size classes on power-of-two boundaries: "512", "1024", ...
+/// (keyed by requested nodes; labels are zero-padded for sort order).
+std::vector<ClassSummary> BreakdownBySize(const JobRecords& records);
+
+/// Render a breakdown as an aligned table (times in minutes).
+util::Table BreakdownTable(const std::vector<ClassSummary>& classes);
+
+}  // namespace iosched::metrics

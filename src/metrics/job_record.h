@@ -1,0 +1,46 @@
+// Per-job outcome record produced by a simulation run.
+#pragma once
+
+#include <vector>
+
+#include "workload/job.h"
+
+namespace iosched::metrics {
+
+struct JobRecord {
+  workload::JobId id = 0;
+  int requested_nodes = 0;
+  /// Nodes in the granted partition (>= requested: internal fragmentation).
+  int allocated_nodes = 0;
+  double submit_time = 0.0;
+  double start_time = 0.0;
+  double end_time = 0.0;
+  /// Runtime the job would have had with zero I/O congestion.
+  double uncongested_runtime = 0.0;
+  double requested_walltime = 0.0;
+  /// Seconds actually spent inside I/O requests (incl. suspension).
+  double io_time_actual = 0.0;
+  /// Seconds I/O would have taken at full rate b*N.
+  double io_time_uncongested = 0.0;
+  int io_phase_count = 0;
+  /// True when the scheduler killed the job at its requested walltime
+  /// (enforce_walltime mode) instead of the job completing its phases.
+  bool killed = false;
+
+  double WaitTime() const { return start_time - submit_time; }
+  double ResponseTime() const { return end_time - submit_time; }
+  double Runtime() const { return end_time - start_time; }
+  /// Runtime stretch caused by I/O congestion (>= 1 up to float noise).
+  double RuntimeExpansion() const {
+    return uncongested_runtime > 0 ? Runtime() / uncongested_runtime : 1.0;
+  }
+  /// I/O slowdown over the whole job (>= 1 when congested).
+  double IoSlowdown() const {
+    return io_time_uncongested > 0 ? io_time_actual / io_time_uncongested
+                                   : 1.0;
+  }
+};
+
+using JobRecords = std::vector<JobRecord>;
+
+}  // namespace iosched::metrics

@@ -1,0 +1,100 @@
+#include "metrics/report.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace iosched::metrics {
+
+Report Summarize(const JobRecords& records, const UtilizationTracker& util,
+                 double warmup_fraction, double cooldown_fraction) {
+  Report report;
+  report.job_count = records.size();
+  report.utilization =
+      util.sample_count() > 0
+          ? util.StableUtilization(warmup_fraction, cooldown_fraction)
+          : 0.0;
+  if (records.empty()) return report;
+
+  std::vector<double> waits;
+  std::vector<double> responses;
+  waits.reserve(records.size());
+  responses.reserve(records.size());
+  util::RunningStats runtime_stats;
+  util::RunningStats expansion_stats;
+  util::RunningStats io_slowdown_stats;
+  util::RunningStats bounded_slowdown_stats;
+  constexpr double kSlowdownBoundSeconds = 600.0;
+  double first_submit = records.front().submit_time;
+  double last_end = records.front().end_time;
+  for (const JobRecord& r : records) {
+    waits.push_back(r.WaitTime());
+    responses.push_back(r.ResponseTime());
+    runtime_stats.Add(r.Runtime());
+    expansion_stats.Add(r.RuntimeExpansion());
+    if (r.io_time_uncongested > 0) io_slowdown_stats.Add(r.IoSlowdown());
+    bounded_slowdown_stats.Add(std::max(
+        1.0, r.ResponseTime() / std::max(r.Runtime(), kSlowdownBoundSeconds)));
+    first_submit = std::min(first_submit, r.submit_time);
+    last_end = std::max(last_end, r.end_time);
+  }
+  util::Summary wait_summary(waits);
+  util::Summary response_summary(responses);
+  report.avg_wait_seconds = wait_summary.mean();
+  report.avg_response_seconds = response_summary.mean();
+  report.p90_wait_seconds = wait_summary.p90();
+  report.p90_response_seconds = response_summary.p90();
+  report.max_wait_seconds = wait_summary.max();
+  report.avg_bounded_slowdown = bounded_slowdown_stats.mean();
+  report.avg_runtime_seconds = runtime_stats.mean();
+  report.avg_runtime_expansion =
+      expansion_stats.count() ? expansion_stats.mean() : 1.0;
+  report.avg_io_slowdown =
+      io_slowdown_stats.count() ? io_slowdown_stats.mean() : 1.0;
+  report.makespan_seconds = last_end - first_submit;
+  return report;
+}
+
+void WriteRecordsCsv(std::ostream& out, const JobRecords& records) {
+  util::CsvWriter csv(out);
+  csv.Header({"job_id", "requested_nodes", "allocated_nodes", "submit",
+              "start", "end", "wait", "response", "runtime",
+              "uncongested_runtime", "expansion", "io_time_actual",
+              "io_time_uncongested", "io_phases", "killed"});
+  for (const JobRecord& r : records) {
+    csv.Row()
+        .Add(static_cast<long long>(r.id))
+        .Add(r.requested_nodes)
+        .Add(r.allocated_nodes)
+        .Add(r.submit_time)
+        .Add(r.start_time)
+        .Add(r.end_time)
+        .Add(r.WaitTime())
+        .Add(r.ResponseTime())
+        .Add(r.Runtime())
+        .Add(r.uncongested_runtime)
+        .Add(r.RuntimeExpansion())
+        .Add(r.io_time_actual)
+        .Add(r.io_time_uncongested)
+        .Add(r.io_phase_count)
+        .Add(std::string_view(r.killed ? "1" : "0"));
+  }
+}
+
+std::string ToString(const Report& report) {
+  std::ostringstream os;
+  os << "jobs=" << report.job_count
+     << " avg_wait=" << util::SecondsToMinutes(report.avg_wait_seconds)
+     << "min avg_response="
+     << util::SecondsToMinutes(report.avg_response_seconds)
+     << "min utilization=" << report.utilization * 100.0 << "%"
+     << " avg_expansion=" << report.avg_runtime_expansion
+     << " avg_io_slowdown=" << report.avg_io_slowdown;
+  return os.str();
+}
+
+}  // namespace iosched::metrics

@@ -1,0 +1,52 @@
+// Aggregate report over a simulation run: the three metrics the paper
+// evaluates (average wait time, average response time, stable-window system
+// utilization) plus diagnostics that explain *why* a policy wins (runtime
+// expansion, I/O slowdown).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "metrics/job_record.h"
+#include "metrics/utilization.h"
+
+namespace iosched::metrics {
+
+struct Report {
+  std::size_t job_count = 0;
+  /// Paper's evaluation metrics (seconds; convert with SecondsToMinutes).
+  double avg_wait_seconds = 0.0;
+  double avg_response_seconds = 0.0;
+  double utilization = 0.0;  // stable window, 0..1
+
+  /// Distribution tails for wait/response (seconds).
+  double p90_wait_seconds = 0.0;
+  double p90_response_seconds = 0.0;
+  double max_wait_seconds = 0.0;
+
+  /// Average bounded slowdown: response / max(runtime, 600 s), floored at
+  /// 1 — the standard queueing-fairness metric (the 10-minute bound keeps
+  /// tiny jobs from dominating the mean).
+  double avg_bounded_slowdown = 1.0;
+
+  /// Diagnostics.
+  double avg_runtime_seconds = 0.0;
+  double avg_runtime_expansion = 1.0;  // actual / uncongested
+  double avg_io_slowdown = 1.0;        // actual / uncongested I/O time
+  double makespan_seconds = 0.0;       // first submit .. last completion
+  double total_io_gb = 0.0;
+};
+
+/// Build a report from per-job records and the utilization tracker.
+/// `warmup_fraction`/`cooldown_fraction` select the stable window.
+Report Summarize(const JobRecords& records, const UtilizationTracker& util,
+                 double warmup_fraction = 0.05,
+                 double cooldown_fraction = 0.05);
+
+/// Write the per-job records as CSV (for offline analysis/plotting).
+void WriteRecordsCsv(std::ostream& out, const JobRecords& records);
+
+/// One-paragraph human-readable rendering.
+std::string ToString(const Report& report);
+
+}  // namespace iosched::metrics

@@ -1,0 +1,126 @@
+#include "metrics/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace iosched::metrics {
+
+namespace {
+/// Accumulate `value` over [lo, hi) into the bucketed series (time-weighted
+/// mean per bucket).
+void Accumulate(TimelineSeries& series, std::vector<double>& weights,
+                double lo, double hi, double value) {
+  if (hi <= lo) return;
+  double rel_lo = lo - series.start_time;
+  double rel_hi = hi - series.start_time;
+  auto first = static_cast<std::size_t>(
+      std::max(0.0, std::floor(rel_lo / series.bucket_seconds)));
+  for (std::size_t b = first; b < series.values.size(); ++b) {
+    double bucket_lo = static_cast<double>(b) * series.bucket_seconds;
+    double bucket_hi = bucket_lo + series.bucket_seconds;
+    if (bucket_lo >= rel_hi) break;
+    double overlap =
+        std::min(bucket_hi, rel_hi) - std::max(bucket_lo, rel_lo);
+    if (overlap > 0) {
+      series.values[b] += value * overlap;
+      weights[b] += overlap;
+    }
+  }
+}
+
+void Normalize(TimelineSeries& series, const std::vector<double>& weights) {
+  for (std::size_t b = 0; b < series.values.size(); ++b) {
+    if (weights[b] > 0) series.values[b] /= weights[b];
+  }
+}
+}  // namespace
+
+TimelineSeries OccupancyTimeline(const JobRecords& records, int total_nodes,
+                                 double bucket_seconds) {
+  if (total_nodes <= 0 || bucket_seconds <= 0) {
+    throw std::invalid_argument("OccupancyTimeline: bad parameters");
+  }
+  TimelineSeries series;
+  series.bucket_seconds = bucket_seconds;
+  if (records.empty()) return series;
+
+  double t0 = records.front().start_time;
+  double t1 = records.front().end_time;
+  for (const JobRecord& r : records) {
+    t0 = std::min(t0, r.start_time);
+    t1 = std::max(t1, r.end_time);
+  }
+  series.start_time = t0;
+  auto buckets = static_cast<std::size_t>(
+      std::ceil((t1 - t0) / bucket_seconds));
+  series.values.assign(std::max<std::size_t>(buckets, 1), 0.0);
+
+  // Sum allocated-node time per bucket, then divide by machine capacity.
+  std::vector<double> unused(series.values.size(), 0.0);
+  for (const JobRecord& r : records) {
+    Accumulate(series, unused, r.start_time, r.end_time,
+               static_cast<double>(r.allocated_nodes));
+  }
+  for (double& v : series.values) {
+    v /= bucket_seconds * static_cast<double>(total_nodes);
+    v = std::min(v, 1.0);  // partial last bucket round-off
+  }
+  return series;
+}
+
+TimelineSeries DemandTimeline(const BandwidthTracker& tracker,
+                              double bucket_seconds) {
+  if (bucket_seconds <= 0) {
+    throw std::invalid_argument("DemandTimeline: bad bucket size");
+  }
+  TimelineSeries series;
+  series.bucket_seconds = bucket_seconds;
+  const auto& samples = tracker.samples();
+  if (samples.size() < 2) return series;
+  series.start_time = samples.front().time;
+  double span = samples.back().time - samples.front().time;
+  auto buckets =
+      static_cast<std::size_t>(std::ceil(span / bucket_seconds));
+  series.values.assign(std::max<std::size_t>(buckets, 1), 0.0);
+  std::vector<double> weights(series.values.size(), 0.0);
+  for (std::size_t i = 0; i + 1 < samples.size(); ++i) {
+    Accumulate(series, weights, samples[i].time, samples[i + 1].time,
+               samples[i].demand_gbps / tracker.max_bandwidth());
+  }
+  Normalize(series, weights);
+  return series;
+}
+
+std::string RenderTimeline(const TimelineSeries& series, int height,
+                           double ceiling, double threshold) {
+  if (height <= 0 || ceiling <= 0) {
+    throw std::invalid_argument("RenderTimeline: bad height/ceiling");
+  }
+  if (series.values.empty()) return "(empty timeline)\n";
+  std::ostringstream os;
+  int threshold_row = -1;
+  if (threshold > 0 && threshold <= ceiling) {
+    threshold_row = static_cast<int>(
+        std::round(threshold / ceiling * height));
+  }
+  for (int row = height; row >= 1; --row) {
+    double row_value = ceiling * row / height;
+    os << (row == threshold_row ? '-' : ' ');
+    for (double v : series.values) {
+      if (v >= row_value - 1e-12) {
+        os << '#';
+      } else {
+        os << (row == threshold_row ? '-' : ' ');
+      }
+    }
+    os << '\n';
+  }
+  os << '+' << std::string(series.values.size(), '-') << "  (" <<
+      series.values.size() << " buckets x " << series.bucket_seconds
+     << " s, ceiling " << ceiling << ")\n";
+  return os.str();
+}
+
+}  // namespace iosched::metrics

@@ -1,0 +1,37 @@
+// ASCII timeline rendering: machine occupancy and storage demand over
+// simulated time, bucketed into fixed intervals. Gives an at-a-glance
+// picture of the diurnal load and the congestion bursts a policy faces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/bandwidth.h"
+#include "metrics/job_record.h"
+
+namespace iosched::metrics {
+
+/// Bucketed series: mean value of a step function per time bucket.
+struct TimelineSeries {
+  double bucket_seconds = 0.0;
+  double start_time = 0.0;
+  std::vector<double> values;
+};
+
+/// Machine occupancy (busy-node fraction, 0..1 per bucket) reconstructed
+/// from job records (allocated nodes over [start, end)).
+TimelineSeries OccupancyTimeline(const JobRecords& records, int total_nodes,
+                                 double bucket_seconds);
+
+/// Storage demand relative to BWmax (can exceed 1) per bucket, from
+/// bandwidth samples.
+TimelineSeries DemandTimeline(const BandwidthTracker& tracker,
+                              double bucket_seconds);
+
+/// Render as a fixed-height ASCII strip chart. `ceiling` is the value that
+/// maps to the top row (values above are clipped); a marker row is drawn at
+/// `threshold` when it lies in (0, ceiling].
+std::string RenderTimeline(const TimelineSeries& series, int height,
+                           double ceiling, double threshold = 0.0);
+
+}  // namespace iosched::metrics

@@ -1,0 +1,83 @@
+#include "metrics/utilization.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace iosched::metrics {
+
+UtilizationTracker::UtilizationTracker(int total_nodes)
+    : total_nodes_(total_nodes) {
+  if (total_nodes <= 0) {
+    throw std::invalid_argument("UtilizationTracker: non-positive node count");
+  }
+}
+
+void UtilizationTracker::Record(sim::SimTime time, int busy_nodes) {
+  if (busy_nodes < 0 || busy_nodes > total_nodes_) {
+    throw std::invalid_argument("UtilizationTracker: busy nodes out of range");
+  }
+  if (!times_.empty()) {
+    if (time < times_.back() - util::kTimeEpsilon) {
+      throw std::logic_error("UtilizationTracker: time went backwards");
+    }
+    if (time <= times_.back() + util::kTimeEpsilon) {
+      busy_.back() = busy_nodes;  // same instant: overwrite
+      return;
+    }
+  }
+  // Skip no-op samples to keep the series compact.
+  if (!busy_.empty() && busy_.back() == busy_nodes) return;
+  times_.push_back(time);
+  busy_.push_back(busy_nodes);
+}
+
+double UtilizationTracker::BusyNodeSeconds(sim::SimTime t0,
+                                           sim::SimTime t1) const {
+  if (t1 <= t0 || times_.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    sim::SimTime seg_start = times_[i];
+    sim::SimTime seg_end =
+        i + 1 < times_.size() ? times_[i + 1] : std::max(t1, times_.back());
+    double lo = std::max(seg_start, t0);
+    double hi = std::min(seg_end, t1);
+    if (hi > lo) total += static_cast<double>(busy_[i]) * (hi - lo);
+  }
+  return total;
+}
+
+double UtilizationTracker::Utilization(sim::SimTime t0,
+                                       sim::SimTime t1) const {
+  if (t1 <= t0) return 0.0;
+  return BusyNodeSeconds(t0, t1) /
+         (static_cast<double>(total_nodes_) * (t1 - t0));
+}
+
+double UtilizationTracker::StableUtilization(double warmup_fraction,
+                                             double cooldown_fraction) const {
+  if (times_.empty()) return 0.0;
+  if (warmup_fraction < 0 || cooldown_fraction < 0 ||
+      warmup_fraction + cooldown_fraction >= 1.0) {
+    throw std::invalid_argument("StableUtilization: bad window fractions");
+  }
+  sim::SimTime lo = times_.front();
+  sim::SimTime hi = times_.back();
+  double span = hi - lo;
+  if (span <= 0) return 0.0;
+  return Utilization(lo + warmup_fraction * span,
+                     hi - cooldown_fraction * span);
+}
+
+sim::SimTime UtilizationTracker::first_time() const {
+  if (times_.empty()) throw std::logic_error("UtilizationTracker: no samples");
+  return times_.front();
+}
+
+sim::SimTime UtilizationTracker::last_time() const {
+  if (times_.empty()) throw std::logic_error("UtilizationTracker: no samples");
+  return times_.back();
+}
+
+}  // namespace iosched::metrics

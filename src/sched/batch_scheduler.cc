@@ -1,0 +1,140 @@
+#include "sched/batch_scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "util/units.h"
+
+namespace iosched::sched {
+
+BatchScheduler::BatchScheduler(machine::Machine& machine, Options options)
+    : machine_(machine), options_(options) {}
+
+void BatchScheduler::Submit(const workload::Job& job) {
+  std::string err = job.Validate();
+  if (!err.empty()) {
+    throw std::invalid_argument("Submit: invalid job " +
+                                std::to_string(job.id) + ": " + err);
+  }
+  if (!machine_.BlockNodesFor(job.nodes)) {
+    throw std::invalid_argument("Submit: job " + std::to_string(job.id) +
+                                " larger than the machine");
+  }
+  queue_.push_back(&job);
+}
+
+sim::SimTime BatchScheduler::ShadowTime(const workload::Job& head,
+                                        sim::SimTime now) const {
+  machine::Machine scratch = machine_;
+  if (scratch.CanAllocate(head.nodes)) return now;
+
+  // Release running partitions in predicted-end order until the head fits.
+  std::vector<const RunningJob*> by_end;
+  by_end.reserve(running_.size());
+  for (const auto& [id, rj] : running_) by_end.push_back(&rj);
+  std::sort(by_end.begin(), by_end.end(),
+            [now](const RunningJob* a, const RunningJob* b) {
+              double ea = std::max(a->predicted_end, now);
+              double eb = std::max(b->predicted_end, now);
+              if (ea != eb) return ea < eb;
+              return a->job->id < b->job->id;
+            });
+  for (const RunningJob* rj : by_end) {
+    scratch.Release(rj->partition);
+    if (scratch.CanAllocate(head.nodes)) {
+      // A job that overran its estimate is treated as ending "now": the
+      // real Cobalt would see the same stale estimate.
+      return std::max(rj->predicted_end, now);
+    }
+  }
+  // With everything released the head must fit (size was validated at
+  // submit); fall back to the latest predicted end.
+  sim::SimTime latest = now;
+  for (const RunningJob* rj : by_end) {
+    latest = std::max(latest, rj->predicted_end);
+  }
+  return latest;
+}
+
+bool BatchScheduler::BackfillOk(const workload::Job& candidate,
+                                const machine::Partition& candidate_partition,
+                                const workload::Job& head, sim::SimTime now,
+                                sim::SimTime shadow) const {
+  (void)candidate_partition;
+  // Finishes before the reservation needs the space.
+  if (now + candidate.requested_walltime <= shadow + util::kTimeEpsilon) {
+    return true;
+  }
+  // Otherwise the head must still fit at shadow time with the candidate's
+  // partition occupied. machine_ already contains the candidate (the caller
+  // allocated it tentatively), so replay the releases up to `shadow`.
+  machine::Machine scratch = machine_;
+  for (const auto& [id, rj] : running_) {
+    if (std::max(rj.predicted_end, now) <= shadow + util::kTimeEpsilon) {
+      scratch.Release(rj.partition);
+    }
+  }
+  return scratch.CanAllocate(head.nodes);
+}
+
+std::vector<StartDecision> BatchScheduler::Schedule(sim::SimTime now) {
+  std::vector<StartDecision> decisions;
+  if (queue_.empty()) return decisions;
+
+  std::vector<const workload::Job*> ordered =
+      OrderQueue(queue_, options_.order, now);
+
+  const workload::Job* blocked_head = nullptr;
+  sim::SimTime shadow = 0.0;
+
+  for (const workload::Job* job : ordered) {
+    if (blocked_head == nullptr) {
+      auto partition = machine_.Allocate(job->nodes);
+      if (partition) {
+        decisions.push_back(StartDecision{job, *partition});
+        running_.emplace(job->id, RunningJob{job, *partition, now,
+                                             now + job->requested_walltime});
+        continue;
+      }
+      // First blocked job: it owns the reservation.
+      blocked_head = job;
+      if (!options_.easy_backfill) break;
+      shadow = ShadowTime(*job, now);
+      continue;
+    }
+    // Backfill phase.
+    auto partition = machine_.Allocate(job->nodes);
+    if (!partition) continue;
+    if (BackfillOk(*job, *partition, *blocked_head, now, shadow)) {
+      decisions.push_back(StartDecision{job, *partition});
+      running_.emplace(job->id, RunningJob{job, *partition, now,
+                                           now + job->requested_walltime});
+    } else {
+      machine_.Release(*partition);
+    }
+  }
+
+  if (!decisions.empty()) {
+    // Drop started jobs from the queue, preserving submission order.
+    queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                                [this](const workload::Job* j) {
+                                  return running_.count(j->id) > 0;
+                                }),
+                 queue_.end());
+  }
+  return decisions;
+}
+
+void BatchScheduler::OnJobEnd(workload::JobId id, sim::SimTime now) {
+  (void)now;
+  auto it = running_.find(id);
+  if (it == running_.end()) {
+    throw std::logic_error("OnJobEnd: job " + std::to_string(id) +
+                           " not running");
+  }
+  machine_.Release(it->second.partition);
+  running_.erase(it);
+}
+
+}  // namespace iosched::sched

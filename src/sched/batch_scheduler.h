@@ -1,0 +1,91 @@
+// Cobalt-like batch scheduler: wait-queue management, WFP/FCFS ordering,
+// partition allocation, and EASY backfilling.
+//
+// The scheduler is a pure decision component: it holds the queue and the
+// running set, and Schedule(now) returns the jobs to launch at `now`. The
+// simulation loop (src/core/simulation.*) invokes it on every job submission
+// and completion. Predicted end times come from requested walltimes — the
+// same information the real Cobalt has; jobs whose runtime stretches past
+// the estimate (I/O congestion!) simply hold their partitions longer, which
+// is exactly the coupling the paper exploits.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "machine/machine.h"
+#include "sched/queue_policy.h"
+#include "sim/time.h"
+#include "workload/job.h"
+
+namespace iosched::sched {
+
+/// A job holding a partition.
+struct RunningJob {
+  const workload::Job* job = nullptr;
+  machine::Partition partition;
+  sim::SimTime start_time = 0.0;
+  /// start + requested walltime; scheduling estimate only.
+  sim::SimTime predicted_end = 0.0;
+};
+
+/// A launch decision returned by Schedule().
+struct StartDecision {
+  const workload::Job* job = nullptr;
+  machine::Partition partition;
+};
+
+class BatchScheduler {
+ public:
+  struct Options {
+    QueueOrder order = QueueOrder::kWfp;
+    /// EASY backfilling: reserve for the queue head, backfill jobs that do
+    /// not delay the reservation. Off = plain first-fit in queue order that
+    /// stops at the first blocked job.
+    bool easy_backfill = true;
+  };
+
+  /// `machine` must outlive the scheduler.
+  BatchScheduler(machine::Machine& machine, Options options);
+
+  /// Add a job to the wait queue.
+  void Submit(const workload::Job& job);
+
+  /// Decide which queued jobs start at `now`; partitions are allocated as a
+  /// side effect. Call on every submission/completion event.
+  std::vector<StartDecision> Schedule(sim::SimTime now);
+
+  /// Release the partition of a finished job. Throws on unknown id.
+  void OnJobEnd(workload::JobId id, sim::SimTime now);
+
+  std::size_t queue_size() const { return queue_.size(); }
+  std::size_t running_count() const { return running_.size(); }
+  const std::unordered_map<workload::JobId, RunningJob>& running() const {
+    return running_;
+  }
+  const Options& options() const { return options_; }
+
+ private:
+  /// Earliest time the head job's block could be allocated, assuming
+  /// running jobs end at their predicted ends; also reports the machine
+  /// state snapshot at that time for the backfill feasibility test.
+  sim::SimTime ShadowTime(const workload::Job& head, sim::SimTime now) const;
+
+  /// True if starting `candidate` now cannot delay the reserved head job:
+  /// either it finishes (per its walltime) before the shadow time, or the
+  /// head job's block still fits with the candidate's partition occupied
+  /// at shadow time.
+  bool BackfillOk(const workload::Job& candidate,
+                  const machine::Partition& candidate_partition,
+                  const workload::Job& head, sim::SimTime now,
+                  sim::SimTime shadow) const;
+
+  machine::Machine& machine_;
+  Options options_;
+  std::vector<const workload::Job*> queue_;
+  std::unordered_map<workload::JobId, RunningJob> running_;
+};
+
+}  // namespace iosched::sched

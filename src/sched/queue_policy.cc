@@ -1,0 +1,59 @@
+#include "sched/queue_policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace iosched::sched {
+
+QueueOrder ParseQueueOrder(const std::string& name) {
+  std::string n = util::ToLower(name);
+  if (n == "fcfs") return QueueOrder::kFcfs;
+  if (n == "wfp") return QueueOrder::kWfp;
+  throw std::invalid_argument("unknown queue order: " + name);
+}
+
+std::string ToString(QueueOrder order) {
+  switch (order) {
+    case QueueOrder::kFcfs: return "fcfs";
+    case QueueOrder::kWfp: return "wfp";
+  }
+  return "?";
+}
+
+double WfpScore(const workload::Job& job, sim::SimTime now) {
+  double wait = std::max(0.0, now - job.submit_time);
+  double walltime = std::max(1.0, job.requested_walltime);
+  double ratio = wait / walltime;
+  return ratio * ratio * ratio * static_cast<double>(job.nodes);
+}
+
+std::vector<const workload::Job*> OrderQueue(
+    std::span<const workload::Job* const> queue, QueueOrder order,
+    sim::SimTime now) {
+  std::vector<const workload::Job*> out(queue.begin(), queue.end());
+  auto fcfs_tie = [](const workload::Job* a, const workload::Job* b) {
+    if (a->submit_time != b->submit_time) {
+      return a->submit_time < b->submit_time;
+    }
+    return a->id < b->id;
+  };
+  switch (order) {
+    case QueueOrder::kFcfs:
+      std::sort(out.begin(), out.end(), fcfs_tie);
+      break;
+    case QueueOrder::kWfp:
+      std::sort(out.begin(), out.end(),
+                [&](const workload::Job* a, const workload::Job* b) {
+                  double sa = WfpScore(*a, now);
+                  double sb = WfpScore(*b, now);
+                  if (sa != sb) return sa > sb;
+                  return fcfs_tie(a, b);
+                });
+      break;
+  }
+  return out;
+}
+
+}  // namespace iosched::sched

@@ -1,0 +1,34 @@
+// Queue-ordering policies of the Cobalt batch scheduler (paper Section II-C).
+//
+// Cobalt on Mira orders the wait queue with "WFP", which favors large and
+// old jobs by growing a job's priority with the ratio of its wait time to
+// its requested runtime. We implement the WFP3 variant documented for
+// Argonne's Blue Gene systems: score = (wait / requested_walltime)^3 * nodes,
+// plus plain FCFS for comparison.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "workload/job.h"
+
+namespace iosched::sched {
+
+enum class QueueOrder { kFcfs, kWfp };
+
+/// Parse "fcfs" / "wfp" (case-insensitive); throws on unknown names.
+QueueOrder ParseQueueOrder(const std::string& name);
+std::string ToString(QueueOrder order);
+
+/// WFP priority score at time `now`; higher runs earlier.
+double WfpScore(const workload::Job& job, sim::SimTime now);
+
+/// Return queue entries sorted into service order (descending priority).
+/// Ties break by (submit time, id) so the order is total and deterministic.
+std::vector<const workload::Job*> OrderQueue(
+    std::span<const workload::Job* const> queue, QueueOrder order,
+    sim::SimTime now);
+
+}  // namespace iosched::sched

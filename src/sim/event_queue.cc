@@ -1,0 +1,56 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+
+namespace iosched::sim {
+
+EventId EventQueue::Push(SimTime time, std::function<void()> action) {
+  EventId id = next_id_++;
+  heap_.push(Entry{time, id});
+  actions_.emplace(id, std::move(action));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  auto it = actions_.find(id);
+  if (it == actions_.end()) return false;
+  actions_.erase(it);
+  cancelled_.insert(id);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::DropCancelledHead() const {
+  while (!heap_.empty() && cancelled_.count(heap_.top().id)) {
+    cancelled_.erase(heap_.top().id);
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::PeekTime() const {
+  DropCancelledHead();
+  if (heap_.empty()) throw std::logic_error("EventQueue::PeekTime on empty");
+  return heap_.top().time;
+}
+
+Event EventQueue::Pop() {
+  DropCancelledHead();
+  if (heap_.empty()) throw std::logic_error("EventQueue::Pop on empty");
+  Entry top = heap_.top();
+  heap_.pop();
+  auto it = actions_.find(top.id);
+  Event ev{top.time, top.id, std::move(it->second)};
+  actions_.erase(it);
+  --live_count_;
+  return ev;
+}
+
+void EventQueue::Clear() {
+  heap_ = {};
+  cancelled_.clear();
+  actions_.clear();
+  live_count_ = 0;
+}
+
+}  // namespace iosched::sim

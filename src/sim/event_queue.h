@@ -1,0 +1,79 @@
+// Cancellable priority event queue: the core data structure of the
+// discrete-event engine.
+//
+// Cancellation is lazy: cancelled entries stay in the heap and are skipped
+// on pop. This keeps Cancel() O(1) and is the standard technique for
+// simulators whose I/O-completion events are frequently rescheduled when
+// bandwidth shares change.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace iosched::sim {
+
+/// Identifier returned by Push; usable to Cancel the event later.
+using EventId = std::uint64_t;
+
+/// A schedulable event: time, FIFO tie-break sequence, action.
+struct Event {
+  SimTime time = 0.0;
+  EventId id = 0;
+  std::function<void()> action;
+};
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  /// Schedule `action` at `time`. Events at equal time pop in push order.
+  EventId Push(SimTime time, std::function<void()> action);
+
+  /// Cancel a pending event. Returns false if the event already ran, was
+  /// already cancelled, or never existed.
+  bool Cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  bool Empty() const { return live_count_ == 0; }
+
+  /// Number of live events.
+  std::size_t Size() const { return live_count_; }
+
+  /// Time of the next live event. Precondition: !Empty().
+  SimTime PeekTime() const;
+
+  /// Pop and return the next live event. Precondition: !Empty().
+  Event Pop();
+
+  /// Remove every pending event.
+  void Clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    // Min-heap on (time, id): earlier time first; FIFO within a timestamp.
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  void DropCancelledHead() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+      heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  std::unordered_map<EventId, std::function<void()>> actions_;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace iosched::sim

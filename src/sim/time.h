@@ -1,0 +1,15 @@
+// Simulated-time definitions shared across the engine and models.
+#pragma once
+
+#include <limits>
+
+namespace iosched::sim {
+
+/// Simulated time in seconds since the simulation epoch (t = 0).
+using SimTime = double;
+
+/// Sentinel "never" timestamp.
+inline constexpr SimTime kTimeInfinity =
+    std::numeric_limits<SimTime>::infinity();
+
+}  // namespace iosched::sim

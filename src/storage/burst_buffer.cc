@@ -1,0 +1,50 @@
+#include "storage/burst_buffer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace iosched::storage {
+
+BurstBuffer::BurstBuffer(BurstBufferConfig config) : config_(config) {
+  if (!config_.enabled()) {
+    throw std::invalid_argument(
+        "BurstBuffer: construct only with an enabled config (capacity and "
+        "drain bandwidth both positive)");
+  }
+}
+
+void BurstBuffer::AdvanceTo(sim::SimTime now) {
+  if (now < last_update_ - util::kTimeEpsilon) {
+    throw std::logic_error("BurstBuffer: time went backwards");
+  }
+  double dt = std::max(0.0, now - last_update_);
+  queued_gb_ = std::max(0.0, queued_gb_ - config_.drain_gbps * dt);
+  // Snap small remainders to empty (1 MB is physically nothing): without
+  // this the drain-empty wakeup can land at a future instant that double
+  // rounding maps back to `now`, re-arming the same event forever.
+  if (queued_gb_ <= 1e-3) queued_gb_ = 0.0;
+  last_update_ = std::max(last_update_, now);
+}
+
+bool BurstBuffer::CanAbsorb(double volume_gb) const {
+  return volume_gb > 0 && queued_gb_ + volume_gb <=
+                              config_.capacity_gb + util::kVolumeEpsilon;
+}
+
+void BurstBuffer::Absorb(double volume_gb) {
+  if (!CanAbsorb(volume_gb)) {
+    throw std::logic_error("BurstBuffer: Absorb without capacity");
+  }
+  queued_gb_ += volume_gb;
+  total_absorbed_gb_ += volume_gb;
+  ++absorbed_requests_;
+}
+
+sim::SimTime BurstBuffer::DrainEmptyTime() const {
+  if (queued_gb_ <= 0) return last_update_;
+  return last_update_ + queued_gb_ / config_.drain_gbps;
+}
+
+}  // namespace iosched::storage

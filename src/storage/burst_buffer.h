@@ -1,0 +1,67 @@
+// Burst-buffer tier (the architectural alternative the paper's related work
+// discusses: absorb bursty checkpoint I/O near the compute nodes and drain
+// it to the parallel file system in the background — Liu et al., MSST'12).
+//
+// Model: an I/O request whose volume fits in the buffer's free space is
+// absorbed at the job's full link rate (no storage-side contention) and its
+// volume is queued for draining. The drain runs whenever data is queued,
+// consuming a fixed bandwidth reservation *out of BWmax* — so heavy
+// absorption shrinks the bandwidth the I/O policy can grant to direct
+// (non-absorbed) traffic. Requests that do not fit go the direct path and
+// are scheduled by the policy as usual.
+#pragma once
+
+#include "sim/time.h"
+
+namespace iosched::storage {
+
+struct BurstBufferConfig {
+  /// Total staging capacity (GB). 0 disables the buffer.
+  double capacity_gb = 0.0;
+  /// Bandwidth reserved from BWmax while draining (GB/s).
+  double drain_gbps = 0.0;
+
+  bool enabled() const { return capacity_gb > 0 && drain_gbps > 0; }
+};
+
+class BurstBuffer {
+ public:
+  explicit BurstBuffer(BurstBufferConfig config);
+
+  const BurstBufferConfig& config() const { return config_; }
+
+  /// Advance the drain to `now` (piecewise-constant drain rate).
+  void AdvanceTo(sim::SimTime now);
+
+  /// True when `volume_gb` fits in the free space right now.
+  bool CanAbsorb(double volume_gb) const;
+
+  /// Stage `volume_gb`; requires CanAbsorb. Callers AdvanceTo(now) first.
+  void Absorb(double volume_gb);
+
+  /// Currently staged data awaiting drain (GB).
+  double queued_gb() const { return queued_gb_; }
+  double free_gb() const { return config_.capacity_gb - queued_gb_; }
+
+  /// Bandwidth the drain is consuming right now (GB/s).
+  double CurrentDrainRate() const {
+    return queued_gb_ > 0 ? config_.drain_gbps : 0.0;
+  }
+
+  /// When the queue empties under the current rate (kTimeInfinity when
+  /// already empty is never returned — returns last update time instead).
+  sim::SimTime DrainEmptyTime() const;
+
+  /// Lifetime counters (for reports).
+  double total_absorbed_gb() const { return total_absorbed_gb_; }
+  std::size_t absorbed_requests() const { return absorbed_requests_; }
+
+ private:
+  BurstBufferConfig config_;
+  double queued_gb_ = 0.0;
+  double total_absorbed_gb_ = 0.0;
+  std::size_t absorbed_requests_ = 0;
+  sim::SimTime last_update_ = 0.0;
+};
+
+}  // namespace iosched::storage

@@ -1,0 +1,195 @@
+#include "storage/storage_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "util/units.h"
+
+namespace iosched::storage {
+
+bool Transfer::Complete() const {
+  return RemainingGb() <= util::kVolumeEpsilon * std::max(1.0, volume_gb);
+}
+
+StorageModel::StorageModel(StorageConfig config) : config_(config) {
+  if (config_.max_bandwidth_gbps <= 0) {
+    throw std::invalid_argument("StorageModel: non-positive BWmax");
+  }
+}
+
+void StorageModel::Begin(workload::JobId job, int nodes, double full_rate_gbps,
+                         double volume_gb, sim::SimTime now) {
+  if (Has(job)) {
+    throw std::logic_error("StorageModel::Begin: job " + std::to_string(job) +
+                           " already transferring");
+  }
+  if (nodes <= 0 || full_rate_gbps <= 0 || volume_gb < 0) {
+    throw std::invalid_argument("StorageModel::Begin: bad transfer params");
+  }
+  AdvanceTo(now);
+  Transfer t;
+  t.job_id = job;
+  t.nodes = nodes;
+  t.full_rate_gbps = full_rate_gbps;
+  t.volume_gb = volume_gb;
+  t.request_arrival = now;
+  transfers_.push_back(t);
+}
+
+Transfer& StorageModel::GetMutable(workload::JobId job) {
+  for (Transfer& t : transfers_) {
+    if (t.job_id == job) return t;
+  }
+  throw std::logic_error("StorageModel: no transfer for job " +
+                         std::to_string(job));
+}
+
+void StorageModel::End(workload::JobId job) {
+  const Transfer& t = GetMutable(job);
+  if (!t.Complete()) {
+    throw std::logic_error("StorageModel::End: job " + std::to_string(job) +
+                           " not complete (" + std::to_string(t.RemainingGb()) +
+                           " GB remaining)");
+  }
+  Abort(job);
+}
+
+void StorageModel::Abort(workload::JobId job) {
+  auto it = std::find_if(transfers_.begin(), transfers_.end(),
+                         [job](const Transfer& t) { return t.job_id == job; });
+  if (it == transfers_.end()) {
+    throw std::logic_error("StorageModel::Abort: no transfer for job " +
+                           std::to_string(job));
+  }
+  transfers_.erase(it);
+}
+
+void StorageModel::ForceComplete(workload::JobId job, double max_sliver_gb) {
+  Transfer& t = GetMutable(job);
+  double sliver = t.RemainingGb();
+  if (sliver > max_sliver_gb) {
+    throw std::logic_error("StorageModel::ForceComplete: remaining " +
+                           std::to_string(sliver) + " GB exceeds the sliver "
+                           "threshold");
+  }
+  t.transferred_gb = t.volume_gb;
+}
+
+bool StorageModel::Has(workload::JobId job) const {
+  return std::any_of(transfers_.begin(), transfers_.end(),
+                     [job](const Transfer& t) { return t.job_id == job; });
+}
+
+const Transfer& StorageModel::Get(workload::JobId job) const {
+  for (const Transfer& t : transfers_) {
+    if (t.job_id == job) return t;
+  }
+  throw std::logic_error("StorageModel::Get: no transfer for job " +
+                         std::to_string(job));
+}
+
+std::vector<const Transfer*> StorageModel::ActiveByArrival() const {
+  std::vector<const Transfer*> out;
+  out.reserve(transfers_.size());
+  for (const Transfer& t : transfers_) out.push_back(&t);
+  std::sort(out.begin(), out.end(), [](const Transfer* a, const Transfer* b) {
+    if (a->request_arrival != b->request_arrival) {
+      return a->request_arrival < b->request_arrival;
+    }
+    return a->job_id < b->job_id;
+  });
+  return out;
+}
+
+void StorageModel::AdvanceTo(sim::SimTime now) {
+  if (now < last_update_ - util::kTimeEpsilon) {
+    throw std::logic_error("StorageModel::AdvanceTo: time went backwards");
+  }
+  double dt = std::max(0.0, now - last_update_);
+  if (dt > 0) {
+    for (Transfer& t : transfers_) {
+      if (t.rate_gbps > 0) {
+        t.transferred_gb =
+            std::min(t.volume_gb, t.transferred_gb + t.rate_gbps * dt);
+      }
+    }
+  }
+  last_update_ = std::max(last_update_, now);
+}
+
+void StorageModel::SetRate(workload::JobId job, double rate_gbps) {
+  Transfer& t = GetMutable(job);
+  if (rate_gbps < 0) {
+    throw std::invalid_argument("StorageModel::SetRate: negative rate");
+  }
+  // Allow a small relative tolerance for float round-off in shares.
+  if (rate_gbps > t.full_rate_gbps * (1.0 + 1e-9) + util::kVolumeEpsilon) {
+    throw std::invalid_argument(
+        "StorageModel::SetRate: rate exceeds job's full rate");
+  }
+  t.rate_gbps = std::min(rate_gbps, t.full_rate_gbps);
+}
+
+double StorageModel::TotalAssignedRate() const {
+  double total = 0.0;
+  for (const Transfer& t : transfers_) total += t.rate_gbps;
+  return total;
+}
+
+void StorageModel::ValidateAssignment() const {
+  if (!config_.enforce_capacity) return;
+  double total = TotalAssignedRate();
+  if (total > config_.max_bandwidth_gbps * (1.0 + 1e-6)) {
+    throw std::logic_error(
+        "StorageModel: assigned rates exceed BWmax (" + std::to_string(total) +
+        " > " + std::to_string(config_.max_bandwidth_gbps) + ")");
+  }
+}
+
+std::optional<std::pair<sim::SimTime, workload::JobId>>
+StorageModel::NextCompletion() const {
+  std::optional<std::pair<sim::SimTime, workload::JobId>> best;
+  for (const Transfer& t : transfers_) {
+    sim::SimTime finish;
+    if (t.Complete()) {
+      finish = last_update_;
+    } else if (t.rate_gbps > 0) {
+      finish = last_update_ + t.RemainingGb() / t.rate_gbps;
+    } else {
+      continue;  // suspended transfers never finish on their own
+    }
+    if (!best || finish < best->first ||
+        (finish == best->first && t.job_id < best->second)) {
+      best = {finish, t.job_id};
+    }
+  }
+  return best;
+}
+
+std::vector<std::pair<workload::JobId, double>> FairShareRates(
+    const std::vector<const Transfer*>& active, double max_bandwidth_gbps) {
+  std::vector<std::pair<workload::JobId, double>> rates;
+  rates.reserve(active.size());
+  long long total_nodes = 0;
+  double total_demand = 0.0;
+  for (const Transfer* t : active) {
+    total_nodes += t->nodes;
+    total_demand += t->full_rate_gbps;
+  }
+  if (active.empty()) return rates;
+  if (total_demand <= max_bandwidth_gbps || total_nodes == 0) {
+    for (const Transfer* t : active) {
+      rates.emplace_back(t->job_id, t->full_rate_gbps);
+    }
+    return rates;
+  }
+  double per_node = max_bandwidth_gbps / static_cast<double>(total_nodes);
+  for (const Transfer* t : active) {
+    double rate = std::min(t->full_rate_gbps, per_node * t->nodes);
+    rates.emplace_back(t->job_id, rate);
+  }
+  return rates;
+}
+
+}  // namespace iosched::storage

@@ -1,0 +1,128 @@
+// Storage-system model (paper Section III-A.2 and III-A.4, Figure 4).
+//
+// The I/O network is over-provisioned relative to the file servers, so
+// congestion happens at the storage side: the disks deliver at most
+// `BWmax` GB/s in aggregate. Each compute node can inject at most `b` GB/s,
+// so a job J_i transferring with all N_i nodes moves data at up to
+// b*N_i GB/s. The model tracks every in-flight I/O request (one per job),
+// accrues transferred volume under piecewise-constant rates, and reports the
+// earliest completion. *Which* jobs transfer and at what rate is decided
+// outside (by the I/O-aware policy in src/core); this module enforces only
+// physics: rates are non-negative, capped at the job's full rate, and their
+// sum never exceeds BWmax... except that the model itself does not clamp the
+// sum — the BASE_LINE fair-share helper and the policies are responsible for
+// producing feasible assignments, and the model validates them.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+#include "workload/job.h"
+
+namespace iosched::storage {
+
+struct StorageConfig {
+  /// Aggregate file-server bandwidth BWmax (GB/s). Mira: 250.
+  double max_bandwidth_gbps = 250.0;
+  /// Validate that assigned rates never sum above BWmax (tolerance applied).
+  bool enforce_capacity = true;
+};
+
+/// One in-flight I/O request (the k-th I/O of some job).
+struct Transfer {
+  workload::JobId job_id = 0;
+  /// Nodes participating in the transfer (N_i).
+  int nodes = 0;
+  /// Full-speed rate b*N_i (GB/s).
+  double full_rate_gbps = 0.0;
+  /// Total volume of this request, Vol_{i,k} (GB).
+  double volume_gb = 0.0;
+  /// Already-transferred volume W_{i,k} (GB).
+  double transferred_gb = 0.0;
+  /// When this request was issued (t^{I/O}_{i,k}).
+  sim::SimTime request_arrival = 0.0;
+  /// Rate currently granted by the policy; 0 means suspended.
+  double rate_gbps = 0.0;
+
+  double RemainingGb() const { return volume_gb - transferred_gb; }
+  bool Complete() const;
+};
+
+/// The set of in-flight transfers with piecewise-constant-rate progression.
+class StorageModel {
+ public:
+  explicit StorageModel(StorageConfig config);
+
+  const StorageConfig& config() const { return config_; }
+
+  /// Register a new I/O request. The transfer starts suspended (rate 0);
+  /// the policy assigns rates afterwards. Throws if the job already has an
+  /// in-flight transfer or volume is negative.
+  void Begin(workload::JobId job, int nodes, double full_rate_gbps,
+             double volume_gb, sim::SimTime now);
+
+  /// Remove a transfer; requires it to be complete (all volume moved).
+  void End(workload::JobId job);
+
+  /// Remove a transfer regardless of progress (job killed / simulation
+  /// teardown).
+  void Abort(workload::JobId job);
+
+  /// Mark the transfer finished by writing off its remaining sliver. Used
+  /// by the scheduler when a completion event lands a rounding error before
+  /// the transfer's analytic finish time; only tiny remainders (below
+  /// `max_sliver_gb`) may be written off — larger ones throw.
+  void ForceComplete(workload::JobId job, double max_sliver_gb);
+
+  bool Has(workload::JobId job) const;
+  const Transfer& Get(workload::JobId job) const;
+  std::size_t active_count() const { return transfers_.size(); }
+
+  /// All in-flight transfers ordered by (request_arrival, job_id) — the
+  /// FCFS order the paper's policies start from.
+  std::vector<const Transfer*> ActiveByArrival() const;
+
+  /// Accrue progress up to `now` under the current rates. Must be called
+  /// before changing rates so progress is attributed correctly. `now` must
+  /// not precede the previous update.
+  void AdvanceTo(sim::SimTime now);
+
+  /// Set one transfer's granted rate (GB/s); clamped guards throw instead:
+  /// negative or above full_rate (with tolerance) is an error. Callers must
+  /// AdvanceTo(now) first.
+  void SetRate(workload::JobId job, double rate_gbps);
+
+  /// Sum of currently granted rates (GB/s).
+  double TotalAssignedRate() const;
+
+  /// Verify the assignment is feasible (sum <= BWmax + eps) when
+  /// enforce_capacity; throws std::logic_error on violation.
+  void ValidateAssignment() const;
+
+  /// Earliest (time, job) at which an in-flight transfer completes under
+  /// current rates, or nullopt when none can complete (all suspended or no
+  /// transfers). Ties break toward the smaller job id.
+  std::optional<std::pair<sim::SimTime, workload::JobId>> NextCompletion()
+      const;
+
+  sim::SimTime last_update() const { return last_update_; }
+
+ private:
+  Transfer& GetMutable(workload::JobId job);
+
+  StorageConfig config_;
+  // Keyed storage; iteration order is made deterministic via ActiveByArrival.
+  std::vector<Transfer> transfers_;
+  sim::SimTime last_update_ = 0.0;
+};
+
+/// BASE_LINE bandwidth allocation (paper Section IV-D): every active
+/// transfer runs; when aggregate demand exceeds BWmax each *node* receives
+/// an equal share BWmax / N_active, i.e. job i gets share * N_i. Returns
+/// pairs (job, rate) covering every active transfer.
+std::vector<std::pair<workload::JobId, double>> FairShareRates(
+    const std::vector<const Transfer*>& active, double max_bandwidth_gbps);
+
+}  // namespace iosched::storage

@@ -1,0 +1,124 @@
+#include "util/cli.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace iosched::util {
+
+CliParser::CliParser(std::string program_summary)
+    : summary_(std::move(program_summary)) {}
+
+void CliParser::AddFlag(const std::string& name,
+                        const std::string& default_value,
+                        const std::string& help) {
+  flags_[name] = Flag{default_value, help, false, std::nullopt};
+}
+
+void CliParser::AddBoolFlag(const std::string& name, const std::string& help) {
+  flags_[name] = Flag{"false", help, true, std::nullopt};
+}
+
+bool CliParser::Parse(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_inline_value = false;
+    std::size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      error_ = "unknown flag --" + name;
+      return false;
+    }
+    Flag& flag = it->second;
+    if (flag.boolean) {
+      if (has_inline_value) {
+        auto parsed = ParseBool(value);
+        if (!parsed) {
+          error_ = "bad boolean for --" + name + ": " + value;
+          return false;
+        }
+        flag.value = *parsed ? "true" : "false";
+      } else {
+        flag.value = "true";
+      }
+      continue;
+    }
+    if (!has_inline_value) {
+      if (i + 1 >= argc) {
+        error_ = "missing value for --" + name;
+        return false;
+      }
+      value = argv[++i];
+    }
+    flag.value = value;
+  }
+  return true;
+}
+
+std::string CliParser::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    throw std::logic_error("CliParser: undeclared flag --" + name);
+  }
+  return it->second.value.value_or(it->second.default_value);
+}
+
+double CliParser::GetDouble(const std::string& name) const {
+  auto v = ParseDouble(GetString(name));
+  if (!v) {
+    throw std::runtime_error("flag --" + name + " is not a number: " +
+                             GetString(name));
+  }
+  return *v;
+}
+
+long long CliParser::GetInt(const std::string& name) const {
+  auto v = ParseInt(GetString(name));
+  if (!v) {
+    throw std::runtime_error("flag --" + name + " is not an integer: " +
+                             GetString(name));
+  }
+  return *v;
+}
+
+bool CliParser::GetBool(const std::string& name) const {
+  auto v = ParseBool(GetString(name));
+  return v.value_or(false);
+}
+
+bool CliParser::Provided(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    throw std::logic_error("CliParser: undeclared flag --" + name);
+  }
+  return it->second.value.has_value();
+}
+
+std::string CliParser::Help() const {
+  std::ostringstream os;
+  os << summary_ << "\n\nflags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name;
+    if (!flag.boolean) os << " <value>";
+    os << "  " << flag.help;
+    if (!flag.boolean && !flag.default_value.empty()) {
+      os << " (default: " << flag.default_value << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace iosched::util

@@ -1,0 +1,59 @@
+// Minimal command-line flag parser for the tools/ binaries.
+//
+// Supported syntax: --name value, --name=value, and boolean --name. Flags
+// are declared up front with defaults and help text; Parse() consumes
+// argv, leaving positional arguments accessible by index.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace iosched::util {
+
+class CliParser {
+ public:
+  /// `program_summary` is printed at the top of Help().
+  explicit CliParser(std::string program_summary);
+
+  /// Declare flags before Parse(). `default_value` is returned when the
+  /// flag is absent; boolean flags default to false and take no value.
+  void AddFlag(const std::string& name, const std::string& default_value,
+               const std::string& help);
+  void AddBoolFlag(const std::string& name, const std::string& help);
+
+  /// Parse argv (excluding argv[0]); returns false and records an error on
+  /// unknown flags or missing values.
+  bool Parse(int argc, const char* const* argv);
+
+  /// Typed access after Parse(). Unknown names throw std::logic_error (a
+  /// programming error, not a user error).
+  std::string GetString(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  long long GetInt(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  /// True when the user supplied the flag explicitly.
+  bool Provided(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& error() const { return error_; }
+
+  /// Usage text from the declarations.
+  std::string Help() const;
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string help;
+    bool boolean = false;
+    std::optional<std::string> value;
+  };
+
+  std::string summary_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace iosched::util

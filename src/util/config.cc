@@ -1,0 +1,176 @@
+#include "util/config.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace iosched::util {
+
+namespace {
+// Strip an unquoted trailing comment beginning with '#' or ';'.
+std::string_view StripComment(std::string_view s) {
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '"') in_quotes = !in_quotes;
+    if (!in_quotes && (c == '#' || c == ';')) return s.substr(0, i);
+  }
+  return s;
+}
+
+// Remove surrounding double quotes if present.
+std::string Unquote(std::string_view s) {
+  if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
+    return std::string(s.substr(1, s.size() - 2));
+  }
+  return std::string(s);
+}
+}  // namespace
+
+Config Config::FromString(std::string_view text) {
+  Config cfg;
+  std::string section;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    std::string_view raw = eol == std::string_view::npos
+                               ? text.substr(pos)
+                               : text.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    std::string_view line = Trim(StripComment(raw));
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        throw std::runtime_error("config line " + std::to_string(line_no) +
+                                 ": malformed section header");
+      }
+      section = std::string(Trim(line.substr(1, line.size() - 2)));
+      continue;
+    }
+    std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::runtime_error("config line " + std::to_string(line_no) +
+                               ": expected key = value");
+    }
+    std::string key(Trim(line.substr(0, eq)));
+    if (key.empty()) {
+      throw std::runtime_error("config line " + std::to_string(line_no) +
+                               ": empty key");
+    }
+    std::string value = Unquote(Trim(line.substr(eq + 1)));
+    std::string full = section.empty() ? key : section + "." + key;
+    cfg.values_[full] = std::move(value);
+  }
+  return cfg;
+}
+
+Config Config::FromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("config: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return FromString(buf.str());
+}
+
+bool Config::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::optional<std::string> Config::GetString(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> Config::GetDouble(const std::string& key) const {
+  auto s = GetString(key);
+  if (!s) return std::nullopt;
+  return ParseDouble(*s);
+}
+
+std::optional<long long> Config::GetInt(const std::string& key) const {
+  auto s = GetString(key);
+  if (!s) return std::nullopt;
+  return ParseInt(*s);
+}
+
+std::optional<bool> Config::GetBool(const std::string& key) const {
+  auto s = GetString(key);
+  if (!s) return std::nullopt;
+  return ParseBool(*s);
+}
+
+std::string Config::GetStringOr(const std::string& key, std::string def) const {
+  return GetString(key).value_or(std::move(def));
+}
+
+double Config::GetDoubleOr(const std::string& key, double def) const {
+  return GetDouble(key).value_or(def);
+}
+
+long long Config::GetIntOr(const std::string& key, long long def) const {
+  return GetInt(key).value_or(def);
+}
+
+bool Config::GetBoolOr(const std::string& key, bool def) const {
+  return GetBool(key).value_or(def);
+}
+
+double Config::RequireDouble(const std::string& key) const {
+  auto v = GetDouble(key);
+  if (!v) throw std::runtime_error("config: missing/invalid double '" + key + "'");
+  return *v;
+}
+
+long long Config::RequireInt(const std::string& key) const {
+  auto v = GetInt(key);
+  if (!v) throw std::runtime_error("config: missing/invalid int '" + key + "'");
+  return *v;
+}
+
+std::string Config::RequireString(const std::string& key) const {
+  auto v = GetString(key);
+  if (!v) throw std::runtime_error("config: missing string '" + key + "'");
+  return *v;
+}
+
+void Config::Set(const std::string& key, std::string value) {
+  values_[key] = std::move(value);
+}
+
+std::vector<std::string> Config::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(values_.size());
+  for (const auto& [k, v] : values_) keys.push_back(k);
+  return keys;
+}
+
+std::string Config::ToString() const {
+  // Emit root-section keys first (a root key after a [section] header would
+  // re-parse into that section), then sections grouped in sorted order.
+  std::ostringstream os;
+  for (const auto& [full, value] : values_) {
+    if (full.rfind('.') == std::string::npos) {
+      os << full << " = " << value << "\n";
+    }
+  }
+  std::string current_section;
+  for (const auto& [full, value] : values_) {
+    std::size_t dot = full.rfind('.');
+    if (dot == std::string::npos) continue;
+    std::string section = full.substr(0, dot);
+    std::string key = full.substr(dot + 1);
+    if (section != current_section) {
+      os << "[" << section << "]\n";
+      current_section = section;
+    }
+    os << key << " = " << value << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace iosched::util

@@ -1,0 +1,66 @@
+// Minimal INI-style configuration reader for experiment scenarios.
+//
+// Grammar (a practical subset of TOML):
+//   [section]
+//   key = value        # comment
+//   ; full-line comments with ';' or '#'
+//
+// Values are stored as strings; typed getters parse on demand. Keys are
+// addressed as "section.key"; keys before any section header live in the
+// "" (root) section and are addressed by bare name.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iosched::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse from in-memory text. Throws std::runtime_error with a line number
+  /// on malformed input.
+  static Config FromString(std::string_view text);
+
+  /// Parse from a file. Throws std::runtime_error if unreadable.
+  static Config FromFile(const std::string& path);
+
+  /// True when the key exists.
+  bool Has(const std::string& key) const;
+
+  /// Raw string value; nullopt when missing.
+  std::optional<std::string> GetString(const std::string& key) const;
+  std::optional<double> GetDouble(const std::string& key) const;
+  std::optional<long long> GetInt(const std::string& key) const;
+  std::optional<bool> GetBool(const std::string& key) const;
+
+  /// Typed getters with defaults.
+  std::string GetStringOr(const std::string& key, std::string def) const;
+  double GetDoubleOr(const std::string& key, double def) const;
+  long long GetIntOr(const std::string& key, long long def) const;
+  bool GetBoolOr(const std::string& key, bool def) const;
+
+  /// Typed getter that throws std::runtime_error naming the key when the key
+  /// is missing or unparsable — for required scenario parameters.
+  double RequireDouble(const std::string& key) const;
+  long long RequireInt(const std::string& key) const;
+  std::string RequireString(const std::string& key) const;
+
+  /// Set/override a value programmatically (used by CLI overrides).
+  void Set(const std::string& key, std::string value);
+
+  /// All keys in deterministic (sorted) order.
+  std::vector<std::string> Keys() const;
+
+  /// Serialize back to INI text (sorted keys, sections grouped).
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace iosched::util

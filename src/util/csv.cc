@@ -1,0 +1,114 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace iosched::util {
+
+void CsvWriter::Header(const std::vector<std::string>& names) {
+  if (wrote_any_) throw std::logic_error("CsvWriter::Header after rows");
+  WriteRow(names);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << CsvQuote(fields[i]);
+  }
+  out_ << '\n';
+  wrote_any_ = true;
+}
+
+CsvWriter::RowBuilder::~RowBuilder() { writer_.WriteRow(fields_); }
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::Add(std::string_view field) {
+  fields_.emplace_back(field);
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::Add(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  fields_.emplace_back(buf);
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::Add(long long value) {
+  fields_.emplace_back(std::to_string(value));
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::Add(unsigned long long value) {
+  fields_.emplace_back(std::to_string(value));
+  return *this;
+}
+
+std::string CsvQuote(std::string_view field) {
+  bool needs_quote = field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<std::string> ParseCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+CsvDocument ParseCsv(std::string_view text, bool has_header) {
+  CsvDocument doc;
+  std::size_t pos = 0;
+  bool seen_header = !has_header;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    std::string_view line = eol == std::string_view::npos
+                                ? text.substr(pos)
+                                : text.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    auto fields = ParseCsvLine(line);
+    if (!seen_header) {
+      doc.header = std::move(fields);
+      seen_header = true;
+    } else {
+      doc.rows.push_back(std::move(fields));
+    }
+  }
+  return doc;
+}
+
+}  // namespace iosched::util

@@ -1,0 +1,70 @@
+// CSV emission and parsing for experiment results and trace files.
+//
+// The writer quotes fields per RFC 4180 when needed. The reader handles
+// quoted fields, embedded commas/quotes, and comment lines.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iosched::util {
+
+/// Streaming CSV writer. Rows are buffered per-row and flushed to the sink.
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Emit the header row. May only be called before any Row().
+  void Header(const std::vector<std::string>& names);
+
+  /// Begin a row builder.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(CsvWriter& w) : writer_(w) {}
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+    ~RowBuilder();
+
+    RowBuilder& Add(std::string_view field);
+    RowBuilder& Add(double value);
+    RowBuilder& Add(long long value);
+    RowBuilder& Add(unsigned long long value);
+    RowBuilder& Add(int value) { return Add(static_cast<long long>(value)); }
+    RowBuilder& Add(std::size_t value) {
+      return Add(static_cast<unsigned long long>(value));
+    }
+
+   private:
+    CsvWriter& writer_;
+    std::vector<std::string> fields_;
+  };
+
+  RowBuilder Row() { return RowBuilder(*this); }
+
+  /// Emit a fully-formed row.
+  void WriteRow(const std::vector<std::string>& fields);
+
+ private:
+  friend class RowBuilder;
+  std::ostream& out_;
+  bool wrote_any_ = false;
+};
+
+/// Parse one CSV line into fields (RFC 4180 quoting).
+std::vector<std::string> ParseCsvLine(std::string_view line);
+
+/// Parse a whole CSV document: skips blank lines and lines starting with '#'.
+/// When `has_header` is true the first data line is returned separately.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+CsvDocument ParseCsv(std::string_view text, bool has_header);
+
+/// Quote a single field if it contains a comma, quote, or newline.
+std::string CsvQuote(std::string_view field);
+
+}  // namespace iosched::util

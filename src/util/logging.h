@@ -1,0 +1,49 @@
+// Minimal leveled logger. The simulator is deterministic and single-threaded
+// per run, but sweeps run concurrently, so emission is mutex-guarded.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace iosched::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are compiled but not emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Parse "debug"/"info"/"warn"/"error"/"off"; defaults to kInfo on garbage.
+LogLevel ParseLogLevel(const std::string& name);
+
+namespace detail {
+void Emit(LogLevel level, const std::string& message);
+
+/// Stream-style log statement builder; emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace iosched::util
+
+#define IOSCHED_LOG(level) ::iosched::util::detail::LogLine(level)
+#define LOG_DEBUG IOSCHED_LOG(::iosched::util::LogLevel::kDebug)
+#define LOG_INFO IOSCHED_LOG(::iosched::util::LogLevel::kInfo)
+#define LOG_WARN IOSCHED_LOG(::iosched::util::LogLevel::kWarn)
+#define LOG_ERROR IOSCHED_LOG(::iosched::util::LogLevel::kError)

@@ -1,0 +1,156 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace iosched::util {
+
+namespace {
+constexpr std::uint64_t kMultiplier = 6364136223846793005ULL;
+}  // namespace
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1u) | 1u) {
+  operator()();
+  state_ += seed;
+  operator()();
+}
+
+Pcg32::result_type Pcg32::operator()() {
+  std::uint64_t old = state_;
+  state_ = old * kMultiplier + inc_;
+  auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+double Pcg32::NextDouble() {
+  // 53 random bits -> double in [0,1).
+  std::uint64_t hi = operator()();
+  std::uint64_t lo = operator()();
+  std::uint64_t bits = (hi << 21u) ^ lo;  // 53 significant bits
+  return static_cast<double>(bits & ((1ULL << 53u) - 1)) * 0x1.0p-53;
+}
+
+std::uint32_t Pcg32::NextBounded(std::uint32_t bound) {
+  if (bound == 0) throw std::invalid_argument("NextBounded: bound must be > 0");
+  // Lemire-style rejection to kill modulo bias.
+  std::uint32_t threshold = (-bound) % bound;
+  for (;;) {
+    std::uint32_t r = operator()();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+void Pcg32::Advance(std::uint64_t delta) {
+  // Brown, "Random Number Generation with Arbitrary Strides" (1994).
+  std::uint64_t cur_mult = kMultiplier;
+  std::uint64_t cur_plus = inc_;
+  std::uint64_t acc_mult = 1u;
+  std::uint64_t acc_plus = 0u;
+  while (delta > 0) {
+    if (delta & 1u) {
+      acc_mult *= cur_mult;
+      acc_plus = acc_plus * cur_mult + cur_plus;
+    }
+    cur_plus = (cur_mult + 1) * cur_plus;
+    cur_mult *= cur_mult;
+    delta >>= 1u;
+  }
+  state_ = acc_mult * state_ + acc_plus;
+}
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) : engine_(seed, stream) {}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * engine_.NextDouble();
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("UniformInt: lo > hi");
+  auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span <= 0xffffffffULL) {
+    return lo + engine_.NextBounded(static_cast<std::uint32_t>(span));
+  }
+  // Wide range: compose two 32-bit draws (span < 2^64 always holds here).
+  std::uint64_t r =
+      (static_cast<std::uint64_t>(engine_()) << 32u) | engine_();
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+bool Rng::Bernoulli(double p) { return engine_.NextDouble() < p; }
+
+double Rng::Exponential(double lambda) {
+  if (lambda <= 0) throw std::invalid_argument("Exponential: lambda <= 0");
+  double u = engine_.NextDouble();
+  // 1-u in (0,1] avoids log(0).
+  return -std::log1p(-u) / lambda;
+}
+
+double Rng::Normal(double mu, double sigma) {
+  if (has_spare_) {
+    has_spare_ = false;
+    return mu + sigma * spare_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = engine_.NextDouble();
+  } while (u1 <= 1e-300);
+  double u2 = engine_.NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  double two_pi_u2 = 2.0 * 3.14159265358979323846 * u2;
+  spare_ = mag * std::sin(two_pi_u2);
+  has_spare_ = true;
+  return mu + sigma * mag * std::cos(two_pi_u2);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+double Rng::BoundedPareto(double alpha, double lo, double hi) {
+  if (alpha <= 0 || lo <= 0 || hi <= lo) {
+    throw std::invalid_argument("BoundedPareto: require alpha>0, 0<lo<hi");
+  }
+  double u = engine_.NextDouble();
+  double la = std::pow(lo, alpha);
+  double ha = std::pow(hi, alpha);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+std::size_t Rng::WeightedIndex(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0) throw std::invalid_argument("WeightedIndex: negative weight");
+    total += w;
+  }
+  if (total <= 0) throw std::invalid_argument("WeightedIndex: zero total");
+  double target = engine_.NextDouble() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;  // floating-point edge: return last bucket
+}
+
+std::int64_t Rng::Poisson(double lambda) {
+  if (lambda < 0) throw std::invalid_argument("Poisson: lambda < 0");
+  if (lambda == 0) return 0;
+  if (lambda < 30.0) {
+    double l = std::exp(-lambda);
+    std::int64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= engine_.NextDouble();
+    } while (p > l);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction for large lambda.
+  double x = Normal(lambda, std::sqrt(lambda));
+  return x < 0 ? 0 : static_cast<std::int64_t>(x + 0.5);
+}
+
+}  // namespace iosched::util

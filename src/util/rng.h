@@ -1,0 +1,95 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// We implement PCG32 (O'Neill, pcg-random.org, Apache-2.0 algorithm) rather
+// than relying on std::mt19937 so that generated workloads are reproducible
+// bit-for-bit across standard libraries and platforms. Distribution sampling
+// (exponential, log-normal, bounded Pareto, weighted discrete) is implemented
+// on top of the raw generator for the same reason: std::* distributions are
+// not portable across implementations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace iosched::util {
+
+/// PCG32: 64-bit state / 32-bit output permuted congruential generator.
+/// Satisfies UniformRandomBitGenerator so it can also feed std facilities.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  /// Seeds with a state and a stream selector; distinct streams from the
+  /// same seed are statistically independent.
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xffffffffu; }
+
+  /// Next raw 32-bit output.
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound) without modulo bias. `bound` must be > 0.
+  std::uint32_t NextBounded(std::uint32_t bound);
+
+  /// Advance the generator by `delta` steps in O(log delta) (jump-ahead).
+  void Advance(std::uint64_t delta);
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+/// Random variate sampler over a Pcg32 engine. All samplers are stateless
+/// with respect to parameters: they take parameters per call so one Rng can
+/// serve many distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 1);
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+  /// Bernoulli trial with probability `p` of true.
+  bool Bernoulli(double p);
+  /// Exponential with rate lambda (mean 1/lambda).
+  double Exponential(double lambda);
+  /// Normal via Box-Muller (mean mu, stddev sigma).
+  double Normal(double mu, double sigma);
+  /// Log-normal: exp(Normal(mu, sigma)) — `mu`/`sigma` are in log space.
+  double LogNormal(double mu, double sigma);
+  /// Bounded Pareto on [lo, hi] with shape alpha (heavy-tailed sizes).
+  double BoundedPareto(double alpha, double lo, double hi);
+  /// Index in [0, weights.size()) drawn proportionally to `weights`.
+  /// Weights must be non-negative with a positive sum.
+  std::size_t WeightedIndex(std::span<const double> weights);
+  /// Poisson count with mean `lambda` (Knuth for small, normal approx large).
+  std::int64_t Poisson(double lambda);
+
+  /// Access the underlying engine (e.g. for std::shuffle).
+  Pcg32& engine() { return engine_; }
+
+ private:
+  Pcg32 engine_;
+  // Cached second Box-Muller variate.
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+/// Fisher-Yates shuffle of a vector using the portable engine.
+template <typename T>
+void Shuffle(std::vector<T>& v, Pcg32& g) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::size_t j = g.NextBounded(static_cast<std::uint32_t>(i));
+    using std::swap;
+    swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace iosched::util

@@ -1,0 +1,41 @@
+// Small string helpers shared by the trace parsers and the config reader.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iosched::util {
+
+/// Strip ASCII whitespace from both ends (view into the input).
+std::string_view Trim(std::string_view s);
+
+/// Split on a delimiter character; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Split on arbitrary runs of whitespace; no empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// True when `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parse a double; nullopt on any trailing garbage or empty input.
+std::optional<double> ParseDouble(std::string_view s);
+
+/// Parse a signed 64-bit integer; nullopt on failure.
+std::optional<long long> ParseInt(std::string_view s);
+
+/// Parse a boolean: true/false/yes/no/1/0 (case-insensitive).
+std::optional<bool> ParseBool(std::string_view s);
+
+/// Lower-case an ASCII string.
+std::string ToLower(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Join elements with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace iosched::util

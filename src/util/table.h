@@ -1,0 +1,35 @@
+// ASCII table renderer used by the benchmark harness to print the paper's
+// figures as aligned text tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace iosched::util {
+
+class Table {
+ public:
+  /// Column headers define the table width.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: format a double with `precision` digits after the point.
+  static std::string Num(double v, int precision = 1);
+  /// Format a ratio like "0.97x".
+  static std::string Ratio(double v, int precision = 2);
+  /// Format a percentage like "-31.4%" (input is a fraction, e.g. -0.314).
+  static std::string Percent(double fraction, int precision = 1);
+
+  /// Render with column alignment and +---+ separators.
+  std::string ToString() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace iosched::util

@@ -1,0 +1,31 @@
+// Units and common scalar conventions used throughout the simulator.
+//
+// All simulated time is in seconds (double); data volumes are in gigabytes
+// (GB, decimal); bandwidths are in GB/s. Reports convert to minutes to match
+// the paper's figures.
+#pragma once
+
+namespace iosched::util {
+
+/// Seconds per minute; reports in the paper are in minutes.
+inline constexpr double kSecondsPerMinute = 60.0;
+/// Seconds per hour.
+inline constexpr double kSecondsPerHour = 3600.0;
+/// Seconds per day.
+inline constexpr double kSecondsPerDay = 86400.0;
+
+/// Convert simulated seconds to minutes (paper's reporting unit).
+constexpr double SecondsToMinutes(double s) { return s / kSecondsPerMinute; }
+/// Convert minutes to simulated seconds.
+constexpr double MinutesToSeconds(double m) { return m * kSecondsPerMinute; }
+/// Convert hours to simulated seconds.
+constexpr double HoursToSeconds(double h) { return h * kSecondsPerHour; }
+/// Convert simulated seconds to hours.
+constexpr double SecondsToHours(double s) { return s / kSecondsPerHour; }
+
+/// Tolerance for floating-point comparisons on simulated time.
+inline constexpr double kTimeEpsilon = 1e-7;
+/// Tolerance for floating-point comparisons on bandwidth/volume.
+inline constexpr double kVolumeEpsilon = 1e-9;
+
+}  // namespace iosched::util

@@ -1,0 +1,77 @@
+#include "workload/iotrace.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace iosched::workload {
+
+IoTrace ParseIoTrace(const std::string& text) {
+  util::CsvDocument doc = util::ParseCsv(text, /*has_header=*/true);
+  if (doc.header.size() != 5 || doc.header[0] != "job_id" ||
+      doc.header[1] != "io_phases" || doc.header[2] != "total_io_gb" ||
+      doc.header[3] != "agg_rate_gbps" || doc.header[4] != "read_fraction") {
+    throw std::runtime_error("iotrace: unexpected header");
+  }
+  IoTrace trace;
+  trace.reserve(doc.rows.size());
+  for (std::size_t i = 0; i < doc.rows.size(); ++i) {
+    const auto& row = doc.rows[i];
+    if (row.size() != 5) {
+      throw std::runtime_error("iotrace row " + std::to_string(i + 1) +
+                               ": expected 5 fields");
+    }
+    auto id = util::ParseInt(row[0]);
+    auto phases = util::ParseInt(row[1]);
+    auto gb = util::ParseDouble(row[2]);
+    auto rate = util::ParseDouble(row[3]);
+    auto rf = util::ParseDouble(row[4]);
+    if (!id || !phases || !gb || !rate || !rf) {
+      throw std::runtime_error("iotrace row " + std::to_string(i + 1) +
+                               ": bad field");
+    }
+    if (*phases < 0 || *gb < 0 || *rate < 0 || *rf < 0 || *rf > 1) {
+      throw std::runtime_error("iotrace row " + std::to_string(i + 1) +
+                               ": out-of-range value");
+    }
+    trace.push_back(
+        IoSummary{*id, static_cast<int>(*phases), *gb, *rate, *rf});
+  }
+  return trace;
+}
+
+IoTrace ReadIoTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("iotrace: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseIoTrace(buf.str());
+}
+
+void WriteIoTrace(std::ostream& out, const IoTrace& trace) {
+  out << "# iosched-darshan-lite v2\n";
+  util::CsvWriter csv(out);
+  csv.Header(
+      {"job_id", "io_phases", "total_io_gb", "agg_rate_gbps", "read_fraction"});
+  for (const IoSummary& s : trace) {
+    csv.Row()
+        .Add(static_cast<long long>(s.job_id))
+        .Add(s.io_phases)
+        .Add(s.total_io_gb)
+        .Add(s.agg_rate_gbps)
+        .Add(s.read_fraction);
+  }
+}
+
+void WriteIoTraceFile(const std::string& path, const IoTrace& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("iotrace: cannot open for write " + path);
+  WriteIoTrace(out, trace);
+  if (!out) throw std::runtime_error("iotrace: write failed for " + path);
+}
+
+}  // namespace iosched::workload

@@ -1,0 +1,55 @@
+// "Darshan-lite" I/O summary trace.
+//
+// Darshan records, per job, a compact statistical summary of its I/O
+// footprint (number of I/O calls, bytes moved, time in I/O). This module
+// defines the analogous per-job summary we pair with the SWF job trace, and
+// a CSV on-disk format:
+//
+//   # iosched-darshan-lite v2
+//   job_id,io_phases,total_io_gb,agg_rate_gbps,read_fraction
+//
+// `io_phases`, `total_io_gb` and `agg_rate_gbps` (the application's
+// effective aggregate transfer rate, which Darshan derives from bytes moved
+// and time in I/O) drive the simulation; `read_fraction` is carried for
+// workload characterization.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/job.h"
+
+namespace iosched::workload {
+
+/// Per-job I/O summary (the Darshan-lite record).
+struct IoSummary {
+  JobId job_id = 0;
+  /// Number of I/O requests over the job's lifetime (n_i).
+  int io_phases = 0;
+  /// Total bytes moved across all phases, in GB.
+  double total_io_gb = 0.0;
+  /// Effective aggregate transfer rate while in I/O (GB/s); 0 means
+  /// unknown, interpreted as the full link rate b*N at pairing time.
+  double agg_rate_gbps = 0.0;
+  /// Fraction of the volume that is reads, in [0,1].
+  double read_fraction = 0.0;
+};
+
+using IoTrace = std::vector<IoSummary>;
+
+/// Parse the CSV text form. Lines starting with '#' are comments. Throws
+/// std::runtime_error on malformed rows.
+IoTrace ParseIoTrace(const std::string& text);
+
+/// Read from disk; throws on unreadable file.
+IoTrace ReadIoTraceFile(const std::string& path);
+
+/// Serialize with the canonical header comment.
+void WriteIoTrace(std::ostream& out, const IoTrace& trace);
+
+/// Write to disk; throws on failure.
+void WriteIoTraceFile(const std::string& path, const IoTrace& trace);
+
+}  // namespace iosched::workload

@@ -1,0 +1,107 @@
+#include "workload/swf.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace iosched::workload {
+
+namespace {
+double FieldAsDouble(const std::vector<std::string>& f, std::size_t i,
+                     std::size_t line_no) {
+  auto v = util::ParseDouble(f[i]);
+  if (!v) {
+    throw std::runtime_error("SWF line " + std::to_string(line_no) +
+                             ": bad numeric field " + std::to_string(i + 1));
+  }
+  return *v;
+}
+
+std::int64_t FieldAsInt(const std::vector<std::string>& f, std::size_t i,
+                        std::size_t line_no) {
+  auto v = util::ParseInt(f[i]);
+  if (!v) {
+    throw std::runtime_error("SWF line " + std::to_string(line_no) +
+                             ": bad integer field " + std::to_string(i + 1));
+  }
+  return *v;
+}
+}  // namespace
+
+SwfTrace ParseSwf(const std::string& text) {
+  SwfTrace trace;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed.front() == ';') {
+      trace.header_comments.emplace_back(trimmed.substr(1));
+      continue;
+    }
+    auto fields = util::SplitWhitespace(trimmed);
+    if (fields.size() != 18) {
+      throw std::runtime_error("SWF line " + std::to_string(line_no) +
+                               ": expected 18 fields, got " +
+                               std::to_string(fields.size()));
+    }
+    SwfRecord r;
+    r.job_number = FieldAsInt(fields, 0, line_no);
+    r.submit_time = FieldAsDouble(fields, 1, line_no);
+    r.wait_time = FieldAsDouble(fields, 2, line_no);
+    r.run_time = FieldAsDouble(fields, 3, line_no);
+    r.allocated_procs = FieldAsInt(fields, 4, line_no);
+    r.avg_cpu_time = FieldAsDouble(fields, 5, line_no);
+    r.used_memory = FieldAsDouble(fields, 6, line_no);
+    r.requested_procs = FieldAsInt(fields, 7, line_no);
+    r.requested_time = FieldAsDouble(fields, 8, line_no);
+    r.requested_memory = FieldAsDouble(fields, 9, line_no);
+    r.status = FieldAsInt(fields, 10, line_no);
+    r.user_id = FieldAsInt(fields, 11, line_no);
+    r.group_id = FieldAsInt(fields, 12, line_no);
+    r.executable = FieldAsInt(fields, 13, line_no);
+    r.queue = FieldAsInt(fields, 14, line_no);
+    r.partition = FieldAsInt(fields, 15, line_no);
+    r.preceding_job = FieldAsInt(fields, 16, line_no);
+    r.think_time = FieldAsDouble(fields, 17, line_no);
+    trace.records.push_back(r);
+  }
+  return trace;
+}
+
+SwfTrace ReadSwfFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("SWF: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseSwf(buf.str());
+}
+
+void WriteSwf(std::ostream& out, const SwfTrace& trace) {
+  for (const std::string& c : trace.header_comments) {
+    out << ';' << c << '\n';
+  }
+  for (const SwfRecord& r : trace.records) {
+    out << r.job_number << ' ' << r.submit_time << ' ' << r.wait_time << ' '
+        << r.run_time << ' ' << r.allocated_procs << ' ' << r.avg_cpu_time
+        << ' ' << r.used_memory << ' ' << r.requested_procs << ' '
+        << r.requested_time << ' ' << r.requested_memory << ' ' << r.status
+        << ' ' << r.user_id << ' ' << r.group_id << ' ' << r.executable << ' '
+        << r.queue << ' ' << r.partition << ' ' << r.preceding_job << ' '
+        << r.think_time << '\n';
+  }
+}
+
+void WriteSwfFile(const std::string& path, const SwfTrace& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("SWF: cannot open for write " + path);
+  WriteSwf(out, trace);
+  if (!out) throw std::runtime_error("SWF: write failed for " + path);
+}
+
+}  // namespace iosched::workload

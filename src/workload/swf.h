@@ -1,0 +1,57 @@
+// Standard Workload Format (SWF) reader/writer.
+//
+// SWF (Feitelson's Parallel Workloads Archive format) is the de-facto
+// interchange format for HPC job traces; the paper's 3-month Mira job trace
+// carries exactly the fields SWF standardizes (submit time, size, duration,
+// walltime). Records are 18 whitespace-separated fields, one per line;
+// header/comment lines start with ';'. Missing values are -1.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace iosched::workload {
+
+/// One SWF record; field names follow the SWF specification.
+struct SwfRecord {
+  std::int64_t job_number = -1;       // 1
+  double submit_time = -1;            // 2 (seconds)
+  double wait_time = -1;              // 3 (seconds)
+  double run_time = -1;               // 4 (seconds)
+  std::int64_t allocated_procs = -1;  // 5
+  double avg_cpu_time = -1;           // 6
+  double used_memory = -1;            // 7
+  std::int64_t requested_procs = -1;  // 8
+  double requested_time = -1;         // 9 (seconds)
+  double requested_memory = -1;       // 10
+  std::int64_t status = -1;           // 11 (1 = completed)
+  std::int64_t user_id = -1;          // 12
+  std::int64_t group_id = -1;         // 13
+  std::int64_t executable = -1;       // 14
+  std::int64_t queue = -1;            // 15
+  std::int64_t partition = -1;        // 16
+  std::int64_t preceding_job = -1;    // 17
+  double think_time = -1;             // 18
+};
+
+/// Parse SWF text. Comment lines (';') are collected into `header_comments`.
+/// Throws std::runtime_error with a line number on malformed records.
+struct SwfTrace {
+  std::vector<std::string> header_comments;
+  std::vector<SwfRecord> records;
+};
+
+SwfTrace ParseSwf(const std::string& text);
+
+/// Read an SWF file from disk. Throws on unreadable files.
+SwfTrace ReadSwfFile(const std::string& path);
+
+/// Serialize records (with optional header comments) to SWF text.
+void WriteSwf(std::ostream& out, const SwfTrace& trace);
+
+/// Write an SWF file to disk. Throws on I/O failure.
+void WriteSwfFile(const std::string& path, const SwfTrace& trace);
+
+}  // namespace iosched::workload

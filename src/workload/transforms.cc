@@ -1,0 +1,56 @@
+#include "workload/transforms.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace iosched::workload {
+
+Workload TimeSlice(const Workload& jobs, double start_seconds,
+                   double end_seconds) {
+  if (end_seconds <= start_seconds) {
+    throw std::invalid_argument("TimeSlice: empty window");
+  }
+  Workload out;
+  for (const Job& job : jobs) {
+    if (job.submit_time >= start_seconds && job.submit_time < end_seconds) {
+      out.push_back(job);
+    }
+  }
+  SortBySubmitTime(out);
+  if (!out.empty()) {
+    double base = out.front().submit_time;
+    for (Job& job : out) job.submit_time -= base;
+  }
+  return out;
+}
+
+Workload ScaleLoad(const Workload& jobs, double factor) {
+  if (factor <= 0) throw std::invalid_argument("ScaleLoad: factor <= 0");
+  Workload out = jobs;
+  for (Job& job : out) job.submit_time /= factor;
+  SortBySubmitTime(out);
+  return out;
+}
+
+Workload FilterBySize(const Workload& jobs, int min_nodes, int max_nodes) {
+  if (min_nodes > max_nodes) {
+    throw std::invalid_argument("FilterBySize: min > max");
+  }
+  Workload out;
+  for (const Job& job : jobs) {
+    if (job.nodes >= min_nodes && job.nodes <= max_nodes) {
+      out.push_back(job);
+    }
+  }
+  return out;
+}
+
+Workload Renumber(const Workload& jobs) {
+  Workload out = jobs;
+  SortBySubmitTime(out);
+  JobId next = 1;
+  for (Job& job : out) job.id = next++;
+  return out;
+}
+
+}  // namespace iosched::workload

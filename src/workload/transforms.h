@@ -1,0 +1,27 @@
+// Workload transforms for trace studies: slice a window out of a longer
+// trace, scale the arrival intensity, or filter by job size. All transforms
+// return copies and leave the input untouched.
+#pragma once
+
+#include "workload/workload.h"
+
+namespace iosched::workload {
+
+/// Jobs submitted in [start_seconds, end_seconds), re-based so the first
+/// kept submission lands at t=0 and ids stay unchanged.
+Workload TimeSlice(const Workload& jobs, double start_seconds,
+                   double end_seconds);
+
+/// Scale the arrival process: submission times are divided by `factor`, so
+/// factor > 1 compresses the trace (higher offered load) and factor < 1
+/// stretches it. Runtimes and I/O are untouched. Throws on factor <= 0.
+Workload ScaleLoad(const Workload& jobs, double factor);
+
+/// Keep only jobs with min_nodes <= nodes <= max_nodes.
+Workload FilterBySize(const Workload& jobs, int min_nodes, int max_nodes);
+
+/// Relabel ids to a dense 1..N sequence in submit order (some tools expect
+/// dense ids); provenance fields are preserved.
+Workload Renumber(const Workload& jobs);
+
+}  // namespace iosched::workload

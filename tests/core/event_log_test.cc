@@ -1,0 +1,120 @@
+#include "core/event_log.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "core/simulation.h"
+
+namespace iosched::core {
+namespace {
+
+TEST(EventLog, AppendAndQuery) {
+  EventLog log;
+  log.Append(0.0, SchedEventKind::kSubmit, 1, 512);
+  log.Append(1.0, SchedEventKind::kStart, 1, 512);
+  log.Append(5.0, SchedEventKind::kEnd, 1);
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.OfKind(SchedEventKind::kStart).size(), 1u);
+  EXPECT_EQ(log.OfKind(SchedEventKind::kKill).size(), 0u);
+}
+
+TEST(EventLog, RejectsTimeTravel) {
+  EventLog log;
+  log.Append(5.0, SchedEventKind::kSubmit, 1);
+  EXPECT_THROW(log.Append(4.0, SchedEventKind::kStart, 1), std::logic_error);
+}
+
+TEST(EventLog, CsvOutput) {
+  EventLog log;
+  log.Append(1.5, SchedEventKind::kIoRequest, 7, 640.0);
+  std::ostringstream os;
+  log.WriteCsv(os);
+  EXPECT_NE(os.str().find("time,event,job,detail"), std::string::npos);
+  EXPECT_NE(os.str().find("io_request"), std::string::npos);
+  EXPECT_NE(os.str().find("640"), std::string::npos);
+}
+
+TEST(EventLog, KindNames) {
+  EXPECT_STREQ(ToString(SchedEventKind::kSubmit), "submit");
+  EXPECT_STREQ(ToString(SchedEventKind::kIoComplete), "io_complete");
+  EXPECT_STREQ(ToString(SchedEventKind::kKill), "kill");
+}
+
+TEST(EventLog, SimulationProducesConsistentTrace) {
+  // Two jobs with I/O phases on the Small machine.
+  workload::Workload jobs;
+  for (int i = 1; i <= 2; ++i) {
+    workload::Job j;
+    j.id = i;
+    j.submit_time = i * 10.0;
+    j.nodes = 1024;
+    j.requested_walltime = 4000;
+    j.phases = workload::MakeUniformPhases(600, 64.0, 2);
+    jobs.push_back(j);
+  }
+  SimulationConfig config;
+  config.machine = machine::MachineConfig::Small();
+  config.storage.max_bandwidth_gbps = 64.0;
+  config.policy = "ADAPTIVE";
+
+  EventLog log;
+  SimulationResult result = RunSimulation(config, jobs, &log);
+  ASSERT_EQ(result.records.size(), 2u);
+
+  // Per job: 1 submit, 1 start, 2 io_request, 2 io_complete, 1 end.
+  EXPECT_EQ(log.OfKind(SchedEventKind::kSubmit).size(), 2u);
+  EXPECT_EQ(log.OfKind(SchedEventKind::kStart).size(), 2u);
+  EXPECT_EQ(log.OfKind(SchedEventKind::kIoRequest).size(), 4u);
+  EXPECT_EQ(log.OfKind(SchedEventKind::kIoComplete).size(), 4u);
+  EXPECT_EQ(log.OfKind(SchedEventKind::kEnd).size(), 2u);
+  EXPECT_TRUE(log.OfKind(SchedEventKind::kKill).empty());
+
+  // Causal order per job and agreement with the job records.
+  std::map<workload::JobId, const metrics::JobRecord*> by_id;
+  for (const auto& r : result.records) by_id[r.id] = &r;
+  std::map<workload::JobId, double> last_time;
+  for (const SchedEvent& e : log.events()) {
+    auto it = last_time.find(e.job);
+    if (it != last_time.end()) {
+      EXPECT_GE(e.time, it->second);
+    }
+    last_time[e.job] = e.time;
+    const metrics::JobRecord& r = *by_id.at(e.job);
+    switch (e.kind) {
+      case SchedEventKind::kSubmit:
+        EXPECT_DOUBLE_EQ(e.time, r.submit_time);
+        break;
+      case SchedEventKind::kStart:
+        EXPECT_DOUBLE_EQ(e.time, r.start_time);
+        EXPECT_DOUBLE_EQ(e.detail, r.allocated_nodes);
+        break;
+      case SchedEventKind::kEnd:
+        EXPECT_DOUBLE_EQ(e.time, r.end_time);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+TEST(EventLog, KillEventsLogged) {
+  workload::Job j;
+  j.id = 1;
+  j.submit_time = 0;
+  j.nodes = 512;
+  j.requested_walltime = 50.0;
+  j.phases = {workload::Phase::Compute(100.0)};
+  SimulationConfig config;
+  config.machine = machine::MachineConfig::Small();
+  config.enforce_walltime = true;
+  EventLog log;
+  RunSimulation(config, {j}, &log);
+  ASSERT_EQ(log.OfKind(SchedEventKind::kKill).size(), 1u);
+  EXPECT_TRUE(log.OfKind(SchedEventKind::kEnd).empty());
+  EXPECT_DOUBLE_EQ(log.OfKind(SchedEventKind::kKill)[0].time, 50.0);
+}
+
+}  // namespace
+}  // namespace iosched::core

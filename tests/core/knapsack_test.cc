@@ -1,0 +1,138 @@
+#include "core/knapsack.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace iosched::core {
+namespace {
+
+double BruteForceBest(const std::vector<KnapsackItem>& items,
+                      double capacity) {
+  double best = 0.0;
+  std::size_t n = items.size();
+  for (std::size_t mask = 0; mask < (1u << n); ++mask) {
+    double w = 0.0;
+    double v = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        w += items[i].weight;
+        v += items[i].value;
+      }
+    }
+    if (w <= capacity) best = std::max(best, v);
+  }
+  return best;
+}
+
+TEST(Knapsack, EmptyInput) {
+  KnapsackSolution s = SolveKnapsack01({}, 100.0);
+  EXPECT_TRUE(s.selected.empty());
+  EXPECT_DOUBLE_EQ(s.total_value, 0.0);
+}
+
+TEST(Knapsack, ZeroCapacity) {
+  std::vector<KnapsackItem> items = {{1.0, 10.0}};
+  KnapsackSolution s = SolveKnapsack01(items, 0.0);
+  EXPECT_TRUE(s.selected.empty());
+}
+
+TEST(Knapsack, SingleFittingItem) {
+  std::vector<KnapsackItem> items = {{5.0, 10.0}};
+  KnapsackSolution s = SolveKnapsack01(items, 10.0);
+  ASSERT_EQ(s.selected.size(), 1u);
+  EXPECT_EQ(s.selected[0], 0u);
+  EXPECT_DOUBLE_EQ(s.total_value, 10.0);
+  EXPECT_DOUBLE_EQ(s.total_weight, 5.0);
+}
+
+TEST(Knapsack, OversizeItemNeverSelected) {
+  std::vector<KnapsackItem> items = {{100.0, 999.0}, {5.0, 1.0}};
+  KnapsackSolution s = SolveKnapsack01(items, 10.0);
+  ASSERT_EQ(s.selected.size(), 1u);
+  EXPECT_EQ(s.selected[0], 1u);
+}
+
+TEST(Knapsack, ClassicInstance) {
+  // Weights 1..4, values chosen so {2,3} beats greedy-by-value.
+  std::vector<KnapsackItem> items = {
+      {1.0, 1.0}, {2.0, 6.0}, {3.0, 10.0}, {4.0, 12.0}};
+  KnapsackSolution s = SolveKnapsack01(items, 5.0);
+  EXPECT_DOUBLE_EQ(s.total_value, 16.0);  // items 1 and 2 (weights 2+3)
+  EXPECT_LE(s.total_weight, 5.0);
+}
+
+TEST(Knapsack, SelectionIndicesAscending) {
+  std::vector<KnapsackItem> items = {
+      {2.0, 3.0}, {2.0, 3.0}, {2.0, 3.0}, {2.0, 3.0}};
+  KnapsackSolution s = SolveKnapsack01(items, 6.0);
+  ASSERT_EQ(s.selected.size(), 3u);
+  EXPECT_LT(s.selected[0], s.selected[1]);
+  EXPECT_LT(s.selected[1], s.selected[2]);
+}
+
+TEST(Knapsack, FractionalWeightsRoundUp) {
+  // 2.4 rounds up to 3 units: two such items need 6 units, not 5.
+  std::vector<KnapsackItem> items = {{2.4, 1.0}, {2.4, 1.0}};
+  KnapsackSolution s = SolveKnapsack01(items, 5.0, 1.0);
+  EXPECT_EQ(s.selected.size(), 1u);
+  // With a finer unit the true weights fit.
+  KnapsackSolution fine = SolveKnapsack01(items, 5.0, 0.1);
+  EXPECT_EQ(fine.selected.size(), 2u);
+}
+
+TEST(Knapsack, InvalidArgsThrow) {
+  std::vector<KnapsackItem> items = {{1.0, 1.0}};
+  EXPECT_THROW(SolveKnapsack01(items, -1.0), std::invalid_argument);
+  EXPECT_THROW(SolveKnapsack01(items, 10.0, 0.0), std::invalid_argument);
+  std::vector<KnapsackItem> bad = {{-1.0, 1.0}};
+  EXPECT_THROW(SolveKnapsack01(bad, 10.0), std::invalid_argument);
+}
+
+TEST(Knapsack, MaxUtilShapedInstance) {
+  // Bandwidth demands of 512/1024/8192-node jobs at Mira's b, BWmax=250:
+  std::vector<KnapsackItem> items = {
+      {16.0, 512.0}, {32.0, 1024.0}, {256.0, 8192.0}, {128.0, 4096.0},
+      {64.0, 2048.0}};
+  KnapsackSolution s = SolveKnapsack01(items, 250.0);
+  // 8192-node job (demand 256) cannot fit; best is 16+32+128+64 = 240 units
+  // carrying 512+1024+4096+2048 = 7680 nodes.
+  EXPECT_DOUBLE_EQ(s.total_value, 7680.0);
+  EXPECT_LE(s.total_weight, 250.0);
+}
+
+// Property: DP matches exhaustive search on random small instances.
+class KnapsackRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KnapsackRandom, MatchesBruteForce) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    std::size_t n = static_cast<std::size_t>(rng.UniformInt(1, 12));
+    std::vector<KnapsackItem> items;
+    for (std::size_t i = 0; i < n; ++i) {
+      items.push_back({static_cast<double>(rng.UniformInt(1, 30)),
+                       static_cast<double>(rng.UniformInt(0, 100))});
+    }
+    double capacity = static_cast<double>(rng.UniformInt(5, 80));
+    KnapsackSolution s = SolveKnapsack01(items, capacity);
+    EXPECT_DOUBLE_EQ(s.total_value, BruteForceBest(items, capacity));
+    EXPECT_LE(s.total_weight, capacity + 1e-9);
+    // Reported totals must match the selected indices.
+    double w = 0.0;
+    double v = 0.0;
+    for (std::size_t i : s.selected) {
+      w += items[i].weight;
+      v += items[i].value;
+    }
+    EXPECT_DOUBLE_EQ(w, s.total_weight);
+    EXPECT_DOUBLE_EQ(v, s.total_value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackRandom,
+                         ::testing::Values(3ull, 17ull, 404ull, 90210ull));
+
+}  // namespace
+}  // namespace iosched::core

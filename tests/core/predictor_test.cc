@@ -1,0 +1,161 @@
+#include "core/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/synthetic.h"
+
+namespace iosched::core {
+namespace {
+
+constexpr double kNodeBw = 1536.0 / 49152.0;
+
+workload::Job MakeJob(workload::JobId id, const std::string& project,
+                      const std::string& user, double compute, double io_gb,
+                      int phases, double efficiency = 1.0) {
+  workload::Job j;
+  j.id = id;
+  j.submit_time = 0;
+  j.nodes = 1024;
+  j.requested_walltime = compute * 2 + 100;
+  j.project = project;
+  j.user = user;
+  j.io_efficiency = efficiency;
+  j.phases = workload::MakeUniformPhases(compute, io_gb, phases);
+  return j;
+}
+
+IoBehaviorPredictor::Options Opts() {
+  IoBehaviorPredictor::Options o;
+  o.node_bandwidth_gbps = kNodeBw;
+  return o;
+}
+
+TEST(Predictor, NoHistoryGivesZeroSupport) {
+  IoBehaviorPredictor p(Opts());
+  IoPrediction pred = p.Predict(MakeJob(1, "pX", "uY", 100, 10, 1));
+  EXPECT_EQ(pred.support, 0u);
+  EXPECT_DOUBLE_EQ(pred.io_fraction, 0.0);
+}
+
+TEST(Predictor, LearnsProjectBehaviour) {
+  IoBehaviorPredictor p(Opts());
+  // Project pA: consistent 50% I/O fraction (compute 10 s, io 10 s at
+  // 32 GB/s full rate -> 320 GB), 4 phases.
+  for (int i = 0; i < 10; ++i) {
+    p.Observe(MakeJob(i, "pA", "u" + std::to_string(i), 10.0, 320.0, 4));
+  }
+  IoPrediction pred = p.Predict(MakeJob(99, "pA", "uNew", 10.0, 0.0, 0));
+  EXPECT_NEAR(pred.io_fraction, 0.5, 1e-9);
+  EXPECT_NEAR(pred.io_phases, 4.0, 1e-9);
+  EXPECT_EQ(pred.support, 10u);
+}
+
+TEST(Predictor, FallsBackUserThenGlobal) {
+  IoBehaviorPredictor::Options opts = Opts();
+  opts.min_support = 2;
+  IoBehaviorPredictor p(opts);
+  // Only user uB has history (3 jobs, all pure compute).
+  for (int i = 0; i < 3; ++i) {
+    p.Observe(MakeJob(i, "p" + std::to_string(i), "uB", 100.0, 0.0, 0));
+  }
+  // Unknown project + known user -> user-level prediction.
+  IoPrediction by_user = p.Predict(MakeJob(50, "pUnseen", "uB", 10, 0, 0));
+  EXPECT_EQ(by_user.support, 3u);
+  EXPECT_DOUBLE_EQ(by_user.io_fraction, 0.0);
+  // Unknown project + unknown user -> global.
+  IoPrediction global = p.Predict(MakeJob(51, "pUnseen", "uUnseen", 10, 0, 0));
+  EXPECT_EQ(global.support, 3u);
+}
+
+TEST(Predictor, MinSupportGatesSpecificLevels) {
+  IoBehaviorPredictor::Options opts = Opts();
+  opts.min_support = 5;
+  IoBehaviorPredictor p(opts);
+  // 2 observations of pA (below min_support of 5) with 50% I/O, plus 8
+  // unrelated pure-compute jobs -> pA job must use the global estimate.
+  p.Observe(MakeJob(1, "pA", "u1", 10.0, 320.0, 4));
+  p.Observe(MakeJob(2, "pA", "u2", 10.0, 320.0, 4));
+  for (int i = 0; i < 8; ++i) {
+    p.Observe(MakeJob(10 + i, "pB", "u3", 100.0, 0.0, 0));
+  }
+  IoPrediction pred = p.Predict(MakeJob(99, "pA", "uNew", 10, 0, 0));
+  EXPECT_EQ(pred.support, 10u);           // global
+  EXPECT_LT(pred.io_fraction, 0.3);       // dominated by compute-only jobs
+}
+
+TEST(Predictor, EwmaTracksDrift) {
+  IoBehaviorPredictor::Options opts = Opts();
+  opts.alpha = 0.5;
+  IoBehaviorPredictor p(opts);
+  // Project starts I/O-free, then shifts to 50% I/O.
+  for (int i = 0; i < 5; ++i) p.Observe(MakeJob(i, "pA", "u", 100.0, 0.0, 0));
+  for (int i = 0; i < 8; ++i) {
+    p.Observe(MakeJob(10 + i, "pA", "u", 10.0, 320.0, 4));
+  }
+  IoPrediction pred = p.Predict(MakeJob(99, "pA", "u", 10, 0, 0));
+  EXPECT_GT(pred.io_fraction, 0.45);  // converged towards the new regime
+}
+
+TEST(Predictor, LearnsEfficiency) {
+  IoBehaviorPredictor p(Opts());
+  for (int i = 0; i < 6; ++i) {
+    p.Observe(MakeJob(i, "pA", "u", 10.0, 160.0, 2, /*efficiency=*/0.4));
+  }
+  IoPrediction pred = p.Predict(MakeJob(99, "pA", "u", 10, 0, 0));
+  EXPECT_NEAR(pred.io_efficiency, 0.4, 1e-9);
+}
+
+TEST(Predictor, InvalidOptionsThrow) {
+  IoBehaviorPredictor::Options opts = Opts();
+  opts.alpha = 0.0;
+  EXPECT_THROW(IoBehaviorPredictor{opts}, std::invalid_argument);
+  opts = Opts();
+  opts.alpha = 1.5;
+  EXPECT_THROW(IoBehaviorPredictor{opts}, std::invalid_argument);
+  opts = Opts();
+  opts.node_bandwidth_gbps = 0.0;
+  EXPECT_THROW(IoBehaviorPredictor{opts}, std::invalid_argument);
+}
+
+TEST(Predictor, BeatsGlobalBaselineOnProjectStructuredWorkload) {
+  // Train on the first half of a synthetic month (projects have consistent
+  // I/O bands by construction), evaluate on the second half: the
+  // hierarchical predictor must beat a global-mean-only predictor.
+  workload::SyntheticConfig cfg = workload::EvaluationMonthConfig(1);
+  cfg.duration_days = 8.0;
+  workload::Workload jobs = workload::GenerateWorkload(cfg, 424242);
+  ASSERT_GT(jobs.size(), 400u);
+  std::size_t half = jobs.size() / 2;
+
+  IoBehaviorPredictor::Options opts;
+  opts.node_bandwidth_gbps = cfg.node_bandwidth_gbps;
+  IoBehaviorPredictor hierarchical(opts);
+  for (std::size_t i = 0; i < half; ++i) hierarchical.Observe(jobs[i]);
+
+  // Global-only reference: same machinery, provenance stripped.
+  IoBehaviorPredictor global_only(opts);
+  for (std::size_t i = 0; i < half; ++i) {
+    workload::Job stripped = jobs[i];
+    stripped.project.clear();
+    stripped.user.clear();
+    global_only.Observe(stripped);
+  }
+
+  workload::Workload test(jobs.begin() + static_cast<std::ptrdiff_t>(half),
+                          jobs.end());
+  workload::Workload test_stripped = test;
+  for (auto& j : test_stripped) {
+    j.project.clear();
+    j.user.clear();
+  }
+  double err_hier =
+      EvaluateFractionError(hierarchical, test, cfg.node_bandwidth_gbps);
+  double err_global = EvaluateFractionError(global_only, test_stripped,
+                                            cfg.node_bandwidth_gbps);
+  EXPECT_LT(err_hier, err_global * 0.8)
+      << "hierarchical " << err_hier << " vs global " << err_global;
+  EXPECT_LT(err_hier, 0.08);  // well inside one band's width
+}
+
+}  // namespace
+}  // namespace iosched::core

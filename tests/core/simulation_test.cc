@@ -1,0 +1,238 @@
+#include "core/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace iosched::core {
+namespace {
+
+// A deterministic hand-checkable setup on the Small machine (4,096 nodes,
+// b = 0.03125 GB/s per node) with a 64 GB/s storage cap.
+SimulationConfig SmallConfig(const std::string& policy) {
+  SimulationConfig cfg;
+  cfg.machine = machine::MachineConfig::Small();
+  cfg.storage.max_bandwidth_gbps = 64.0;
+  cfg.policy = policy;
+  return cfg;
+}
+
+workload::Job MakeJob(workload::JobId id, double submit, int nodes,
+                      double compute, double io_gb, int phases) {
+  workload::Job j;
+  j.id = id;
+  j.submit_time = submit;
+  j.nodes = nodes;
+  j.requested_walltime = compute * 2 + 1000;
+  j.phases = workload::MakeUniformPhases(compute, io_gb, phases);
+  return j;
+}
+
+TEST(Simulation, SingleComputeOnlyJob) {
+  workload::Workload jobs = {MakeJob(1, 100, 512, 3600, 0, 0)};
+  SimulationResult result = RunSimulation(SmallConfig("BASE_LINE"), jobs);
+  ASSERT_EQ(result.records.size(), 1u);
+  const metrics::JobRecord& r = result.records[0];
+  EXPECT_DOUBLE_EQ(r.start_time, 100.0);  // starts immediately
+  EXPECT_DOUBLE_EQ(r.WaitTime(), 0.0);
+  EXPECT_DOUBLE_EQ(r.Runtime(), 3600.0);
+  EXPECT_DOUBLE_EQ(r.RuntimeExpansion(), 1.0);
+  EXPECT_EQ(r.allocated_nodes, 512);
+}
+
+TEST(Simulation, SingleJobWithUncongestedIo) {
+  // 2048 nodes -> full rate 64 GB/s == BWmax: no congestion.
+  // compute 1000 s + 640 GB at 64 GB/s = 10 s of I/O.
+  workload::Workload jobs = {MakeJob(1, 0, 2048, 1000, 640, 2)};
+  SimulationResult result = RunSimulation(SmallConfig("BASE_LINE"), jobs);
+  ASSERT_EQ(result.records.size(), 1u);
+  const metrics::JobRecord& r = result.records[0];
+  EXPECT_NEAR(r.Runtime(), 1010.0, 1e-6);
+  EXPECT_NEAR(r.io_time_actual, 10.0, 1e-6);
+  EXPECT_NEAR(r.io_time_uncongested, 10.0, 1e-6);
+  EXPECT_NEAR(r.RuntimeExpansion(), 1.0, 1e-9);
+}
+
+TEST(Simulation, TwoJobsCongestUnderBaseline) {
+  // Two 2048-node jobs, one I/O phase each, perfectly overlapping I/O:
+  // each demands 64; fair share gives 32 each -> I/O takes twice as long.
+  workload::Workload jobs = {MakeJob(1, 0, 2048, 100, 640, 1),
+                             MakeJob(2, 0, 2048, 100, 640, 1)};
+  SimulationResult result = RunSimulation(SmallConfig("BASE_LINE"), jobs);
+  ASSERT_EQ(result.records.size(), 2u);
+  for (const metrics::JobRecord& r : result.records) {
+    EXPECT_NEAR(r.io_time_actual, 20.0, 1e-6);  // 10 s uncongested
+    EXPECT_NEAR(r.Runtime(), 120.0, 1e-6);
+  }
+}
+
+TEST(Simulation, ConservativeFcfsSerializesSameScenario) {
+  workload::Workload jobs = {MakeJob(1, 0, 2048, 100, 640, 1),
+                             MakeJob(2, 0, 2048, 100, 640, 1)};
+  SimulationResult result = RunSimulation(SmallConfig("FCFS"), jobs);
+  ASSERT_EQ(result.records.size(), 2u);
+  // Both issue I/O at t=100; FCFS (id tie-break) runs job 1 first at full
+  // rate (10 s) then job 2 (10 s more).
+  EXPECT_NEAR(result.records[0].io_time_actual, 10.0, 1e-6);
+  EXPECT_NEAR(result.records[1].io_time_actual, 20.0, 1e-6);
+  EXPECT_NEAR(result.records[0].end_time, 110.0, 1e-6);
+  EXPECT_NEAR(result.records[1].end_time, 120.0, 1e-6);
+}
+
+TEST(Simulation, WaitTimeCouplingThroughPartitions) {
+  // Machine holds 8 midplanes. Two 2048-node jobs fill it; a third must
+  // wait for a release. Congestion stretching runtimes delays the start.
+  workload::Workload jobs = {MakeJob(1, 0, 2048, 100, 640, 1),
+                             MakeJob(2, 0, 2048, 100, 640, 1),
+                             MakeJob(3, 1, 2048, 50, 0, 0)};
+  SimulationResult baseline = RunSimulation(SmallConfig("BASE_LINE"), jobs);
+  // Under BASE_LINE both finish at 120 -> job 3 starts at 120.
+  EXPECT_NEAR(baseline.records[2].start_time, 120.0, 1e-6);
+  SimulationResult fcfs = RunSimulation(SmallConfig("FCFS"), jobs);
+  // Under Cons-FCFS job 1 finishes at 110 -> job 3 starts earlier.
+  EXPECT_NEAR(fcfs.records[2].start_time, 110.0, 1e-6);
+}
+
+TEST(Simulation, ResponseNeverBeatsUncongestedRuntime) {
+  workload::Workload jobs;
+  for (int i = 0; i < 30; ++i) {
+    jobs.push_back(MakeJob(i + 1, i * 50.0, 512 << (i % 3), 500 + i * 10,
+                           (i % 2) ? 200.0 : 0.0, (i % 2) ? 3 : 0));
+  }
+  for (const std::string& policy :
+       {"BASE_LINE", "FCFS", "ADAPTIVE", "MIN_AGGR_SLD"}) {
+    SimulationResult result = RunSimulation(SmallConfig(policy), jobs);
+    ASSERT_EQ(result.records.size(), jobs.size()) << policy;
+    for (const metrics::JobRecord& r : result.records) {
+      EXPECT_GE(r.Runtime(), r.uncongested_runtime - 1e-6) << policy;
+      EXPECT_GE(r.WaitTime(), -1e-9) << policy;
+      EXPECT_GE(r.io_time_actual, r.io_time_uncongested - 1e-6) << policy;
+    }
+  }
+}
+
+TEST(Simulation, RecordsSortedAndComplete) {
+  workload::Workload jobs;
+  for (int i = 0; i < 20; ++i) {
+    jobs.push_back(MakeJob(100 - i, i * 10.0, 512, 100, 50, 1));
+  }
+  SimulationResult result = RunSimulation(SmallConfig("ADAPTIVE"), jobs);
+  ASSERT_EQ(result.records.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(result.records.begin(), result.records.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.id < b.id;
+                             }));
+}
+
+TEST(Simulation, InvalidJobRejected) {
+  workload::Workload jobs = {MakeJob(1, 0, 0, 100, 0, 0)};
+  EXPECT_THROW(RunSimulation(SmallConfig("BASE_LINE"), jobs),
+               std::invalid_argument);
+}
+
+TEST(Simulation, UnknownPolicyRejected) {
+  workload::Workload jobs = {MakeJob(1, 0, 512, 100, 0, 0)};
+  EXPECT_THROW(RunSimulation(SmallConfig("NOPE"), jobs),
+               std::invalid_argument);
+}
+
+TEST(Simulation, EmptyWorkload) {
+  SimulationResult result = RunSimulation(SmallConfig("BASE_LINE"), {});
+  EXPECT_TRUE(result.records.empty());
+  EXPECT_EQ(result.report.job_count, 0u);
+}
+
+TEST(Simulation, DeterministicAcrossRuns) {
+  workload::Workload jobs;
+  for (int i = 0; i < 25; ++i) {
+    jobs.push_back(MakeJob(i + 1, i * 37.0, 512 << (i % 3), 300 + i,
+                           100.0 + i, 1 + i % 4));
+  }
+  SimulationResult a = RunSimulation(SmallConfig("ADAPTIVE"), jobs);
+  SimulationResult b = RunSimulation(SmallConfig("ADAPTIVE"), jobs);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.records[i].start_time, b.records[i].start_time);
+    EXPECT_DOUBLE_EQ(a.records[i].end_time, b.records[i].end_time);
+  }
+  EXPECT_EQ(a.events_processed, b.events_processed);
+}
+
+TEST(Simulation, WalltimeKillTerminatesOverrunningJob) {
+  // Compute phase of 500 s but walltime request of 200 s.
+  workload::Job job = MakeJob(1, 0, 512, 500, 0, 0);
+  job.requested_walltime = 200.0;
+  SimulationConfig config = SmallConfig("BASE_LINE");
+  config.enforce_walltime = true;
+  SimulationResult result = RunSimulation(config, {job});
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_TRUE(result.records[0].killed);
+  EXPECT_NEAR(result.records[0].Runtime(), 200.0, 1e-6);
+}
+
+TEST(Simulation, WalltimeKillDuringIoAbortsTransfer) {
+  // Job enters I/O at t=100 with a transfer that takes 10 s at full rate,
+  // but congestion from a second job halves its rate; walltime 105 kills it
+  // mid-transfer.
+  workload::Job victim = MakeJob(1, 0, 2048, 100, 640, 1);
+  victim.requested_walltime = 105.0;
+  workload::Job other = MakeJob(2, 0, 2048, 100, 640, 1);
+  SimulationConfig config = SmallConfig("BASE_LINE");
+  config.enforce_walltime = true;
+  SimulationResult result = RunSimulation(config, {victim, other});
+  ASSERT_EQ(result.records.size(), 2u);
+  EXPECT_TRUE(result.records[0].killed);
+  EXPECT_NEAR(result.records[0].end_time, 105.0, 1e-6);
+  // The survivor gets the freed bandwidth: after t=105 it runs at full 64
+  // GB/s. It moved 32*5=160 GB during contention, the remaining 480 GB take
+  // 7.5 s -> finishes at 112.5.
+  EXPECT_FALSE(result.records[1].killed);
+  EXPECT_NEAR(result.records[1].end_time, 112.5, 1e-6);
+}
+
+TEST(Simulation, NoKillWhenJobFitsWalltime) {
+  workload::Job job = MakeJob(1, 0, 512, 100, 0, 0);
+  job.requested_walltime = 200.0;
+  SimulationConfig config = SmallConfig("BASE_LINE");
+  config.enforce_walltime = true;
+  SimulationResult result = RunSimulation(config, {job});
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_FALSE(result.records[0].killed);
+  EXPECT_NEAR(result.records[0].Runtime(), 100.0, 1e-6);
+}
+
+TEST(Simulation, BandwidthSummaryReflectsCongestion) {
+  // Two jobs congest (demand 128 vs cap 64) while transferring.
+  workload::Workload jobs = {MakeJob(1, 0, 2048, 100, 640, 1),
+                             MakeJob(2, 0, 2048, 100, 640, 1)};
+  SimulationResult result = RunSimulation(SmallConfig("BASE_LINE"), jobs);
+  EXPECT_GT(result.bandwidth.episode_count, 0u);
+  EXPECT_GT(result.bandwidth.congested_fraction, 0.0);
+  EXPECT_GT(result.bandwidth.mean_demand_gbps, 0.0);
+
+  SimulationConfig off = SmallConfig("BASE_LINE");
+  off.track_bandwidth = false;
+  SimulationResult untracked = RunSimulation(off, jobs);
+  EXPECT_EQ(untracked.bandwidth.episode_count, 0u);
+  EXPECT_DOUBLE_EQ(untracked.bandwidth.time_span, 0.0);
+}
+
+TEST(Simulation, ConservativeWastesNoBandwidthInSerializedScenario) {
+  // Under Cons-FCFS with equal-demand jobs the admitted job always uses the
+  // full usable bandwidth: mean waste should be ~zero... but the second
+  // job's demand (64) vs available 0 counts as suspended-wanting-bandwidth
+  // only up to min(demand, BWmax) - granted = 0 since granted==BWmax.
+  workload::Workload jobs = {MakeJob(1, 0, 2048, 100, 640, 1),
+                             MakeJob(2, 0, 2048, 100, 640, 1)};
+  SimulationResult result = RunSimulation(SmallConfig("FCFS"), jobs);
+  EXPECT_NEAR(result.bandwidth.mean_wasted_gbps, 0.0, 1e-9);
+}
+
+TEST(Simulation, PolicyNameReported) {
+  workload::Workload jobs = {MakeJob(1, 0, 512, 100, 0, 0)};
+  SimulationResult result = RunSimulation(SmallConfig("MIN_INST_SLD"), jobs);
+  EXPECT_EQ(result.policy_name, "MIN_INST_SLD");
+}
+
+}  // namespace
+}  // namespace iosched::core

@@ -1,0 +1,89 @@
+#include "core/slowdown.h"
+
+#include <gtest/gtest.h>
+
+namespace iosched::core {
+namespace {
+
+IoJobView MakeView() {
+  IoJobView v;
+  v.id = 1;
+  v.nodes = 1024;
+  v.full_rate_gbps = 32.0;
+  v.volume_gb = 320.0;
+  v.transferred_gb = 0.0;
+  v.request_arrival = 100.0;
+  v.job_start = 0.0;
+  v.completed_compute_seconds = 100.0;
+  v.completed_io_seconds = 0.0;
+  return v;
+}
+
+TEST(InstantSlowdownTest, OneAtRequestArrival) {
+  IoJobView v = MakeView();
+  EXPECT_DOUBLE_EQ(InstantSlowdown(v, 100.0), 1.0);
+}
+
+TEST(InstantSlowdownTest, OneWhenFullRate) {
+  IoJobView v = MakeView();
+  // 10 seconds at full rate: W = 320 GB ideal = b*N*t = 32*10 = 320.
+  v.transferred_gb = 320.0;
+  EXPECT_DOUBLE_EQ(InstantSlowdown(v, 110.0), 1.0);
+}
+
+TEST(InstantSlowdownTest, TwoWhenHalfRate) {
+  IoJobView v = MakeView();
+  v.transferred_gb = 160.0;  // half of the ideal 320
+  EXPECT_DOUBLE_EQ(InstantSlowdown(v, 110.0), 2.0);
+}
+
+TEST(InstantSlowdownTest, CappedWhenNothingTransferred) {
+  IoJobView v = MakeView();
+  EXPECT_DOUBLE_EQ(InstantSlowdown(v, 200.0), kSlowdownCap);
+}
+
+TEST(InstantSlowdownTest, NeverBelowOne) {
+  IoJobView v = MakeView();
+  // Float slop could make W slightly exceed the ideal; clamp at 1.
+  v.transferred_gb = 321.0;
+  EXPECT_DOUBLE_EQ(InstantSlowdown(v, 110.0), 1.0);
+}
+
+TEST(AggregateSlowdownTest, OneWhenOnSchedule) {
+  IoJobView v = MakeView();
+  // Job ran 100 s of compute and arrives at its first I/O at t=100.
+  EXPECT_DOUBLE_EQ(AggregateSlowdown(v, 100.0), 1.0);
+}
+
+TEST(AggregateSlowdownTest, GrowsWithDelay) {
+  IoJobView v = MakeView();
+  // By t=150 the job has only 100 s of useful work behind it.
+  EXPECT_DOUBLE_EQ(AggregateSlowdown(v, 150.0), 1.5);
+}
+
+TEST(AggregateSlowdownTest, CountsCompletedIo) {
+  IoJobView v = MakeView();
+  v.completed_compute_seconds = 100.0;
+  v.completed_io_seconds = 50.0;
+  EXPECT_DOUBLE_EQ(AggregateSlowdown(v, 300.0), 2.0);
+}
+
+TEST(AggregateSlowdownTest, ZeroDenominatorCases) {
+  IoJobView v = MakeView();
+  v.completed_compute_seconds = 0.0;
+  v.completed_io_seconds = 0.0;
+  v.job_start = 100.0;
+  // Job just started and went straight to I/O: ratio 0/0 -> 1.
+  EXPECT_DOUBLE_EQ(AggregateSlowdown(v, 100.0), 1.0);
+  // Elapsed time with zero useful work -> capped.
+  EXPECT_DOUBLE_EQ(AggregateSlowdown(v, 150.0), kSlowdownCap);
+}
+
+TEST(AggregateSlowdownTest, NeverBelowOne) {
+  IoJobView v = MakeView();
+  v.completed_compute_seconds = 1000.0;  // more work than elapsed time
+  EXPECT_DOUBLE_EQ(AggregateSlowdown(v, 150.0), 1.0);
+}
+
+}  // namespace
+}  // namespace iosched::core

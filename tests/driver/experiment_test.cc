@@ -1,0 +1,134 @@
+#include "driver/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "driver/scenario.h"
+
+namespace iosched::driver {
+namespace {
+
+Scenario QuickScenario() {
+  // Half a day keeps each simulation in the low milliseconds.
+  return MakeTestScenario(/*seed=*/5, /*duration_days=*/0.5,
+                          /*jobs_per_day=*/200.0);
+}
+
+TEST(ScenarioTest, EvaluationScenariosDiffer) {
+  Scenario wl1 = MakeEvaluationScenario(1, /*duration_days=*/1.0);
+  Scenario wl2 = MakeEvaluationScenario(2, /*duration_days=*/1.0);
+  EXPECT_EQ(wl1.name, "WL1");
+  EXPECT_EQ(wl2.name, "WL2");
+  EXPECT_NE(wl1.jobs.size(), 0u);
+  EXPECT_NE(wl1.jobs.size(), wl2.jobs.size());
+  EXPECT_EQ(wl1.config.machine.total_nodes(), 49152);
+  EXPECT_DOUBLE_EQ(wl1.config.storage.max_bandwidth_gbps, 250.0);
+}
+
+TEST(ScenarioTest, TestScenarioKeepsMiraCongestionGeometry) {
+  Scenario s = QuickScenario();
+  double aggregate = s.config.machine.total_nodes() *
+                     s.config.machine.node_bandwidth_gbps;
+  EXPECT_NEAR(aggregate / s.config.storage.max_bandwidth_gbps, 6.144, 1e-9);
+}
+
+TEST(ScenarioTest, ExpansionFactorScalesVolumes) {
+  Scenario base = QuickScenario();
+  Scenario scaled = WithExpansionFactor(base, 1.5);
+  double base_gb = 0;
+  double scaled_gb = 0;
+  for (const auto& j : base.jobs) base_gb += j.TotalIoVolumeGb();
+  for (const auto& j : scaled.jobs) scaled_gb += j.TotalIoVolumeGb();
+  EXPECT_NEAR(scaled_gb, base_gb * 1.5, base_gb * 1e-9);
+  EXPECT_NE(scaled.name.find("EF=150%"), std::string::npos);
+  // Base scenario untouched.
+  EXPECT_EQ(base.name, "TEST");
+}
+
+TEST(RunPolicySweepTest, SerialMatchesParallel) {
+  Scenario s = QuickScenario();
+  const std::vector<std::string> policies = {"BASE_LINE", "FCFS", "ADAPTIVE"};
+  auto serial = RunPolicySweep(s, policies, nullptr);
+  util::ThreadPool pool(3);
+  auto parallel = RunPolicySweep(s, policies, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].policy, parallel[i].policy);
+    EXPECT_DOUBLE_EQ(serial[i].report.avg_wait_seconds,
+                     parallel[i].report.avg_wait_seconds);
+    EXPECT_DOUBLE_EQ(serial[i].report.utilization,
+                     parallel[i].report.utilization);
+  }
+}
+
+TEST(RunPolicySweepTest, ResultsCarryMetadata) {
+  Scenario s = QuickScenario();
+  const std::vector<std::string> policies = {"MAX_UTIL"};
+  auto runs = RunPolicySweep(s, policies);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].policy, "MAX_UTIL");
+  EXPECT_EQ(runs[0].scenario, "TEST");
+  EXPECT_GT(runs[0].events_processed, 0u);
+  EXPECT_GT(runs[0].io_cycles, 0u);
+  EXPECT_GT(runs[0].report.job_count, 0u);
+}
+
+TEST(RunExpansionSweepTest, RowMajorLayout) {
+  Scenario s = QuickScenario();
+  const std::vector<std::string> policies = {"BASE_LINE", "ADAPTIVE"};
+  const std::vector<double> factors = {0.5, 1.0};
+  auto runs = RunExpansionSweep(s, factors, policies);
+  ASSERT_EQ(runs.size(), 4u);
+  EXPECT_NE(runs[0].scenario.find("EF=50%"), std::string::npos);
+  EXPECT_EQ(runs[0].policy, "BASE_LINE");
+  EXPECT_EQ(runs[1].policy, "ADAPTIVE");
+  EXPECT_NE(runs[2].scenario.find("EF=100%"), std::string::npos);
+}
+
+TEST(Tables, WaitResponseUtilizationRender) {
+  Scenario s = QuickScenario();
+  const std::vector<std::string> policies = {"BASE_LINE", "ADAPTIVE"};
+  auto runs = RunPolicySweep(s, policies);
+  std::string wait = WaitTimeTable(runs).ToString();
+  EXPECT_NE(wait.find("BASE_LINE"), std::string::npos);
+  EXPECT_NE(wait.find("avg wait (min)"), std::string::npos);
+  std::string resp = ResponseTimeTable(runs).ToString();
+  EXPECT_NE(resp.find("avg response (min)"), std::string::npos);
+  std::string util_table = UtilizationTable(runs).ToString();
+  EXPECT_NE(util_table.find("normalized"), std::string::npos);
+  // BASE_LINE normalizes to itself.
+  EXPECT_NE(util_table.find("1.000x"), std::string::npos);
+}
+
+TEST(Tables, SensitivityShape) {
+  Scenario s = QuickScenario();
+  const std::vector<std::string> policies = {"BASE_LINE", "ADAPTIVE"};
+  const std::vector<double> factors = {0.5, 1.5};
+  auto runs = RunExpansionSweep(s, factors, policies);
+  util::Table t = SensitivityTable(runs, factors, policies);
+  EXPECT_EQ(t.row_count(), 2u);
+  std::string str = t.ToString();
+  EXPECT_NE(str.find("50%"), std::string::npos);
+  EXPECT_NE(str.find("150%"), std::string::npos);
+  const std::vector<std::string> wrong = {"ONE"};
+  EXPECT_THROW(SensitivityTable(runs, factors, wrong), std::invalid_argument);
+}
+
+TEST(Tables, EmptyRunsThrow) {
+  EXPECT_THROW(WaitTimeTable({}), std::invalid_argument);
+  EXPECT_THROW(ResponseTimeTable({}), std::invalid_argument);
+  EXPECT_THROW(UtilizationTable({}), std::invalid_argument);
+}
+
+TEST(RunsToCsvTest, OneLinePerRun) {
+  Scenario s = QuickScenario();
+  const std::vector<std::string> policies = {"BASE_LINE", "FCFS"};
+  auto runs = RunPolicySweep(s, policies);
+  std::string csv = RunsToCsv(runs);
+  std::size_t lines = 0;
+  for (char c : csv) lines += (c == '\n') ? 1 : 0;
+  EXPECT_EQ(lines, 3u);  // header + 2 runs
+  EXPECT_NE(csv.find("avg_wait_min"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iosched::driver

@@ -1,0 +1,88 @@
+#include "driver/replication.h"
+
+#include <gtest/gtest.h>
+
+namespace iosched::driver {
+namespace {
+
+ScenarioFactory SmallFactory() {
+  return [](std::uint64_t seed) {
+    return MakeTestScenario(seed, /*duration_days=*/0.4,
+                            /*jobs_per_day=*/180.0);
+  };
+}
+
+TEST(Replication, AggregatesAcrossSeeds) {
+  const std::vector<std::uint64_t> seeds = {1, 2, 3};
+  const std::vector<std::string> policies = {"BASE_LINE", "ADAPTIVE"};
+  auto runs = RunReplications(SmallFactory(), seeds, policies);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].policy, "BASE_LINE");
+  EXPECT_EQ(runs[0].wait_seconds.n, 3u);
+  EXPECT_GT(runs[0].response_seconds.mean, 0.0);
+  EXPECT_GT(runs[0].utilization.mean, 0.0);
+  EXPECT_LE(runs[0].utilization.mean, 1.0);
+  // Different seeds give different waits -> positive spread.
+  EXPECT_GT(runs[0].wait_seconds.stddev, 0.0);
+}
+
+TEST(Replication, SerialMatchesParallel) {
+  const std::vector<std::uint64_t> seeds = {7, 8};
+  const std::vector<std::string> policies = {"BASE_LINE", "FCFS"};
+  auto serial = RunReplications(SmallFactory(), seeds, policies, nullptr);
+  util::ThreadPool pool(2);
+  auto parallel = RunReplications(SmallFactory(), seeds, policies, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].wait_seconds.mean,
+                     parallel[i].wait_seconds.mean);
+    EXPECT_DOUBLE_EQ(serial[i].utilization.stddev,
+                     parallel[i].utilization.stddev);
+  }
+}
+
+TEST(Replication, SingleSeedHasZeroSpread) {
+  const std::vector<std::uint64_t> seeds = {42};
+  const std::vector<std::string> policies = {"BASE_LINE"};
+  auto runs = RunReplications(SmallFactory(), seeds, policies);
+  EXPECT_DOUBLE_EQ(runs[0].wait_seconds.stddev, 0.0);
+  EXPECT_EQ(runs[0].wait_seconds.n, 1u);
+}
+
+TEST(Replication, EmptyInputsThrow) {
+  const std::vector<std::string> policies = {"BASE_LINE"};
+  const std::vector<std::uint64_t> no_seeds;
+  EXPECT_THROW(RunReplications(SmallFactory(), no_seeds, policies),
+               std::invalid_argument);
+  const std::vector<std::uint64_t> seeds = {1};
+  const std::vector<std::string> no_policies;
+  EXPECT_THROW(RunReplications(SmallFactory(), seeds, no_policies),
+               std::invalid_argument);
+}
+
+TEST(Replication, EvaluationMonthFactoryProducesDistinctInstances) {
+  ScenarioFactory factory = EvaluationMonthFactory(2, 0.5);
+  Scenario a = factory(11);
+  Scenario b = factory(12);
+  EXPECT_NE(a.jobs.size(), 0u);
+  EXPECT_NE(a.name, b.name);
+  bool differs = a.jobs.size() != b.jobs.size();
+  for (std::size_t i = 0; !differs && i < a.jobs.size(); ++i) {
+    differs = a.jobs[i].submit_time != b.jobs[i].submit_time;
+  }
+  EXPECT_TRUE(differs);
+  EXPECT_THROW(EvaluationMonthFactory(7, 1.0), std::invalid_argument);
+}
+
+TEST(Replication, TableRenders) {
+  const std::vector<std::uint64_t> seeds = {1, 2};
+  const std::vector<std::string> policies = {"BASE_LINE", "ADAPTIVE"};
+  auto runs = RunReplications(SmallFactory(), seeds, policies);
+  std::string s = ReplicationTable(runs).ToString();
+  EXPECT_NE(s.find("+-"), std::string::npos);
+  EXPECT_NE(s.find("ADAPTIVE"), std::string::npos);
+  EXPECT_THROW(ReplicationTable({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iosched::driver

@@ -1,0 +1,67 @@
+#include "metrics/breakdown.h"
+
+#include <gtest/gtest.h>
+
+namespace iosched::metrics {
+namespace {
+
+JobRecord Rec(workload::JobId id, int nodes, double wait, double runtime) {
+  JobRecord r;
+  r.id = id;
+  r.requested_nodes = nodes;
+  r.allocated_nodes = nodes;
+  r.submit_time = 0;
+  r.start_time = wait;
+  r.end_time = wait + runtime;
+  r.uncongested_runtime = runtime;
+  return r;
+}
+
+TEST(Breakdown, GroupsAndAverages) {
+  JobRecords records = {Rec(1, 512, 100, 1000), Rec(2, 512, 300, 1000),
+                        Rec(3, 4096, 50, 2000)};
+  auto classes = BreakdownBySize(records);
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0].label, "512");
+  EXPECT_EQ(classes[0].job_count, 2u);
+  EXPECT_DOUBLE_EQ(classes[0].avg_wait_seconds, 200.0);
+  EXPECT_DOUBLE_EQ(classes[0].avg_response_seconds, 1200.0);
+  EXPECT_EQ(classes[1].label, "4096");
+  EXPECT_DOUBLE_EQ(classes[1].avg_wait_seconds, 50.0);
+  EXPECT_DOUBLE_EQ(classes[1].total_node_seconds, 4096.0 * 2000.0);
+}
+
+TEST(Breakdown, SizeClassesSortNumerically) {
+  JobRecords records = {Rec(1, 16384, 0, 1), Rec(2, 512, 0, 1),
+                        Rec(3, 2048, 0, 1)};
+  auto classes = BreakdownBySize(records);
+  ASSERT_EQ(classes.size(), 3u);
+  EXPECT_EQ(classes[0].label, "512");
+  EXPECT_EQ(classes[1].label, "2048");
+  EXPECT_EQ(classes[2].label, "16384");
+}
+
+TEST(Breakdown, CustomKey) {
+  JobRecords records = {Rec(1, 512, 10, 100), Rec(2, 1024, 30, 100)};
+  auto classes = BreakdownBy(records, [](const JobRecord& r) {
+    return r.requested_nodes >= 1024 ? "big" : "small";
+  });
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0].label, "big");
+  EXPECT_EQ(classes[1].label, "small");
+}
+
+TEST(Breakdown, EmptyRecords) {
+  EXPECT_TRUE(BreakdownBySize({}).empty());
+}
+
+TEST(Breakdown, TableRenders) {
+  JobRecords records = {Rec(1, 512, 100, 1000)};
+  auto classes = BreakdownBySize(records);
+  std::string s = BreakdownTable(classes).ToString();
+  EXPECT_NE(s.find("512"), std::string::npos);
+  EXPECT_NE(s.find("node-hours"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iosched::metrics

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/bandwidth.h"
+#include "metrics/job_record.h"
+#include "metrics/report.h"
+#include "metrics/utilization.h"
+
+namespace iosched::metrics {
+namespace {
+
+TEST(JobRecord, DerivedMetrics) {
+  JobRecord r;
+  r.submit_time = 100;
+  r.start_time = 160;
+  r.end_time = 460;
+  r.uncongested_runtime = 200;
+  r.io_time_actual = 120;
+  r.io_time_uncongested = 20;
+  EXPECT_DOUBLE_EQ(r.WaitTime(), 60.0);
+  EXPECT_DOUBLE_EQ(r.ResponseTime(), 360.0);
+  EXPECT_DOUBLE_EQ(r.Runtime(), 300.0);
+  EXPECT_DOUBLE_EQ(r.RuntimeExpansion(), 1.5);
+  EXPECT_DOUBLE_EQ(r.IoSlowdown(), 6.0);
+}
+
+TEST(JobRecord, NoIoDefaults) {
+  JobRecord r;
+  r.start_time = 0;
+  r.end_time = 100;
+  r.uncongested_runtime = 0;
+  EXPECT_DOUBLE_EQ(r.RuntimeExpansion(), 1.0);
+  EXPECT_DOUBLE_EQ(r.IoSlowdown(), 1.0);
+}
+
+TEST(UtilizationTracker, IntegratesStepFunction) {
+  UtilizationTracker t(100);
+  t.Record(0, 50);
+  t.Record(10, 100);
+  t.Record(20, 0);
+  t.Record(30, 0);  // no-op sample
+  EXPECT_DOUBLE_EQ(t.BusyNodeSeconds(0, 30), 50 * 10 + 100 * 10 + 0.0);
+  EXPECT_DOUBLE_EQ(t.Utilization(0, 30), 1500.0 / 3000.0);
+}
+
+TEST(UtilizationTracker, PartialWindows) {
+  UtilizationTracker t(10);
+  t.Record(0, 10);
+  t.Record(100, 0);
+  EXPECT_DOUBLE_EQ(t.Utilization(0, 50), 1.0);
+  EXPECT_DOUBLE_EQ(t.Utilization(25, 75), 1.0);
+  EXPECT_DOUBLE_EQ(t.Utilization(100, 200), 0.0);
+  // Before the first sample there is no load.
+  EXPECT_DOUBLE_EQ(t.BusyNodeSeconds(-50, 0), 0.0);
+}
+
+TEST(UtilizationTracker, LastSampleExtends) {
+  UtilizationTracker t(10);
+  t.Record(0, 5);
+  EXPECT_DOUBLE_EQ(t.Utilization(0, 100), 0.5);
+}
+
+TEST(UtilizationTracker, StableWindowExcludesEdges) {
+  UtilizationTracker t(10);
+  // Warm-up: idle for the first 10 s; stable: full; cool-down: ramp-down.
+  t.Record(0, 0);
+  t.Record(10, 10);
+  t.Record(90, 2);
+  t.Record(100, 0);
+  double full = t.Utilization(0, 100);
+  double stable = t.StableUtilization(0.10, 0.10);
+  EXPECT_GT(stable, full);
+  EXPECT_DOUBLE_EQ(stable, 1.0);  // window [10, 90] is fully busy
+}
+
+TEST(UtilizationTracker, Validation) {
+  EXPECT_THROW(UtilizationTracker(0), std::invalid_argument);
+  UtilizationTracker t(10);
+  EXPECT_THROW(t.Record(0, -1), std::invalid_argument);
+  EXPECT_THROW(t.Record(0, 11), std::invalid_argument);
+  t.Record(10, 5);
+  EXPECT_THROW(t.Record(5, 5), std::logic_error);
+  EXPECT_THROW(t.StableUtilization(0.6, 0.5), std::invalid_argument);
+  EXPECT_THROW(t.StableUtilization(-0.1, 0.0), std::invalid_argument);
+}
+
+TEST(UtilizationTracker, SameInstantOverwrites) {
+  UtilizationTracker t(10);
+  t.Record(5, 3);
+  t.Record(5, 7);
+  EXPECT_DOUBLE_EQ(t.Utilization(5, 15), 0.7);
+}
+
+TEST(UtilizationTracker, EmptyTrackerSafeDefaults) {
+  UtilizationTracker t(10);
+  EXPECT_DOUBLE_EQ(t.StableUtilization(0.05, 0.05), 0.0);
+  EXPECT_DOUBLE_EQ(t.BusyNodeSeconds(0, 10), 0.0);
+  EXPECT_THROW(t.first_time(), std::logic_error);
+}
+
+BandwidthSample Sample(double t, double demand, double granted, int suspended,
+                       int active) {
+  BandwidthSample s;
+  s.time = t;
+  s.demand_gbps = demand;
+  s.granted_gbps = granted;
+  s.suspended_requests = suspended;
+  s.active_requests = active;
+  return s;
+}
+
+TEST(BandwidthTracker, EpisodeDetection) {
+  BandwidthTracker t(100.0);
+  t.Record(Sample(0, 50, 50, 0, 2));
+  t.Record(Sample(10, 150, 100, 1, 3));   // congestion starts
+  t.Record(Sample(20, 180, 100, 2, 4));   // deeper
+  t.Record(Sample(30, 80, 80, 0, 2));     // clears
+  t.Record(Sample(40, 120, 100, 1, 3));   // second episode, open-ended
+  auto episodes = t.Episodes();
+  ASSERT_EQ(episodes.size(), 2u);
+  EXPECT_DOUBLE_EQ(episodes[0].start, 10.0);
+  EXPECT_DOUBLE_EQ(episodes[0].end, 30.0);
+  EXPECT_DOUBLE_EQ(episodes[0].peak_overload, 1.8);
+  EXPECT_DOUBLE_EQ(episodes[1].start, 40.0);
+  EXPECT_DOUBLE_EQ(episodes[1].end, 40.0);  // truncated at the last sample
+}
+
+TEST(BandwidthTracker, SummaryIntegrals) {
+  BandwidthTracker t(100.0);
+  t.Record(Sample(0, 50, 50, 0, 1));     // 10 s uncongested, no waste
+  t.Record(Sample(10, 150, 100, 1, 3));  // 10 s congested, no waste
+  t.Record(Sample(20, 80, 60, 1, 2));    // 10 s uncongested, 20 wasted
+  t.Record(Sample(30, 0, 0, 0, 0));
+  BandwidthSummary s = t.Summarize();
+  EXPECT_DOUBLE_EQ(s.time_span, 30.0);
+  EXPECT_NEAR(s.congested_fraction, 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(s.episode_count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean_demand_gbps, (500.0 + 1500.0 + 800.0) / 30.0);
+  EXPECT_DOUBLE_EQ(s.mean_granted_gbps, (500.0 + 1000.0 + 600.0) / 30.0);
+  EXPECT_DOUBLE_EQ(s.mean_wasted_gbps, 200.0 / 30.0);
+}
+
+TEST(BandwidthTracker, Validation) {
+  EXPECT_THROW(BandwidthTracker(0.0), std::invalid_argument);
+  BandwidthTracker t(100.0);
+  EXPECT_THROW(t.Record(Sample(0, -1, 0, 0, 0)), std::invalid_argument);
+  EXPECT_THROW(t.Record(Sample(0, 1, -1, 0, 0)), std::invalid_argument);
+  EXPECT_THROW(t.Record(Sample(0, 1, 1, 2, 1)), std::invalid_argument);
+  t.Record(Sample(10, 1, 1, 0, 1));
+  EXPECT_THROW(t.Record(Sample(5, 1, 1, 0, 1)), std::logic_error);
+}
+
+TEST(BandwidthTracker, SameInstantOverwrites) {
+  BandwidthTracker t(100.0);
+  t.Record(Sample(10, 50, 50, 0, 1));
+  t.Record(Sample(10, 150, 100, 1, 2));
+  ASSERT_EQ(t.sample_count(), 1u);
+  EXPECT_DOUBLE_EQ(t.samples()[0].demand_gbps, 150.0);
+}
+
+TEST(BandwidthTracker, EmptyAndSingleSampleSafe) {
+  BandwidthTracker t(100.0);
+  EXPECT_TRUE(t.Episodes().empty());
+  BandwidthSummary s = t.Summarize();
+  EXPECT_DOUBLE_EQ(s.time_span, 0.0);
+  t.Record(Sample(0, 200, 100, 1, 2));
+  EXPECT_EQ(t.Episodes().size(), 1u);
+  EXPECT_DOUBLE_EQ(t.Summarize().time_span, 0.0);
+}
+
+JobRecords MakeRecords() {
+  JobRecords records;
+  for (int i = 0; i < 4; ++i) {
+    JobRecord r;
+    r.id = i + 1;
+    r.requested_nodes = 512;
+    r.allocated_nodes = 512;
+    r.submit_time = i * 100.0;
+    r.start_time = r.submit_time + 50.0 * (i + 1);
+    r.end_time = r.start_time + 200.0;
+    r.uncongested_runtime = 160.0;
+    r.io_time_actual = 60.0;
+    r.io_time_uncongested = 20.0;
+    r.io_phase_count = 2;
+    records.push_back(r);
+  }
+  return records;
+}
+
+TEST(Summarize, ComputesPaperMetrics) {
+  JobRecords records = MakeRecords();
+  UtilizationTracker util(1024);
+  util.Record(0, 512);
+  util.Record(1000, 0);
+  Report report = Summarize(records, util, 0.0, 0.0);
+  EXPECT_EQ(report.job_count, 4u);
+  // Waits: 50, 100, 150, 200 -> mean 125.
+  EXPECT_DOUBLE_EQ(report.avg_wait_seconds, 125.0);
+  EXPECT_DOUBLE_EQ(report.avg_response_seconds, 325.0);
+  EXPECT_DOUBLE_EQ(report.avg_runtime_seconds, 200.0);
+  EXPECT_DOUBLE_EQ(report.avg_runtime_expansion, 1.25);
+  EXPECT_DOUBLE_EQ(report.avg_io_slowdown, 3.0);
+  // Responses 250..400 s over max(runtime=200, bound=600): all < 1 -> 1.0.
+  EXPECT_DOUBLE_EQ(report.avg_bounded_slowdown, 1.0);
+  EXPECT_DOUBLE_EQ(report.utilization, 0.5);
+  EXPECT_DOUBLE_EQ(report.max_wait_seconds, 200.0);
+  // Makespan: first submit 0 .. last end (300 + 50*4 + 200 = 700).
+  EXPECT_DOUBLE_EQ(report.makespan_seconds, 700.0);
+}
+
+TEST(Summarize, EmptyRecords) {
+  UtilizationTracker util(16);
+  Report report = Summarize({}, util);
+  EXPECT_EQ(report.job_count, 0u);
+  EXPECT_DOUBLE_EQ(report.avg_wait_seconds, 0.0);
+}
+
+TEST(Summarize, BoundedSlowdownCountsLongWaits) {
+  JobRecords records;
+  JobRecord r;
+  r.id = 1;
+  r.submit_time = 0;
+  r.start_time = 3000;   // waits 3000 s
+  r.end_time = 4000;     // runtime 1000 s -> slowdown 4000/1000 = 4
+  r.uncongested_runtime = 1000;
+  records.push_back(r);
+  JobRecord tiny = r;
+  tiny.id = 2;
+  tiny.start_time = 600;
+  tiny.end_time = 660;   // runtime 60 s; bound at 600: 660/600 = 1.1
+  records.push_back(tiny);
+  UtilizationTracker util(16);
+  Report report = Summarize(records, util, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(report.avg_bounded_slowdown, (4.0 + 1.1) / 2.0);
+}
+
+TEST(WriteRecordsCsvTest, EmitsHeaderAndRows) {
+  std::ostringstream os;
+  WriteRecordsCsv(os, MakeRecords());
+  std::string s = os.str();
+  EXPECT_NE(s.find("job_id,"), std::string::npos);
+  EXPECT_NE(s.find("killed"), std::string::npos);
+  // 1 header + 4 rows.
+  std::size_t lines = 0;
+  for (char c : s) lines += (c == '\n') ? 1 : 0;
+  EXPECT_EQ(lines, 5u);
+}
+
+TEST(ReportToString, MentionsKeyNumbers) {
+  JobRecords records = MakeRecords();
+  UtilizationTracker util(1024);
+  util.Record(0, 512);
+  Report report = Summarize(records, util, 0.0, 0.0);
+  std::string s = ToString(report);
+  EXPECT_NE(s.find("jobs=4"), std::string::npos);
+  EXPECT_NE(s.find("avg_wait"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iosched::metrics

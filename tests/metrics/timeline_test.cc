@@ -1,0 +1,103 @@
+#include "metrics/timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace iosched::metrics {
+namespace {
+
+JobRecord Rec(workload::JobId id, int nodes, double start, double end) {
+  JobRecord r;
+  r.id = id;
+  r.requested_nodes = nodes;
+  r.allocated_nodes = nodes;
+  r.submit_time = start;
+  r.start_time = start;
+  r.end_time = end;
+  return r;
+}
+
+TEST(OccupancyTimelineTest, FullMachineFullBuckets) {
+  JobRecords records = {Rec(1, 100, 0, 100)};
+  TimelineSeries series = OccupancyTimeline(records, 100, 10.0);
+  ASSERT_EQ(series.values.size(), 10u);
+  for (double v : series.values) EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+TEST(OccupancyTimelineTest, PartialOccupancy) {
+  // Half the machine for the first half of the span, then idle (a zero-node
+  // tail comes from a second tiny job that fixes the horizon).
+  JobRecords records = {Rec(1, 50, 0, 50), Rec(2, 1, 99.9, 100)};
+  TimelineSeries series = OccupancyTimeline(records, 100, 50.0);
+  ASSERT_EQ(series.values.size(), 2u);
+  EXPECT_NEAR(series.values[0], 0.5, 1e-9);
+  EXPECT_LT(series.values[1], 0.01);
+}
+
+TEST(OccupancyTimelineTest, OverlappingJobsSum) {
+  JobRecords records = {Rec(1, 30, 0, 10), Rec(2, 50, 0, 10)};
+  TimelineSeries series = OccupancyTimeline(records, 100, 10.0);
+  ASSERT_EQ(series.values.size(), 1u);
+  EXPECT_NEAR(series.values[0], 0.8, 1e-9);
+}
+
+TEST(OccupancyTimelineTest, EmptyAndInvalid) {
+  EXPECT_TRUE(OccupancyTimeline({}, 100, 10.0).values.empty());
+  JobRecords records = {Rec(1, 10, 0, 10)};
+  EXPECT_THROW(OccupancyTimeline(records, 0, 10.0), std::invalid_argument);
+  EXPECT_THROW(OccupancyTimeline(records, 10, 0.0), std::invalid_argument);
+}
+
+TEST(DemandTimelineTest, BucketsDemandRatio) {
+  BandwidthTracker tracker(100.0);
+  BandwidthSample s;
+  s.time = 0;
+  s.demand_gbps = 200.0;  // 2x BWmax
+  s.granted_gbps = 100.0;
+  s.active_requests = 2;
+  tracker.Record(s);
+  s.time = 10;
+  s.demand_gbps = 50.0;
+  s.granted_gbps = 50.0;
+  tracker.Record(s);
+  s.time = 20;
+  s.demand_gbps = 0.0;
+  s.granted_gbps = 0.0;
+  s.active_requests = 0;
+  tracker.Record(s);
+  TimelineSeries series = DemandTimeline(tracker, 10.0);
+  ASSERT_EQ(series.values.size(), 2u);
+  EXPECT_NEAR(series.values[0], 2.0, 1e-9);
+  EXPECT_NEAR(series.values[1], 0.5, 1e-9);
+}
+
+TEST(DemandTimelineTest, TooFewSamples) {
+  BandwidthTracker tracker(100.0);
+  EXPECT_TRUE(DemandTimeline(tracker, 10.0).values.empty());
+}
+
+TEST(RenderTimelineTest, DrawsBarsAndThreshold) {
+  TimelineSeries series;
+  series.bucket_seconds = 1.0;
+  series.values = {0.2, 1.0, 0.6};
+  std::string art = RenderTimeline(series, 5, 1.0, 0.6);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('-'), std::string::npos);
+  // Top row contains exactly one column (the 1.0 bucket).
+  std::size_t first_newline = art.find('\n');
+  std::string top = art.substr(0, first_newline);
+  EXPECT_EQ(std::count(top.begin(), top.end(), '#'), 1);
+}
+
+TEST(RenderTimelineTest, EmptyAndInvalid) {
+  TimelineSeries empty;
+  empty.bucket_seconds = 1.0;
+  EXPECT_EQ(RenderTimeline(empty, 5, 1.0), "(empty timeline)\n");
+  TimelineSeries series;
+  series.values = {1.0};
+  series.bucket_seconds = 1.0;
+  EXPECT_THROW(RenderTimeline(series, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(RenderTimeline(series, 5, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iosched::metrics

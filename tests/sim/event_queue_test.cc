@@ -1,0 +1,136 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace iosched::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Size(), 0u);
+  EXPECT_THROW(q.Pop(), std::logic_error);
+  EXPECT_THROW(q.PeekTime(), std::logic_error);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(3.0, [&] { order.push_back(3); });
+  q.Push(1.0, [&] { order.push_back(1); });
+  q.Push(2.0, [&] { order.push_back(2); });
+  while (!q.Empty()) q.Pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoWithinTimestamp) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.Empty()) q.Pop().action();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.Push(1.0, [&] { ran = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.Empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  EventId id = q.Push(1.0, [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(12345));
+}
+
+TEST(EventQueue, CancelAfterPopFails) {
+  EventQueue q;
+  EventId id = q.Push(1.0, [] {});
+  q.Pop();
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueue, CancelledHeadSkipped) {
+  EventQueue q;
+  EventId first = q.Push(1.0, [] {});
+  q.Push(2.0, [] {});
+  q.Cancel(first);
+  EXPECT_DOUBLE_EQ(q.PeekTime(), 2.0);
+  Event e = q.Pop();
+  EXPECT_DOUBLE_EQ(e.time, 2.0);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  EventId a = q.Push(1.0, [] {});
+  q.Push(2.0, [] {});
+  EXPECT_EQ(q.Size(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.Size(), 1u);
+  q.Pop();
+  EXPECT_EQ(q.Size(), 0u);
+}
+
+TEST(EventQueue, ClearRemovesEverything) {
+  EventQueue q;
+  q.Push(1.0, [] {});
+  q.Push(2.0, [] {});
+  q.Clear();
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueue, StressRandomOrderStaysSorted) {
+  EventQueue q;
+  util::Rng rng(2024);
+  for (int i = 0; i < 5000; ++i) {
+    q.Push(rng.Uniform(0, 1000), [] {});
+  }
+  double last = -1.0;
+  while (!q.Empty()) {
+    Event e = q.Pop();
+    EXPECT_GE(e.time, last);
+    last = e.time;
+  }
+}
+
+TEST(EventQueue, StressWithRandomCancellation) {
+  EventQueue q;
+  util::Rng rng(99);
+  std::vector<EventId> ids;
+  for (int i = 0; i < 2000; ++i) {
+    ids.push_back(q.Push(rng.Uniform(0, 100), [] {}));
+  }
+  std::size_t cancelled = 0;
+  for (std::size_t i = 0; i < ids.size(); i += 3) {
+    if (q.Cancel(ids[i])) ++cancelled;
+  }
+  EXPECT_EQ(q.Size(), ids.size() - cancelled);
+  double last = -1.0;
+  std::size_t popped = 0;
+  while (!q.Empty()) {
+    Event e = q.Pop();
+    EXPECT_GE(e.time, last);
+    last = e.time;
+    ++popped;
+  }
+  EXPECT_EQ(popped, ids.size() - cancelled);
+}
+
+}  // namespace
+}  // namespace iosched::sim

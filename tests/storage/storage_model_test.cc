@@ -1,0 +1,213 @@
+#include "storage/storage_model.h"
+
+#include <gtest/gtest.h>
+
+namespace iosched::storage {
+namespace {
+
+StorageConfig Cfg(double bwmax = 100.0) {
+  StorageConfig cfg;
+  cfg.max_bandwidth_gbps = bwmax;
+  return cfg;
+}
+
+TEST(StorageModel, BeginAndQuery) {
+  StorageModel sm(Cfg());
+  sm.Begin(1, 512, 16.0, 100.0, 0.0);
+  EXPECT_TRUE(sm.Has(1));
+  EXPECT_FALSE(sm.Has(2));
+  const Transfer& t = sm.Get(1);
+  EXPECT_EQ(t.nodes, 512);
+  EXPECT_DOUBLE_EQ(t.volume_gb, 100.0);
+  EXPECT_DOUBLE_EQ(t.rate_gbps, 0.0);  // starts suspended
+  EXPECT_EQ(sm.active_count(), 1u);
+}
+
+TEST(StorageModel, DuplicateBeginThrows) {
+  StorageModel sm(Cfg());
+  sm.Begin(1, 512, 16.0, 100.0, 0.0);
+  EXPECT_THROW(sm.Begin(1, 512, 16.0, 50.0, 1.0), std::logic_error);
+}
+
+TEST(StorageModel, BadParamsThrow) {
+  StorageModel sm(Cfg());
+  EXPECT_THROW(sm.Begin(1, 0, 16.0, 100.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(sm.Begin(1, 512, 0.0, 100.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(sm.Begin(1, 512, 16.0, -1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(StorageModel(Cfg(0.0)), std::invalid_argument);
+}
+
+TEST(StorageModel, ProgressAccruesUnderRate) {
+  StorageModel sm(Cfg());
+  sm.Begin(1, 512, 16.0, 100.0, 0.0);
+  sm.SetRate(1, 10.0);
+  sm.AdvanceTo(4.0);
+  EXPECT_DOUBLE_EQ(sm.Get(1).transferred_gb, 40.0);
+  EXPECT_DOUBLE_EQ(sm.Get(1).RemainingGb(), 60.0);
+  EXPECT_FALSE(sm.Get(1).Complete());
+}
+
+TEST(StorageModel, SuspendedMakesNoProgress) {
+  StorageModel sm(Cfg());
+  sm.Begin(1, 512, 16.0, 100.0, 0.0);
+  sm.AdvanceTo(50.0);
+  EXPECT_DOUBLE_EQ(sm.Get(1).transferred_gb, 0.0);
+}
+
+TEST(StorageModel, ProgressClampedAtVolume) {
+  StorageModel sm(Cfg());
+  sm.Begin(1, 512, 16.0, 10.0, 0.0);
+  sm.SetRate(1, 16.0);
+  sm.AdvanceTo(100.0);
+  EXPECT_DOUBLE_EQ(sm.Get(1).transferred_gb, 10.0);
+  EXPECT_TRUE(sm.Get(1).Complete());
+}
+
+TEST(StorageModel, RateValidation) {
+  StorageModel sm(Cfg());
+  sm.Begin(1, 512, 16.0, 100.0, 0.0);
+  EXPECT_THROW(sm.SetRate(1, -1.0), std::invalid_argument);
+  EXPECT_THROW(sm.SetRate(1, 17.0), std::invalid_argument);  // > full rate
+  EXPECT_THROW(sm.SetRate(2, 1.0), std::logic_error);        // unknown job
+  sm.SetRate(1, 16.0);
+  EXPECT_DOUBLE_EQ(sm.Get(1).rate_gbps, 16.0);
+}
+
+TEST(StorageModel, TimeBackwardsThrows) {
+  StorageModel sm(Cfg());
+  sm.AdvanceTo(10.0);
+  EXPECT_THROW(sm.AdvanceTo(5.0), std::logic_error);
+}
+
+TEST(StorageModel, EndRequiresCompletion) {
+  StorageModel sm(Cfg());
+  sm.Begin(1, 512, 16.0, 100.0, 0.0);
+  EXPECT_THROW(sm.End(1), std::logic_error);
+  sm.SetRate(1, 10.0);
+  sm.AdvanceTo(10.0);
+  EXPECT_NO_THROW(sm.End(1));
+  EXPECT_FALSE(sm.Has(1));
+}
+
+TEST(StorageModel, AbortRemovesIncomplete) {
+  StorageModel sm(Cfg());
+  sm.Begin(1, 512, 16.0, 100.0, 0.0);
+  sm.Abort(1);
+  EXPECT_FALSE(sm.Has(1));
+  EXPECT_THROW(sm.Abort(1), std::logic_error);
+}
+
+TEST(StorageModel, ActiveByArrivalOrdersFcfs) {
+  StorageModel sm(Cfg());
+  sm.Begin(3, 512, 16.0, 10.0, 0.0);
+  sm.AdvanceTo(1.0);
+  sm.Begin(1, 512, 16.0, 10.0, 1.0);
+  sm.Begin(2, 512, 16.0, 10.0, 1.0);  // same time as job 1: id tie-break
+  auto active = sm.ActiveByArrival();
+  ASSERT_EQ(active.size(), 3u);
+  EXPECT_EQ(active[0]->job_id, 3);
+  EXPECT_EQ(active[1]->job_id, 1);
+  EXPECT_EQ(active[2]->job_id, 2);
+}
+
+TEST(StorageModel, NextCompletionPicksEarliest) {
+  StorageModel sm(Cfg());
+  sm.Begin(1, 512, 16.0, 100.0, 0.0);  // at 10 GB/s -> 10 s
+  sm.Begin(2, 512, 16.0, 30.0, 0.0);   // at 10 GB/s -> 3 s
+  sm.SetRate(1, 10.0);
+  sm.SetRate(2, 10.0);
+  auto next = sm.NextCompletion();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_DOUBLE_EQ(next->first, 3.0);
+  EXPECT_EQ(next->second, 2);
+}
+
+TEST(StorageModel, NextCompletionIgnoresSuspended) {
+  StorageModel sm(Cfg());
+  sm.Begin(1, 512, 16.0, 100.0, 0.0);
+  EXPECT_FALSE(sm.NextCompletion().has_value());
+  sm.SetRate(1, 10.0);
+  EXPECT_TRUE(sm.NextCompletion().has_value());
+}
+
+TEST(StorageModel, NextCompletionAfterPartialProgress) {
+  StorageModel sm(Cfg());
+  sm.Begin(1, 512, 16.0, 100.0, 0.0);
+  sm.SetRate(1, 10.0);
+  sm.AdvanceTo(5.0);   // 50 GB left
+  sm.SetRate(1, 5.0);  // new rate
+  auto next = sm.NextCompletion();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_DOUBLE_EQ(next->first, 15.0);  // 5 + 50/5
+}
+
+TEST(StorageModel, ValidateAssignmentEnforcesCap) {
+  StorageModel sm(Cfg(20.0));
+  sm.Begin(1, 512, 16.0, 100.0, 0.0);
+  sm.Begin(2, 512, 16.0, 100.0, 0.0);
+  sm.SetRate(1, 16.0);
+  sm.SetRate(2, 16.0);  // 32 > 20
+  EXPECT_THROW(sm.ValidateAssignment(), std::logic_error);
+  sm.SetRate(2, 4.0);
+  EXPECT_NO_THROW(sm.ValidateAssignment());
+}
+
+TEST(StorageModel, ValidateAssignmentCanBeDisabled) {
+  StorageConfig cfg = Cfg(20.0);
+  cfg.enforce_capacity = false;
+  StorageModel sm(cfg);
+  sm.Begin(1, 512, 16.0, 100.0, 0.0);
+  sm.Begin(2, 512, 16.0, 100.0, 0.0);
+  sm.SetRate(1, 16.0);
+  sm.SetRate(2, 16.0);
+  EXPECT_NO_THROW(sm.ValidateAssignment());
+}
+
+TEST(StorageModel, ForceCompleteWritesOffSliver) {
+  StorageModel sm(Cfg());
+  sm.Begin(1, 512, 16.0, 100.0, 0.0);
+  sm.SetRate(1, 10.0);
+  sm.AdvanceTo(9.9999999);  // ~1e-6 GB sliver remains
+  EXPECT_FALSE(sm.Get(1).Complete());
+  sm.ForceComplete(1, /*max_sliver_gb=*/0.01);
+  EXPECT_TRUE(sm.Get(1).Complete());
+  EXPECT_NO_THROW(sm.End(1));
+}
+
+TEST(StorageModel, ForceCompleteRejectsLargeRemainder) {
+  StorageModel sm(Cfg());
+  sm.Begin(1, 512, 16.0, 100.0, 0.0);
+  sm.SetRate(1, 10.0);
+  sm.AdvanceTo(5.0);  // 50 GB left
+  EXPECT_THROW(sm.ForceComplete(1, 0.01), std::logic_error);
+  EXPECT_THROW(sm.ForceComplete(2, 0.01), std::logic_error);  // unknown
+}
+
+TEST(FairShareRatesTest, NoCongestionFullRates) {
+  StorageModel sm(Cfg(100.0));
+  sm.Begin(1, 1024, 32.0, 10.0, 0.0);
+  sm.Begin(2, 1024, 32.0, 10.0, 0.0);
+  auto rates = FairShareRates(sm.ActiveByArrival(), 100.0);
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates[0].second, 32.0);
+  EXPECT_DOUBLE_EQ(rates[1].second, 32.0);
+}
+
+TEST(FairShareRatesTest, CongestionSharesPerNode) {
+  StorageModel sm(Cfg(48.0));
+  sm.Begin(1, 1024, 32.0, 10.0, 0.0);  // 1024 nodes
+  sm.Begin(2, 2048, 64.0, 10.0, 0.0);  // 2048 nodes
+  auto rates = FairShareRates(sm.ActiveByArrival(), 48.0);
+  // per-node share = 48 / 3072 = 0.015625 GB/s
+  EXPECT_NEAR(rates[0].second, 16.0, 1e-9);
+  EXPECT_NEAR(rates[1].second, 32.0, 1e-9);
+  EXPECT_NEAR(rates[0].second + rates[1].second, 48.0, 1e-9);
+}
+
+TEST(FairShareRatesTest, EmptyActiveSet) {
+  auto rates = FairShareRates({}, 100.0);
+  EXPECT_TRUE(rates.empty());
+}
+
+}  // namespace
+}  // namespace iosched::storage

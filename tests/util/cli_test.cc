@@ -1,0 +1,85 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace iosched::util {
+namespace {
+
+CliParser MakeParser() {
+  CliParser p("test tool");
+  p.AddFlag("policy", "ADAPTIVE", "I/O policy");
+  p.AddFlag("days", "30", "duration");
+  p.AddFlag("factor", "1.0", "EF");
+  p.AddBoolFlag("verbose", "chatty output");
+  return p;
+}
+
+TEST(CliParser, DefaultsWhenAbsent) {
+  CliParser p = MakeParser();
+  const char* argv[] = {"run"};
+  ASSERT_TRUE(p.Parse(1, argv));
+  EXPECT_EQ(p.GetString("policy"), "ADAPTIVE");
+  EXPECT_EQ(p.GetInt("days"), 30);
+  EXPECT_DOUBLE_EQ(p.GetDouble("factor"), 1.0);
+  EXPECT_FALSE(p.GetBool("verbose"));
+  EXPECT_FALSE(p.Provided("policy"));
+  ASSERT_EQ(p.positional().size(), 1u);
+  EXPECT_EQ(p.positional()[0], "run");
+}
+
+TEST(CliParser, SpaceAndEqualsSyntax) {
+  CliParser p = MakeParser();
+  const char* argv[] = {"--policy", "FCFS", "--days=7", "--verbose"};
+  ASSERT_TRUE(p.Parse(4, argv));
+  EXPECT_EQ(p.GetString("policy"), "FCFS");
+  EXPECT_EQ(p.GetInt("days"), 7);
+  EXPECT_TRUE(p.GetBool("verbose"));
+  EXPECT_TRUE(p.Provided("policy"));
+}
+
+TEST(CliParser, BoolWithExplicitValue) {
+  CliParser p = MakeParser();
+  const char* argv[] = {"--verbose=false"};
+  ASSERT_TRUE(p.Parse(1, argv));
+  EXPECT_FALSE(p.GetBool("verbose"));
+  const char* argv2[] = {"--verbose=yes"};
+  CliParser p2 = MakeParser();
+  ASSERT_TRUE(p2.Parse(1, argv2));
+  EXPECT_TRUE(p2.GetBool("verbose"));
+}
+
+TEST(CliParser, Errors) {
+  CliParser p = MakeParser();
+  const char* unknown[] = {"--nope", "1"};
+  EXPECT_FALSE(p.Parse(2, unknown));
+  EXPECT_NE(p.error().find("unknown flag"), std::string::npos);
+
+  CliParser p2 = MakeParser();
+  const char* missing[] = {"--policy"};
+  EXPECT_FALSE(p2.Parse(1, missing));
+  EXPECT_NE(p2.error().find("missing value"), std::string::npos);
+
+  CliParser p3 = MakeParser();
+  const char* badbool[] = {"--verbose=maybe"};
+  EXPECT_FALSE(p3.Parse(1, badbool));
+}
+
+TEST(CliParser, TypedAccessErrors) {
+  CliParser p = MakeParser();
+  const char* argv[] = {"--policy", "not_a_number"};
+  ASSERT_TRUE(p.Parse(2, argv));
+  EXPECT_THROW(p.GetDouble("policy"), std::runtime_error);
+  EXPECT_THROW(p.GetString("undeclared"), std::logic_error);
+  EXPECT_THROW(p.Provided("undeclared"), std::logic_error);
+}
+
+TEST(CliParser, HelpListsFlags) {
+  CliParser p = MakeParser();
+  std::string help = p.Help();
+  EXPECT_NE(help.find("--policy"), std::string::npos);
+  EXPECT_NE(help.find("default: ADAPTIVE"), std::string::npos);
+  EXPECT_NE(help.find("--verbose"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iosched::util

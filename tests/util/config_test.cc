@@ -1,0 +1,91 @@
+#include "util/config.h"
+
+#include <gtest/gtest.h>
+
+namespace iosched::util {
+namespace {
+
+TEST(Config, ParseSectionsAndTypes) {
+  Config cfg = Config::FromString(R"(
+root_key = 10
+[machine]
+nodes = 49152          # inline comment
+bandwidth = 0.03125
+name = "Mira BG/Q"
+enabled = true
+; full-line comment
+[storage]
+bwmax = 250
+)");
+  EXPECT_EQ(cfg.GetIntOr("root_key", 0), 10);
+  EXPECT_EQ(cfg.GetIntOr("machine.nodes", 0), 49152);
+  EXPECT_DOUBLE_EQ(cfg.GetDoubleOr("machine.bandwidth", 0), 0.03125);
+  EXPECT_EQ(cfg.GetStringOr("machine.name", ""), "Mira BG/Q");
+  EXPECT_TRUE(cfg.GetBoolOr("machine.enabled", false));
+  EXPECT_DOUBLE_EQ(cfg.GetDoubleOr("storage.bwmax", 0), 250.0);
+}
+
+TEST(Config, MissingKeys) {
+  Config cfg = Config::FromString("a = 1\n");
+  EXPECT_FALSE(cfg.Has("b"));
+  EXPECT_FALSE(cfg.GetString("b").has_value());
+  EXPECT_EQ(cfg.GetIntOr("b", 7), 7);
+  EXPECT_THROW(cfg.RequireInt("b"), std::runtime_error);
+  EXPECT_THROW(cfg.RequireDouble("b"), std::runtime_error);
+  EXPECT_THROW(cfg.RequireString("b"), std::runtime_error);
+}
+
+TEST(Config, RequireParsesOrThrows) {
+  Config cfg = Config::FromString("x = not_a_number\ny = 5\n");
+  EXPECT_THROW(cfg.RequireInt("x"), std::runtime_error);
+  EXPECT_EQ(cfg.RequireInt("y"), 5);
+}
+
+TEST(Config, MalformedInputThrowsWithLineNumber) {
+  try {
+    Config::FromString("a = 1\nthis line has no equals\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(Config::FromString("[unclosed\n"), std::runtime_error);
+  EXPECT_THROW(Config::FromString("= value\n"), std::runtime_error);
+}
+
+TEST(Config, SetOverrides) {
+  Config cfg = Config::FromString("a = 1\n");
+  cfg.Set("a", "2");
+  cfg.Set("new.key", "3");
+  EXPECT_EQ(cfg.GetIntOr("a", 0), 2);
+  EXPECT_EQ(cfg.GetIntOr("new.key", 0), 3);
+}
+
+TEST(Config, KeysSorted) {
+  Config cfg = Config::FromString("b = 1\na = 2\n[s]\nc = 3\n");
+  auto keys = cfg.Keys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+  EXPECT_EQ(keys[2], "s.c");
+}
+
+TEST(Config, ToStringRoundTrips) {
+  Config cfg = Config::FromString("root = 1\n[m]\nx = 2\ny = hello\n");
+  Config reparsed = Config::FromString(cfg.ToString());
+  EXPECT_EQ(reparsed.GetIntOr("root", 0), 1);
+  EXPECT_EQ(reparsed.GetIntOr("m.x", 0), 2);
+  EXPECT_EQ(reparsed.GetStringOr("m.y", ""), "hello");
+  EXPECT_EQ(reparsed.Keys(), cfg.Keys());
+}
+
+TEST(Config, MissingFileThrows) {
+  EXPECT_THROW(Config::FromFile("/nonexistent/path.ini"), std::runtime_error);
+}
+
+TEST(Config, LastDuplicateWins) {
+  Config cfg = Config::FromString("a = 1\na = 2\n");
+  EXPECT_EQ(cfg.GetIntOr("a", 0), 2);
+}
+
+}  // namespace
+}  // namespace iosched::util

@@ -1,0 +1,86 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace iosched::util {
+namespace {
+
+TEST(CsvQuote, OnlyWhenNeeded) {
+  EXPECT_EQ(CsvQuote("plain"), "plain");
+  EXPECT_EQ(CsvQuote("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvQuote("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvQuote("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(ParseCsvLine, PlainFields) {
+  auto f = ParseCsvLine("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "b");
+}
+
+TEST(ParseCsvLine, QuotedFields) {
+  auto f = ParseCsvLine(R"("a,b",c,"d""e")");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a,b");
+  EXPECT_EQ(f[1], "c");
+  EXPECT_EQ(f[2], "d\"e");
+}
+
+TEST(ParseCsvLine, EmptyFields) {
+  auto f = ParseCsvLine(",,");
+  ASSERT_EQ(f.size(), 3u);
+  for (const auto& s : f) EXPECT_TRUE(s.empty());
+}
+
+TEST(CsvWriter, HeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.Header({"name", "value"});
+  w.Row().Add("x").Add(1.5);
+  w.Row().Add("comma,here").Add(2LL);
+  EXPECT_EQ(os.str(), "name,value\nx,1.5\n\"comma,here\",2\n");
+}
+
+TEST(CsvWriter, HeaderAfterRowThrows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.Row().Add("x");
+  EXPECT_THROW(w.Header({"h"}), std::logic_error);
+}
+
+TEST(ParseCsv, SkipsCommentsAndBlanks) {
+  auto doc = ParseCsv("# comment\nh1,h2\n\n1,2\n# another\n3,4\n", true);
+  ASSERT_EQ(doc.header.size(), 2u);
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][1], "4");
+}
+
+TEST(ParseCsv, NoHeaderMode) {
+  auto doc = ParseCsv("1,2\n3,4\n", false);
+  EXPECT_TRUE(doc.header.empty());
+  ASSERT_EQ(doc.rows.size(), 2u);
+}
+
+TEST(ParseCsv, HandlesCrLf) {
+  auto doc = ParseCsv("h\r\nv\r\n", true);
+  ASSERT_EQ(doc.header.size(), 1u);
+  EXPECT_EQ(doc.header[0], "h");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "v");
+}
+
+TEST(CsvRoundTrip, QuotedContentSurvives) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.Header({"a", "b"});
+  w.Row().Add("x,y\"z").Add("plain");
+  auto doc = ParseCsv(os.str(), true);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "x,y\"z");
+  EXPECT_EQ(doc.rows[0][1], "plain");
+}
+
+}  // namespace
+}  // namespace iosched::util

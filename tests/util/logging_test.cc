@@ -1,0 +1,58 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace iosched::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrip) {
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarn);
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, ParseNames) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("warning"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("off"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("none"), LogLevel::kOff);
+  // Garbage defaults to info.
+  EXPECT_EQ(ParseLogLevel("verbose"), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, EmissionDoesNotCrashAtAnyLevel) {
+  // stderr output isn't captured here; this exercises the emit path and the
+  // level gate (suppressed messages must also be safe).
+  SetLogLevel(LogLevel::kOff);
+  LOG_ERROR << "suppressed " << 42;
+  SetLogLevel(LogLevel::kDebug);
+  LOG_DEBUG << "visible " << 3.14 << " mixed " << "types";
+  LOG_INFO << "info";
+  LOG_WARN << "warn";
+  LOG_ERROR << "error";
+}
+
+TEST_F(LoggingTest, StreamBuilderFormatsLazily) {
+  // A suppressed LogLine must still evaluate its operands safely.
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return 1;
+  };
+  LOG_DEBUG << count();
+  // Operands are evaluated (stream semantics), emission is gated.
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace iosched::util

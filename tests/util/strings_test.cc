@@ -1,0 +1,106 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace iosched::util {
+namespace {
+
+TEST(Trim, Basics) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("hello"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("\t a b \n"), "a b");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Split, EmptyString) {
+  auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Split, TrailingDelimiter) {
+  auto parts = Split("a,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(SplitWhitespace, CollapsesRuns) {
+  auto parts = SplitWhitespace("  1   2\t3 \n 4  ");
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "1");
+  EXPECT_EQ(parts[3], "4");
+}
+
+TEST(SplitWhitespace, EmptyAndBlank) {
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace(" \t\n").empty());
+}
+
+TEST(StartsWith, Cases) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_TRUE(StartsWith("hello", ""));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+  EXPECT_FALSE(StartsWith("hello", "el"));
+}
+
+TEST(ParseDouble, ValidInputs) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("  42  "), 42.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("0"), 0.0);
+}
+
+TEST(ParseDouble, InvalidInputs) {
+  EXPECT_FALSE(ParseDouble(""));
+  EXPECT_FALSE(ParseDouble("abc"));
+  EXPECT_FALSE(ParseDouble("1.5x"));
+  EXPECT_FALSE(ParseDouble("1.5 2.5"));
+}
+
+TEST(ParseInt, ValidAndInvalid) {
+  EXPECT_EQ(*ParseInt("-17"), -17);
+  EXPECT_EQ(*ParseInt("0"), 0);
+  EXPECT_EQ(*ParseInt(" 123 "), 123);
+  EXPECT_FALSE(ParseInt("1.5"));
+  EXPECT_FALSE(ParseInt(""));
+  EXPECT_FALSE(ParseInt("12a"));
+}
+
+TEST(ParseBool, Variants) {
+  EXPECT_TRUE(*ParseBool("true"));
+  EXPECT_TRUE(*ParseBool("YES"));
+  EXPECT_TRUE(*ParseBool("1"));
+  EXPECT_TRUE(*ParseBool("On"));
+  EXPECT_FALSE(*ParseBool("false"));
+  EXPECT_FALSE(*ParseBool("no"));
+  EXPECT_FALSE(*ParseBool("0"));
+  EXPECT_FALSE(*ParseBool("off"));
+  EXPECT_FALSE(ParseBool("maybe").has_value());
+}
+
+TEST(ToLower, Ascii) {
+  EXPECT_EQ(ToLower("MiXeD 123"), "mixed 123");
+}
+
+TEST(FormatTest, PrintfStyle) {
+  EXPECT_EQ(Format("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(Format("plain"), "plain");
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+}  // namespace
+}  // namespace iosched::util

@@ -1,0 +1,60 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace iosched::util {
+namespace {
+
+TEST(Table, FormatsAligned) {
+  Table t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer-name", "22"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  // Three rules: top, under header, bottom.
+  std::size_t rules = 0;
+  for (std::size_t pos = s.find("+--"); pos != std::string::npos;
+       pos = s.find("+--", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_GE(rules, 3u);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(t.AddRow({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeadersThrow) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(3.0, 0), "3");
+  EXPECT_EQ(Table::Num(-1.5, 1), "-1.5");
+}
+
+TEST(Table, RatioFormatting) {
+  EXPECT_EQ(Table::Ratio(0.97, 2), "0.97x");
+  EXPECT_EQ(Table::Ratio(1.1, 1), "1.1x");
+}
+
+TEST(Table, PercentFormatting) {
+  EXPECT_EQ(Table::Percent(-0.314, 1), "-31.4%");
+  EXPECT_EQ(Table::Percent(0.05, 1), "+5.0%");
+  EXPECT_EQ(Table::Percent(0.0, 0), "+0%");
+}
+
+TEST(Table, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace iosched::util

@@ -1,0 +1,30 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace iosched::util {
+namespace {
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(SecondsToMinutes(120.0), 2.0);
+  EXPECT_DOUBLE_EQ(MinutesToSeconds(2.0), 120.0);
+  EXPECT_DOUBLE_EQ(HoursToSeconds(1.5), 5400.0);
+  EXPECT_DOUBLE_EQ(SecondsToHours(7200.0), 2.0);
+}
+
+TEST(Units, RoundTrips) {
+  for (double v : {0.0, 1.0, 1234.5, 1e9}) {
+    EXPECT_DOUBLE_EQ(MinutesToSeconds(SecondsToMinutes(v)), v);
+    EXPECT_DOUBLE_EQ(HoursToSeconds(SecondsToHours(v)), v);
+  }
+}
+
+TEST(Units, CalendarConstants) {
+  EXPECT_DOUBLE_EQ(kSecondsPerDay, 24.0 * kSecondsPerHour);
+  EXPECT_DOUBLE_EQ(kSecondsPerHour, 60.0 * kSecondsPerMinute);
+  EXPECT_GT(kTimeEpsilon, 0.0);
+  EXPECT_GT(kVolumeEpsilon, 0.0);
+}
+
+}  // namespace
+}  // namespace iosched::util

@@ -1,0 +1,78 @@
+#include "workload/iotrace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace iosched::workload {
+namespace {
+
+TEST(IoTraceFmt, WriteReadRoundTrip) {
+  IoTrace trace = {{1, 5, 128.5, 12.5, 0.25},
+                   {2, 1, 10.0, 0.0, 1.0},
+                   {3, 60, 4096.0, 96.0, 0.0}};
+  std::ostringstream os;
+  WriteIoTrace(os, trace);
+  IoTrace parsed = ParseIoTrace(os.str());
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed[0].job_id, 1);
+  EXPECT_EQ(parsed[0].io_phases, 5);
+  EXPECT_DOUBLE_EQ(parsed[0].total_io_gb, 128.5);
+  EXPECT_DOUBLE_EQ(parsed[0].agg_rate_gbps, 12.5);
+  EXPECT_DOUBLE_EQ(parsed[0].read_fraction, 0.25);
+  EXPECT_EQ(parsed[2].io_phases, 60);
+  EXPECT_DOUBLE_EQ(parsed[1].agg_rate_gbps, 0.0);  // unknown rate preserved
+}
+
+TEST(IoTraceFmt, HeaderCommentPresent) {
+  std::ostringstream os;
+  WriteIoTrace(os, {});
+  EXPECT_NE(os.str().find("darshan-lite"), std::string::npos);
+}
+
+TEST(IoTraceFmt, RejectsUnexpectedHeader) {
+  EXPECT_THROW(ParseIoTrace("a,b,c,d,e\n1,2,3,4,0.5\n"), std::runtime_error);
+  // The v1 (4-column) header is rejected too.
+  EXPECT_THROW(ParseIoTrace("job_id,io_phases,total_io_gb,read_fraction\n"),
+               std::runtime_error);
+}
+
+TEST(IoTraceFmt, RejectsBadRows) {
+  const char* header =
+      "job_id,io_phases,total_io_gb,agg_rate_gbps,read_fraction\n";
+  EXPECT_THROW(ParseIoTrace(std::string(header) + "1,2,3,4\n"),
+               std::runtime_error);
+  EXPECT_THROW(ParseIoTrace(std::string(header) + "x,2,3,4,0.5\n"),
+               std::runtime_error);
+  EXPECT_THROW(ParseIoTrace(std::string(header) + "1,-2,3,4,0.5\n"),
+               std::runtime_error);
+  EXPECT_THROW(ParseIoTrace(std::string(header) + "1,2,-3,4,0.5\n"),
+               std::runtime_error);
+  EXPECT_THROW(ParseIoTrace(std::string(header) + "1,2,3,-4,0.5\n"),
+               std::runtime_error);
+  EXPECT_THROW(ParseIoTrace(std::string(header) + "1,2,3,4,1.5\n"),
+               std::runtime_error);
+}
+
+TEST(IoTraceFmt, EmptyTraceParses) {
+  IoTrace parsed = ParseIoTrace(
+      "# c\njob_id,io_phases,total_io_gb,agg_rate_gbps,read_fraction\n");
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(IoTraceFmt, FileRoundTrip) {
+  IoTrace trace = {{7, 3, 42.0, 8.0, 0.5}};
+  std::string path = ::testing::TempDir() + "/io_test.csv";
+  WriteIoTraceFile(path, trace);
+  IoTrace loaded = ReadIoTraceFile(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].job_id, 7);
+  EXPECT_DOUBLE_EQ(loaded[0].agg_rate_gbps, 8.0);
+}
+
+TEST(IoTraceFmt, MissingFileThrows) {
+  EXPECT_THROW(ReadIoTraceFile("/nonexistent/io.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace iosched::workload

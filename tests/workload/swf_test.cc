@@ -1,0 +1,96 @@
+#include "workload/swf.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace iosched::workload {
+namespace {
+
+const char kSample[] =
+    "; Computer: Mira-like\n"
+    "; MaxNodes: 49152\n"
+    "1 0 10 3600 512 -1 -1 512 7200 -1 1 4 2 -1 1 -1 -1 -1\n"
+    "2 60 -1 1800 1024 -1 -1 1024 3600 -1 1 5 2 -1 1 -1 -1 -1\n";
+
+TEST(Swf, ParsesRecordsAndComments) {
+  SwfTrace trace = ParseSwf(kSample);
+  ASSERT_EQ(trace.header_comments.size(), 2u);
+  EXPECT_EQ(trace.header_comments[0], " Computer: Mira-like");
+  ASSERT_EQ(trace.records.size(), 2u);
+  const SwfRecord& r = trace.records[0];
+  EXPECT_EQ(r.job_number, 1);
+  EXPECT_DOUBLE_EQ(r.submit_time, 0.0);
+  EXPECT_DOUBLE_EQ(r.wait_time, 10.0);
+  EXPECT_DOUBLE_EQ(r.run_time, 3600.0);
+  EXPECT_EQ(r.allocated_procs, 512);
+  EXPECT_EQ(r.requested_procs, 512);
+  EXPECT_DOUBLE_EQ(r.requested_time, 7200.0);
+  EXPECT_EQ(r.status, 1);
+  EXPECT_EQ(r.user_id, 4);
+}
+
+TEST(Swf, MissingValuesAreMinusOne) {
+  SwfTrace trace = ParseSwf(kSample);
+  EXPECT_DOUBLE_EQ(trace.records[1].wait_time, -1.0);
+  EXPECT_DOUBLE_EQ(trace.records[1].avg_cpu_time, -1.0);
+}
+
+TEST(Swf, BlankLinesSkipped) {
+  SwfTrace trace = ParseSwf("\n\n; c\n\n");
+  EXPECT_TRUE(trace.records.empty());
+  EXPECT_EQ(trace.header_comments.size(), 1u);
+}
+
+TEST(Swf, WrongFieldCountThrows) {
+  EXPECT_THROW(ParseSwf("1 2 3\n"), std::runtime_error);
+  try {
+    ParseSwf("; ok\n1 2 3\n");
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Swf, BadNumberThrows) {
+  EXPECT_THROW(
+      ParseSwf("x 0 10 3600 512 -1 -1 512 7200 -1 1 4 2 -1 1 -1 -1 -1\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      ParseSwf("1 zz 10 3600 512 -1 -1 512 7200 -1 1 4 2 -1 1 -1 -1 -1\n"),
+      std::runtime_error);
+}
+
+TEST(Swf, WriteReadRoundTrip) {
+  SwfTrace original = ParseSwf(kSample);
+  std::ostringstream os;
+  WriteSwf(os, original);
+  SwfTrace reparsed = ParseSwf(os.str());
+  ASSERT_EQ(reparsed.records.size(), original.records.size());
+  EXPECT_EQ(reparsed.header_comments, original.header_comments);
+  for (std::size_t i = 0; i < original.records.size(); ++i) {
+    EXPECT_EQ(reparsed.records[i].job_number, original.records[i].job_number);
+    EXPECT_DOUBLE_EQ(reparsed.records[i].submit_time,
+                     original.records[i].submit_time);
+    EXPECT_DOUBLE_EQ(reparsed.records[i].run_time,
+                     original.records[i].run_time);
+    EXPECT_EQ(reparsed.records[i].allocated_procs,
+              original.records[i].allocated_procs);
+    EXPECT_DOUBLE_EQ(reparsed.records[i].requested_time,
+                     original.records[i].requested_time);
+  }
+}
+
+TEST(Swf, FileRoundTrip) {
+  SwfTrace original = ParseSwf(kSample);
+  std::string path = ::testing::TempDir() + "/trace_test.swf";
+  WriteSwfFile(path, original);
+  SwfTrace loaded = ReadSwfFile(path);
+  EXPECT_EQ(loaded.records.size(), original.records.size());
+}
+
+TEST(Swf, MissingFileThrows) {
+  EXPECT_THROW(ReadSwfFile("/nonexistent/file.swf"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace iosched::workload

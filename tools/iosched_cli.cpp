@@ -1,0 +1,279 @@
+// iosched — command-line front end to the I/O-aware scheduling framework.
+//
+// Subcommands:
+//   generate     synthesize a Mira-like month and write SWF + I/O traces
+//   simulate     run one policy over a trace pair (or a built-in workload)
+//   sweep        compare all policies on a workload (Fig. 8/9/10 content)
+//   sensitivity  expansion-factor sweep (Fig. 11 content)
+//
+// Examples:
+//   iosched generate --workload 1 --days 30 --out /tmp/wl1
+//   iosched simulate --swf /tmp/wl1.swf --io /tmp/wl1_io.csv --policy ADAPTIVE
+//   iosched simulate --workload 2 --days 14 --policy MIN_AGGR_SLD
+//   iosched sweep --workload 1 --days 30 --csv
+//   iosched sensitivity --workload 1 --factors 0.3,0.7,1.5
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/event_log.h"
+#include "core/policy_factory.h"
+#include "core/simulation.h"
+#include "driver/config_scenario.h"
+#include "driver/experiment.h"
+#include "driver/replication.h"
+#include "driver/scenario.h"
+#include "metrics/breakdown.h"
+#include "metrics/timeline.h"
+#include "metrics/report.h"
+#include "util/cli.h"
+#include "util/strings.h"
+#include "util/units.h"
+#include "workload/iotrace.h"
+#include "workload/swf.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace iosched;
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+/// Build a workload from --swf/--io or --workload/--days flags.
+driver::Scenario LoadScenario(const util::CliParser& cli) {
+  driver::Scenario scenario;
+  if (cli.Provided("config")) {
+    scenario = driver::ScenarioFromConfigFile(cli.GetString("config"));
+    if (cli.Provided("bwmax")) {
+      scenario.config.storage.max_bandwidth_gbps = cli.GetDouble("bwmax");
+    }
+    return scenario;
+  }
+  scenario.config.machine = machine::MachineConfig::Mira();
+  scenario.config.storage.max_bandwidth_gbps = cli.GetDouble("bwmax");
+  if (cli.Provided("swf")) {
+    workload::SwfTrace swf = workload::ReadSwfFile(cli.GetString("swf"));
+    workload::IoTrace io;
+    if (cli.Provided("io")) {
+      io = workload::ReadIoTraceFile(cli.GetString("io"));
+    }
+    workload::PairingOptions opts;
+    opts.node_bandwidth_gbps = scenario.config.machine.node_bandwidth_gbps;
+    scenario.jobs = workload::PairTraces(swf, io, opts);
+    scenario.name = cli.GetString("swf");
+  } else {
+    int index = static_cast<int>(cli.GetInt("workload"));
+    scenario = driver::MakeEvaluationScenario(index, cli.GetDouble("days"));
+    scenario.config.storage.max_bandwidth_gbps = cli.GetDouble("bwmax");
+  }
+  double factor = cli.GetDouble("factor");
+  if (factor != 1.0) {
+    scenario = driver::WithExpansionFactor(scenario, factor);
+  }
+  return scenario;
+}
+
+int CmdGenerate(const util::CliParser& cli) {
+  int index = static_cast<int>(cli.GetInt("workload"));
+  workload::SyntheticConfig cfg = workload::EvaluationMonthConfig(index);
+  cfg.duration_days = cli.GetDouble("days");
+  workload::Workload jobs =
+      workload::GenerateWorkload(cfg, static_cast<std::uint64_t>(
+                                          cli.GetInt("seed")));
+  std::string stem = cli.GetString("out");
+  workload::WriteSwfFile(stem + ".swf",
+                         workload::ToSwf(jobs, cfg.node_bandwidth_gbps));
+  workload::WriteIoTraceFile(
+      stem + "_io.csv", workload::ToIoTrace(jobs, cfg.node_bandwidth_gbps));
+  std::printf("wrote %zu jobs to %s.swf and %s_io.csv\n", jobs.size(),
+              stem.c_str(), stem.c_str());
+  return 0;
+}
+
+int CmdSimulate(const util::CliParser& cli) {
+  driver::Scenario scenario = LoadScenario(cli);
+  core::SimulationConfig config = scenario.config;
+  if (cli.Provided("policy") || !cli.Provided("config")) {
+    config.policy = cli.GetString("policy");
+  }
+  if (cli.Provided("walltime-kill")) {
+    config.enforce_walltime = cli.GetBool("walltime-kill");
+  }
+
+  config.keep_bandwidth_samples = cli.GetBool("timeline");
+  core::EventLog log;
+  core::EventLog* log_ptr =
+      cli.Provided("event-log") ? &log : nullptr;
+  core::SimulationResult result =
+      core::RunSimulation(config, scenario.jobs, log_ptr);
+
+  const metrics::Report& r = result.report;
+  std::printf("%s under %s: %zu jobs\n", scenario.name.c_str(),
+              result.policy_name.c_str(), r.job_count);
+  std::printf("  avg wait       %.1f min\n",
+              util::SecondsToMinutes(r.avg_wait_seconds));
+  std::printf("  avg response   %.1f min\n",
+              util::SecondsToMinutes(r.avg_response_seconds));
+  std::printf("  utilization    %.1f%%\n", r.utilization * 100.0);
+  std::printf("  io slowdown    %.3fx | runtime stretch %.3fx\n",
+              r.avg_io_slowdown, r.avg_runtime_expansion);
+  std::printf("  storage        congested %.1f%% of time, %zu episodes, "
+              "%.1f GB/s wasted on average\n",
+              result.bandwidth.congested_fraction * 100.0,
+              result.bandwidth.episode_count,
+              result.bandwidth.mean_wasted_gbps);
+
+  if (cli.GetBool("timeline")) {
+    const double bucket = 2.0 * util::kSecondsPerHour;
+    metrics::TimelineSeries occupancy = metrics::OccupancyTimeline(
+        result.records, config.machine.total_nodes(), bucket);
+    std::printf("\nmachine occupancy (2h buckets)\n%s",
+                metrics::RenderTimeline(occupancy, 8, 1.0, 0.9).c_str());
+    metrics::BandwidthTracker tracker(config.storage.max_bandwidth_gbps);
+    for (const metrics::BandwidthSample& sample : result.bandwidth_samples) {
+      tracker.Record(sample);
+    }
+    metrics::TimelineSeries demand = metrics::DemandTimeline(tracker, bucket);
+    std::printf("\nstorage demand / BWmax (dashes at 1.0)\n%s",
+                metrics::RenderTimeline(demand, 8, 2.0, 1.0).c_str());
+  }
+  if (cli.GetBool("breakdown")) {
+    std::printf("\nper-size breakdown\n%s",
+                metrics::BreakdownTable(
+                    metrics::BreakdownBySize(result.records))
+                    .ToString()
+                    .c_str());
+  }
+  if (cli.Provided("records")) {
+    std::ofstream out(cli.GetString("records"));
+    if (!out) return Fail("cannot write " + cli.GetString("records"));
+    metrics::WriteRecordsCsv(out, result.records);
+    std::printf("wrote per-job records to %s\n",
+                cli.GetString("records").c_str());
+  }
+  if (log_ptr != nullptr) {
+    std::ofstream out(cli.GetString("event-log"));
+    if (!out) return Fail("cannot write " + cli.GetString("event-log"));
+    log.WriteCsv(out);
+    std::printf("wrote %zu scheduling events to %s\n", log.size(),
+                cli.GetString("event-log").c_str());
+  }
+  return 0;
+}
+
+int CmdSweep(const util::CliParser& cli) {
+  driver::Scenario scenario = LoadScenario(cli);
+  std::vector<std::string> policies = core::AllPolicyNames();
+  if (cli.Provided("policies")) {
+    policies = util::Split(cli.GetString("policies"), ',');
+  }
+  util::ThreadPool pool;
+  auto runs = driver::RunPolicySweep(scenario, policies, &pool);
+  if (cli.GetBool("csv")) {
+    std::fputs(driver::RunsToCsv(runs).c_str(), stdout);
+    return 0;
+  }
+  std::printf("%s\n", driver::WaitTimeTable(runs).ToString().c_str());
+  std::printf("%s\n", driver::ResponseTimeTable(runs).ToString().c_str());
+  std::printf("%s\n", driver::UtilizationTable(runs).ToString().c_str());
+  return 0;
+}
+
+int CmdSensitivity(const util::CliParser& cli) {
+  driver::Scenario scenario = LoadScenario(cli);
+  std::vector<double> factors;
+  for (const std::string& f : util::Split(cli.GetString("factors"), ',')) {
+    auto v = util::ParseDouble(f);
+    if (!v || *v <= 0) return Fail("bad factor: " + f);
+    factors.push_back(*v);
+  }
+  std::vector<std::string> policies = core::AllPolicyNames();
+  if (cli.Provided("policies")) {
+    policies = util::Split(cli.GetString("policies"), ',');
+  }
+  util::ThreadPool pool;
+  auto runs = driver::RunExpansionSweep(scenario, factors, policies, &pool);
+  if (cli.GetBool("csv")) {
+    std::fputs(driver::RunsToCsv(runs).c_str(), stdout);
+    return 0;
+  }
+  std::printf("%s\n",
+              driver::SensitivityTable(runs, factors, policies)
+                  .ToString()
+                  .c_str());
+  return 0;
+}
+
+int CmdReplications(const util::CliParser& cli) {
+  std::vector<std::uint64_t> seeds;
+  for (const std::string& s : util::Split(cli.GetString("seeds"), ',')) {
+    auto v = util::ParseInt(s);
+    if (!v || *v < 0) return Fail("bad seed: " + s);
+    seeds.push_back(static_cast<std::uint64_t>(*v));
+  }
+  std::vector<std::string> policies = core::AllPolicyNames();
+  if (cli.Provided("policies")) {
+    policies = util::Split(cli.GetString("policies"), ',');
+  }
+  util::ThreadPool pool;
+  auto runs = driver::RunReplications(
+      driver::EvaluationMonthFactory(
+          static_cast<int>(cli.GetInt("workload")), cli.GetDouble("days")),
+      seeds, policies, &pool);
+  std::printf("%s\n", driver::ReplicationTable(runs).ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli(
+      "iosched <generate|simulate|sweep|sensitivity|replications> [flags]\n"
+      "I/O-aware batch scheduling framework (CLUSTER'15 reproduction)");
+  cli.AddFlag("workload", "1", "built-in evaluation month (1..3)");
+  cli.AddFlag("config", "", "INI scenario file (overrides workload flags)");
+  cli.AddFlag("days", "30", "trace duration in days");
+  cli.AddFlag("seed", "101", "generator seed (generate)");
+  cli.AddFlag("out", "workload", "output path stem (generate)");
+  cli.AddFlag("swf", "", "SWF job trace to simulate");
+  cli.AddFlag("io", "", "Darshan-lite I/O trace paired with --swf");
+  cli.AddFlag("policy", "ADAPTIVE", "I/O policy (simulate)");
+  cli.AddFlag("policies", "", "comma list of policies (sweep/sensitivity)");
+  cli.AddFlag("bwmax", "250", "storage bandwidth cap BWmax in GB/s");
+  cli.AddFlag("factor", "1.0", "I/O expansion factor applied to the workload");
+  cli.AddFlag("factors", "0.3,0.5,0.7,0.9,1.2,1.5",
+              "expansion factors (sensitivity)");
+  cli.AddFlag("seeds", "101,202,303", "seeds (replications)");
+  cli.AddFlag("records", "", "write per-job records CSV here (simulate)");
+  cli.AddFlag("event-log", "", "write scheduling-event CSV here (simulate)");
+  cli.AddBoolFlag("walltime-kill", "kill jobs at their requested walltime");
+  cli.AddBoolFlag("breakdown", "print per-size-class metrics (simulate)");
+  cli.AddBoolFlag("timeline", "print occupancy/demand strip charts (simulate)");
+  cli.AddBoolFlag("csv", "emit CSV instead of tables (sweep/sensitivity)");
+  cli.AddBoolFlag("help", "show usage");
+
+  if (!cli.Parse(argc - 1, argv + 1)) {
+    std::fprintf(stderr, "%s\n%s", cli.error().c_str(), cli.Help().c_str());
+    return 1;
+  }
+  if (cli.GetBool("help") || cli.positional().empty()) {
+    std::fputs(cli.Help().c_str(), stdout);
+    return cli.positional().empty() && !cli.GetBool("help") ? 1 : 0;
+  }
+  const std::string& command = cli.positional().front();
+  try {
+    if (command == "generate") return CmdGenerate(cli);
+    if (command == "simulate") return CmdSimulate(cli);
+    if (command == "sweep") return CmdSweep(cli);
+    if (command == "sensitivity") return CmdSensitivity(cli);
+    if (command == "replications") return CmdReplications(cli);
+  } catch (const std::exception& e) {
+    return Fail(e.what());
+  }
+  return Fail("unknown command: " + command);
+}

@@ -1,0 +1,117 @@
+// trace_stats — workload characterization report for an SWF + Darshan-lite
+// trace pair (or a built-in evaluation month): job-size mix, runtime and
+// I/O-fraction distributions, diurnal submission profile, offered load.
+//
+// Usage:
+//   trace_stats --workload 1 --days 30
+//   trace_stats --swf wl.swf --io wl_io.csv
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "driver/scenario.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+#include "workload/iotrace.h"
+#include "workload/swf.h"
+#include "workload/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace iosched;
+  util::CliParser cli("trace_stats [flags] — characterize a workload trace");
+  cli.AddFlag("workload", "1", "built-in evaluation month (1..3)");
+  cli.AddFlag("days", "30", "duration for the built-in workload");
+  cli.AddFlag("swf", "", "SWF job trace");
+  cli.AddFlag("io", "", "Darshan-lite I/O trace");
+  cli.AddBoolFlag("help", "show usage");
+  if (!cli.Parse(argc - 1, argv + 1)) {
+    std::fprintf(stderr, "%s\n%s", cli.error().c_str(), cli.Help().c_str());
+    return 1;
+  }
+  if (cli.GetBool("help")) {
+    std::fputs(cli.Help().c_str(), stdout);
+    return 0;
+  }
+
+  machine::MachineConfig machine = machine::MachineConfig::Mira();
+  workload::Workload jobs;
+  std::string name;
+  try {
+    if (cli.Provided("swf")) {
+      workload::SwfTrace swf = workload::ReadSwfFile(cli.GetString("swf"));
+      workload::IoTrace io;
+      if (cli.Provided("io")) {
+        io = workload::ReadIoTraceFile(cli.GetString("io"));
+      }
+      workload::PairingOptions opts;
+      opts.node_bandwidth_gbps = machine.node_bandwidth_gbps;
+      jobs = workload::PairTraces(swf, io, opts);
+      name = cli.GetString("swf");
+    } else {
+      driver::Scenario scenario = driver::MakeEvaluationScenario(
+          static_cast<int>(cli.GetInt("workload")), cli.GetDouble("days"));
+      jobs = std::move(scenario.jobs);
+      name = scenario.name;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  if (jobs.empty()) {
+    std::fprintf(stderr, "error: empty workload\n");
+    return 1;
+  }
+
+  workload::WorkloadStats stats = workload::ComputeStats(
+      jobs, machine.total_nodes(), machine.node_bandwidth_gbps);
+  std::printf("%s: %zu jobs, makespan %.1f days\n", name.c_str(),
+              stats.job_count,
+              stats.makespan_seconds / util::kSecondsPerDay);
+  std::printf("offered load %.2f | mean size %.0f nodes | mean runtime "
+              "%.0f min | mean I/O fraction %.3f | total I/O %.1f TB\n\n",
+              stats.offered_load, stats.mean_nodes,
+              util::SecondsToMinutes(stats.mean_runtime_seconds),
+              stats.mean_io_fraction, stats.total_io_gb / 1024.0);
+
+  // Size mix.
+  std::map<int, int> by_size;
+  for (const auto& j : jobs) ++by_size[j.nodes];
+  util::Table size_table({"nodes", "jobs", "share"});
+  for (const auto& [nodes, count] : by_size) {
+    size_table.AddRow({std::to_string(nodes), std::to_string(count),
+                       util::Table::Num(100.0 * count /
+                                        static_cast<double>(jobs.size()), 1) +
+                           "%"});
+  }
+  std::printf("job-size mix\n%s\n", size_table.ToString().c_str());
+
+  // Runtime and I/O-fraction distributions.
+  std::vector<double> runtimes;
+  std::vector<double> io_fractions;
+  for (const auto& j : jobs) {
+    runtimes.push_back(util::SecondsToMinutes(
+        j.UncongestedRuntime(machine.node_bandwidth_gbps)));
+    io_fractions.push_back(j.IoFraction(machine.node_bandwidth_gbps));
+  }
+  util::Summary runtime_summary(runtimes);
+  util::Summary io_summary(io_fractions);
+  std::printf("runtime (min): median %.0f  mean %.0f  p90 %.0f  max %.0f\n",
+              runtime_summary.median(), runtime_summary.mean(),
+              runtime_summary.p90(), runtime_summary.max());
+  std::printf("I/O fraction:  median %.3f mean %.3f p90 %.3f max %.3f\n\n",
+              io_summary.median(), io_summary.mean(), io_summary.p90(),
+              io_summary.max());
+
+  // Diurnal submission histogram (jobs per hour-of-day).
+  util::Histogram diurnal(0.0, 24.0, 24);
+  for (const auto& j : jobs) {
+    double hour = std::fmod(j.submit_time, util::kSecondsPerDay) /
+                  util::kSecondsPerHour;
+    diurnal.Add(hour);
+  }
+  std::printf("submissions by hour of day\n%s", diurnal.ToAscii(48).c_str());
+  return 0;
+}
