@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_maxutil.cpp" "bench/CMakeFiles/ablation_maxutil.dir/ablation_maxutil.cpp.o" "gcc" "bench/CMakeFiles/ablation_maxutil.dir/ablation_maxutil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/iosched_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/iosched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/iosched_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/iosched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/iosched_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/iosched_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iosched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/iosched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iosched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_maxutil.dir/ablation_maxutil.cpp.o"
+  "CMakeFiles/ablation_maxutil.dir/ablation_maxutil.cpp.o.d"
+  "ablation_maxutil"
+  "ablation_maxutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_maxutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

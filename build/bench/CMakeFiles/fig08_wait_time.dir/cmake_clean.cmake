@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_wait_time.dir/fig08_wait_time.cpp.o"
+  "CMakeFiles/fig08_wait_time.dir/fig08_wait_time.cpp.o.d"
+  "fig08_wait_time"
+  "fig08_wait_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_wait_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_replications.dir/robustness_replications.cpp.o"
+  "CMakeFiles/robustness_replications.dir/robustness_replications.cpp.o.d"
+  "robustness_replications"
+  "robustness_replications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_replications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_vs_fcfs.dir/adaptive_vs_fcfs.cpp.o"
+  "CMakeFiles/adaptive_vs_fcfs.dir/adaptive_vs_fcfs.cpp.o.d"
+  "adaptive_vs_fcfs"
+  "adaptive_vs_fcfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_vs_fcfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

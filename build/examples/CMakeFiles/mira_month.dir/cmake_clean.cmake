@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_month.dir/mira_month.cpp.o"
+  "CMakeFiles/mira_month.dir/mira_month.cpp.o.d"
+  "mira_month"
+  "mira_month.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_month.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

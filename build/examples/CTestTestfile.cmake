@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_mira_month]=] "/root/repo/build/examples/mira_month" "1" "2")
+set_tests_properties([=[example_mira_month]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_adaptive_vs_fcfs]=] "/root/repo/build/examples/adaptive_vs_fcfs")
+set_tests_properties([=[example_adaptive_vs_fcfs]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_trace_workflow]=] "/root/repo/build/examples/trace_workflow" "/root/repo/build/examples")
+set_tests_properties([=[example_trace_workflow]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_sensitivity_explorer]=] "/root/repo/build/examples/sensitivity_explorer" "2" "ADAPTIVE" "120" "2")
+set_tests_properties([=[example_sensitivity_explorer]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_predictor_demo]=] "/root/repo/build/examples/predictor_demo")
+set_tests_properties([=[example_predictor_demo]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_congestion_timeline]=] "/root/repo/build/examples/congestion_timeline" "2" "2")
+set_tests_properties([=[example_congestion_timeline]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_policy.cc" "src/core/CMakeFiles/iosched_core.dir/adaptive_policy.cc.o" "gcc" "src/core/CMakeFiles/iosched_core.dir/adaptive_policy.cc.o.d"
+  "/root/repo/src/core/baseline_policy.cc" "src/core/CMakeFiles/iosched_core.dir/baseline_policy.cc.o" "gcc" "src/core/CMakeFiles/iosched_core.dir/baseline_policy.cc.o.d"
+  "/root/repo/src/core/conservative_policy.cc" "src/core/CMakeFiles/iosched_core.dir/conservative_policy.cc.o" "gcc" "src/core/CMakeFiles/iosched_core.dir/conservative_policy.cc.o.d"
+  "/root/repo/src/core/event_log.cc" "src/core/CMakeFiles/iosched_core.dir/event_log.cc.o" "gcc" "src/core/CMakeFiles/iosched_core.dir/event_log.cc.o.d"
+  "/root/repo/src/core/io_policy.cc" "src/core/CMakeFiles/iosched_core.dir/io_policy.cc.o" "gcc" "src/core/CMakeFiles/iosched_core.dir/io_policy.cc.o.d"
+  "/root/repo/src/core/io_scheduler.cc" "src/core/CMakeFiles/iosched_core.dir/io_scheduler.cc.o" "gcc" "src/core/CMakeFiles/iosched_core.dir/io_scheduler.cc.o.d"
+  "/root/repo/src/core/knapsack.cc" "src/core/CMakeFiles/iosched_core.dir/knapsack.cc.o" "gcc" "src/core/CMakeFiles/iosched_core.dir/knapsack.cc.o.d"
+  "/root/repo/src/core/policy_factory.cc" "src/core/CMakeFiles/iosched_core.dir/policy_factory.cc.o" "gcc" "src/core/CMakeFiles/iosched_core.dir/policy_factory.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "src/core/CMakeFiles/iosched_core.dir/predictor.cc.o" "gcc" "src/core/CMakeFiles/iosched_core.dir/predictor.cc.o.d"
+  "/root/repo/src/core/simulation.cc" "src/core/CMakeFiles/iosched_core.dir/simulation.cc.o" "gcc" "src/core/CMakeFiles/iosched_core.dir/simulation.cc.o.d"
+  "/root/repo/src/core/slowdown.cc" "src/core/CMakeFiles/iosched_core.dir/slowdown.cc.o" "gcc" "src/core/CMakeFiles/iosched_core.dir/slowdown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/iosched_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iosched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/iosched_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/iosched_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/iosched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/iosched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/iosched_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

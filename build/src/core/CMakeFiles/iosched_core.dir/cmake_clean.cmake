@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosched_core.dir/adaptive_policy.cc.o"
+  "CMakeFiles/iosched_core.dir/adaptive_policy.cc.o.d"
+  "CMakeFiles/iosched_core.dir/baseline_policy.cc.o"
+  "CMakeFiles/iosched_core.dir/baseline_policy.cc.o.d"
+  "CMakeFiles/iosched_core.dir/conservative_policy.cc.o"
+  "CMakeFiles/iosched_core.dir/conservative_policy.cc.o.d"
+  "CMakeFiles/iosched_core.dir/event_log.cc.o"
+  "CMakeFiles/iosched_core.dir/event_log.cc.o.d"
+  "CMakeFiles/iosched_core.dir/io_policy.cc.o"
+  "CMakeFiles/iosched_core.dir/io_policy.cc.o.d"
+  "CMakeFiles/iosched_core.dir/io_scheduler.cc.o"
+  "CMakeFiles/iosched_core.dir/io_scheduler.cc.o.d"
+  "CMakeFiles/iosched_core.dir/knapsack.cc.o"
+  "CMakeFiles/iosched_core.dir/knapsack.cc.o.d"
+  "CMakeFiles/iosched_core.dir/policy_factory.cc.o"
+  "CMakeFiles/iosched_core.dir/policy_factory.cc.o.d"
+  "CMakeFiles/iosched_core.dir/predictor.cc.o"
+  "CMakeFiles/iosched_core.dir/predictor.cc.o.d"
+  "CMakeFiles/iosched_core.dir/simulation.cc.o"
+  "CMakeFiles/iosched_core.dir/simulation.cc.o.d"
+  "CMakeFiles/iosched_core.dir/slowdown.cc.o"
+  "CMakeFiles/iosched_core.dir/slowdown.cc.o.d"
+  "libiosched_core.a"
+  "libiosched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

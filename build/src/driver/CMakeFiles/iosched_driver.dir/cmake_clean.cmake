@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosched_driver.dir/config_scenario.cc.o"
+  "CMakeFiles/iosched_driver.dir/config_scenario.cc.o.d"
+  "CMakeFiles/iosched_driver.dir/experiment.cc.o"
+  "CMakeFiles/iosched_driver.dir/experiment.cc.o.d"
+  "CMakeFiles/iosched_driver.dir/replication.cc.o"
+  "CMakeFiles/iosched_driver.dir/replication.cc.o.d"
+  "CMakeFiles/iosched_driver.dir/scenario.cc.o"
+  "CMakeFiles/iosched_driver.dir/scenario.cc.o.d"
+  "libiosched_driver.a"
+  "libiosched_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosched_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

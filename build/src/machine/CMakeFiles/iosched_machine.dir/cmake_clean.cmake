@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosched_machine.dir/machine.cc.o"
+  "CMakeFiles/iosched_machine.dir/machine.cc.o.d"
+  "libiosched_machine.a"
+  "libiosched_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosched_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/bandwidth.cc" "src/metrics/CMakeFiles/iosched_metrics.dir/bandwidth.cc.o" "gcc" "src/metrics/CMakeFiles/iosched_metrics.dir/bandwidth.cc.o.d"
+  "/root/repo/src/metrics/breakdown.cc" "src/metrics/CMakeFiles/iosched_metrics.dir/breakdown.cc.o" "gcc" "src/metrics/CMakeFiles/iosched_metrics.dir/breakdown.cc.o.d"
+  "/root/repo/src/metrics/report.cc" "src/metrics/CMakeFiles/iosched_metrics.dir/report.cc.o" "gcc" "src/metrics/CMakeFiles/iosched_metrics.dir/report.cc.o.d"
+  "/root/repo/src/metrics/timeline.cc" "src/metrics/CMakeFiles/iosched_metrics.dir/timeline.cc.o" "gcc" "src/metrics/CMakeFiles/iosched_metrics.dir/timeline.cc.o.d"
+  "/root/repo/src/metrics/utilization.cc" "src/metrics/CMakeFiles/iosched_metrics.dir/utilization.cc.o" "gcc" "src/metrics/CMakeFiles/iosched_metrics.dir/utilization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/iosched_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iosched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/iosched_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosched_metrics.dir/bandwidth.cc.o"
+  "CMakeFiles/iosched_metrics.dir/bandwidth.cc.o.d"
+  "CMakeFiles/iosched_metrics.dir/breakdown.cc.o"
+  "CMakeFiles/iosched_metrics.dir/breakdown.cc.o.d"
+  "CMakeFiles/iosched_metrics.dir/report.cc.o"
+  "CMakeFiles/iosched_metrics.dir/report.cc.o.d"
+  "CMakeFiles/iosched_metrics.dir/timeline.cc.o"
+  "CMakeFiles/iosched_metrics.dir/timeline.cc.o.d"
+  "CMakeFiles/iosched_metrics.dir/utilization.cc.o"
+  "CMakeFiles/iosched_metrics.dir/utilization.cc.o.d"
+  "libiosched_metrics.a"
+  "libiosched_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosched_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

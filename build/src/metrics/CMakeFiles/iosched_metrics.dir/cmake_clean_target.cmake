@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiosched_metrics.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/batch_scheduler.cc" "src/sched/CMakeFiles/iosched_sched.dir/batch_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/iosched_sched.dir/batch_scheduler.cc.o.d"
+  "/root/repo/src/sched/queue_policy.cc" "src/sched/CMakeFiles/iosched_sched.dir/queue_policy.cc.o" "gcc" "src/sched/CMakeFiles/iosched_sched.dir/queue_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/iosched_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iosched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/iosched_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/iosched_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosched_sched.dir/batch_scheduler.cc.o"
+  "CMakeFiles/iosched_sched.dir/batch_scheduler.cc.o.d"
+  "CMakeFiles/iosched_sched.dir/queue_policy.cc.o"
+  "CMakeFiles/iosched_sched.dir/queue_policy.cc.o.d"
+  "libiosched_sched.a"
+  "libiosched_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosched_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosched_sim.dir/event_queue.cc.o"
+  "CMakeFiles/iosched_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/iosched_sim.dir/simulator.cc.o"
+  "CMakeFiles/iosched_sim.dir/simulator.cc.o.d"
+  "libiosched_sim.a"
+  "libiosched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

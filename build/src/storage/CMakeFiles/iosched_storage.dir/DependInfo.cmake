@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/burst_buffer.cc" "src/storage/CMakeFiles/iosched_storage.dir/burst_buffer.cc.o" "gcc" "src/storage/CMakeFiles/iosched_storage.dir/burst_buffer.cc.o.d"
+  "/root/repo/src/storage/storage_model.cc" "src/storage/CMakeFiles/iosched_storage.dir/storage_model.cc.o" "gcc" "src/storage/CMakeFiles/iosched_storage.dir/storage_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/iosched_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iosched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/iosched_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

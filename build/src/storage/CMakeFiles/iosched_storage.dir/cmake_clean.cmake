@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosched_storage.dir/burst_buffer.cc.o"
+  "CMakeFiles/iosched_storage.dir/burst_buffer.cc.o.d"
+  "CMakeFiles/iosched_storage.dir/storage_model.cc.o"
+  "CMakeFiles/iosched_storage.dir/storage_model.cc.o.d"
+  "libiosched_storage.a"
+  "libiosched_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosched_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosched_util.dir/cli.cc.o"
+  "CMakeFiles/iosched_util.dir/cli.cc.o.d"
+  "CMakeFiles/iosched_util.dir/config.cc.o"
+  "CMakeFiles/iosched_util.dir/config.cc.o.d"
+  "CMakeFiles/iosched_util.dir/csv.cc.o"
+  "CMakeFiles/iosched_util.dir/csv.cc.o.d"
+  "CMakeFiles/iosched_util.dir/logging.cc.o"
+  "CMakeFiles/iosched_util.dir/logging.cc.o.d"
+  "CMakeFiles/iosched_util.dir/rng.cc.o"
+  "CMakeFiles/iosched_util.dir/rng.cc.o.d"
+  "CMakeFiles/iosched_util.dir/stats.cc.o"
+  "CMakeFiles/iosched_util.dir/stats.cc.o.d"
+  "CMakeFiles/iosched_util.dir/strings.cc.o"
+  "CMakeFiles/iosched_util.dir/strings.cc.o.d"
+  "CMakeFiles/iosched_util.dir/table.cc.o"
+  "CMakeFiles/iosched_util.dir/table.cc.o.d"
+  "CMakeFiles/iosched_util.dir/thread_pool.cc.o"
+  "CMakeFiles/iosched_util.dir/thread_pool.cc.o.d"
+  "libiosched_util.a"
+  "libiosched_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosched_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/iotrace.cc" "src/workload/CMakeFiles/iosched_workload.dir/iotrace.cc.o" "gcc" "src/workload/CMakeFiles/iosched_workload.dir/iotrace.cc.o.d"
+  "/root/repo/src/workload/job.cc" "src/workload/CMakeFiles/iosched_workload.dir/job.cc.o" "gcc" "src/workload/CMakeFiles/iosched_workload.dir/job.cc.o.d"
+  "/root/repo/src/workload/swf.cc" "src/workload/CMakeFiles/iosched_workload.dir/swf.cc.o" "gcc" "src/workload/CMakeFiles/iosched_workload.dir/swf.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/workload/CMakeFiles/iosched_workload.dir/synthetic.cc.o" "gcc" "src/workload/CMakeFiles/iosched_workload.dir/synthetic.cc.o.d"
+  "/root/repo/src/workload/transforms.cc" "src/workload/CMakeFiles/iosched_workload.dir/transforms.cc.o" "gcc" "src/workload/CMakeFiles/iosched_workload.dir/transforms.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/workload/CMakeFiles/iosched_workload.dir/workload.cc.o" "gcc" "src/workload/CMakeFiles/iosched_workload.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/iosched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosched_workload.dir/iotrace.cc.o"
+  "CMakeFiles/iosched_workload.dir/iotrace.cc.o.d"
+  "CMakeFiles/iosched_workload.dir/job.cc.o"
+  "CMakeFiles/iosched_workload.dir/job.cc.o.d"
+  "CMakeFiles/iosched_workload.dir/swf.cc.o"
+  "CMakeFiles/iosched_workload.dir/swf.cc.o.d"
+  "CMakeFiles/iosched_workload.dir/synthetic.cc.o"
+  "CMakeFiles/iosched_workload.dir/synthetic.cc.o.d"
+  "CMakeFiles/iosched_workload.dir/transforms.cc.o"
+  "CMakeFiles/iosched_workload.dir/transforms.cc.o.d"
+  "CMakeFiles/iosched_workload.dir/workload.cc.o"
+  "CMakeFiles/iosched_workload.dir/workload.cc.o.d"
+  "libiosched_workload.a"
+  "libiosched_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosched_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_knapsack_test.dir/core/knapsack_test.cc.o"
+  "CMakeFiles/core_knapsack_test.dir/core/knapsack_test.cc.o.d"
+  "core_knapsack_test"
+  "core_knapsack_test.pdb"
+  "core_knapsack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_knapsack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_config_scenario_test.dir/driver/config_scenario_test.cc.o"
+  "CMakeFiles/driver_config_scenario_test.dir/driver/config_scenario_test.cc.o.d"
+  "driver_config_scenario_test"
+  "driver_config_scenario_test.pdb"
+  "driver_config_scenario_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_config_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_experiment_test.dir/driver/experiment_test.cc.o"
+  "CMakeFiles/driver_experiment_test.dir/driver/experiment_test.cc.o.d"
+  "driver_experiment_test"
+  "driver_experiment_test.pdb"
+  "driver_experiment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_replication_test.dir/driver/replication_test.cc.o"
+  "CMakeFiles/driver_replication_test.dir/driver/replication_test.cc.o.d"
+  "driver_replication_test"
+  "driver_replication_test.pdb"
+  "driver_replication_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_replication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_accounting_test.dir/integration/accounting_test.cc.o"
+  "CMakeFiles/integration_accounting_test.dir/integration/accounting_test.cc.o.d"
+  "integration_accounting_test"
+  "integration_accounting_test.pdb"
+  "integration_accounting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_accounting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_breakdown_test.dir/metrics/breakdown_test.cc.o"
+  "CMakeFiles/metrics_breakdown_test.dir/metrics/breakdown_test.cc.o.d"
+  "metrics_breakdown_test"
+  "metrics_breakdown_test.pdb"
+  "metrics_breakdown_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_breakdown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

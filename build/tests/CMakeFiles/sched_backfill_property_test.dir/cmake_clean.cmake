@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_backfill_property_test.dir/sched/backfill_property_test.cc.o"
+  "CMakeFiles/sched_backfill_property_test.dir/sched/backfill_property_test.cc.o.d"
+  "sched_backfill_property_test"
+  "sched_backfill_property_test.pdb"
+  "sched_backfill_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_backfill_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_batch_scheduler_test.dir/sched/batch_scheduler_test.cc.o"
+  "CMakeFiles/sched_batch_scheduler_test.dir/sched/batch_scheduler_test.cc.o.d"
+  "sched_batch_scheduler_test"
+  "sched_batch_scheduler_test.pdb"
+  "sched_batch_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_batch_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_queue_policy_test.dir/sched/queue_policy_test.cc.o"
+  "CMakeFiles/sched_queue_policy_test.dir/sched/queue_policy_test.cc.o.d"
+  "sched_queue_policy_test"
+  "sched_queue_policy_test.pdb"
+  "sched_queue_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_queue_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

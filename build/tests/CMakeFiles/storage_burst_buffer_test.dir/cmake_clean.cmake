@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_burst_buffer_test.dir/storage/burst_buffer_test.cc.o"
+  "CMakeFiles/storage_burst_buffer_test.dir/storage/burst_buffer_test.cc.o.d"
+  "storage_burst_buffer_test"
+  "storage_burst_buffer_test.pdb"
+  "storage_burst_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_burst_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

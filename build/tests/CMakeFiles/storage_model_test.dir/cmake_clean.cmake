@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_model_test.dir/storage/storage_model_test.cc.o"
+  "CMakeFiles/storage_model_test.dir/storage/storage_model_test.cc.o.d"
+  "storage_model_test"
+  "storage_model_test.pdb"
+  "storage_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

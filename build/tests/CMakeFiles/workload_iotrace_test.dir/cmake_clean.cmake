@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_iotrace_test.dir/workload/iotrace_test.cc.o"
+  "CMakeFiles/workload_iotrace_test.dir/workload/iotrace_test.cc.o.d"
+  "workload_iotrace_test"
+  "workload_iotrace_test.pdb"
+  "workload_iotrace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_iotrace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_job_test.dir/workload/job_test.cc.o"
+  "CMakeFiles/workload_job_test.dir/workload/job_test.cc.o.d"
+  "workload_job_test"
+  "workload_job_test.pdb"
+  "workload_job_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_job_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

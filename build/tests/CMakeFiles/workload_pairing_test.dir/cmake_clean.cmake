@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_pairing_test.dir/workload/workload_test.cc.o"
+  "CMakeFiles/workload_pairing_test.dir/workload/workload_test.cc.o.d"
+  "workload_pairing_test"
+  "workload_pairing_test.pdb"
+  "workload_pairing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_pairing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_swf_test.dir/workload/swf_test.cc.o"
+  "CMakeFiles/workload_swf_test.dir/workload/swf_test.cc.o.d"
+  "workload_swf_test"
+  "workload_swf_test.pdb"
+  "workload_swf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_swf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

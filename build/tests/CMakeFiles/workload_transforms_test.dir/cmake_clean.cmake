@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_transforms_test.dir/workload/transforms_test.cc.o"
+  "CMakeFiles/workload_transforms_test.dir/workload/transforms_test.cc.o.d"
+  "workload_transforms_test"
+  "workload_transforms_test.pdb"
+  "workload_transforms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_transforms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosched_cli.dir/iosched_cli.cpp.o"
+  "CMakeFiles/iosched_cli.dir/iosched_cli.cpp.o.d"
+  "iosched"
+  "iosched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosched_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
