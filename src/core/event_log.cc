@@ -16,6 +16,9 @@ const char* ToString(SchedEventKind kind) {
     case SchedEventKind::kIoComplete: return "io_complete";
     case SchedEventKind::kEnd: return "end";
     case SchedEventKind::kKill: return "kill";
+    case SchedEventKind::kFaultKill: return "fault_kill";
+    case SchedEventKind::kRequeue: return "requeue";
+    case SchedEventKind::kAbandon: return "abandon";
   }
   return "?";
 }

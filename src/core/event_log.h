@@ -23,6 +23,9 @@ enum class SchedEventKind {
   kIoComplete,  // the request finished (detail = volume GB)
   kEnd,         // job completed all phases
   kKill,        // job terminated at its walltime limit
+  kFaultKill,   // job killed by fault injection (detail = retries so far)
+  kRequeue,     // killed job re-queued (detail = backoff eligible time)
+  kAbandon,     // retry budget exhausted; job permanently failed
 };
 
 const char* ToString(SchedEventKind kind);

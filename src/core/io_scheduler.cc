@@ -75,12 +75,14 @@ void IoScheduler::SubmitRequest(workload::JobId id, double volume_gb,
       // reduces the policy's usable bandwidth, so run a cycle.
       burst_buffer_->Absorb(volume_gb);
       double duration = volume_gb / full_rate;
-      simulator_.ScheduleAfter(duration, [this, id, duration] {
-        // A buffer-absorbed request runs at link speed: its completed
-        // uncongested time equals its actual time.
-        jobs_.at(id).completed_io_seconds += duration;
-        on_complete_(id, simulator_.Now());
-      });
+      absorbed_events_[id] =
+          simulator_.ScheduleAfter(duration, [this, id, duration] {
+            // A buffer-absorbed request runs at link speed: its completed
+            // uncongested time equals its actual time.
+            absorbed_events_.erase(id);
+            jobs_.at(id).completed_io_seconds += duration;
+            on_complete_(id, simulator_.Now());
+          });
       Reschedule(now);
       return;
     }
@@ -90,6 +92,14 @@ void IoScheduler::SubmitRequest(workload::JobId id, double volume_gb,
 }
 
 void IoScheduler::AbortRequest(workload::JobId id, sim::SimTime now) {
+  auto absorbed = absorbed_events_.find(id);
+  if (absorbed != absorbed_events_.end()) {
+    // The request was absorbed by the burst buffer; its completion event
+    // must not fire after the job is gone.
+    simulator_.Cancel(absorbed->second);
+    absorbed_events_.erase(absorbed);
+    return;
+  }
   if (!storage_.Has(id)) return;
   storage_.AdvanceTo(now);
   storage_.Abort(id);

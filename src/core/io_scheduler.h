@@ -50,10 +50,17 @@ class IoScheduler {
   /// scheduling cycle. Volume must be > 0 (callers skip empty phases).
   void SubmitRequest(workload::JobId id, double volume_gb, sim::SimTime now);
 
-  /// Abort a job's in-flight request without completing it (walltime kill).
-  /// No completion callback fires; a scheduling cycle redistributes the
-  /// freed bandwidth. No-op if the job has no in-flight transfer.
+  /// Abort a job's in-flight request without completing it (walltime or
+  /// fault kill). No completion callback fires; a scheduling cycle
+  /// redistributes the freed bandwidth. Also cancels a pending burst-buffer
+  /// absorbed completion. No-op if the job has no request in flight.
   void AbortRequest(workload::JobId id, sim::SimTime now);
+
+  /// Force an immediate scheduling cycle outside the normal request
+  /// arrival/completion triggers — used when the storage capacity changes
+  /// under the policy (degradation/repair), so conservative policies
+  /// instantly produce assignments feasible against the new BWmax.
+  void ForceReschedule(sim::SimTime now) { Reschedule(now); }
 
   /// Number of jobs currently performing/awaiting I/O.
   std::size_t active_requests() const { return storage_.active_count(); }
@@ -111,6 +118,9 @@ class IoScheduler {
   bool has_drain_event_ = false;
   std::uint64_t cycles_ = 0;
   std::uint64_t submitted_requests_ = 0;
+  /// Pending completion events of burst-buffer-absorbed requests, so kills
+  /// can cancel them (keyed by job; one request per job at a time).
+  std::unordered_map<workload::JobId, sim::EventId> absorbed_events_;
   metrics::BandwidthTracker* bandwidth_tracker_ = nullptr;
   storage::BurstBuffer* burst_buffer_ = nullptr;
 };

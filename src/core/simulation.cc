@@ -4,9 +4,11 @@
 #include <optional>
 #include <stdexcept>
 #include <unordered_map>
+#include <vector>
 
 #include "core/io_scheduler.h"
 #include "core/policy_factory.h"
+#include "faults/fault_injector.h"
 #include "sim/simulator.h"
 #include "util/units.h"
 
@@ -33,6 +35,16 @@ struct ExecState {
   bool has_compute_event = false;
 };
 
+/// Bookkeeping for a fault-killed job across its attempts.
+struct RetryContext {
+  /// Failed attempts so far (== the scheduler's retry count).
+  int failures = 0;
+  /// Machine time burned by failed attempts.
+  double lost_seconds = 0.0;
+  /// First phase the next attempt executes (restart-mode dependent).
+  std::size_t resume_phase = 0;
+};
+
 class Engine {
  public:
   Engine(const SimulationConfig& config, const workload::Workload& jobs,
@@ -49,7 +61,8 @@ class Engine {
                       MakePolicy(config.policy),
                       [this](workload::JobId id, sim::SimTime now) {
                         OnIoComplete(id, now);
-                      }) {
+                      }),
+        base_bwmax_(config.storage.max_bandwidth_gbps) {
     if (config_.track_bandwidth) {
       io_scheduler_.SetBandwidthTracker(&bandwidth_tracker_);
     }
@@ -62,6 +75,32 @@ class Engine {
       burst_buffer_.emplace(config_.burst_buffer);
       io_scheduler_.AttachBurstBuffer(&*burst_buffer_);
     }
+    if (config_.faults.enabled()) {
+      faults::FaultPlan plan = config_.faults.explicit_plan;
+      if (plan.Empty() && config_.faults.plan_config.enabled) {
+        plan = faults::BuildFaultPlan(config_.faults.plan_config,
+                                      PlanHorizon(),
+                                      config_.machine.total_midplanes());
+      }
+      faults::FaultHooks hooks;
+      hooks.set_bandwidth_factor = [this](double factor, sim::SimTime now) {
+        // Re-accrue in-flight transfers at the old rates up to `now`, swap
+        // the cap, then force a cycle so every policy immediately re-plans
+        // against the new BWmax (the validator only runs post-cycle, so a
+        // shrink can never look like an over-assignment).
+        storage_.SetMaxBandwidth(base_bwmax_ * factor, now);
+        io_scheduler_.ForceReschedule(now);
+      };
+      hooks.set_midplane_faulted = [this](int midplane, bool faulted,
+                                          sim::SimTime now) {
+        OnMidplaneEdge(midplane, faulted, now);
+      };
+      hooks.kill_job = [this](workload::JobId id, sim::SimTime now) {
+        return FailJob(id, now);
+      };
+      injector_.emplace(simulator_, std::move(plan), std::move(hooks),
+                        &fault_stats_);
+    }
   }
 
   SimulationResult Run() {
@@ -73,6 +112,7 @@ class Engine {
       }
       simulator_.ScheduleAt(job.submit_time, [this, &job] { OnSubmit(job); });
     }
+    if (injector_.has_value()) injector_->Arm();
     simulator_.Run();
     if (!running_.empty() || batch_.queue_size() != 0) {
       throw std::logic_error(
@@ -96,6 +136,8 @@ class Engine {
       result.bb_absorbed_gb = burst_buffer_->total_absorbed_gb();
       result.bb_absorbed_requests = burst_buffer_->absorbed_requests();
     }
+    if (injector_.has_value()) injector_->FinalizeStats(simulator_.Now());
+    result.faults = std::move(fault_stats_);
     result.io_requests = io_scheduler_.submitted_requests();
     result.events_processed = simulator_.processed_events();
     result.io_scheduling_cycles = io_scheduler_.cycles();
@@ -130,6 +172,8 @@ class Engine {
     state.job = &job;
     state.partition = partition;
     state.start_time = now;
+    auto rit = retry_.find(job.id);
+    if (rit != retry_.end()) state.next_phase = rit->second.resume_phase;
     Log(SchedEventKind::kStart, job.id, static_cast<double>(partition.nodes));
     if (config_.enforce_walltime) {
       state.kill_event = simulator_.ScheduleAfter(
@@ -138,6 +182,11 @@ class Engine {
     }
     running_.emplace(job.id, state);
     io_scheduler_.RegisterJob(job, now);
+    if (injector_.has_value()) {
+      injector_->OnJobStart(
+          job.id, now,
+          job.UncongestedRuntime(config_.machine.node_bandwidth_gbps));
+    }
     AdvancePhase(job.id);
   }
 
@@ -158,6 +207,92 @@ class Engine {
       state.in_io = false;
     }
     FinishJob(id, now, /*killed=*/true);
+  }
+
+  /// Fault-kill a running job (injector hook): tear down its execution
+  /// state, then requeue it with backoff or abandon it once the retry
+  /// budget is spent. Returns false when the job is not running (it ended
+  /// at the same instant the kill fired).
+  bool FailJob(workload::JobId id, sim::SimTime now) {
+    auto it = running_.find(id);
+    if (it == running_.end()) return false;
+    ExecState state = it->second;
+    if (state.has_compute_event) simulator_.Cancel(state.compute_event);
+    if (state.has_kill_event) simulator_.Cancel(state.kill_event);
+    if (state.in_io) {
+      state.io_time_actual += now - state.io_request_start;
+      io_scheduler_.AbortRequest(id, now);
+    }
+    running_.erase(it);
+    io_scheduler_.UnregisterJob(id);
+    if (injector_.has_value()) injector_->OnJobStop(id);
+
+    sched::BatchScheduler::RequeueDecision decision =
+        batch_.OnJobFailed(id, now);
+    RetryContext& rc = retry_[id];
+    rc.failures = decision.retries;
+    rc.lost_seconds += now - state.start_time;
+    rc.resume_phase =
+        config_.faults.restart_mode == faults::RestartMode::kResumeFromLastPhase
+            ? (state.next_phase > 0 ? state.next_phase - 1 : 0)
+            : 0;
+    Log(SchedEventKind::kFaultKill, id, static_cast<double>(decision.retries));
+
+    if (decision.requeued) {
+      fault_stats_.Add(now, metrics::FaultEventKind::kRequeue, id,
+                       decision.eligible_time);
+      Log(SchedEventKind::kRequeue, id, decision.eligible_time);
+      // A backoff expiry wakes nobody by itself: arm a scheduling pass at
+      // the eligibility time (idempotent if anything else runs one first).
+      simulator_.ScheduleAt(decision.eligible_time,
+                            [this] { RunSchedulingPass(); });
+    } else {
+      fault_stats_.Add(now, metrics::FaultEventKind::kAbandon, id);
+      Log(SchedEventKind::kAbandon, id);
+      metrics::JobRecord record = MakeRecord(state, now, /*killed=*/false);
+      record.abandoned = true;
+      record.attempts = rc.failures;
+      record.lost_seconds = rc.lost_seconds;
+      records_.push_back(record);
+      retry_.erase(id);
+    }
+    RunSchedulingPass();
+    return true;
+  }
+
+  /// Midplane outage edge (injector hook). On fault: mark the midplane
+  /// unallocatable *first* (so the scheduling passes triggered by the kills
+  /// cannot hand it out again), then kill every job whose partition covers
+  /// it, in job-id order for determinism. On repair: the freed midplane may
+  /// unblock the queue.
+  void OnMidplaneEdge(int midplane, bool faulted, sim::SimTime now) {
+    machine_.SetFaulted(midplane, faulted);
+    if (faulted) {
+      std::vector<workload::JobId> victims;
+      for (const auto& [id, state] : running_) {
+        if (machine::Machine::Covers(state.partition, midplane)) {
+          victims.push_back(id);
+        }
+      }
+      std::sort(victims.begin(), victims.end());
+      for (workload::JobId id : victims) {
+        if (FailJob(id, now)) {
+          fault_stats_.Add(now, metrics::FaultEventKind::kJobKill, id,
+                           static_cast<double>(midplane));
+        }
+      }
+    }
+    RunSchedulingPass();
+  }
+
+  /// Horizon for generated fault plans: the latest time any job could still
+  /// be running if every job consumed its full requested walltime.
+  double PlanHorizon() const {
+    double horizon = 0.0;
+    for (const workload::Job& job : jobs_) {
+      horizon = std::max(horizon, job.submit_time + job.requested_walltime);
+    }
+    return horizon;
   }
 
   /// Enter the next phase of a job (or finish it).
@@ -200,16 +335,10 @@ class Engine {
     AdvancePhase(id);
   }
 
-  void FinishJob(workload::JobId id, sim::SimTime now, bool killed) {
-    Log(killed ? SchedEventKind::kKill : SchedEventKind::kEnd, id);
-    ExecState state = running_.at(id);
-    running_.erase(id);
-    if (state.has_kill_event) simulator_.Cancel(state.kill_event);
-    io_scheduler_.UnregisterJob(id);
-    batch_.OnJobEnd(id, now);
-
+  metrics::JobRecord MakeRecord(const ExecState& state, sim::SimTime now,
+                                bool killed) const {
     metrics::JobRecord record;
-    record.id = id;
+    record.id = state.job->id;
     record.requested_nodes = state.job->nodes;
     record.allocated_nodes = state.partition.nodes;
     record.submit_time = state.job->submit_time;
@@ -223,6 +352,25 @@ class Engine {
         state.job->UncongestedIoSeconds(config_.machine.node_bandwidth_gbps);
     record.io_phase_count = state.job->IoPhaseCount();
     record.killed = killed;
+    return record;
+  }
+
+  void FinishJob(workload::JobId id, sim::SimTime now, bool killed) {
+    Log(killed ? SchedEventKind::kKill : SchedEventKind::kEnd, id);
+    ExecState state = running_.at(id);
+    running_.erase(id);
+    if (state.has_kill_event) simulator_.Cancel(state.kill_event);
+    io_scheduler_.UnregisterJob(id);
+    if (injector_.has_value()) injector_->OnJobStop(id);
+    batch_.OnJobEnd(id, now);
+
+    metrics::JobRecord record = MakeRecord(state, now, killed);
+    auto rit = retry_.find(id);
+    if (rit != retry_.end()) {
+      record.attempts = rit->second.failures + 1;
+      record.lost_seconds = rit->second.lost_seconds;
+      retry_.erase(rit);
+    }
     records_.push_back(record);
 
     RunSchedulingPass();
@@ -239,7 +387,13 @@ class Engine {
   metrics::BandwidthTracker bandwidth_tracker_;
   std::optional<storage::BurstBuffer> burst_buffer_;
   IoScheduler io_scheduler_;
+  /// Nominal BWmax; degradation scales it (the storage model holds the
+  /// currently effective value).
+  double base_bwmax_ = 0.0;
+  metrics::FaultStats fault_stats_;
+  std::optional<faults::FaultInjector> injector_;
   std::unordered_map<workload::JobId, ExecState> running_;
+  std::unordered_map<workload::JobId, RetryContext> retry_;
   metrics::JobRecords records_;
 };
 

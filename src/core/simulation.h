@@ -13,8 +13,10 @@
 #include <string>
 
 #include "core/event_log.h"
+#include "faults/fault_plan.h"
 #include "machine/machine.h"
 #include "metrics/bandwidth.h"
+#include "metrics/fault_stats.h"
 #include "storage/burst_buffer.h"
 #include "metrics/job_record.h"
 #include "metrics/report.h"
@@ -47,6 +49,10 @@ struct SimulationConfig {
   /// has none — this is the architectural alternative its related work
   /// discusses). drain_gbps must stay below the storage BWmax.
   storage::BurstBufferConfig burst_buffer;
+  /// Fault injection (disabled by default = the paper's fault-free model).
+  /// Either an explicit plan or seeded generation parameters; killed jobs
+  /// requeue with exponential backoff under `batch` retry options.
+  faults::FaultOptions faults;
 };
 
 struct SimulationResult {
@@ -59,6 +65,8 @@ struct SimulationResult {
   /// Burst-buffer statistics (zero when the buffer is disabled).
   double bb_absorbed_gb = 0.0;
   std::uint64_t bb_absorbed_requests = 0;
+  /// Fault accounting (empty when fault injection is disabled).
+  metrics::FaultStats faults;
   /// Engine statistics.
   std::uint64_t io_requests = 0;
   std::uint64_t events_processed = 0;

@@ -1,7 +1,9 @@
 #include "driver/config_scenario.h"
 
+#include <cstdint>
 #include <stdexcept>
 
+#include "faults/fault_plan.h"
 #include "sched/queue_policy.h"
 #include "util/strings.h"
 #include "workload/synthetic.h"
@@ -53,6 +55,37 @@ Scenario ScenarioFromConfig(const util::Config& config) {
       sched::ParseQueueOrder(config.GetStringOr("batch.order", "wfp"));
   scenario.config.batch.easy_backfill =
       config.GetBoolOr("batch.easy_backfill", true);
+
+  // Fault injection (off unless [faults] enabled=true).
+  {
+    faults::FaultPlanConfig& fp = scenario.config.faults.plan_config;
+    fp.enabled = config.GetBoolOr("faults.enabled", false);
+    fp.seed = static_cast<std::uint64_t>(config.GetIntOr("faults.seed", 1));
+    fp.degraded_fraction = config.GetDoubleOr("faults.degraded_fraction", 0.0);
+    fp.degradation_factor =
+        config.GetDoubleOr("faults.degradation_factor", 0.5);
+    fp.degraded_window_seconds =
+        config.GetDoubleOr("faults.degraded_window_seconds", 3600.0);
+    fp.midplane_outages =
+        static_cast<int>(config.GetIntOr("faults.midplane_outages", 0));
+    fp.midplane_outage_seconds =
+        config.GetDoubleOr("faults.midplane_outage_seconds", 4.0 * 3600.0);
+    fp.job_kill_probability =
+        config.GetDoubleOr("faults.job_kill_probability", 0.0);
+    if (fp.enabled) {
+      std::string err = fp.Validate();
+      if (!err.empty()) throw std::runtime_error("config: [faults] " + err);
+    }
+    scenario.config.faults.restart_mode =
+        faults::ParseRestartMode(config.GetStringOr("faults.restart",
+                                                    "resume"));
+    scenario.config.batch.max_retries =
+        static_cast<int>(config.GetIntOr("faults.max_retries", 3));
+    scenario.config.batch.requeue_backoff_seconds =
+        config.GetDoubleOr("faults.backoff_seconds", 300.0);
+    scenario.config.batch.max_backoff_seconds =
+        config.GetDoubleOr("faults.max_backoff_seconds", 4.0 * 3600.0);
+  }
 
   // Policy & simulation knobs.
   scenario.config.policy = config.GetStringOr("policy.name", "BASE_LINE");

@@ -27,6 +27,20 @@
 //   warmup_fraction = <double>       (0.05)
 //   cooldown_fraction = <double>     (0.05)
 //
+//   [faults]
+//   enabled = <bool>                 (false)
+//   seed = <int>                     (1)
+//   degraded_fraction = <double>     (0.0)   # fraction of horizon degraded
+//   degradation_factor = <double>    (0.5)   # BWmax multiplier when degraded
+//   degraded_window_seconds = <double> (3600)
+//   midplane_outages = <int>         (0)
+//   midplane_outage_seconds = <double> (14400)
+//   job_kill_probability = <double>  (0.0)   # per attempt
+//   restart = zero | resume          (resume)
+//   max_retries = <int>              (3)
+//   backoff_seconds = <double>       (300)   # doubles per retry
+//   max_backoff_seconds = <double>   (14400)
+//
 //   [workload]
 //   month = 1..3                     (use the built-in evaluation month)
 //   days = <double>                  (30)

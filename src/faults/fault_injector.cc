@@ -1,0 +1,143 @@
+#include "faults/fault_injector.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace iosched::faults {
+
+FaultInjector::FaultInjector(sim::Simulator& simulator, FaultPlan plan,
+                             FaultHooks hooks, metrics::FaultStats* stats)
+    : simulator_(simulator),
+      plan_(std::move(plan)),
+      hooks_(std::move(hooks)),
+      stats_(stats),
+      kill_rng_(plan_.kill_seed, /*stream=*/23) {
+  std::string err = plan_.Validate();
+  if (!err.empty()) throw std::invalid_argument("FaultInjector: " + err);
+  if (!plan_.degradations.empty() && !hooks_.set_bandwidth_factor) {
+    throw std::invalid_argument(
+        "FaultInjector: plan degrades storage but no bandwidth hook");
+  }
+  if (!plan_.outages.empty() && !hooks_.set_midplane_faulted) {
+    throw std::invalid_argument(
+        "FaultInjector: plan has outages but no midplane hook");
+  }
+  if ((plan_.job_kill_probability > 0 || !plan_.outages.empty()) &&
+      !hooks_.kill_job) {
+    throw std::invalid_argument(
+        "FaultInjector: plan kills jobs but no kill hook");
+  }
+}
+
+void FaultInjector::Arm() {
+  if (armed_) throw std::logic_error("FaultInjector: already armed");
+  armed_ = true;
+  for (const StorageDegradation& d : plan_.degradations) {
+    simulator_.ScheduleAt(d.start, [this, f = d.bandwidth_factor] {
+      OnDegradationEdge(f, /*begin=*/true);
+    });
+    simulator_.ScheduleAt(d.end, [this, f = d.bandwidth_factor] {
+      OnDegradationEdge(f, /*begin=*/false);
+    });
+  }
+  for (const MidplaneOutage& o : plan_.outages) {
+    simulator_.ScheduleAt(o.start, [this, m = o.midplane] {
+      OnOutageEdge(m, /*begin=*/true);
+    });
+    simulator_.ScheduleAt(o.end, [this, m = o.midplane] {
+      OnOutageEdge(m, /*begin=*/false);
+    });
+  }
+}
+
+void FaultInjector::OnDegradationEdge(double factor, bool begin) {
+  int& count = active_factors_[factor];
+  count += begin ? 1 : -1;
+  if (count <= 0) active_factors_.erase(factor);
+  ApplyFactor();
+}
+
+void FaultInjector::ApplyFactor() {
+  double factor = 1.0;
+  for (const auto& [f, count] : active_factors_) {
+    factor = std::min(factor, f);
+  }
+  if (factor == current_factor_) return;
+  sim::SimTime now = simulator_.Now();
+  AccrueDegradedTime(now);
+  bool degrading = factor < current_factor_;
+  current_factor_ = factor;
+  if (stats_ != nullptr) {
+    stats_->Add(now,
+                degrading ? metrics::FaultEventKind::kStorageDegrade
+                          : metrics::FaultEventKind::kStorageRestore,
+                0, factor);
+    stats_->min_bandwidth_factor =
+        std::min(stats_->min_bandwidth_factor, factor);
+  }
+  hooks_.set_bandwidth_factor(factor, now);
+}
+
+void FaultInjector::AccrueDegradedTime(sim::SimTime now) {
+  if (stats_ != nullptr && current_factor_ < 1.0) {
+    stats_->degraded_seconds += now - last_factor_change_;
+  }
+  last_factor_change_ = now;
+}
+
+void FaultInjector::OnOutageEdge(int midplane, bool begin) {
+  int& count = active_outages_[midplane];
+  sim::SimTime now = simulator_.Now();
+  if (begin) {
+    ++count;
+    if (count == 1) {
+      if (stats_ != nullptr) {
+        stats_->Add(now, metrics::FaultEventKind::kMidplaneFault, 0,
+                    static_cast<double>(midplane));
+      }
+      hooks_.set_midplane_faulted(midplane, /*faulted=*/true, now);
+    }
+  } else {
+    --count;
+    if (count <= 0) {
+      active_outages_.erase(midplane);
+      if (stats_ != nullptr) {
+        stats_->Add(now, metrics::FaultEventKind::kMidplaneRepair, 0,
+                    static_cast<double>(midplane));
+      }
+      hooks_.set_midplane_faulted(midplane, /*faulted=*/false, now);
+    }
+  }
+}
+
+void FaultInjector::OnJobStart(workload::JobId id, sim::SimTime now,
+                               double expected_runtime) {
+  if (plan_.job_kill_probability <= 0) return;
+  // One Bernoulli per attempt keeps the draw sequence aligned with the
+  // deterministic job-start order, so replays are bit-identical.
+  if (!kill_rng_.Bernoulli(plan_.job_kill_probability)) return;
+  double at = std::max(0.0, expected_runtime) *
+              kill_rng_.Uniform(0.05, 0.95);
+  sim::EventId event = simulator_.ScheduleAfter(at, [this, id] {
+    pending_kills_.erase(id);
+    if (hooks_.kill_job(id, simulator_.Now()) && stats_ != nullptr) {
+      stats_->Add(simulator_.Now(), metrics::FaultEventKind::kJobKill, id);
+    }
+  });
+  // A retry attempt replaces any stale entry (the old event already fired —
+  // that is what caused the retry).
+  pending_kills_[id] = event;
+}
+
+void FaultInjector::OnJobStop(workload::JobId id) {
+  auto it = pending_kills_.find(id);
+  if (it == pending_kills_.end()) return;
+  simulator_.Cancel(it->second);
+  pending_kills_.erase(it);
+}
+
+void FaultInjector::FinalizeStats(sim::SimTime end) {
+  AccrueDegradedTime(std::max(end, last_factor_change_));
+}
+
+}  // namespace iosched::faults

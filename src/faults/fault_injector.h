@@ -1,0 +1,93 @@
+// Fault injection over the discrete-event simulator.
+//
+// The injector owns no model state: it schedules the plan's fault and repair
+// events on the Simulator and applies them through hook callbacks provided
+// by the engine (scale storage bandwidth, fault/repair a midplane, kill a
+// running job). Probabilistic mid-run kills are drawn per job attempt from a
+// dedicated PCG stream, so a (plan, workload) pair replays bit-identically:
+// the draw order is the deterministic job-start order of the simulation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "faults/fault_plan.h"
+#include "metrics/fault_stats.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "workload/job.h"
+
+namespace iosched::faults {
+
+/// Engine-side effects of a fault event. All hooks are required when the
+/// corresponding plan component is non-empty.
+struct FaultHooks {
+  /// Storage bandwidth factor changed (1.0 = nominal). Called at most once
+  /// per distinct factor transition; the receiver must rescale BWmax and
+  /// force an I/O re-planning cycle.
+  std::function<void(double factor, sim::SimTime now)> set_bandwidth_factor;
+  /// A midplane went down (`faulted`) or came back. On fault, the receiver
+  /// must kill any job whose partition covers the midplane and exclude it
+  /// from future allocations; on repair, return it to the free pool.
+  std::function<void(int midplane, bool faulted, sim::SimTime now)>
+      set_midplane_faulted;
+  /// Kill a running job (fault-kill path, distinct from the walltime kill).
+  /// Must be a no-op returning false when the job is no longer running.
+  std::function<bool(workload::JobId id, sim::SimTime now)> kill_job;
+};
+
+class FaultInjector {
+ public:
+  /// `simulator` must outlive the injector; `stats` may be null. Throws
+  /// std::invalid_argument when the plan fails Validate() or a hook needed
+  /// by the plan is missing.
+  FaultInjector(sim::Simulator& simulator, FaultPlan plan, FaultHooks hooks,
+                metrics::FaultStats* stats = nullptr);
+
+  /// Schedule every planned fault/repair event. Call once, before Run().
+  void Arm();
+
+  /// Notify that a job attempt started; draws the (seeded) kill decision
+  /// and schedules the kill event inside (5%, 95%) of `expected_runtime`.
+  /// Each retry attempt draws independently.
+  void OnJobStart(workload::JobId id, sim::SimTime now,
+                  double expected_runtime);
+
+  /// Notify that a job left the machine (finished, walltime-killed, or
+  /// fault-killed); cancels its pending kill event, if any.
+  void OnJobStop(workload::JobId id);
+
+  /// Smallest active degradation factor (1.0 when storage is nominal).
+  double current_bandwidth_factor() const { return current_factor_; }
+
+  /// Close the degraded-seconds accounting at the end of the run.
+  void FinalizeStats(sim::SimTime end);
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void OnDegradationEdge(double factor, bool begin);
+  void OnOutageEdge(int midplane, bool begin);
+  /// Recompute the effective factor from active windows and fire the hook
+  /// on transitions.
+  void ApplyFactor();
+  void AccrueDegradedTime(sim::SimTime now);
+
+  sim::Simulator& simulator_;
+  FaultPlan plan_;
+  FaultHooks hooks_;
+  metrics::FaultStats* stats_;
+  util::Rng kill_rng_;
+  /// Multiset of active degradation factors (value -> active count).
+  std::unordered_map<double, int> active_factors_;
+  double current_factor_ = 1.0;
+  /// Active outage count per midplane (overlapping outages must not
+  /// double-repair).
+  std::unordered_map<int, int> active_outages_;
+  std::unordered_map<workload::JobId, sim::EventId> pending_kills_;
+  sim::SimTime last_factor_change_ = 0.0;
+  bool armed_ = false;
+};
+
+}  // namespace iosched::faults

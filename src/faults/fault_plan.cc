@@ -1,0 +1,132 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace iosched::faults {
+
+std::string FaultPlan::Validate() const {
+  for (const StorageDegradation& d : degradations) {
+    if (d.start < 0 || d.end <= d.start) {
+      return "degradation window must have 0 <= start < end";
+    }
+    if (d.bandwidth_factor <= 0 || d.bandwidth_factor > 1.0) {
+      return "degradation bandwidth_factor must be in (0, 1]";
+    }
+  }
+  for (const MidplaneOutage& o : outages) {
+    if (o.start < 0 || o.end <= o.start) {
+      return "outage window must have 0 <= start < end";
+    }
+    if (o.midplane < 0) return "outage midplane must be non-negative";
+  }
+  if (job_kill_probability < 0 || job_kill_probability > 1.0) {
+    return "job_kill_probability must be in [0, 1]";
+  }
+  return "";
+}
+
+std::string FaultPlanConfig::Validate() const {
+  if (degraded_fraction < 0 || degraded_fraction >= 1.0) {
+    return "degraded_fraction must be in [0, 1)";
+  }
+  if (degradation_factor <= 0 || degradation_factor > 1.0) {
+    return "degradation_factor must be in (0, 1]";
+  }
+  if (degraded_window_seconds <= 0) {
+    return "degraded_window_seconds must be positive";
+  }
+  if (midplane_outages < 0) return "midplane_outages must be non-negative";
+  if (midplane_outage_seconds <= 0) {
+    return "midplane_outage_seconds must be positive";
+  }
+  if (job_kill_probability < 0 || job_kill_probability > 1.0) {
+    return "job_kill_probability must be in [0, 1]";
+  }
+  return "";
+}
+
+FaultPlan BuildFaultPlan(const FaultPlanConfig& config, double horizon_seconds,
+                         int total_midplanes) {
+  std::string err = config.Validate();
+  if (!err.empty()) throw std::invalid_argument("BuildFaultPlan: " + err);
+  if (horizon_seconds <= 0) {
+    throw std::invalid_argument("BuildFaultPlan: non-positive horizon");
+  }
+  if (total_midplanes <= 0 && config.midplane_outages > 0) {
+    throw std::invalid_argument("BuildFaultPlan: outages need midplanes");
+  }
+
+  FaultPlan plan;
+  plan.job_kill_probability = config.job_kill_probability;
+  plan.kill_seed = config.seed;
+  util::Rng rng(config.seed, /*stream=*/17);
+
+  if (config.degraded_fraction > 0) {
+    // Tile the horizon and degrade a seeded-shuffled prefix of the tiles so
+    // the degraded time hits the target as exactly as the tiling allows.
+    auto tiles = static_cast<std::size_t>(
+        std::ceil(horizon_seconds / config.degraded_window_seconds));
+    auto degraded = static_cast<std::size_t>(std::llround(
+        config.degraded_fraction * static_cast<double>(tiles)));
+    degraded = std::min(degraded, tiles);
+    if (degraded == 0 && config.degraded_fraction > 0) degraded = 1;
+    std::vector<std::size_t> order(tiles);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    util::Shuffle(order, rng.engine());
+    order.resize(degraded);
+    std::sort(order.begin(), order.end());
+    for (std::size_t tile : order) {
+      StorageDegradation d;
+      d.start = static_cast<double>(tile) * config.degraded_window_seconds;
+      d.end = std::min(horizon_seconds,
+                       d.start + config.degraded_window_seconds);
+      d.bandwidth_factor = config.degradation_factor;
+      if (d.end > d.start) plan.degradations.push_back(d);
+    }
+  }
+
+  for (int i = 0; i < config.midplane_outages; ++i) {
+    MidplaneOutage o;
+    o.midplane = static_cast<int>(
+        rng.UniformInt(0, total_midplanes - 1));
+    o.start = rng.Uniform(0.0, horizon_seconds);
+    o.end = o.start + config.midplane_outage_seconds;
+    plan.outages.push_back(o);
+  }
+  std::sort(plan.outages.begin(), plan.outages.end(),
+            [](const MidplaneOutage& a, const MidplaneOutage& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.midplane < b.midplane;
+            });
+
+  err = plan.Validate();
+  if (!err.empty()) throw std::logic_error("BuildFaultPlan: " + err);
+  return plan;
+}
+
+RestartMode ParseRestartMode(const std::string& name) {
+  std::string lower = util::ToLower(name);
+  if (lower == "zero" || lower == "restart") {
+    return RestartMode::kRestartFromZero;
+  }
+  if (lower == "resume" || lower == "checkpoint") {
+    return RestartMode::kResumeFromLastPhase;
+  }
+  throw std::invalid_argument("unknown restart mode: " + name);
+}
+
+const char* ToString(RestartMode mode) {
+  switch (mode) {
+    case RestartMode::kRestartFromZero: return "zero";
+    case RestartMode::kResumeFromLastPhase: return "resume";
+  }
+  return "?";
+}
+
+}  // namespace iosched::faults

@@ -1,0 +1,116 @@
+// Fault plans: the declarative description of every fault a simulation run
+// will experience, fully determined before the run starts (storage-side
+// degradation windows and midplane outages) or by a seeded draw during it
+// (probabilistic mid-run job kills).
+//
+// Real petascale systems see exactly these deviations from the paper's
+// fault-free model: file servers transiently underperform (RAID rebuilds,
+// failover, contention from outside the machine), midplanes are drained for
+// service, and jobs die mid-run. A plan is either written explicitly (tests,
+// targeted experiments) or generated from a FaultPlanConfig with a seed, so
+// the same seed always yields byte-identical fault schedules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace iosched::faults {
+
+/// One storage-degradation window: while active, the usable aggregate file
+/// server bandwidth is `bandwidth_factor * BWmax`. Overlapping windows do
+/// not stack; the smallest active factor wins.
+struct StorageDegradation {
+  sim::SimTime start = 0.0;
+  sim::SimTime end = 0.0;
+  /// Multiplier in (0, 1]; 0.5 halves BWmax for the window.
+  double bandwidth_factor = 1.0;
+};
+
+/// One midplane outage window: the midplane cannot host new partitions
+/// while down, and any job running on it when the outage begins is killed.
+struct MidplaneOutage {
+  sim::SimTime start = 0.0;
+  sim::SimTime end = 0.0;
+  int midplane = 0;
+};
+
+/// The full fault schedule for one run.
+struct FaultPlan {
+  std::vector<StorageDegradation> degradations;
+  std::vector<MidplaneOutage> outages;
+  /// Per-attempt probability that a job is killed mid-run (0 disables).
+  double job_kill_probability = 0.0;
+  /// Seed for the kill draws (independent of the workload seed).
+  std::uint64_t kill_seed = 1;
+
+  bool Empty() const {
+    return degradations.empty() && outages.empty() &&
+           job_kill_probability <= 0.0;
+  }
+
+  /// Invariant check: windows well-formed (end > start >= 0), factors in
+  /// (0, 1], kill probability in [0, 1], midplane indices non-negative.
+  /// Returns an error description, or empty when valid.
+  std::string Validate() const;
+};
+
+/// Parameters for deterministic plan generation.
+struct FaultPlanConfig {
+  bool enabled = false;
+  std::uint64_t seed = 1;
+  /// Target fraction of the horizon with degraded storage, in [0, 1).
+  double degraded_fraction = 0.0;
+  /// BWmax multiplier inside degraded windows, in (0, 1].
+  double degradation_factor = 0.5;
+  /// Length of each degradation window (seconds).
+  double degraded_window_seconds = 3600.0;
+  /// Number of midplane outages over the horizon.
+  int midplane_outages = 0;
+  /// Length of each midplane outage (seconds).
+  double midplane_outage_seconds = 4.0 * 3600.0;
+  /// Per-attempt mid-run kill probability, in [0, 1].
+  double job_kill_probability = 0.0;
+
+  std::string Validate() const;
+};
+
+/// Generate a plan covering `horizon_seconds` from seeded draws: the horizon
+/// is tiled into windows of `degraded_window_seconds` and exactly
+/// round(degraded_fraction * tiles) of them are degraded (chosen by a seeded
+/// shuffle, so the degraded time matches the target as closely as the tiling
+/// allows); outages pick a uniform midplane and start time. Deterministic:
+/// the same (config, horizon, total_midplanes) triple always produces the
+/// same plan. Throws std::invalid_argument on invalid config.
+FaultPlan BuildFaultPlan(const FaultPlanConfig& config,
+                         double horizon_seconds, int total_midplanes);
+
+/// What a requeued job re-runs after a mid-run kill.
+enum class RestartMode {
+  /// Lose all progress: the job restarts at its first phase.
+  kRestartFromZero,
+  /// Approximate checkpointing: completed phases are not re-run; the
+  /// interrupted phase restarts from its beginning.
+  kResumeFromLastPhase,
+};
+
+/// Parse "zero" / "resume" (case-insensitive); throws on unknown names.
+RestartMode ParseRestartMode(const std::string& name);
+const char* ToString(RestartMode mode);
+
+/// Everything the engine needs to run with faults: either an explicit plan
+/// (which wins when non-empty) or generation parameters, plus the restart
+/// semantics for requeued jobs.
+struct FaultOptions {
+  FaultPlanConfig plan_config;
+  FaultPlan explicit_plan;
+  RestartMode restart_mode = RestartMode::kResumeFromLastPhase;
+
+  bool enabled() const {
+    return plan_config.enabled || !explicit_plan.Empty();
+  }
+};
+
+}  // namespace iosched::faults

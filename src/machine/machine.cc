@@ -24,7 +24,8 @@ MachineConfig MachineConfig::Small() {
 
 Machine::Machine(MachineConfig config)
     : config_(config),
-      occupied_(static_cast<std::size_t>(config.total_midplanes()), false) {
+      occupied_(static_cast<std::size_t>(config.total_midplanes()), false),
+      faulted_(static_cast<std::size_t>(config.total_midplanes()), false) {
   if (config_.nodes_per_midplane <= 0 || config_.midplanes_per_row <= 0 ||
       config_.rows <= 0) {
     throw std::invalid_argument("Machine: non-positive geometry");
@@ -59,9 +60,29 @@ std::optional<int> Machine::BlockNodesFor(int requested_nodes) const {
 
 bool Machine::RunFree(int start, int count) const {
   for (int i = start; i < start + count; ++i) {
-    if (occupied_[static_cast<std::size_t>(i)]) return false;
+    if (occupied_[static_cast<std::size_t>(i)] ||
+        faulted_[static_cast<std::size_t>(i)]) {
+      return false;
+    }
   }
   return true;
+}
+
+void Machine::SetFaulted(int midplane, bool faulted) {
+  if (midplane < 0 || midplane >= config_.total_midplanes()) {
+    throw std::invalid_argument("Machine::SetFaulted: bad midplane index");
+  }
+  auto i = static_cast<std::size_t>(midplane);
+  if (faulted_[i] == faulted) return;
+  faulted_[i] = faulted;
+  faulted_count_ += faulted ? 1 : -1;
+}
+
+bool Machine::IsFaulted(int midplane) const {
+  if (midplane < 0 || midplane >= config_.total_midplanes()) {
+    throw std::invalid_argument("Machine::IsFaulted: bad midplane index");
+  }
+  return faulted_[static_cast<std::size_t>(midplane)];
 }
 
 int Machine::FindFreeRun(int midplanes) const {

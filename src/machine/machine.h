@@ -64,6 +64,8 @@ class Machine {
   int free_nodes() const { return total_nodes() - busy_nodes_; }
   /// Number of midplanes currently allocated.
   int busy_midplanes() const { return busy_midplanes_; }
+  /// Number of midplanes currently marked faulted (service outage).
+  int faulted_midplanes() const { return faulted_count_; }
 
   /// Smallest allocatable block (in nodes) that can hold `requested_nodes`,
   /// or nullopt when the request exceeds the machine.
@@ -81,6 +83,19 @@ class Machine {
   /// that is not currently allocated exactly as given.
   void Release(const Partition& partition);
 
+  /// Mark a midplane as faulted (excluded from new allocations) or repaired.
+  /// Idempotent; independent of occupancy — a faulted midplane inside a
+  /// running partition stays allocated until the job is killed/released, but
+  /// cannot be re-allocated afterwards. Throws on a bad index.
+  void SetFaulted(int midplane, bool faulted);
+  bool IsFaulted(int midplane) const;
+
+  /// True when `partition` covers `midplane`.
+  static bool Covers(const Partition& partition, int midplane) {
+    return midplane >= partition.first_midplane &&
+           midplane < partition.first_midplane + partition.midplane_count;
+  }
+
   /// Occupancy bitmap (one flag per midplane), for tests and visualization.
   const std::vector<bool>& occupancy() const { return occupied_; }
 
@@ -95,8 +110,10 @@ class Machine {
 
   MachineConfig config_;
   std::vector<bool> occupied_;
+  std::vector<bool> faulted_;
   int busy_nodes_ = 0;
   int busy_midplanes_ = 0;
+  int faulted_count_ = 0;
 };
 
 }  // namespace iosched::machine

@@ -1,0 +1,49 @@
+#include "metrics/fault_stats.h"
+
+#include <ostream>
+
+#include "util/csv.h"
+
+namespace iosched::metrics {
+
+const char* ToString(FaultEventKind kind) {
+  switch (kind) {
+    case FaultEventKind::kStorageDegrade: return "storage_degrade";
+    case FaultEventKind::kStorageRestore: return "storage_restore";
+    case FaultEventKind::kMidplaneFault: return "midplane_fault";
+    case FaultEventKind::kMidplaneRepair: return "midplane_repair";
+    case FaultEventKind::kJobKill: return "job_kill";
+    case FaultEventKind::kRequeue: return "requeue";
+    case FaultEventKind::kAbandon: return "abandon";
+  }
+  return "?";
+}
+
+void FaultStats::Add(sim::SimTime time, FaultEventKind kind,
+                     workload::JobId job, double detail) {
+  timeline.push_back(FaultEvent{time, kind, job, detail});
+  switch (kind) {
+    case FaultEventKind::kStorageDegrade: ++storage_degradations; break;
+    case FaultEventKind::kMidplaneFault: ++midplane_outages; break;
+    case FaultEventKind::kJobKill: ++fault_kills; break;
+    case FaultEventKind::kRequeue: ++requeues; break;
+    case FaultEventKind::kAbandon: ++abandoned_jobs; break;
+    case FaultEventKind::kStorageRestore:
+    case FaultEventKind::kMidplaneRepair:
+      break;
+  }
+}
+
+void FaultStats::WriteTimelineCsv(std::ostream& out) const {
+  util::CsvWriter csv(out);
+  csv.Header({"time", "event", "job", "detail"});
+  for (const FaultEvent& e : timeline) {
+    csv.Row()
+        .Add(e.time)
+        .Add(std::string_view(ToString(e.kind)))
+        .Add(static_cast<long long>(e.job))
+        .Add(e.detail);
+  }
+}
+
+}  // namespace iosched::metrics

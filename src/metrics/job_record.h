@@ -26,6 +26,14 @@ struct JobRecord {
   /// True when the scheduler killed the job at its requested walltime
   /// (enforce_walltime mode) instead of the job completing its phases.
   bool killed = false;
+  /// Execution attempts consumed (1 = no fault kill; >1 = requeued after
+  /// fault kills). start/end/io times describe the final attempt.
+  int attempts = 1;
+  /// True when the job exhausted its retry budget and never completed; the
+  /// record then describes the last failed attempt.
+  bool abandoned = false;
+  /// Machine time burned by failed attempts (start-to-kill, summed).
+  double lost_seconds = 0.0;
 
   double WaitTime() const { return start_time - submit_time; }
   double ResponseTime() const { return end_time - submit_time; }

@@ -28,10 +28,29 @@ Report Summarize(const JobRecords& records, const UtilizationTracker& util,
   util::RunningStats expansion_stats;
   util::RunningStats io_slowdown_stats;
   util::RunningStats bounded_slowdown_stats;
+  util::RunningStats clean_wait_stats;
+  util::RunningStats requeued_wait_stats;
+  util::RunningStats requeued_response_stats;
   constexpr double kSlowdownBoundSeconds = 600.0;
   double first_submit = records.front().submit_time;
   double last_end = records.front().end_time;
   for (const JobRecord& r : records) {
+    report.total_attempts += static_cast<std::uint64_t>(r.attempts);
+    report.lost_node_seconds += r.lost_seconds * r.allocated_nodes;
+    first_submit = std::min(first_submit, r.submit_time);
+    last_end = std::max(last_end, r.end_time);
+    if (r.abandoned) {
+      // The job never completed; its wait/response are undefined.
+      ++report.abandoned_job_count;
+      continue;
+    }
+    if (r.attempts > 1) {
+      ++report.requeued_job_count;
+      requeued_wait_stats.Add(r.WaitTime());
+      requeued_response_stats.Add(r.ResponseTime());
+    } else {
+      clean_wait_stats.Add(r.WaitTime());
+    }
     waits.push_back(r.WaitTime());
     responses.push_back(r.ResponseTime());
     runtime_stats.Add(r.Runtime());
@@ -39,8 +58,16 @@ Report Summarize(const JobRecords& records, const UtilizationTracker& util,
     if (r.io_time_uncongested > 0) io_slowdown_stats.Add(r.IoSlowdown());
     bounded_slowdown_stats.Add(std::max(
         1.0, r.ResponseTime() / std::max(r.Runtime(), kSlowdownBoundSeconds)));
-    first_submit = std::min(first_submit, r.submit_time);
-    last_end = std::max(last_end, r.end_time);
+  }
+  report.avg_wait_clean_seconds =
+      clean_wait_stats.count() ? clean_wait_stats.mean() : 0.0;
+  report.avg_wait_requeued_seconds =
+      requeued_wait_stats.count() ? requeued_wait_stats.mean() : 0.0;
+  report.avg_response_requeued_seconds =
+      requeued_response_stats.count() ? requeued_response_stats.mean() : 0.0;
+  if (waits.empty()) {
+    report.makespan_seconds = last_end - first_submit;
+    return report;
   }
   util::Summary wait_summary(waits);
   util::Summary response_summary(responses);
@@ -64,7 +91,8 @@ void WriteRecordsCsv(std::ostream& out, const JobRecords& records) {
   csv.Header({"job_id", "requested_nodes", "allocated_nodes", "submit",
               "start", "end", "wait", "response", "runtime",
               "uncongested_runtime", "expansion", "io_time_actual",
-              "io_time_uncongested", "io_phases", "killed"});
+              "io_time_uncongested", "io_phases", "killed", "attempts",
+              "abandoned", "lost_seconds"});
   for (const JobRecord& r : records) {
     csv.Row()
         .Add(static_cast<long long>(r.id))
@@ -81,7 +109,10 @@ void WriteRecordsCsv(std::ostream& out, const JobRecords& records) {
         .Add(r.io_time_actual)
         .Add(r.io_time_uncongested)
         .Add(r.io_phase_count)
-        .Add(std::string_view(r.killed ? "1" : "0"));
+        .Add(std::string_view(r.killed ? "1" : "0"))
+        .Add(r.attempts)
+        .Add(std::string_view(r.abandoned ? "1" : "0"))
+        .Add(r.lost_seconds);
   }
 }
 
@@ -94,6 +125,14 @@ std::string ToString(const Report& report) {
      << "min utilization=" << report.utilization * 100.0 << "%"
      << " avg_expansion=" << report.avg_runtime_expansion
      << " avg_io_slowdown=" << report.avg_io_slowdown;
+  if (report.requeued_job_count > 0 || report.abandoned_job_count > 0) {
+    os << " requeued=" << report.requeued_job_count
+       << " abandoned=" << report.abandoned_job_count
+       << " fault_wait_delta="
+       << util::SecondsToMinutes(report.avg_wait_requeued_seconds -
+                                 report.avg_wait_clean_seconds)
+       << "min";
+  }
   return os.str();
 }
 

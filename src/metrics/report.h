@@ -4,6 +4,7 @@
 // expansion, I/O slowdown).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -35,6 +36,19 @@ struct Report {
   double avg_io_slowdown = 1.0;        // actual / uncongested I/O time
   double makespan_seconds = 0.0;       // first submit .. last completion
   double total_io_gb = 0.0;
+
+  /// Fault accounting (all zero on a fault-free run). Abandoned jobs are
+  /// excluded from the wait/response/slowdown averages above — their last
+  /// attempt never completed, so those metrics are undefined for them.
+  std::size_t requeued_job_count = 0;  // jobs that needed >1 attempt
+  std::size_t abandoned_job_count = 0;
+  std::uint64_t total_attempts = 0;
+  double lost_node_seconds = 0.0;  // allocated nodes x failed-attempt time
+  /// Mean wait of single-attempt vs requeued jobs: the wait-time delta
+  /// attributable to faults is `avg_wait_requeued - avg_wait_clean`.
+  double avg_wait_clean_seconds = 0.0;
+  double avg_wait_requeued_seconds = 0.0;
+  double avg_response_requeued_seconds = 0.0;
 };
 
 /// Build a report from per-job records and the utilization tracker.

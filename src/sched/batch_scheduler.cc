@@ -82,8 +82,21 @@ std::vector<StartDecision> BatchScheduler::Schedule(sim::SimTime now) {
   std::vector<StartDecision> decisions;
   if (queue_.empty()) return decisions;
 
+  // Jobs still inside their requeue backoff are invisible to this pass
+  // (they neither start nor hold the EASY reservation).
+  std::vector<const workload::Job*> eligible;
+  eligible.reserve(queue_.size());
+  for (const workload::Job* job : queue_) {
+    auto it = eligible_after_.find(job->id);
+    if (it != eligible_after_.end() && it->second > now + util::kTimeEpsilon) {
+      continue;
+    }
+    eligible.push_back(job);
+  }
+  if (eligible.empty()) return decisions;
+
   std::vector<const workload::Job*> ordered =
-      OrderQueue(queue_, options_.order, now);
+      OrderQueue(eligible, options_.order, now);
 
   const workload::Job* blocked_head = nullptr;
   sim::SimTime shadow = 0.0;
@@ -122,8 +135,51 @@ std::vector<StartDecision> BatchScheduler::Schedule(sim::SimTime now) {
                                   return running_.count(j->id) > 0;
                                 }),
                  queue_.end());
+    for (const StartDecision& d : decisions) {
+      eligible_after_.erase(d.job->id);
+    }
   }
   return decisions;
+}
+
+BatchScheduler::RequeueDecision BatchScheduler::OnJobFailed(
+    workload::JobId id, sim::SimTime now) {
+  auto it = running_.find(id);
+  if (it == running_.end()) {
+    throw std::logic_error("OnJobFailed: job " + std::to_string(id) +
+                           " not running");
+  }
+  const workload::Job* job = it->second.job;
+  machine_.Release(it->second.partition);
+  running_.erase(it);
+
+  RequeueDecision decision;
+  decision.retries = ++retries_[id];
+  if (decision.retries > options_.max_retries) {
+    // Budget exhausted: the job leaves the system for good.
+    retries_.erase(id);
+    eligible_after_.erase(id);
+    return decision;
+  }
+  double backoff = options_.requeue_backoff_seconds;
+  for (int i = 1; i < decision.retries; ++i) backoff *= 2.0;
+  backoff = std::min(backoff, options_.max_backoff_seconds);
+  decision.requeued = true;
+  decision.eligible_time = now + std::max(0.0, backoff);
+  eligible_after_[id] = decision.eligible_time;
+  queue_.push_back(job);
+  return decision;
+}
+
+sim::SimTime BatchScheduler::NextEligibleTime(sim::SimTime now) const {
+  sim::SimTime next = sim::kTimeInfinity;
+  for (const workload::Job* job : queue_) {
+    auto it = eligible_after_.find(job->id);
+    if (it != eligible_after_.end() && it->second > now + util::kTimeEpsilon) {
+      next = std::min(next, it->second);
+    }
+  }
+  return next;
 }
 
 void BatchScheduler::OnJobEnd(workload::JobId id, sim::SimTime now) {
@@ -135,6 +191,7 @@ void BatchScheduler::OnJobEnd(workload::JobId id, sim::SimTime now) {
   }
   machine_.Release(it->second.partition);
   running_.erase(it);
+  retries_.erase(id);
 }
 
 }  // namespace iosched::sched

@@ -45,6 +45,13 @@ class BatchScheduler {
     /// not delay the reservation. Off = plain first-fit in queue order that
     /// stops at the first blocked job.
     bool easy_backfill = true;
+    /// Retry budget for failed (fault-killed) jobs: how many requeues one
+    /// job may consume before it is abandoned. 0 = never requeue.
+    int max_retries = 3;
+    /// Base backoff before a requeued job becomes eligible again; doubles
+    /// with each retry of the same job, capped at `max_backoff_seconds`.
+    double requeue_backoff_seconds = 300.0;
+    double max_backoff_seconds = 4.0 * 3600.0;
   };
 
   /// `machine` must outlive the scheduler.
@@ -59,6 +66,29 @@ class BatchScheduler {
 
   /// Release the partition of a finished job. Throws on unknown id.
   void OnJobEnd(workload::JobId id, sim::SimTime now);
+
+  /// Outcome of a mid-run failure.
+  struct RequeueDecision {
+    /// False when the retry budget is exhausted: the job is abandoned and
+    /// is no longer queued or running.
+    bool requeued = false;
+    /// Retry attempts consumed so far (1 after the first failure).
+    int retries = 0;
+    /// When the requeued job becomes eligible to start again (exponential
+    /// backoff from the failure time); meaningless when !requeued.
+    sim::SimTime eligible_time = 0.0;
+  };
+
+  /// A running job failed (fault kill): release its partition and either
+  /// requeue it with exponential backoff or abandon it once the budget is
+  /// spent. The caller owns restart semantics (which phases re-run). The
+  /// caller must arm a scheduling pass at `eligible_time` — a backoff
+  /// expiry wakes nobody by itself. Throws on unknown id.
+  RequeueDecision OnJobFailed(workload::JobId id, sim::SimTime now);
+
+  /// Earliest backoff expiry among queued-but-ineligible jobs, strictly
+  /// after `now`; kTimeInfinity when every queued job is already eligible.
+  sim::SimTime NextEligibleTime(sim::SimTime now) const;
 
   std::size_t queue_size() const { return queue_.size(); }
   std::size_t running_count() const { return running_.size(); }
@@ -86,6 +116,10 @@ class BatchScheduler {
   Options options_;
   std::vector<const workload::Job*> queue_;
   std::unordered_map<workload::JobId, RunningJob> running_;
+  /// Retry attempts consumed per job (erased on successful completion).
+  std::unordered_map<workload::JobId, int> retries_;
+  /// Backoff gate: queued jobs absent from this map are always eligible.
+  std::unordered_map<workload::JobId, sim::SimTime> eligible_after_;
 };
 
 }  // namespace iosched::sched

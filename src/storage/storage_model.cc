@@ -118,6 +118,16 @@ void StorageModel::AdvanceTo(sim::SimTime now) {
   last_update_ = std::max(last_update_, now);
 }
 
+void StorageModel::SetMaxBandwidth(double max_bandwidth_gbps,
+                                   sim::SimTime now) {
+  if (max_bandwidth_gbps <= 0) {
+    throw std::invalid_argument(
+        "StorageModel::SetMaxBandwidth: non-positive BWmax");
+  }
+  AdvanceTo(now);
+  config_.max_bandwidth_gbps = max_bandwidth_gbps;
+}
+
 void StorageModel::SetRate(workload::JobId job, double rate_gbps) {
   Transfer& t = GetMutable(job);
   if (rate_gbps < 0) {

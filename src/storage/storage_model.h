@@ -89,6 +89,16 @@ class StorageModel {
   /// not precede the previous update.
   void AdvanceTo(sim::SimTime now);
 
+  /// Change the aggregate bandwidth cap at runtime (storage degradation or
+  /// repair). In-flight transfers are re-accrued up to `now` at their old
+  /// rates first, so the change point attributes progress correctly. The
+  /// granted rates are NOT rescaled here — after a shrink they may sum above
+  /// the new cap, so the caller must immediately run a scheduling cycle to
+  /// produce a feasible assignment before any further time passes (the
+  /// capacity validator only runs after such a cycle, so it cannot fire
+  /// spuriously across the transition). Throws on a non-positive cap.
+  void SetMaxBandwidth(double max_bandwidth_gbps, sim::SimTime now);
+
   /// Set one transfer's granted rate (GB/s); clamped guards throw instead:
   /// negative or above full_rate (with tolerance) is an error. Callers must
   /// AdvanceTo(now) first.

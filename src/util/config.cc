@@ -1,5 +1,7 @@
 #include "util/config.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -70,10 +72,25 @@ Config Config::FromString(std::string_view text) {
 
 Config Config::FromFile(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("config: cannot open " + path);
+  if (!in) {
+    int err = errno;
+    throw std::runtime_error("config: cannot open " + path + ": " +
+                             std::strerror(err));
+  }
   std::ostringstream buf;
   buf << in.rdbuf();
-  return FromString(buf.str());
+  if (in.bad()) {
+    int err = errno;
+    throw std::runtime_error("config: read failed for " + path + ": " +
+                             std::strerror(err));
+  }
+  try {
+    return FromString(buf.str());
+  } catch (const std::runtime_error& e) {
+    // Re-throw with the file path so a bad line in one of several configs
+    // is attributable.
+    throw std::runtime_error(std::string(e.what()) + " (" + path + ")");
+  }
 }
 
 bool Config::Has(const std::string& key) const {

@@ -1,5 +1,7 @@
 #include "workload/iotrace.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -10,46 +12,87 @@
 
 namespace iosched::workload {
 
-IoTrace ParseIoTrace(const std::string& text) {
-  util::CsvDocument doc = util::ParseCsv(text, /*has_header=*/true);
-  if (doc.header.size() != 5 || doc.header[0] != "job_id" ||
-      doc.header[1] != "io_phases" || doc.header[2] != "total_io_gb" ||
-      doc.header[3] != "agg_rate_gbps" || doc.header[4] != "read_fraction") {
-    throw std::runtime_error("iotrace: unexpected header");
+namespace {
+/// Parse one data row; on failure returns a description.
+std::string ParseIoTraceRow(const std::vector<std::string>& row,
+                            IoSummary& out) {
+  if (row.size() != 5) {
+    return "expected 5 fields, got " + std::to_string(row.size());
   }
+  auto id = util::ParseInt(row[0]);
+  auto phases = util::ParseInt(row[1]);
+  auto gb = util::ParseDouble(row[2]);
+  auto rate = util::ParseDouble(row[3]);
+  auto rf = util::ParseDouble(row[4]);
+  if (!id || !phases || !gb || !rate || !rf) return "bad field";
+  if (*phases < 0 || *gb < 0 || *rate < 0 || *rf < 0 || *rf > 1) {
+    return "out-of-range value";
+  }
+  out = IoSummary{*id, static_cast<int>(*phases), *gb, *rate, *rf};
+  return std::string();
+}
+}  // namespace
+
+IoTrace ParseIoTrace(const std::string& text) {
+  return ParseIoTrace(text, ParseMode::kStrict, nullptr);
+}
+
+IoTrace ParseIoTrace(const std::string& text, ParseMode mode,
+                     std::vector<ParseDiagnostic>* diagnostics,
+                     const std::string& source) {
+  // Line-by-line (rather than ParseCsv) so diagnostics carry true source
+  // line numbers even with interleaved comments and blank lines.
   IoTrace trace;
-  trace.reserve(doc.rows.size());
-  for (std::size_t i = 0; i < doc.rows.size(); ++i) {
-    const auto& row = doc.rows[i];
-    if (row.size() != 5) {
-      throw std::runtime_error("iotrace row " + std::to_string(i + 1) +
-                               ": expected 5 fields");
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    std::vector<std::string> fields = util::ParseCsvLine(trimmed);
+    if (!saw_header) {
+      if (fields.size() != 5 || fields[0] != "job_id" ||
+          fields[1] != "io_phases" || fields[2] != "total_io_gb" ||
+          fields[3] != "agg_rate_gbps" || fields[4] != "read_fraction") {
+        throw std::runtime_error("iotrace " + source + ": unexpected header");
+      }
+      saw_header = true;
+      continue;
     }
-    auto id = util::ParseInt(row[0]);
-    auto phases = util::ParseInt(row[1]);
-    auto gb = util::ParseDouble(row[2]);
-    auto rate = util::ParseDouble(row[3]);
-    auto rf = util::ParseDouble(row[4]);
-    if (!id || !phases || !gb || !rate || !rf) {
-      throw std::runtime_error("iotrace row " + std::to_string(i + 1) +
-                               ": bad field");
+    IoSummary s;
+    std::string err = ParseIoTraceRow(fields, s);
+    if (!err.empty()) {
+      if (mode == ParseMode::kStrict) {
+        throw std::runtime_error("iotrace " + source + " line " +
+                                 std::to_string(line_no) + ": " + err);
+      }
+      if (diagnostics != nullptr) {
+        diagnostics->push_back(ParseDiagnostic{source, line_no, err});
+      }
+      continue;
     }
-    if (*phases < 0 || *gb < 0 || *rate < 0 || *rf < 0 || *rf > 1) {
-      throw std::runtime_error("iotrace row " + std::to_string(i + 1) +
-                               ": out-of-range value");
-    }
-    trace.push_back(
-        IoSummary{*id, static_cast<int>(*phases), *gb, *rate, *rf});
+    trace.push_back(s);
   }
   return trace;
 }
 
 IoTrace ReadIoTraceFile(const std::string& path) {
+  return ReadIoTraceFile(path, ParseMode::kStrict, nullptr);
+}
+
+IoTrace ReadIoTraceFile(const std::string& path, ParseMode mode,
+                        std::vector<ParseDiagnostic>* diagnostics) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("iotrace: cannot open " + path);
+  if (!in) {
+    int err = errno;
+    throw std::runtime_error("iotrace: cannot open " + path + ": " +
+                             std::strerror(err));
+  }
   std::ostringstream buf;
   buf << in.rdbuf();
-  return ParseIoTrace(buf.str());
+  return ParseIoTrace(buf.str(), mode, diagnostics, path);
 }
 
 void WriteIoTrace(std::ostream& out, const IoTrace& trace) {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "workload/job.h"
+#include "workload/parse_diag.h"
 
 namespace iosched::workload {
 
@@ -43,8 +44,20 @@ using IoTrace = std::vector<IoSummary>;
 /// std::runtime_error on malformed rows.
 IoTrace ParseIoTrace(const std::string& text);
 
-/// Read from disk; throws on unreadable file.
+/// Parse with explicit mode. Strict throws on the first malformed row;
+/// lenient skips malformed rows, appending a ParseDiagnostic each to
+/// `diagnostics` (null discards them). A wrong header is structural and
+/// throws in both modes. `source` labels errors — pass the file path when
+/// parsing file contents.
+IoTrace ParseIoTrace(const std::string& text, ParseMode mode,
+                     std::vector<ParseDiagnostic>* diagnostics,
+                     const std::string& source = "<memory>");
+
+/// Read from disk; throws on unreadable file with the path and the OS error
+/// (strerror).
 IoTrace ReadIoTraceFile(const std::string& path);
+IoTrace ReadIoTraceFile(const std::string& path, ParseMode mode,
+                        std::vector<ParseDiagnostic>* diagnostics);
 
 /// Serialize with the canonical header comment.
 void WriteIoTrace(std::ostream& out, const IoTrace& trace);

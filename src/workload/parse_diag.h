@@ -1,0 +1,36 @@
+// Trace-parsing modes and diagnostics.
+//
+// Real archive traces (SWF dumps, Darshan summaries) routinely contain a few
+// malformed lines; aborting a month-long experiment on line 80,000 of a
+// trace is rarely what the operator wants. Parsers accept a ParseMode:
+// strict (the default — first malformed record throws) or lenient (malformed
+// records are skipped and reported as ParseDiagnostics so the caller can log
+// or assert on them).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace iosched::workload {
+
+enum class ParseMode {
+  kStrict,   // throw std::runtime_error on the first malformed record
+  kLenient,  // skip malformed records, collecting one diagnostic each
+};
+
+/// One skipped record from a lenient parse.
+struct ParseDiagnostic {
+  /// Source file path, or "<memory>" when parsing an in-memory string.
+  std::string file;
+  /// 1-based source line of the offending record.
+  std::size_t line = 0;
+  std::string message;
+};
+
+/// "file:line: message" — the conventional compiler-style rendering.
+inline std::string ToString(const ParseDiagnostic& d) {
+  return d.file + ":" + std::to_string(d.line) + ": " + d.message;
+}
+
+}  // namespace iosched::workload

@@ -1,5 +1,7 @@
 #include "workload/swf.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -10,28 +12,44 @@
 namespace iosched::workload {
 
 namespace {
-double FieldAsDouble(const std::vector<std::string>& f, std::size_t i,
-                     std::size_t line_no) {
-  auto v = util::ParseDouble(f[i]);
-  if (!v) {
-    throw std::runtime_error("SWF line " + std::to_string(line_no) +
-                             ": bad numeric field " + std::to_string(i + 1));
+/// Parse one 18-field record; on failure returns a description and leaves
+/// `out` unspecified.
+std::string ParseSwfFields(const std::vector<std::string>& fields,
+                           SwfRecord& out) {
+  if (fields.size() != 18) {
+    return "expected 18 fields, got " + std::to_string(fields.size());
   }
-  return *v;
-}
-
-std::int64_t FieldAsInt(const std::vector<std::string>& f, std::size_t i,
-                        std::size_t line_no) {
-  auto v = util::ParseInt(f[i]);
-  if (!v) {
-    throw std::runtime_error("SWF line " + std::to_string(line_no) +
-                             ": bad integer field " + std::to_string(i + 1));
-  }
-  return *v;
+  auto as_double = [&](std::size_t i, double& dst) {
+    auto v = util::ParseDouble(fields[i]);
+    if (v) dst = *v;
+    return v.has_value();
+  };
+  auto as_int = [&](std::size_t i, std::int64_t& dst) {
+    auto v = util::ParseInt(fields[i]);
+    if (v) dst = *v;
+    return v.has_value();
+  };
+  bool ok = as_int(0, out.job_number) && as_double(1, out.submit_time) &&
+            as_double(2, out.wait_time) && as_double(3, out.run_time) &&
+            as_int(4, out.allocated_procs) && as_double(5, out.avg_cpu_time) &&
+            as_double(6, out.used_memory) && as_int(7, out.requested_procs) &&
+            as_double(8, out.requested_time) &&
+            as_double(9, out.requested_memory) && as_int(10, out.status) &&
+            as_int(11, out.user_id) && as_int(12, out.group_id) &&
+            as_int(13, out.executable) && as_int(14, out.queue) &&
+            as_int(15, out.partition) && as_int(16, out.preceding_job) &&
+            as_double(17, out.think_time);
+  return ok ? std::string() : std::string("bad numeric field");
 }
 }  // namespace
 
 SwfTrace ParseSwf(const std::string& text) {
+  return ParseSwf(text, ParseMode::kStrict, nullptr);
+}
+
+SwfTrace ParseSwf(const std::string& text, ParseMode mode,
+                  std::vector<ParseDiagnostic>* diagnostics,
+                  const std::string& source) {
   SwfTrace trace;
   std::istringstream in(text);
   std::string line;
@@ -45,41 +63,49 @@ SwfTrace ParseSwf(const std::string& text) {
       continue;
     }
     auto fields = util::SplitWhitespace(trimmed);
-    if (fields.size() != 18) {
-      throw std::runtime_error("SWF line " + std::to_string(line_no) +
-                               ": expected 18 fields, got " +
-                               std::to_string(fields.size()));
-    }
     SwfRecord r;
-    r.job_number = FieldAsInt(fields, 0, line_no);
-    r.submit_time = FieldAsDouble(fields, 1, line_no);
-    r.wait_time = FieldAsDouble(fields, 2, line_no);
-    r.run_time = FieldAsDouble(fields, 3, line_no);
-    r.allocated_procs = FieldAsInt(fields, 4, line_no);
-    r.avg_cpu_time = FieldAsDouble(fields, 5, line_no);
-    r.used_memory = FieldAsDouble(fields, 6, line_no);
-    r.requested_procs = FieldAsInt(fields, 7, line_no);
-    r.requested_time = FieldAsDouble(fields, 8, line_no);
-    r.requested_memory = FieldAsDouble(fields, 9, line_no);
-    r.status = FieldAsInt(fields, 10, line_no);
-    r.user_id = FieldAsInt(fields, 11, line_no);
-    r.group_id = FieldAsInt(fields, 12, line_no);
-    r.executable = FieldAsInt(fields, 13, line_no);
-    r.queue = FieldAsInt(fields, 14, line_no);
-    r.partition = FieldAsInt(fields, 15, line_no);
-    r.preceding_job = FieldAsInt(fields, 16, line_no);
-    r.think_time = FieldAsDouble(fields, 17, line_no);
+    std::string err = ParseSwfFields(fields, r);
+    if (!err.empty()) {
+      if (mode == ParseMode::kStrict) {
+        throw std::runtime_error("SWF " + source + " line " +
+                                 std::to_string(line_no) + ": " + err);
+      }
+      if (diagnostics != nullptr) {
+        diagnostics->push_back(ParseDiagnostic{source, line_no, err});
+      }
+      continue;
+    }
     trace.records.push_back(r);
   }
   return trace;
 }
 
-SwfTrace ReadSwfFile(const std::string& path) {
+namespace {
+std::string ReadTextFile(const std::string& kind, const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("SWF: cannot open " + path);
+  if (!in) {
+    int err = errno;
+    throw std::runtime_error(kind + ": cannot open " + path + ": " +
+                             std::strerror(err));
+  }
   std::ostringstream buf;
   buf << in.rdbuf();
-  return ParseSwf(buf.str());
+  if (in.bad()) {
+    int err = errno;
+    throw std::runtime_error(kind + ": read failed for " + path + ": " +
+                             std::strerror(err));
+  }
+  return buf.str();
+}
+}  // namespace
+
+SwfTrace ReadSwfFile(const std::string& path) {
+  return ReadSwfFile(path, ParseMode::kStrict, nullptr);
+}
+
+SwfTrace ReadSwfFile(const std::string& path, ParseMode mode,
+                     std::vector<ParseDiagnostic>* diagnostics) {
+  return ParseSwf(ReadTextFile("SWF", path), mode, diagnostics, path);
 }
 
 void WriteSwf(std::ostream& out, const SwfTrace& trace) {

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "workload/parse_diag.h"
+
 namespace iosched::workload {
 
 /// One SWF record; field names follow the SWF specification.
@@ -45,8 +47,20 @@ struct SwfTrace {
 
 SwfTrace ParseSwf(const std::string& text);
 
-/// Read an SWF file from disk. Throws on unreadable files.
+/// Parse with explicit mode. Strict: throws std::runtime_error naming
+/// `source` and the line on the first malformed record. Lenient: malformed
+/// records are skipped; one ParseDiagnostic each is appended to
+/// `diagnostics` (which may be null to discard them). `source` labels
+/// errors/diagnostics — pass the file path when parsing file contents.
+SwfTrace ParseSwf(const std::string& text, ParseMode mode,
+                  std::vector<ParseDiagnostic>* diagnostics,
+                  const std::string& source = "<memory>");
+
+/// Read an SWF file from disk. Throws on unreadable files with the path and
+/// the OS error (strerror).
 SwfTrace ReadSwfFile(const std::string& path);
+SwfTrace ReadSwfFile(const std::string& path, ParseMode mode,
+                     std::vector<ParseDiagnostic>* diagnostics);
 
 /// Serialize records (with optional header comments) to SWF text.
 void WriteSwf(std::ostream& out, const SwfTrace& trace);

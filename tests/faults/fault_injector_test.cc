@@ -1,0 +1,291 @@
+#include "faults/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "metrics/fault_stats.h"
+#include "sim/simulator.h"
+
+namespace iosched::faults {
+namespace {
+
+// ---------------------------------------------------------------- plans --
+
+TEST(FaultPlanTest, ValidateCatchesBadWindows) {
+  FaultPlan plan;
+  plan.degradations.push_back({100.0, 50.0, 0.5});
+  EXPECT_FALSE(plan.Validate().empty());
+  plan.degradations = {{0.0, 100.0, 1.5}};
+  EXPECT_FALSE(plan.Validate().empty());
+  plan.degradations = {{0.0, 100.0, 0.5}};
+  EXPECT_TRUE(plan.Validate().empty());
+  plan.job_kill_probability = 2.0;
+  EXPECT_FALSE(plan.Validate().empty());
+}
+
+TEST(FaultPlanTest, EmptyDetectsAnyComponent) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.Empty());
+  plan.job_kill_probability = 0.01;
+  EXPECT_FALSE(plan.Empty());
+}
+
+TEST(BuildFaultPlanTest, SameSeedYieldsIdenticalPlan) {
+  FaultPlanConfig config;
+  config.enabled = true;
+  config.seed = 42;
+  config.degraded_fraction = 0.2;
+  config.degraded_window_seconds = 600.0;
+  config.midplane_outages = 3;
+  config.job_kill_probability = 0.01;
+
+  FaultPlan a = BuildFaultPlan(config, 86400.0, 8);
+  FaultPlan b = BuildFaultPlan(config, 86400.0, 8);
+  ASSERT_EQ(a.degradations.size(), b.degradations.size());
+  for (std::size_t i = 0; i < a.degradations.size(); ++i) {
+    EXPECT_EQ(a.degradations[i].start, b.degradations[i].start);
+    EXPECT_EQ(a.degradations[i].end, b.degradations[i].end);
+  }
+  ASSERT_EQ(a.outages.size(), b.outages.size());
+  for (std::size_t i = 0; i < a.outages.size(); ++i) {
+    EXPECT_EQ(a.outages[i].start, b.outages[i].start);
+    EXPECT_EQ(a.outages[i].midplane, b.outages[i].midplane);
+  }
+  EXPECT_EQ(a.kill_seed, b.kill_seed);
+
+  config.seed = 43;
+  FaultPlan c = BuildFaultPlan(config, 86400.0, 8);
+  bool differs = c.degradations.size() != a.degradations.size();
+  for (std::size_t i = 0; !differs && i < a.degradations.size(); ++i) {
+    differs = c.degradations[i].start != a.degradations[i].start;
+  }
+  EXPECT_TRUE(differs) << "different seed should move the degraded tiles";
+}
+
+TEST(BuildFaultPlanTest, DegradedTimeMatchesRequestedFraction) {
+  FaultPlanConfig config;
+  config.enabled = true;
+  config.degraded_fraction = 0.25;
+  config.degraded_window_seconds = 3600.0;
+  const double horizon = 40.0 * 3600.0;  // 40 tiles
+
+  FaultPlan plan = BuildFaultPlan(config, horizon, 0);
+  double degraded = 0.0;
+  for (const StorageDegradation& d : plan.degradations) {
+    EXPECT_GE(d.start, 0.0);
+    EXPECT_LE(d.end, horizon);
+    degraded += d.end - d.start;
+  }
+  EXPECT_DOUBLE_EQ(degraded, 0.25 * horizon);
+}
+
+TEST(BuildFaultPlanTest, RejectsInvalidConfig) {
+  FaultPlanConfig config;
+  config.degraded_fraction = 1.5;
+  EXPECT_THROW(BuildFaultPlan(config, 3600.0, 8), std::invalid_argument);
+  config.degraded_fraction = 0.0;
+  EXPECT_THROW(BuildFaultPlan(config, -1.0, 8), std::invalid_argument);
+  config.midplane_outages = 1;
+  EXPECT_THROW(BuildFaultPlan(config, 3600.0, 0), std::invalid_argument);
+}
+
+TEST(RestartModeTest, ParseAndRoundTrip) {
+  EXPECT_EQ(ParseRestartMode("zero"), RestartMode::kRestartFromZero);
+  EXPECT_EQ(ParseRestartMode("RESUME"), RestartMode::kResumeFromLastPhase);
+  EXPECT_EQ(ParseRestartMode("checkpoint"), RestartMode::kResumeFromLastPhase);
+  EXPECT_THROW(ParseRestartMode("bogus"), std::invalid_argument);
+  EXPECT_STREQ(ToString(RestartMode::kRestartFromZero), "zero");
+  EXPECT_STREQ(ToString(RestartMode::kResumeFromLastPhase), "resume");
+}
+
+// ------------------------------------------------------------- injector --
+
+struct FactorChange {
+  double factor;
+  sim::SimTime time;
+};
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  FaultHooks RecordingHooks() {
+    FaultHooks hooks;
+    hooks.set_bandwidth_factor = [this](double factor, sim::SimTime now) {
+      factor_changes_.push_back({factor, now});
+    };
+    hooks.set_midplane_faulted = [this](int midplane, bool faulted,
+                                        sim::SimTime now) {
+      midplane_changes_.push_back({faulted ? midplane : -midplane, now});
+    };
+    hooks.kill_job = [this](workload::JobId id, sim::SimTime now) {
+      kills_.push_back({static_cast<double>(id), now});
+      return true;
+    };
+    return hooks;
+  }
+
+  sim::Simulator simulator_;
+  metrics::FaultStats stats_;
+  std::vector<FactorChange> factor_changes_;
+  std::vector<std::pair<int, sim::SimTime>> midplane_changes_;
+  std::vector<FactorChange> kills_;
+};
+
+TEST_F(FaultInjectorTest, OverlappingDegradationsTakeMinFactor) {
+  FaultPlan plan;
+  plan.degradations.push_back({100.0, 400.0, 0.5});
+  plan.degradations.push_back({200.0, 300.0, 0.25});
+  FaultInjector injector(simulator_, plan, RecordingHooks(), &stats_);
+  injector.Arm();
+  simulator_.Run();
+  injector.FinalizeStats(simulator_.Now());
+
+  ASSERT_EQ(factor_changes_.size(), 4u);
+  EXPECT_DOUBLE_EQ(factor_changes_[0].factor, 0.5);   // t=100
+  EXPECT_DOUBLE_EQ(factor_changes_[1].factor, 0.25);  // t=200
+  EXPECT_DOUBLE_EQ(factor_changes_[2].factor, 0.5);   // t=300
+  EXPECT_DOUBLE_EQ(factor_changes_[3].factor, 1.0);   // t=400
+  EXPECT_DOUBLE_EQ(injector.current_bandwidth_factor(), 1.0);
+  EXPECT_DOUBLE_EQ(stats_.degraded_seconds, 300.0);
+  EXPECT_DOUBLE_EQ(stats_.min_bandwidth_factor, 0.25);
+  EXPECT_EQ(stats_.storage_degradations, 2u);
+}
+
+TEST_F(FaultInjectorTest, IdenticalFactorWindowsCoalesce) {
+  // Two back-to-back windows at the same factor: no hook call at the seam.
+  FaultPlan plan;
+  plan.degradations.push_back({100.0, 200.0, 0.5});
+  plan.degradations.push_back({150.0, 300.0, 0.5});
+  FaultInjector injector(simulator_, plan, RecordingHooks(), &stats_);
+  injector.Arm();
+  simulator_.Run();
+
+  ASSERT_EQ(factor_changes_.size(), 2u);
+  EXPECT_DOUBLE_EQ(factor_changes_[0].factor, 0.5);
+  EXPECT_DOUBLE_EQ(factor_changes_[0].time, 100.0);
+  EXPECT_DOUBLE_EQ(factor_changes_[1].factor, 1.0);
+  EXPECT_DOUBLE_EQ(factor_changes_[1].time, 300.0);
+}
+
+TEST_F(FaultInjectorTest, OverlappingOutagesFireOnce) {
+  FaultPlan plan;
+  plan.outages.push_back({100.0, 300.0, 2});
+  plan.outages.push_back({200.0, 400.0, 2});
+  FaultInjector injector(simulator_, plan, RecordingHooks(), &stats_);
+  injector.Arm();
+  simulator_.Run();
+
+  // One fault at t=100 and one repair at t=400 despite the overlap.
+  ASSERT_EQ(midplane_changes_.size(), 2u);
+  EXPECT_EQ(midplane_changes_[0].first, 2);
+  EXPECT_DOUBLE_EQ(midplane_changes_[0].second, 100.0);
+  EXPECT_EQ(midplane_changes_[1].first, -2);
+  EXPECT_DOUBLE_EQ(midplane_changes_[1].second, 400.0);
+  EXPECT_EQ(stats_.midplane_outages, 1u);
+}
+
+TEST_F(FaultInjectorTest, CertainKillFiresWithinRuntimeWindow) {
+  FaultPlan plan;
+  plan.job_kill_probability = 1.0;
+  FaultInjector injector(simulator_, plan, RecordingHooks(), &stats_);
+  injector.Arm();
+  injector.OnJobStart(7, 0.0, 1000.0);
+  simulator_.Run();
+
+  ASSERT_EQ(kills_.size(), 1u);
+  EXPECT_EQ(static_cast<workload::JobId>(kills_[0].factor), 7);
+  EXPECT_GT(kills_[0].time, 0.0);
+  EXPECT_LT(kills_[0].time, 1000.0);
+  EXPECT_EQ(stats_.fault_kills, 1u);
+}
+
+TEST_F(FaultInjectorTest, OnJobStopCancelsPendingKill) {
+  FaultPlan plan;
+  plan.job_kill_probability = 1.0;
+  FaultInjector injector(simulator_, plan, RecordingHooks(), &stats_);
+  injector.Arm();
+  injector.OnJobStart(7, 0.0, 1000.0);
+  injector.OnJobStop(7);
+  simulator_.Run();
+  EXPECT_TRUE(kills_.empty());
+  EXPECT_EQ(stats_.fault_kills, 0u);
+}
+
+TEST_F(FaultInjectorTest, KillScheduleIsSeedDeterministic) {
+  auto run_once = [](std::uint64_t seed) {
+    sim::Simulator simulator;
+    std::vector<FactorChange> kills;
+    FaultPlan plan;
+    plan.job_kill_probability = 0.5;
+    plan.kill_seed = seed;
+    FaultHooks hooks;
+    hooks.kill_job = [&kills](workload::JobId id, sim::SimTime now) {
+      kills.push_back({static_cast<double>(id), now});
+      return true;
+    };
+    FaultInjector injector(simulator, plan, hooks);
+    injector.Arm();
+    for (workload::JobId id = 1; id <= 50; ++id) {
+      injector.OnJobStart(id, 0.0, 500.0 + static_cast<double>(id));
+    }
+    simulator.Run();
+    return kills;
+  };
+
+  std::vector<FactorChange> a = run_once(11);
+  std::vector<FactorChange> b = run_once(11);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  ASSERT_LT(a.size(), 50u) << "p=0.5 should spare some jobs";
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].factor, b[i].factor);
+    EXPECT_EQ(a[i].time, b[i].time);
+  }
+
+  std::vector<FactorChange> c = run_once(12);
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = c[i].factor != a[i].factor || c[i].time != a[i].time;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(FaultInjectorTest, MissingHooksThrow) {
+  FaultPlan degrade;
+  degrade.degradations.push_back({0.0, 10.0, 0.5});
+  EXPECT_THROW(FaultInjector(simulator_, degrade, FaultHooks{}),
+               std::invalid_argument);
+
+  FaultPlan kill;
+  kill.job_kill_probability = 0.5;
+  EXPECT_THROW(FaultInjector(simulator_, kill, FaultHooks{}),
+               std::invalid_argument);
+}
+
+TEST_F(FaultInjectorTest, InvalidPlanThrows) {
+  FaultPlan plan;
+  plan.degradations.push_back({10.0, 5.0, 0.5});
+  EXPECT_THROW(FaultInjector(simulator_, plan, RecordingHooks()),
+               std::invalid_argument);
+}
+
+TEST_F(FaultInjectorTest, TimelineCsvHasHeaderAndRows) {
+  FaultPlan plan;
+  plan.degradations.push_back({100.0, 200.0, 0.5});
+  FaultInjector injector(simulator_, plan, RecordingHooks(), &stats_);
+  injector.Arm();
+  simulator_.Run();
+
+  std::ostringstream os;
+  stats_.WriteTimelineCsv(os);
+  std::string csv = os.str();
+  EXPECT_NE(csv.find("time,event,job,detail"), std::string::npos);
+  EXPECT_NE(csv.find("storage_degrade"), std::string::npos);
+  EXPECT_NE(csv.find("storage_restore"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iosched::faults

@@ -1,0 +1,195 @@
+// End-to-end fault injection: degraded storage, midplane outages, and
+// probabilistic kills driven through the full engine. The headline
+// properties are the acceptance criteria of the failure model — every
+// policy survives a heavily faulted run, replays are byte-identical, and
+// the capacity validator stays silent across BWmax shrink/restore edges
+// (any violation would throw out of RunSimulation).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/simulation.h"
+#include "driver/scenario.h"
+#include "faults/fault_plan.h"
+#include "metrics/report.h"
+
+namespace iosched {
+namespace {
+
+core::SimulationConfig FaultedConfig(const driver::Scenario& scenario,
+                                     const std::string& policy) {
+  core::SimulationConfig config = scenario.config;
+  config.policy = policy;
+  config.faults.plan_config.enabled = true;
+  config.faults.plan_config.seed = 5;
+  config.faults.plan_config.degraded_fraction = 0.2;
+  config.faults.plan_config.degradation_factor = 0.5;
+  config.faults.plan_config.degraded_window_seconds = 1800.0;
+  config.faults.plan_config.job_kill_probability = 0.01;
+  return config;
+}
+
+/// Everything observable about a run, serialized.
+std::string Fingerprint(const core::SimulationResult& result) {
+  std::ostringstream os;
+  os << metrics::ToString(result.report) << "\n";
+  metrics::WriteRecordsCsv(os, result.records);
+  result.faults.WriteTimelineCsv(os);
+  os << result.faults.degraded_seconds << " "
+     << result.faults.min_bandwidth_factor << " " << result.faults.requeues
+     << " " << result.faults.abandoned_jobs << "\n";
+  return os.str();
+}
+
+class FaultedSimulationTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FaultedSimulationTest, DegradedRunIsDeterministic) {
+  driver::Scenario scenario = driver::MakeTestScenario(/*seed=*/7,
+                                                       /*duration_days=*/1.0,
+                                                       /*jobs_per_day=*/200.0);
+  core::SimulationConfig config = FaultedConfig(scenario, GetParam());
+
+  core::SimulationResult first = core::RunSimulation(config, scenario.jobs);
+  core::SimulationResult second = core::RunSimulation(config, scenario.jobs);
+
+  // The fault machinery actually engaged...
+  EXPECT_GT(first.faults.degraded_seconds, 0.0);
+  EXPECT_LT(first.faults.min_bandwidth_factor, 1.0);
+  EXPECT_FALSE(first.faults.timeline.empty());
+  // ...and the replay is byte-identical.
+  EXPECT_EQ(Fingerprint(first), Fingerprint(second));
+}
+
+TEST_P(FaultedSimulationTest, EveryJobIsAccountedFor) {
+  driver::Scenario scenario = driver::MakeTestScenario(/*seed=*/11,
+                                                       /*duration_days=*/1.0,
+                                                       /*jobs_per_day=*/200.0);
+  core::SimulationConfig config = FaultedConfig(scenario, GetParam());
+  core::SimulationResult result = core::RunSimulation(config, scenario.jobs);
+
+  // One record per job: completed, requeued-then-completed, or abandoned.
+  EXPECT_EQ(result.records.size(), scenario.jobs.size());
+  std::size_t requeued_completed = 0;
+  std::size_t abandoned = 0;
+  for (const metrics::JobRecord& r : result.records) {
+    EXPECT_GE(r.attempts, 1);
+    if (r.attempts > 1) {
+      EXPECT_GT(r.lost_seconds, 0.0);
+    }
+    if (r.abandoned) {
+      ++abandoned;
+    } else if (r.attempts > 1) {
+      ++requeued_completed;
+    }
+  }
+  EXPECT_EQ(result.report.requeued_job_count, requeued_completed);
+  EXPECT_EQ(result.report.abandoned_job_count, abandoned);
+  // 1% per-attempt kills over ~200 jobs: expect at least one kill.
+  EXPECT_GT(result.faults.fault_kills, 0u);
+  EXPECT_EQ(result.faults.requeues + result.faults.abandoned_jobs,
+            result.faults.fault_kills);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, FaultedSimulationTest,
+                         ::testing::Values("BASE_LINE", "FCFS", "MAX_UTIL",
+                                           "ADAPTIVE"));
+
+TEST(FaultedSimulationDetailTest, MidplaneOutageKillsAndRequeuesJob) {
+  // One job on the Small machine, deterministically killed at t=150 by an
+  // outage of midplane 0 (the allocator always picks the lowest midplane).
+  workload::Workload jobs;
+  workload::Job job;
+  job.id = 1;
+  job.submit_time = 0.0;
+  job.nodes = 512;
+  job.requested_walltime = 4000.0;
+  // 512 nodes x 0.03125 GB/s = 16 GB/s full rate: the 160 GB I/O takes
+  // 10 s uncongested (the only job, so it always runs at full rate).
+  job.phases = {workload::Phase::Compute(100.0), workload::Phase::Io(160.0),
+                workload::Phase::Compute(200.0)};
+  jobs.push_back(job);
+
+  core::SimulationConfig config;
+  config.machine = machine::MachineConfig::Small();
+  config.faults.explicit_plan.outages.push_back({150.0, 200.0, 0});
+  config.batch.requeue_backoff_seconds = 300.0;
+
+  // Resume mode: the finished compute (100 s) and I/O (10 s) phases are not
+  // re-run. Kill at 150 (inside the final compute), eligible again at 450,
+  // re-runs only that phase -> ends at 650.
+  config.faults.restart_mode = faults::RestartMode::kResumeFromLastPhase;
+  core::SimulationResult resumed = core::RunSimulation(config, jobs);
+  ASSERT_EQ(resumed.records.size(), 1u);
+  EXPECT_EQ(resumed.records[0].attempts, 2);
+  EXPECT_FALSE(resumed.records[0].abandoned);
+  EXPECT_DOUBLE_EQ(resumed.records[0].start_time, 450.0);
+  EXPECT_DOUBLE_EQ(resumed.records[0].end_time, 650.0);
+  EXPECT_DOUBLE_EQ(resumed.records[0].lost_seconds, 150.0);
+  EXPECT_EQ(resumed.faults.fault_kills, 1u);
+  EXPECT_EQ(resumed.faults.requeues, 1u);
+
+  // Restart-from-zero re-runs all three phases -> ends at 450 + 310 = 760.
+  config.faults.restart_mode = faults::RestartMode::kRestartFromZero;
+  core::SimulationResult restarted = core::RunSimulation(config, jobs);
+  ASSERT_EQ(restarted.records.size(), 1u);
+  EXPECT_DOUBLE_EQ(restarted.records[0].end_time, 760.0);
+}
+
+TEST(FaultedSimulationDetailTest, RetryBudgetExhaustionAbandonsJob) {
+  // Four back-to-back outages of midplane 0 kill every attempt of a job
+  // with max_retries = 1: first kill requeues, second abandons.
+  workload::Workload jobs;
+  workload::Job job;
+  job.id = 1;
+  job.submit_time = 0.0;
+  job.nodes = 512;
+  job.requested_walltime = 4000.0;
+  job.phases = {workload::Phase::Compute(1000.0)};
+  jobs.push_back(job);
+
+  core::SimulationConfig config;
+  config.machine = machine::MachineConfig::Small();
+  config.batch.max_retries = 1;
+  config.batch.requeue_backoff_seconds = 100.0;
+  // Kill at 50; eligible at 150; outage 2 starts at 200 (attempt 2 started
+  // at 150) and kills it again -> budget spent, abandoned.
+  config.faults.explicit_plan.outages.push_back({50.0, 60.0, 0});
+  config.faults.explicit_plan.outages.push_back({200.0, 210.0, 0});
+
+  core::SimulationResult result = core::RunSimulation(config, jobs);
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_TRUE(result.records[0].abandoned);
+  EXPECT_EQ(result.records[0].attempts, 2);
+  EXPECT_EQ(result.faults.fault_kills, 2u);
+  EXPECT_EQ(result.faults.requeues, 1u);
+  EXPECT_EQ(result.faults.abandoned_jobs, 1u);
+  EXPECT_EQ(result.report.abandoned_job_count, 1u);
+  // Both burned attempts count as lost machine time: 50 + 50 seconds.
+  EXPECT_DOUBLE_EQ(result.records[0].lost_seconds, 100.0);
+}
+
+TEST(FaultedSimulationDetailTest, DegradationStretchesIoButPreservesJobs) {
+  driver::Scenario scenario = driver::MakeTestScenario(/*seed=*/3,
+                                                       /*duration_days=*/0.5,
+                                                       /*jobs_per_day=*/120.0);
+  // Nominal run vs a fully-degraded-window run: all jobs still finish and
+  // aggregate I/O slowdown cannot improve under half bandwidth.
+  core::SimulationResult clean =
+      core::RunSimulation(scenario.config, scenario.jobs);
+
+  core::SimulationConfig degraded_config = scenario.config;
+  degraded_config.faults.explicit_plan.degradations.push_back(
+      {0.0, 5.0 * 86400.0, 0.5});
+  core::SimulationResult degraded =
+      core::RunSimulation(degraded_config, scenario.jobs);
+
+  EXPECT_EQ(degraded.records.size(), clean.records.size());
+  EXPECT_GE(degraded.report.avg_io_slowdown,
+            clean.report.avg_io_slowdown - 1e-9);
+  EXPECT_GT(degraded.faults.degraded_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace iosched

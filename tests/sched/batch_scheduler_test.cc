@@ -201,5 +201,87 @@ TEST_F(BatchSchedulerTest, ManyJobsDrainEventually) {
   EXPECT_EQ(started, 40);
 }
 
+TEST_F(BatchSchedulerTest, FailedJobRequeuesWithExponentialBackoff) {
+  BatchScheduler::Options options;
+  options.max_retries = 3;
+  options.requeue_backoff_seconds = 100.0;
+  options.max_backoff_seconds = 350.0;
+  BatchScheduler sched(machine_, options);
+  sched.Submit(*MakeJob(1, 0, 1024, 3600));
+  ASSERT_EQ(sched.Schedule(0).size(), 1u);
+
+  auto d1 = sched.OnJobFailed(1, 10.0);
+  EXPECT_TRUE(d1.requeued);
+  EXPECT_EQ(d1.retries, 1);
+  EXPECT_DOUBLE_EQ(d1.eligible_time, 110.0);  // base backoff
+  EXPECT_EQ(machine_.busy_nodes(), 0);
+  EXPECT_EQ(sched.queue_size(), 1u);
+  EXPECT_EQ(sched.running_count(), 0u);
+
+  // Inside the backoff the job is invisible to scheduling.
+  EXPECT_TRUE(sched.Schedule(50.0).empty());
+  EXPECT_DOUBLE_EQ(sched.NextEligibleTime(50.0), 110.0);
+
+  // At expiry it starts again.
+  ASSERT_EQ(sched.Schedule(110.0).size(), 1u);
+
+  auto d2 = sched.OnJobFailed(1, 120.0);
+  EXPECT_EQ(d2.retries, 2);
+  EXPECT_DOUBLE_EQ(d2.eligible_time, 120.0 + 200.0);  // doubled
+
+  ASSERT_EQ(sched.Schedule(320.0).size(), 1u);
+  auto d3 = sched.OnJobFailed(1, 330.0);
+  EXPECT_EQ(d3.retries, 3);
+  EXPECT_DOUBLE_EQ(d3.eligible_time, 330.0 + 350.0);  // capped, not 400
+}
+
+TEST_F(BatchSchedulerTest, RetryBudgetExhaustionAbandons) {
+  BatchScheduler::Options options;
+  options.max_retries = 1;
+  options.requeue_backoff_seconds = 10.0;
+  BatchScheduler sched(machine_, options);
+  sched.Submit(*MakeJob(1, 0, 1024, 3600));
+  ASSERT_EQ(sched.Schedule(0).size(), 1u);
+
+  EXPECT_TRUE(sched.OnJobFailed(1, 5.0).requeued);
+  ASSERT_EQ(sched.Schedule(15.0).size(), 1u);
+
+  auto final_decision = sched.OnJobFailed(1, 20.0);
+  EXPECT_FALSE(final_decision.requeued);
+  EXPECT_EQ(final_decision.retries, 2);
+  EXPECT_EQ(sched.queue_size(), 0u);
+  EXPECT_EQ(sched.running_count(), 0u);
+  EXPECT_EQ(machine_.busy_nodes(), 0);
+}
+
+TEST_F(BatchSchedulerTest, ZeroRetriesNeverRequeues) {
+  BatchScheduler::Options options;
+  options.max_retries = 0;
+  BatchScheduler sched(machine_, options);
+  sched.Submit(*MakeJob(1, 0, 1024, 3600));
+  ASSERT_EQ(sched.Schedule(0).size(), 1u);
+  EXPECT_FALSE(sched.OnJobFailed(1, 5.0).requeued);
+}
+
+TEST_F(BatchSchedulerTest, OnJobFailedUnknownThrows) {
+  BatchScheduler sched(machine_, {});
+  EXPECT_THROW(sched.OnJobFailed(99, 0.0), std::logic_error);
+}
+
+TEST_F(BatchSchedulerTest, BackoffDoesNotBlockOtherJobs) {
+  BatchScheduler sched(machine_, {});
+  sched.Submit(*MakeJob(1, 0, 4096, 3600));
+  ASSERT_EQ(sched.Schedule(0).size(), 1u);
+  sched.OnJobFailed(1, 10.0);  // eligible at 310
+  sched.Submit(*MakeJob(2, 11, 512, 3600));
+  // Job 2 is unaffected by job 1's backoff, and job 1 (WFP order may put it
+  // first) must not hold the EASY reservation while ineligible.
+  auto decisions = sched.Schedule(11.0);
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].job->id, 2);
+  EXPECT_DOUBLE_EQ(sched.NextEligibleTime(11.0), 310.0);
+  EXPECT_DOUBLE_EQ(sched.NextEligibleTime(400.0), sim::kTimeInfinity);
+}
+
 }  // namespace
 }  // namespace iosched::sched

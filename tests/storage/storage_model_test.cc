@@ -209,5 +209,44 @@ TEST(FairShareRatesTest, EmptyActiveSet) {
   EXPECT_TRUE(rates.empty());
 }
 
+TEST(StorageModel, SetMaxBandwidthAccruesInFlightAtOldRate) {
+  StorageModel sm(Cfg(100.0));
+  sm.Begin(1, 1024, 32.0, 100.0, 0.0);
+  sm.SetRate(1, 20.0);
+  // Shrink at t=3: the transfer must have moved 60 GB at the old rate
+  // before the cap changes.
+  sm.SetMaxBandwidth(50.0, 3.0);
+  EXPECT_DOUBLE_EQ(sm.Get(1).transferred_gb, 60.0);
+  EXPECT_DOUBLE_EQ(sm.config().max_bandwidth_gbps, 50.0);
+  // The grant is not rescaled by the model; the caller's next cycle must
+  // produce a feasible assignment.
+  EXPECT_DOUBLE_EQ(sm.Get(1).rate_gbps, 20.0);
+  sm.SetRate(1, 10.0);
+  EXPECT_NO_THROW(sm.ValidateAssignment());
+  // Restore mid-flight: progress again attributed at the pre-change rate.
+  sm.SetMaxBandwidth(100.0, 5.0);
+  EXPECT_DOUBLE_EQ(sm.Get(1).transferred_gb, 80.0);
+}
+
+TEST(StorageModel, SetMaxBandwidthRejectsNonPositive) {
+  StorageModel sm(Cfg(100.0));
+  EXPECT_THROW(sm.SetMaxBandwidth(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(sm.SetMaxBandwidth(-5.0, 0.0), std::invalid_argument);
+}
+
+TEST(StorageModel, ShrinkMovesNextCompletionLater) {
+  StorageModel sm(Cfg(100.0));
+  sm.Begin(1, 1024, 32.0, 100.0, 0.0);
+  sm.SetRate(1, 20.0);
+  auto before = sm.NextCompletion();
+  ASSERT_TRUE(before.has_value());
+  EXPECT_DOUBLE_EQ(before->first, 5.0);
+  sm.SetMaxBandwidth(10.0, 2.0);  // 40 GB moved, 60 left
+  sm.SetRate(1, 10.0);            // the forced cycle's new feasible grant
+  auto after = sm.NextCompletion();
+  ASSERT_TRUE(after.has_value());
+  EXPECT_DOUBLE_EQ(after->first, 8.0);  // 2 + 60/10
+}
+
 }  // namespace
 }  // namespace iosched::storage

@@ -74,5 +74,59 @@ TEST(IoTraceFmt, MissingFileThrows) {
   EXPECT_THROW(ReadIoTraceFile("/nonexistent/io.csv"), std::runtime_error);
 }
 
+TEST(IoTraceFmt, MissingFileErrorNamesPathAndOsError) {
+  try {
+    ReadIoTraceFile("/nonexistent/io.csv");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("/nonexistent/io.csv"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("No such file"), std::string::npos) << msg;
+  }
+}
+
+TEST(IoTraceFmt, LenientModeSkipsMalformedRows) {
+  const char* text =
+      "# comment\n"
+      "job_id,io_phases,total_io_gb,agg_rate_gbps,read_fraction\n"
+      "1,5,128.5,12.5,0.25\n"
+      "2,bad,10,0,1\n"
+      "\n"
+      "3,1,10,0,1.5\n"
+      "4,1,10,0,0.5\n";
+  std::vector<ParseDiagnostic> diagnostics;
+  IoTrace trace =
+      ParseIoTrace(text, ParseMode::kLenient, &diagnostics, "io.csv");
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].job_id, 1);
+  EXPECT_EQ(trace[1].job_id, 4);
+  ASSERT_EQ(diagnostics.size(), 2u);
+  EXPECT_EQ(diagnostics[0].file, "io.csv");
+  EXPECT_EQ(diagnostics[0].line, 4u);  // true source line, comments counted
+  EXPECT_EQ(diagnostics[1].line, 6u);
+}
+
+TEST(IoTraceFmt, LenientModeStillRejectsBadHeader) {
+  std::vector<ParseDiagnostic> diagnostics;
+  EXPECT_THROW(
+      ParseIoTrace("a,b,c,d,e\n1,1,1,1,1\n", ParseMode::kLenient,
+                   &diagnostics, "io.csv"),
+      std::runtime_error);
+}
+
+TEST(IoTraceFmt, StrictErrorNamesSourceAndLine) {
+  const char* text =
+      "job_id,io_phases,total_io_gb,agg_rate_gbps,read_fraction\n"
+      "1,2,3\n";
+  try {
+    ParseIoTrace(text, ParseMode::kStrict, nullptr, "short.csv");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("short.csv"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  }
+}
+
 }  // namespace
 }  // namespace iosched::workload

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 namespace iosched::workload {
@@ -90,6 +91,64 @@ TEST(Swf, FileRoundTrip) {
 
 TEST(Swf, MissingFileThrows) {
   EXPECT_THROW(ReadSwfFile("/nonexistent/file.swf"), std::runtime_error);
+}
+
+TEST(Swf, MissingFileErrorNamesPathAndOsError) {
+  try {
+    ReadSwfFile("/nonexistent/file.swf");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("/nonexistent/file.swf"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("No such file"), std::string::npos) << msg;
+  }
+}
+
+TEST(Swf, LenientModeSkipsMalformedLines) {
+  const char* text =
+      "; header\n"
+      "1 0 0 100 64 -1 -1 64 200 -1 1 1 1 1 1 1 -1 -1\n"
+      "garbage line\n"
+      "2 5 0 100 64 -1 -1 64 200 -1 1 1 1 1 1 1 -1 -1\n"
+      "3 9 0 bad 64 -1 -1 64 200 -1 1 1 1 1 1 1 -1 -1\n";
+  std::vector<ParseDiagnostic> diagnostics;
+  SwfTrace trace =
+      ParseSwf(text, ParseMode::kLenient, &diagnostics, "sample.swf");
+  ASSERT_EQ(trace.records.size(), 2u);
+  EXPECT_EQ(trace.records[0].job_number, 1);
+  EXPECT_EQ(trace.records[1].job_number, 2);
+  ASSERT_EQ(diagnostics.size(), 2u);
+  EXPECT_EQ(diagnostics[0].file, "sample.swf");
+  EXPECT_EQ(diagnostics[0].line, 3u);
+  EXPECT_EQ(diagnostics[1].line, 5u);
+  EXPECT_NE(ToString(diagnostics[0]).find("sample.swf:3:"),
+            std::string::npos);
+}
+
+TEST(Swf, StrictModeNamesSourceAndLine) {
+  try {
+    ParseSwf("garbage\n", ParseMode::kStrict, nullptr, "t.swf");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("t.swf"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+  }
+}
+
+TEST(Swf, LenientFileReadReportsPathInDiagnostics) {
+  std::string path = ::testing::TempDir() + "/lenient_test.swf";
+  {
+    std::ofstream out(path);
+    out << "1 0 0 100 64 -1 -1 64 200 -1 1 1 1 1 1 1 -1 -1\n"
+        << "short line\n";
+  }
+  std::vector<ParseDiagnostic> diagnostics;
+  SwfTrace trace = ReadSwfFile(path, ParseMode::kLenient, &diagnostics);
+  EXPECT_EQ(trace.records.size(), 1u);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].file, path);
+  EXPECT_EQ(diagnostics[0].line, 2u);
 }
 
 }  // namespace

@@ -127,6 +127,15 @@ int CmdSimulate(const util::CliParser& cli) {
               result.bandwidth.congested_fraction * 100.0,
               result.bandwidth.episode_count,
               result.bandwidth.mean_wasted_gbps);
+  if (!result.faults.Empty()) {
+    std::printf("  faults         degraded %.1f h (min factor %.2f), "
+                "%zu kills -> %zu requeued / %zu abandoned, "
+                "%.0f node-hours lost\n",
+                result.faults.degraded_seconds / util::kSecondsPerHour,
+                result.faults.min_bandwidth_factor, result.faults.fault_kills,
+                result.faults.requeues, result.faults.abandoned_jobs,
+                r.lost_node_seconds / util::kSecondsPerHour);
+  }
 
   if (cli.GetBool("timeline")) {
     const double bucket = 2.0 * util::kSecondsPerHour;

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Build and run the full test suite under AddressSanitizer + UBSan.
+#
+# Usage: tools/run_sanitized_tests.sh [build-dir] [sanitizers]
+#   build-dir   defaults to build-asan (kept separate from the normal build)
+#   sanitizers  defaults to "address;undefined"
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-asan}"
+sanitizers="${2:-address;undefined}"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DIOSCHED_SANITIZE="${sanitizers}" \
+  -DIOSCHED_BUILD_BENCH=OFF \
+  -DIOSCHED_BUILD_EXAMPLES=OFF
+cmake --build "${build_dir}" -j"$(nproc)"
+ctest --test-dir "${build_dir}" --output-on-failure -j"$(nproc)"
