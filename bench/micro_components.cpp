@@ -1,9 +1,30 @@
 // Microbenchmarks of the framework's hot components (google-benchmark):
 // event queue, RNG, knapsack DP, policy scheduling cycles, storage model
 // rate updates, partition allocator, and an end-to-end simulation day.
+//
+// The binary doubles as the simulation-core regression harness. Run with
+//   micro_components --core-json=BENCH_core.json [--replay-days=30]
+//                    [--baseline=OLD.json] [--allow-digest-change=ADAPTIVE]
+// to time each hot component plus a full synthetic-month replay under
+// BASE_LINE / MAX_UTIL / ADAPTIVE and emit machine-readable BENCH_core.json.
+// Every replay records an order-independent FNV-1a digest over the bit-exact
+// per-job metric records; with --baseline the harness compares digests
+// against a previous BENCH_core.json and fails (exit 1) on any mismatch not
+// explicitly waived with --allow-digest-change, so hot-path refactors cannot
+// silently change simulation results. Without --core-json the binary behaves
+// as a plain google-benchmark suite.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "core/io_policy.h"
@@ -12,6 +33,7 @@
 #include "core/simulation.h"
 #include "driver/scenario.h"
 #include "machine/machine.h"
+#include "sched/queue_policy.h"
 #include "sim/event_queue.h"
 #include "storage/storage_model.h"
 #include "util/rng.h"
@@ -155,6 +177,460 @@ BENCHMARK_CAPTURE(BM_SimulateOneDay, baseline, "BASE_LINE")
 BENCHMARK_CAPTURE(BM_SimulateOneDay, adaptive, "ADAPTIVE")
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Regression harness (--core-json mode): hand-rolled component timers plus
+// full synthetic-month replays with bit-exact per-job metric digests.
+// ---------------------------------------------------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+/// Best-of-`reps` wall time of `fn()` in seconds.
+template <typename Fn>
+double TimeBestOf(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = Clock::now();
+    fn();
+    auto t1 = Clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t FnvMix(std::uint64_t hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xffULL;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::uint64_t FnvMix(std::uint64_t hash, double value) {
+  return FnvMix(hash, std::bit_cast<std::uint64_t>(value));
+}
+
+/// Bit-exact digest over every field of every per-job record. Records are
+/// sorted by id by RunSimulation, so the digest is replay-order stable.
+std::uint64_t DigestRecords(const metrics::JobRecords& records) {
+  std::uint64_t h = kFnvOffset;
+  h = FnvMix(h, static_cast<std::uint64_t>(records.size()));
+  for (const metrics::JobRecord& r : records) {
+    h = FnvMix(h, static_cast<std::uint64_t>(r.id));
+    h = FnvMix(h, static_cast<std::uint64_t>(r.requested_nodes));
+    h = FnvMix(h, static_cast<std::uint64_t>(r.allocated_nodes));
+    h = FnvMix(h, r.submit_time);
+    h = FnvMix(h, r.start_time);
+    h = FnvMix(h, r.end_time);
+    h = FnvMix(h, r.uncongested_runtime);
+    h = FnvMix(h, r.requested_walltime);
+    h = FnvMix(h, r.io_time_actual);
+    h = FnvMix(h, r.io_time_uncongested);
+    h = FnvMix(h, static_cast<std::uint64_t>(r.io_phase_count));
+    h = FnvMix(h, static_cast<std::uint64_t>(r.killed ? 1 : 0));
+    h = FnvMix(h, static_cast<std::uint64_t>(r.attempts));
+    h = FnvMix(h, static_cast<std::uint64_t>(r.abandoned ? 1 : 0));
+    h = FnvMix(h, r.lost_seconds);
+  }
+  return h;
+}
+
+std::string HexDigest(std::uint64_t digest) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+struct ComponentResult {
+  std::string name;
+  double ns_per_op = 0.0;
+  std::uint64_t ops = 0;
+};
+
+struct ReplayResult {
+  std::string name;
+  double seconds = 0.0;
+  std::size_t jobs = 0;
+  std::uint64_t events = 0;
+  std::uint64_t io_requests = 0;
+  std::uint64_t cycles = 0;
+  std::string digest;
+};
+
+ComponentResult TimeComponent(const std::string& name, std::uint64_t ops,
+                              int reps, const std::function<void()>& fn) {
+  ComponentResult result;
+  result.name = name;
+  result.ops = ops;
+  result.ns_per_op = TimeBestOf(reps, fn) * 1e9 / static_cast<double>(ops);
+  std::printf("  component %-28s %12.1f ns/op\n", name.c_str(),
+              result.ns_per_op);
+  return result;
+}
+
+std::vector<ComponentResult> RunComponentTimers() {
+  std::vector<ComponentResult> out;
+  std::printf("component timers:\n");
+
+  {
+    // Push/pop throughput of the discrete-event core.
+    const std::size_t count = 1 << 15;
+    util::Rng rng(7);
+    std::vector<double> times(count);
+    for (auto& t : times) t = rng.Uniform(0, 1e6);
+    out.push_back(TimeComponent("event_queue_push_pop", 2 * count, 5, [&] {
+      sim::EventQueue q;
+      for (double t : times) q.Push(t, [] {});
+      while (!q.Empty()) q.Pop();
+    }));
+  }
+  {
+    // The I/O-completion rescheduling pattern: one pending completion event
+    // per cycle is cancelled and re-pushed, with only occasional pops. An
+    // event queue without compaction accumulates every cancelled entry deep
+    // in the heap across such a run.
+    const std::size_t rounds = 1 << 16;
+    out.push_back(TimeComponent("event_queue_reschedule_churn", rounds, 3, [&] {
+      sim::EventQueue q;
+      std::vector<sim::EventId> live;
+      double now = 0.0;
+      for (std::size_t i = 0; i < 64; ++i) {
+        live.push_back(q.Push(now + 100.0 + static_cast<double>(i), [] {}));
+      }
+      util::Pcg32 g(11);
+      for (std::size_t r = 0; r < rounds; ++r) {
+        std::size_t victim = g() % live.size();
+        q.Cancel(live[victim]);
+        now += 0.01;
+        live[victim] = q.Push(now + 100.0 + static_cast<double>(g() % 128),
+                              [] {});
+        if ((r & 1023) == 0) {
+          sim::Event ev = q.Pop();
+          live.erase(std::find(live.begin(), live.end(), ev.id));
+          live.push_back(q.Push(now + 100.0, [] {}));
+        }
+      }
+      while (!q.Empty()) q.Pop();
+    }));
+  }
+  {
+    // One storage scheduling cycle: accrue, re-grant every rate, validate,
+    // find the next completion. This is the per-cycle StorageModel cost.
+    const std::size_t transfers = 64;
+    const std::size_t cycles = 4096;
+    out.push_back(TimeComponent("storage_rate_cycle", cycles, 3, [&] {
+      storage::StorageModel sm(storage::StorageConfig{250.0, true});
+      for (std::size_t i = 0; i < transfers; ++i) {
+        sm.Begin(static_cast<workload::JobId>(i + 1), 512, 16.0, 1e12, 0.0);
+      }
+      double now = 0.0;
+      double share = 250.0 / static_cast<double>(transfers);
+      for (std::size_t c = 0; c < cycles; ++c) {
+        now += 0.25;
+        sm.AdvanceTo(now);
+        for (std::size_t i = 0; i < transfers; ++i) {
+          sm.SetRate(static_cast<workload::JobId>(i + 1),
+                     std::min(16.0, share));
+        }
+        sm.ValidateAssignment();
+        sm.NextCompletion();
+      }
+    }));
+  }
+  {
+    // Begin/Has/Get/End churn against a deep active set: the per-request
+    // bookkeeping cost of the storage index.
+    const std::size_t resident = 256;
+    const std::size_t churn = 8192;
+    out.push_back(TimeComponent("storage_lookup_churn", churn, 3, [&] {
+      storage::StorageModel sm(storage::StorageConfig{250.0, false});
+      for (std::size_t i = 0; i < resident; ++i) {
+        sm.Begin(static_cast<workload::JobId>(i + 1), 512, 16.0, 1e12, 0.0);
+      }
+      workload::JobId next = resident + 1;
+      for (std::size_t c = 0; c < churn; ++c) {
+        workload::JobId probe = static_cast<workload::JobId>(c % resident) + 1;
+        if (!sm.Has(probe)) std::abort();
+        if (sm.Get(probe).nodes != 512) std::abort();
+        sm.Begin(next, 512, 16.0, 1e12, 0.0);
+        sm.Abort(next);
+        ++next;
+      }
+    }));
+  }
+  for (const char* policy_name : {"BASE_LINE", "MAX_UTIL", "ADAPTIVE"}) {
+    auto policy = core::MakePolicy(policy_name);
+    auto active = MakeActiveSet(64);
+    const std::size_t calls = 2048;
+    out.push_back(TimeComponent(
+        std::string("policy_assign_") + policy_name, calls, 3, [&] {
+          for (std::size_t c = 0; c < calls; ++c) {
+            policy->Assign(active, 250.0, 200.0);
+          }
+        }));
+  }
+  {
+    // WFP ordering of a deep wait queue (the batch-scheduler pass cost).
+    const std::size_t depth = 512;
+    util::Rng rng(5);
+    std::vector<workload::Job> jobs(depth);
+    std::vector<const workload::Job*> queue(depth);
+    for (std::size_t i = 0; i < depth; ++i) {
+      jobs[i].id = static_cast<workload::JobId>(i + 1);
+      jobs[i].submit_time = rng.Uniform(0, 1e5);
+      jobs[i].nodes = 512 << rng.UniformInt(0, 5);
+      jobs[i].requested_walltime = rng.Uniform(1800, 86400);
+      queue[i] = &jobs[i];
+    }
+    const std::size_t calls = 2048;
+    out.push_back(TimeComponent("queue_order_wfp", calls, 3, [&] {
+      for (std::size_t c = 0; c < calls; ++c) {
+        sched::OrderQueue(queue, sched::QueueOrder::kWfp, 2e5);
+      }
+    }));
+  }
+  return out;
+}
+
+ReplayResult RunReplay(const char* policy, double days) {
+  driver::Scenario scenario = driver::MakeEvaluationScenario(1, days);
+  core::SimulationConfig config = scenario.config;
+  config.policy = policy;
+  ReplayResult result;
+  result.name = policy;
+  auto t0 = Clock::now();
+  core::SimulationResult sim = core::RunSimulation(config, scenario.jobs);
+  auto t1 = Clock::now();
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.jobs = sim.records.size();
+  result.events = sim.events_processed;
+  result.io_requests = sim.io_requests;
+  result.cycles = sim.io_scheduling_cycles;
+  result.digest = HexDigest(DigestRecords(sim.records));
+  std::printf("replay %-10s %8.2f s  jobs=%zu events=%llu cycles=%llu %s\n",
+              policy, result.seconds, result.jobs,
+              static_cast<unsigned long long>(result.events),
+              static_cast<unsigned long long>(result.cycles),
+              result.digest.c_str());
+  return result;
+}
+
+struct BaselineReplay {
+  std::string name;
+  double seconds = 0.0;
+  std::string digest;
+};
+
+/// Minimal reader for the `replays` entries of a BENCH_core.json we emitted
+/// ourselves: each replay is one line carrying "name", "seconds" and
+/// "digest" keys (comparison lines carry "speedup" instead, and component
+/// lines carry "ns_per_op", so neither can be confused with a replay).
+std::vector<BaselineReplay> ReadBaselineReplays(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::vector<BaselineReplay> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"name\"") == std::string::npos ||
+        line.find("\"seconds\"") == std::string::npos ||
+        line.find("\"digest\"") == std::string::npos ||
+        line.find("\"speedup\"") != std::string::npos) {
+      continue;
+    }
+    BaselineReplay b;
+    auto grab_string = [&line](const char* key) -> std::string {
+      std::size_t k = line.find(key);
+      if (k == std::string::npos) return "";
+      std::size_t start = line.find('"', k + std::strlen(key) + 1);
+      if (start == std::string::npos) return "";
+      std::size_t end = line.find('"', start + 1);
+      if (end == std::string::npos) return "";
+      return line.substr(start + 1, end - start - 1);
+    };
+    b.name = grab_string("\"name\"");
+    b.digest = grab_string("\"digest\"");
+    std::size_t k = line.find("\"seconds\"");
+    if (k != std::string::npos) {
+      b.seconds = std::strtod(line.c_str() + k + std::strlen("\"seconds\":"),
+                              nullptr);
+    }
+    if (!b.name.empty() && !b.digest.empty()) out.push_back(b);
+  }
+  return out;
+}
+
+bool ListContains(const std::string& csv, const std::string& item) {
+  std::stringstream ss(csv);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token == item) return true;
+  }
+  return false;
+}
+
+int RunCoreHarness(const std::string& json_path, const std::string& baseline,
+                   double replay_days, const std::string& allow_changes,
+                   bool skip_components) {
+  std::vector<ComponentResult> components;
+  if (!skip_components) components = RunComponentTimers();
+  std::vector<ReplayResult> replays;
+  for (const char* policy : {"BASE_LINE", "MAX_UTIL", "ADAPTIVE"}) {
+    replays.push_back(RunReplay(policy, replay_days));
+  }
+
+  bool digests_ok = true;
+  std::vector<BaselineReplay> base;
+  double speedup_log_sum = 0.0;
+  int speedup_count = 0;
+  if (!baseline.empty()) {
+    base = ReadBaselineReplays(baseline);
+    for (const ReplayResult& r : replays) {
+      auto it = std::find_if(base.begin(), base.end(),
+                             [&](const BaselineReplay& b) {
+                               return b.name == r.name;
+                             });
+      if (it == base.end()) continue;
+      bool match = it->digest == r.digest;
+      bool allowed = ListContains(allow_changes, r.name);
+      if (!match && !allowed) digests_ok = false;
+      if (it->seconds > 0 && r.seconds > 0) {
+        speedup_log_sum += std::log(it->seconds / r.seconds);
+        ++speedup_count;
+      }
+      std::printf("vs baseline %-10s speedup=%.2fx digest %s%s\n",
+                  r.name.c_str(),
+                  r.seconds > 0 ? it->seconds / r.seconds : 0.0,
+                  match ? "identical" : "CHANGED",
+                  !match && allowed ? " (waived)" : "");
+    }
+  }
+  double speedup_geomean =
+      speedup_count > 0 ? std::exp(speedup_log_sum / speedup_count) : 0.0;
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 2;
+  }
+  out << "{\n";
+  out << "  \"schema\": \"bench-core-v1\",\n";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), "  \"replay_days\": %g,\n", replay_days);
+  out << buf;
+  out << "  \"components\": [\n";
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    const ComponentResult& c = components[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"component\": \"%s\", \"ns_per_op\": %.2f, "
+                  "\"ops\": %llu}%s\n",
+                  c.name.c_str(), c.ns_per_op,
+                  static_cast<unsigned long long>(c.ops),
+                  i + 1 < components.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n";
+  out << "  \"replays\": [\n";
+  for (std::size_t i = 0; i < replays.size(); ++i) {
+    const ReplayResult& r = replays[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"seconds\": %.4f, \"jobs\": %zu, "
+                  "\"events\": %llu, \"io_requests\": %llu, \"cycles\": %llu, "
+                  "\"digest\": \"%s\"}%s\n",
+                  r.name.c_str(), r.seconds, r.jobs,
+                  static_cast<unsigned long long>(r.events),
+                  static_cast<unsigned long long>(r.io_requests),
+                  static_cast<unsigned long long>(r.cycles),
+                  r.digest.c_str(), i + 1 < replays.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]";
+  if (!baseline.empty()) {
+    out << ",\n  \"baseline\": {\n";
+    std::snprintf(buf, sizeof(buf), "    \"path\": \"%s\",\n",
+                  baseline.c_str());
+    out << buf;
+    out << "    \"comparison\": [\n";
+    bool first = true;
+    for (const ReplayResult& r : replays) {
+      auto it = std::find_if(base.begin(), base.end(),
+                             [&](const BaselineReplay& b) {
+                               return b.name == r.name;
+                             });
+      if (it == base.end()) continue;
+      if (!first) out << ",\n";
+      first = false;
+      std::snprintf(buf, sizeof(buf),
+                    "      {\"name\": \"%s\", \"baseline_seconds\": %.4f, "
+                    "\"speedup\": %.3f, \"digest_match\": %s, "
+                    "\"digest_change_allowed\": %s}",
+                    r.name.c_str(), it->seconds,
+                    r.seconds > 0 ? it->seconds / r.seconds : 0.0,
+                    it->digest == r.digest ? "true" : "false",
+                    ListContains(allow_changes, r.name) ? "true" : "false");
+      out << buf;
+    }
+    out << "\n    ],\n";
+    std::snprintf(buf, sizeof(buf), "    \"speedup_geomean\": %.3f,\n",
+                  speedup_geomean);
+    out << buf;
+    std::snprintf(buf, sizeof(buf), "    \"digests_ok\": %s\n",
+                  digests_ok ? "true" : "false");
+    out << buf;
+    out << "  }";
+  }
+  out << "\n}\n";
+  std::printf("wrote %s%s\n", json_path.c_str(),
+              digests_ok ? "" : " (DIGEST MISMATCH)");
+  return digests_ok ? 0 : 1;
+}
+
+/// Pull `--flag=value` out of argv; returns true (and strips it) on match.
+bool TakeFlag(int& argc, char** argv, const char* flag, std::string* value) {
+  std::string prefix = std::string(flag) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      *value = argv[i] + prefix.size();
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string baseline;
+  std::string days_str;
+  std::string allow_changes;
+  std::string skip_components;
+  TakeFlag(argc, argv, "--core-json", &json_path);
+  TakeFlag(argc, argv, "--baseline", &baseline);
+  TakeFlag(argc, argv, "--replay-days", &days_str);
+  TakeFlag(argc, argv, "--allow-digest-change", &allow_changes);
+  // --skip-components=1: replays only (fast CI runs, clean profiles).
+  TakeFlag(argc, argv, "--skip-components", &skip_components);
+  if (!json_path.empty()) {
+    double days = days_str.empty() ? 30.0 : std::strtod(days_str.c_str(),
+                                                        nullptr);
+    if (days <= 0) {
+      std::fprintf(stderr, "bad --replay-days\n");
+      return 2;
+    }
+    return RunCoreHarness(json_path, baseline, days, allow_changes,
+                          skip_components == "1");
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,9 +1,9 @@
 #include "core/adaptive_policy.h"
 
 #include <algorithm>
-#include <numeric>
 #include <vector>
 
+#include "storage/storage_model.h"
 #include "util/units.h"
 
 namespace iosched::core {
@@ -13,17 +13,17 @@ const std::string& AdaptivePolicy::name() const {
   return kName;
 }
 
-sim::SimTime EarliestStartIfDeferred(std::span<const IoJobView> active,
-                                     std::span<const std::uint8_t> admitted,
-                                     std::span<const double> rates,
-                                     std::size_t candidate,
-                                     double max_bandwidth_gbps,
-                                     sim::SimTime now) {
+namespace {
+sim::SimTime EarliestStartImpl(
+    std::span<const IoJobView> active, std::span<const std::uint8_t> admitted,
+    std::span<const double> rates, std::size_t candidate,
+    double max_bandwidth_gbps, sim::SimTime now,
+    std::vector<std::pair<sim::SimTime, double>>& releases) {
   double needed = std::min(active[candidate].full_rate_gbps,
                            max_bandwidth_gbps);
   double busy = 0.0;
   // (finish_time, released_bandwidth) for each admitted transfer.
-  std::vector<std::pair<sim::SimTime, double>> releases;
+  releases.clear();
   for (std::size_t i = 0; i < active.size(); ++i) {
     if (!admitted[i] || i == candidate) continue;
     busy += rates[i];
@@ -42,6 +42,18 @@ sim::SimTime EarliestStartIfDeferred(std::span<const IoJobView> active,
   // Even with everything released the demand is capped at BWmax, so this is
   // only reachable when there are no releases at all.
   return now;
+}
+}  // namespace
+
+sim::SimTime EarliestStartIfDeferred(std::span<const IoJobView> active,
+                                     std::span<const std::uint8_t> admitted,
+                                     std::span<const double> rates,
+                                     std::size_t candidate,
+                                     double max_bandwidth_gbps,
+                                     sim::SimTime now) {
+  std::vector<std::pair<sim::SimTime, double>> releases;
+  return EarliestStartImpl(active, admitted, rates, candidate,
+                           max_bandwidth_gbps, now, releases);
 }
 
 namespace {
@@ -67,27 +79,39 @@ double MeanCompletionSeconds(std::span<const IoJobView> active,
   return count ? total / static_cast<double>(count) : 0.0;
 }
 
-/// Per-node fair share over the admitted set (paper's congestion model).
+/// Reusable buffers for gathering the admitted subset before water-filling.
+struct FairShareScratch {
+  std::vector<std::size_t> idx;
+  std::vector<double> demands;
+  std::vector<int> nodes;
+  std::vector<double> shares;
+};
+
+/// Fair share of BWmax over the admitted set (paper's congestion model):
+/// proportional to node counts, water-filling slack from demand-capped jobs
+/// back into the pool (storage::WaterFillRates) so no bandwidth is
+/// stranded.
 void FairShare(std::span<const IoJobView> active,
-               std::span<const std::uint8_t> admitted, double max_bandwidth_gbps,
-               std::span<double> rates_out) {
-  long long total_nodes = 0;
-  double total_demand = 0.0;
+               std::span<const std::uint8_t> admitted,
+               double max_bandwidth_gbps, std::span<double> rates_out,
+               FairShareScratch& scratch) {
+  scratch.idx.clear();
+  scratch.demands.clear();
+  scratch.nodes.clear();
   for (std::size_t i = 0; i < active.size(); ++i) {
-    if (!admitted[i]) continue;
-    total_nodes += active[i].nodes;
-    total_demand += active[i].full_rate_gbps;
-  }
-  for (std::size_t i = 0; i < active.size(); ++i) {
-    if (!admitted[i]) {
-      rates_out[i] = 0.0;
-    } else if (total_demand <= max_bandwidth_gbps || total_nodes == 0) {
-      rates_out[i] = active[i].full_rate_gbps;
+    if (admitted[i]) {
+      scratch.idx.push_back(i);
+      scratch.demands.push_back(active[i].full_rate_gbps);
+      scratch.nodes.push_back(active[i].nodes);
     } else {
-      double per_node = max_bandwidth_gbps / static_cast<double>(total_nodes);
-      rates_out[i] = std::min(active[i].full_rate_gbps,
-                              per_node * active[i].nodes);
+      rates_out[i] = 0.0;
     }
+  }
+  scratch.shares.resize(scratch.idx.size());
+  storage::WaterFillRates(scratch.demands, scratch.nodes, max_bandwidth_gbps,
+                          scratch.shares);
+  for (std::size_t k = 0; k < scratch.idx.size(); ++k) {
+    rates_out[scratch.idx[k]] = scratch.shares[k];
   }
 }
 }  // namespace
@@ -101,62 +125,102 @@ std::vector<RateGrant> AdaptivePolicy::Assign(
   }
   if (active.empty()) return grants;
 
-  // Line 2: FCFS priority by current request start time.
-  std::vector<std::size_t> priority(active.size());
-  std::iota(priority.begin(), priority.end(), 0);
+  // Line 2: FCFS priority by current request start time. Sort cached
+  // (arrival, id) keys instead of indices into the wide view records.
+  struct Ranked {
+    sim::SimTime arrival;
+    workload::JobId id;
+    std::size_t idx;
+  };
+  // All per-cycle temporaries below are thread_local scratch: Assign runs
+  // every scheduling cycle (and the driver's sweeps call policies from pool
+  // threads), and the dozen short-lived vectors dominated its allocation
+  // profile.
+  thread_local std::vector<Ranked> priority;
+  priority.clear();
+  priority.reserve(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    priority.push_back({active[i].request_arrival, active[i].id, i});
+  }
   std::sort(priority.begin(), priority.end(),
-            [&](std::size_t a, std::size_t b) {
-              if (active[a].request_arrival != active[b].request_arrival) {
-                return active[a].request_arrival < active[b].request_arrival;
-              }
-              return active[a].id < active[b].id;
+            [](const Ranked& a, const Ranked& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              return a.id < b.id;
             });
 
-  std::vector<std::uint8_t> admitted(active.size(), 0);
-  std::vector<double> rates(active.size(), 0.0);
+  thread_local std::vector<std::uint8_t> admitted;
+  admitted.assign(active.size(), 0);
+  thread_local std::vector<double> rates;
+  rates.assign(active.size(), 0.0);
   double available = max_bandwidth_gbps;
-  bool overflowed = false;  // once true, BWavail is pinned to 0
+  bool overflowed = false;     // once true, BWavail is pinned to 0
+  std::size_t admitted_count = 0;
 
-  for (std::size_t i : priority) {
+  thread_local FairShareScratch scratch;
+  thread_local std::vector<std::pair<sim::SimTime, double>> releases;
+  thread_local std::vector<std::uint8_t> with;
+  with.resize(active.size());
+  thread_local std::vector<double> extra_delay;
+  extra_delay.resize(active.size());
+  thread_local std::vector<double> fcfs_rates;
+  fcfs_rates.resize(active.size());
+  thread_local std::vector<double> shared_rates;
+  shared_rates.resize(active.size());
+
+  // The fair shares are a pure function of the admitted set, so a run of
+  // consecutive admissions only needs one recomputation at the next point
+  // the rates are actually read (the deferral comparison, or the final
+  // grant fill). The values are identical to eager recomputation.
+  bool rates_dirty = false;
+  auto refresh_rates = [&] {
+    if (rates_dirty) {
+      FairShare(active, admitted, max_bandwidth_gbps, rates, scratch);
+      rates_dirty = false;
+    }
+  };
+
+  for (const Ranked& r : priority) {
+    const std::size_t i = r.idx;
     // Solo-saturating jobs (b*N_i > BWmax) count as BWmax so they are
     // admitted when they head the FCFS order instead of starving.
     double demand = std::min(active[i].full_rate_gbps, max_bandwidth_gbps);
     if (!overflowed && demand <= available) {
       // Lines 7-9: plain FCFS admission.
       admitted[i] = 1;
+      ++admitted_count;
       available -= demand;
-      FairShare(active, admitted, max_bandwidth_gbps, rates);
+      rates_dirty = true;
       continue;
     }
-    if (std::none_of(admitted.begin(), admitted.end(),
-                     [](std::uint8_t a) { return a != 0; })) {
+    if (admitted_count == 0) {
       // Nothing admitted yet and the first job alone exceeds BWmax: admit
       // capped (same starvation guard as the conservative family).
       admitted[i] = 1;
+      ++admitted_count;
       overflowed = true;
-      FairShare(active, admitted, max_bandwidth_gbps, rates);
+      rates_dirty = true;
       continue;
     }
 
     // Lines 11-13: compare deferring J_i vs letting it compete.
-    sim::SimTime start_if_deferred = EarliestStartIfDeferred(
-        active, admitted, rates, i, max_bandwidth_gbps, now);
+    refresh_rates();
+    sim::SimTime start_if_deferred = EarliestStartImpl(
+        active, admitted, rates, i, max_bandwidth_gbps, now, releases);
 
-    std::vector<std::uint8_t> with(admitted.begin(), admitted.end());
+    std::copy(admitted.begin(), admitted.end(), with.begin());
     with[i] = 1;
-    std::vector<double> extra_delay(active.size(), 0.0);
+    std::fill(extra_delay.begin(), extra_delay.end(), 0.0);
 
     // T_FCFS: admitted jobs keep their current rates; J_i starts at
     // `start_if_deferred` and then runs at min(full, BWmax).
-    std::vector<double> fcfs_rates(rates.begin(), rates.end());
+    std::copy(rates.begin(), rates.end(), fcfs_rates.begin());
     fcfs_rates[i] = std::min(demand, max_bandwidth_gbps);
     extra_delay[i] = start_if_deferred - now;
     double t_fcfs =
         MeanCompletionSeconds(active, with, fcfs_rates, extra_delay);
 
     // T_Adaptive: the enlarged set fair-shares BWmax immediately.
-    std::vector<double> shared_rates(active.size(), 0.0);
-    FairShare(active, with, max_bandwidth_gbps, shared_rates);
+    FairShare(active, with, max_bandwidth_gbps, shared_rates, scratch);
     extra_delay[i] = 0.0;
     double t_adaptive =
         MeanCompletionSeconds(active, with, shared_rates, extra_delay);
@@ -164,11 +228,13 @@ std::vector<RateGrant> AdaptivePolicy::Assign(
     if (t_adaptive < t_fcfs) {
       // Line 15-16: admit and compete; bandwidth budget is exhausted.
       admitted[i] = 1;
+      ++admitted_count;
       overflowed = true;
-      FairShare(active, admitted, max_bandwidth_gbps, rates);
+      rates_dirty = true;
     }
   }
 
+  refresh_rates();
   for (std::size_t i = 0; i < active.size(); ++i) {
     grants[i].rate_gbps = rates[i];
   }

@@ -30,79 +30,83 @@ const std::string& ConservativePolicy::name() const { return name_; }
 std::vector<std::size_t> ConservativePriorityOrder(
     std::span<const IoJobView> active, ConservativeOrder order,
     sim::SimTime now) {
-  std::vector<std::size_t> idx(active.size());
-  std::iota(idx.begin(), idx.end(), 0);
+  // Every ordering sorts a contiguous array of precomputed keys — the
+  // comparators never touch the (much wider) IoJobView records, and keys
+  // are evaluated once per element instead of once per comparison.
+  struct Ranked {
+    double key;
+    sim::SimTime arrival;
+    workload::JobId id;
+    std::size_t idx;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    ranked.push_back({0.0, active[i].request_arrival, active[i].id, i});
+  }
 
-  auto fcfs_less = [&](std::size_t a, std::size_t b) {
-    if (active[a].request_arrival != active[b].request_arrival) {
-      return active[a].request_arrival < active[b].request_arrival;
-    }
-    return active[a].id < active[b].id;
+  auto fcfs_less = [](const Ranked& a, const Ranked& b) {
+    if (a.arrival != b.arrival) return a.arrival < b.arrival;
+    return a.id < b.id;
+  };
+  auto sort_key_desc = [&] {
+    std::sort(ranked.begin(), ranked.end(),
+              [&](const Ranked& a, const Ranked& b) {
+                if (a.key != b.key) return a.key > b.key;
+                return fcfs_less(a, b);
+              });
   };
 
   switch (order) {
     case ConservativeOrder::kFcfs:
     case ConservativeOrder::kMaxUtil:
-      std::sort(idx.begin(), idx.end(), fcfs_less);
+      std::sort(ranked.begin(), ranked.end(), fcfs_less);
       break;
-    case ConservativeOrder::kMinInstSld: {
+    case ConservativeOrder::kMinInstSld:
       // To *minimize* slowdown, serve the currently most-slowed-down
       // request first. A suspended request's InstSld grows with its waiting
       // time, so this degenerates to FCFS among starved requests — the
       // paper notes MinInstSld "is close to Cons-FCFS".
-      std::vector<double> key(active.size());
       for (std::size_t i = 0; i < active.size(); ++i) {
-        key[i] = InstantSlowdown(active[i], now);
+        ranked[i].key = InstantSlowdown(active[i], now);
       }
-      std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
-        if (key[a] != key[b]) return key[a] > key[b];
-        return fcfs_less(a, b);
-      });
+      sort_key_desc();
       break;
-    }
-    case ConservativeOrder::kMinAggrSld: {
+    case ConservativeOrder::kMinAggrSld:
       // Most-delayed job (whole-lifetime view) first, so a job that was
       // squeezed earlier catches up instead of compounding its delay.
-      std::vector<double> key(active.size());
       for (std::size_t i = 0; i < active.size(); ++i) {
-        key[i] = AggregateSlowdown(active[i], now);
+        ranked[i].key = AggregateSlowdown(active[i], now);
       }
-      std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
-        if (key[a] != key[b]) return key[a] > key[b];
-        return fcfs_less(a, b);
-      });
+      sort_key_desc();
       break;
-    }
-    case ConservativeOrder::kShortestFirst: {
+    case ConservativeOrder::kShortestFirst:
       // Smallest remaining full-rate transfer time first.
-      std::vector<double> key(active.size());
       for (std::size_t i = 0; i < active.size(); ++i) {
-        key[i] = active[i].RemainingGb() /
-                 std::max(active[i].full_rate_gbps, 1e-12);
+        ranked[i].key = active[i].RemainingGb() /
+                        std::max(active[i].full_rate_gbps, 1e-12);
       }
-      std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
-        if (key[a] != key[b]) return key[a] < key[b];
-        return fcfs_less(a, b);
-      });
+      std::sort(ranked.begin(), ranked.end(),
+                [&](const Ranked& a, const Ranked& b) {
+                  if (a.key != b.key) return a.key < b.key;
+                  return fcfs_less(a, b);
+                });
       break;
-    }
-    case ConservativeOrder::kSmithRule: {
+    case ConservativeOrder::kSmithRule:
       // Highest nodes-per-remaining-second first: Smith's rule with weight
       // N_i, so the storage channel releases blocked node-seconds fastest.
-      std::vector<double> key(active.size());
       for (std::size_t i = 0; i < active.size(); ++i) {
         double remaining_seconds = active[i].RemainingGb() /
                                    std::max(active[i].full_rate_gbps, 1e-12);
-        key[i] = static_cast<double>(active[i].nodes) /
-                 std::max(remaining_seconds, 1e-9);
+        ranked[i].key = static_cast<double>(active[i].nodes) /
+                        std::max(remaining_seconds, 1e-9);
       }
-      std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
-        if (key[a] != key[b]) return key[a] > key[b];
-        return fcfs_less(a, b);
-      });
+      sort_key_desc();
       break;
-    }
   }
+
+  std::vector<std::size_t> idx(active.size());
+  for (std::size_t i = 0; i < ranked.size(); ++i) idx[i] = ranked[i].idx;
   return idx;
 }
 

@@ -13,6 +13,31 @@ void ValidateGrants(std::span<const IoJobView> active,
   if (active.size() != grants.size()) {
     throw std::logic_error("ValidateGrants: grant count mismatch");
   }
+  // Fast path: every in-tree policy emits grants[i] for active[i], so the
+  // common case validates positionally with no id map. Fall back to the
+  // order-insensitive check only when the alignment doesn't hold.
+  bool aligned = true;
+  for (std::size_t i = 0; i < grants.size(); ++i) {
+    if (grants[i].id != active[i].id) {
+      aligned = false;
+      break;
+    }
+  }
+  if (aligned) {
+    for (std::size_t i = 0; i < grants.size(); ++i) {
+      if (grants[i].rate_gbps < 0) {
+        throw std::logic_error("ValidateGrants: negative rate for job " +
+                               std::to_string(grants[i].id));
+      }
+      if (grants[i].rate_gbps >
+          util::MaxGrantableRate(active[i].full_rate_gbps)) {
+        throw std::logic_error("ValidateGrants: job " +
+                               std::to_string(grants[i].id) +
+                               " granted above its full rate");
+      }
+    }
+    return;
+  }
   std::unordered_map<workload::JobId, double> by_id;
   by_id.reserve(grants.size());
   for (const RateGrant& g : grants) {
@@ -31,7 +56,7 @@ void ValidateGrants(std::span<const IoJobView> active,
       throw std::logic_error("ValidateGrants: missing grant for job " +
                              std::to_string(v.id));
     }
-    if (it->second > v.full_rate_gbps * (1.0 + 1e-9) + util::kVolumeEpsilon) {
+    if (it->second > util::MaxGrantableRate(v.full_rate_gbps)) {
       throw std::logic_error("ValidateGrants: job " + std::to_string(v.id) +
                              " granted above its full rate");
     }

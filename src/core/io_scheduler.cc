@@ -109,9 +109,15 @@ void IoScheduler::AbortRequest(workload::JobId id, sim::SimTime now) {
 std::vector<IoJobView> IoScheduler::BuildViews(sim::SimTime now) const {
   (void)now;
   std::vector<IoJobView> views;
-  auto active = storage_.ActiveByArrival();
-  views.reserve(active.size());
-  for (const storage::Transfer* t : active) {
+  FillViews(views);
+  return views;
+}
+
+void IoScheduler::FillViews(std::vector<IoJobView>& views) const {
+  views.clear();
+  storage_.ActiveByArrival(active_scratch_);
+  views.reserve(active_scratch_.size());
+  for (const storage::Transfer* t : active_scratch_) {
     auto it = jobs_.find(t->job_id);
     if (it == jobs_.end()) {
       throw std::logic_error("IoScheduler: transfer for unregistered job " +
@@ -130,7 +136,6 @@ std::vector<IoJobView> IoScheduler::BuildViews(sim::SimTime now) const {
     v.completed_io_seconds = ctx.completed_io_seconds;
     views.push_back(v);
   }
-  return views;
 }
 
 void IoScheduler::Reschedule(sim::SimTime now) {
@@ -162,7 +167,8 @@ void IoScheduler::Reschedule(sim::SimTime now) {
     }
   }
 
-  std::vector<IoJobView> views = BuildViews(now);
+  FillViews(views_scratch_);
+  const std::vector<IoJobView>& views = views_scratch_;
   std::vector<RateGrant> grants = policy_->Assign(views, usable_bandwidth, now);
   ValidateGrants(views, grants);
   for (const RateGrant& g : grants) {
@@ -203,15 +209,17 @@ void IoScheduler::OnCompletionEvent() {
 
   // Collect every transfer that is complete at this instant (rate changes
   // can align several completions on one timestamp).
-  std::vector<workload::JobId> done;
-  for (const storage::Transfer* t : storage_.ActiveByArrival()) {
+  std::vector<workload::JobId>& done = done_scratch_;
+  done.clear();
+  storage_.ActiveByArrival(active_scratch_);
+  for (const storage::Transfer* t : active_scratch_) {
     if (t->Complete()) done.push_back(t->job_id);
   }
   if (done.empty()) {
     // Float round-off left a sliver. If a transfer would finish within the
     // clock's resolution anyway, write the sliver off — re-arming an event
     // at an unrepresentable future instant would spin forever.
-    for (const storage::Transfer* t : storage_.ActiveByArrival()) {
+    for (const storage::Transfer* t : active_scratch_) {
       if (t->rate_gbps > 0 &&
           t->RemainingGb() <= t->rate_gbps * 1e-4) {
         storage_.ForceComplete(t->job_id, t->rate_gbps * 1e-4);
@@ -225,10 +233,11 @@ void IoScheduler::OnCompletionEvent() {
     return;
   }
   for (workload::JobId id : done) {
-    auto it = jobs_.find(id);
-    const storage::Transfer& t = storage_.Get(id);
-    it->second.completed_io_seconds += t.volume_gb / t.full_rate_gbps;
-    storage_.End(id);
+    // End returns the removed transfer, so accounting and teardown share
+    // one index lookup.
+    storage::Transfer t = storage_.End(id);
+    jobs_.find(id)->second.completed_io_seconds +=
+        t.volume_gb / t.full_rate_gbps;
   }
   Reschedule(now);
   // Notify after rates are re-assigned so callbacks observing the storage

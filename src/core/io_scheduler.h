@@ -103,6 +103,9 @@ class IoScheduler {
   /// reschedule the completion event.
   void Reschedule(sim::SimTime now);
 
+  /// Refill `views` (cleared first) with the policy view of the active set.
+  void FillViews(std::vector<IoJobView>& views) const;
+
   /// Completion event handler: finish every complete transfer, then cycle.
   void OnCompletionEvent();
 
@@ -123,6 +126,11 @@ class IoScheduler {
   std::unordered_map<workload::JobId, sim::EventId> absorbed_events_;
   metrics::BandwidthTracker* bandwidth_tracker_ = nullptr;
   storage::BurstBuffer* burst_buffer_ = nullptr;
+  /// Cycle-scratch buffers (capacity reused across the ~1 cycle per event
+  /// of a month-long replay; cleared each use).
+  mutable std::vector<const storage::Transfer*> active_scratch_;
+  std::vector<IoJobView> views_scratch_;
+  std::vector<workload::JobId> done_scratch_;
 };
 
 }  // namespace iosched::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <numeric>
 #include <stdexcept>
 
 namespace iosched::core {
@@ -17,8 +19,11 @@ KnapsackSolution SolveKnapsack01(std::span<const KnapsackItem> items,
   auto cap_units = static_cast<std::size_t>(std::floor(capacity / unit));
   if (cap_units == 0) return solution;
 
-  // Discretised weights, rounded up (feasibility preserved).
-  std::vector<std::size_t> w(items.size());
+  // Discretised weights, rounded up (feasibility preserved). Thread-local
+  // scratch: the solver runs every congested Cons-MaxUtil cycle, and the
+  // driver's sweeps call policies from pool threads.
+  thread_local std::vector<std::size_t> w;
+  w.resize(items.size());
   for (std::size_t i = 0; i < items.size(); ++i) {
     if (items[i].weight < 0 || items[i].value < 0) {
       throw std::invalid_argument("SolveKnapsack01: negative item");
@@ -27,19 +32,50 @@ KnapsackSolution SolveKnapsack01(std::span<const KnapsackItem> items,
     if (w[i] == 0 && items[i].weight > 0) w[i] = 1;
   }
 
-  // DP over capacity with per-item take bits for reconstruction.
+  // Fast path: when every item fits individually and collectively (in the
+  // same discretised units the DP would use) and all values are positive,
+  // taking everything is the unique DP optimum — skip the table entirely.
+  // This is the common uncongested case for Cons-MaxUtil, where the active
+  // set's total demand is usually below BWmax. Accumulate value/weight in
+  // the DP's reconstruction order (descending index) so the float sums are
+  // bit-identical to the slow path's.
+  bool all_fit = true;
+  std::size_t total_w = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (w[i] > cap_units || items[i].value <= 0) {
+      all_fit = false;
+      break;
+    }
+    total_w += w[i];
+  }
+  if (all_fit && total_w <= cap_units) {
+    solution.selected.resize(items.size());
+    std::iota(solution.selected.begin(), solution.selected.end(),
+              std::size_t{0});
+    for (std::size_t i = items.size(); i-- > 0;) {
+      solution.total_value += items[i].value;
+      solution.total_weight += items[i].weight;
+    }
+    return solution;
+  }
+
+  // DP over capacity with per-item take bits for reconstruction. The take
+  // matrix is a single flat allocation (items x cols), not a
+  // vector-of-vector<bool> — this solver runs every congested cycle.
   const std::size_t cols = cap_units + 1;
-  std::vector<double> best(cols, 0.0);
-  std::vector<std::vector<bool>> take(items.size(),
-                                      std::vector<bool>(cols, false));
+  thread_local std::vector<double> best;
+  best.assign(cols, 0.0);
+  thread_local std::vector<std::uint8_t> take;
+  take.assign(items.size() * cols, 0);
   for (std::size_t i = 0; i < items.size(); ++i) {
     if (w[i] > cap_units) continue;
+    std::uint8_t* take_row = take.data() + i * cols;
     // Iterate capacity downwards: classic 0/1 in-place update.
     for (std::size_t c = cap_units; c + 1 > w[i]; --c) {
       double candidate = best[c - w[i]] + items[i].value;
       if (candidate > best[c]) {
         best[c] = candidate;
-        take[i][c] = true;
+        take_row[c] = 1;
       }
       if (c == 0) break;  // unsigned guard (w[i]==0 case)
     }
@@ -48,7 +84,7 @@ KnapsackSolution SolveKnapsack01(std::span<const KnapsackItem> items,
   // Reconstruct from the full-capacity cell.
   std::size_t c = cap_units;
   for (std::size_t i = items.size(); i-- > 0;) {
-    if (w[i] <= c && take[i][c]) {
+    if (w[i] <= c && take[i * cols + c]) {
       solution.selected.push_back(i);
       solution.total_value += items[i].value;
       solution.total_weight += items[i].weight;

@@ -4,6 +4,20 @@
 
 namespace iosched::machine {
 
+namespace {
+/// Bits [lo, hi) of a 64-bit word, 0 <= lo < hi <= 64.
+std::uint64_t WordMask(int lo, int hi) {
+  std::uint64_t m = ~std::uint64_t{0} >> (64 - (hi - lo));
+  return m << lo;
+}
+
+bool TestBit(const std::vector<std::uint64_t>& words, int bit) {
+  return (words[static_cast<std::size_t>(bit >> 6)] >>
+          (static_cast<unsigned>(bit) & 63u)) &
+         1u;
+}
+}  // namespace
+
 MachineConfig MachineConfig::Mira() { return MachineConfig{}; }
 
 MachineConfig MachineConfig::Intrepid() {
@@ -24,8 +38,10 @@ MachineConfig MachineConfig::Small() {
 
 Machine::Machine(MachineConfig config)
     : config_(config),
-      occupied_(static_cast<std::size_t>(config.total_midplanes()), false),
-      faulted_(static_cast<std::size_t>(config.total_midplanes()), false) {
+      occupied_words_(
+          static_cast<std::size_t>((config.total_midplanes() + 63) / 64), 0),
+      faulted_words_(
+          static_cast<std::size_t>((config.total_midplanes() + 63) / 64), 0) {
   if (config_.nodes_per_midplane <= 0 || config_.midplanes_per_row <= 0 ||
       config_.rows <= 0) {
     throw std::invalid_argument("Machine: non-positive geometry");
@@ -59,11 +75,15 @@ std::optional<int> Machine::BlockNodesFor(int requested_nodes) const {
 }
 
 bool Machine::RunFree(int start, int count) const {
-  for (int i = start; i < start + count; ++i) {
-    if (occupied_[static_cast<std::size_t>(i)] ||
-        faulted_[static_cast<std::size_t>(i)]) {
-      return false;
-    }
+  int end = start + count;
+  int w_first = start >> 6;
+  int w_last = (end - 1) >> 6;
+  for (int w = w_first; w <= w_last; ++w) {
+    int lo = (w == w_first) ? (start & 63) : 0;
+    int hi = (w == w_last) ? (end - (w << 6)) : 64;
+    std::uint64_t mask = WordMask(lo, hi);
+    auto i = static_cast<std::size_t>(w);
+    if ((occupied_words_[i] | faulted_words_[i]) & mask) return false;
   }
   return true;
 }
@@ -72,9 +92,9 @@ void Machine::SetFaulted(int midplane, bool faulted) {
   if (midplane < 0 || midplane >= config_.total_midplanes()) {
     throw std::invalid_argument("Machine::SetFaulted: bad midplane index");
   }
-  auto i = static_cast<std::size_t>(midplane);
-  if (faulted_[i] == faulted) return;
-  faulted_[i] = faulted;
+  if (TestBit(faulted_words_, midplane) == faulted) return;
+  faulted_words_[static_cast<std::size_t>(midplane >> 6)] ^=
+      std::uint64_t{1} << (static_cast<unsigned>(midplane) & 63u);
   faulted_count_ += faulted ? 1 : -1;
 }
 
@@ -82,7 +102,7 @@ bool Machine::IsFaulted(int midplane) const {
   if (midplane < 0 || midplane >= config_.total_midplanes()) {
     throw std::invalid_argument("Machine::IsFaulted: bad midplane index");
   }
-  return faulted_[static_cast<std::size_t>(midplane)];
+  return TestBit(faulted_words_, midplane);
 }
 
 int Machine::FindFreeRun(int midplanes) const {
@@ -117,8 +137,13 @@ std::optional<Partition> Machine::Allocate(int requested_nodes) {
   if (mps < 0) return std::nullopt;
   int start = FindFreeRun(mps);
   if (start < 0) return std::nullopt;
-  for (int i = start; i < start + mps; ++i) {
-    occupied_[static_cast<std::size_t>(i)] = true;
+  int end = start + mps;
+  int w_first = start >> 6;
+  int w_last = (end - 1) >> 6;
+  for (int w = w_first; w <= w_last; ++w) {
+    int lo = (w == w_first) ? (start & 63) : 0;
+    int hi = (w == w_last) ? (end - (w << 6)) : 64;
+    occupied_words_[static_cast<std::size_t>(w)] |= WordMask(lo, hi);
   }
   busy_midplanes_ += mps;
   busy_nodes_ += mps * config_.nodes_per_midplane;
@@ -131,15 +156,35 @@ void Machine::Release(const Partition& partition) {
           config_.total_midplanes()) {
     throw std::invalid_argument("Machine::Release: bogus partition");
   }
-  for (int i = partition.first_midplane;
-       i < partition.first_midplane + partition.midplane_count; ++i) {
-    if (!occupied_[static_cast<std::size_t>(i)]) {
+  int start = partition.first_midplane;
+  int end = start + partition.midplane_count;
+  int w_first = start >> 6;
+  int w_last = (end - 1) >> 6;
+  // Verify the whole range is occupied before clearing any of it, so a
+  // double release never leaves the bitmap half-mutated.
+  for (int w = w_first; w <= w_last; ++w) {
+    int lo = (w == w_first) ? (start & 63) : 0;
+    int hi = (w == w_last) ? (end - (w << 6)) : 64;
+    std::uint64_t mask = WordMask(lo, hi);
+    if ((occupied_words_[static_cast<std::size_t>(w)] & mask) != mask) {
       throw std::logic_error("Machine::Release: midplane already free");
     }
-    occupied_[static_cast<std::size_t>(i)] = false;
+  }
+  for (int w = w_first; w <= w_last; ++w) {
+    int lo = (w == w_first) ? (start & 63) : 0;
+    int hi = (w == w_last) ? (end - (w << 6)) : 64;
+    occupied_words_[static_cast<std::size_t>(w)] &= ~WordMask(lo, hi);
   }
   busy_midplanes_ -= partition.midplane_count;
   busy_nodes_ -= partition.nodes;
+}
+
+std::vector<bool> Machine::occupancy() const {
+  std::vector<bool> out(static_cast<std::size_t>(config_.total_midplanes()));
+  for (int i = 0; i < config_.total_midplanes(); ++i) {
+    out[static_cast<std::size_t>(i)] = TestBit(occupied_words_, i);
+  }
+  return out;
 }
 
 }  // namespace iosched::machine

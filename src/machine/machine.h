@@ -97,7 +97,8 @@ class Machine {
   }
 
   /// Occupancy bitmap (one flag per midplane), for tests and visualization.
-  const std::vector<bool>& occupancy() const { return occupied_; }
+  /// Materialized from the packed word representation on each call.
+  std::vector<bool> occupancy() const;
 
  private:
   /// Midplane count of the block serving `requested_nodes` (1,2,4,...,row,
@@ -109,8 +110,11 @@ class Machine {
   bool RunFree(int start, int count) const;
 
   MachineConfig config_;
-  std::vector<bool> occupied_;
-  std::vector<bool> faulted_;
+  // Occupancy and fault state are packed 64 midplanes per word so the
+  // allocator's free-run probes (the hottest loop in backfill planning) are
+  // a couple of masked word tests instead of per-midplane flag reads.
+  std::vector<std::uint64_t> occupied_words_;
+  std::vector<std::uint64_t> faulted_words_;
   int busy_nodes_ = 0;
   int busy_midplanes_ = 0;
   int faulted_count_ = 0;

@@ -1,6 +1,7 @@
 #include "sched/batch_scheduler.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -26,8 +27,7 @@ void BatchScheduler::Submit(const workload::Job& job) {
 
 sim::SimTime BatchScheduler::ShadowTime(const workload::Job& head,
                                         sim::SimTime now) const {
-  machine::Machine scratch = machine_;
-  if (scratch.CanAllocate(head.nodes)) return now;
+  if (machine_.CanAllocate(head.nodes)) return now;
 
   // Release running partitions in predicted-end order until the head fits.
   std::vector<const RunningJob*> by_end;
@@ -40,21 +40,39 @@ sim::SimTime BatchScheduler::ShadowTime(const workload::Job& head,
               if (ea != eb) return ea < eb;
               return a->job->id < b->job->id;
             });
-  for (const RunningJob* rj : by_end) {
-    scratch.Release(rj->partition);
-    if (scratch.CanAllocate(head.nodes)) {
-      // A job that overran its estimate is treated as ending "now": the
-      // real Cobalt would see the same stale estimate.
-      return std::max(rj->predicted_end, now);
+  // Fitting is monotone in the released prefix (releases only free space),
+  // so binary-search the smallest prefix whose release lets the head in.
+  // Releases are a few word-ops each; the allocator probe (CanAllocate)
+  // scans the whole machine, so probing O(log R) prefixes instead of every
+  // one is the win. The result is identical to the linear scan's.
+  auto fits_after = [&](std::size_t prefix) {
+    machine::Machine scratch = machine_;
+    for (std::size_t k = 0; k < prefix; ++k) {
+      scratch.Release(by_end[k]->partition);
+    }
+    return scratch.CanAllocate(head.nodes);
+  };
+  std::size_t lo = 1, hi = by_end.size();
+  if (hi == 0 || !fits_after(hi)) {
+    // With everything released the head must fit (size was validated at
+    // submit); fall back to the latest predicted end.
+    sim::SimTime latest = now;
+    for (const RunningJob* rj : by_end) {
+      latest = std::max(latest, rj->predicted_end);
+    }
+    return latest;
+  }
+  while (lo < hi) {
+    std::size_t mid = lo + (hi - lo) / 2;
+    if (fits_after(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
     }
   }
-  // With everything released the head must fit (size was validated at
-  // submit); fall back to the latest predicted end.
-  sim::SimTime latest = now;
-  for (const RunningJob* rj : by_end) {
-    latest = std::max(latest, rj->predicted_end);
-  }
-  return latest;
+  // A job that overran its estimate is treated as ending "now": the real
+  // Cobalt would see the same stale estimate.
+  return std::max(by_end[lo - 1]->predicted_end, now);
 }
 
 bool BatchScheduler::BackfillOk(const workload::Job& candidate,
@@ -100,6 +118,13 @@ std::vector<StartDecision> BatchScheduler::Schedule(sim::SimTime now) {
 
   const workload::Job* blocked_head = nullptr;
   sim::SimTime shadow = 0.0;
+  // Smallest block size (in nodes) that failed to allocate during this
+  // pass. Aligned blocks nest, so once a block of B midplanes has no free
+  // run neither does any larger block — and the machine only loses free
+  // space as the pass backfills jobs (a failed BackfillOk releases its
+  // tentative partition, restoring the state exactly). Skipping those
+  // candidates outright avoids the allocator probe entirely.
+  int min_failed_block_nodes = std::numeric_limits<int>::max();
 
   for (const workload::Job* job : ordered) {
     if (blocked_head == nullptr) {
@@ -116,9 +141,15 @@ std::vector<StartDecision> BatchScheduler::Schedule(sim::SimTime now) {
       shadow = ShadowTime(*job, now);
       continue;
     }
-    // Backfill phase.
+    // Backfill phase. Block size exists: Submit validated the job fits the
+    // machine.
+    int block_nodes = *machine_.BlockNodesFor(job->nodes);
+    if (block_nodes >= min_failed_block_nodes) continue;
     auto partition = machine_.Allocate(job->nodes);
-    if (!partition) continue;
+    if (!partition) {
+      min_failed_block_nodes = block_nodes;
+      continue;
+    }
     if (BackfillOk(*job, *partition, *blocked_head, now, shadow)) {
       decisions.push_back(StartDecision{job, *partition});
       running_.emplace(job->id, RunningJob{job, *partition, now,
@@ -129,11 +160,16 @@ std::vector<StartDecision> BatchScheduler::Schedule(sim::SimTime now) {
   }
 
   if (!decisions.empty()) {
-    // Drop started jobs from the queue, preserving submission order.
-    queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
-                                [this](const workload::Job* j) {
-                                  return running_.count(j->id) > 0;
-                                }),
+    // Drop started jobs from the queue, preserving submission order. A
+    // queued job is running iff this pass started it, so scanning the
+    // (few) decisions beats a hash probe per queued job.
+    auto started = [&decisions](const workload::Job* j) {
+      for (const StartDecision& d : decisions) {
+        if (d.job == j) return true;
+      }
+      return false;
+    };
+    queue_.erase(std::remove_if(queue_.begin(), queue_.end(), started),
                  queue_.end());
     for (const StartDecision& d : decisions) {
       eligible_after_.erase(d.job->id);

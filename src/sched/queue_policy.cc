@@ -43,15 +43,28 @@ std::vector<const workload::Job*> OrderQueue(
     case QueueOrder::kFcfs:
       std::sort(out.begin(), out.end(), fcfs_tie);
       break;
-    case QueueOrder::kWfp:
-      std::sort(out.begin(), out.end(),
-                [&](const workload::Job* a, const workload::Job* b) {
-                  double sa = WfpScore(*a, now);
-                  double sb = WfpScore(*b, now);
-                  if (sa != sb) return sa > sb;
-                  return fcfs_tie(a, b);
+    case QueueOrder::kWfp: {
+      // Precompute each job's score once — a comparator-side WfpScore costs
+      // O(n log n) evaluations per sort and this runs on every dispatch
+      // pass.
+      struct Ranked {
+        double score;
+        const workload::Job* job;
+      };
+      // Scratch reused across dispatch passes (policies may run on the
+      // driver's pool threads, hence thread_local).
+      thread_local std::vector<Ranked> ranked;
+      ranked.clear();
+      ranked.reserve(out.size());
+      for (const workload::Job* j : out) ranked.push_back({WfpScore(*j, now), j});
+      std::sort(ranked.begin(), ranked.end(),
+                [&](const Ranked& a, const Ranked& b) {
+                  if (a.score != b.score) return a.score > b.score;
+                  return fcfs_tie(a.job, b.job);
                 });
+      for (std::size_t i = 0; i < ranked.size(); ++i) out[i] = ranked[i].job;
       break;
+    }
   }
   return out;
 }

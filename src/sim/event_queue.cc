@@ -1,14 +1,15 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace iosched::sim {
 
 EventId EventQueue::Push(SimTime time, std::function<void()> action) {
   EventId id = next_id_++;
-  heap_.push(Entry{time, id});
+  heap_.push_back(Entry{time, id});
+  std::push_heap(heap_.begin(), heap_.end(), Later);
   actions_.emplace(id, std::move(action));
-  ++live_count_;
   return id;
 }
 
@@ -17,40 +18,52 @@ bool EventQueue::Cancel(EventId id) {
   if (it == actions_.end()) return false;
   actions_.erase(it);
   cancelled_.insert(id);
-  --live_count_;
+  if (cancelled_.size() >= kCompactionMinCancelled &&
+      cancelled_.size() > actions_.size()) {
+    Compact();
+  }
   return true;
 }
 
+void EventQueue::Compact() {
+  if (cancelled_.empty()) return;
+  std::erase_if(heap_, [this](const Entry& e) {
+    return cancelled_.find(e.id) != cancelled_.end();
+  });
+  std::make_heap(heap_.begin(), heap_.end(), Later);
+  cancelled_.clear();
+}
+
 void EventQueue::DropCancelledHead() const {
-  while (!heap_.empty() && cancelled_.count(heap_.top().id)) {
-    cancelled_.erase(heap_.top().id);
-    heap_.pop();
+  while (!heap_.empty() && cancelled_.count(heap_.front().id)) {
+    cancelled_.erase(heap_.front().id);
+    std::pop_heap(heap_.begin(), heap_.end(), Later);
+    heap_.pop_back();
   }
 }
 
 SimTime EventQueue::PeekTime() const {
   DropCancelledHead();
   if (heap_.empty()) throw std::logic_error("EventQueue::PeekTime on empty");
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 Event EventQueue::Pop() {
   DropCancelledHead();
   if (heap_.empty()) throw std::logic_error("EventQueue::Pop on empty");
-  Entry top = heap_.top();
-  heap_.pop();
+  Entry top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), Later);
+  heap_.pop_back();
   auto it = actions_.find(top.id);
   Event ev{top.time, top.id, std::move(it->second)};
   actions_.erase(it);
-  --live_count_;
   return ev;
 }
 
 void EventQueue::Clear() {
-  heap_ = {};
+  heap_.clear();
   cancelled_.clear();
   actions_.clear();
-  live_count_ = 0;
 }
 
 }  // namespace iosched::sim

@@ -4,12 +4,15 @@
 // Cancellation is lazy: cancelled entries stay in the heap and are skipped
 // on pop. This keeps Cancel() O(1) and is the standard technique for
 // simulators whose I/O-completion events are frequently rescheduled when
-// bandwidth shares change.
+// bandwidth shares change. To keep the heap from growing unboundedly across
+// a month of rescheduled completion events, Cancel triggers a compaction
+// (rebuild dropping every cancelled entry) whenever cancelled entries
+// outnumber live ones; since a compaction is linear in the heap and halves
+// it, the cost is amortized O(1) per Cancel.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -37,14 +40,19 @@ class EventQueue {
   EventId Push(SimTime time, std::function<void()> action);
 
   /// Cancel a pending event. Returns false if the event already ran, was
-  /// already cancelled, or never existed.
+  /// already cancelled, or never existed. May compact the heap (see
+  /// Compact) once enough lazily-cancelled entries pile up.
   bool Cancel(EventId id);
 
   /// True when no live (non-cancelled) events remain.
-  bool Empty() const { return live_count_ == 0; }
+  bool Empty() const { return actions_.empty(); }
 
   /// Number of live events.
-  std::size_t Size() const { return live_count_; }
+  std::size_t Size() const { return actions_.size(); }
+
+  /// Entries physically in the heap: live plus not-yet-purged cancelled
+  /// ones. Exposed so tests can assert compaction bounds the heap.
+  std::size_t HeapSize() const { return heap_.size(); }
 
   /// Time of the next live event. Precondition: !Empty().
   SimTime PeekTime() const;
@@ -55,25 +63,36 @@ class EventQueue {
   /// Remove every pending event.
   void Clear();
 
+  /// Rebuild the heap without the lazily-cancelled entries. Runs
+  /// automatically from Cancel when cancelled entries outnumber live ones
+  /// (and at least kCompactionMinCancelled have accumulated, so small
+  /// queues aren't rebuilt constantly); public so tests and long-lived
+  /// callers can force a bound. Preserves pop order exactly — the heap
+  /// order is (time, id) and ids encode FIFO push order.
+  void Compact();
+
+  /// Minimum number of lazily-cancelled entries before an automatic
+  /// compaction can trigger.
+  static constexpr std::size_t kCompactionMinCancelled = 64;
+
  private:
   struct Entry {
     SimTime time;
     EventId id;
-    // Min-heap on (time, id): earlier time first; FIFO within a timestamp.
-    bool operator>(const Entry& other) const {
-      if (time != other.time) return time > other.time;
-      return id > other.id;
-    }
   };
+  // std::push_heap-style comparator; "greater" ordering yields a min-heap
+  // on (time, id): earlier time first, FIFO within a timestamp.
+  static bool Later(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.id > b.id;
+  }
 
   void DropCancelledHead() const;
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
-      heap_;
+  mutable std::vector<Entry> heap_;
   mutable std::unordered_set<EventId> cancelled_;
   std::unordered_map<EventId, std::function<void()>> actions_;
   EventId next_id_ = 1;
-  std::size_t live_count_ = 0;
 };
 
 }  // namespace iosched::sim

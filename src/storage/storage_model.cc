@@ -1,8 +1,10 @@
 #include "storage/storage_model.h"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "util/units.h"
 
@@ -16,6 +18,27 @@ StorageModel::StorageModel(StorageConfig config) : config_(config) {
   if (config_.max_bandwidth_gbps <= 0) {
     throw std::invalid_argument("StorageModel: non-positive BWmax");
   }
+}
+
+std::vector<std::size_t>::const_iterator StorageModel::ArrivalPos(
+    sim::SimTime arrival, workload::JobId job) const {
+  return std::lower_bound(
+      arrival_order_.begin(), arrival_order_.end(),
+      std::pair<sim::SimTime, workload::JobId>(arrival, job),
+      [this](std::size_t lhs,
+             const std::pair<sim::SimTime, workload::JobId>& rhs) {
+        const Transfer& t = transfers_[lhs];
+        if (t.request_arrival != rhs.first) {
+          return t.request_arrival < rhs.first;
+        }
+        return t.job_id < rhs.second;
+      });
+}
+
+std::vector<std::size_t>::iterator StorageModel::ArrivalPos(
+    sim::SimTime arrival, workload::JobId job) {
+  auto pos = std::as_const(*this).ArrivalPos(arrival, job);
+  return arrival_order_.begin() + (pos - arrival_order_.cbegin());
 }
 
 void StorageModel::Begin(workload::JobId job, int nodes, double full_rate_gbps,
@@ -34,35 +57,72 @@ void StorageModel::Begin(workload::JobId job, int nodes, double full_rate_gbps,
   t.full_rate_gbps = full_rate_gbps;
   t.volume_gb = volume_gb;
   t.request_arrival = now;
+  index_.emplace(job, transfers_.size());
   transfers_.push_back(t);
+  arrival_order_.insert(ArrivalPos(now, job), transfers_.size() - 1);
+  total_demand_gbps_ += full_rate_gbps;
+  total_nodes_ += nodes;
 }
 
 Transfer& StorageModel::GetMutable(workload::JobId job) {
-  for (Transfer& t : transfers_) {
-    if (t.job_id == job) return t;
+  auto it = index_.find(job);
+  if (it == index_.end()) {
+    throw std::logic_error("StorageModel: no transfer for job " +
+                           std::to_string(job));
   }
-  throw std::logic_error("StorageModel: no transfer for job " +
-                         std::to_string(job));
+  return transfers_[it->second];
 }
 
-void StorageModel::End(workload::JobId job) {
-  const Transfer& t = GetMutable(job);
+void StorageModel::EraseAt(std::size_t idx) {
+  const Transfer& t = transfers_[idx];
+  total_demand_gbps_ -= t.full_rate_gbps;
+  total_nodes_ -= t.nodes;
+  total_assigned_rate_ -= t.rate_gbps;
+  arrival_order_.erase(ArrivalPos(t.request_arrival, t.job_id));
+  index_.erase(t.job_id);
+  if (idx + 1 != transfers_.size()) {
+    transfers_[idx] = std::move(transfers_.back());
+    index_[transfers_[idx].job_id] = idx;
+    // The moved transfer's FCFS entry still points at the old back slot;
+    // re-point it (its sort key is unchanged, so the order is intact).
+    *ArrivalPos(transfers_[idx].request_arrival, transfers_[idx].job_id) =
+        idx;
+  }
+  transfers_.pop_back();
+  if (transfers_.empty()) {
+    // Pin the aggregates back to exact zero so incremental-update round-off
+    // cannot accumulate across a month of transfers.
+    total_demand_gbps_ = 0.0;
+    total_nodes_ = 0;
+    total_assigned_rate_ = 0.0;
+  }
+}
+
+Transfer StorageModel::End(workload::JobId job) {
+  auto it = index_.find(job);
+  if (it == index_.end()) {
+    throw std::logic_error("StorageModel: no transfer for job " +
+                           std::to_string(job));
+  }
+  Transfer t = transfers_[it->second];
   if (!t.Complete()) {
     throw std::logic_error("StorageModel::End: job " + std::to_string(job) +
                            " not complete (" + std::to_string(t.RemainingGb()) +
                            " GB remaining)");
   }
-  Abort(job);
+  EraseAt(it->second);
+  return t;
 }
 
 void StorageModel::Abort(workload::JobId job) {
-  auto it = std::find_if(transfers_.begin(), transfers_.end(),
-                         [job](const Transfer& t) { return t.job_id == job; });
-  if (it == transfers_.end()) {
+  auto it = index_.find(job);
+  if (it == index_.end()) {
     throw std::logic_error("StorageModel::Abort: no transfer for job " +
-                           std::to_string(job));
+                           std::to_string(job) + " (" +
+                           std::to_string(transfers_.size()) +
+                           " active transfers)");
   }
-  transfers_.erase(it);
+  EraseAt(it->second);
 }
 
 void StorageModel::ForceComplete(workload::JobId job, double max_sliver_gb) {
@@ -77,29 +137,35 @@ void StorageModel::ForceComplete(workload::JobId job, double max_sliver_gb) {
 }
 
 bool StorageModel::Has(workload::JobId job) const {
-  return std::any_of(transfers_.begin(), transfers_.end(),
-                     [job](const Transfer& t) { return t.job_id == job; });
+  return index_.find(job) != index_.end();
 }
 
 const Transfer& StorageModel::Get(workload::JobId job) const {
-  for (const Transfer& t : transfers_) {
-    if (t.job_id == job) return t;
+  auto it = index_.find(job);
+  if (it == index_.end()) {
+    throw std::logic_error("StorageModel::Get: no transfer for job " +
+                           std::to_string(job));
   }
-  throw std::logic_error("StorageModel::Get: no transfer for job " +
-                         std::to_string(job));
+  return transfers_[it->second];
+}
+
+const Transfer* StorageModel::TryGet(workload::JobId job) const {
+  auto it = index_.find(job);
+  return it == index_.end() ? nullptr : &transfers_[it->second];
 }
 
 std::vector<const Transfer*> StorageModel::ActiveByArrival() const {
   std::vector<const Transfer*> out;
-  out.reserve(transfers_.size());
-  for (const Transfer& t : transfers_) out.push_back(&t);
-  std::sort(out.begin(), out.end(), [](const Transfer* a, const Transfer* b) {
-    if (a->request_arrival != b->request_arrival) {
-      return a->request_arrival < b->request_arrival;
-    }
-    return a->job_id < b->job_id;
-  });
+  ActiveByArrival(out);
   return out;
+}
+
+void StorageModel::ActiveByArrival(std::vector<const Transfer*>& out) const {
+  out.clear();
+  out.reserve(transfers_.size());
+  for (std::size_t slot : arrival_order_) {
+    out.push_back(&transfers_[slot]);
+  }
 }
 
 void StorageModel::AdvanceTo(sim::SimTime now) {
@@ -133,24 +199,20 @@ void StorageModel::SetRate(workload::JobId job, double rate_gbps) {
   if (rate_gbps < 0) {
     throw std::invalid_argument("StorageModel::SetRate: negative rate");
   }
-  // Allow a small relative tolerance for float round-off in shares.
-  if (rate_gbps > t.full_rate_gbps * (1.0 + 1e-9) + util::kVolumeEpsilon) {
+  if (rate_gbps > util::MaxGrantableRate(t.full_rate_gbps)) {
     throw std::invalid_argument(
         "StorageModel::SetRate: rate exceeds job's full rate");
   }
-  t.rate_gbps = std::min(rate_gbps, t.full_rate_gbps);
-}
-
-double StorageModel::TotalAssignedRate() const {
-  double total = 0.0;
-  for (const Transfer& t : transfers_) total += t.rate_gbps;
-  return total;
+  double clamped = std::min(rate_gbps, t.full_rate_gbps);
+  total_assigned_rate_ += clamped - t.rate_gbps;
+  t.rate_gbps = clamped;
 }
 
 void StorageModel::ValidateAssignment() const {
   if (!config_.enforce_capacity) return;
   double total = TotalAssignedRate();
-  if (total > config_.max_bandwidth_gbps * (1.0 + 1e-6)) {
+  if (total >
+      config_.max_bandwidth_gbps * (1.0 + util::kCapacityRelSlack)) {
     throw std::logic_error(
         "StorageModel: assigned rates exceed BWmax (" + std::to_string(total) +
         " > " + std::to_string(config_.max_bandwidth_gbps) + ")");
@@ -177,27 +239,65 @@ StorageModel::NextCompletion() const {
   return best;
 }
 
+void WaterFillRates(std::span<const double> demands,
+                    std::span<const int> nodes, double max_bandwidth_gbps,
+                    std::span<double> rates_out) {
+  const std::size_t n = demands.size();
+  double total_demand = 0.0;
+  long long total_nodes = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total_demand += demands[i];
+    total_nodes += nodes[i];
+  }
+  if (total_demand <= max_bandwidth_gbps || total_nodes == 0) {
+    for (std::size_t i = 0; i < n; ++i) rates_out[i] = demands[i];
+    return;
+  }
+  // Weighted max-min: visit transfers by increasing per-node demand. At
+  // each step the fair per-node level is remaining_bw / remaining_nodes; a
+  // transfer below its share takes only its demand and the slack stays in
+  // remaining_bw, raising the level for everyone after it. Once the first
+  // transfer exceeds its share, so do all later ones (their per-node demand
+  // is larger and the level is constant from then on), so a single sorted
+  // pass water-fills exactly.
+  // Thread-local scratch: this runs once per admission probe inside the
+  // ADAPTIVE policy's cycle loop, and policies may run on pool threads.
+  thread_local std::vector<std::size_t> order;
+  order.resize(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    double da = demands[a] / nodes[a];
+    double db = demands[b] / nodes[b];
+    if (da != db) return da < db;
+    return a < b;
+  });
+  double remaining_bw = max_bandwidth_gbps;
+  long long remaining_nodes = total_nodes;
+  for (std::size_t i : order) {
+    double share =
+        remaining_bw * nodes[i] / static_cast<double>(remaining_nodes);
+    double rate = std::min(demands[i], share);
+    rates_out[i] = rate;
+    remaining_bw -= rate;
+    remaining_nodes -= nodes[i];
+  }
+}
+
 std::vector<std::pair<workload::JobId, double>> FairShareRates(
     const std::vector<const Transfer*>& active, double max_bandwidth_gbps) {
   std::vector<std::pair<workload::JobId, double>> rates;
   rates.reserve(active.size());
-  long long total_nodes = 0;
-  double total_demand = 0.0;
-  for (const Transfer* t : active) {
-    total_nodes += t->nodes;
-    total_demand += t->full_rate_gbps;
-  }
   if (active.empty()) return rates;
-  if (total_demand <= max_bandwidth_gbps || total_nodes == 0) {
-    for (const Transfer* t : active) {
-      rates.emplace_back(t->job_id, t->full_rate_gbps);
-    }
-    return rates;
+  std::vector<double> demands(active.size());
+  std::vector<int> nodes(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    demands[i] = active[i]->full_rate_gbps;
+    nodes[i] = active[i]->nodes;
   }
-  double per_node = max_bandwidth_gbps / static_cast<double>(total_nodes);
-  for (const Transfer* t : active) {
-    double rate = std::min(t->full_rate_gbps, per_node * t->nodes);
-    rates.emplace_back(t->job_id, rate);
+  std::vector<double> shares(active.size());
+  WaterFillRates(demands, nodes, max_bandwidth_gbps, shares);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    rates.emplace_back(active[i]->job_id, shares[i]);
   }
   return rates;
 }

@@ -12,9 +12,23 @@
 // sum never exceeds BWmax... except that the model itself does not clamp the
 // sum — the BASE_LINE fair-share helper and the policies are responsible for
 // producing feasible assignments, and the model validates them.
+//
+// Performance invariants (see DESIGN.md "Performance notes"): transfers live
+// in a dense vector with a job-id hash index, so Begin/End/Abort/Has/Get/
+// SetRate are O(1) (End/Abort swap-erase the dense slot and patch the index
+// of the transfer that moved into it). Aggregates over the active set —
+// TotalAssignedRate, total demand, total node count — are maintained
+// incrementally on every mutation instead of being recomputed by scans, and
+// are reset to exactly zero whenever the active set empties so float drift
+// cannot accumulate across a month-long replay. The (request_arrival,
+// job_id) FCFS order is kept as a sorted vector of dense slot indices,
+// updated on Begin/End/Abort, so ActiveByArrival is a hash-free gather and
+// never re-sorts.
 #pragma once
 
 #include <optional>
+#include <span>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -64,7 +78,10 @@ class StorageModel {
              double volume_gb, sim::SimTime now);
 
   /// Remove a transfer; requires it to be complete (all volume moved).
-  void End(workload::JobId job);
+  /// Returns the removed transfer's final state so callers don't need a
+  /// separate Get: lookup, completeness check, and erase are one index
+  /// probe.
+  Transfer End(workload::JobId job);
 
   /// Remove a transfer regardless of progress (job killed / simulation
   /// teardown).
@@ -78,11 +95,18 @@ class StorageModel {
 
   bool Has(workload::JobId job) const;
   const Transfer& Get(workload::JobId job) const;
+  /// Like Get, but returns nullptr instead of throwing when the job has no
+  /// in-flight transfer — lets callers replace Has+Get pairs with one
+  /// lookup.
+  const Transfer* TryGet(workload::JobId job) const;
   std::size_t active_count() const { return transfers_.size(); }
 
   /// All in-flight transfers ordered by (request_arrival, job_id) — the
   /// FCFS order the paper's policies start from.
   std::vector<const Transfer*> ActiveByArrival() const;
+  /// Allocation-free variant: clears and refills `out` (capacity is
+  /// reused across cycles by the scheduler's scratch buffer).
+  void ActiveByArrival(std::vector<const Transfer*>& out) const;
 
   /// Accrue progress up to `now` under the current rates. Must be called
   /// before changing rates so progress is attributed correctly. `now` must
@@ -104,8 +128,13 @@ class StorageModel {
   /// AdvanceTo(now) first.
   void SetRate(workload::JobId job, double rate_gbps);
 
-  /// Sum of currently granted rates (GB/s).
-  double TotalAssignedRate() const;
+  /// Sum of currently granted rates (GB/s). Maintained incrementally.
+  double TotalAssignedRate() const { return total_assigned_rate_; }
+  /// Sum of full rates b*N_i over active transfers. Maintained
+  /// incrementally.
+  double TotalDemand() const { return total_demand_gbps_; }
+  /// Sum of node counts over active transfers. Maintained incrementally.
+  long long TotalActiveNodes() const { return total_nodes_; }
 
   /// Verify the assignment is feasible (sum <= BWmax + eps) when
   /// enforce_capacity; throws std::logic_error on violation.
@@ -121,17 +150,50 @@ class StorageModel {
 
  private:
   Transfer& GetMutable(workload::JobId job);
+  /// Swap-erase the transfer at dense index `idx`, patching the hash index
+  /// of the element moved into the hole, removing the job from the FCFS
+  /// order, and unwinding the incremental aggregates.
+  void EraseAt(std::size_t idx);
+  /// Position of `job` (arrival `t`) in the FCFS arrival_order_ vector.
+  std::vector<std::size_t>::iterator ArrivalPos(sim::SimTime arrival,
+                                                workload::JobId job);
+  std::vector<std::size_t>::const_iterator ArrivalPos(
+      sim::SimTime arrival, workload::JobId job) const;
 
   StorageConfig config_;
-  // Keyed storage; iteration order is made deterministic via ActiveByArrival.
+  // Dense storage; `index_` maps job id -> slot in `transfers_`.
   std::vector<Transfer> transfers_;
+  std::unordered_map<workload::JobId, std::size_t> index_;
+  // Dense slot indices sorted by (request_arrival, job_id); maintained on
+  // Begin/End/Abort (including re-pointing the slot that a swap-erase
+  // moves) so ActiveByArrival is a hash-free gather, never a sort.
+  std::vector<std::size_t> arrival_order_;
+  // Incremental aggregates over `transfers_` (reset to 0 when empty).
+  double total_assigned_rate_ = 0.0;
+  double total_demand_gbps_ = 0.0;
+  long long total_nodes_ = 0;
   sim::SimTime last_update_ = 0.0;
 };
 
+/// Water-filling (weighted max-min) bandwidth split: distribute
+/// `max_bandwidth_gbps` across transfers in proportion to node counts,
+/// capping any transfer at its demand (full rate) and redistributing the
+/// freed slack to the rest until BWmax is saturated or every demand is met.
+/// `demands[i]` pairs with `nodes[i]`; writes one rate per index into
+/// `rates_out` (same length). When total demand fits in BWmax every
+/// transfer gets its full demand.
+void WaterFillRates(std::span<const double> demands,
+                    std::span<const int> nodes, double max_bandwidth_gbps,
+                    std::span<double> rates_out);
+
 /// BASE_LINE bandwidth allocation (paper Section IV-D): every active
 /// transfer runs; when aggregate demand exceeds BWmax each *node* receives
-/// an equal share BWmax / N_active, i.e. job i gets share * N_i. Returns
-/// pairs (job, rate) covering every active transfer.
+/// an equal share BWmax / N_active, i.e. job i gets share * N_i — except
+/// that a job whose full rate b*N_i is below its per-node share is capped
+/// there and the freed bandwidth water-fills back to the uncapped jobs
+/// (otherwise capped jobs would strand bandwidth and understate BASE_LINE
+/// throughput). Returns pairs (job, rate) covering every active transfer;
+/// the total reaches min(total demand, BWmax).
 std::vector<std::pair<workload::JobId, double>> FairShareRates(
     const std::vector<const Transfer*>& active, double max_bandwidth_gbps);
 

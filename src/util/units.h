@@ -28,4 +28,21 @@ inline constexpr double kTimeEpsilon = 1e-7;
 /// Tolerance for floating-point comparisons on bandwidth/volume.
 inline constexpr double kVolumeEpsilon = 1e-9;
 
+/// Relative slack allowed when a single granted rate is checked against a
+/// job's full rate b*N_i (fair shares are computed in floating point, so a
+/// share meant to equal the full rate can land a few ulps above it). Used
+/// by StorageModel::SetRate and the grant validator so the two checks
+/// cannot drift apart.
+inline constexpr double kRateRelSlack = 1e-9;
+/// Relative slack allowed when the *sum* of granted rates is checked
+/// against BWmax. Looser than kRateRelSlack because the sum accumulates
+/// round-off across every active transfer.
+inline constexpr double kCapacityRelSlack = 1e-6;
+
+/// Upper bound for a granted rate given the job's full rate: full rate plus
+/// the shared relative + absolute slack.
+constexpr double MaxGrantableRate(double full_rate_gbps) {
+  return full_rate_gbps * (1.0 + kRateRelSlack) + kVolumeEpsilon;
+}
+
 }  // namespace iosched::util

@@ -95,6 +95,81 @@ TEST(EventQueue, ClearRemovesEverything) {
   EXPECT_TRUE(q.Empty());
 }
 
+TEST(EventQueue, CancelTwiceAfterCompactFails) {
+  EventQueue q;
+  EventId id = q.Push(1.0, [] {});
+  q.Push(2.0, [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  q.Compact();
+  EXPECT_FALSE(q.Cancel(id));
+  EXPECT_EQ(q.Size(), 1u);
+}
+
+TEST(EventQueue, CompactPreservesFifoOrderOfEqualTimeEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> cancel_me;
+  for (int i = 0; i < 20; ++i) {
+    if (i % 2 == 0) {
+      q.Push(7.0, [&order, i] { order.push_back(i); });
+    } else {
+      cancel_me.push_back(q.Push(7.0, [] {}));
+    }
+  }
+  for (EventId id : cancel_me) EXPECT_TRUE(q.Cancel(id));
+  q.Compact();
+  EXPECT_EQ(q.HeapSize(), q.Size());
+  while (!q.Empty()) q.Pop().action();
+  // Even-index events must still pop in push order after the rebuild.
+  std::vector<int> expected;
+  for (int i = 0; i < 20; i += 2) expected.push_back(i);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueue, SizeAndEmptyConsistentAcrossCompaction) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(q.Push(static_cast<double>(i), [] {}));
+  }
+  for (int i = 0; i < 10; i += 2) q.Cancel(ids[static_cast<size_t>(i)]);
+  EXPECT_EQ(q.Size(), 5u);
+  EXPECT_FALSE(q.Empty());
+  q.Compact();
+  EXPECT_EQ(q.Size(), 5u);
+  EXPECT_EQ(q.HeapSize(), 5u);
+  EXPECT_FALSE(q.Empty());
+  for (int i = 1; i < 10; i += 2) q.Cancel(ids[static_cast<size_t>(i)]);
+  q.Compact();
+  EXPECT_EQ(q.Size(), 0u);
+  EXPECT_EQ(q.HeapSize(), 0u);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueue, AutoCompactionBoundsHeapUnderChurn) {
+  // Push/cancel churn with only a few live events — the lazily-cancelled
+  // entries must not accumulate past the auto-compaction bound.
+  EventQueue q;
+  std::vector<EventId> live;
+  for (int i = 0; i < 20000; ++i) {
+    live.push_back(q.Push(1000.0 + i, [] {}));
+    if (live.size() > 4) {
+      EXPECT_TRUE(q.Cancel(live.front()));
+      live.erase(live.begin());
+    }
+    // Heap never holds more than the live events plus the compaction slack.
+    EXPECT_LE(q.HeapSize(),
+              q.Size() + 2 * EventQueue::kCompactionMinCancelled);
+  }
+  EXPECT_EQ(q.Size(), live.size());
+  double last = -1.0;
+  while (!q.Empty()) {
+    Event e = q.Pop();
+    EXPECT_GE(e.time, last);
+    last = e.time;
+  }
+}
+
 TEST(EventQueue, StressRandomOrderStaysSorted) {
   EventQueue q;
   util::Rng rng(2024);

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 namespace iosched::storage {
 namespace {
 
@@ -95,6 +99,94 @@ TEST(StorageModel, AbortRemovesIncomplete) {
   sm.Abort(1);
   EXPECT_FALSE(sm.Has(1));
   EXPECT_THROW(sm.Abort(1), std::logic_error);
+}
+
+TEST(StorageModel, AbortMissingJobReportsTransferCount) {
+  StorageModel sm(Cfg());
+  sm.Begin(1, 512, 16.0, 100.0, 0.0);
+  sm.Begin(2, 512, 16.0, 100.0, 0.0);
+  try {
+    sm.Abort(7);
+    FAIL() << "Abort of a missing job must throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("job 7"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("2 active transfers"),
+              std::string::npos);
+  }
+}
+
+TEST(StorageModel, EndReturnsFinalTransferState) {
+  StorageModel sm(Cfg());
+  sm.Begin(1, 512, 16.0, 100.0, 0.0);
+  sm.SetRate(1, 10.0);
+  sm.AdvanceTo(10.0);
+  Transfer t = sm.End(1);
+  EXPECT_EQ(t.job_id, 1);
+  EXPECT_DOUBLE_EQ(t.volume_gb, 100.0);
+  EXPECT_DOUBLE_EQ(t.transferred_gb, 100.0);
+  EXPECT_FALSE(sm.Has(1));
+}
+
+TEST(StorageModel, TryGetFindsOrReturnsNull) {
+  StorageModel sm(Cfg());
+  sm.Begin(1, 512, 16.0, 100.0, 0.0);
+  ASSERT_NE(sm.TryGet(1), nullptr);
+  EXPECT_EQ(sm.TryGet(1)->job_id, 1);
+  EXPECT_EQ(sm.TryGet(2), nullptr);
+}
+
+TEST(StorageModel, IncrementalAggregatesTrackActiveSet) {
+  StorageModel sm(Cfg());
+  EXPECT_DOUBLE_EQ(sm.TotalDemand(), 0.0);
+  EXPECT_EQ(sm.TotalActiveNodes(), 0);
+  sm.Begin(1, 512, 16.0, 100.0, 0.0);
+  sm.Begin(2, 1024, 32.0, 50.0, 0.0);
+  EXPECT_DOUBLE_EQ(sm.TotalDemand(), 48.0);
+  EXPECT_EQ(sm.TotalActiveNodes(), 1536);
+  sm.SetRate(1, 10.0);
+  sm.SetRate(2, 20.0);
+  EXPECT_DOUBLE_EQ(sm.TotalAssignedRate(), 30.0);
+  sm.Abort(2);
+  EXPECT_DOUBLE_EQ(sm.TotalDemand(), 16.0);
+  EXPECT_EQ(sm.TotalActiveNodes(), 512);
+  EXPECT_DOUBLE_EQ(sm.TotalAssignedRate(), 10.0);
+  sm.Abort(1);
+  EXPECT_DOUBLE_EQ(sm.TotalDemand(), 0.0);
+  EXPECT_EQ(sm.TotalActiveNodes(), 0);
+  EXPECT_DOUBLE_EQ(sm.TotalAssignedRate(), 0.0);
+}
+
+TEST(StorageModel, IndexSurvivesSwapEraseChurn) {
+  // End/Abort swap-erase dense slots; every surviving job must stay
+  // reachable with its own data through heavy churn.
+  StorageModel sm(Cfg(1e9));
+  for (int round = 0; round < 5; ++round) {
+    for (int j = 0; j < 40; ++j) {
+      workload::JobId id = round * 100 + j;
+      if (!sm.Has(id)) sm.Begin(id, 512, 16.0, 10.0 + j, sm.last_update());
+    }
+    // Abort every third job of this round.
+    for (int j = 0; j < 40; j += 3) sm.Abort(round * 100 + j);
+    for (int j = 0; j < 40; ++j) {
+      workload::JobId id = round * 100 + j;
+      if (j % 3 == 0) {
+        EXPECT_FALSE(sm.Has(id));
+      } else {
+        ASSERT_TRUE(sm.Has(id));
+        EXPECT_DOUBLE_EQ(sm.Get(id).volume_gb, 10.0 + j);
+      }
+    }
+  }
+  auto active = sm.ActiveByArrival();
+  EXPECT_EQ(active.size(), sm.active_count());
+  EXPECT_TRUE(std::is_sorted(
+      active.begin(), active.end(),
+      [](const Transfer* a, const Transfer* b) {
+        if (a->request_arrival != b->request_arrival) {
+          return a->request_arrival < b->request_arrival;
+        }
+        return a->job_id < b->job_id;
+      }));
 }
 
 TEST(StorageModel, ActiveByArrivalOrdersFcfs) {
@@ -207,6 +299,62 @@ TEST(FairShareRatesTest, CongestionSharesPerNode) {
 TEST(FairShareRatesTest, EmptyActiveSet) {
   auto rates = FairShareRates({}, 100.0);
   EXPECT_TRUE(rates.empty());
+}
+
+TEST(FairShareRatesTest, WaterFillsSlackFromCappedJobs) {
+  // Job 1's full rate (2 GB/s) is far below its proportional share of
+  // BWmax; before the water-filling fix its unused share was stranded and
+  // the total assigned rate fell short of BWmax.
+  StorageModel sm(Cfg(48.0));
+  sm.Begin(1, 1024, 2.0, 10.0, 0.0);   // demand-capped at 2 GB/s
+  sm.Begin(2, 2048, 64.0, 10.0, 0.0);  // wants far more than its share
+  auto rates = FairShareRates(sm.ActiveByArrival(), 48.0);
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates[0].second, 2.0);
+  // The remaining 46 GB/s all flows to job 2 (still below its 64 demand).
+  EXPECT_NEAR(rates[1].second, 46.0, 1e-9);
+  double total = rates[0].second + rates[1].second;
+  double total_demand = 2.0 + 64.0;
+  EXPECT_NEAR(total, std::min(total_demand, 48.0), 1e-9);
+}
+
+TEST(FairShareRatesTest, WaterFillingRedistributesIteratively) {
+  // Two successive capping levels: job 1 caps first, then job 2 caps at the
+  // raised level, and job 3 absorbs the rest.
+  StorageModel sm(Cfg(90.0));
+  sm.Begin(1, 1024, 5.0, 10.0, 0.0);    // per-node demand far below share
+  sm.Begin(2, 1024, 30.0, 10.0, 0.0);   // caps only after job 1's slack
+  sm.Begin(3, 1024, 100.0, 10.0, 0.0);  // never satisfied
+  auto rates = FairShareRates(sm.ActiveByArrival(), 90.0);
+  ASSERT_EQ(rates.size(), 3u);
+  // Proportional share would be 30 each; job 1 takes 5, freeing 25. The
+  // raised level gives jobs 2 and 3 up to 42.5 each; job 2 caps at 30 and
+  // job 3 gets the remaining 55.
+  EXPECT_DOUBLE_EQ(rates[0].second, 5.0);
+  EXPECT_DOUBLE_EQ(rates[1].second, 30.0);
+  EXPECT_NEAR(rates[2].second, 55.0, 1e-9);
+  double total = rates[0].second + rates[1].second + rates[2].second;
+  EXPECT_NEAR(total, 90.0, 1e-9);  // min(total_demand=135, BWmax=90)
+}
+
+TEST(WaterFillRatesTest, UncongestedGrantsFullDemands) {
+  std::vector<double> demands{10.0, 20.0};
+  std::vector<int> nodes{512, 1024};
+  std::vector<double> rates(2);
+  WaterFillRates(demands, nodes, 100.0, rates);
+  EXPECT_DOUBLE_EQ(rates[0], 10.0);
+  EXPECT_DOUBLE_EQ(rates[1], 20.0);
+}
+
+TEST(WaterFillRatesTest, SaturatesBwmaxUnderCongestion) {
+  std::vector<double> demands{1.0, 50.0, 80.0};
+  std::vector<int> nodes{512, 512, 1024};
+  std::vector<double> rates(3);
+  WaterFillRates(demands, nodes, 60.0, rates);
+  EXPECT_DOUBLE_EQ(rates[0], 1.0);
+  EXPECT_NEAR(rates[0] + rates[1] + rates[2], 60.0, 1e-9);
+  // Uncapped transfers split the remainder in proportion to nodes.
+  EXPECT_NEAR(rates[2], rates[1] * 2.0, 1e-6);
 }
 
 TEST(StorageModel, SetMaxBandwidthAccruesInFlightAtOldRate) {
