@@ -33,6 +33,7 @@
 #include "core/simulation.h"
 #include "driver/scenario.h"
 #include "machine/machine.h"
+#include "obs/hub.h"
 #include "sched/queue_policy.h"
 #include "sim/event_queue.h"
 #include "storage/storage_model.h"
@@ -590,6 +591,51 @@ int RunCoreHarness(const std::string& json_path, const std::string& baseline,
   return digests_ok ? 0 : 1;
 }
 
+/// --obs-check mode: replay each policy with observability off and on and
+/// verify the invariants the subsystem promises — identical job records
+/// (digest equality), the hub's event counter agreeing with the engine's
+/// own count, and a populated trace/sampler. Reports the wall-time overhead
+/// of the enabled hub. Exit 1 on any violation.
+int RunObsCheck(double days) {
+  int failures = 0;
+  for (const char* policy : {"BASE_LINE", "MAX_UTIL", "ADAPTIVE"}) {
+    driver::Scenario scenario = driver::MakeEvaluationScenario(1, days);
+    core::SimulationConfig config = scenario.config;
+    config.policy = policy;
+
+    auto t0 = Clock::now();
+    core::SimulationResult off = core::RunSimulation(config, scenario.jobs);
+    auto t1 = Clock::now();
+
+    config.obs.enabled = true;
+    obs::Hub hub(config.obs);
+    auto t2 = Clock::now();
+    core::SimulationResult on =
+        core::RunSimulation(config, scenario.jobs, nullptr, &hub);
+    auto t3 = Clock::now();
+
+    double off_s = std::chrono::duration<double>(t1 - t0).count();
+    double on_s = std::chrono::duration<double>(t3 - t2).count();
+    bool digest_ok = DigestRecords(off.records) == DigestRecords(on.records);
+    bool counter_ok = hub.events_processed->value() == on.events_processed;
+    bool trace_ok = hub.tracer().size() > 0;
+    bool sampler_ok = !hub.sampler().empty();
+    bool ok = digest_ok && counter_ok && trace_ok && sampler_ok;
+    if (!ok) ++failures;
+    std::printf(
+        "obs-check %-10s off=%.2fs on=%.2fs overhead=%+.1f%% digest=%s "
+        "events=%llu/%llu trace=%zu samples=%zu %s\n",
+        policy, off_s, on_s,
+        off_s > 0 ? (on_s - off_s) / off_s * 100.0 : 0.0,
+        digest_ok ? "identical" : "CHANGED",
+        static_cast<unsigned long long>(hub.events_processed->value()),
+        static_cast<unsigned long long>(on.events_processed),
+        hub.tracer().size(), hub.sampler().samples().size(),
+        ok ? "ok" : "FAIL");
+  }
+  return failures > 0 ? 1 : 0;
+}
+
 /// Pull `--flag=value` out of argv; returns true (and strips it) on match.
 bool TakeFlag(int& argc, char** argv, const char* flag, std::string* value) {
   std::string prefix = std::string(flag) + "=";
@@ -612,19 +658,23 @@ int main(int argc, char** argv) {
   std::string days_str;
   std::string allow_changes;
   std::string skip_components;
+  std::string obs_check;
   TakeFlag(argc, argv, "--core-json", &json_path);
   TakeFlag(argc, argv, "--baseline", &baseline);
   TakeFlag(argc, argv, "--replay-days", &days_str);
   TakeFlag(argc, argv, "--allow-digest-change", &allow_changes);
   // --skip-components=1: replays only (fast CI runs, clean profiles).
   TakeFlag(argc, argv, "--skip-components", &skip_components);
+  // --obs-check=1: verify the observability layer changes no results.
+  TakeFlag(argc, argv, "--obs-check", &obs_check);
+  double days = days_str.empty() ? 30.0 : std::strtod(days_str.c_str(),
+                                                      nullptr);
+  if (days <= 0) {
+    std::fprintf(stderr, "bad --replay-days\n");
+    return 2;
+  }
+  if (obs_check == "1") return RunObsCheck(days);
   if (!json_path.empty()) {
-    double days = days_str.empty() ? 30.0 : std::strtod(days_str.c_str(),
-                                                        nullptr);
-    if (days <= 0) {
-      std::fprintf(stderr, "bad --replay-days\n");
-      return 2;
-    }
     return RunCoreHarness(json_path, baseline, days, allow_changes,
                           skip_components == "1");
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/hub.h"
 #include "storage/storage_model.h"
 #include "util/units.h"
 
@@ -11,6 +12,10 @@ namespace iosched::core {
 const std::string& AdaptivePolicy::name() const {
   static const std::string kName = "ADAPTIVE";
   return kName;
+}
+
+void AdaptivePolicy::BindObs(obs::Hub* hub) {
+  waterfill_counter_ = hub != nullptr ? hub->waterfill_iterations : nullptr;
 }
 
 namespace {
@@ -94,7 +99,8 @@ struct FairShareScratch {
 void FairShare(std::span<const IoJobView> active,
                std::span<const std::uint8_t> admitted,
                double max_bandwidth_gbps, std::span<double> rates_out,
-               FairShareScratch& scratch) {
+               FairShareScratch& scratch,
+               std::uint64_t* wf_iterations = nullptr) {
   scratch.idx.clear();
   scratch.demands.clear();
   scratch.nodes.clear();
@@ -109,7 +115,7 @@ void FairShare(std::span<const IoJobView> active,
   }
   scratch.shares.resize(scratch.idx.size());
   storage::WaterFillRates(scratch.demands, scratch.nodes, max_bandwidth_gbps,
-                          scratch.shares);
+                          scratch.shares, wf_iterations);
   for (std::size_t k = 0; k < scratch.idx.size(); ++k) {
     rates_out[scratch.idx[k]] = scratch.shares[k];
   }
@@ -172,9 +178,11 @@ std::vector<RateGrant> AdaptivePolicy::Assign(
   // the rates are actually read (the deferral comparison, or the final
   // grant fill). The values are identical to eager recomputation.
   bool rates_dirty = false;
+  std::uint64_t wf_iters = 0;
   auto refresh_rates = [&] {
     if (rates_dirty) {
-      FairShare(active, admitted, max_bandwidth_gbps, rates, scratch);
+      FairShare(active, admitted, max_bandwidth_gbps, rates, scratch,
+                &wf_iters);
       rates_dirty = false;
     }
   };
@@ -220,7 +228,8 @@ std::vector<RateGrant> AdaptivePolicy::Assign(
         MeanCompletionSeconds(active, with, fcfs_rates, extra_delay);
 
     // T_Adaptive: the enlarged set fair-shares BWmax immediately.
-    FairShare(active, with, max_bandwidth_gbps, shared_rates, scratch);
+    FairShare(active, with, max_bandwidth_gbps, shared_rates, scratch,
+              &wf_iters);
     extra_delay[i] = 0.0;
     double t_adaptive =
         MeanCompletionSeconds(active, with, shared_rates, extra_delay);
@@ -235,6 +244,9 @@ std::vector<RateGrant> AdaptivePolicy::Assign(
   }
 
   refresh_rates();
+  if (waterfill_counter_ != nullptr && wf_iters > 0) {
+    waterfill_counter_->Inc(wf_iters);
+  }
   for (std::size_t i = 0; i < active.size(); ++i) {
     grants[i].rate_gbps = rates[i];
   }

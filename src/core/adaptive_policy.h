@@ -19,6 +19,10 @@
 
 #include "core/io_policy.h"
 
+namespace iosched::obs {
+class Counter;
+}  // namespace iosched::obs
+
 namespace iosched::core {
 
 class AdaptivePolicy final : public IoPolicy {
@@ -27,6 +31,11 @@ class AdaptivePolicy final : public IoPolicy {
   std::vector<RateGrant> Assign(std::span<const IoJobView> active,
                                 double max_bandwidth_gbps,
                                 sim::SimTime now) override;
+  void BindObs(obs::Hub* hub) override;
+
+ private:
+  /// Accumulates water-filling steps across cycles; null when obs is off.
+  obs::Counter* waterfill_counter_ = nullptr;
 };
 
 /// Earliest time J_i (index `candidate`) could start I/O if not admitted

@@ -5,6 +5,7 @@
 
 #include "core/knapsack.h"
 #include "core/slowdown.h"
+#include "obs/hub.h"
 
 namespace iosched::core {
 
@@ -26,6 +27,10 @@ ConservativePolicy::ConservativePolicy(ConservativeOrder order)
     : order_(order), name_(NameFor(order)) {}
 
 const std::string& ConservativePolicy::name() const { return name_; }
+
+void ConservativePolicy::BindObs(obs::Hub* hub) {
+  knapsack_counter_ = hub != nullptr ? hub->knapsack_invocations : nullptr;
+}
 
 std::vector<std::size_t> ConservativePriorityOrder(
     std::span<const IoJobView> active, ConservativeOrder order,
@@ -137,6 +142,7 @@ std::vector<RateGrant> ConservativePolicy::Assign(
     for (const IoJobView& v : active) {
       items.push_back({demand(v), static_cast<double>(v.nodes)});
     }
+    if (knapsack_counter_ != nullptr) knapsack_counter_->Inc();
     KnapsackSolution solution =
         SolveKnapsack01(items, max_bandwidth_gbps, /*unit=*/1.0);
     for (std::size_t i : solution.selected) {

@@ -17,6 +17,10 @@
 
 #include "core/io_policy.h"
 
+namespace iosched::obs {
+class Counter;
+}  // namespace iosched::obs
+
 namespace iosched::core {
 
 enum class ConservativeOrder {
@@ -40,12 +44,15 @@ class ConservativePolicy final : public IoPolicy {
   std::vector<RateGrant> Assign(std::span<const IoJobView> active,
                                 double max_bandwidth_gbps,
                                 sim::SimTime now) override;
+  void BindObs(obs::Hub* hub) override;
 
   ConservativeOrder order() const { return order_; }
 
  private:
   ConservativeOrder order_;
   std::string name_;
+  /// Counts SolveKnapsack01 calls (MaxUtil only); null when obs is off.
+  obs::Counter* knapsack_counter_ = nullptr;
 };
 
 /// Priority-ordered index permutation of `active` for the given ordering at

@@ -1,5 +1,6 @@
 #include "core/event_log.h"
 
+#include <algorithm>
 #include <ostream>
 #include <stdexcept>
 
@@ -39,10 +40,24 @@ std::vector<SchedEvent> EventLog::OfKind(SchedEventKind kind) const {
   return out;
 }
 
+std::vector<SchedEvent> EventLog::Sorted() const {
+  std::vector<SchedEvent> out = events_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SchedEvent& a, const SchedEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     if (a.kind != b.kind) {
+                       return static_cast<int>(a.kind) <
+                              static_cast<int>(b.kind);
+                     }
+                     return a.job < b.job;
+                   });
+  return out;
+}
+
 void EventLog::WriteCsv(std::ostream& out) const {
   util::CsvWriter csv(out);
   csv.Header({"time", "event", "job", "detail"});
-  for (const SchedEvent& e : events_) {
+  for (const SchedEvent& e : Sorted()) {
     csv.Row()
         .Add(e.time)
         .Add(std::string_view(ToString(e.kind)))

@@ -38,10 +38,24 @@ struct SchedEvent {
   double detail = 0.0;
 };
 
-class EventLog {
+/// Consumer of the engine's scheduling-event stream. The engine emits every
+/// event once through a single point; the EventLog, the observability trace
+/// adapter, and any future consumer each implement this interface instead
+/// of owning a private hook.
+class SchedEventSink {
+ public:
+  virtual ~SchedEventSink() = default;
+  virtual void OnSchedEvent(const SchedEvent& event) = 0;
+};
+
+class EventLog : public SchedEventSink {
  public:
   void Append(sim::SimTime time, SchedEventKind kind, workload::JobId job,
               double detail = 0.0);
+
+  void OnSchedEvent(const SchedEvent& event) override {
+    Append(event.time, event.kind, event.job, event.detail);
+  }
 
   const std::vector<SchedEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
@@ -50,7 +64,14 @@ class EventLog {
   /// Events of one kind, in time order.
   std::vector<SchedEvent> OfKind(SchedEventKind kind) const;
 
-  /// CSV: time,kind,job,detail.
+  /// Events in canonical output order: (time, kind, job id). Insertion
+  /// order of same-timestamp events depends on event-queue pop order — an
+  /// implementation detail that has already changed once (the heap
+  /// compaction rework) — so emission sorts with a deterministic tie-break
+  /// instead of leaking it.
+  std::vector<SchedEvent> Sorted() const;
+
+  /// CSV: time,kind,job,detail — rows in Sorted() order.
   void WriteCsv(std::ostream& out) const;
 
  private:

@@ -17,6 +17,10 @@
 #include "sim/time.h"
 #include "workload/job.h"
 
+namespace iosched::obs {
+class Hub;
+}  // namespace iosched::obs
+
 namespace iosched::core {
 
 /// The policy-visible state of one job's current I/O request.
@@ -63,6 +67,11 @@ class IoPolicy {
   virtual std::vector<RateGrant> Assign(std::span<const IoJobView> active,
                                         double max_bandwidth_gbps,
                                         sim::SimTime now) = 0;
+
+  /// Attach observability instruments (null detaches). Policies that count
+  /// anything (knapsack solves, water-filling steps) override; the default
+  /// ignores it, so observability stays optional for policy authors.
+  virtual void BindObs(obs::Hub* hub) { (void)hub; }
 };
 
 /// Verify a grant vector covers exactly the active set with non-negative

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/hub.h"
 #include "util/units.h"
 
 namespace iosched::core {
@@ -65,6 +66,10 @@ void IoScheduler::SubmitRequest(workload::JobId id, double volume_gb,
     throw std::invalid_argument("IoScheduler: non-positive volume");
   }
   ++submitted_requests_;
+  if (hub_ != nullptr) {
+    hub_->io_requests->Inc();
+    hub_->io_request_gb->Observe(volume_gb);
+  }
   const workload::Job& job = *it->second.job;
   double full_rate = job.FullIoRate(node_bandwidth_gbps_);
   if (burst_buffer_ != nullptr) {
@@ -89,6 +94,24 @@ void IoScheduler::SubmitRequest(workload::JobId id, double volume_gb,
   }
   storage_.Begin(id, job.nodes, full_rate, volume_gb, now);
   Reschedule(now);
+}
+
+void IoScheduler::ForceReschedule(sim::SimTime now) {
+  if (hub_ != nullptr) hub_->forced_reschedules->Inc();
+  Reschedule(now);
+}
+
+void IoScheduler::SetObs(obs::Hub* hub) {
+  hub_ = hub;
+  policy_->BindObs(hub);
+}
+
+void IoScheduler::FlushObs(sim::SimTime now) {
+  if (hub_ != nullptr && congested_) {
+    hub_->tracer().Span(obs::kStorageTrack, "congestion", congestion_start_,
+                        now);
+  }
+  congested_ = false;
 }
 
 void IoScheduler::AbortRequest(workload::JobId id, sim::SimTime now) {
@@ -188,6 +211,36 @@ void IoScheduler::Reschedule(sim::SimTime now) {
       if (g.rate_gbps <= 0) ++sample.suspended_requests;
     }
     bandwidth_tracker_->Record(sample);
+  }
+
+  if (hub_ != nullptr) {
+    hub_->io_cycles->Inc();
+    double demand = 0.0;
+    for (const IoJobView& v : views) demand += v.full_rate_gbps;
+    double granted = 0.0;
+    std::uint64_t throttled = 0;
+    for (const RateGrant& g : grants) {
+      granted += g.rate_gbps;
+      if (g.rate_gbps <= 0) ++throttled;
+    }
+    hub_->throttled_grants->Inc(throttled);
+    obs::Tracer& tracer = hub_->tracer();
+    tracer.Counter(obs::kStorageTrack, "demand_gbps", now, demand);
+    tracer.Counter(obs::kStorageTrack, "granted_gbps", now, granted);
+    // A congestion episode spans consecutive congested cycles; the span is
+    // emitted when demand drops back under the usable bandwidth (or at
+    // FlushObs if the run ends congested).
+    bool congested = demand > usable_bandwidth + util::kVolumeEpsilon;
+    if (congested) {
+      hub_->congested_cycles->Inc();
+      if (!congested_) {
+        congested_ = true;
+        congestion_start_ = now;
+      }
+    } else if (congested_) {
+      congested_ = false;
+      tracer.Span(obs::kStorageTrack, "congestion", congestion_start_, now);
+    }
   }
 
   if (has_pending_event_) {

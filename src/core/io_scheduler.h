@@ -23,6 +23,10 @@
 #include "storage/storage_model.h"
 #include "workload/job.h"
 
+namespace iosched::obs {
+class Hub;
+}  // namespace iosched::obs
+
 namespace iosched::core {
 
 class IoScheduler {
@@ -60,7 +64,15 @@ class IoScheduler {
   /// arrival/completion triggers — used when the storage capacity changes
   /// under the policy (degradation/repair), so conservative policies
   /// instantly produce assignments feasible against the new BWmax.
-  void ForceReschedule(sim::SimTime now) { Reschedule(now); }
+  void ForceReschedule(sim::SimTime now);
+
+  /// Attach observability (null detaches); also rebinds the policy's
+  /// instruments. The hub must outlive the scheduler or be detached first.
+  void SetObs(obs::Hub* hub);
+
+  /// Close the open congestion episode, if any, at `now`. Call once after
+  /// the simulation drains so the trace's last span has an end.
+  void FlushObs(sim::SimTime now);
 
   /// Number of jobs currently performing/awaiting I/O.
   std::size_t active_requests() const { return storage_.active_count(); }
@@ -126,6 +138,10 @@ class IoScheduler {
   std::unordered_map<workload::JobId, sim::EventId> absorbed_events_;
   metrics::BandwidthTracker* bandwidth_tracker_ = nullptr;
   storage::BurstBuffer* burst_buffer_ = nullptr;
+  obs::Hub* hub_ = nullptr;
+  /// Congestion-episode span state (demand above usable bandwidth).
+  bool congested_ = false;
+  sim::SimTime congestion_start_ = 0.0;
   /// Cycle-scratch buffers (capacity reused across the ~1 cycle per event
   /// of a month-long replay; cleared each use).
   mutable std::vector<const storage::Transfer*> active_scratch_;

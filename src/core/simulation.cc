@@ -8,6 +8,7 @@
 
 #include "core/io_scheduler.h"
 #include "core/policy_factory.h"
+#include "core/trace_adapter.h"
 #include "faults/fault_injector.h"
 #include "sim/simulator.h"
 #include "util/units.h"
@@ -48,10 +49,11 @@ struct RetryContext {
 class Engine {
  public:
   Engine(const SimulationConfig& config, const workload::Workload& jobs,
-         EventLog* event_log)
+         EventLog* event_log, obs::Hub* hub)
       : config_(config),
         jobs_(jobs),
         event_log_(event_log),
+        hub_(hub),
         machine_(config.machine),
         storage_(config.storage),
         batch_(machine_, config.batch),
@@ -65,6 +67,14 @@ class Engine {
         base_bwmax_(config.storage.max_bandwidth_gbps) {
     if (config_.track_bandwidth) {
       io_scheduler_.SetBandwidthTracker(&bandwidth_tracker_);
+    }
+    if (event_log_ != nullptr) sinks_.push_back(event_log_);
+    if (hub_ != nullptr) {
+      trace_adapter_.emplace(&hub_->tracer());
+      sinks_.push_back(&*trace_adapter_);
+      simulator_.SetEventCounter(hub_->events_processed);
+      io_scheduler_.SetObs(hub_);
+      batch_.SetObs(hub_);
     }
     if (config_.burst_buffer.enabled()) {
       if (config_.burst_buffer.drain_gbps >=
@@ -113,10 +123,22 @@ class Engine {
       simulator_.ScheduleAt(job.submit_time, [this, &job] { OnSubmit(job); });
     }
     if (injector_.has_value()) injector_->Arm();
+    if (hub_ != nullptr && hub_->options().sample_dt_seconds > 0) {
+      // The engine owns the tick cadence: the first sample lands at t=0 and
+      // each tick re-arms only while real work remains, so sampling cannot
+      // keep an otherwise-drained queue alive.
+      simulator_.ScheduleAt(0.0, [this] { SampleTick(); });
+    }
     simulator_.Run();
     if (!running_.empty() || batch_.queue_size() != 0) {
       throw std::logic_error(
           "RunSimulation: event queue drained with unfinished jobs");
+    }
+    if (hub_ != nullptr) {
+      sim::SimTime end = simulator_.Now();
+      io_scheduler_.FlushObs(end);
+      trace_adapter_->Flush(end);
+      if (hub_->options().sample_dt_seconds > 0) RecordSample(end);
     }
 
     SimulationResult result;
@@ -152,10 +174,57 @@ class Engine {
     RunSchedulingPass();
   }
 
+  /// The single emit point of the scheduling-event stream: every consumer
+  /// (CSV log, trace adapter, lifecycle counters) hangs off this call.
   void Log(SchedEventKind kind, workload::JobId id, double detail = 0.0) {
-    if (event_log_ != nullptr) {
-      event_log_->Append(simulator_.Now(), kind, id, detail);
+    if (sinks_.empty() && hub_ == nullptr) return;
+    SchedEvent event{simulator_.Now(), kind, id, detail};
+    for (SchedEventSink* sink : sinks_) sink->OnSchedEvent(event);
+    CountSchedEvent(kind);
+  }
+
+  void CountSchedEvent(SchedEventKind kind) {
+    if (hub_ == nullptr) return;
+    switch (kind) {
+      case SchedEventKind::kSubmit: hub_->jobs_submitted->Inc(); break;
+      case SchedEventKind::kStart: hub_->jobs_started->Inc(); break;
+      case SchedEventKind::kEnd: hub_->jobs_completed->Inc(); break;
+      case SchedEventKind::kKill: hub_->jobs_killed->Inc(); break;
+      case SchedEventKind::kFaultKill: hub_->jobs_fault_killed->Inc(); break;
+      case SchedEventKind::kRequeue: hub_->jobs_requeued->Inc(); break;
+      case SchedEventKind::kAbandon: hub_->jobs_abandoned->Inc(); break;
+      case SchedEventKind::kIoRequest:
+      case SchedEventKind::kIoComplete:
+        break;  // counted at the IoScheduler, which also sees absorbed I/O
     }
+  }
+
+  void SampleTick() {
+    RecordSample(simulator_.Now());
+    if (simulator_.pending_events() > 0) {
+      simulator_.ScheduleAfter(hub_->options().sample_dt_seconds,
+                               [this] { SampleTick(); });
+    }
+  }
+
+  void RecordSample(sim::SimTime now) {
+    obs::SamplePoint p;
+    p.time = now;
+    p.demand_gbps = storage_.TotalDemand();
+    p.granted_gbps = storage_.TotalAssignedRate();
+    p.active_requests = static_cast<int>(storage_.active_count());
+    storage_.ActiveByArrival(sample_scratch_);
+    for (const storage::Transfer* t : sample_scratch_) {
+      if (t->rate_gbps <= 0) ++p.suspended_requests;
+    }
+    p.busy_nodes = machine_.busy_nodes();
+    int total_nodes = config_.machine.total_nodes();
+    p.utilization = total_nodes > 0
+                        ? static_cast<double>(p.busy_nodes) / total_nodes
+                        : 0.0;
+    p.queue_depth = batch_.queue_size();
+    p.running_jobs = running_.size();
+    hub_->sampler().Record(p);
   }
 
   void RunSchedulingPass() {
@@ -164,6 +233,10 @@ class Engine {
       StartJob(*d.job, d.partition, now);
     }
     utilization_.Record(now, machine_.busy_nodes());
+    if (hub_ != nullptr) {
+      hub_->tracer().Counter(obs::kSchedulerTrack, "queue_depth", now,
+                             static_cast<double>(batch_.queue_size()));
+    }
   }
 
   void StartJob(const workload::Job& job, const machine::Partition& partition,
@@ -379,6 +452,10 @@ class Engine {
   const SimulationConfig& config_;
   const workload::Workload& jobs_;
   EventLog* event_log_;
+  obs::Hub* hub_;
+  /// Consumers of the Log() emit point (event_log_, then trace_adapter_).
+  std::vector<SchedEventSink*> sinks_;
+  std::optional<SchedTraceAdapter> trace_adapter_;
   sim::Simulator simulator_;
   machine::Machine machine_;
   storage::StorageModel storage_;
@@ -395,14 +472,16 @@ class Engine {
   std::unordered_map<workload::JobId, ExecState> running_;
   std::unordered_map<workload::JobId, RetryContext> retry_;
   metrics::JobRecords records_;
+  /// Scratch for RecordSample's suspended-transfer count.
+  std::vector<const storage::Transfer*> sample_scratch_;
 };
 
 }  // namespace
 
 SimulationResult RunSimulation(const SimulationConfig& config,
                                const workload::Workload& jobs,
-                               EventLog* event_log) {
-  Engine engine(config, jobs, event_log);
+                               EventLog* event_log, obs::Hub* hub) {
+  Engine engine(config, jobs, event_log, hub);
   return engine.Run();
 }
 

@@ -21,6 +21,7 @@
 #include "metrics/job_record.h"
 #include "metrics/report.h"
 #include "metrics/utilization.h"
+#include "obs/hub.h"
 #include "sched/batch_scheduler.h"
 #include "storage/storage_model.h"
 #include "workload/workload.h"
@@ -53,6 +54,10 @@ struct SimulationConfig {
   /// Either an explicit plan or seeded generation parameters; killed jobs
   /// requeue with exponential backoff under `batch` retry options.
   faults::FaultOptions faults;
+  /// Observability settings (counters + tracer + time-series sampler).
+  /// Drivers that honor `obs.enabled` construct an obs::Hub from these and
+  /// pass it to RunSimulation; the engine itself only sees the Hub pointer.
+  obs::Options obs;
 };
 
 struct SimulationResult {
@@ -78,8 +83,13 @@ struct SimulationResult {
 /// valid (ValidateWorkload empty) and is not modified. Deterministic.
 /// When `event_log` is non-null every scheduling event (submit, start, I/O
 /// request/complete, end, kill) is appended to it in time order.
+/// When `hub` is non-null the run feeds its counters, tracer, and sampler;
+/// the schedule of decisions is unaffected (obs never mutates simulation
+/// state), so records and report are identical with and without a hub —
+/// only `events_processed` grows by the sampler's tick events.
 SimulationResult RunSimulation(const SimulationConfig& config,
                                const workload::Workload& jobs,
-                               EventLog* event_log = nullptr);
+                               EventLog* event_log = nullptr,
+                               obs::Hub* hub = nullptr);
 
 }  // namespace iosched::core

@@ -1,0 +1,90 @@
+#include "core/trace_adapter.h"
+
+#include <stdexcept>
+
+namespace iosched::core {
+
+SchedTraceAdapter::SchedTraceAdapter(obs::Tracer* tracer) : tracer_(tracer) {
+  if (tracer_ == nullptr) {
+    throw std::invalid_argument("SchedTraceAdapter: null tracer");
+  }
+}
+
+void SchedTraceAdapter::OnSchedEvent(const SchedEvent& e) {
+  const std::int64_t track = static_cast<std::int64_t>(e.job);
+  switch (e.kind) {
+    case SchedEventKind::kSubmit: {
+      JobState& s = jobs_[e.job];
+      s.waiting_since = e.time;
+      tracer_->Instant(track, "submit", e.time, e.detail);
+      break;
+    }
+    case SchedEventKind::kStart: {
+      JobState& s = jobs_[e.job];
+      tracer_->Span(track, "wait", s.waiting_since, e.time, e.detail);
+      s.running = true;
+      s.run_start = e.time;
+      break;
+    }
+    case SchedEventKind::kIoRequest: {
+      JobState& s = jobs_[e.job];
+      s.in_io = true;
+      s.io_start = e.time;
+      break;
+    }
+    case SchedEventKind::kIoComplete: {
+      JobState& s = jobs_[e.job];
+      if (s.in_io) {
+        tracer_->Span(track, "io", s.io_start, e.time, e.detail);
+        s.in_io = false;
+      }
+      break;
+    }
+    case SchedEventKind::kEnd:
+    case SchedEventKind::kKill: {
+      JobState& s = jobs_[e.job];
+      if (s.running) tracer_->Span(track, "run", s.run_start, e.time);
+      if (e.kind == SchedEventKind::kKill) {
+        tracer_->Instant(track, "walltime_kill", e.time);
+      }
+      jobs_.erase(e.job);
+      break;
+    }
+    case SchedEventKind::kFaultKill: {
+      JobState& s = jobs_[e.job];
+      if (s.in_io) {
+        tracer_->Span(track, "io", s.io_start, e.time);
+        s.in_io = false;
+      }
+      if (s.running) {
+        tracer_->Span(track, "run", s.run_start, e.time, e.detail);
+        s.running = false;
+      }
+      tracer_->Instant(track, "fault_kill", e.time, e.detail);
+      // A requeue/abandon decision follows at the same instant; until then
+      // the job is back to waiting.
+      s.waiting_since = e.time;
+      break;
+    }
+    case SchedEventKind::kRequeue: {
+      tracer_->Instant(track, "requeue", e.time, e.detail);
+      break;
+    }
+    case SchedEventKind::kAbandon: {
+      tracer_->Instant(track, "abandon", e.time);
+      jobs_.erase(e.job);
+      break;
+    }
+  }
+}
+
+void SchedTraceAdapter::Flush(sim::SimTime now) {
+  for (const auto& [job, s] : jobs_) {
+    const std::int64_t track = static_cast<std::int64_t>(job);
+    if (s.in_io) tracer_->Span(track, "io", s.io_start, now);
+    if (s.running) tracer_->Span(track, "run", s.run_start, now);
+  }
+  jobs_.clear();
+}
+
+}  // namespace iosched::core

@@ -1,0 +1,42 @@
+// SchedEventSink that renders the engine's scheduling-event stream as
+// per-job tracks in the observability tracer: a "wait" span from submit (or
+// requeue) to start, a "run" span from start to end/kill, and one "io" span
+// per I/O request, plus instants for the fault-handling events. This is the
+// EventLog's sibling behind the engine's shared emit point — the CSV log
+// and the Chrome trace are two views of one event stream.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/event_log.h"
+#include "obs/tracer.h"
+
+namespace iosched::core {
+
+class SchedTraceAdapter : public SchedEventSink {
+ public:
+  /// `tracer` must outlive the adapter.
+  explicit SchedTraceAdapter(obs::Tracer* tracer);
+
+  void OnSchedEvent(const SchedEvent& event) override;
+
+  /// Close the open spans of jobs still in flight (nothing should remain
+  /// after a run-to-completion simulation; kept for partial runs and
+  /// defensive symmetry). Call once after the simulator drains.
+  void Flush(sim::SimTime now);
+
+ private:
+  struct JobState {
+    /// Wait-span origin: submit time, or the requeue time after a fault.
+    sim::SimTime waiting_since = 0.0;
+    sim::SimTime run_start = 0.0;
+    sim::SimTime io_start = 0.0;
+    bool running = false;
+    bool in_io = false;
+  };
+
+  obs::Tracer* tracer_;
+  std::unordered_map<workload::JobId, JobState> jobs_;
+};
+
+}  // namespace iosched::core

@@ -87,6 +87,19 @@ Scenario ScenarioFromConfig(const util::Config& config) {
         config.GetDoubleOr("faults.max_backoff_seconds", 4.0 * 3600.0);
   }
 
+  // Observability.
+  scenario.config.obs.enabled = config.GetBoolOr("obs.enabled", false);
+  scenario.config.obs.sample_dt_seconds =
+      config.GetDoubleOr("obs.sample_dt_seconds", 600.0);
+  {
+    long long cap = config.GetIntOr("obs.trace_capacity",
+                                    static_cast<long long>(1u << 20));
+    if (cap <= 0) {
+      throw std::runtime_error("config: 'obs.trace_capacity' must be positive");
+    }
+    scenario.config.obs.trace_capacity = static_cast<std::size_t>(cap);
+  }
+
   // Policy & simulation knobs.
   scenario.config.policy = config.GetStringOr("policy.name", "BASE_LINE");
   scenario.config.enforce_walltime =

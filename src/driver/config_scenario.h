@@ -41,6 +41,11 @@
 //   backoff_seconds = <double>       (300)   # doubles per retry
 //   max_backoff_seconds = <double>   (14400)
 //
+//   [obs]
+//   enabled = <bool>                 (false)  # counters + trace + sampler
+//   sample_dt_seconds = <double>     (600)    # <= 0 disables the sampler
+//   trace_capacity = <int>           (1048576) # tracer ring size, records
+//
 //   [workload]
 //   month = 1..3                     (use the built-in evaluation month)
 //   days = <double>                  (30)

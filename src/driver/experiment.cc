@@ -1,10 +1,12 @@
 #include "driver/experiment.h"
 
 #include <chrono>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/simulation.h"
+#include "obs/hub.h"
 #include "util/csv.h"
 #include "util/units.h"
 
@@ -14,8 +16,11 @@ namespace {
 PolicyRun RunOne(const Scenario& scenario, const std::string& policy) {
   core::SimulationConfig config = scenario.config;
   config.policy = policy;
+  std::optional<obs::Hub> hub;
+  if (config.obs.enabled) hub.emplace(config.obs);
   auto t0 = std::chrono::steady_clock::now();
-  core::SimulationResult result = core::RunSimulation(config, scenario.jobs);
+  core::SimulationResult result = core::RunSimulation(
+      config, scenario.jobs, nullptr, hub ? &*hub : nullptr);
   auto t1 = std::chrono::steady_clock::now();
 
   PolicyRun run;
@@ -25,6 +30,11 @@ PolicyRun RunOne(const Scenario& scenario, const std::string& policy) {
   run.events_processed = result.events_processed;
   run.io_cycles = result.io_scheduling_cycles;
   run.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  if (hub) {
+    std::ostringstream os;
+    hub->registry().WriteText(os);
+    run.obs_stats = os.str();
+  }
   return run;
 }
 }  // namespace

@@ -20,6 +20,10 @@ struct PolicyRun {
   std::uint64_t events_processed = 0;
   std::uint64_t io_cycles = 0;
   double wall_seconds = 0.0;  // host time spent simulating
+  /// Counter dump (obs::Registry::WriteText) when the scenario enables
+  /// observability; empty otherwise. Each run gets its own Hub, so sweeps
+  /// stay parallel-safe.
+  std::string obs_stats;
 };
 
 /// Run one scenario under each policy. When `pool` is non-null the runs

@@ -12,7 +12,10 @@ namespace iosched::driver {
 
 namespace {
 MetricStats ToStats(const util::RunningStats& s) {
-  return MetricStats{s.mean(), s.stddev(), s.count()};
+  // A single replication has no spread: report exactly 0, never a NaN or a
+  // Welford residual, so tables render "±0.0" for n=1 sweeps.
+  double stddev = s.count() < 2 ? 0.0 : s.stddev();
+  return MetricStats{s.mean(), stddev, s.count()};
 }
 }  // namespace
 

@@ -66,8 +66,13 @@ double UtilizationTracker::StableUtilization(double warmup_fraction,
   sim::SimTime hi = times_.back();
   double span = hi - lo;
   if (span <= 0) return 0.0;
-  return Utilization(lo + warmup_fraction * span,
-                     hi - cooldown_fraction * span);
+  sim::SimTime t0 = lo + warmup_fraction * span;
+  sim::SimTime t1 = hi - cooldown_fraction * span;
+  // Float round-off can collapse the trimmed window even when span > 0
+  // (fractions summing to just under 1 on a tiny span); a degenerate
+  // window has no defined utilization — report idle, not NaN.
+  if (t1 <= t0) return 0.0;
+  return Utilization(t0, t1);
 }
 
 sim::SimTime UtilizationTracker::first_time() const {

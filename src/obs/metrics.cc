@@ -1,0 +1,106 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace iosched::obs {
+
+Histogram::Histogram(std::string name, std::vector<double> upper_bounds)
+    : name_(std::move(name)), bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram " + name_ + ": no buckets");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("Histogram " + name_ +
+                                  ": bounds not strictly increasing");
+    }
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+namespace {
+template <typename T>
+T* FindByName(const std::vector<std::unique_ptr<T>>& items,
+              std::string_view name) {
+  for (const auto& item : items) {
+    if (item->name() == name) return item.get();
+  }
+  return nullptr;
+}
+
+template <typename T>
+void RequireFresh(const std::vector<std::unique_ptr<T>>& items,
+                  const std::string& name) {
+  if (FindByName(items, name) != nullptr) {
+    throw std::invalid_argument("Registry: duplicate instrument '" + name +
+                                "'");
+  }
+}
+
+template <typename T>
+std::vector<const T*> SortedByName(
+    const std::vector<std::unique_ptr<T>>& items) {
+  std::vector<const T*> out;
+  out.reserve(items.size());
+  for (const auto& item : items) out.push_back(item.get());
+  std::sort(out.begin(), out.end(),
+            [](const T* a, const T* b) { return a->name() < b->name(); });
+  return out;
+}
+}  // namespace
+
+Counter* Registry::AddCounter(std::string name) {
+  RequireFresh(counters_, name);
+  counters_.push_back(std::make_unique<Counter>(std::move(name)));
+  return counters_.back().get();
+}
+
+Gauge* Registry::AddGauge(std::string name) {
+  RequireFresh(gauges_, name);
+  gauges_.push_back(std::make_unique<Gauge>(std::move(name)));
+  return gauges_.back().get();
+}
+
+Histogram* Registry::AddHistogram(std::string name,
+                                  std::vector<double> upper_bounds) {
+  RequireFresh(histograms_, name);
+  histograms_.push_back(
+      std::make_unique<Histogram>(std::move(name), std::move(upper_bounds)));
+  return histograms_.back().get();
+}
+
+const Counter* Registry::FindCounter(std::string_view name) const {
+  return FindByName(counters_, name);
+}
+
+const Gauge* Registry::FindGauge(std::string_view name) const {
+  return FindByName(gauges_, name);
+}
+
+const Histogram* Registry::FindHistogram(std::string_view name) const {
+  return FindByName(histograms_, name);
+}
+
+void Registry::WriteText(std::ostream& out) const {
+  for (const Counter* c : SortedByName(counters_)) {
+    out << "counter " << c->name() << ' ' << c->value() << '\n';
+  }
+  for (const Gauge* g : SortedByName(gauges_)) {
+    out << "gauge " << g->name() << ' ' << g->value() << " max " << g->max()
+        << '\n';
+  }
+  for (const Histogram* h : SortedByName(histograms_)) {
+    out << "histogram " << h->name() << " count " << h->total_count()
+        << " sum " << h->sum();
+    const auto& bounds = h->bounds();
+    const auto& counts = h->counts();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      out << " le_" << bounds[i] << ' ' << counts[i];
+    }
+    out << " inf " << counts.back() << '\n';
+  }
+}
+
+}  // namespace iosched::obs

@@ -1,0 +1,132 @@
+// Observability instruments: named counters, gauges, and fixed-bucket
+// histograms behind a Registry.
+//
+// Design constraints (the subsystem is always compiled in):
+//   * the increment path is header-only and allocation-free, so a bound
+//     instrument costs one add in the hot loops;
+//   * instruments are created once at setup and never move — the Registry
+//     hands out stable pointers that callers may cache for the run's
+//     lifetime;
+//   * when observability is off nothing here is even constructed; call
+//     sites guard on a null hub pointer instead.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iosched::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Inc(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written level plus the running maximum (e.g. queue depth).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void Set(double value) {
+    value_ = value;
+    if (value > max_) max_ = value;
+  }
+  void Add(double delta) { Set(value_ + delta); }
+  double value() const { return value_; }
+  double max() const { return max_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  double value_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; one
+/// implicit overflow bucket catches the rest. Bounds are set at creation
+/// and never change, so Observe never allocates.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing (throws
+  /// std::invalid_argument otherwise).
+  Histogram(std::string name, std::vector<double> upper_bounds);
+
+  void Observe(double value) {
+    ++counts_[BucketIndex(value)];
+    ++total_;
+    sum_ += value;
+  }
+
+  /// Index of the bucket `value` falls into (bounds.size() = overflow).
+  std::size_t BucketIndex(double value) const {
+    std::size_t i = 0;
+    while (i < bounds_.size() && value > bounds_[i]) ++i;
+    return i;
+  }
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// counts().size() == bounds().size() + 1 (last = overflow).
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::uint64_t total_count() const { return total_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+  }
+
+ private:
+  std::string name_;
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Owns every instrument of one run. Creation throws on duplicate names;
+/// returned pointers stay valid for the Registry's lifetime.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* AddCounter(std::string name);
+  Gauge* AddGauge(std::string name);
+  Histogram* AddHistogram(std::string name, std::vector<double> upper_bounds);
+
+  /// Lookup by name; nullptr when absent.
+  const Counter* FindCounter(std::string_view name) const;
+  const Gauge* FindGauge(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Human-readable dump, one instrument per line, sorted by name within
+  /// each instrument type:
+  ///   counter <name> <value>
+  ///   gauge <name> <value> max <max>
+  ///   histogram <name> count <n> sum <s> le_<bound> <n> ... inf <n>
+  void WriteText(std::ostream& out) const;
+
+ private:
+  // unique_ptr elements keep instrument addresses stable across Add calls.
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace iosched::obs

@@ -1,0 +1,51 @@
+#include "obs/sampler.h"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "util/csv.h"
+#include "util/units.h"
+
+namespace iosched::obs {
+
+TimeSeriesSampler::TimeSeriesSampler(double dt_seconds)
+    : dt_seconds_(dt_seconds) {
+  if (dt_seconds <= 0) {
+    throw std::invalid_argument("TimeSeriesSampler: non-positive dt");
+  }
+}
+
+void TimeSeriesSampler::Record(const SamplePoint& point) {
+  if (!samples_.empty()) {
+    double last = samples_.back().time;
+    if (point.time < last - util::kTimeEpsilon) {
+      throw std::logic_error("TimeSeriesSampler: time went backwards");
+    }
+    if (point.time <= last + util::kTimeEpsilon) {
+      samples_.back() = point;
+      return;
+    }
+  }
+  samples_.push_back(point);
+}
+
+void TimeSeriesSampler::WriteCsv(std::ostream& out) const {
+  util::CsvWriter csv(out);
+  csv.Header({"time", "demand_gbps", "granted_gbps", "active_requests",
+              "suspended_requests", "busy_nodes", "utilization",
+              "queue_depth", "running_jobs"});
+  for (const SamplePoint& p : samples_) {
+    csv.Row()
+        .Add(p.time)
+        .Add(p.demand_gbps)
+        .Add(p.granted_gbps)
+        .Add(p.active_requests)
+        .Add(p.suspended_requests)
+        .Add(p.busy_nodes)
+        .Add(p.utilization)
+        .Add(static_cast<long long>(p.queue_depth))
+        .Add(static_cast<long long>(p.running_jobs));
+  }
+}
+
+}  // namespace iosched::obs

@@ -1,0 +1,58 @@
+// Periodic time-series sampler: the simulation engine records one
+// SamplePoint every `dt` of simulated time (plus one at t=0 and one at the
+// end of the run), and the sampler renders them as a CSV for offline
+// plotting — bandwidth demand/grant, machine utilization, queue depth.
+//
+// The sampler itself is passive storage; the engine owns the tick cadence
+// so the sampling events cannot keep an otherwise-drained event queue
+// alive.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+namespace iosched::obs {
+
+struct SamplePoint {
+  double time = 0.0;
+  /// Aggregate full-rate demand of active transfers (GB/s).
+  double demand_gbps = 0.0;
+  /// Aggregate granted rate (GB/s).
+  double granted_gbps = 0.0;
+  int active_requests = 0;
+  int suspended_requests = 0;
+  int busy_nodes = 0;
+  /// busy_nodes / machine size at the sample instant.
+  double utilization = 0.0;
+  std::size_t queue_depth = 0;
+  std::size_t running_jobs = 0;
+};
+
+class TimeSeriesSampler {
+ public:
+  /// `dt_seconds` is the intended cadence (informational here; the engine
+  /// drives the actual ticks). Must be positive.
+  explicit TimeSeriesSampler(double dt_seconds);
+
+  double dt_seconds() const { return dt_seconds_; }
+
+  /// Append a sample. Time must be non-decreasing; a sample at the same
+  /// instant as the previous one overwrites it (the end-of-run sample can
+  /// coincide with the last tick).
+  void Record(const SamplePoint& point);
+
+  const std::vector<SamplePoint>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+
+  /// CSV with header:
+  ///   time,demand_gbps,granted_gbps,active_requests,suspended_requests,
+  ///   busy_nodes,utilization,queue_depth,running_jobs
+  void WriteCsv(std::ostream& out) const;
+
+ private:
+  double dt_seconds_;
+  std::vector<SamplePoint> samples_;
+};
+
+}  // namespace iosched::obs

@@ -1,0 +1,157 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace iosched::obs {
+
+Tracer::Tracer(std::size_t capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("Tracer: zero capacity");
+  }
+  ring_.resize(capacity);
+}
+
+void Tracer::Push(const Record& record) {
+  if (size_ == ring_.size()) ++dropped_;
+  ring_[next_] = record;
+  next_ = (next_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+}
+
+void Tracer::Span(std::int64_t track, const char* name, double start_s,
+                  double end_s, double value) {
+  if (end_s < start_s) {
+    throw std::invalid_argument("Tracer::Span: end before start");
+  }
+  Push(Record{RecordKind::kSpan, track, name, start_s, end_s, value});
+}
+
+void Tracer::Instant(std::int64_t track, const char* name, double t_s,
+                     double value) {
+  Push(Record{RecordKind::kInstant, track, name, t_s, t_s, value});
+}
+
+void Tracer::Counter(std::int64_t track, const char* name, double t_s,
+                     double value) {
+  Push(Record{RecordKind::kCounter, track, name, t_s, t_s, value});
+}
+
+std::vector<Tracer::Record> Tracer::Snapshot() const {
+  std::vector<Record> out;
+  out.reserve(size_);
+  // When the ring has wrapped, `next_` is also the oldest slot.
+  std::size_t start = size_ == ring_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+namespace {
+
+/// Chrome "thread" id for a track (job J gets lane J+2 after the two fixed
+/// lanes, so the UI sorts jobs by id).
+long long TrackTid(std::int64_t track) {
+  if (track == kSchedulerTrack) return 0;
+  if (track == kStorageTrack) return 1;
+  return track + 2;
+}
+
+std::string TrackLabel(std::int64_t track) {
+  if (track == kSchedulerTrack) return "scheduler";
+  if (track == kStorageTrack) return "storage";
+  return "job " + std::to_string(track);
+}
+
+void WriteEscaped(std::ostream& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    char c = *s;
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out << buf;
+    } else {
+      out << c;
+    }
+  }
+}
+
+/// JSON has no inf/nan literals; clamp so the output always parses.
+void WriteNumber(std::ostream& out, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  out << buf;
+}
+
+}  // namespace
+
+void Tracer::WriteChromeTrace(std::ostream& out) const {
+  std::vector<Record> records = Snapshot();
+  // Export in deterministic order regardless of how simultaneous records
+  // were interleaved at emit time.
+  std::stable_sort(records.begin(), records.end(),
+                   [](const Record& a, const Record& b) {
+                     if (a.start_s != b.start_s) return a.start_s < b.start_s;
+                     if (a.track != b.track) return a.track < b.track;
+                     if (a.kind != b.kind) {
+                       return static_cast<int>(a.kind) <
+                              static_cast<int>(b.kind);
+                     }
+                     return std::strcmp(a.name, b.name) < 0;
+                   });
+
+  std::set<std::int64_t> tracks;
+  for (const Record& r : records) tracks.insert(r.track);
+
+  out << "[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ",\n";
+    first = false;
+  };
+  for (std::int64_t track : tracks) {
+    sep();
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+        << TrackTid(track) << ",\"args\":{\"name\":\"";
+    WriteEscaped(out, TrackLabel(track).c_str());
+    out << "\"}}";
+  }
+  for (const Record& r : records) {
+    sep();
+    out << "{\"name\":\"";
+    WriteEscaped(out, r.name);
+    out << "\",\"pid\":1,\"tid\":" << TrackTid(r.track) << ",\"ts\":";
+    WriteNumber(out, r.start_s * 1e6);
+    switch (r.kind) {
+      case RecordKind::kSpan:
+        out << ",\"ph\":\"X\",\"dur\":";
+        WriteNumber(out, (r.end_s - r.start_s) * 1e6);
+        out << ",\"args\":{\"value\":";
+        WriteNumber(out, r.value);
+        out << "}}";
+        break;
+      case RecordKind::kInstant:
+        out << ",\"ph\":\"i\",\"s\":\"t\",\"args\":{\"value\":";
+        WriteNumber(out, r.value);
+        out << "}}";
+        break;
+      case RecordKind::kCounter:
+        out << ",\"ph\":\"C\",\"args\":{\"value\":";
+        WriteNumber(out, r.value);
+        out << "}}";
+        break;
+    }
+  }
+  out << "\n]\n";
+}
+
+}  // namespace iosched::obs

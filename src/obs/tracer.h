@@ -1,0 +1,78 @@
+// Execution tracer: spans, instants, and counter samples in a bounded ring
+// buffer, exported as Chrome trace-event JSON (chrome://tracing and Perfetto
+// both load it).
+//
+// Tracks map to Chrome "threads" of a single "process":
+//   * kSchedulerTrack — scheduler-cycle/queue telemetry;
+//   * kStorageTrack   — aggregate demand vs BWmax, congestion episodes;
+//   * any track id >= 0 is a job id, one lane per job (wait/run/I-O spans).
+//
+// The ring bounds memory for arbitrarily long runs: once full, the oldest
+// record is overwritten and `dropped()` counts the loss (the exporter still
+// emits a valid trace of the most recent window). Record names must be
+// string literals (or otherwise outlive the Tracer) — they are stored as
+// pointers, keeping the record path allocation-free.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace iosched::obs {
+
+/// Fixed track ids; non-negative ids are job ids.
+inline constexpr std::int64_t kSchedulerTrack = -1;
+inline constexpr std::int64_t kStorageTrack = -2;
+
+class Tracer {
+ public:
+  enum class RecordKind : std::uint8_t { kSpan, kInstant, kCounter };
+
+  struct Record {
+    RecordKind kind = RecordKind::kInstant;
+    std::int64_t track = 0;
+    const char* name = "";
+    double start_s = 0.0;  // also the timestamp of instants/counters
+    double end_s = 0.0;    // spans only
+    double value = 0.0;    // span/instant payload, or the counter level
+  };
+
+  /// `capacity` > 0: maximum records retained (throws otherwise).
+  explicit Tracer(std::size_t capacity);
+
+  /// A closed interval [start_s, end_s] on `track`. end_s >= start_s.
+  void Span(std::int64_t track, const char* name, double start_s,
+            double end_s, double value = 0.0);
+
+  /// A point event.
+  void Instant(std::int64_t track, const char* name, double t_s,
+               double value = 0.0);
+
+  /// A counter sample (rendered as a filled area chart).
+  void Counter(std::int64_t track, const char* name, double t_s,
+               double value);
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return ring_.size(); }
+  /// Records lost to ring wraparound.
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Retained records, oldest first.
+  std::vector<Record> Snapshot() const;
+
+  /// Chrome trace-event JSON: a single array of event objects, sorted by
+  /// timestamp (with a deterministic tie-break), preceded by thread_name
+  /// metadata for every referenced track. Timestamps are simulated seconds
+  /// scaled to microseconds, the format's native unit.
+  void WriteChromeTrace(std::ostream& out) const;
+
+ private:
+  void Push(const Record& record);
+
+  std::vector<Record> ring_;
+  std::size_t next_ = 0;  // slot the next record lands in
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace iosched::obs

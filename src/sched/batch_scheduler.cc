@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/hub.h"
 #include "util/units.h"
 
 namespace iosched::sched {
@@ -97,6 +98,12 @@ bool BatchScheduler::BackfillOk(const workload::Job& candidate,
 }
 
 std::vector<StartDecision> BatchScheduler::Schedule(sim::SimTime now) {
+  if (hub_ != nullptr) {
+    hub_->sched_passes->Inc();
+    double depth = static_cast<double>(queue_.size());
+    hub_->queue_depth->Set(depth);
+    hub_->queue_depth_hist->Observe(depth);
+  }
   std::vector<StartDecision> decisions;
   if (queue_.empty()) return decisions;
 
@@ -151,6 +158,7 @@ std::vector<StartDecision> BatchScheduler::Schedule(sim::SimTime now) {
       continue;
     }
     if (BackfillOk(*job, *partition, *blocked_head, now, shadow)) {
+      if (hub_ != nullptr) hub_->backfill_starts->Inc();
       decisions.push_back(StartDecision{job, *partition});
       running_.emplace(job->id, RunningJob{job, *partition, now,
                                            now + job->requested_walltime});

@@ -20,6 +20,10 @@
 #include "sim/time.h"
 #include "workload/job.h"
 
+namespace iosched::obs {
+class Hub;
+}  // namespace iosched::obs
+
 namespace iosched::sched {
 
 /// A job holding a partition.
@@ -90,6 +94,10 @@ class BatchScheduler {
   /// after `now`; kTimeInfinity when every queued job is already eligible.
   sim::SimTime NextEligibleTime(sim::SimTime now) const;
 
+  /// Attach observability (null detaches). The hub must outlive the
+  /// scheduler or be detached first.
+  void SetObs(obs::Hub* hub) { hub_ = hub; }
+
   std::size_t queue_size() const { return queue_.size(); }
   std::size_t running_count() const { return running_.size(); }
   const std::unordered_map<workload::JobId, RunningJob>& running() const {
@@ -120,6 +128,7 @@ class BatchScheduler {
   std::unordered_map<workload::JobId, int> retries_;
   /// Backoff gate: queued jobs absent from this map are always eligible.
   std::unordered_map<workload::JobId, sim::SimTime> eligible_after_;
+  obs::Hub* hub_ = nullptr;
 };
 
 }  // namespace iosched::sched

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.h"
 #include "util/units.h"
 
 namespace iosched::sim {
@@ -33,6 +34,7 @@ std::size_t Simulator::Run(SimTime until) {
     now_ = ev.time;
     ev.action();
     ++processed_;
+    if (event_counter_ != nullptr) event_counter_->Inc();
     ++count;
   }
   return count;
@@ -44,6 +46,7 @@ bool Simulator::RunOne() {
   now_ = ev.time;
   ev.action();
   ++processed_;
+  if (event_counter_ != nullptr) event_counter_->Inc();
   return true;
 }
 

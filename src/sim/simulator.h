@@ -12,6 +12,10 @@
 #include "sim/event_queue.h"
 #include "sim/time.h"
 
+namespace iosched::obs {
+class Counter;
+}
+
 namespace iosched::sim {
 
 class Simulator {
@@ -50,11 +54,16 @@ class Simulator {
   /// Number of pending events.
   std::size_t pending_events() const { return queue_.Size(); }
 
+  /// Attach an observability counter incremented once per processed event
+  /// (nullptr detaches). The counter must outlive the simulator's runs.
+  void SetEventCounter(obs::Counter* counter) { event_counter_ = counter; }
+
  private:
   SimTime now_ = 0.0;
   EventQueue queue_;
   bool stop_requested_ = false;
   std::uint64_t processed_ = 0;
+  obs::Counter* event_counter_ = nullptr;
 };
 
 }  // namespace iosched::sim

@@ -241,7 +241,8 @@ StorageModel::NextCompletion() const {
 
 void WaterFillRates(std::span<const double> demands,
                     std::span<const int> nodes, double max_bandwidth_gbps,
-                    std::span<double> rates_out) {
+                    std::span<double> rates_out,
+                    std::uint64_t* iterations_out) {
   const std::size_t n = demands.size();
   double total_demand = 0.0;
   long long total_nodes = 0;
@@ -271,6 +272,7 @@ void WaterFillRates(std::span<const double> demands,
     if (da != db) return da < db;
     return a < b;
   });
+  if (iterations_out != nullptr) *iterations_out += n;
   double remaining_bw = max_bandwidth_gbps;
   long long remaining_nodes = total_nodes;
   for (std::size_t i : order) {

@@ -26,6 +26,7 @@
 // never re-sorts.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -181,10 +182,14 @@ class StorageModel {
 /// freed slack to the rest until BWmax is saturated or every demand is met.
 /// `demands[i]` pairs with `nodes[i]`; writes one rate per index into
 /// `rates_out` (same length). When total demand fits in BWmax every
-/// transfer gets its full demand.
+/// transfer gets its full demand. When `iterations_out` is non-null it is
+/// *incremented* by the number of water-filling steps this call performed
+/// (0 on the uncongested fast path) — observability accounting only, the
+/// rates are unaffected.
 void WaterFillRates(std::span<const double> demands,
                     std::span<const int> nodes, double max_bandwidth_gbps,
-                    std::span<double> rates_out);
+                    std::span<double> rates_out,
+                    std::uint64_t* iterations_out = nullptr);
 
 /// BASE_LINE bandwidth allocation (paper Section IV-D): every active
 /// transfer runs; when aggregate demand exceeds BWmax each *node* receives

@@ -42,6 +42,44 @@ TEST(EventLog, KindNames) {
   EXPECT_STREQ(ToString(SchedEventKind::kKill), "kill");
 }
 
+TEST(EventLog, SortedBreaksTimestampTies) {
+  // Same-timestamp events arrive in event-queue pop order, which is an
+  // implementation detail. Output order must be (time, kind, job) no
+  // matter how the ties were interleaved at append time.
+  EventLog log;
+  log.Append(5.0, SchedEventKind::kStart, 9);
+  log.Append(5.0, SchedEventKind::kSubmit, 9);
+  log.Append(5.0, SchedEventKind::kStart, 2);
+  log.Append(5.0, SchedEventKind::kSubmit, 2);
+  log.Append(7.0, SchedEventKind::kEnd, 2);
+  auto sorted = log.Sorted();
+  ASSERT_EQ(sorted.size(), 5u);
+  EXPECT_EQ(sorted[0].kind, SchedEventKind::kSubmit);
+  EXPECT_EQ(sorted[0].job, 2);
+  EXPECT_EQ(sorted[1].kind, SchedEventKind::kSubmit);
+  EXPECT_EQ(sorted[1].job, 9);
+  EXPECT_EQ(sorted[2].kind, SchedEventKind::kStart);
+  EXPECT_EQ(sorted[2].job, 2);
+  EXPECT_EQ(sorted[3].kind, SchedEventKind::kStart);
+  EXPECT_EQ(sorted[3].job, 9);
+  EXPECT_EQ(sorted[4].kind, SchedEventKind::kEnd);
+  // The raw insertion-order view is untouched.
+  EXPECT_EQ(log.events()[0].kind, SchedEventKind::kStart);
+
+  // WriteCsv rows follow the same canonical order.
+  std::ostringstream os;
+  log.WriteCsv(os);
+  std::string csv = os.str();
+  std::size_t first_submit = csv.find("submit,2");
+  std::size_t second_submit = csv.find("submit,9");
+  std::size_t first_start = csv.find("start,2");
+  ASSERT_NE(first_submit, std::string::npos);
+  ASSERT_NE(second_submit, std::string::npos);
+  ASSERT_NE(first_start, std::string::npos);
+  EXPECT_LT(first_submit, second_submit);
+  EXPECT_LT(second_submit, first_start);
+}
+
 TEST(EventLog, SimulationProducesConsistentTrace) {
   // Two jobs with I/O phases on the Small machine.
   workload::Workload jobs;

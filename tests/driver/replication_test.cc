@@ -45,8 +45,13 @@ TEST(Replication, SingleSeedHasZeroSpread) {
   const std::vector<std::uint64_t> seeds = {42};
   const std::vector<std::string> policies = {"BASE_LINE"};
   auto runs = RunReplications(SmallFactory(), seeds, policies);
+  // n=1: the sample stddev is undefined, and the aggregation must render
+  // it as exactly 0 (a "±0.0" column), never NaN, for every metric.
   EXPECT_DOUBLE_EQ(runs[0].wait_seconds.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(runs[0].response_seconds.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(runs[0].utilization.stddev, 0.0);
   EXPECT_EQ(runs[0].wait_seconds.n, 1u);
+  EXPECT_GT(runs[0].wait_seconds.mean, 0.0);
 }
 
 TEST(Replication, EmptyInputsThrow) {

@@ -247,6 +247,66 @@ TEST(WriteRecordsCsvTest, EmitsHeaderAndRows) {
   EXPECT_EQ(lines, 5u);
 }
 
+TEST(UtilizationTracker, StableUtilizationDegenerateWindows) {
+  // No samples / a single sample: the trimmed window has zero width, and
+  // the answer is "idle", never NaN.
+  UtilizationTracker empty(10);
+  EXPECT_DOUBLE_EQ(empty.StableUtilization(0.05, 0.05), 0.0);
+  UtilizationTracker one(10);
+  one.Record(100.0, 5);
+  EXPECT_DOUBLE_EQ(one.StableUtilization(0.05, 0.05), 0.0);
+  // Fractions must leave a window at all.
+  UtilizationTracker two(10);
+  two.Record(0.0, 5);
+  two.Record(10.0, 0);
+  EXPECT_THROW(two.StableUtilization(0.6, 0.6), std::invalid_argument);
+  EXPECT_THROW(two.StableUtilization(-0.1, 0.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(two.StableUtilization(0.0, 0.0), 0.5);
+}
+
+namespace {
+JobRecord SimpleRecord(workload::JobId id, double submit, double wait,
+                       double runtime, int attempts) {
+  JobRecord r;
+  r.id = id;
+  r.submit_time = submit;
+  r.start_time = submit + wait;
+  r.end_time = r.start_time + runtime;
+  r.uncongested_runtime = runtime;
+  r.attempts = attempts;
+  return r;
+}
+}  // namespace
+
+TEST(Summarize, FaultSubgroupsAllClean) {
+  // Every job completed on its first attempt: the requeued subgroup is
+  // empty and its means must be 0, not NaN.
+  JobRecords records = {SimpleRecord(1, 0, 100, 500, 1),
+                        SimpleRecord(2, 10, 300, 500, 1)};
+  UtilizationTracker util(16);
+  Report report = Summarize(records, util, 0.0, 0.0);
+  EXPECT_EQ(report.requeued_job_count, 0u);
+  EXPECT_DOUBLE_EQ(report.avg_wait_clean_seconds, 200.0);
+  EXPECT_DOUBLE_EQ(report.avg_wait_requeued_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(report.avg_response_requeued_seconds, 0.0);
+  EXPECT_TRUE(report.avg_wait_requeued_seconds ==
+              report.avg_wait_requeued_seconds);  // not NaN
+}
+
+TEST(Summarize, FaultSubgroupsAllRequeued) {
+  // Mirror case: no clean jobs, so the clean mean is 0 and the requeued
+  // aggregates carry the whole workload.
+  JobRecords records = {SimpleRecord(1, 0, 100, 500, 2),
+                        SimpleRecord(2, 10, 300, 500, 3)};
+  UtilizationTracker util(16);
+  Report report = Summarize(records, util, 0.0, 0.0);
+  EXPECT_EQ(report.requeued_job_count, 2u);
+  EXPECT_DOUBLE_EQ(report.avg_wait_clean_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(report.avg_wait_requeued_seconds, 200.0);
+  EXPECT_DOUBLE_EQ(report.avg_response_requeued_seconds, 700.0);
+  EXPECT_EQ(report.total_attempts, 5u);
+}
+
 TEST(ReportToString, MentionsKeyNumbers) {
   JobRecords records = MakeRecords();
   UtilizationTracker util(1024);

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/simulation.h"
+#include "obs/hub.h"
+
+namespace iosched::obs {
+namespace {
+
+TEST(TimeSeriesSampler, RecordSemantics) {
+  EXPECT_THROW(TimeSeriesSampler(0.0), std::invalid_argument);
+  EXPECT_THROW(TimeSeriesSampler(-1.0), std::invalid_argument);
+  TimeSeriesSampler s(10.0);
+  EXPECT_TRUE(s.empty());
+  SamplePoint p;
+  p.time = 0.0;
+  p.queue_depth = 3;
+  s.Record(p);
+  p.time = 10.0;
+  p.queue_depth = 5;
+  s.Record(p);
+  // Same-instant sample overwrites (the end-of-run sample can coincide
+  // with the final tick).
+  p.queue_depth = 7;
+  s.Record(p);
+  ASSERT_EQ(s.samples().size(), 2u);
+  EXPECT_EQ(s.samples().back().queue_depth, 7u);
+  // Time travel is a bug in the driver, not data to be silently folded.
+  p.time = 5.0;
+  EXPECT_THROW(s.Record(p), std::logic_error);
+}
+
+TEST(TimeSeriesSampler, CsvOutput) {
+  TimeSeriesSampler s(10.0);
+  SamplePoint p;
+  p.time = 0.0;
+  p.demand_gbps = 120.0;
+  p.granted_gbps = 64.0;
+  p.running_jobs = 4;
+  s.Record(p);
+  std::ostringstream os;
+  s.WriteCsv(os);
+  std::string csv = os.str();
+  EXPECT_NE(csv.find("time,demand_gbps,granted_gbps,active_requests,"
+                     "suspended_requests,busy_nodes,utilization,"
+                     "queue_depth,running_jobs"),
+            std::string::npos);
+  EXPECT_NE(csv.find("120"), std::string::npos);
+}
+
+core::SimulationConfig SmallConfig(const std::string& policy) {
+  core::SimulationConfig config;
+  config.machine = machine::MachineConfig::Small();
+  config.storage.max_bandwidth_gbps = 64.0;
+  config.policy = policy;
+  return config;
+}
+
+workload::Workload SmallWorkload(int n_jobs, double io_gb = 64.0) {
+  workload::Workload jobs;
+  for (int i = 1; i <= n_jobs; ++i) {
+    workload::Job j;
+    j.id = i;
+    j.submit_time = i * 10.0;
+    j.nodes = 1024;
+    j.requested_walltime = 40000;
+    j.phases = workload::MakeUniformPhases(600, io_gb, 2);
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+TEST(ObsIntegration, ReportIdenticalWithAndWithoutHub) {
+  for (const char* policy : {"BASE_LINE", "MAX_UTIL", "ADAPTIVE"}) {
+    SCOPED_TRACE(policy);
+    core::SimulationConfig config = SmallConfig(policy);
+    workload::Workload jobs = SmallWorkload(4);
+
+    core::SimulationResult off = core::RunSimulation(config, jobs);
+
+    Options options;
+    options.enabled = true;
+    options.sample_dt_seconds = 100.0;
+    Hub hub(options);
+    core::SimulationResult on =
+        core::RunSimulation(config, jobs, nullptr, &hub);
+
+    // Observability must never perturb the schedule: every per-job
+    // outcome and the aggregate report are bit-identical.
+    ASSERT_EQ(off.records.size(), on.records.size());
+    for (std::size_t i = 0; i < off.records.size(); ++i) {
+      EXPECT_EQ(off.records[i].id, on.records[i].id);
+      EXPECT_DOUBLE_EQ(off.records[i].submit_time, on.records[i].submit_time);
+      EXPECT_DOUBLE_EQ(off.records[i].start_time, on.records[i].start_time);
+      EXPECT_DOUBLE_EQ(off.records[i].end_time, on.records[i].end_time);
+      EXPECT_DOUBLE_EQ(off.records[i].io_time_actual,
+                       on.records[i].io_time_actual);
+    }
+    EXPECT_DOUBLE_EQ(off.report.avg_wait_seconds, on.report.avg_wait_seconds);
+    EXPECT_DOUBLE_EQ(off.report.avg_response_seconds,
+                     on.report.avg_response_seconds);
+    EXPECT_DOUBLE_EQ(off.report.utilization, on.report.utilization);
+    EXPECT_EQ(off.io_scheduling_cycles, on.io_scheduling_cycles);
+    EXPECT_EQ(off.io_requests, on.io_requests);
+    // Sampler ticks are extra events, so the obs run processes at least as
+    // many; they are the only allowed difference.
+    EXPECT_GE(on.events_processed, off.events_processed);
+  }
+}
+
+TEST(ObsIntegration, CountersMatchEngineStatistics) {
+  core::SimulationConfig config = SmallConfig("ADAPTIVE");
+  // Long overlapping transfers on an oversubscribed link, so water-filling
+  // leaves its 0-iteration uncongested fast path.
+  config.storage.max_bandwidth_gbps = 32.0;
+  workload::Workload jobs = SmallWorkload(3, /*io_gb=*/6400.0);
+
+  Options options;
+  options.enabled = true;
+  options.sample_dt_seconds = 100.0;
+  Hub hub(options);
+  core::SimulationResult result =
+      core::RunSimulation(config, jobs, nullptr, &hub);
+
+  EXPECT_EQ(hub.events_processed->value(), result.events_processed);
+  EXPECT_EQ(hub.io_cycles->value(), result.io_scheduling_cycles);
+  EXPECT_EQ(hub.io_requests->value(), result.io_requests);
+  EXPECT_EQ(hub.jobs_submitted->value(), jobs.size());
+  EXPECT_EQ(hub.jobs_started->value(), jobs.size());
+  EXPECT_EQ(hub.jobs_completed->value(), jobs.size());
+  EXPECT_EQ(hub.jobs_killed->value(), 0u);
+  // Each job has 2 I/O phases.
+  EXPECT_EQ(hub.io_request_gb->total_count(), 2 * jobs.size());
+  // ADAPTIVE exercises water-filling, never the knapsack.
+  EXPECT_GT(hub.waterfill_iterations->value(), 0u);
+  EXPECT_EQ(hub.knapsack_invocations->value(), 0u);
+  EXPECT_GT(hub.sched_passes->value(), 0u);
+}
+
+TEST(ObsIntegration, KnapsackCounterFedByMaxUtil) {
+  core::SimulationConfig config = SmallConfig("MAX_UTIL");
+  // Oversubscribe the link so the knapsack actually has to choose.
+  config.storage.max_bandwidth_gbps = 32.0;
+  Options options;
+  options.enabled = true;
+  Hub hub(options);
+  core::RunSimulation(config, SmallWorkload(4), nullptr, &hub);
+  EXPECT_GT(hub.knapsack_invocations->value(), 0u);
+  EXPECT_EQ(hub.waterfill_iterations->value(), 0u);
+}
+
+TEST(ObsIntegration, SamplerAlignedAtStartAndEnd) {
+  core::SimulationConfig config = SmallConfig("BASE_LINE");
+  workload::Workload jobs = SmallWorkload(3);
+
+  Options options;
+  options.enabled = true;
+  options.sample_dt_seconds = 100.0;
+  Hub hub(options);
+  core::SimulationResult result =
+      core::RunSimulation(config, jobs, nullptr, &hub);
+
+  const auto& samples = hub.sampler().samples();
+  ASSERT_GE(samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(samples.front().time, 0.0);
+  // Ticks are gap-free multiples of dt starting at t=0; the end-of-run
+  // sample coincides with the final tick and overwrites it rather than
+  // appending a duplicate instant.
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(samples[i].time, static_cast<double>(i) * 100.0);
+  }
+  // The tick chain re-arms while events are pending, so the run's last
+  // sample is the first tick at or after the last job completion.
+  double last_end = 0.0;
+  for (const auto& r : result.records) {
+    last_end = std::max(last_end, r.end_time);
+  }
+  EXPECT_GE(samples.back().time, last_end);
+  EXPECT_LT(samples.back().time, last_end + 100.0);
+}
+
+TEST(ObsIntegration, NonPositiveSampleDtDisablesSampler) {
+  core::SimulationConfig config = SmallConfig("BASE_LINE");
+  Options options;
+  options.enabled = true;
+  options.sample_dt_seconds = 0.0;
+  Hub hub(options);
+  core::SimulationResult result =
+      core::RunSimulation(config, SmallWorkload(2), nullptr, &hub);
+  EXPECT_TRUE(hub.sampler().empty());
+  // With no tick events, event counts match the plain run exactly.
+  core::SimulationResult off = core::RunSimulation(config, SmallWorkload(2));
+  EXPECT_EQ(result.events_processed, off.events_processed);
+}
+
+TEST(ObsIntegration, TraceContainsJobLifecycleSpans) {
+  core::SimulationConfig config = SmallConfig("ADAPTIVE");
+  Options options;
+  options.enabled = true;
+  Hub hub(options);
+  core::RunSimulation(config, SmallWorkload(2), nullptr, &hub);
+
+  bool saw_wait = false, saw_run = false, saw_io = false, saw_queue = false;
+  for (const auto& r : hub.tracer().Snapshot()) {
+    std::string name = r.name;
+    if (r.track >= 0 && r.kind == Tracer::RecordKind::kSpan) {
+      if (name == "wait") saw_wait = true;
+      if (name == "run") saw_run = true;
+      if (name == "io") saw_io = true;
+    }
+    if (r.track == kSchedulerTrack && name == "queue_depth") saw_queue = true;
+  }
+  EXPECT_TRUE(saw_wait);
+  EXPECT_TRUE(saw_run);
+  EXPECT_TRUE(saw_io);
+  EXPECT_TRUE(saw_queue);
+  EXPECT_EQ(hub.tracer().dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace iosched::obs

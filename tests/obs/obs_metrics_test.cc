@@ -1,0 +1,125 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace iosched::obs {
+namespace {
+
+TEST(Counter, IncrementSemantics) {
+  Counter c("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.Inc();
+  EXPECT_EQ(c.value(), 1u);
+  c.Inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Inc(0);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(c.name(), "test.counter");
+}
+
+TEST(Gauge, TracksLevelAndMax) {
+  Gauge g("test.gauge");
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_DOUBLE_EQ(g.max(), 0.0);
+  g.Set(5.0);
+  g.Set(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  EXPECT_DOUBLE_EQ(g.max(), 5.0);
+  g.Add(10.0);
+  EXPECT_DOUBLE_EQ(g.value(), 12.0);
+  EXPECT_DOUBLE_EQ(g.max(), 12.0);
+  // The max never decreases, even through negative levels.
+  g.Set(-3.0);
+  EXPECT_DOUBLE_EQ(g.value(), -3.0);
+  EXPECT_DOUBLE_EQ(g.max(), 12.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram("h", {}), std::invalid_argument);
+  EXPECT_THROW(Histogram("h", {1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram("h", {2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, BucketIndexBoundaries) {
+  Histogram h("h", {1.0, 10.0, 100.0});
+  ASSERT_EQ(h.counts().size(), 4u);  // 3 bounds + overflow
+  // Buckets are "<= bound": a value exactly on a bound stays in it.
+  EXPECT_EQ(h.BucketIndex(0.5), 0u);
+  EXPECT_EQ(h.BucketIndex(1.0), 0u);
+  EXPECT_EQ(h.BucketIndex(1.0001), 1u);
+  EXPECT_EQ(h.BucketIndex(10.0), 1u);
+  EXPECT_EQ(h.BucketIndex(100.0), 2u);
+  EXPECT_EQ(h.BucketIndex(100.5), 3u);  // overflow
+}
+
+TEST(Histogram, ObserveAccumulates) {
+  Histogram h("h", {10.0, 20.0});
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);  // empty -> 0, not NaN
+  h.Observe(5.0);
+  h.Observe(15.0);
+  h.Observe(15.0);
+  h.Observe(1000.0);
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[1], 2u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.total_count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1035.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 1035.0 / 4.0);
+}
+
+TEST(Registry, StablePointersAndLookup) {
+  Registry r;
+  Counter* c = r.AddCounter("a.counter");
+  Gauge* g = r.AddGauge("a.gauge");
+  Histogram* h = r.AddHistogram("a.hist", {1.0});
+  // Further Adds must not invalidate earlier pointers.
+  for (int i = 0; i < 100; ++i) {
+    r.AddCounter("bulk." + std::to_string(i));
+  }
+  c->Inc(7);
+  EXPECT_EQ(r.FindCounter("a.counter"), c);
+  EXPECT_EQ(r.FindCounter("a.counter")->value(), 7u);
+  EXPECT_EQ(r.FindGauge("a.gauge"), g);
+  EXPECT_EQ(r.FindHistogram("a.hist"), h);
+  EXPECT_EQ(r.FindCounter("missing"), nullptr);
+  EXPECT_EQ(r.FindGauge("missing"), nullptr);
+  EXPECT_EQ(r.FindHistogram("missing"), nullptr);
+  EXPECT_EQ(r.size(), 103u);
+}
+
+TEST(Registry, DuplicateNamesThrow) {
+  Registry r;
+  r.AddCounter("dup");
+  EXPECT_THROW(r.AddCounter("dup"), std::invalid_argument);
+  r.AddGauge("gdup");
+  EXPECT_THROW(r.AddGauge("gdup"), std::invalid_argument);
+  r.AddHistogram("hdup", {1.0});
+  EXPECT_THROW(r.AddHistogram("hdup", {2.0}), std::invalid_argument);
+}
+
+TEST(Registry, WriteTextFormatSortedByName) {
+  Registry r;
+  r.AddCounter("z.second")->Inc(2);
+  r.AddCounter("a.first")->Inc(1);
+  r.AddGauge("g")->Set(3.5);
+  Histogram* h = r.AddHistogram("h", {1.0, 2.0});
+  h->Observe(0.5);
+  h->Observe(9.0);
+  std::ostringstream os;
+  r.WriteText(os);
+  std::string text = os.str();
+  EXPECT_NE(text.find("counter a.first 1\n"), std::string::npos);
+  EXPECT_NE(text.find("counter z.second 2\n"), std::string::npos);
+  EXPECT_LT(text.find("a.first"), text.find("z.second"));
+  EXPECT_NE(text.find("gauge g 3.5 max 3.5\n"), std::string::npos);
+  EXPECT_NE(
+      text.find("histogram h count 2 sum 9.5 le_1 1 le_2 0 inf 1\n"),
+      std::string::npos);
+}
+
+}  // namespace
+}  // namespace iosched::obs

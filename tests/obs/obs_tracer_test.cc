@@ -1,0 +1,233 @@
+#include "obs/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace iosched::obs {
+namespace {
+
+// Minimal recursive-descent JSON checker: verifies that `text` is exactly
+// one syntactically valid JSON value. Enough to prove the Chrome trace
+// export always emits parseable JSON (the CI job re-checks with a real
+// parser via `python -m json.tool`).
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Literal(const char* word) {
+    std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool String() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Number() {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Value() {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') return Object();
+    if (c == '[') return Array();
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return Number();
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') return ++pos_, true;
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      if (!Value()) return false;
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == '}') return ++pos_, true;
+      if (text_[pos_] != ',') return false;
+      ++pos_;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') return ++pos_, true;
+    while (true) {
+      if (!Value()) return false;
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ']') return ++pos_, true;
+      if (text_[pos_] != ',') return false;
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::size_t CountOccurrences(const std::string& haystack,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(Tracer, RejectsBadInputs) {
+  EXPECT_THROW(Tracer(0), std::invalid_argument);
+  Tracer t(4);
+  EXPECT_THROW(t.Span(0, "bad", 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Tracer, RecordsInOrder) {
+  Tracer t(16);
+  t.Span(3, "run", 1.0, 5.0, 0.5);
+  t.Instant(kSchedulerTrack, "pass", 2.0);
+  t.Counter(kStorageTrack, "demand_gbps", 3.0, 128.0);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.capacity(), 16u);
+  EXPECT_EQ(t.dropped(), 0u);
+  auto records = t.Snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].kind, Tracer::RecordKind::kSpan);
+  EXPECT_EQ(records[0].track, 3);
+  EXPECT_STREQ(records[0].name, "run");
+  EXPECT_DOUBLE_EQ(records[0].start_s, 1.0);
+  EXPECT_DOUBLE_EQ(records[0].end_s, 5.0);
+  EXPECT_DOUBLE_EQ(records[0].value, 0.5);
+  EXPECT_EQ(records[1].kind, Tracer::RecordKind::kInstant);
+  EXPECT_EQ(records[2].kind, Tracer::RecordKind::kCounter);
+  EXPECT_DOUBLE_EQ(records[2].value, 128.0);
+}
+
+TEST(Tracer, RingWraparoundKeepsNewestWindow) {
+  Tracer t(4);
+  for (int i = 0; i < 10; ++i) {
+    t.Instant(0, "tick", static_cast<double>(i));
+  }
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.dropped(), 6u);
+  auto records = t.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  // Oldest first, and only the most recent window survives.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(records[i].start_s, 6.0 + i);
+  }
+}
+
+TEST(Tracer, ExactlyFullRingDropsNothing) {
+  Tracer t(3);
+  for (int i = 0; i < 3; ++i) t.Instant(0, "tick", static_cast<double>(i));
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.dropped(), 0u);
+  auto records = t.Snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_DOUBLE_EQ(records[0].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(records[2].start_s, 2.0);
+}
+
+TEST(Tracer, ChromeTraceParsesBack) {
+  Tracer t(64);
+  t.Span(7, "run", 1.0, 5.0);
+  t.Span(7, "io", 2.0, 3.0, 640.0);
+  t.Instant(kSchedulerTrack, "pass", 2.5);
+  t.Counter(kStorageTrack, "demand_gbps", 2.5, 90.0);
+  t.Instant(9, "na\"me\\with\x01junk", 4.0);  // must be escaped
+  std::ostringstream os;
+  t.WriteChromeTrace(os);
+  std::string json = os.str();
+
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+
+  // One thread_name metadata record per referenced track (scheduler,
+  // storage, job 7, job 9).
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"M\""), 4u);
+  EXPECT_NE(json.find("\"name\":\"scheduler\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"storage\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"job 7\""), std::string::npos);
+  // Track-to-tid mapping: scheduler=0, storage=1, job J=J+2.
+  EXPECT_NE(json.find("\"tid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":11"), std::string::npos);
+  // Record kinds: 2 spans, 2 instants, 1 counter.
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"X\""), 2u);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"i\""), 2u);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"C\""), 1u);
+  // Timestamps are microseconds: the io span starts at 2 s = 2e6 us and
+  // lasts 1 s = 1e6 us.
+  EXPECT_NE(json.find("\"ts\":2000000.000000,\"ph\":\"X\",\"dur\":"
+                      "1000000.000000"),
+            std::string::npos);
+}
+
+TEST(Tracer, ChromeTraceOfEmptyTracerIsValid) {
+  Tracer t(8);
+  std::ostringstream os;
+  t.WriteChromeTrace(os);
+  EXPECT_TRUE(JsonChecker(os.str()).Valid()) << os.str();
+}
+
+TEST(Tracer, NonFiniteValuesClampedToParseableJson) {
+  Tracer t(8);
+  t.Counter(kStorageTrack, "demand_gbps", 1.0,
+            std::numeric_limits<double>::infinity());
+  std::ostringstream os;
+  t.WriteChromeTrace(os);
+  std::string json = os.str();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iosched::obs

@@ -15,6 +15,8 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -28,6 +30,7 @@
 #include "metrics/breakdown.h"
 #include "metrics/timeline.h"
 #include "metrics/report.h"
+#include "obs/hub.h"
 #include "util/cli.h"
 #include "util/strings.h"
 #include "util/units.h"
@@ -109,8 +112,20 @@ int CmdSimulate(const util::CliParser& cli) {
   core::EventLog log;
   core::EventLog* log_ptr =
       cli.Provided("event-log") ? &log : nullptr;
-  core::SimulationResult result =
-      core::RunSimulation(config, scenario.jobs, log_ptr);
+
+  // Observability: the config's [obs] switch or any obs output flag turns
+  // the hub on for this run.
+  if (cli.Provided("trace-out") || cli.Provided("stats-out")) {
+    config.obs.enabled = true;
+  }
+  if (cli.Provided("sample-dt")) {
+    config.obs.sample_dt_seconds = cli.GetDouble("sample-dt");
+  }
+  std::optional<obs::Hub> hub;
+  if (config.obs.enabled) hub.emplace(config.obs);
+
+  core::SimulationResult result = core::RunSimulation(
+      config, scenario.jobs, log_ptr, hub ? &*hub : nullptr);
 
   const metrics::Report& r = result.report;
   std::printf("%s under %s: %zu jobs\n", scenario.name.c_str(),
@@ -171,6 +186,31 @@ int CmdSimulate(const util::CliParser& cli) {
     log.WriteCsv(out);
     std::printf("wrote %zu scheduling events to %s\n", log.size(),
                 cli.GetString("event-log").c_str());
+  }
+  if (hub) {
+    std::ostringstream stats;
+    hub->registry().WriteText(stats);
+    std::printf("\ncounters\n%s", stats.str().c_str());
+    if (hub->tracer().dropped() > 0) {
+      std::printf("trace ring dropped %llu records (raise obs.trace_capacity)\n",
+                  static_cast<unsigned long long>(hub->tracer().dropped()));
+    }
+    if (cli.Provided("trace-out")) {
+      std::ofstream out(cli.GetString("trace-out"));
+      if (!out) return Fail("cannot write " + cli.GetString("trace-out"));
+      hub->tracer().WriteChromeTrace(out);
+      std::printf("wrote %zu trace records to %s (load in Perfetto or "
+                  "chrome://tracing)\n",
+                  hub->tracer().size(), cli.GetString("trace-out").c_str());
+    }
+    if (cli.Provided("stats-out")) {
+      std::ofstream out(cli.GetString("stats-out"));
+      if (!out) return Fail("cannot write " + cli.GetString("stats-out"));
+      hub->sampler().WriteCsv(out);
+      std::printf("wrote %zu time-series samples to %s\n",
+                  hub->sampler().samples().size(),
+                  cli.GetString("stats-out").c_str());
+    }
   }
   return 0;
 }
@@ -260,6 +300,12 @@ int main(int argc, char** argv) {
   cli.AddFlag("seeds", "101,202,303", "seeds (replications)");
   cli.AddFlag("records", "", "write per-job records CSV here (simulate)");
   cli.AddFlag("event-log", "", "write scheduling-event CSV here (simulate)");
+  cli.AddFlag("trace-out", "",
+              "write Chrome trace-event JSON here (simulate; enables obs)");
+  cli.AddFlag("stats-out", "",
+              "write time-series CSV here (simulate; enables obs)");
+  cli.AddFlag("sample-dt", "600",
+              "time-series sampling period in simulated seconds (simulate)");
   cli.AddBoolFlag("walltime-kill", "kill jobs at their requested walltime");
   cli.AddBoolFlag("breakdown", "print per-size-class metrics (simulate)");
   cli.AddBoolFlag("timeline", "print occupancy/demand strip charts (simulate)");
