@@ -33,10 +33,12 @@
 #include "core/simulation.h"
 #include "driver/scenario.h"
 #include "machine/machine.h"
+#include "metrics/digest.h"
 #include "obs/hub.h"
 #include "sched/queue_policy.h"
 #include "sim/event_queue.h"
 #include "storage/storage_model.h"
+#include "util/atomic_file.h"
 #include "util/rng.h"
 
 namespace {
@@ -196,53 +198,6 @@ double TimeBestOf(int reps, Fn&& fn) {
     best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
   }
   return best;
-}
-
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
-
-std::uint64_t FnvMix(std::uint64_t hash, std::uint64_t value) {
-  for (int i = 0; i < 8; ++i) {
-    hash ^= (value >> (8 * i)) & 0xffULL;
-    hash *= kFnvPrime;
-  }
-  return hash;
-}
-
-std::uint64_t FnvMix(std::uint64_t hash, double value) {
-  return FnvMix(hash, std::bit_cast<std::uint64_t>(value));
-}
-
-/// Bit-exact digest over every field of every per-job record. Records are
-/// sorted by id by RunSimulation, so the digest is replay-order stable.
-std::uint64_t DigestRecords(const metrics::JobRecords& records) {
-  std::uint64_t h = kFnvOffset;
-  h = FnvMix(h, static_cast<std::uint64_t>(records.size()));
-  for (const metrics::JobRecord& r : records) {
-    h = FnvMix(h, static_cast<std::uint64_t>(r.id));
-    h = FnvMix(h, static_cast<std::uint64_t>(r.requested_nodes));
-    h = FnvMix(h, static_cast<std::uint64_t>(r.allocated_nodes));
-    h = FnvMix(h, r.submit_time);
-    h = FnvMix(h, r.start_time);
-    h = FnvMix(h, r.end_time);
-    h = FnvMix(h, r.uncongested_runtime);
-    h = FnvMix(h, r.requested_walltime);
-    h = FnvMix(h, r.io_time_actual);
-    h = FnvMix(h, r.io_time_uncongested);
-    h = FnvMix(h, static_cast<std::uint64_t>(r.io_phase_count));
-    h = FnvMix(h, static_cast<std::uint64_t>(r.killed ? 1 : 0));
-    h = FnvMix(h, static_cast<std::uint64_t>(r.attempts));
-    h = FnvMix(h, static_cast<std::uint64_t>(r.abandoned ? 1 : 0));
-    h = FnvMix(h, r.lost_seconds);
-  }
-  return h;
-}
-
-std::string HexDigest(std::uint64_t digest) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "0x%016llx",
-                static_cast<unsigned long long>(digest));
-  return buf;
 }
 
 struct ComponentResult {
@@ -410,7 +365,7 @@ ReplayResult RunReplay(const char* policy, double days) {
   result.events = sim.events_processed;
   result.io_requests = sim.io_requests;
   result.cycles = sim.io_scheduling_cycles;
-  result.digest = HexDigest(DigestRecords(sim.records));
+  result.digest = metrics::HexDigest(metrics::DigestRecords(sim.records));
   std::printf("replay %-10s %8.2f s  jobs=%zu events=%llu cycles=%llu %s\n",
               policy, result.seconds, result.jobs,
               static_cast<unsigned long long>(result.events),
@@ -514,11 +469,8 @@ int RunCoreHarness(const std::string& json_path, const std::string& baseline,
   double speedup_geomean =
       speedup_count > 0 ? std::exp(speedup_log_sum / speedup_count) : 0.0;
 
-  std::ofstream out(json_path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-    return 2;
-  }
+  util::AtomicFileWriter json_file(json_path);
+  std::ostream& out = json_file.stream();
   out << "{\n";
   out << "  \"schema\": \"bench-core-v1\",\n";
   char buf[512];
@@ -586,6 +538,12 @@ int RunCoreHarness(const std::string& json_path, const std::string& baseline,
     out << "  }";
   }
   out << "\n}\n";
+  try {
+    json_file.Commit();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
   std::printf("wrote %s%s\n", json_path.c_str(),
               digests_ok ? "" : " (DIGEST MISMATCH)");
   return digests_ok ? 0 : 1;
@@ -616,7 +574,8 @@ int RunObsCheck(double days) {
 
     double off_s = std::chrono::duration<double>(t1 - t0).count();
     double on_s = std::chrono::duration<double>(t3 - t2).count();
-    bool digest_ok = DigestRecords(off.records) == DigestRecords(on.records);
+    bool digest_ok = metrics::DigestRecords(off.records) ==
+                     metrics::DigestRecords(on.records);
     bool counter_ok = hub.events_processed->value() == on.events_processed;
     bool trace_ok = hub.tracer().size() > 0;
     bool sampler_ok = !hub.sampler().empty();

@@ -1,0 +1,120 @@
+#include "ckpt/serializer.h"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace iosched::ckpt {
+
+void Writer::U32(std::uint32_t v) {
+  char raw[4];
+  for (int i = 0; i < 4; ++i) raw[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buffer_.append(raw, 4);
+}
+
+void Writer::U64(std::uint64_t v) {
+  char raw[8];
+  for (int i = 0; i < 8; ++i) raw[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buffer_.append(raw, 8);
+}
+
+void Writer::Str(std::string_view s) {
+  U32(static_cast<std::uint32_t>(s.size()));
+  buffer_.append(s.data(), s.size());
+}
+
+void Writer::Bytes(const void* data, std::size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+Reader::Reader(std::string_view data, std::string context)
+    : data_(data), context_(std::move(context)) {}
+
+const char* Reader::Take(std::size_t n) {
+  if (data_.size() - pos_ < n) {
+    throw std::runtime_error("checkpoint " + context_ +
+                             ": truncated (wanted " + std::to_string(n) +
+                             " bytes at offset " + std::to_string(pos_) +
+                             " of " + std::to_string(data_.size()) + ")");
+  }
+  const char* p = data_.data() + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t Reader::U8() {
+  return static_cast<std::uint8_t>(*Take(1));
+}
+
+bool Reader::Bool() {
+  std::uint8_t v = U8();
+  if (v > 1) {
+    throw std::runtime_error("checkpoint " + context_ +
+                             ": malformed bool value " + std::to_string(v));
+  }
+  return v == 1;
+}
+
+std::uint32_t Reader::U32() {
+  const char* p = Take(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t Reader::U64() {
+  const char* p = Take(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::string Reader::Str() {
+  std::uint32_t size = U32();
+  const char* p = Take(size);
+  return std::string(p, size);
+}
+
+std::string_view Reader::Raw(std::size_t n) {
+  return std::string_view(Take(n), n);
+}
+
+void Reader::ExpectEnd() const {
+  if (!AtEnd()) {
+    throw std::runtime_error("checkpoint " + context_ + ": " +
+                             std::to_string(Remaining()) +
+                             " unread trailing bytes (layout mismatch)");
+  }
+}
+
+namespace {
+std::array<std::uint32_t, 256> BuildCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+}  // namespace
+
+std::uint32_t Crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = BuildCrcTable();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace iosched::ckpt

@@ -1,0 +1,75 @@
+// Flat binary serialization for checkpoint payloads.
+//
+// Writer appends little-endian fixed-width fields to an in-memory buffer;
+// Reader walks the same layout with bounds checks and throws on any
+// malformed input instead of reading past the end. Doubles are serialized
+// bit-exactly (std::bit_cast to uint64) because resume-equivalence requires
+// restored floating-point state to be byte-identical — round-tripping
+// through decimal text would lose the last ulp and change digests.
+//
+// There is no schema: every section owner writes and reads its fields in
+// one fixed order, guarded by the file-level format version in
+// ckpt::CheckpointFile.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iosched::ckpt {
+
+class Writer {
+ public:
+  void U8(std::uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void U32(std::uint32_t v);
+  void U64(std::uint64_t v);
+  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
+  void F64(double v) { U64(std::bit_cast<std::uint64_t>(v)); }
+  void Str(std::string_view s);
+  void Bytes(const void* data, std::size_t size);
+
+  const std::string& buffer() const { return buffer_; }
+  std::string TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounds-checked reader over a serialized payload. Throws
+/// std::runtime_error (with `context` in the message) on truncation or
+/// malformed fields. The payload must outlive the reader.
+class Reader {
+ public:
+  explicit Reader(std::string_view data, std::string context = "payload");
+
+  std::uint8_t U8();
+  bool Bool();
+  std::uint32_t U32();
+  std::uint64_t U64();
+  std::int64_t I64() { return static_cast<std::int64_t>(U64()); }
+  double F64() { return std::bit_cast<double>(U64()); }
+  std::string Str();
+  /// Raw view of the next `n` bytes (valid while the payload lives).
+  std::string_view Raw(std::size_t n);
+
+  std::size_t Remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  /// Throws unless the whole payload was consumed — catches section layouts
+  /// drifting out of sync between writer and reader.
+  void ExpectEnd() const;
+
+ private:
+  const char* Take(std::size_t n);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  std::string context_;
+};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `data`.
+std::uint32_t Crc32(std::string_view data);
+
+}  // namespace iosched::ckpt

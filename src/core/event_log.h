@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/serializer.h"
 #include "sim/time.h"
 #include "workload/job.h"
 
@@ -73,6 +74,10 @@ class EventLog : public SchedEventSink {
 
   /// CSV: time,kind,job,detail — rows in Sorted() order.
   void WriteCsv(std::ostream& out) const;
+
+  /// Serialize the accumulated event stream (insertion order).
+  void SaveState(ckpt::Writer& w) const;
+  void RestoreState(ckpt::Reader& r);
 
  private:
   std::vector<SchedEvent> events_;

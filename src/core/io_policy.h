@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/serializer.h"
 #include "sim/time.h"
 #include "workload/job.h"
 
@@ -72,6 +73,15 @@ class IoPolicy {
   /// anything (knapsack solves, water-filling steps) override; the default
   /// ignores it, so observability stays optional for policy authors.
   virtual void BindObs(obs::Hub* hub) { (void)hub; }
+
+  /// Checkpoint hooks. Every shipped policy (BASE_LINE, the conservative
+  /// family, ADAPTIVE) is stateless across scheduling cycles — per-call
+  /// scratch is thread_local inside Assign and ADAPTIVE's fair-share dirty
+  /// flag is cycle-local — so the defaults write/read nothing. A policy
+  /// that grows cross-cycle state (e.g. a learned predictor) must override
+  /// both, or resumed runs will diverge from uninterrupted ones.
+  virtual void SaveState(ckpt::Writer& w) const { (void)w; }
+  virtual void RestoreState(ckpt::Reader& r) { (void)r; }
 };
 
 /// Verify a grant vector covers exactly the active set with non-negative

@@ -80,14 +80,9 @@ void IoScheduler::SubmitRequest(workload::JobId id, double volume_gb,
       // reduces the policy's usable bandwidth, so run a cycle.
       burst_buffer_->Absorb(volume_gb);
       double duration = volume_gb / full_rate;
-      absorbed_events_[id] =
-          simulator_.ScheduleAfter(duration, [this, id, duration] {
-            // A buffer-absorbed request runs at link speed: its completed
-            // uncongested time equals its actual time.
-            absorbed_events_.erase(id);
-            jobs_.at(id).completed_io_seconds += duration;
-            on_complete_(id, simulator_.Now());
-          });
+      sim::EventId event =
+          simulator_.ScheduleAfter(duration, AbsorbedAction(id, duration));
+      absorbed_events_[id] = AbsorbedEvent{event, now + duration, duration};
       Reschedule(now);
       return;
     }
@@ -119,7 +114,7 @@ void IoScheduler::AbortRequest(workload::JobId id, sim::SimTime now) {
   if (absorbed != absorbed_events_.end()) {
     // The request was absorbed by the burst buffer; its completion event
     // must not fire after the job is gone.
-    simulator_.Cancel(absorbed->second);
+    simulator_.Cancel(absorbed->second.event);
     absorbed_events_.erase(absorbed);
     return;
   }
@@ -187,6 +182,7 @@ void IoScheduler::Reschedule(sim::SimTime now) {
         Reschedule(simulator_.Now());
       });
       has_drain_event_ = true;
+      drain_event_time_ = wake;
     }
   }
 
@@ -252,6 +248,112 @@ void IoScheduler::Reschedule(sim::SimTime now) {
     pending_event_ =
         simulator_.ScheduleAt(next->first, [this] { OnCompletionEvent(); });
     has_pending_event_ = true;
+    pending_event_time_ = next->first;
+  }
+}
+
+std::function<void()> IoScheduler::AbsorbedAction(workload::JobId id,
+                                                 double duration) {
+  return [this, id, duration] {
+    // A buffer-absorbed request runs at link speed: its completed
+    // uncongested time equals its actual time.
+    absorbed_events_.erase(id);
+    jobs_.at(id).completed_io_seconds += duration;
+    on_complete_(id, simulator_.Now());
+  };
+}
+
+void IoScheduler::SaveState(ckpt::Writer& w) const {
+  std::vector<workload::JobId> ids;
+  ids.reserve(jobs_.size());
+  for (const auto& [id, _] : jobs_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  w.U32(static_cast<std::uint32_t>(ids.size()));
+  for (workload::JobId id : ids) {
+    const JobContext& ctx = jobs_.at(id);
+    w.I64(id);
+    w.F64(ctx.start_time);
+    w.F64(ctx.completed_compute_seconds);
+    w.F64(ctx.completed_io_seconds);
+  }
+  w.Bool(has_pending_event_);
+  if (has_pending_event_) {
+    w.U64(pending_event_);
+    w.F64(pending_event_time_);
+  }
+  w.Bool(has_drain_event_);
+  if (has_drain_event_) {
+    w.U64(drain_event_);
+    w.F64(drain_event_time_);
+  }
+  w.U64(cycles_);
+  w.U64(submitted_requests_);
+  w.Bool(congested_);
+  w.F64(congestion_start_);
+  ids.clear();
+  for (const auto& [id, _] : absorbed_events_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  w.U32(static_cast<std::uint32_t>(ids.size()));
+  for (workload::JobId id : ids) {
+    const AbsorbedEvent& ab = absorbed_events_.at(id);
+    w.I64(id);
+    w.U64(ab.event);
+    w.F64(ab.fire_time);
+    w.F64(ab.duration);
+  }
+}
+
+void IoScheduler::RestoreState(
+    ckpt::Reader& r,
+    const std::function<const workload::Job*(workload::JobId)>& resolve) {
+  jobs_.clear();
+  absorbed_events_.clear();
+  std::uint32_t job_count = r.U32();
+  for (std::uint32_t i = 0; i < job_count; ++i) {
+    workload::JobId id = r.I64();
+    const workload::Job* job = resolve(id);
+    if (job == nullptr) {
+      throw std::runtime_error(
+          "IoScheduler::RestoreState: checkpoint references job " +
+          std::to_string(id) + " absent from the workload");
+    }
+    JobContext ctx;
+    ctx.job = job;
+    ctx.start_time = r.F64();
+    ctx.completed_compute_seconds = r.F64();
+    ctx.completed_io_seconds = r.F64();
+    jobs_.emplace(id, ctx);
+  }
+  has_pending_event_ = r.Bool();
+  if (has_pending_event_) {
+    pending_event_ = r.U64();
+    pending_event_time_ = r.F64();
+    simulator_.RestoreEvent(pending_event_time_, pending_event_,
+                            [this] { OnCompletionEvent(); });
+  }
+  has_drain_event_ = r.Bool();
+  if (has_drain_event_) {
+    drain_event_ = r.U64();
+    drain_event_time_ = r.F64();
+    simulator_.RestoreEvent(drain_event_time_, drain_event_, [this] {
+      has_drain_event_ = false;
+      Reschedule(simulator_.Now());
+    });
+  }
+  cycles_ = r.U64();
+  submitted_requests_ = r.U64();
+  congested_ = r.Bool();
+  congestion_start_ = r.F64();
+  std::uint32_t absorbed = r.U32();
+  for (std::uint32_t i = 0; i < absorbed; ++i) {
+    workload::JobId id = r.I64();
+    AbsorbedEvent ab;
+    ab.event = r.U64();
+    ab.fire_time = r.F64();
+    ab.duration = r.F64();
+    absorbed_events_.emplace(id, ab);
+    simulator_.RestoreEvent(ab.fire_time, ab.event,
+                            AbsorbedAction(id, ab.duration));
   }
 }
 

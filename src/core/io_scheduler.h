@@ -16,6 +16,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "ckpt/serializer.h"
 #include "core/io_policy.h"
 #include "metrics/bandwidth.h"
 #include "sim/simulator.h"
@@ -103,6 +104,18 @@ class IoScheduler {
   /// Build the policy view of the active set at `now` (exposed for tests).
   std::vector<IoJobView> BuildViews(sim::SimTime now) const;
 
+  /// Serialize per-job accounting, cycle counters, congestion-span state,
+  /// and the scheduler's pending events (completion, drain, absorbed
+  /// completions) with their original event ids and firing times. The
+  /// storage model saves its own transfer set.
+  void SaveState(ckpt::Writer& w) const;
+  /// Restore onto a freshly built scheduler; `resolve` maps job ids back to
+  /// workload entries (must cover every saved id). Re-arms pending events
+  /// under their original ids.
+  void RestoreState(
+      ckpt::Reader& r,
+      const std::function<const workload::Job*(workload::JobId)>& resolve);
+
  private:
   struct JobContext {
     const workload::Job* job = nullptr;
@@ -121,6 +134,10 @@ class IoScheduler {
   /// Completion event handler: finish every complete transfer, then cycle.
   void OnCompletionEvent();
 
+  /// Closure used for both fresh scheduling and checkpoint re-arming of a
+  /// burst-buffer-absorbed completion.
+  std::function<void()> AbsorbedAction(workload::JobId id, double duration);
+
   sim::Simulator& simulator_;
   storage::StorageModel& storage_;
   double node_bandwidth_gbps_;
@@ -129,13 +146,22 @@ class IoScheduler {
   std::unordered_map<workload::JobId, JobContext> jobs_;
   sim::EventId pending_event_ = 0;
   bool has_pending_event_ = false;
+  sim::SimTime pending_event_time_ = 0.0;
   sim::EventId drain_event_ = 0;
   bool has_drain_event_ = false;
+  sim::SimTime drain_event_time_ = 0.0;
   std::uint64_t cycles_ = 0;
   std::uint64_t submitted_requests_ = 0;
-  /// Pending completion events of burst-buffer-absorbed requests, so kills
-  /// can cancel them (keyed by job; one request per job at a time).
-  std::unordered_map<workload::JobId, sim::EventId> absorbed_events_;
+  /// A pending completion of a burst-buffer-absorbed request: the event (so
+  /// kills can cancel it), its firing time, and the transfer duration its
+  /// closure credits (all three checkpointed to re-arm the closure).
+  struct AbsorbedEvent {
+    sim::EventId event = 0;
+    sim::SimTime fire_time = 0.0;
+    double duration = 0.0;
+  };
+  /// Keyed by job; one request per job at a time.
+  std::unordered_map<workload::JobId, AbsorbedEvent> absorbed_events_;
   metrics::BandwidthTracker* bandwidth_tracker_ = nullptr;
   storage::BurstBuffer* burst_buffer_ = nullptr;
   obs::Hub* hub_ = nullptr;

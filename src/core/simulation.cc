@@ -1,15 +1,21 @@
 #include "core/simulation.h"
 
 #include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <map>
 #include <optional>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "ckpt/serializer.h"
 #include "core/io_scheduler.h"
 #include "core/policy_factory.h"
 #include "core/trace_adapter.h"
 #include "faults/fault_injector.h"
+#include "metrics/digest.h"
 #include "sim/simulator.h"
 #include "util/units.h"
 
@@ -28,11 +34,16 @@ struct ExecState {
   double io_time_actual = 0.0;
   /// Whether the job is currently blocked in an I/O request.
   bool in_io = false;
-  /// Pending walltime-kill event (enforce_walltime mode only).
+  /// Pending walltime-kill event (enforce_walltime mode only). The firing
+  /// time is kept so a checkpoint can re-arm it bit-exactly.
   sim::EventId kill_event = 0;
+  sim::SimTime kill_fire_time = 0.0;
   bool has_kill_event = false;
-  /// Pending compute-phase-completion event (cancelled on kill).
+  /// Pending compute-phase-completion event (cancelled on kill), with the
+  /// firing time and phase duration its closure credits on completion.
   sim::EventId compute_event = 0;
+  sim::SimTime compute_fire_time = 0.0;
+  double compute_duration = 0.0;
   bool has_compute_event = false;
 };
 
@@ -45,6 +56,15 @@ struct RetryContext {
   /// First phase the next attempt executes (restart-mode dependent).
   std::size_t resume_phase = 0;
 };
+
+std::uint64_t MixStr(std::uint64_t hash, const std::string& value) {
+  hash = metrics::FnvMix(hash, static_cast<std::uint64_t>(value.size()));
+  for (char c : value) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= metrics::kFnvPrime;
+  }
+  return hash;
+}
 
 class Engine {
  public:
@@ -113,6 +133,12 @@ class Engine {
     }
   }
 
+  /// Load `path` and restore the full engine state from it. Must run
+  /// before Run(), on a freshly constructed engine.
+  void RestoreFromFile(const std::string& path) {
+    RestoreFrom(ckpt::CheckpointFile::Load(path), path);
+  }
+
   SimulationResult Run() {
     for (const workload::Job& job : jobs_) {
       std::string err = job.Validate();
@@ -120,16 +146,21 @@ class Engine {
         throw std::invalid_argument("RunSimulation: job " +
                                     std::to_string(job.id) + ": " + err);
       }
-      simulator_.ScheduleAt(job.submit_time, [this, &job] { OnSubmit(job); });
     }
-    if (injector_.has_value()) injector_->Arm();
-    if (hub_ != nullptr && hub_->options().sample_dt_seconds > 0) {
-      // The engine owns the tick cadence: the first sample lands at t=0 and
-      // each tick re-arms only while real work remains, so sampling cannot
-      // keep an otherwise-drained queue alive.
-      simulator_.ScheduleAt(0.0, [this] { SampleTick(); });
+    if (!restored_) {
+      for (const workload::Job& job : jobs_) {
+        pending_submits_[job.id] =
+            simulator_.ScheduleAt(job.submit_time, SubmitAction(job));
+      }
+      if (injector_.has_value()) injector_->Arm();
+      if (hub_ != nullptr && hub_->options().sample_dt_seconds > 0) {
+        // The engine owns the tick cadence: the first sample lands at t=0
+        // and each tick re-arms only while real work remains, so sampling
+        // cannot keep an otherwise-drained queue alive.
+        ArmSampleTick(0.0);
+      }
     }
-    simulator_.Run();
+    RunLoop();
     if (!running_.empty() || batch_.queue_size() != 0) {
       throw std::logic_error(
           "RunSimulation: event queue drained with unfinished jobs");
@@ -164,10 +195,58 @@ class Engine {
     result.events_processed = simulator_.processed_events();
     result.io_scheduling_cycles = io_scheduler_.cycles();
     result.policy_name = io_scheduler_.policy().name();
+    result.checkpoints_written = checkpoints_written_;
+    result.resumed_from = resumed_from_;
     return result;
   }
 
  private:
+  // --- Event closures ------------------------------------------------------
+  // Every event the engine schedules is built by one of these factories, so
+  // checkpoint restore re-arms byte-for-byte the same behaviour the original
+  // schedule would have run. Each closure that owns a tracking entry erases
+  // it first, keeping the checkpointed pending sets exactly the
+  // not-yet-fired events.
+
+  std::function<void()> SubmitAction(const workload::Job& job) {
+    return [this, &job] {
+      pending_submits_.erase(job.id);
+      OnSubmit(job);
+    };
+  }
+
+  std::function<void()> PassAction(std::uint64_t seq) {
+    return [this, seq] {
+      pending_passes_.erase(seq);
+      RunSchedulingPass();
+    };
+  }
+
+  std::function<void()> KillAction(workload::JobId id) {
+    return [this, id] { KillJob(id); };
+  }
+
+  std::function<void()> ComputeAction(workload::JobId id, double duration) {
+    return [this, id, duration] {
+      running_.at(id).has_compute_event = false;
+      io_scheduler_.AddCompletedCompute(id, duration);
+      AdvancePhase(id);
+    };
+  }
+
+  std::function<void()> SampleAction() {
+    return [this] {
+      has_sample_event_ = false;
+      SampleTick();
+    };
+  }
+
+  void ArmSampleTick(sim::SimTime t) {
+    sample_event_ = simulator_.ScheduleAt(t, SampleAction());
+    sample_event_time_ = t;
+    has_sample_event_ = true;
+  }
+
   void OnSubmit(const workload::Job& job) {
     Log(SchedEventKind::kSubmit, job.id, static_cast<double>(job.nodes));
     batch_.Submit(job);
@@ -202,8 +281,7 @@ class Engine {
   void SampleTick() {
     RecordSample(simulator_.Now());
     if (simulator_.pending_events() > 0) {
-      simulator_.ScheduleAfter(hub_->options().sample_dt_seconds,
-                               [this] { SampleTick(); });
+      ArmSampleTick(simulator_.Now() + hub_->options().sample_dt_seconds);
     }
   }
 
@@ -249,8 +327,9 @@ class Engine {
     if (rit != retry_.end()) state.next_phase = rit->second.resume_phase;
     Log(SchedEventKind::kStart, job.id, static_cast<double>(partition.nodes));
     if (config_.enforce_walltime) {
-      state.kill_event = simulator_.ScheduleAfter(
-          job.requested_walltime, [this, id = job.id] { KillJob(id); });
+      state.kill_fire_time = now + job.requested_walltime;
+      state.kill_event =
+          simulator_.ScheduleAt(state.kill_fire_time, KillAction(job.id));
       state.has_kill_event = true;
     }
     running_.emplace(job.id, state);
@@ -317,8 +396,10 @@ class Engine {
       Log(SchedEventKind::kRequeue, id, decision.eligible_time);
       // A backoff expiry wakes nobody by itself: arm a scheduling pass at
       // the eligibility time (idempotent if anything else runs one first).
-      simulator_.ScheduleAt(decision.eligible_time,
-                            [this] { RunSchedulingPass(); });
+      std::uint64_t seq = next_pass_seq_++;
+      pending_passes_[seq] = PendingPass{
+          simulator_.ScheduleAt(decision.eligible_time, PassAction(seq)),
+          decision.eligible_time};
     } else {
       fault_stats_.Add(now, metrics::FaultEventKind::kAbandon, id);
       Log(SchedEventKind::kAbandon, id);
@@ -381,12 +462,10 @@ class Engine {
       ++state.next_phase;
       if (phase.kind == workload::PhaseKind::kCompute) {
         if (phase.compute_seconds <= 0) continue;  // empty phase: skip
-        state.compute_event = simulator_.ScheduleAfter(
-            phase.compute_seconds, [this, id, dur = phase.compute_seconds] {
-              running_.at(id).has_compute_event = false;
-              io_scheduler_.AddCompletedCompute(id, dur);
-              AdvancePhase(id);
-            });
+        state.compute_duration = phase.compute_seconds;
+        state.compute_fire_time = now + phase.compute_seconds;
+        state.compute_event = simulator_.ScheduleAt(
+            state.compute_fire_time, ComputeAction(id, phase.compute_seconds));
         state.has_compute_event = true;
         return;
       }
@@ -449,6 +528,462 @@ class Engine {
     RunSchedulingPass();
   }
 
+  // --- Checkpoint orchestration --------------------------------------------
+
+  /// Event loop with checkpoint triggers and watchdog polling. Checkpoints
+  /// are taken strictly *between* events, so the saved state is always a
+  /// consistent between-events frontier.
+  void RunLoop() {
+    const ckpt::Options& opt = config_.checkpoint;
+    const bool saving = opt.SavingEnabled();
+    RunControl* control = config_.control;
+    using Clock = std::chrono::steady_clock;
+    auto wall_period = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(
+            opt.every_wall_seconds > 0 ? opt.every_wall_seconds : 0.0));
+    double next_sim_save = opt.every_sim_seconds > 0
+                               ? simulator_.Now() + opt.every_sim_seconds
+                               : 0.0;
+    std::uint64_t next_event_save =
+        opt.every_events > 0
+            ? simulator_.processed_events() + opt.every_events
+            : 0;
+    Clock::time_point next_wall_save = Clock::now() + wall_period;
+
+    while (simulator_.RunOne()) {
+      if (control != nullptr) {
+        control->progress_events.store(simulator_.processed_events(),
+                                       std::memory_order_relaxed);
+        control->progress_sim_time.store(simulator_.Now(),
+                                         std::memory_order_relaxed);
+        if (control->abort.load(std::memory_order_relaxed)) {
+          std::string path;
+          if (!opt.directory.empty()) path = SaveCheckpointNow();
+          throw SimulationAborted(
+              "simulation aborted by watchdog at t=" +
+                  std::to_string(simulator_.Now()) + " after " +
+                  std::to_string(simulator_.processed_events()) + " events" +
+                  (path.empty() ? "" : "; emergency checkpoint " + path),
+              path);
+        }
+      }
+      if (!saving || simulator_.pending_events() == 0) continue;
+      bool due = false;
+      if (opt.every_events > 0 &&
+          simulator_.processed_events() >= next_event_save) {
+        due = true;
+      }
+      if (opt.every_sim_seconds > 0 && simulator_.Now() >= next_sim_save) {
+        due = true;
+      }
+      // The wall trigger checks the clock only every 1024 events to keep
+      // the hot loop free of syscalls.
+      if (opt.every_wall_seconds > 0 &&
+          (simulator_.processed_events() & 1023u) == 0 &&
+          Clock::now() >= next_wall_save) {
+        due = true;
+      }
+      if (!due) continue;
+      SaveCheckpointNow();
+      if (opt.every_events > 0) {
+        next_event_save = simulator_.processed_events() + opt.every_events;
+      }
+      if (opt.every_sim_seconds > 0) {
+        next_sim_save = simulator_.Now() + opt.every_sim_seconds;
+      }
+      if (opt.every_wall_seconds > 0) {
+        next_wall_save = Clock::now() + wall_period;
+      }
+    }
+  }
+
+  /// Snapshot the complete engine state and atomically publish it under the
+  /// next sequence number, pruning old checkpoints. Returns the path.
+  std::string SaveCheckpointNow() {
+    const ckpt::Options& opt = config_.checkpoint;
+    std::filesystem::create_directories(std::filesystem::path(opt.directory));
+    ckpt::CheckpointFile file = BuildCheckpoint();
+    std::string path = ckpt::CheckpointFileName(
+        opt.directory, ckpt::NextSequence(opt.directory));
+    file.WriteAtomic(path);
+    ++checkpoints_written_;
+    ckpt::PruneOld(opt.directory, opt.keep_last);
+    return path;
+  }
+
+  std::uint64_t ConfigHash() {
+    if (!config_hash_.has_value()) {
+      config_hash_ = SimulationConfigHash(config_, jobs_);
+    }
+    return *config_hash_;
+  }
+
+  /// Id → workload entry, built on first use. Checkpointing requires
+  /// unique job ids (the restore path keys everything by id).
+  const workload::Job* FindJob(workload::JobId id) {
+    if (job_index_.empty() && !jobs_.empty()) {
+      job_index_.reserve(jobs_.size());
+      for (const workload::Job& job : jobs_) {
+        if (!job_index_.emplace(job.id, &job).second) {
+          throw std::invalid_argument(
+              "checkpoint: workload has duplicate job id " +
+              std::to_string(job.id));
+        }
+      }
+    }
+    auto it = job_index_.find(id);
+    return it == job_index_.end() ? nullptr : it->second;
+  }
+
+  ckpt::CheckpointFile BuildCheckpoint() {
+    ckpt::CheckpointFile file;
+    file.SetConfigHash(ConfigHash());
+    {
+      ckpt::Writer w;
+      w.F64(simulator_.Now());
+      w.U64(simulator_.processed_events());
+      w.U64(simulator_.NextEventId());
+      file.AddSection("sim", w.TakeBuffer());
+    }
+    {
+      ckpt::Writer w;
+      machine_.SaveState(w);
+      file.AddSection("machine", w.TakeBuffer());
+    }
+    {
+      ckpt::Writer w;
+      storage_.SaveState(w);
+      file.AddSection("storage", w.TakeBuffer());
+    }
+    if (burst_buffer_.has_value()) {
+      ckpt::Writer w;
+      burst_buffer_->SaveState(w);
+      file.AddSection("burst_buffer", w.TakeBuffer());
+    }
+    {
+      ckpt::Writer w;
+      batch_.SaveState(w);
+      file.AddSection("batch", w.TakeBuffer());
+    }
+    {
+      ckpt::Writer w;
+      io_scheduler_.SaveState(w);
+      file.AddSection("iosched", w.TakeBuffer());
+    }
+    {
+      ckpt::Writer w;
+      SaveEngineSection(w);
+      file.AddSection("engine", w.TakeBuffer());
+    }
+    if (injector_.has_value()) {
+      ckpt::Writer w;
+      injector_->SaveState(w);
+      file.AddSection("faults", w.TakeBuffer());
+    }
+    {
+      ckpt::Writer w;
+      fault_stats_.SaveState(w);
+      file.AddSection("fault_stats", w.TakeBuffer());
+    }
+    {
+      ckpt::Writer w;
+      utilization_.SaveState(w);
+      file.AddSection("utilization", w.TakeBuffer());
+    }
+    {
+      ckpt::Writer w;
+      bandwidth_tracker_.SaveState(w);
+      file.AddSection("bandwidth", w.TakeBuffer());
+    }
+    if (event_log_ != nullptr) {
+      ckpt::Writer w;
+      event_log_->SaveState(w);
+      file.AddSection("event_log", w.TakeBuffer());
+    }
+    return file;
+  }
+
+  void SaveEngineSection(ckpt::Writer& w) {
+    // Running jobs, sorted by id for deterministic bytes.
+    std::vector<workload::JobId> ids;
+    ids.reserve(running_.size());
+    for (const auto& [id, state] : running_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    w.U32(static_cast<std::uint32_t>(ids.size()));
+    for (workload::JobId id : ids) {
+      const ExecState& s = running_.at(id);
+      w.I64(id);
+      w.I64(s.partition.first_midplane);
+      w.I64(s.partition.midplane_count);
+      w.I64(s.partition.nodes);
+      w.F64(s.start_time);
+      w.U64(s.next_phase);
+      w.F64(s.io_request_start);
+      w.F64(s.io_time_actual);
+      w.Bool(s.in_io);
+      w.Bool(s.has_kill_event);
+      if (s.has_kill_event) {
+        w.U64(s.kill_event);
+        w.F64(s.kill_fire_time);
+      }
+      w.Bool(s.has_compute_event);
+      if (s.has_compute_event) {
+        w.U64(s.compute_event);
+        w.F64(s.compute_fire_time);
+        w.F64(s.compute_duration);
+      }
+    }
+    // Retry contexts.
+    ids.clear();
+    for (const auto& [id, rc] : retry_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    w.U32(static_cast<std::uint32_t>(ids.size()));
+    for (workload::JobId id : ids) {
+      const RetryContext& rc = retry_.at(id);
+      w.I64(id);
+      w.I64(rc.failures);
+      w.F64(rc.lost_seconds);
+      w.U64(rc.resume_phase);
+    }
+    // Finished-job records, in completion order (sorted by id only at the
+    // end of Run, so the order must be preserved across a resume).
+    w.U32(static_cast<std::uint32_t>(records_.size()));
+    for (const metrics::JobRecord& r : records_) {
+      w.I64(r.id);
+      w.I64(r.requested_nodes);
+      w.I64(r.allocated_nodes);
+      w.F64(r.submit_time);
+      w.F64(r.start_time);
+      w.F64(r.end_time);
+      w.F64(r.uncongested_runtime);
+      w.F64(r.requested_walltime);
+      w.F64(r.io_time_actual);
+      w.F64(r.io_time_uncongested);
+      w.I64(r.io_phase_count);
+      w.Bool(r.killed);
+      w.I64(r.attempts);
+      w.Bool(r.abandoned);
+      w.F64(r.lost_seconds);
+    }
+    // Pending submit events (fire time = the job's submit time).
+    ids.clear();
+    for (const auto& [id, event] : pending_submits_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    w.U32(static_cast<std::uint32_t>(ids.size()));
+    for (workload::JobId id : ids) {
+      w.I64(id);
+      w.U64(pending_submits_.at(id));
+    }
+    // Pending backoff scheduling passes (std::map: already sorted).
+    w.U32(static_cast<std::uint32_t>(pending_passes_.size()));
+    for (const auto& [seq, pass] : pending_passes_) {
+      w.U64(seq);
+      w.U64(pass.event);
+      w.F64(pass.fire_time);
+    }
+    w.U64(next_pass_seq_);
+    // Sampler tick event.
+    w.Bool(has_sample_event_);
+    if (has_sample_event_) {
+      w.U64(sample_event_);
+      w.F64(sample_event_time_);
+    }
+  }
+
+  void RestoreEngineSection(ckpt::Reader& r) {
+    auto must_resolve = [this](workload::JobId id) -> const workload::Job* {
+      const workload::Job* job = FindJob(id);
+      if (job == nullptr) {
+        throw std::runtime_error(
+            "checkpoint engine: job " + std::to_string(id) +
+            " not present in the workload");
+      }
+      return job;
+    };
+    std::uint32_t n = r.U32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      workload::JobId id = r.I64();
+      ExecState s;
+      s.job = must_resolve(id);
+      s.partition.first_midplane = static_cast<int>(r.I64());
+      s.partition.midplane_count = static_cast<int>(r.I64());
+      s.partition.nodes = static_cast<int>(r.I64());
+      s.start_time = r.F64();
+      s.next_phase = static_cast<std::size_t>(r.U64());
+      s.io_request_start = r.F64();
+      s.io_time_actual = r.F64();
+      s.in_io = r.Bool();
+      s.has_kill_event = r.Bool();
+      if (s.has_kill_event) {
+        s.kill_event = r.U64();
+        s.kill_fire_time = r.F64();
+        simulator_.RestoreEvent(s.kill_fire_time, s.kill_event,
+                                KillAction(id));
+      }
+      s.has_compute_event = r.Bool();
+      if (s.has_compute_event) {
+        s.compute_event = r.U64();
+        s.compute_fire_time = r.F64();
+        s.compute_duration = r.F64();
+        simulator_.RestoreEvent(s.compute_fire_time, s.compute_event,
+                                ComputeAction(id, s.compute_duration));
+      }
+      running_.emplace(id, s);
+    }
+    n = r.U32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      workload::JobId id = r.I64();
+      RetryContext rc;
+      rc.failures = static_cast<int>(r.I64());
+      rc.lost_seconds = r.F64();
+      rc.resume_phase = static_cast<std::size_t>(r.U64());
+      retry_.emplace(id, rc);
+    }
+    n = r.U32();
+    records_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      metrics::JobRecord rec;
+      rec.id = r.I64();
+      rec.requested_nodes = static_cast<int>(r.I64());
+      rec.allocated_nodes = static_cast<int>(r.I64());
+      rec.submit_time = r.F64();
+      rec.start_time = r.F64();
+      rec.end_time = r.F64();
+      rec.uncongested_runtime = r.F64();
+      rec.requested_walltime = r.F64();
+      rec.io_time_actual = r.F64();
+      rec.io_time_uncongested = r.F64();
+      rec.io_phase_count = static_cast<int>(r.I64());
+      rec.killed = r.Bool();
+      rec.attempts = static_cast<int>(r.I64());
+      rec.abandoned = r.Bool();
+      rec.lost_seconds = r.F64();
+      records_.push_back(rec);
+    }
+    n = r.U32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      workload::JobId id = r.I64();
+      sim::EventId event = r.U64();
+      const workload::Job* job = must_resolve(id);
+      simulator_.RestoreEvent(job->submit_time, event, SubmitAction(*job));
+      pending_submits_.emplace(id, event);
+    }
+    n = r.U32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::uint64_t seq = r.U64();
+      PendingPass pass;
+      pass.event = r.U64();
+      pass.fire_time = r.F64();
+      simulator_.RestoreEvent(pass.fire_time, pass.event, PassAction(seq));
+      pending_passes_.emplace(seq, pass);
+    }
+    next_pass_seq_ = r.U64();
+    has_sample_event_ = r.Bool();
+    if (has_sample_event_) {
+      sample_event_ = r.U64();
+      sample_event_time_ = r.F64();
+      if (hub_ == nullptr || hub_->options().sample_dt_seconds <= 0) {
+        throw ckpt::ConfigMismatchError(
+            "checkpoint engine: a sampler tick is pending but the resumed "
+            "run has no sampler (pass a hub built from the same obs "
+            "options)");
+      }
+      simulator_.RestoreEvent(sample_event_time_, sample_event_,
+                              SampleAction());
+    }
+    r.ExpectEnd();
+  }
+
+  void RestoreFrom(const ckpt::CheckpointFile& file,
+                   const std::string& context) {
+    if (restored_) {
+      throw std::logic_error("checkpoint: engine already restored");
+    }
+    if (simulator_.processed_events() != 0 ||
+        simulator_.pending_events() != 0) {
+      throw std::logic_error("checkpoint: restore requires a fresh engine");
+    }
+    if (file.config_hash() != ConfigHash()) {
+      throw ckpt::ConfigMismatchError(
+          "checkpoint " + context +
+          ": configuration/workload hash mismatch (the file was written "
+          "under a different run setup)");
+    }
+    if (file.HasSection("burst_buffer") != burst_buffer_.has_value()) {
+      throw ckpt::ConfigMismatchError(
+          "checkpoint " + context + ": burst-buffer presence mismatch");
+    }
+    if (file.HasSection("faults") != injector_.has_value()) {
+      throw ckpt::ConfigMismatchError(
+          "checkpoint " + context + ": fault-injection presence mismatch");
+    }
+    {
+      ckpt::Reader r(file.Section("sim"), "sim");
+      sim::SimTime now = r.F64();
+      std::uint64_t processed = r.U64();
+      sim::EventId next_id = r.U64();
+      r.ExpectEnd();
+      simulator_.RestoreClock(now, processed, next_id);
+    }
+    {
+      ckpt::Reader r(file.Section("machine"), "machine");
+      machine_.RestoreState(r);
+      r.ExpectEnd();
+    }
+    {
+      ckpt::Reader r(file.Section("storage"), "storage");
+      storage_.RestoreState(r);
+      r.ExpectEnd();
+    }
+    if (burst_buffer_.has_value()) {
+      ckpt::Reader r(file.Section("burst_buffer"), "burst_buffer");
+      burst_buffer_->RestoreState(r);
+      r.ExpectEnd();
+    }
+    auto resolve = [this](workload::JobId id) { return FindJob(id); };
+    {
+      ckpt::Reader r(file.Section("batch"), "batch");
+      batch_.RestoreState(r, resolve);
+      r.ExpectEnd();
+    }
+    {
+      ckpt::Reader r(file.Section("iosched"), "iosched");
+      io_scheduler_.RestoreState(r, resolve);
+      r.ExpectEnd();
+    }
+    {
+      ckpt::Reader r(file.Section("engine"), "engine");
+      RestoreEngineSection(r);
+    }
+    if (injector_.has_value()) {
+      ckpt::Reader r(file.Section("faults"), "faults");
+      injector_->RestoreState(r);
+      r.ExpectEnd();
+    }
+    {
+      ckpt::Reader r(file.Section("fault_stats"), "fault_stats");
+      fault_stats_.RestoreState(r);
+      r.ExpectEnd();
+    }
+    {
+      ckpt::Reader r(file.Section("utilization"), "utilization");
+      utilization_.RestoreState(r);
+      r.ExpectEnd();
+    }
+    {
+      ckpt::Reader r(file.Section("bandwidth"), "bandwidth");
+      bandwidth_tracker_.RestoreState(r);
+      r.ExpectEnd();
+    }
+    if (event_log_ != nullptr && file.HasSection("event_log")) {
+      ckpt::Reader r(file.Section("event_log"), "event_log");
+      event_log_->RestoreState(r);
+      r.ExpectEnd();
+    }
+    restored_ = true;
+    resumed_from_ = context;
+  }
+
   const SimulationConfig& config_;
   const workload::Workload& jobs_;
   EventLog* event_log_;
@@ -474,14 +1009,104 @@ class Engine {
   metrics::JobRecords records_;
   /// Scratch for RecordSample's suspended-transfer count.
   std::vector<const storage::Transfer*> sample_scratch_;
+  // --- Checkpoint bookkeeping ----------------------------------------------
+  /// Not-yet-fired submit events, keyed by job id.
+  std::unordered_map<workload::JobId, sim::EventId> pending_submits_;
+  /// A not-yet-fired backoff scheduling pass (armed by FailJob).
+  struct PendingPass {
+    sim::EventId event = 0;
+    sim::SimTime fire_time = 0.0;
+  };
+  /// Keyed by an ever-increasing sequence so concurrent backoffs coexist.
+  std::map<std::uint64_t, PendingPass> pending_passes_;
+  std::uint64_t next_pass_seq_ = 0;
+  /// The single pending sampler tick (obs runs only).
+  sim::EventId sample_event_ = 0;
+  sim::SimTime sample_event_time_ = 0.0;
+  bool has_sample_event_ = false;
+  /// Lazily built id → job map (restore + duplicate-id validation).
+  std::unordered_map<workload::JobId, const workload::Job*> job_index_;
+  std::optional<std::uint64_t> config_hash_;
+  bool restored_ = false;
+  std::string resumed_from_;
+  std::uint64_t checkpoints_written_ = 0;
 };
 
 }  // namespace
+
+std::uint64_t SimulationConfigHash(const SimulationConfig& config,
+                                   const workload::Workload& jobs) {
+  using metrics::FnvMix;
+  std::uint64_t h = metrics::kFnvOffset;
+  // Machine geometry + link speed.
+  h = FnvMix(h, static_cast<std::uint64_t>(config.machine.nodes_per_midplane));
+  h = FnvMix(h, static_cast<std::uint64_t>(config.machine.midplanes_per_row));
+  h = FnvMix(h, static_cast<std::uint64_t>(config.machine.rows));
+  h = FnvMix(h, config.machine.node_bandwidth_gbps);
+  // Storage.
+  h = FnvMix(h, config.storage.max_bandwidth_gbps);
+  h = FnvMix(h, static_cast<std::uint64_t>(config.storage.enforce_capacity));
+  // Batch scheduler.
+  h = FnvMix(h, static_cast<std::uint64_t>(config.batch.order));
+  h = FnvMix(h, static_cast<std::uint64_t>(config.batch.easy_backfill));
+  h = FnvMix(h, static_cast<std::uint64_t>(config.batch.max_retries));
+  h = FnvMix(h, config.batch.requeue_backoff_seconds);
+  h = FnvMix(h, config.batch.max_backoff_seconds);
+  // Policy + engine switches that shape the schedule.
+  h = MixStr(h, config.policy);
+  h = FnvMix(h, static_cast<std::uint64_t>(config.track_bandwidth));
+  h = FnvMix(h, static_cast<std::uint64_t>(config.enforce_walltime));
+  // Burst buffer.
+  h = FnvMix(h, config.burst_buffer.capacity_gb);
+  h = FnvMix(h, config.burst_buffer.drain_gbps);
+  // Faults: generation parameters and the explicit plan both pin the
+  // schedule.
+  const faults::FaultPlanConfig& fp = config.faults.plan_config;
+  h = FnvMix(h, static_cast<std::uint64_t>(fp.enabled));
+  h = FnvMix(h, fp.seed);
+  h = FnvMix(h, fp.degraded_fraction);
+  h = FnvMix(h, fp.degradation_factor);
+  h = FnvMix(h, fp.degraded_window_seconds);
+  h = FnvMix(h, static_cast<std::uint64_t>(fp.midplane_outages));
+  h = FnvMix(h, fp.midplane_outage_seconds);
+  h = FnvMix(h, fp.job_kill_probability);
+  const faults::FaultPlan& plan = config.faults.explicit_plan;
+  h = FnvMix(h, static_cast<std::uint64_t>(plan.degradations.size()));
+  for (const faults::StorageDegradation& d : plan.degradations) {
+    h = FnvMix(h, d.start);
+    h = FnvMix(h, d.end);
+    h = FnvMix(h, d.bandwidth_factor);
+  }
+  h = FnvMix(h, static_cast<std::uint64_t>(plan.outages.size()));
+  for (const faults::MidplaneOutage& o : plan.outages) {
+    h = FnvMix(h, o.start);
+    h = FnvMix(h, o.end);
+    h = FnvMix(h, static_cast<std::uint64_t>(o.midplane));
+  }
+  h = FnvMix(h, plan.job_kill_probability);
+  h = FnvMix(h, plan.kill_seed);
+  h = FnvMix(h, static_cast<std::uint64_t>(config.faults.restart_mode));
+  // Observability: sampler ticks consume event ids, so sampling must match.
+  h = FnvMix(h, static_cast<std::uint64_t>(config.obs.enabled));
+  h = FnvMix(h, config.obs.enabled ? config.obs.sample_dt_seconds : 0.0);
+  // The workload itself.
+  h = FnvMix(h, workload::WorkloadFingerprint(jobs));
+  return h;
+}
 
 SimulationResult RunSimulation(const SimulationConfig& config,
                                const workload::Workload& jobs,
                                EventLog* event_log, obs::Hub* hub) {
   Engine engine(config, jobs, event_log, hub);
+  const ckpt::Options& opt = config.checkpoint;
+  std::string resume_path = opt.resume_from;
+  if (resume_path.empty() && opt.resume_latest && !opt.directory.empty()) {
+    resume_path = ckpt::FindLatestValid(
+        opt.directory, SimulationConfigHash(config, jobs), nullptr);
+  }
+  if (!resume_path.empty()) {
+    engine.RestoreFromFile(resume_path);
+  }
   return engine.Run();
 }
 

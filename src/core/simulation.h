@@ -9,9 +9,13 @@
 // metrics subsystem.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
+#include "ckpt/checkpoint.h"
 #include "core/event_log.h"
 #include "faults/fault_plan.h"
 #include "machine/machine.h"
@@ -27,6 +31,32 @@
 #include "workload/workload.h"
 
 namespace iosched::core {
+
+/// Shared-state handle between a running simulation and an external monitor
+/// (the driver's watchdog). The engine publishes progress after every
+/// processed event and polls `abort`; a monitor thread that sees no
+/// progress within its budget sets `abort`, and the engine responds by
+/// writing an emergency checkpoint (when a checkpoint directory is
+/// configured) and throwing SimulationAborted. The struct must outlive the
+/// run.
+struct RunControl {
+  std::atomic<std::uint64_t> progress_events{0};
+  std::atomic<double> progress_sim_time{0.0};
+  std::atomic<bool> abort{false};
+};
+
+/// Thrown when a run is stopped via RunControl::abort. Carries the path of
+/// the emergency checkpoint, when one could be written ("" otherwise).
+class SimulationAborted : public std::runtime_error {
+ public:
+  SimulationAborted(const std::string& what, std::string checkpoint_path)
+      : std::runtime_error(what),
+        checkpoint_path_(std::move(checkpoint_path)) {}
+  const std::string& checkpoint_path() const { return checkpoint_path_; }
+
+ private:
+  std::string checkpoint_path_;
+};
 
 struct SimulationConfig {
   machine::MachineConfig machine = machine::MachineConfig::Mira();
@@ -57,7 +87,16 @@ struct SimulationConfig {
   /// Observability settings (counters + tracer + time-series sampler).
   /// Drivers that honor `obs.enabled` construct an obs::Hub from these and
   /// pass it to RunSimulation; the engine itself only sees the Hub pointer.
+  /// Callers passing a hub MUST keep it consistent with these settings —
+  /// the checkpoint config hash covers `obs.enabled`/`sample_dt_seconds`
+  /// because sampler ticks consume event ids.
   obs::Options obs;
+  /// Periodic checkpointing + resume (disabled by default). Resume-equiv
+  /// guarantee: a run restored from any checkpoint produces records
+  /// bit-identical to the uninterrupted run.
+  ckpt::Options checkpoint;
+  /// Optional watchdog handle (see RunControl); null disables polling.
+  RunControl* control = nullptr;
 };
 
 struct SimulationResult {
@@ -77,7 +116,20 @@ struct SimulationResult {
   std::uint64_t events_processed = 0;
   std::uint64_t io_scheduling_cycles = 0;
   std::string policy_name;
+  /// Checkpoints written during this run (periodic + emergency).
+  std::uint64_t checkpoints_written = 0;
+  /// Checkpoint file the run resumed from ("" for a fresh run).
+  std::string resumed_from;
 };
+
+/// FNV-1a fingerprint over every configuration field that shapes the event
+/// schedule, plus the workload fingerprint. Stamped into checkpoints; a
+/// resume whose recomputed hash differs is rejected with
+/// ckpt::ConfigMismatchError instead of silently diverging. Fields that
+/// only affect post-run reporting (warmup/cooldown fractions,
+/// keep_bandwidth_samples) are deliberately excluded.
+std::uint64_t SimulationConfigHash(const SimulationConfig& config,
+                                   const workload::Workload& jobs);
 
 /// Run the workload to completion under `config`. The workload must be
 /// valid (ValidateWorkload empty) and is not modified. Deterministic.
@@ -87,6 +139,11 @@ struct SimulationResult {
 /// the schedule of decisions is unaffected (obs never mutates simulation
 /// state), so records and report are identical with and without a hub —
 /// only `events_processed` grows by the sampler's tick events.
+/// When `config.checkpoint` enables saving, state snapshots land in the
+/// checkpoint directory; `resume_from`/`resume_latest` restore one before
+/// running (throws ckpt::CheckpointError subclasses on damaged or
+/// mismatched files; resume_latest quietly starts fresh when the directory
+/// holds no usable checkpoint).
 SimulationResult RunSimulation(const SimulationConfig& config,
                                const workload::Workload& jobs,
                                EventLog* event_log = nullptr,

@@ -100,6 +100,24 @@ Scenario ScenarioFromConfig(const util::Config& config) {
     scenario.config.obs.trace_capacity = static_cast<std::size_t>(cap);
   }
 
+  // Checkpoint / resume (off unless [checkpoint] directory is set).
+  {
+    ckpt::Options& ck = scenario.config.checkpoint;
+    ck.directory = config.GetStringOr("checkpoint.directory", "");
+    ck.every_sim_seconds =
+        config.GetDoubleOr("checkpoint.every_sim_seconds", 0.0);
+    long long every_events = config.GetIntOr("checkpoint.every_events", 0);
+    if (every_events < 0) {
+      throw std::runtime_error(
+          "config: 'checkpoint.every_events' must be >= 0");
+    }
+    ck.every_events = static_cast<std::uint64_t>(every_events);
+    ck.every_wall_seconds =
+        config.GetDoubleOr("checkpoint.every_wall_seconds", 0.0);
+    ck.keep_last = static_cast<int>(config.GetIntOr("checkpoint.keep_last", 3));
+    ck.resume_latest = config.GetBoolOr("checkpoint.resume_latest", false);
+  }
+
   // Policy & simulation knobs.
   scenario.config.policy = config.GetStringOr("policy.name", "BASE_LINE");
   scenario.config.enforce_walltime =

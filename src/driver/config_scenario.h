@@ -46,6 +46,14 @@
 //   sample_dt_seconds = <double>     (600)    # <= 0 disables the sampler
 //   trace_capacity = <int>           (1048576) # tracer ring size, records
 //
+//   [checkpoint]
+//   directory = <path>               ("" = checkpointing disabled)
+//   every_sim_seconds = <double>     (0 = trigger off)
+//   every_events = <int>             (0 = trigger off)
+//   every_wall_seconds = <double>    (0 = trigger off)
+//   keep_last = <int>                (3)     # <= 0 keeps everything
+//   resume_latest = <bool>           (false) # resume newest valid checkpoint
+//
 //   [workload]
 //   month = 1..3                     (use the built-in evaluation month)
 //   days = <double>                  (30)

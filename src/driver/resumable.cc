@@ -1,0 +1,260 @@
+#include "driver/resumable.h"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+#include "ckpt/checkpoint.h"
+#include "ckpt/serializer.h"
+#include "driver/watchdog.h"
+#include "metrics/digest.h"
+#include "obs/hub.h"
+
+namespace iosched::driver {
+
+namespace {
+
+constexpr const char* kOutcomeFileName = "result.iosres";
+
+/// Directory-safe rendering of a cell name: anything outside
+/// [A-Za-z0-9._-] becomes '_', so "WL1/seed7" and "WL1 seed7" cannot
+/// escape the cells/ tree or collide with path separators.
+std::string SanitizeName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!safe) c = '_';
+  }
+  return out;
+}
+
+void WriteReport(ckpt::Writer& w, const metrics::Report& r) {
+  w.U64(r.job_count);
+  w.F64(r.avg_wait_seconds);
+  w.F64(r.avg_response_seconds);
+  w.F64(r.utilization);
+  w.F64(r.p90_wait_seconds);
+  w.F64(r.p90_response_seconds);
+  w.F64(r.max_wait_seconds);
+  w.F64(r.avg_bounded_slowdown);
+  w.F64(r.avg_runtime_seconds);
+  w.F64(r.avg_runtime_expansion);
+  w.F64(r.avg_io_slowdown);
+  w.F64(r.makespan_seconds);
+  w.F64(r.total_io_gb);
+  w.U64(r.requeued_job_count);
+  w.U64(r.abandoned_job_count);
+  w.U64(r.total_attempts);
+  w.F64(r.lost_node_seconds);
+  w.F64(r.avg_wait_clean_seconds);
+  w.F64(r.avg_wait_requeued_seconds);
+  w.F64(r.avg_response_requeued_seconds);
+}
+
+metrics::Report ReadReport(ckpt::Reader& r) {
+  metrics::Report out;
+  out.job_count = static_cast<std::size_t>(r.U64());
+  out.avg_wait_seconds = r.F64();
+  out.avg_response_seconds = r.F64();
+  out.utilization = r.F64();
+  out.p90_wait_seconds = r.F64();
+  out.p90_response_seconds = r.F64();
+  out.max_wait_seconds = r.F64();
+  out.avg_bounded_slowdown = r.F64();
+  out.avg_runtime_seconds = r.F64();
+  out.avg_runtime_expansion = r.F64();
+  out.avg_io_slowdown = r.F64();
+  out.makespan_seconds = r.F64();
+  out.total_io_gb = r.F64();
+  out.requeued_job_count = static_cast<std::size_t>(r.U64());
+  out.abandoned_job_count = static_cast<std::size_t>(r.U64());
+  out.total_attempts = r.U64();
+  out.lost_node_seconds = r.F64();
+  out.avg_wait_clean_seconds = r.F64();
+  out.avg_wait_requeued_seconds = r.F64();
+  out.avg_response_requeued_seconds = r.F64();
+  return out;
+}
+
+}  // namespace
+
+ResumableRunner::ResumableRunner(Options options)
+    : options_(std::move(options)) {
+  if (options_.root_directory.empty()) {
+    throw std::invalid_argument(
+        "ResumableRunner: root_directory must be set");
+  }
+}
+
+std::string ResumableRunner::CellDirectory(
+    const std::string& cell_name) const {
+  return options_.root_directory + "/cells/" + SanitizeName(cell_name);
+}
+
+bool ResumableRunner::LoadOutcome(const SweepCell& cell,
+                                  std::uint64_t config_hash,
+                                  CellOutcome* out) const {
+  std::string path = CellDirectory(cell.name) + "/" + kOutcomeFileName;
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return false;
+  try {
+    ckpt::CheckpointFile file = ckpt::CheckpointFile::Load(path);
+    // A stale outcome from a different configuration or workload must not
+    // satisfy this sweep: the cell reruns instead.
+    if (file.config_hash() != config_hash) return false;
+    ckpt::Reader r(file.Section("outcome"), "outcome");
+    CellOutcome loaded;
+    loaded.name = r.Str();
+    loaded.policy_name = r.Str();
+    loaded.record_digest = r.U64();
+    loaded.events_processed = r.U64();
+    loaded.io_cycles = r.U64();
+    loaded.report = ReadReport(r);
+    r.ExpectEnd();
+    loaded.reused = true;
+    *out = std::move(loaded);
+    return true;
+  } catch (const std::exception&) {
+    // Damaged outcome file (torn write before atomic publish existed,
+    // bit rot): treat the cell as unfinished and rerun it.
+    return false;
+  }
+}
+
+void ResumableRunner::StoreOutcome(const CellOutcome& outcome,
+                                   std::uint64_t config_hash,
+                                   const std::string& cell_dir) const {
+  ckpt::CheckpointFile file;
+  file.SetConfigHash(config_hash);
+  ckpt::Writer w;
+  w.Str(outcome.name);
+  w.Str(outcome.policy_name);
+  w.U64(outcome.record_digest);
+  w.U64(outcome.events_processed);
+  w.U64(outcome.io_cycles);
+  WriteReport(w, outcome.report);
+  file.AddSection("outcome", w.TakeBuffer());
+  file.WriteAtomic(cell_dir + "/" + kOutcomeFileName);
+}
+
+void ResumableRunner::AppendManifest(const CellOutcome& outcome,
+                                     std::uint64_t config_hash) const {
+  // Append-only journal for humans and CI greps; the outcome files are the
+  // authoritative skip decision, so a torn final line after a crash is
+  // harmless.
+  std::string path = options_.root_directory + "/manifest.tsv";
+  std::ofstream out(path, std::ios::app);
+  out << "done\t" << outcome.name << "\t"
+      << metrics::HexDigest(config_hash) << "\t"
+      << metrics::HexDigest(outcome.record_digest) << "\t"
+      << outcome.policy_name << "\n";
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("ResumableRunner: failed writing manifest " +
+                             path);
+  }
+}
+
+CellOutcome ResumableRunner::Run(const SweepCell& cell) {
+  if (cell.jobs == nullptr) {
+    throw std::invalid_argument("ResumableRunner: cell '" + cell.name +
+                                "' has no workload");
+  }
+  std::uint64_t config_hash =
+      core::SimulationConfigHash(cell.config, *cell.jobs);
+  std::string cell_dir = CellDirectory(cell.name);
+  CellOutcome outcome;
+  if (LoadOutcome(cell, config_hash, &outcome)) return outcome;
+
+  std::filesystem::create_directories(std::filesystem::path(cell_dir));
+  std::string ckpt_dir = cell_dir + "/ckpt";
+  core::SimulationConfig config = cell.config;
+  config.checkpoint.directory = ckpt_dir;
+  config.checkpoint.every_sim_seconds = options_.checkpoint_every_sim_seconds;
+  config.checkpoint.every_events = options_.checkpoint_every_events;
+  config.checkpoint.every_wall_seconds =
+      options_.checkpoint_every_wall_seconds;
+  config.checkpoint.keep_last = options_.keep_last;
+  config.checkpoint.resume_from.clear();
+  config.checkpoint.resume_latest = true;
+  core::RunControl control;
+  config.control = &control;
+
+  std::optional<obs::Hub> hub;
+  if (config.obs.enabled) hub.emplace(config.obs);
+  std::optional<Watchdog> watchdog;
+  if (options_.watchdog_no_progress_seconds > 0) {
+    Watchdog::Options wopt;
+    wopt.no_progress_seconds = options_.watchdog_no_progress_seconds;
+    wopt.poll_interval_seconds = options_.watchdog_poll_interval_seconds;
+    watchdog.emplace(control, wopt);
+  }
+
+  core::SimulationResult result;
+  try {
+    result = core::RunSimulation(config, *cell.jobs, nullptr,
+                                 hub ? &*hub : nullptr);
+  } catch (const core::SimulationAborted& e) {
+    std::string what = e.what();
+    if (watchdog.has_value()) {
+      watchdog->Stop();
+      if (watchdog->fired()) what += "; " + watchdog->diagnostic();
+    }
+    // The emergency checkpoint (when written) makes the cell resumable by
+    // the next sweep invocation.
+    throw core::SimulationAborted("cell '" + cell.name + "': " + what,
+                                  e.checkpoint_path());
+  }
+  if (watchdog.has_value()) watchdog->Stop();
+
+  outcome.name = cell.name;
+  outcome.policy_name = result.policy_name;
+  outcome.report = result.report;
+  outcome.record_digest = metrics::DigestRecords(result.records);
+  outcome.events_processed = result.events_processed;
+  outcome.io_cycles = result.io_scheduling_cycles;
+  outcome.reused = false;
+  outcome.resumed = !result.resumed_from.empty();
+  outcome.resumed_from = result.resumed_from;
+  StoreOutcome(outcome, config_hash, cell_dir);
+  AppendManifest(outcome, config_hash);
+  std::error_code ec;
+  std::filesystem::remove_all(ckpt_dir, ec);  // best-effort cleanup
+  return outcome;
+}
+
+std::vector<PolicyRun> RunResumablePolicySweep(
+    const Scenario& scenario, std::span<const std::string> policies,
+    const ResumableRunner::Options& options) {
+  ResumableRunner runner(options);
+  std::vector<PolicyRun> runs;
+  runs.reserve(policies.size());
+  for (const std::string& policy : policies) {
+    SweepCell cell;
+    cell.name = scenario.name + "/" + policy;
+    cell.config = scenario.config;
+    cell.config.policy = policy;
+    cell.jobs = &scenario.jobs;
+    auto t0 = std::chrono::steady_clock::now();
+    CellOutcome outcome = runner.Run(cell);
+    auto t1 = std::chrono::steady_clock::now();
+    PolicyRun run;
+    run.policy = outcome.policy_name;
+    run.scenario = scenario.name;
+    run.report = outcome.report;
+    run.events_processed = outcome.events_processed;
+    run.io_cycles = outcome.io_cycles;
+    run.wall_seconds =
+        outcome.reused ? 0.0
+                       : std::chrono::duration<double>(t1 - t0).count();
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+}  // namespace iosched::driver

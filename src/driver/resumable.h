@@ -1,0 +1,112 @@
+// Crash-safe experiment driver: a sweep whose cells (scenario × policy
+// runs) survive process death.
+//
+// Each cell gets its own directory under the sweep root. While a cell
+// runs, the engine drops periodic checkpoints there; when it finishes, a
+// compact outcome file (report + record digest) is atomically published
+// and the cell's checkpoints are deleted. Re-running the sweep after a
+// crash (or a watchdog abort) skips every finished cell — the outcome file
+// is re-validated against the cell's configuration hash — and the
+// interrupted cell resumes from its newest valid checkpoint, falling back
+// to older ones when the newest is damaged. Resume-equivalence guarantees
+// the stitched-together sweep reports exactly what an uninterrupted sweep
+// would have.
+//
+// Layout under Options::root_directory:
+//   manifest.tsv                      append-only "done" journal (human/CI)
+//   cells/<name>/result.iosres        outcome file (checkpoint container)
+//   cells/<name>/ckpt/ckpt-*.iosckpt  in-flight checkpoints (removed on
+//                                     completion)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/simulation.h"
+#include "driver/experiment.h"
+#include "driver/scenario.h"
+#include "metrics/report.h"
+#include "workload/workload.h"
+
+namespace iosched::driver {
+
+/// One unit of resumable work.
+struct SweepCell {
+  /// Unique within the sweep; sanitized into a directory name.
+  std::string name;
+  core::SimulationConfig config;
+  /// Must outlive the Run call.
+  const workload::Workload* jobs = nullptr;
+};
+
+/// What Run() returns for a cell, whether freshly computed or reloaded.
+struct CellOutcome {
+  std::string name;
+  std::string policy_name;
+  metrics::Report report;
+  /// metrics::DigestRecords over the cell's job records.
+  std::uint64_t record_digest = 0;
+  std::uint64_t events_processed = 0;
+  std::uint64_t io_cycles = 0;
+  /// True when the outcome was loaded from a previous sweep's result file
+  /// (the simulation did not run again).
+  bool reused = false;
+  /// True when the run continued from a mid-run checkpoint.
+  bool resumed = false;
+  std::string resumed_from;
+};
+
+class ResumableRunner {
+ public:
+  struct Options {
+    /// Sweep state root; created on demand. Must be non-empty.
+    std::string root_directory;
+    /// Checkpoint triggers for in-flight cells (see ckpt::Options); all
+    /// zero disables mid-cell checkpointing (cells then restart from
+    /// scratch after a crash, but completed cells are still skipped).
+    double checkpoint_every_sim_seconds = 0.0;
+    std::uint64_t checkpoint_every_events = 0;
+    double checkpoint_every_wall_seconds = 30.0;
+    int keep_last = 3;
+    /// Abort a cell when its event counter stalls for this many wall
+    /// seconds (0 disables the watchdog).
+    double watchdog_no_progress_seconds = 0.0;
+    double watchdog_poll_interval_seconds = 1.0;
+  };
+
+  explicit ResumableRunner(Options options);
+
+  /// Run (or skip, or resume) one cell. Throws core::SimulationAborted
+  /// when the watchdog fires — the emergency checkpoint makes the cell
+  /// resumable by the next invocation.
+  CellOutcome Run(const SweepCell& cell);
+
+  const Options& options() const { return options_; }
+
+  /// Directory holding a cell's state ("<root>/cells/<sanitized name>").
+  std::string CellDirectory(const std::string& cell_name) const;
+
+ private:
+  /// Returns the finished outcome when `cell` already completed under the
+  /// same configuration hash; nullopt when it must (re)run.
+  bool LoadOutcome(const SweepCell& cell, std::uint64_t config_hash,
+                   CellOutcome* out) const;
+  void StoreOutcome(const CellOutcome& outcome, std::uint64_t config_hash,
+                    const std::string& cell_dir) const;
+  void AppendManifest(const CellOutcome& outcome,
+                      std::uint64_t config_hash) const;
+
+  Options options_;
+};
+
+/// Convenience wrapper: the resumable equivalent of RunPolicySweep. Cells
+/// are named "<scenario>/<policy>" and executed sequentially (each cell is
+/// watchdog-protected and checkpointed per `options`). Results follow
+/// `policies` order; reused cells carry wall_seconds == 0.
+std::vector<PolicyRun> RunResumablePolicySweep(
+    const Scenario& scenario, std::span<const std::string> policies,
+    const ResumableRunner::Options& options);
+
+}  // namespace iosched::driver

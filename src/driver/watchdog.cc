@@ -1,0 +1,79 @@
+#include "driver/watchdog.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace iosched::driver {
+
+Watchdog::Watchdog(core::RunControl& control, Options options,
+                   std::function<void(const std::string&)> on_stall)
+    : control_(control), options_(options), on_stall_(std::move(on_stall)) {
+  if (options_.no_progress_seconds <= 0 ||
+      options_.poll_interval_seconds <= 0) {
+    throw std::invalid_argument(
+        "Watchdog: budgets must be positive (no_progress_seconds=" +
+        std::to_string(options_.no_progress_seconds) +
+        ", poll_interval_seconds=" +
+        std::to_string(options_.poll_interval_seconds) + ")");
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+Watchdog::~Watchdog() { Stop(); }
+
+void Watchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool Watchdog::fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fired_;
+}
+
+std::string Watchdog::diagnostic() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return diagnostic_;
+}
+
+void Watchdog::Loop() {
+  using Clock = std::chrono::steady_clock;
+  auto poll = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(options_.poll_interval_seconds));
+  std::uint64_t last_events =
+      control_.progress_events.load(std::memory_order_relaxed);
+  Clock::time_point last_change = Clock::now();
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (cv_.wait_for(lock, poll, [this] { return stop_requested_; })) return;
+    std::uint64_t events =
+        control_.progress_events.load(std::memory_order_relaxed);
+    Clock::time_point now = Clock::now();
+    if (events != last_events) {
+      last_events = events;
+      last_change = now;
+      continue;
+    }
+    double stalled = std::chrono::duration<double>(now - last_change).count();
+    if (stalled < options_.no_progress_seconds) continue;
+    control_.abort.store(true, std::memory_order_relaxed);
+    fired_ = true;
+    diagnostic_ =
+        "watchdog: no event progress for " + std::to_string(stalled) +
+        " s (stuck at " + std::to_string(events) + " events, sim t=" +
+        std::to_string(
+            control_.progress_sim_time.load(std::memory_order_relaxed)) +
+        ")";
+    std::string diagnostic = diagnostic_;
+    lock.unlock();
+    if (on_stall_) on_stall_(diagnostic);
+    return;
+  }
+}
+
+}  // namespace iosched::driver

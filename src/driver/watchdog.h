@@ -1,0 +1,66 @@
+// Stuck-run watchdog: a monitor thread that watches a simulation's
+// RunControl progress counters and aborts the run when no event progress
+// happens within a wall-clock budget.
+//
+// The engine publishes progress after every processed event and polls the
+// abort flag between events, so a fired watchdog stops the run at the next
+// event boundary, writes an emergency checkpoint (when a checkpoint
+// directory is configured), and surfaces as core::SimulationAborted — the
+// experiment driver can log the diagnostic and move on to the next cell
+// instead of hanging a whole sweep on one pathological run.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/simulation.h"
+
+namespace iosched::driver {
+
+class Watchdog {
+ public:
+  struct Options {
+    /// Fire when the event counter has not moved for this long (seconds).
+    double no_progress_seconds = 300.0;
+    /// How often the monitor thread samples the counters (seconds).
+    double poll_interval_seconds = 1.0;
+  };
+
+  /// Starts the monitor thread immediately. `control` must outlive the
+  /// watchdog. `on_stall` (optional) runs on the monitor thread with the
+  /// diagnostic right after the abort flag is set.
+  Watchdog(core::RunControl& control, Options options,
+           std::function<void(const std::string&)> on_stall = nullptr);
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+  /// Stops and joins the monitor thread.
+  ~Watchdog();
+
+  /// Stop monitoring (idempotent; the destructor calls it). A watchdog
+  /// stopped before firing never touches the abort flag.
+  void Stop();
+
+  /// True once the watchdog has set the abort flag.
+  bool fired() const;
+  /// Human-readable stall description ("" until fired).
+  std::string diagnostic() const;
+
+ private:
+  void Loop();
+
+  core::RunControl& control_;
+  Options options_;
+  std::function<void(const std::string&)> on_stall_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool fired_ = false;
+  std::string diagnostic_;
+  std::thread thread_;
+};
+
+}  // namespace iosched::driver

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace iosched::faults {
 
@@ -29,24 +31,48 @@ FaultInjector::FaultInjector(sim::Simulator& simulator, FaultPlan plan,
   }
 }
 
+std::size_t FaultInjector::EdgeCount() const {
+  return 2 * (plan_.degradations.size() + plan_.outages.size());
+}
+
+sim::SimTime FaultInjector::EdgeTime(std::size_t edge) const {
+  std::size_t degradation_edges = 2 * plan_.degradations.size();
+  if (edge < degradation_edges) {
+    const StorageDegradation& d = plan_.degradations[edge / 2];
+    return (edge % 2 == 0) ? d.start : d.end;
+  }
+  std::size_t k = edge - degradation_edges;
+  const MidplaneOutage& o = plan_.outages[k / 2];
+  return (k % 2 == 0) ? o.start : o.end;
+}
+
+std::function<void()> FaultInjector::EdgeAction(std::size_t edge) {
+  // The closure erases its own pending entry first, so the checkpoint's
+  // pending set is exactly the not-yet-fired edges.
+  std::size_t degradation_edges = 2 * plan_.degradations.size();
+  if (edge < degradation_edges) {
+    double factor = plan_.degradations[edge / 2].bandwidth_factor;
+    bool begin = edge % 2 == 0;
+    return [this, edge, factor, begin] {
+      pending_edges_.erase(edge);
+      OnDegradationEdge(factor, begin);
+    };
+  }
+  std::size_t k = edge - degradation_edges;
+  int midplane = plan_.outages[k / 2].midplane;
+  bool begin = k % 2 == 0;
+  return [this, edge, midplane, begin] {
+    pending_edges_.erase(edge);
+    OnOutageEdge(midplane, begin);
+  };
+}
+
 void FaultInjector::Arm() {
   if (armed_) throw std::logic_error("FaultInjector: already armed");
   armed_ = true;
-  for (const StorageDegradation& d : plan_.degradations) {
-    simulator_.ScheduleAt(d.start, [this, f = d.bandwidth_factor] {
-      OnDegradationEdge(f, /*begin=*/true);
-    });
-    simulator_.ScheduleAt(d.end, [this, f = d.bandwidth_factor] {
-      OnDegradationEdge(f, /*begin=*/false);
-    });
-  }
-  for (const MidplaneOutage& o : plan_.outages) {
-    simulator_.ScheduleAt(o.start, [this, m = o.midplane] {
-      OnOutageEdge(m, /*begin=*/true);
-    });
-    simulator_.ScheduleAt(o.end, [this, m = o.midplane] {
-      OnOutageEdge(m, /*begin=*/false);
-    });
+  for (std::size_t edge = 0; edge < EdgeCount(); ++edge) {
+    pending_edges_[edge] =
+        simulator_.ScheduleAt(EdgeTime(edge), EdgeAction(edge));
   }
 }
 
@@ -110,6 +136,15 @@ void FaultInjector::OnOutageEdge(int midplane, bool begin) {
   }
 }
 
+std::function<void()> FaultInjector::KillAction(workload::JobId id) {
+  return [this, id] {
+    pending_kills_.erase(id);
+    if (hooks_.kill_job(id, simulator_.Now()) && stats_ != nullptr) {
+      stats_->Add(simulator_.Now(), metrics::FaultEventKind::kJobKill, id);
+    }
+  };
+}
+
 void FaultInjector::OnJobStart(workload::JobId id, sim::SimTime now,
                                double expected_runtime) {
   if (plan_.job_kill_probability <= 0) return;
@@ -118,26 +153,110 @@ void FaultInjector::OnJobStart(workload::JobId id, sim::SimTime now,
   if (!kill_rng_.Bernoulli(plan_.job_kill_probability)) return;
   double at = std::max(0.0, expected_runtime) *
               kill_rng_.Uniform(0.05, 0.95);
-  sim::EventId event = simulator_.ScheduleAfter(at, [this, id] {
-    pending_kills_.erase(id);
-    if (hooks_.kill_job(id, simulator_.Now()) && stats_ != nullptr) {
-      stats_->Add(simulator_.Now(), metrics::FaultEventKind::kJobKill, id);
-    }
-  });
+  sim::EventId event = simulator_.ScheduleAfter(at, KillAction(id));
   // A retry attempt replaces any stale entry (the old event already fired —
   // that is what caused the retry).
-  pending_kills_[id] = event;
+  pending_kills_[id] = PendingKill{event, now + at};
 }
 
 void FaultInjector::OnJobStop(workload::JobId id) {
   auto it = pending_kills_.find(id);
   if (it == pending_kills_.end()) return;
-  simulator_.Cancel(it->second);
+  simulator_.Cancel(it->second.event);
   pending_kills_.erase(it);
 }
 
 void FaultInjector::FinalizeStats(sim::SimTime end) {
   AccrueDegradedTime(std::max(end, last_factor_change_));
+}
+
+void FaultInjector::SaveState(ckpt::Writer& w) const {
+  w.Bool(armed_);
+  util::Rng::State rng = kill_rng_.SaveState();
+  w.U64(rng.engine.state);
+  w.U64(rng.engine.inc);
+  w.Bool(rng.has_spare);
+  w.F64(rng.spare);
+  w.F64(current_factor_);
+  w.F64(last_factor_change_);
+  // Maps are serialized sorted so checkpoint bytes are deterministic.
+  std::vector<std::pair<double, int>> factors(active_factors_.begin(),
+                                              active_factors_.end());
+  std::sort(factors.begin(), factors.end());
+  w.U32(static_cast<std::uint32_t>(factors.size()));
+  for (const auto& [factor, count] : factors) {
+    w.F64(factor);
+    w.I64(count);
+  }
+  std::vector<std::pair<int, int>> outages(active_outages_.begin(),
+                                           active_outages_.end());
+  std::sort(outages.begin(), outages.end());
+  w.U32(static_cast<std::uint32_t>(outages.size()));
+  for (const auto& [midplane, count] : outages) {
+    w.I64(midplane);
+    w.I64(count);
+  }
+  w.U32(static_cast<std::uint32_t>(pending_edges_.size()));
+  for (const auto& [edge, event] : pending_edges_) {
+    w.U64(edge);
+    w.U64(event);
+  }
+  std::vector<std::pair<workload::JobId, PendingKill>> kills(
+      pending_kills_.begin(), pending_kills_.end());
+  std::sort(kills.begin(), kills.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.U32(static_cast<std::uint32_t>(kills.size()));
+  for (const auto& [id, kill] : kills) {
+    w.I64(id);
+    w.U64(kill.event);
+    w.F64(kill.fire_time);
+  }
+}
+
+void FaultInjector::RestoreState(ckpt::Reader& r) {
+  if (armed_) {
+    throw std::logic_error("FaultInjector::RestoreState after Arm()");
+  }
+  armed_ = r.Bool();
+  util::Rng::State rng;
+  rng.engine.state = r.U64();
+  rng.engine.inc = r.U64();
+  rng.has_spare = r.Bool();
+  rng.spare = r.F64();
+  kill_rng_.RestoreState(rng);
+  current_factor_ = r.F64();
+  last_factor_change_ = r.F64();
+  std::uint32_t factors = r.U32();
+  for (std::uint32_t i = 0; i < factors; ++i) {
+    double factor = r.F64();
+    active_factors_[factor] = static_cast<int>(r.I64());
+  }
+  std::uint32_t outages = r.U32();
+  for (std::uint32_t i = 0; i < outages; ++i) {
+    int midplane = static_cast<int>(r.I64());
+    active_outages_[midplane] = static_cast<int>(r.I64());
+  }
+  std::uint32_t edges = r.U32();
+  for (std::uint32_t i = 0; i < edges; ++i) {
+    std::size_t edge = static_cast<std::size_t>(r.U64());
+    sim::EventId event = r.U64();
+    if (edge >= EdgeCount()) {
+      throw std::runtime_error(
+          "FaultInjector::RestoreState: plan edge index out of range "
+          "(checkpoint does not match this fault plan)");
+    }
+    pending_edges_[edge] = event;
+    simulator_.RestoreEvent(EdgeTime(edge), event, EdgeAction(edge));
+  }
+  std::uint32_t kills = r.U32();
+  for (std::uint32_t i = 0; i < kills; ++i) {
+    workload::JobId id = r.I64();
+    PendingKill kill;
+    kill.event = r.U64();
+    kill.fire_time = r.F64();
+    pending_kills_[id] = kill;
+    simulator_.RestoreEvent(kill.fire_time, kill.event, KillAction(id));
+  }
 }
 
 }  // namespace iosched::faults

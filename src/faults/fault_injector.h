@@ -10,8 +10,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <unordered_map>
 
+#include "ckpt/serializer.h"
 #include "faults/fault_plan.h"
 #include "metrics/fault_stats.h"
 #include "sim/simulator.h"
@@ -66,6 +68,17 @@ class FaultInjector {
 
   const FaultPlan& plan() const { return plan_; }
 
+  /// Serialize runtime state: RNG stream position, active windows, the
+  /// not-yet-fired plan edges and pending kill events (with their original
+  /// event ids and firing times). The plan itself is NOT saved — it is
+  /// rebuilt deterministically from the run config, which the checkpoint's
+  /// config hash pins.
+  void SaveState(ckpt::Writer& w) const;
+  /// Restore onto a freshly constructed (un-armed) injector built from the
+  /// identical plan; re-arms the saved events under their original ids.
+  /// Replaces the Arm() call for a resumed run.
+  void RestoreState(ckpt::Reader& r);
+
  private:
   void OnDegradationEdge(double factor, bool begin);
   void OnOutageEdge(int midplane, bool begin);
@@ -73,6 +86,22 @@ class FaultInjector {
   /// on transitions.
   void ApplyFactor();
   void AccrueDegradedTime(sim::SimTime now);
+
+  /// Plan edges are enumerated canonically for checkpointing: index 2i /
+  /// 2i+1 are degradation i's start/end, then outage edges follow at offset
+  /// 2 * degradations.size(). Firing time and action are derived from the
+  /// plan, so a checkpoint stores only (edge index, event id).
+  std::size_t EdgeCount() const;
+  sim::SimTime EdgeTime(std::size_t edge) const;
+  std::function<void()> EdgeAction(std::size_t edge);
+
+  /// A pending probabilistic kill: the scheduled event and its firing time
+  /// (needed to re-arm the closure on restore).
+  struct PendingKill {
+    sim::EventId event = 0;
+    sim::SimTime fire_time = 0.0;
+  };
+  std::function<void()> KillAction(workload::JobId id);
 
   sim::Simulator& simulator_;
   FaultPlan plan_;
@@ -85,7 +114,10 @@ class FaultInjector {
   /// Active outage count per midplane (overlapping outages must not
   /// double-repair).
   std::unordered_map<int, int> active_outages_;
-  std::unordered_map<workload::JobId, sim::EventId> pending_kills_;
+  std::unordered_map<workload::JobId, PendingKill> pending_kills_;
+  /// Not-yet-fired plan edges: canonical edge index -> scheduled event id.
+  /// Ordered so checkpoint bytes are deterministic.
+  std::map<std::size_t, sim::EventId> pending_edges_;
   sim::SimTime last_factor_change_ = 0.0;
   bool armed_ = false;
 };

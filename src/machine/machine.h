@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/serializer.h"
+
 namespace iosched::machine {
 
 /// Geometry and I/O capability of the modeled system.
@@ -99,6 +101,14 @@ class Machine {
   /// Occupancy bitmap (one flag per midplane), for tests and visualization.
   /// Materialized from the packed word representation on each call.
   std::vector<bool> occupancy() const;
+
+  /// Serialize occupancy/fault words + derived counters. Geometry is not
+  /// saved — it is reconstructed from the run configuration, and the
+  /// checkpoint's config hash guarantees it matches.
+  void SaveState(ckpt::Writer& w) const;
+  /// Restore onto a machine built from the same config. Throws on a word
+  /// count mismatch (config drift that escaped the hash).
+  void RestoreState(ckpt::Reader& r);
 
  private:
   /// Midplane count of the block serving `requested_nodes` (1,2,4,...,row,

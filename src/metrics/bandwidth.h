@@ -11,8 +11,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "ckpt/serializer.h"
 #include "sim/time.h"
 
 namespace iosched::metrics {
@@ -73,6 +75,28 @@ class BandwidthTracker {
 
   /// Aggregate the whole series.
   BandwidthSummary Summarize() const;
+
+  /// Serialize the sample series (max_bandwidth_ comes from config).
+  void SaveState(ckpt::Writer& w) const {
+    w.U32(static_cast<std::uint32_t>(samples_.size()));
+    for (const BandwidthSample& s : samples_) {
+      w.F64(s.time);
+      w.F64(s.demand_gbps);
+      w.F64(s.granted_gbps);
+      w.I64(s.suspended_requests);
+      w.I64(s.active_requests);
+    }
+  }
+  void RestoreState(ckpt::Reader& r) {
+    samples_.resize(r.U32());
+    for (BandwidthSample& s : samples_) {
+      s.time = r.F64();
+      s.demand_gbps = r.F64();
+      s.granted_gbps = r.F64();
+      s.suspended_requests = static_cast<int>(r.I64());
+      s.active_requests = static_cast<int>(r.I64());
+    }
+  }
 
  private:
   double max_bandwidth_;

@@ -1,0 +1,50 @@
+#include "metrics/digest.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace iosched::metrics {
+
+std::uint64_t FnvMix(std::uint64_t hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xffULL;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::uint64_t FnvMix(std::uint64_t hash, double value) {
+  return FnvMix(hash, std::bit_cast<std::uint64_t>(value));
+}
+
+std::uint64_t DigestRecords(const JobRecords& records) {
+  std::uint64_t h = kFnvOffset;
+  h = FnvMix(h, static_cast<std::uint64_t>(records.size()));
+  for (const JobRecord& r : records) {
+    h = FnvMix(h, static_cast<std::uint64_t>(r.id));
+    h = FnvMix(h, static_cast<std::uint64_t>(r.requested_nodes));
+    h = FnvMix(h, static_cast<std::uint64_t>(r.allocated_nodes));
+    h = FnvMix(h, r.submit_time);
+    h = FnvMix(h, r.start_time);
+    h = FnvMix(h, r.end_time);
+    h = FnvMix(h, r.uncongested_runtime);
+    h = FnvMix(h, r.requested_walltime);
+    h = FnvMix(h, r.io_time_actual);
+    h = FnvMix(h, r.io_time_uncongested);
+    h = FnvMix(h, static_cast<std::uint64_t>(r.io_phase_count));
+    h = FnvMix(h, static_cast<std::uint64_t>(r.killed ? 1 : 0));
+    h = FnvMix(h, static_cast<std::uint64_t>(r.attempts));
+    h = FnvMix(h, static_cast<std::uint64_t>(r.abandoned ? 1 : 0));
+    h = FnvMix(h, r.lost_seconds);
+  }
+  return h;
+}
+
+std::string HexDigest(std::uint64_t digest) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+}  // namespace iosched::metrics

@@ -8,6 +8,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "ckpt/serializer.h"
 #include "sim/time.h"
 #include "workload/job.h"
 
@@ -55,6 +56,39 @@ struct FaultStats {
 
   /// CSV: time,event,job,detail — the per-run fault timeline.
   void WriteTimelineCsv(std::ostream& out) const;
+
+  void SaveState(ckpt::Writer& w) const {
+    w.U32(static_cast<std::uint32_t>(timeline.size()));
+    for (const FaultEvent& e : timeline) {
+      w.F64(e.time);
+      w.U8(static_cast<std::uint8_t>(e.kind));
+      w.I64(e.job);
+      w.F64(e.detail);
+    }
+    w.F64(degraded_seconds);
+    w.F64(min_bandwidth_factor);
+    w.U64(storage_degradations);
+    w.U64(midplane_outages);
+    w.U64(fault_kills);
+    w.U64(requeues);
+    w.U64(abandoned_jobs);
+  }
+  void RestoreState(ckpt::Reader& r) {
+    timeline.resize(r.U32());
+    for (FaultEvent& e : timeline) {
+      e.time = r.F64();
+      e.kind = static_cast<FaultEventKind>(r.U8());
+      e.job = r.I64();
+      e.detail = r.F64();
+    }
+    degraded_seconds = r.F64();
+    min_bandwidth_factor = r.F64();
+    storage_degradations = r.U64();
+    midplane_outages = r.U64();
+    fault_kills = r.U64();
+    requeues = r.U64();
+    abandoned_jobs = r.U64();
+  }
 };
 
 }  // namespace iosched::metrics

@@ -238,4 +238,81 @@ void BatchScheduler::OnJobEnd(workload::JobId id, sim::SimTime now) {
   retries_.erase(id);
 }
 
+namespace {
+// Serialize unordered_map entries sorted by job id so the checkpoint bytes
+// are deterministic (the maps' iteration order is not).
+template <typename Map, typename Fn>
+void WriteSortedById(ckpt::Writer& w, const Map& map, Fn&& write_value) {
+  std::vector<workload::JobId> ids;
+  ids.reserve(map.size());
+  for (const auto& [id, _] : map) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  w.U32(static_cast<std::uint32_t>(ids.size()));
+  for (workload::JobId id : ids) {
+    w.I64(id);
+    write_value(map.at(id));
+  }
+}
+}  // namespace
+
+void BatchScheduler::SaveState(ckpt::Writer& w) const {
+  w.U32(static_cast<std::uint32_t>(queue_.size()));
+  for (const workload::Job* job : queue_) w.I64(job->id);
+  WriteSortedById(w, running_, [&w](const RunningJob& run) {
+    w.I64(run.partition.first_midplane);
+    w.I64(run.partition.midplane_count);
+    w.I64(run.partition.nodes);
+    w.F64(run.start_time);
+    w.F64(run.predicted_end);
+  });
+  WriteSortedById(w, retries_, [&w](int retries) { w.I64(retries); });
+  WriteSortedById(w, eligible_after_,
+                  [&w](sim::SimTime t) { w.F64(t); });
+}
+
+void BatchScheduler::RestoreState(
+    ckpt::Reader& r,
+    const std::function<const workload::Job*(workload::JobId)>& resolve) {
+  auto must_resolve = [&resolve](workload::JobId id) {
+    const workload::Job* job = resolve(id);
+    if (job == nullptr) {
+      throw std::runtime_error(
+          "BatchScheduler::RestoreState: checkpoint references job " +
+          std::to_string(id) + " absent from the workload");
+    }
+    return job;
+  };
+  queue_.clear();
+  running_.clear();
+  retries_.clear();
+  eligible_after_.clear();
+  std::uint32_t queued = r.U32();
+  queue_.reserve(queued);
+  for (std::uint32_t i = 0; i < queued; ++i) {
+    queue_.push_back(must_resolve(r.I64()));
+  }
+  std::uint32_t running = r.U32();
+  for (std::uint32_t i = 0; i < running; ++i) {
+    workload::JobId id = r.I64();
+    RunningJob run;
+    run.job = must_resolve(id);
+    run.partition.first_midplane = static_cast<int>(r.I64());
+    run.partition.midplane_count = static_cast<int>(r.I64());
+    run.partition.nodes = static_cast<int>(r.I64());
+    run.start_time = r.F64();
+    run.predicted_end = r.F64();
+    running_.emplace(id, run);
+  }
+  std::uint32_t retried = r.U32();
+  for (std::uint32_t i = 0; i < retried; ++i) {
+    workload::JobId id = r.I64();
+    retries_.emplace(id, static_cast<int>(r.I64()));
+  }
+  std::uint32_t gated = r.U32();
+  for (std::uint32_t i = 0; i < gated; ++i) {
+    workload::JobId id = r.I64();
+    eligible_after_.emplace(id, r.F64());
+  }
+}
+
 }  // namespace iosched::sched

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ckpt/serializer.h"
 #include "machine/machine.h"
 #include "sched/queue_policy.h"
 #include "sim/time.h"
@@ -104,6 +105,17 @@ class BatchScheduler {
     return running_;
   }
   const Options& options() const { return options_; }
+
+  /// Serialize queue order, running set, retry counters, and backoff gates
+  /// (job pointers become ids). The machine's occupancy is saved by the
+  /// Machine itself — restoring does NOT re-allocate partitions.
+  void SaveState(ckpt::Writer& w) const;
+  /// Restore onto a scheduler built with the same machine/options.
+  /// `resolve` maps a job id back to its workload entry and must cover
+  /// every saved id (throws otherwise).
+  void RestoreState(
+      ckpt::Reader& r,
+      const std::function<const workload::Job*(workload::JobId)>& resolve);
 
  private:
   /// Earliest time the head job's block could be allocated, assuming

@@ -60,6 +60,28 @@ Event EventQueue::Pop() {
   return ev;
 }
 
+void EventQueue::RestoreSchedule(SimTime time, EventId id,
+                                 std::function<void()> action) {
+  if (id == 0 || id >= next_id_) {
+    throw std::logic_error(
+        "EventQueue::RestoreSchedule: id outside the restored range "
+        "(SetNextId must run first)");
+  }
+  if (!actions_.emplace(id, std::move(action)).second) {
+    throw std::logic_error("EventQueue::RestoreSchedule: duplicate id");
+  }
+  heap_.push_back(Entry{time, id});
+  std::push_heap(heap_.begin(), heap_.end(), Later);
+}
+
+void EventQueue::SetNextId(EventId next_id) {
+  if (!actions_.empty() || !heap_.empty()) {
+    throw std::logic_error("EventQueue::SetNextId on a non-empty queue");
+  }
+  if (next_id == 0) throw std::logic_error("EventQueue::SetNextId: id 0");
+  next_id_ = next_id;
+}
+
 void EventQueue::Clear() {
   heap_.clear();
   cancelled_.clear();

@@ -75,6 +75,23 @@ class EventQueue {
   /// compaction can trigger.
   static constexpr std::size_t kCompactionMinCancelled = 64;
 
+  /// Re-insert an event under its ORIGINAL id during checkpoint restore.
+  /// Pop order is (time, id) and ids encode FIFO push order, so recreating
+  /// every live event with its saved id reproduces the pre-checkpoint pop
+  /// sequence exactly; lazily-cancelled entries are simply not recreated
+  /// (the restored heap is the compacted equivalent of the saved one).
+  /// Throws if `id` is already pending or would collide with ids Push may
+  /// hand out later (call SetNextId first).
+  void RestoreSchedule(SimTime time, EventId id, std::function<void()> action);
+
+  /// Restore the id counter so post-restore Push calls continue the saved
+  /// id sequence (ids are the FIFO tie-break; reusing one would reorder
+  /// same-timestamp events). Only valid while no events are pending.
+  void SetNextId(EventId next_id);
+
+  /// The id the next Push will assign (saved into checkpoints).
+  EventId next_id() const { return next_id_; }
+
  private:
   struct Entry {
     SimTime time;

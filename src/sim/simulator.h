@@ -58,6 +58,29 @@ class Simulator {
   /// (nullptr detaches). The counter must outlive the simulator's runs.
   void SetEventCounter(obs::Counter* counter) { event_counter_ = counter; }
 
+  // --- Checkpoint support -------------------------------------------------
+  // The queue's closures are unserializable; checkpoints store typed event
+  // descriptors owned by each component, which re-arm their closures via
+  // RestoreEvent. The clock, lifetime event count, and the id counter are
+  // the simulator's own state.
+
+  /// The id the next scheduled event will receive (FIFO tie-break state).
+  EventId NextEventId() const { return queue_.next_id(); }
+
+  /// Restore clock + counters on a fresh simulator (no pending events).
+  /// `next_event_id` continues the saved id sequence so post-restore
+  /// scheduling keeps the same same-timestamp ordering.
+  void RestoreClock(SimTime now, std::uint64_t processed_events,
+                    EventId next_event_id) {
+    queue_.SetNextId(next_event_id);
+    now_ = now;
+    processed_ = processed_events;
+  }
+
+  /// Re-arm one event under its original id at its original firing time.
+  /// `time` may not precede the restored clock.
+  void RestoreEvent(SimTime time, EventId id, std::function<void()> action);
+
  private:
   SimTime now_ = 0.0;
   EventQueue queue_;

@@ -11,6 +11,7 @@
 // are scheduled by the policy as usual.
 #pragma once
 
+#include "ckpt/serializer.h"
 #include "sim/time.h"
 
 namespace iosched::storage {
@@ -55,6 +56,20 @@ class BurstBuffer {
   /// Lifetime counters (for reports).
   double total_absorbed_gb() const { return total_absorbed_gb_; }
   std::size_t absorbed_requests() const { return absorbed_requests_; }
+
+  /// Serialize queue/lifetime state (config comes from the run config).
+  void SaveState(ckpt::Writer& w) const {
+    w.F64(queued_gb_);
+    w.F64(total_absorbed_gb_);
+    w.U64(absorbed_requests_);
+    w.F64(last_update_);
+  }
+  void RestoreState(ckpt::Reader& r) {
+    queued_gb_ = r.F64();
+    total_absorbed_gb_ = r.F64();
+    absorbed_requests_ = static_cast<std::size_t>(r.U64());
+    last_update_ = r.F64();
+  }
 
  private:
   BurstBufferConfig config_;

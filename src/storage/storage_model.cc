@@ -208,6 +208,64 @@ void StorageModel::SetRate(workload::JobId job, double rate_gbps) {
   t.rate_gbps = clamped;
 }
 
+void StorageModel::SaveState(ckpt::Writer& w) const {
+  w.F64(config_.max_bandwidth_gbps);
+  w.F64(last_update_);
+  w.F64(total_assigned_rate_);
+  w.F64(total_demand_gbps_);
+  w.I64(total_nodes_);
+  w.U32(static_cast<std::uint32_t>(transfers_.size()));
+  for (const Transfer& t : transfers_) {
+    w.I64(t.job_id);
+    w.I64(t.nodes);
+    w.F64(t.full_rate_gbps);
+    w.F64(t.volume_gb);
+    w.F64(t.transferred_gb);
+    w.F64(t.request_arrival);
+    w.F64(t.rate_gbps);
+  }
+  // The FCFS order is a permutation of dense slots; saving it verbatim
+  // avoids re-deriving it (and keeps restore a structural copy).
+  for (std::size_t slot : arrival_order_) {
+    w.U32(static_cast<std::uint32_t>(slot));
+  }
+}
+
+void StorageModel::RestoreState(ckpt::Reader& r) {
+  transfers_.clear();
+  index_.clear();
+  arrival_order_.clear();
+  config_.max_bandwidth_gbps = r.F64();
+  last_update_ = r.F64();
+  total_assigned_rate_ = r.F64();
+  total_demand_gbps_ = r.F64();
+  total_nodes_ = r.I64();
+  std::uint32_t count = r.U32();
+  transfers_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Transfer t;
+    t.job_id = r.I64();
+    t.nodes = static_cast<int>(r.I64());
+    t.full_rate_gbps = r.F64();
+    t.volume_gb = r.F64();
+    t.transferred_gb = r.F64();
+    t.request_arrival = r.F64();
+    t.rate_gbps = r.F64();
+    index_.emplace(t.job_id, transfers_.size());
+    transfers_.push_back(t);
+  }
+  arrival_order_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::size_t slot = r.U32();
+    if (slot >= transfers_.size()) {
+      throw std::runtime_error(
+          "StorageModel::RestoreState: arrival order references slot " +
+          std::to_string(slot) + " of " + std::to_string(transfers_.size()));
+    }
+    arrival_order_.push_back(slot);
+  }
+}
+
 void StorageModel::ValidateAssignment() const {
   if (!config_.enforce_capacity) return;
   double total = TotalAssignedRate();

@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/serializer.h"
 #include "sim/time.h"
 #include "workload/job.h"
 
@@ -148,6 +149,17 @@ class StorageModel {
       const;
 
   sim::SimTime last_update() const { return last_update_; }
+
+  /// Serialize the full transfer set (dense-slot order), the FCFS arrival
+  /// order, the current BWmax (it may have been changed at runtime by a
+  /// degradation window), and the incrementally-maintained aggregates.
+  /// The aggregates are saved verbatim rather than recomputed on restore:
+  /// they carry accumulated float state, and resume-equivalence requires
+  /// the restored values to be bit-identical to the live ones.
+  void SaveState(ckpt::Writer& w) const;
+  /// Restore onto a model constructed from the same StorageConfig. Replaces
+  /// any current transfer set.
+  void RestoreState(ckpt::Reader& r);
 
  private:
   Transfer& GetMutable(workload::JobId job);

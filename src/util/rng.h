@@ -40,6 +40,18 @@ class Pcg32 {
   /// Advance the generator by `delta` steps in O(log delta) (jump-ahead).
   void Advance(std::uint64_t delta);
 
+  /// Raw generator state, for checkpointing. `inc` encodes the stream
+  /// selector; restoring {state, inc} resumes the sequence exactly.
+  struct State {
+    std::uint64_t state = 0;
+    std::uint64_t inc = 0;
+  };
+  State SaveState() const { return {state_, inc_}; }
+  void RestoreState(const State& s) {
+    state_ = s.state;
+    inc_ = s.inc;
+  }
+
  private:
   std::uint64_t state_;
   std::uint64_t inc_;
@@ -74,6 +86,20 @@ class Rng {
 
   /// Access the underlying engine (e.g. for std::shuffle).
   Pcg32& engine() { return engine_; }
+
+  /// Full sampler state (engine + cached Box-Muller spare), for
+  /// checkpointing.
+  struct State {
+    Pcg32::State engine;
+    bool has_spare = false;
+    double spare = 0.0;
+  };
+  State SaveState() const { return {engine_.SaveState(), has_spare_, spare_}; }
+  void RestoreState(const State& s) {
+    engine_.RestoreState(s.engine);
+    has_spare_ = s.has_spare;
+    spare_ = s.spare;
+  }
 
  private:
   Pcg32 engine_;

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/atomic_file.h"
 #include "util/csv.h"
 #include "util/strings.h"
 
@@ -111,10 +112,11 @@ void WriteIoTrace(std::ostream& out, const IoTrace& trace) {
 }
 
 void WriteIoTraceFile(const std::string& path, const IoTrace& trace) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("iotrace: cannot open for write " + path);
-  WriteIoTrace(out, trace);
-  if (!out) throw std::runtime_error("iotrace: write failed for " + path);
+  // Atomic publish: a crash or full disk mid-write must not leave a torn
+  // trace behind, and Commit() surfaces the failing path + errno.
+  util::AtomicFileWriter out(path);
+  WriteIoTrace(out.stream(), trace);
+  out.Commit();
 }
 
 }  // namespace iosched::workload

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/atomic_file.h"
 #include "util/strings.h"
 
 namespace iosched::workload {
@@ -124,10 +125,11 @@ void WriteSwf(std::ostream& out, const SwfTrace& trace) {
 }
 
 void WriteSwfFile(const std::string& path, const SwfTrace& trace) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("SWF: cannot open for write " + path);
-  WriteSwf(out, trace);
-  if (!out) throw std::runtime_error("SWF: write failed for " + path);
+  // Atomic publish: a crash or full disk mid-write must not leave a torn
+  // trace behind, and Commit() surfaces the failing path + errno.
+  util::AtomicFileWriter out(path);
+  WriteSwf(out.stream(), trace);
+  out.Commit();
 }
 
 }  // namespace iosched::workload

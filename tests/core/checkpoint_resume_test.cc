@@ -1,0 +1,234 @@
+// Resume-equivalence: the correctness bar of the checkpoint subsystem. A
+// run restored from ANY checkpoint must produce per-job records
+// bit-identical (FNV-1a digest equality) to the uninterrupted run — for
+// every policy family and with fault injection on or off. Also covers the
+// failure modes: config mismatch, corrupted checkpoints, and the
+// abort/emergency-checkpoint path used by the watchdog.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "core/simulation.h"
+#include "driver/scenario.h"
+#include "metrics/digest.h"
+
+namespace iosched {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TestDir(const std::string& leaf) {
+  fs::path dir = fs::path(testing::TempDir()) / ("ckpt_resume_" + leaf);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+struct Case {
+  const char* policy;
+  bool faults;
+};
+
+std::string CaseName(const testing::TestParamInfo<Case>& info) {
+  return std::string(info.param.policy) +
+         (info.param.faults ? "_faulted" : "_clean");
+}
+
+/// Congested half-day scenario; walltime kills and (optionally) fault
+/// injection exercise the retry/backoff bookkeeping across checkpoints.
+std::pair<core::SimulationConfig, workload::Workload> BuildCase(
+    const Case& c) {
+  driver::Scenario scenario = driver::MakeTestScenario(
+      /*seed=*/7, /*duration_days=*/0.5, /*jobs_per_day=*/200.0);
+  core::SimulationConfig config = scenario.config;
+  config.policy = c.policy;
+  if (c.faults) {
+    config.faults.plan_config.enabled = true;
+    config.faults.plan_config.seed = 5;
+    config.faults.plan_config.degraded_fraction = 0.2;
+    config.faults.plan_config.degradation_factor = 0.5;
+    config.faults.plan_config.degraded_window_seconds = 1800.0;
+    config.faults.plan_config.job_kill_probability = 0.02;
+  }
+  return {config, std::move(scenario.jobs)};
+}
+
+class CheckpointResumeTest : public testing::TestWithParam<Case> {};
+
+TEST_P(CheckpointResumeTest, EveryCheckpointResumesToIdenticalRecords) {
+  auto [config, jobs] = BuildCase(GetParam());
+  std::uint64_t reference =
+      metrics::DigestRecords(core::RunSimulation(config, jobs).records);
+
+  // Pass 1: the checkpointing run itself must not perturb the schedule.
+  std::string dir = TestDir(std::string(GetParam().policy) +
+                            (GetParam().faults ? "_faulted" : "_clean"));
+  core::SimulationConfig saving = config;
+  saving.checkpoint.directory = dir;
+  saving.checkpoint.every_events = 60;
+  saving.checkpoint.keep_last = 0;  // keep every snapshot
+  core::SimulationResult checkpointed = core::RunSimulation(saving, jobs);
+  EXPECT_EQ(metrics::DigestRecords(checkpointed.records), reference);
+  ASSERT_GT(checkpointed.checkpoints_written, 0u);
+
+  // Pass 2: resuming from EACH snapshot reproduces the reference exactly.
+  auto snapshots = ckpt::ListCheckpoints(dir);
+  ASSERT_EQ(snapshots.size(), checkpointed.checkpoints_written);
+  for (const auto& [seq, path] : snapshots) {
+    core::SimulationConfig resume = config;
+    resume.checkpoint.resume_from = path;
+    core::SimulationResult resumed = core::RunSimulation(resume, jobs);
+    EXPECT_EQ(metrics::DigestRecords(resumed.records), reference)
+        << "divergence after resuming from " << path;
+    EXPECT_EQ(resumed.resumed_from, path);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, CheckpointResumeTest,
+    testing::Values(Case{"BASE_LINE", false}, Case{"FCFS", false},
+                    Case{"MAX_UTIL", false}, Case{"ADAPTIVE", false},
+                    Case{"BASE_LINE", true}, Case{"FCFS", true},
+                    Case{"MAX_UTIL", true}, Case{"ADAPTIVE", true}),
+    CaseName);
+
+TEST(CheckpointResume, MismatchedConfigIsRejected) {
+  auto [config, jobs] = BuildCase({"BASE_LINE", false});
+  std::string dir = TestDir("mismatch");
+  core::SimulationConfig saving = config;
+  saving.checkpoint.directory = dir;
+  saving.checkpoint.every_events = 300;
+  core::RunSimulation(saving, jobs);
+  std::string snapshot = ckpt::ListCheckpoints(dir).front().second;
+
+  // Same workload, different policy: the hash pins the whole schedule.
+  core::SimulationConfig other = config;
+  other.policy = "FCFS";
+  other.checkpoint.resume_from = snapshot;
+  EXPECT_THROW(core::RunSimulation(other, jobs), ckpt::ConfigMismatchError);
+
+  // Same config, perturbed workload.
+  workload::Workload other_jobs = jobs;
+  other_jobs.back().submit_time += 1.0;
+  core::SimulationConfig same = config;
+  same.checkpoint.resume_from = snapshot;
+  EXPECT_THROW(core::RunSimulation(same, other_jobs),
+               ckpt::ConfigMismatchError);
+}
+
+TEST(CheckpointResume, ReportOnlyKnobsDoNotChangeTheHash) {
+  auto [config, jobs] = BuildCase({"BASE_LINE", false});
+  std::uint64_t base = core::SimulationConfigHash(config, jobs);
+  core::SimulationConfig tweaked = config;
+  tweaked.warmup_fraction = 0.2;
+  tweaked.cooldown_fraction = 0.0;
+  tweaked.keep_bandwidth_samples = true;
+  EXPECT_EQ(core::SimulationConfigHash(tweaked, jobs), base);
+
+  core::SimulationConfig different = config;
+  different.storage.max_bandwidth_gbps *= 2;
+  EXPECT_NE(core::SimulationConfigHash(different, jobs), base);
+}
+
+TEST(CheckpointResume, ResumeLatestStartsFreshWhenDirectoryIsEmpty) {
+  auto [config, jobs] = BuildCase({"FCFS", false});
+  std::uint64_t reference =
+      metrics::DigestRecords(core::RunSimulation(config, jobs).records);
+  core::SimulationConfig resume = config;
+  resume.checkpoint.directory = TestDir("fresh");
+  resume.checkpoint.resume_latest = true;
+  core::SimulationResult result = core::RunSimulation(resume, jobs);
+  EXPECT_EQ(metrics::DigestRecords(result.records), reference);
+  EXPECT_TRUE(result.resumed_from.empty());
+}
+
+TEST(CheckpointResume, ResumeLatestFallsBackPastCorruptedNewest) {
+  auto [config, jobs] = BuildCase({"ADAPTIVE", false});
+  std::uint64_t reference =
+      metrics::DigestRecords(core::RunSimulation(config, jobs).records);
+
+  std::string dir = TestDir("corrupt");
+  core::SimulationConfig saving = config;
+  saving.checkpoint.directory = dir;
+  saving.checkpoint.every_events = 200;
+  saving.checkpoint.keep_last = 0;
+  core::RunSimulation(saving, jobs);
+  auto snapshots = ckpt::ListCheckpoints(dir);
+  ASSERT_GE(snapshots.size(), 2u);
+
+  // Flip one byte near the end of the newest snapshot (CRC damage).
+  const std::string& newest = snapshots.back().second;
+  std::string bytes;
+  {
+    std::ifstream in(newest, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  bytes[bytes.size() - 3] = static_cast<char>(bytes[bytes.size() - 3] ^ 0x10);
+  std::ofstream(newest, std::ios::binary) << bytes;
+
+  core::SimulationConfig resume = config;
+  resume.checkpoint.directory = dir;
+  resume.checkpoint.resume_latest = true;
+  core::SimulationResult result = core::RunSimulation(resume, jobs);
+  EXPECT_EQ(metrics::DigestRecords(result.records), reference);
+  EXPECT_EQ(result.resumed_from, snapshots[snapshots.size() - 2].second);
+}
+
+TEST(CheckpointResume, ExplicitResumeFromCorruptFileFailsLoudly) {
+  auto [config, jobs] = BuildCase({"BASE_LINE", false});
+  std::string dir = TestDir("explicit_corrupt");
+  std::string path = dir + "/ckpt-000001.iosckpt";
+  std::ofstream(path, std::ios::binary) << "IOSCKPT1 but then garbage";
+  core::SimulationConfig resume = config;
+  resume.checkpoint.resume_from = path;
+  EXPECT_THROW(core::RunSimulation(resume, jobs), ckpt::CheckpointError);
+}
+
+TEST(CheckpointResume, AbortWritesEmergencyCheckpointThatResumes) {
+  auto [config, jobs] = BuildCase({"MAX_UTIL", false});
+  std::uint64_t reference =
+      metrics::DigestRecords(core::RunSimulation(config, jobs).records);
+
+  core::RunControl control;
+  control.abort.store(true);  // stop at the first event boundary
+  core::SimulationConfig aborting = config;
+  aborting.checkpoint.directory = TestDir("abort");
+  aborting.control = &control;
+  std::string emergency;
+  try {
+    core::RunSimulation(aborting, jobs);
+    FAIL() << "expected SimulationAborted";
+  } catch (const core::SimulationAborted& e) {
+    emergency = e.checkpoint_path();
+  }
+  ASSERT_FALSE(emergency.empty());
+  ASSERT_TRUE(fs::exists(emergency));
+  EXPECT_GT(control.progress_events.load(), 0u);
+
+  core::SimulationConfig resume = config;
+  resume.checkpoint.resume_from = emergency;
+  core::SimulationResult result = core::RunSimulation(resume, jobs);
+  EXPECT_EQ(metrics::DigestRecords(result.records), reference);
+}
+
+TEST(CheckpointResume, AbortWithoutDirectoryCarriesNoCheckpoint) {
+  auto [config, jobs] = BuildCase({"BASE_LINE", false});
+  core::RunControl control;
+  control.abort.store(true);
+  core::SimulationConfig aborting = config;
+  aborting.control = &control;
+  try {
+    core::RunSimulation(aborting, jobs);
+    FAIL() << "expected SimulationAborted";
+  } catch (const core::SimulationAborted& e) {
+    EXPECT_TRUE(e.checkpoint_path().empty());
+  }
+}
+
+}  // namespace
+}  // namespace iosched

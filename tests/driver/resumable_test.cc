@@ -1,0 +1,177 @@
+// Crash-safe sweep driver: finished cells are skipped on re-run, stale or
+// damaged state forces a rerun, and a cell interrupted mid-run (simulated
+// by leaving its checkpoints behind without an outcome file) resumes to
+// the exact uninterrupted result.
+#include "driver/resumable.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/simulation.h"
+#include "driver/scenario.h"
+#include "metrics/digest.h"
+
+namespace iosched::driver {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TestDir(const std::string& leaf) {
+  fs::path dir = fs::path(testing::TempDir()) / ("resumable_" + leaf);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+Scenario SmallScenario() {
+  return MakeTestScenario(/*seed=*/7, /*duration_days=*/0.5,
+                          /*jobs_per_day=*/200.0);
+}
+
+SweepCell MakeCell(const Scenario& scenario, const std::string& policy) {
+  SweepCell cell;
+  cell.name = scenario.name + "/" + policy;
+  cell.config = scenario.config;
+  cell.config.policy = policy;
+  cell.jobs = &scenario.jobs;
+  return cell;
+}
+
+TEST(ResumableRunner, RequiresRootAndWorkload) {
+  EXPECT_THROW(ResumableRunner({}), std::invalid_argument);
+  ResumableRunner runner({.root_directory = TestDir("args")});
+  SweepCell cell;
+  cell.name = "no-jobs";
+  EXPECT_THROW(runner.Run(cell), std::invalid_argument);
+}
+
+TEST(ResumableRunner, CellNamesAreSanitizedIntoDirectories) {
+  ResumableRunner runner({.root_directory = TestDir("names")});
+  std::string dir = runner.CellDirectory("month1/seed7 x:ADAPTIVE");
+  // Everything after cells/ is one path component.
+  std::string leaf = dir.substr(dir.rfind("cells/") + 6);
+  EXPECT_EQ(leaf.find('/'), std::string::npos) << leaf;
+  EXPECT_EQ(leaf.find(' '), std::string::npos) << leaf;
+  EXPECT_EQ(leaf.find(':'), std::string::npos) << leaf;
+}
+
+TEST(ResumableRunner, SecondRunReusesTheStoredOutcome) {
+  Scenario scenario = SmallScenario();
+  ResumableRunner runner({.root_directory = TestDir("reuse")});
+  SweepCell cell = MakeCell(scenario, "FCFS");
+
+  CellOutcome first = runner.Run(cell);
+  EXPECT_FALSE(first.reused);
+  EXPECT_FALSE(first.resumed);
+  EXPECT_EQ(first.policy_name, "FCFS");
+  EXPECT_GT(first.events_processed, 0u);
+
+  CellOutcome second = runner.Run(cell);
+  EXPECT_TRUE(second.reused);
+  EXPECT_EQ(second.record_digest, first.record_digest);
+  EXPECT_EQ(second.events_processed, first.events_processed);
+  EXPECT_EQ(second.report.job_count, first.report.job_count);
+  EXPECT_DOUBLE_EQ(second.report.avg_wait_seconds,
+                   first.report.avg_wait_seconds);
+
+  // The manifest journal recorded exactly one completion.
+  std::ifstream manifest(runner.options().root_directory + "/manifest.tsv");
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(manifest, line)) {
+    EXPECT_EQ(line.rfind("done\t", 0), 0u) << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 1u);
+}
+
+TEST(ResumableRunner, ConfigChangeInvalidatesTheStoredOutcome) {
+  Scenario scenario = SmallScenario();
+  ResumableRunner runner({.root_directory = TestDir("invalidate")});
+  CellOutcome first = runner.Run(MakeCell(scenario, "BASE_LINE"));
+  EXPECT_FALSE(first.reused);
+
+  // Same cell name, different storage cap: the stored outcome no longer
+  // answers this configuration and the cell must rerun.
+  SweepCell changed = MakeCell(scenario, "BASE_LINE");
+  changed.config.storage.max_bandwidth_gbps *= 0.5;
+  CellOutcome rerun = runner.Run(changed);
+  EXPECT_FALSE(rerun.reused);
+  EXPECT_NE(rerun.record_digest, first.record_digest);
+}
+
+TEST(ResumableRunner, DamagedOutcomeFileForcesARerun) {
+  Scenario scenario = SmallScenario();
+  ResumableRunner runner({.root_directory = TestDir("damaged")});
+  SweepCell cell = MakeCell(scenario, "ADAPTIVE");
+  CellOutcome first = runner.Run(cell);
+
+  std::string outcome_path =
+      runner.CellDirectory(cell.name) + "/result.iosres";
+  ASSERT_TRUE(fs::exists(outcome_path));
+  std::ofstream(outcome_path, std::ios::binary) << "torn";
+
+  CellOutcome rerun = runner.Run(cell);
+  EXPECT_FALSE(rerun.reused);
+  EXPECT_EQ(rerun.record_digest, first.record_digest);
+}
+
+TEST(ResumableRunner, InterruptedCellResumesFromItsCheckpoints) {
+  Scenario scenario = SmallScenario();
+  SweepCell cell = MakeCell(scenario, "ADAPTIVE");
+  std::uint64_t reference =
+      metrics::DigestRecords(
+          core::RunSimulation(cell.config, scenario.jobs).records);
+
+  // Simulate a crash mid-cell: checkpoints exist under the cell's ckpt/
+  // directory but no outcome file was ever published.
+  ResumableRunner runner({.root_directory = TestDir("interrupted")});
+  core::SimulationConfig partial = cell.config;
+  partial.checkpoint.directory = runner.CellDirectory(cell.name) + "/ckpt";
+  partial.checkpoint.every_events = 200;
+  partial.checkpoint.keep_last = 0;
+  core::RunSimulation(partial, scenario.jobs);
+  ASSERT_FALSE(fs::is_empty(partial.checkpoint.directory));
+
+  CellOutcome outcome = runner.Run(cell);
+  EXPECT_FALSE(outcome.reused);
+  EXPECT_TRUE(outcome.resumed);
+  EXPECT_FALSE(outcome.resumed_from.empty());
+  EXPECT_EQ(outcome.record_digest, reference);
+  // Checkpoints are garbage-collected once the outcome is durable.
+  EXPECT_FALSE(fs::exists(partial.checkpoint.directory));
+
+  CellOutcome again = runner.Run(cell);
+  EXPECT_TRUE(again.reused);
+  EXPECT_EQ(again.record_digest, reference);
+}
+
+TEST(ResumablePolicySweep, SecondInvocationIsAllCacheHits) {
+  Scenario scenario = SmallScenario();
+  std::vector<std::string> policies = {"BASE_LINE", "ADAPTIVE"};
+  ResumableRunner::Options options;
+  options.root_directory = TestDir("sweep");
+
+  std::vector<PolicyRun> first =
+      RunResumablePolicySweep(scenario, policies, options);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].policy, "BASE_LINE");
+  EXPECT_EQ(first[1].policy, "ADAPTIVE");
+
+  std::vector<PolicyRun> second =
+      RunResumablePolicySweep(scenario, policies, options);
+  ASSERT_EQ(second.size(), 2u);
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    EXPECT_DOUBLE_EQ(second[i].wall_seconds, 0.0);
+    EXPECT_EQ(second[i].events_processed, first[i].events_processed);
+    EXPECT_DOUBLE_EQ(second[i].report.avg_wait_seconds,
+                     first[i].report.avg_wait_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace iosched::driver

@@ -1,0 +1,100 @@
+#include "driver/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace iosched::driver {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Spin until `done` returns true or `budget` elapses.
+bool WaitFor(const std::function<bool()>& done,
+             std::chrono::milliseconds budget = 5000ms) {
+  auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return done();
+}
+
+TEST(Watchdog, FiresWhenProgressStalls) {
+  core::RunControl control;
+  std::atomic<bool> callback_ran{false};
+  std::string callback_diag;
+  Watchdog dog(control, {/*no_progress_seconds=*/0.05,
+                         /*poll_interval_seconds=*/0.01},
+               [&](const std::string& diag) {
+                 callback_diag = diag;
+                 callback_ran.store(true);
+               });
+  ASSERT_TRUE(WaitFor([&] { return dog.fired(); }));
+  EXPECT_TRUE(control.abort.load());
+  EXPECT_TRUE(callback_ran.load());
+  EXPECT_FALSE(dog.diagnostic().empty());
+  EXPECT_EQ(callback_diag, dog.diagnostic());
+  dog.Stop();  // idempotent after firing
+}
+
+TEST(Watchdog, DoesNotFireWhileProgressAdvances) {
+  core::RunControl control;
+  Watchdog dog(control, {/*no_progress_seconds=*/0.1,
+                         /*poll_interval_seconds=*/0.01});
+  // Keep the counter moving for several budgets' worth of wall time.
+  auto until = std::chrono::steady_clock::now() + 400ms;
+  while (std::chrono::steady_clock::now() < until) {
+    control.progress_events.fetch_add(1);
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_FALSE(dog.fired());
+  EXPECT_FALSE(control.abort.load());
+  dog.Stop();
+  EXPECT_FALSE(dog.fired());
+}
+
+TEST(Watchdog, StopBeforeFiringNeverAborts) {
+  core::RunControl control;
+  {
+    Watchdog dog(control, {/*no_progress_seconds=*/60.0,
+                           /*poll_interval_seconds=*/0.01});
+    std::this_thread::sleep_for(30ms);
+    dog.Stop();
+    EXPECT_FALSE(dog.fired());
+  }
+  EXPECT_FALSE(control.abort.load());
+}
+
+TEST(Watchdog, DestructorStopsTheThread) {
+  core::RunControl control;
+  {
+    Watchdog dog(control, {/*no_progress_seconds=*/60.0,
+                           /*poll_interval_seconds=*/0.5});
+    // Falling out of scope must join promptly even mid-poll.
+  }
+  EXPECT_FALSE(control.abort.load());
+}
+
+TEST(Watchdog, RejectsNonPositiveBudgets) {
+  core::RunControl control;
+  EXPECT_THROW(Watchdog(control, {0.0, 0.01}), std::invalid_argument);
+  EXPECT_THROW(Watchdog(control, {1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(Watchdog(control, {-1.0, 0.01}), std::invalid_argument);
+}
+
+TEST(Watchdog, DiagnosticNamesTheStallPoint) {
+  core::RunControl control;
+  control.progress_events.store(1234);
+  control.progress_sim_time.store(567.0);
+  Watchdog dog(control, {/*no_progress_seconds=*/0.03,
+                         /*poll_interval_seconds=*/0.01});
+  ASSERT_TRUE(WaitFor([&] { return dog.fired(); }));
+  EXPECT_NE(dog.diagnostic().find("1234"), std::string::npos)
+      << dog.diagnostic();
+}
+
+}  // namespace
+}  // namespace iosched::driver

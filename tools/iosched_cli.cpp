@@ -12,6 +12,12 @@
 //   iosched simulate --workload 2 --days 14 --policy MIN_AGGR_SLD
 //   iosched sweep --workload 1 --days 30 --csv
 //   iosched sensitivity --workload 1 --factors 0.3,0.7,1.5
+//   iosched simulate --workload 1 --days 365 --checkpoint-dir /tmp/ck \
+//       --checkpoint-every-wall 60 --watchdog 300   # crash-safe long run
+//   iosched simulate --workload 1 --days 365 --checkpoint-dir /tmp/ck \
+//       --resume                                    # continue after a crash
+//   iosched sweep --workload 1 --days 30 --state-dir /tmp/sweep  # resumable
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -26,11 +32,14 @@
 #include "driver/config_scenario.h"
 #include "driver/experiment.h"
 #include "driver/replication.h"
+#include "driver/resumable.h"
 #include "driver/scenario.h"
+#include "driver/watchdog.h"
 #include "metrics/breakdown.h"
 #include "metrics/timeline.h"
 #include "metrics/report.h"
 #include "obs/hub.h"
+#include "util/atomic_file.h"
 #include "util/cli.h"
 #include "util/strings.h"
 #include "util/units.h"
@@ -124,12 +133,75 @@ int CmdSimulate(const util::CliParser& cli) {
   std::optional<obs::Hub> hub;
   if (config.obs.enabled) hub.emplace(config.obs);
 
-  core::SimulationResult result = core::RunSimulation(
-      config, scenario.jobs, log_ptr, hub ? &*hub : nullptr);
+  // Checkpoint / resume wiring.
+  if (cli.Provided("checkpoint-dir")) {
+    config.checkpoint.directory = cli.GetString("checkpoint-dir");
+  }
+  if (cli.Provided("checkpoint-every")) {
+    long long every = cli.GetInt("checkpoint-every");
+    if (every < 0) return Fail("--checkpoint-every must be >= 0");
+    config.checkpoint.every_events = static_cast<std::uint64_t>(every);
+  }
+  if (cli.Provided("checkpoint-every-sim")) {
+    config.checkpoint.every_sim_seconds = cli.GetDouble("checkpoint-every-sim");
+  }
+  if (cli.Provided("checkpoint-every-wall")) {
+    config.checkpoint.every_wall_seconds =
+        cli.GetDouble("checkpoint-every-wall");
+  }
+  if (cli.Provided("checkpoint-keep")) {
+    config.checkpoint.keep_last = static_cast<int>(cli.GetInt("checkpoint-keep"));
+  }
+  if (cli.GetBool("resume")) config.checkpoint.resume_latest = true;
+  if (cli.Provided("resume-from")) {
+    config.checkpoint.resume_from = cli.GetString("resume-from");
+  }
+  if ((config.checkpoint.resume_latest ||
+       config.checkpoint.SavingEnabled()) &&
+      config.checkpoint.directory.empty()) {
+    return Fail("--resume/--checkpoint-every need --checkpoint-dir (or a "
+                "[checkpoint] directory in --config)");
+  }
+
+  // Watchdog: abort (with an emergency checkpoint when a checkpoint dir is
+  // configured) if the run stops making event progress.
+  core::RunControl control;
+  std::optional<driver::Watchdog> watchdog;
+  double watchdog_seconds = cli.GetDouble("watchdog");
+  if (watchdog_seconds > 0) {
+    config.control = &control;
+    driver::Watchdog::Options wopt;
+    wopt.no_progress_seconds = watchdog_seconds;
+    wopt.poll_interval_seconds = std::min(1.0, watchdog_seconds / 4.0);
+    watchdog.emplace(control, wopt);
+  }
+
+  core::SimulationResult result;
+  try {
+    result = core::RunSimulation(config, scenario.jobs, log_ptr,
+                                 hub ? &*hub : nullptr);
+  } catch (const core::SimulationAborted& e) {
+    if (watchdog) {
+      watchdog->Stop();
+      if (watchdog->fired()) {
+        std::fprintf(stderr, "%s\n", watchdog->diagnostic().c_str());
+      }
+    }
+    return Fail(e.what());
+  }
+  if (watchdog) watchdog->Stop();
 
   const metrics::Report& r = result.report;
   std::printf("%s under %s: %zu jobs\n", scenario.name.c_str(),
               result.policy_name.c_str(), r.job_count);
+  if (!result.resumed_from.empty()) {
+    std::printf("  resumed from   %s\n", result.resumed_from.c_str());
+  }
+  if (result.checkpoints_written > 0) {
+    std::printf("  checkpoints    %llu written to %s\n",
+                static_cast<unsigned long long>(result.checkpoints_written),
+                config.checkpoint.directory.c_str());
+  }
   std::printf("  avg wait       %.1f min\n",
               util::SecondsToMinutes(r.avg_wait_seconds));
   std::printf("  avg response   %.1f min\n",
@@ -174,16 +246,16 @@ int CmdSimulate(const util::CliParser& cli) {
                     .c_str());
   }
   if (cli.Provided("records")) {
-    std::ofstream out(cli.GetString("records"));
-    if (!out) return Fail("cannot write " + cli.GetString("records"));
-    metrics::WriteRecordsCsv(out, result.records);
+    util::AtomicFileWriter out(cli.GetString("records"));
+    metrics::WriteRecordsCsv(out.stream(), result.records);
+    out.Commit();
     std::printf("wrote per-job records to %s\n",
                 cli.GetString("records").c_str());
   }
   if (log_ptr != nullptr) {
-    std::ofstream out(cli.GetString("event-log"));
-    if (!out) return Fail("cannot write " + cli.GetString("event-log"));
-    log.WriteCsv(out);
+    util::AtomicFileWriter out(cli.GetString("event-log"));
+    log.WriteCsv(out.stream());
+    out.Commit();
     std::printf("wrote %zu scheduling events to %s\n", log.size(),
                 cli.GetString("event-log").c_str());
   }
@@ -196,17 +268,17 @@ int CmdSimulate(const util::CliParser& cli) {
                   static_cast<unsigned long long>(hub->tracer().dropped()));
     }
     if (cli.Provided("trace-out")) {
-      std::ofstream out(cli.GetString("trace-out"));
-      if (!out) return Fail("cannot write " + cli.GetString("trace-out"));
-      hub->tracer().WriteChromeTrace(out);
+      util::AtomicFileWriter out(cli.GetString("trace-out"));
+      hub->tracer().WriteChromeTrace(out.stream());
+      out.Commit();
       std::printf("wrote %zu trace records to %s (load in Perfetto or "
                   "chrome://tracing)\n",
                   hub->tracer().size(), cli.GetString("trace-out").c_str());
     }
     if (cli.Provided("stats-out")) {
-      std::ofstream out(cli.GetString("stats-out"));
-      if (!out) return Fail("cannot write " + cli.GetString("stats-out"));
-      hub->sampler().WriteCsv(out);
+      util::AtomicFileWriter out(cli.GetString("stats-out"));
+      hub->sampler().WriteCsv(out.stream());
+      out.Commit();
       std::printf("wrote %zu time-series samples to %s\n",
                   hub->sampler().samples().size(),
                   cli.GetString("stats-out").c_str());
@@ -221,8 +293,20 @@ int CmdSweep(const util::CliParser& cli) {
   if (cli.Provided("policies")) {
     policies = util::Split(cli.GetString("policies"), ',');
   }
-  util::ThreadPool pool;
-  auto runs = driver::RunPolicySweep(scenario, policies, &pool);
+  std::vector<driver::PolicyRun> runs;
+  if (cli.Provided("state-dir")) {
+    // Crash-safe sweep: completed cells are skipped on re-invocation, the
+    // interrupted cell resumes from its newest valid checkpoint, and a
+    // stalled run is aborted (resumably) by the watchdog.
+    driver::ResumableRunner::Options opt;
+    opt.root_directory = cli.GetString("state-dir");
+    opt.checkpoint_every_wall_seconds = 30.0;
+    opt.watchdog_no_progress_seconds = cli.GetDouble("watchdog");
+    runs = driver::RunResumablePolicySweep(scenario, policies, opt);
+  } else {
+    util::ThreadPool pool;
+    runs = driver::RunPolicySweep(scenario, policies, &pool);
+  }
   if (cli.GetBool("csv")) {
     std::fputs(driver::RunsToCsv(runs).c_str(), stdout);
     return 0;
@@ -306,6 +390,27 @@ int main(int argc, char** argv) {
               "write time-series CSV here (simulate; enables obs)");
   cli.AddFlag("sample-dt", "600",
               "time-series sampling period in simulated seconds (simulate)");
+  cli.AddFlag("checkpoint-dir", "",
+              "directory for periodic state checkpoints (simulate)");
+  cli.AddFlag("checkpoint-every", "0",
+              "checkpoint every N processed events (simulate; 0 = off)");
+  cli.AddFlag("checkpoint-every-sim", "0",
+              "checkpoint every N simulated seconds (simulate; 0 = off)");
+  cli.AddFlag("checkpoint-every-wall", "0",
+              "checkpoint every N wall-clock seconds (simulate; 0 = off)");
+  cli.AddFlag("checkpoint-keep", "3",
+              "keep the newest N checkpoints (simulate; <= 0 keeps all)");
+  cli.AddFlag("resume-from", "",
+              "restore this checkpoint file before running (simulate)");
+  cli.AddFlag("watchdog", "0",
+              "abort after N wall seconds without event progress "
+              "(simulate/sweep; 0 = off)");
+  cli.AddFlag("state-dir", "",
+              "crash-safe sweep state root: skip finished cells, resume the "
+              "interrupted one (sweep)");
+  cli.AddBoolFlag("resume",
+                  "resume from the newest valid checkpoint in "
+                  "--checkpoint-dir (simulate)");
   cli.AddBoolFlag("walltime-kill", "kill jobs at their requested walltime");
   cli.AddBoolFlag("breakdown", "print per-size-class metrics (simulate)");
   cli.AddBoolFlag("timeline", "print occupancy/demand strip charts (simulate)");

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Crash-safety smoke test: SIGKILL a checkpointed simulation mid-run, then
+# relaunch it with --resume and require the stitched-together run to write
+# per-job records byte-identical to an uninterrupted reference run.
+#
+# Usage: tools/kill_resume_smoke.sh [build-dir]
+#   build-dir  defaults to ./build (must contain tools/iosched)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+iosched="${build_dir}/tools/iosched"
+[[ -x "${iosched}" ]] || { echo "error: ${iosched} not built" >&2; exit 2; }
+
+work="$(mktemp -d)"
+trap 'rm -rf "${work}"' EXIT
+
+# A year-long replay runs for several seconds — a wide window to land the
+# kill in — while the first checkpoint appears within milliseconds.
+args=(simulate --workload 1 --days 365 --policy ADAPTIVE)
+
+echo "== reference run (uninterrupted)"
+"${iosched}" "${args[@]}" --records "${work}/reference.csv" > /dev/null
+
+echo "== victim run (checkpointed, killed mid-flight)"
+"${iosched}" "${args[@]}" --records "${work}/victim.csv" \
+    --checkpoint-dir "${work}/ckpt" --checkpoint-every 50000 &
+victim=$!
+for _ in $(seq 1 2000); do
+  compgen -G "${work}/ckpt/ckpt-*.iosckpt" > /dev/null && break
+  sleep 0.01
+done
+compgen -G "${work}/ckpt/ckpt-*.iosckpt" > /dev/null || {
+  echo "error: no checkpoint appeared before the victim finished" >&2
+  exit 1
+}
+kill -KILL "${victim}"
+set +e
+wait "${victim}"
+status=$?
+set -e
+if [[ "${status}" -ne 137 ]]; then
+  echo "error: victim exited with ${status} instead of dying to SIGKILL" >&2
+  exit 1
+fi
+if [[ -f "${work}/victim.csv" ]]; then
+  echo "error: victim finished before the kill landed (records exist)" >&2
+  exit 1
+fi
+echo "   killed pid ${victim}; checkpoints left behind:"
+ls "${work}/ckpt"
+
+echo "== resumed run"
+"${iosched}" "${args[@]}" --records "${work}/resumed.csv" \
+    --checkpoint-dir "${work}/ckpt" --resume | tee "${work}/resume.log"
+grep -q "resumed from" "${work}/resume.log" || {
+  echo "error: the relaunch did not resume from a checkpoint" >&2
+  exit 1
+}
+
+echo "== comparing per-job records"
+cmp "${work}/reference.csv" "${work}/resumed.csv" || {
+  echo "error: resumed records differ from the uninterrupted reference" >&2
+  exit 1
+}
+echo "PASS: resumed run is byte-identical to the uninterrupted run"
