@@ -1,0 +1,40 @@
+// Burst-buffer capacity sensitivity: how much staging capacity does it
+// take before the buffer meaningfully absorbs the checkpoint bursts, and
+// does I/O-aware scheduling still matter once it does?
+//
+// Sweeps the BB capacity axis of driver::RunSweep over Workload 1 with a
+// fixed drain reservation, for the two policies that bracket the paper's
+// range (BASE_LINE and ADAPTIVE).
+#include <cstdio>
+#include <cstdlib>
+
+#include "driver/scenario.h"
+#include "driver/sweep.h"
+#include "figure_common.h"
+#include "util/thread_pool.h"
+
+int main() {
+  using namespace iosched;
+  driver::Scenario scenario =
+      driver::MakeEvaluationScenario(1, bench::BenchDays());
+
+  driver::SweepSpec spec;
+  spec.scenario = &scenario;
+  spec.policies = {"BASE_LINE", "ADAPTIVE"};
+  spec.bb_capacities_gb = {0.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0};
+  spec.bb_drain_gbps = 50.0;
+  util::ThreadPool pool;
+  spec.pool = &pool;
+
+  std::printf("== Burst-buffer capacity sensitivity (Workload 1, %.0f days, "
+              "drain %.0f GB/s) ==\n\n",
+              bench::BenchDays(), spec.bb_drain_gbps);
+  driver::SweepResult result = driver::RunSweep(spec);
+  std::printf("avg wait (min), absorbed-request share in parentheses\n%s\n",
+              driver::BbCapacityTable(result).ToString().c_str());
+  std::printf("Reading: the absorbed share grows with capacity until the "
+              "drain rate, not the\ncapacity, is the bottleneck; the "
+              "BASE_LINE-vs-ADAPTIVE gap narrows as the buffer\ntakes over "
+              "congestion control from the scheduler.\n");
+  return 0;
+}

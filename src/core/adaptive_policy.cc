@@ -209,6 +209,14 @@ std::vector<RateGrant> AdaptivePolicy::Assign(
       rates_dirty = true;
       continue;
     }
+    if (tiers_.bb_enabled &&
+        tiers_.bb_queued_gb >
+            kBacklogDeferralFraction * tiers_.bb_capacity_gb) {
+      // Deep drain backlog: over-admitting would stretch the direct
+      // transfers the drain reservation is already squeezing. Defer like
+      // Cons-FCFS until the buffer drains below the threshold.
+      continue;
+    }
 
     // Lines 11-13: compare deferring J_i vs letting it compete.
     refresh_rates();

@@ -32,10 +32,24 @@ class AdaptivePolicy final : public IoPolicy {
                                 double max_bandwidth_gbps,
                                 sim::SimTime now) override;
   void BindObs(obs::Hub* hub) override;
+  /// Two-tier awareness: while the burst-buffer drain backlog is deep
+  /// (above kBacklogDeferralFraction of capacity) the over-admission branch
+  /// is suspended and the policy degrades to Cons-FCFS — over-admitting
+  /// direct traffic would stretch exactly the transfers the drain is
+  /// already competing with, trading BB occupancy against direct-path stall
+  /// time as described in DESIGN.md §9. No-op in single-tier runs.
+  void ObserveTiers(const TierState& tiers) override { tiers_ = tiers; }
+
+  /// Backlog fraction of BB capacity above which over-admission pauses.
+  static constexpr double kBacklogDeferralFraction = 0.5;
 
  private:
   /// Accumulates water-filling steps across cycles; null when obs is off.
   obs::Counter* waterfill_counter_ = nullptr;
+  /// Refreshed every cycle (before Assign) when a burst buffer is attached;
+  /// defaults to "no tier" so single-tier behavior is untouched. Not
+  /// checkpointed: the scheduler re-delivers it each cycle before use.
+  TierState tiers_;
 };
 
 /// Earliest time J_i (index `candidate`) could start I/O if not admitted

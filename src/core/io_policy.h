@@ -55,6 +55,24 @@ struct RateGrant {
   double rate_gbps = 0.0;
 };
 
+/// Storage-tier snapshot handed to tier-aware policies once per scheduling
+/// cycle, *before* Assign, when a burst buffer is attached. The
+/// `max_bandwidth_gbps` that Assign receives already has the drain
+/// reservation subtracted, so conservative policies cannot oversubscribe the
+/// PFS drain by construction; this struct lets a policy additionally shape
+/// its behavior on the backlog itself (e.g. ADAPTIVE defers over-admission
+/// while the drain is far behind).
+struct TierState {
+  bool bb_enabled = false;
+  double bb_capacity_gb = 0.0;
+  /// Data staged and awaiting drain (GB).
+  double bb_queued_gb = 0.0;
+  /// Drain reservation active right now (GB/s).
+  double drain_gbps = 0.0;
+  /// Occupancy above the configured watermark.
+  bool bb_congested = false;
+};
+
 class IoPolicy {
  public:
   virtual ~IoPolicy() = default;
@@ -73,6 +91,12 @@ class IoPolicy {
   /// anything (knapsack solves, water-filling steps) override; the default
   /// ignores it, so observability stays optional for policy authors.
   virtual void BindObs(obs::Hub* hub) { (void)hub; }
+
+  /// Tier snapshot, delivered once per scheduling cycle before Assign —
+  /// only when the run has a burst-buffer tier. Policies that do not care
+  /// about tiers ignore it (the default), so single-tier behavior is
+  /// untouched.
+  virtual void ObserveTiers(const TierState& tiers) { (void)tiers; }
 
   /// Checkpoint hooks. Every shipped policy (BASE_LINE, the conservative
   /// family, ADAPTIVE) is stateless across scheduling cycles — per-call

@@ -25,6 +25,14 @@ IoScheduler::IoScheduler(sim::Simulator& simulator,
   }
   if (!policy_) throw std::invalid_argument("IoScheduler: null policy");
   if (!on_complete_) throw std::invalid_argument("IoScheduler: null callback");
+  storage_.SetBandwidthChangeListener(
+      [this](double new_bwmax, sim::SimTime now) {
+        OnBandwidthChange(new_bwmax, now);
+      });
+}
+
+IoScheduler::~IoScheduler() {
+  storage_.SetBandwidthChangeListener(nullptr);
 }
 
 void IoScheduler::RegisterJob(const workload::Job& job,
@@ -74,18 +82,23 @@ void IoScheduler::SubmitRequest(workload::JobId id, double volume_gb,
   double full_rate = job.FullIoRate(node_bandwidth_gbps_);
   if (burst_buffer_ != nullptr) {
     burst_buffer_->AdvanceTo(now);
-    if (burst_buffer_->CanAbsorb(volume_gb)) {
-      // Absorbed: the write lands in the buffer at link speed, never
-      // touching the policy-managed storage path. The drain it triggers
-      // reduces the policy's usable bandwidth, so run a cycle.
-      burst_buffer_->Absorb(volume_gb);
-      double duration = volume_gb / full_rate;
+    if (burst_buffer_->CanAbsorb(id, volume_gb)) {
+      // Absorbed: the write lands in the buffer at the absorb-tier rate
+      // (the link rate unless `absorb_gbps` caps it), never touching the
+      // policy-managed storage path. The drain it triggers reduces the
+      // policy's usable bandwidth, so run a cycle.
+      burst_buffer_->Absorb(id, volume_gb);
+      if (hub_ != nullptr) hub_->bb_absorbed_requests->Inc();
+      double duration = volume_gb / burst_buffer_->AbsorbRate(full_rate);
       sim::EventId event =
           simulator_.ScheduleAfter(duration, AbsorbedAction(id, duration));
       absorbed_events_[id] = AbsorbedEvent{event, now + duration, duration};
       Reschedule(now);
       return;
     }
+    // Spill: no room (or over quota) — the request takes the direct path.
+    burst_buffer_->RecordSpill();
+    if (hub_ != nullptr) hub_->bb_spilled_requests->Inc();
   }
   storage_.Begin(id, job.nodes, full_rate, volume_gb, now);
   Reschedule(now);
@@ -93,6 +106,15 @@ void IoScheduler::SubmitRequest(workload::JobId id, double volume_gb,
 
 void IoScheduler::ForceReschedule(sim::SimTime now) {
   if (hub_ != nullptr) hub_->forced_reschedules->Inc();
+  Reschedule(now);
+}
+
+void IoScheduler::OnBandwidthChange(double new_bwmax_gbps, sim::SimTime now) {
+  if (hub_ != nullptr) {
+    hub_->tracer().Instant(obs::kStorageTrack, "bwmax_change", now,
+                           new_bwmax_gbps);
+    hub_->forced_reschedules->Inc();
+  }
   Reschedule(now);
 }
 
@@ -107,6 +129,11 @@ void IoScheduler::FlushObs(sim::SimTime now) {
                         now);
   }
   congested_ = false;
+  if (hub_ != nullptr && bb_congested_) {
+    hub_->tracer().Span(obs::kStorageTrack, "bb_congestion",
+                        bb_congestion_start_, now);
+  }
+  bb_congested_ = false;
 }
 
 void IoScheduler::AbortRequest(workload::JobId id, sim::SimTime now) {
@@ -184,6 +211,14 @@ void IoScheduler::Reschedule(sim::SimTime now) {
       has_drain_event_ = true;
       drain_event_time_ = wake;
     }
+    // Tier snapshot for tier-aware policies (delivered before Assign).
+    TierState tiers;
+    tiers.bb_enabled = true;
+    tiers.bb_capacity_gb = burst_buffer_->config().capacity_gb;
+    tiers.bb_queued_gb = burst_buffer_->queued_gb();
+    tiers.drain_gbps = burst_buffer_->CurrentDrainRate();
+    tiers.bb_congested = burst_buffer_->Congested();
+    policy_->ObserveTiers(tiers);
   }
 
   FillViews(views_scratch_);
@@ -237,6 +272,25 @@ void IoScheduler::Reschedule(sim::SimTime now) {
       congested_ = false;
       tracer.Span(obs::kStorageTrack, "congestion", congestion_start_, now);
     }
+    if (burst_buffer_ != nullptr) {
+      tracer.Counter(obs::kStorageTrack, "bb_queued_gb", now,
+                     burst_buffer_->queued_gb());
+      tracer.Counter(obs::kStorageTrack, "bb_free_gb", now,
+                     burst_buffer_->free_gb());
+      // BB-tier congestion episode: occupancy above the watermark.
+      bool bb_congested = burst_buffer_->Congested();
+      if (bb_congested) {
+        hub_->bb_congested_cycles->Inc();
+        if (!bb_congested_) {
+          bb_congested_ = true;
+          bb_congestion_start_ = now;
+        }
+      } else if (bb_congested_) {
+        bb_congested_ = false;
+        tracer.Span(obs::kStorageTrack, "bb_congestion", bb_congestion_start_,
+                    now);
+      }
+    }
   }
 
   if (has_pending_event_) {
@@ -255,8 +309,8 @@ void IoScheduler::Reschedule(sim::SimTime now) {
 std::function<void()> IoScheduler::AbsorbedAction(workload::JobId id,
                                                  double duration) {
   return [this, id, duration] {
-    // A buffer-absorbed request runs at link speed: its completed
-    // uncongested time equals its actual time.
+    // A buffer-absorbed request runs contention-free at the absorb-tier
+    // rate: its completed uncongested time equals its actual time.
     absorbed_events_.erase(id);
     jobs_.at(id).completed_io_seconds += duration;
     on_complete_(id, simulator_.Now());
@@ -290,6 +344,8 @@ void IoScheduler::SaveState(ckpt::Writer& w) const {
   w.U64(submitted_requests_);
   w.Bool(congested_);
   w.F64(congestion_start_);
+  w.Bool(bb_congested_);
+  w.F64(bb_congestion_start_);
   ids.clear();
   for (const auto& [id, _] : absorbed_events_) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
@@ -344,6 +400,8 @@ void IoScheduler::RestoreState(
   submitted_requests_ = r.U64();
   congested_ = r.Bool();
   congestion_start_ = r.F64();
+  bb_congested_ = r.Bool();
+  bb_congestion_start_ = r.F64();
   std::uint32_t absorbed = r.U32();
   for (std::uint32_t i = 0; i < absorbed; ++i) {
     workload::JobId id = r.I64();

@@ -20,6 +20,7 @@
 #include "core/io_policy.h"
 #include "metrics/bandwidth.h"
 #include "sim/simulator.h"
+#include "storage/backend.h"
 #include "storage/burst_buffer.h"
 #include "storage/storage_model.h"
 #include "workload/job.h"
@@ -38,9 +39,27 @@ class IoScheduler {
 
   /// All references must outlive the IoScheduler. `node_bandwidth_gbps` is
   /// the per-node link speed b used to derive each job's full I/O rate.
+  /// The scheduler registers itself as the storage model's bandwidth-change
+  /// listener, so a runtime SetMaxBandwidth (degradation/repair) re-runs
+  /// water-filling immediately — no caller-side ForceReschedule needed.
   IoScheduler(sim::Simulator& simulator, storage::StorageModel& storage,
               double node_bandwidth_gbps, std::unique_ptr<IoPolicy> policy,
               CompletionCallback on_complete);
+
+  /// Convenience: construct against a storage backend — the PFS tier is
+  /// `backend.model()` and the absorbing tier (when the backend has one) is
+  /// attached automatically.
+  IoScheduler(sim::Simulator& simulator, storage::StorageBackend& backend,
+              double node_bandwidth_gbps, std::unique_ptr<IoPolicy> policy,
+              CompletionCallback on_complete)
+      : IoScheduler(simulator, backend.model(), node_bandwidth_gbps,
+                    std::move(policy), std::move(on_complete)) {
+    AttachBurstBuffer(backend.burst_buffer());
+  }
+
+  /// Detaches the bandwidth-change listener (the storage model may outlive
+  /// the scheduler, e.g. in test fixtures).
+  ~IoScheduler();
 
   /// Register a job when it starts running (t_start for AggrSld).
   void RegisterJob(const workload::Job& job, sim::SimTime start_time);
@@ -90,10 +109,12 @@ class IoScheduler {
     bandwidth_tracker_ = tracker;
   }
 
-  /// Attach a burst buffer. Requests that fit its free space are absorbed
-  /// at the job's full link rate (bypassing the policy); the drain reserves
-  /// its bandwidth out of BWmax, shrinking what the policy can grant to
-  /// direct traffic. The buffer must outlive the scheduler.
+  /// Attach a burst buffer (nullptr detaches). Requests that fit its free
+  /// space (and the job's quota) are absorbed at the absorb-tier rate
+  /// (bypassing the policy); the drain reserves its bandwidth out of BWmax,
+  /// shrinking what the policy can grant to direct traffic. Tier-aware
+  /// policies receive a TierState each cycle while a buffer is attached.
+  /// The buffer must outlive the scheduler.
   void AttachBurstBuffer(storage::BurstBuffer* burst_buffer) {
     burst_buffer_ = burst_buffer;
   }
@@ -134,6 +155,10 @@ class IoScheduler {
   /// Completion event handler: finish every complete transfer, then cycle.
   void OnCompletionEvent();
 
+  /// Storage bandwidth-change listener body: emit the obs instant and run a
+  /// cycle so grants are feasible against the new cap before time advances.
+  void OnBandwidthChange(double new_bwmax_gbps, sim::SimTime now);
+
   /// Closure used for both fresh scheduling and checkpoint re-arming of a
   /// burst-buffer-absorbed completion.
   std::function<void()> AbsorbedAction(workload::JobId id, double duration);
@@ -168,6 +193,9 @@ class IoScheduler {
   /// Congestion-episode span state (demand above usable bandwidth).
   bool congested_ = false;
   sim::SimTime congestion_start_ = 0.0;
+  /// Burst-buffer-tier congestion episode (occupancy above the watermark).
+  bool bb_congested_ = false;
+  sim::SimTime bb_congestion_start_ = 0.0;
   /// Cycle-scratch buffers (capacity reused across the ~1 cycle per event
   /// of a month-long replay; cleared each use).
   mutable std::vector<const storage::Transfer*> active_scratch_;

@@ -1,6 +1,7 @@
 #include "core/simulation.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <filesystem>
 #include <map>
@@ -75,16 +76,19 @@ class Engine {
         event_log_(event_log),
         hub_(hub),
         machine_(config.machine),
-        storage_(config.storage),
+        backend_(storage::MakeBackend(config.storage, config.burst_buffer)),
+        storage_(backend_->model()),
         batch_(machine_, config.batch),
         utilization_(config.machine.total_nodes()),
         bandwidth_tracker_(config.storage.max_bandwidth_gbps),
-        io_scheduler_(simulator_, storage_, config.machine.node_bandwidth_gbps,
+        io_scheduler_(simulator_, *backend_,
+                      config.machine.node_bandwidth_gbps,
                       MakePolicy(config.policy),
                       [this](workload::JobId id, sim::SimTime now) {
                         OnIoComplete(id, now);
                       }),
         base_bwmax_(config.storage.max_bandwidth_gbps) {
+    burst_buffer_ = backend_->burst_buffer();
     if (config_.track_bandwidth) {
       io_scheduler_.SetBandwidthTracker(&bandwidth_tracker_);
     }
@@ -96,15 +100,6 @@ class Engine {
       io_scheduler_.SetObs(hub_);
       batch_.SetObs(hub_);
     }
-    if (config_.burst_buffer.enabled()) {
-      if (config_.burst_buffer.drain_gbps >=
-          config_.storage.max_bandwidth_gbps) {
-        throw std::invalid_argument(
-            "RunSimulation: burst-buffer drain must stay below BWmax");
-      }
-      burst_buffer_.emplace(config_.burst_buffer);
-      io_scheduler_.AttachBurstBuffer(&*burst_buffer_);
-    }
     if (config_.faults.enabled()) {
       faults::FaultPlan plan = config_.faults.explicit_plan;
       if (plan.Empty() && config_.faults.plan_config.enabled) {
@@ -114,12 +109,12 @@ class Engine {
       }
       faults::FaultHooks hooks;
       hooks.set_bandwidth_factor = [this](double factor, sim::SimTime now) {
-        // Re-accrue in-flight transfers at the old rates up to `now`, swap
-        // the cap, then force a cycle so every policy immediately re-plans
-        // against the new BWmax (the validator only runs post-cycle, so a
-        // shrink can never look like an over-assignment).
+        // Re-accrue in-flight transfers at the old rates up to `now`, then
+        // swap the cap. The IoScheduler listens for bandwidth changes and
+        // runs a cycle immediately, so every policy re-plans against the
+        // new BWmax before any further event (the validator only runs
+        // post-cycle, so a shrink can never look like an over-assignment).
         storage_.SetMaxBandwidth(base_bwmax_ * factor, now);
-        io_scheduler_.ForceReschedule(now);
       };
       hooks.set_midplane_faulted = [this](int midplane, bool faulted,
                                           sim::SimTime now) {
@@ -185,9 +180,18 @@ class Engine {
     if (config_.keep_bandwidth_samples) {
       result.bandwidth_samples = bandwidth_tracker_.samples();
     }
-    if (burst_buffer_.has_value()) {
+    if (burst_buffer_ != nullptr) {
+      // Close the occupancy integral at the end of the run (all drains have
+      // completed by now, so this only accrues the final idle stretch).
+      burst_buffer_->AdvanceTo(simulator_.Now());
       result.bb_absorbed_gb = burst_buffer_->total_absorbed_gb();
       result.bb_absorbed_requests = burst_buffer_->absorbed_requests();
+      result.bb_spilled_requests = burst_buffer_->spilled_requests();
+      result.bb_drained_gb = burst_buffer_->total_drained_gb();
+      result.bb_peak_queued_gb = burst_buffer_->peak_queued_gb();
+      double span = simulator_.Now() * config_.burst_buffer.capacity_gb;
+      result.bb_mean_occupancy =
+          span > 0 ? burst_buffer_->occupancy_integral_gbs() / span : 0.0;
     }
     if (injector_.has_value()) injector_->FinalizeStats(simulator_.Now());
     result.faults = std::move(fault_stats_);
@@ -302,6 +306,11 @@ class Engine {
                         : 0.0;
     p.queue_depth = batch_.queue_size();
     p.running_jobs = running_.size();
+    if (burst_buffer_ != nullptr) {
+      // Backlog as of the last storage event. Deliberately no AdvanceTo:
+      // sampling must never mutate simulation state.
+      p.bb_queued_gb = burst_buffer_->queued_gb();
+    }
     hub_->sampler().Record(p);
   }
 
@@ -655,7 +664,7 @@ class Engine {
       storage_.SaveState(w);
       file.AddSection("storage", w.TakeBuffer());
     }
-    if (burst_buffer_.has_value()) {
+    if (burst_buffer_ != nullptr) {
       ckpt::Writer w;
       burst_buffer_->SaveState(w);
       file.AddSection("burst_buffer", w.TakeBuffer());
@@ -909,7 +918,7 @@ class Engine {
           ": configuration/workload hash mismatch (the file was written "
           "under a different run setup)");
     }
-    if (file.HasSection("burst_buffer") != burst_buffer_.has_value()) {
+    if (file.HasSection("burst_buffer") != (burst_buffer_ != nullptr)) {
       throw ckpt::ConfigMismatchError(
           "checkpoint " + context + ": burst-buffer presence mismatch");
     }
@@ -935,7 +944,7 @@ class Engine {
       storage_.RestoreState(r);
       r.ExpectEnd();
     }
-    if (burst_buffer_.has_value()) {
+    if (burst_buffer_ != nullptr) {
       ckpt::Reader r(file.Section("burst_buffer"), "burst_buffer");
       burst_buffer_->RestoreState(r);
       r.ExpectEnd();
@@ -993,11 +1002,19 @@ class Engine {
   std::optional<SchedTraceAdapter> trace_adapter_;
   sim::Simulator simulator_;
   machine::Machine machine_;
-  storage::StorageModel storage_;
+  /// Storage subsystem: single-tier PFS or PFS + burst-buffer tier,
+  /// selected by config. Declared before the members that hold references
+  /// into it.
+  std::unique_ptr<storage::StorageBackend> backend_;
+  /// The PFS fair-share model inside the backend (checkpoint section
+  /// "storage" and every grant computation go through this alias, keeping
+  /// the on-disk layout identical to the pre-backend engine).
+  storage::StorageModel& storage_;
   sched::BatchScheduler batch_;
   metrics::UtilizationTracker utilization_;
   metrics::BandwidthTracker bandwidth_tracker_;
-  std::optional<storage::BurstBuffer> burst_buffer_;
+  /// backend_->burst_buffer(); null when the tier is disabled.
+  storage::BurstBuffer* burst_buffer_ = nullptr;
   IoScheduler io_scheduler_;
   /// Nominal BWmax; degradation scales it (the storage model holds the
   /// currently effective value).
@@ -1032,7 +1049,156 @@ class Engine {
   std::uint64_t checkpoints_written_ = 0;
 };
 
+std::string FormatIssues(const std::vector<ConfigIssue>& issues) {
+  std::string msg = "SimulationConfig validation failed (" +
+                    std::to_string(issues.size()) +
+                    (issues.size() == 1 ? " issue)" : " issues)");
+  for (const ConfigIssue& issue : issues) {
+    msg += "\n  " + issue.field + ": " + issue.message;
+  }
+  return msg;
+}
+
 }  // namespace
+
+ConfigValidationError::ConfigValidationError(std::vector<ConfigIssue> issues)
+    : std::invalid_argument(FormatIssues(issues)),
+      issues_(std::move(issues)) {}
+
+std::vector<ConfigIssue> SimulationConfig::Validate() const {
+  std::vector<ConfigIssue> issues;
+  auto add = [&issues](const char* field, std::string message) {
+    issues.push_back({field, std::move(message)});
+  };
+
+  if (machine.nodes_per_midplane <= 0) {
+    add("machine.nodes_per_midplane", "must be positive");
+  }
+  if (machine.midplanes_per_row <= 0) {
+    add("machine.midplanes_per_row", "must be positive");
+  }
+  if (machine.rows <= 0) add("machine.rows", "must be positive");
+  if (machine.node_bandwidth_gbps <= 0) {
+    add("machine.node_bandwidth_gbps", "must be positive");
+  }
+
+  if (storage.max_bandwidth_gbps <= 0) {
+    add("storage.max_bandwidth_gbps", "must be positive");
+  }
+
+  {
+    // MakePolicy matches case-insensitively; mirror that here.
+    std::string upper = policy;
+    for (char& c : upper) {
+      c = static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c)));
+    }
+    const std::vector<std::string>& names = AllPolicyNames();
+    if (std::find(names.begin(), names.end(), upper) == names.end()) {
+      std::string known;
+      for (const std::string& name : names) {
+        if (!known.empty()) known += ", ";
+        known += name;
+      }
+      add("policy", "unknown policy \"" + policy + "\" (known: " + known +
+                        ")");
+    }
+  }
+
+  if (warmup_fraction < 0 || warmup_fraction >= 1) {
+    add("warmup_fraction", "must be in [0, 1)");
+  }
+  if (cooldown_fraction < 0 || cooldown_fraction >= 1) {
+    add("cooldown_fraction", "must be in [0, 1)");
+  }
+  if (warmup_fraction >= 0 && cooldown_fraction >= 0 &&
+      warmup_fraction + cooldown_fraction >= 1) {
+    add("warmup_fraction", "warmup + cooldown must leave a stable window");
+  }
+
+  if (batch.max_retries < 0) add("batch.max_retries", "must be >= 0");
+  if (batch.requeue_backoff_seconds < 0) {
+    add("batch.requeue_backoff_seconds", "must be >= 0");
+  }
+  if (batch.max_backoff_seconds < 0) {
+    add("batch.max_backoff_seconds", "must be >= 0");
+  }
+
+  const storage::BurstBufferConfig& bb = burst_buffer;
+  if (bb.capacity_gb < 0) add("burst_buffer.capacity_gb", "must be >= 0");
+  if (bb.drain_gbps < 0) add("burst_buffer.drain_gbps", "must be >= 0");
+  if (bb.absorb_gbps < 0) add("burst_buffer.absorb_gbps", "must be >= 0");
+  if (bb.per_job_quota_gb < 0) {
+    add("burst_buffer.per_job_quota_gb", "must be >= 0");
+  }
+  if (bb.congestion_watermark <= 0 || bb.congestion_watermark > 1) {
+    add("burst_buffer.congestion_watermark", "must be in (0, 1]");
+  }
+  if ((bb.capacity_gb > 0) != (bb.drain_gbps > 0)) {
+    add("burst_buffer",
+        "capacity_gb and drain_gbps must both be positive to enable the "
+        "tier (set both to 0 to disable it)");
+  }
+  if (bb.enabled() && storage.max_bandwidth_gbps > 0 &&
+      bb.drain_gbps >= storage.max_bandwidth_gbps) {
+    add("burst_buffer.drain_gbps",
+        "drain must stay below storage.max_bandwidth_gbps (the drain is "
+        "carved out of the PFS budget)");
+  }
+
+  const faults::FaultPlanConfig& fp = faults.plan_config;
+  if (fp.degraded_fraction < 0 || fp.degraded_fraction >= 1) {
+    add("faults.plan_config.degraded_fraction", "must be in [0, 1)");
+  }
+  if (fp.degradation_factor <= 0 || fp.degradation_factor > 1) {
+    add("faults.plan_config.degradation_factor", "must be in (0, 1]");
+  }
+  if (fp.degraded_window_seconds < 0) {
+    add("faults.plan_config.degraded_window_seconds", "must be >= 0");
+  }
+  if (fp.midplane_outages < 0) {
+    add("faults.plan_config.midplane_outages", "must be >= 0");
+  }
+  if (fp.midplane_outage_seconds < 0) {
+    add("faults.plan_config.midplane_outage_seconds", "must be >= 0");
+  }
+  if (fp.job_kill_probability < 0 || fp.job_kill_probability > 1) {
+    add("faults.plan_config.job_kill_probability", "must be in [0, 1]");
+  }
+  if (!faults.explicit_plan.Empty()) {
+    std::string err = faults.explicit_plan.Validate();
+    if (!err.empty()) add("faults.explicit_plan", err);
+  }
+
+  if (obs.sample_dt_seconds < 0) {
+    add("obs.sample_dt_seconds", "must be >= 0 (0 disables sampling)");
+  }
+
+  if (checkpoint.every_sim_seconds < 0) {
+    add("checkpoint.every_sim_seconds", "must be >= 0");
+  }
+  if (checkpoint.every_wall_seconds < 0) {
+    add("checkpoint.every_wall_seconds", "must be >= 0");
+  }
+  if (checkpoint.directory.empty() &&
+      (checkpoint.every_sim_seconds > 0 || checkpoint.every_events > 0 ||
+       checkpoint.every_wall_seconds > 0)) {
+    add("checkpoint.directory",
+        "a save trigger is set but no checkpoint directory is configured");
+  }
+  if (!checkpoint.resume_from.empty() && checkpoint.resume_latest) {
+    add("checkpoint.resume_from",
+        "resume_from and resume_latest are mutually exclusive");
+  }
+
+  return issues;
+}
+
+SimulationConfig SimulationConfig::Builder::Build() const {
+  std::vector<ConfigIssue> issues = config_.Validate();
+  if (!issues.empty()) throw ConfigValidationError(std::move(issues));
+  return config_;
+}
 
 std::uint64_t SimulationConfigHash(const SimulationConfig& config,
                                    const workload::Workload& jobs) {
@@ -1056,9 +1222,12 @@ std::uint64_t SimulationConfigHash(const SimulationConfig& config,
   h = MixStr(h, config.policy);
   h = FnvMix(h, static_cast<std::uint64_t>(config.track_bandwidth));
   h = FnvMix(h, static_cast<std::uint64_t>(config.enforce_walltime));
-  // Burst buffer.
+  // Burst buffer. The congestion watermark is deliberately excluded: it
+  // only shapes observability output, never the schedule.
   h = FnvMix(h, config.burst_buffer.capacity_gb);
   h = FnvMix(h, config.burst_buffer.drain_gbps);
+  h = FnvMix(h, config.burst_buffer.absorb_gbps);
+  h = FnvMix(h, config.burst_buffer.per_job_quota_gb);
   // Faults: generation parameters and the explicit plan both pin the
   // schedule.
   const faults::FaultPlanConfig& fp = config.faults.plan_config;
@@ -1097,6 +1266,8 @@ std::uint64_t SimulationConfigHash(const SimulationConfig& config,
 SimulationResult RunSimulation(const SimulationConfig& config,
                                const workload::Workload& jobs,
                                EventLog* event_log, obs::Hub* hub) {
+  std::vector<ConfigIssue> issues = config.Validate();
+  if (!issues.empty()) throw ConfigValidationError(std::move(issues));
   Engine engine(config, jobs, event_log, hub);
   const ckpt::Options& opt = config.checkpoint;
   std::string resume_path = opt.resume_from;

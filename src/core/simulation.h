@@ -14,6 +14,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "ckpt/checkpoint.h"
 #include "core/event_log.h"
@@ -21,6 +22,7 @@
 #include "machine/machine.h"
 #include "metrics/bandwidth.h"
 #include "metrics/fault_stats.h"
+#include "storage/backend.h"
 #include "storage/burst_buffer.h"
 #include "metrics/job_record.h"
 #include "metrics/report.h"
@@ -56,6 +58,26 @@ class SimulationAborted : public std::runtime_error {
 
  private:
   std::string checkpoint_path_;
+};
+
+/// One problem found by SimulationConfig::Validate — a dotted field path
+/// plus a human-readable description of what is wrong with it.
+struct ConfigIssue {
+  std::string field;
+  std::string message;
+};
+
+/// Thrown by RunSimulation (and SimulationConfig::Builder::Build) when a
+/// config fails validation. Derives from std::invalid_argument so existing
+/// "bad config throws invalid_argument" call sites keep working; carries
+/// every issue found, not just the first.
+class ConfigValidationError : public std::invalid_argument {
+ public:
+  explicit ConfigValidationError(std::vector<ConfigIssue> issues);
+  const std::vector<ConfigIssue>& issues() const { return issues_; }
+
+ private:
+  std::vector<ConfigIssue> issues_;
 };
 
 struct SimulationConfig {
@@ -97,6 +119,82 @@ struct SimulationConfig {
   ckpt::Options checkpoint;
   /// Optional watchdog handle (see RunControl); null disables polling.
   RunControl* control = nullptr;
+
+  /// Check every field and return the full list of problems (empty = valid).
+  /// RunSimulation calls this first and throws ConfigValidationError when
+  /// anything is wrong, so a bad config fails before any state is built.
+  std::vector<ConfigIssue> Validate() const;
+
+  class Builder;
+};
+
+/// Fluent construction with fail-fast validation: setters mirror the struct
+/// fields, and Build() returns the config after Validate() passes — or
+/// throws ConfigValidationError listing every issue. Start from scratch or
+/// from an existing config:
+///
+///   auto config = core::SimulationConfig::Builder()
+///                     .Machine(machine::MachineConfig::Small())
+///                     .StorageBandwidth(64.0)
+///                     .Policy("ADAPTIVE")
+///                     .BurstBuffer({.capacity_gb = 2000, .drain_gbps = 25})
+///                     .Build();
+class SimulationConfig::Builder {
+ public:
+  Builder() = default;
+  /// Seed the builder from an existing config (sweeps tweak one axis).
+  explicit Builder(SimulationConfig base) : config_(std::move(base)) {}
+
+  Builder& Machine(machine::MachineConfig machine) {
+    config_.machine = machine;
+    return *this;
+  }
+  Builder& StorageBandwidth(double bwmax_gbps) {
+    config_.storage.max_bandwidth_gbps = bwmax_gbps;
+    return *this;
+  }
+  Builder& Batch(sched::BatchScheduler::Options batch) {
+    config_.batch = std::move(batch);
+    return *this;
+  }
+  Builder& Policy(std::string name) {
+    config_.policy = std::move(name);
+    return *this;
+  }
+  Builder& WarmupCooldown(double warmup_fraction, double cooldown_fraction) {
+    config_.warmup_fraction = warmup_fraction;
+    config_.cooldown_fraction = cooldown_fraction;
+    return *this;
+  }
+  Builder& EnforceWalltime(bool on) {
+    config_.enforce_walltime = on;
+    return *this;
+  }
+  Builder& BurstBuffer(storage::BurstBufferConfig bb) {
+    config_.burst_buffer = bb;
+    return *this;
+  }
+  Builder& Faults(faults::FaultOptions faults) {
+    config_.faults = std::move(faults);
+    return *this;
+  }
+  Builder& Obs(obs::Options options) {
+    config_.obs = options;
+    return *this;
+  }
+  Builder& Checkpoint(ckpt::Options options) {
+    config_.checkpoint = std::move(options);
+    return *this;
+  }
+
+  /// Peek at the config without validating (for incremental assembly).
+  const SimulationConfig& Peek() const { return config_; }
+
+  /// Validate and return; throws ConfigValidationError on any issue.
+  SimulationConfig Build() const;
+
+ private:
+  SimulationConfig config_;
 };
 
 struct SimulationResult {
@@ -109,6 +207,13 @@ struct SimulationResult {
   /// Burst-buffer statistics (zero when the buffer is disabled).
   double bb_absorbed_gb = 0.0;
   std::uint64_t bb_absorbed_requests = 0;
+  /// Requests that did not fit the buffer and fell back to the direct path.
+  std::uint64_t bb_spilled_requests = 0;
+  /// Volume drained to the PFS (GB) and the deepest backlog seen (GB).
+  double bb_drained_gb = 0.0;
+  double bb_peak_queued_gb = 0.0;
+  /// Time-averaged occupancy fraction (0..1) over the run.
+  double bb_mean_occupancy = 0.0;
   /// Fault accounting (empty when fault injection is disabled).
   metrics::FaultStats faults;
   /// Engine statistics.

@@ -49,6 +49,12 @@ Scenario ScenarioFromConfig(const util::Config& config) {
       config.GetDoubleOr("burst_buffer.capacity_gb", 0.0);
   scenario.config.burst_buffer.drain_gbps =
       config.GetDoubleOr("burst_buffer.drain_gbps", 0.0);
+  scenario.config.burst_buffer.absorb_gbps =
+      config.GetDoubleOr("burst_buffer.absorb_gbps", 0.0);
+  scenario.config.burst_buffer.per_job_quota_gb =
+      config.GetDoubleOr("burst_buffer.per_job_quota_gb", 0.0);
+  scenario.config.burst_buffer.congestion_watermark =
+      config.GetDoubleOr("burst_buffer.congestion_watermark", 0.9);
 
   // Batch scheduler.
   scenario.config.batch.order =

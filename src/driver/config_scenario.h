@@ -20,7 +20,10 @@
 //
 //   [burst_buffer]
 //   capacity_gb = <double>           (0 = disabled)
-//   drain_gbps = <double>            (0)
+//   drain_gbps = <double>            (0)     # PFS bandwidth reserved to drain
+//   absorb_gbps = <double>           (0 = absorb at the job's link rate)
+//   per_job_quota_gb = <double>      (0 = no per-job staging cap)
+//   congestion_watermark = <double>  (0.9)   # occupancy fraction -> congested
 //
 //   [simulation]
 //   enforce_walltime = <bool>        (false)

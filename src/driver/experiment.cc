@@ -6,14 +6,14 @@
 #include <stdexcept>
 
 #include "core/simulation.h"
+#include "driver/sweep.h"
 #include "obs/hub.h"
 #include "util/csv.h"
 #include "util/units.h"
 
 namespace iosched::driver {
 
-namespace {
-PolicyRun RunOne(const Scenario& scenario, const std::string& policy) {
+PolicyRun RunSingle(const Scenario& scenario, const std::string& policy) {
   core::SimulationConfig config = scenario.config;
   config.policy = policy;
   std::optional<obs::Hub> hub;
@@ -30,6 +30,12 @@ PolicyRun RunOne(const Scenario& scenario, const std::string& policy) {
   run.events_processed = result.events_processed;
   run.io_cycles = result.io_scheduling_cycles;
   run.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  run.bb_capacity_gb = config.burst_buffer.capacity_gb;
+  run.bb_absorbed_gb = result.bb_absorbed_gb;
+  run.bb_absorbed_requests = result.bb_absorbed_requests;
+  run.bb_spilled_requests = result.bb_spilled_requests;
+  run.bb_peak_queued_gb = result.bb_peak_queued_gb;
+  run.bb_mean_occupancy = result.bb_mean_occupancy;
   if (hub) {
     std::ostringstream os;
     hub->registry().WriteText(os);
@@ -37,44 +43,27 @@ PolicyRun RunOne(const Scenario& scenario, const std::string& policy) {
   }
   return run;
 }
-}  // namespace
 
 std::vector<PolicyRun> RunPolicySweep(const Scenario& scenario,
                                       std::span<const std::string> policies,
                                       util::ThreadPool* pool) {
-  std::vector<PolicyRun> runs(policies.size());
-  if (pool != nullptr && policies.size() > 1) {
-    pool->ParallelFor(policies.size(), [&](std::size_t i) {
-      runs[i] = RunOne(scenario, policies[i]);
-    });
-  } else {
-    for (std::size_t i = 0; i < policies.size(); ++i) {
-      runs[i] = RunOne(scenario, policies[i]);
-    }
-  }
-  return runs;
+  SweepSpec spec;
+  spec.scenario = &scenario;
+  spec.policies.assign(policies.begin(), policies.end());
+  spec.pool = pool;
+  return RunSweep(spec).runs;
 }
 
 std::vector<PolicyRun> RunExpansionSweep(
     const Scenario& scenario, std::span<const double> expansion_factors,
     std::span<const std::string> policies, util::ThreadPool* pool) {
-  std::vector<Scenario> scaled;
-  scaled.reserve(expansion_factors.size());
-  for (double factor : expansion_factors) {
-    scaled.push_back(WithExpansionFactor(scenario, factor));
-  }
-  std::vector<PolicyRun> runs(expansion_factors.size() * policies.size());
-  auto run_cell = [&](std::size_t cell) {
-    std::size_t f = cell / policies.size();
-    std::size_t p = cell % policies.size();
-    runs[cell] = RunOne(scaled[f], policies[p]);
-  };
-  if (pool != nullptr && runs.size() > 1) {
-    pool->ParallelFor(runs.size(), run_cell);
-  } else {
-    for (std::size_t cell = 0; cell < runs.size(); ++cell) run_cell(cell);
-  }
-  return runs;
+  SweepSpec spec;
+  spec.scenario = &scenario;
+  spec.policies.assign(policies.begin(), policies.end());
+  spec.expansion_factors.assign(expansion_factors.begin(),
+                                expansion_factors.end());
+  spec.pool = pool;
+  return RunSweep(spec).runs;
 }
 
 namespace {
@@ -149,7 +138,9 @@ std::string RunsToCsv(std::span<const PolicyRun> runs) {
   csv.Header({"scenario", "policy", "jobs", "avg_wait_min",
               "avg_response_min", "utilization", "p90_wait_min",
               "avg_expansion", "avg_io_slowdown", "events", "io_cycles",
-              "wall_seconds"});
+              "wall_seconds", "bb_capacity_gb", "bb_absorbed_gb",
+              "bb_absorbed_requests", "bb_spilled_requests",
+              "bb_peak_queued_gb", "bb_mean_occupancy"});
   for (const PolicyRun& run : runs) {
     csv.Row()
         .Add(run.scenario)
@@ -163,7 +154,13 @@ std::string RunsToCsv(std::span<const PolicyRun> runs) {
         .Add(run.report.avg_io_slowdown)
         .Add(static_cast<unsigned long long>(run.events_processed))
         .Add(static_cast<unsigned long long>(run.io_cycles))
-        .Add(run.wall_seconds);
+        .Add(run.wall_seconds)
+        .Add(run.bb_capacity_gb)
+        .Add(run.bb_absorbed_gb)
+        .Add(static_cast<unsigned long long>(run.bb_absorbed_requests))
+        .Add(static_cast<unsigned long long>(run.bb_spilled_requests))
+        .Add(run.bb_peak_queued_gb)
+        .Add(run.bb_mean_occupancy);
   }
   return os.str();
 }

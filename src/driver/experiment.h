@@ -20,21 +20,39 @@ struct PolicyRun {
   std::uint64_t events_processed = 0;
   std::uint64_t io_cycles = 0;
   double wall_seconds = 0.0;  // host time spent simulating
+  /// Burst-buffer tier statistics (all zero when the run had no buffer).
+  /// bb_capacity_gb echoes the configured capacity so CSV rows are
+  /// self-describing in capacity sweeps.
+  double bb_capacity_gb = 0.0;
+  double bb_absorbed_gb = 0.0;
+  std::uint64_t bb_absorbed_requests = 0;
+  std::uint64_t bb_spilled_requests = 0;
+  double bb_peak_queued_gb = 0.0;
+  /// Time-averaged occupancy fraction (0..1).
+  double bb_mean_occupancy = 0.0;
   /// Counter dump (obs::Registry::WriteText) when the scenario enables
   /// observability; empty otherwise. Each run gets its own Hub, so sweeps
   /// stay parallel-safe.
   std::string obs_stats;
 };
 
-/// Run one scenario under each policy. When `pool` is non-null the runs
-/// execute concurrently (each simulation stays single-threaded and
-/// deterministic). Results are returned in `policies` order.
+/// Run one (scenario, policy) cell and package the result as a PolicyRun.
+/// This is the single execution path every sweep entrypoint funnels
+/// through; it honors the scenario's obs settings with a run-private Hub.
+PolicyRun RunSingle(const Scenario& scenario, const std::string& policy);
+
+/// DEPRECATED: thin wrapper over driver::RunSweep (see driver/sweep.h),
+/// kept for source compatibility. Run one scenario under each policy. When
+/// `pool` is non-null the runs execute concurrently (each simulation stays
+/// single-threaded and deterministic). Results follow `policies` order.
 std::vector<PolicyRun> RunPolicySweep(const Scenario& scenario,
                                       std::span<const std::string> policies,
                                       util::ThreadPool* pool = nullptr);
 
-/// Expansion-factor sweep (paper Fig. 11): run `scenario` at each EF under
-/// each policy. Result is row-major: result[f * policies.size() + p].
+/// DEPRECATED: thin wrapper over driver::RunSweep (see driver/sweep.h),
+/// kept for source compatibility. Expansion-factor sweep (paper Fig. 11):
+/// run `scenario` at each EF under each policy. Result is row-major:
+/// result[f * policies.size() + p].
 std::vector<PolicyRun> RunExpansionSweep(
     const Scenario& scenario, std::span<const double> expansion_factors,
     std::span<const std::string> policies, util::ThreadPool* pool = nullptr);

@@ -10,6 +10,7 @@
 
 #include "ckpt/checkpoint.h"
 #include "ckpt/serializer.h"
+#include "driver/sweep.h"
 #include "driver/watchdog.h"
 #include "metrics/digest.h"
 #include "obs/hub.h"
@@ -114,6 +115,11 @@ bool ResumableRunner::LoadOutcome(const SweepCell& cell,
     loaded.record_digest = r.U64();
     loaded.events_processed = r.U64();
     loaded.io_cycles = r.U64();
+    loaded.bb_absorbed_gb = r.F64();
+    loaded.bb_absorbed_requests = r.U64();
+    loaded.bb_spilled_requests = r.U64();
+    loaded.bb_peak_queued_gb = r.F64();
+    loaded.bb_mean_occupancy = r.F64();
     loaded.report = ReadReport(r);
     r.ExpectEnd();
     loaded.reused = true;
@@ -137,6 +143,11 @@ void ResumableRunner::StoreOutcome(const CellOutcome& outcome,
   w.U64(outcome.record_digest);
   w.U64(outcome.events_processed);
   w.U64(outcome.io_cycles);
+  w.F64(outcome.bb_absorbed_gb);
+  w.U64(outcome.bb_absorbed_requests);
+  w.U64(outcome.bb_spilled_requests);
+  w.F64(outcome.bb_peak_queued_gb);
+  w.F64(outcome.bb_mean_occupancy);
   WriteReport(w, outcome.report);
   file.AddSection("outcome", w.TakeBuffer());
   file.WriteAtomic(cell_dir + "/" + kOutcomeFileName);
@@ -218,6 +229,11 @@ CellOutcome ResumableRunner::Run(const SweepCell& cell) {
   outcome.record_digest = metrics::DigestRecords(result.records);
   outcome.events_processed = result.events_processed;
   outcome.io_cycles = result.io_scheduling_cycles;
+  outcome.bb_absorbed_gb = result.bb_absorbed_gb;
+  outcome.bb_absorbed_requests = result.bb_absorbed_requests;
+  outcome.bb_spilled_requests = result.bb_spilled_requests;
+  outcome.bb_peak_queued_gb = result.bb_peak_queued_gb;
+  outcome.bb_mean_occupancy = result.bb_mean_occupancy;
   outcome.reused = false;
   outcome.resumed = !result.resumed_from.empty();
   outcome.resumed_from = result.resumed_from;
@@ -231,30 +247,11 @@ CellOutcome ResumableRunner::Run(const SweepCell& cell) {
 std::vector<PolicyRun> RunResumablePolicySweep(
     const Scenario& scenario, std::span<const std::string> policies,
     const ResumableRunner::Options& options) {
-  ResumableRunner runner(options);
-  std::vector<PolicyRun> runs;
-  runs.reserve(policies.size());
-  for (const std::string& policy : policies) {
-    SweepCell cell;
-    cell.name = scenario.name + "/" + policy;
-    cell.config = scenario.config;
-    cell.config.policy = policy;
-    cell.jobs = &scenario.jobs;
-    auto t0 = std::chrono::steady_clock::now();
-    CellOutcome outcome = runner.Run(cell);
-    auto t1 = std::chrono::steady_clock::now();
-    PolicyRun run;
-    run.policy = outcome.policy_name;
-    run.scenario = scenario.name;
-    run.report = outcome.report;
-    run.events_processed = outcome.events_processed;
-    run.io_cycles = outcome.io_cycles;
-    run.wall_seconds =
-        outcome.reused ? 0.0
-                       : std::chrono::duration<double>(t1 - t0).count();
-    runs.push_back(std::move(run));
-  }
-  return runs;
+  SweepSpec spec;
+  spec.scenario = &scenario;
+  spec.policies.assign(policies.begin(), policies.end());
+  spec.resumable = options;
+  return RunSweep(spec).runs;
 }
 
 }  // namespace iosched::driver

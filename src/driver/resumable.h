@@ -50,6 +50,14 @@ struct CellOutcome {
   std::uint64_t record_digest = 0;
   std::uint64_t events_processed = 0;
   std::uint64_t io_cycles = 0;
+  /// Burst-buffer statistics (zero when the cell ran without a buffer).
+  /// Outcome files written before these fields existed fail to parse and
+  /// simply rerun, so the format extension is backward-safe.
+  double bb_absorbed_gb = 0.0;
+  std::uint64_t bb_absorbed_requests = 0;
+  std::uint64_t bb_spilled_requests = 0;
+  double bb_peak_queued_gb = 0.0;
+  double bb_mean_occupancy = 0.0;
   /// True when the outcome was loaded from a previous sweep's result file
   /// (the simulation did not run again).
   bool reused = false;
@@ -101,10 +109,12 @@ class ResumableRunner {
   Options options_;
 };
 
-/// Convenience wrapper: the resumable equivalent of RunPolicySweep. Cells
-/// are named "<scenario>/<policy>" and executed sequentially (each cell is
-/// watchdog-protected and checkpointed per `options`). Results follow
-/// `policies` order; reused cells carry wall_seconds == 0.
+/// DEPRECATED: thin wrapper over driver::RunSweep (see driver/sweep.h),
+/// kept for source compatibility. The resumable equivalent of
+/// RunPolicySweep: cells are named "<scenario>/<policy>" and executed
+/// sequentially (each cell is watchdog-protected and checkpointed per
+/// `options`). Results follow `policies` order; reused cells carry
+/// wall_seconds == 0.
 std::vector<PolicyRun> RunResumablePolicySweep(
     const Scenario& scenario, std::span<const std::string> policies,
     const ResumableRunner::Options& options);

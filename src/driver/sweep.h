@@ -1,0 +1,101 @@
+// Unified sweep API: one declarative SweepSpec covers everything the older
+// entrypoints (RunPolicySweep, RunExpansionSweep, RunResumablePolicySweep)
+// did separately, plus the burst-buffer capacity axis — policies ×
+// expansion factors × BB capacities, optionally parallel and optionally
+// crash-safe. The older functions survive as thin wrappers and should not
+// gain new callers.
+//
+//   driver::SweepSpec spec;
+//   spec.scenario = &scenario;
+//   spec.policies = {"BASE_LINE", "ADAPTIVE"};
+//   spec.bb_capacities_gb = {0, 1000, 4000, 16000};
+//   spec.bb_drain_gbps = 25.0;
+//   driver::SweepResult result = driver::RunSweep(spec);
+//   std::puts(driver::BbCapacityTable(result).ToString().c_str());
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/simulation.h"
+#include "driver/experiment.h"
+#include "driver/resumable.h"
+#include "driver/scenario.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace iosched::driver {
+
+/// Declarative description of a sweep. Unset axes collapse to a single
+/// implicit variant that leaves the scenario untouched, so the smallest
+/// spec (scenario + one policy) is exactly one simulation.
+struct SweepSpec {
+  /// Base scenario; must outlive RunSweep. Required.
+  const Scenario* scenario = nullptr;
+  /// I/O policies to run (see core::AllPolicyNames()). Required, non-empty.
+  std::vector<std::string> policies;
+  /// Expansion-factor axis (paper Fig. 11). Empty = run the scenario's own
+  /// workload; non-empty = each factor gets a "<name>/EF=<f>%" variant
+  /// (including 1.0, which is renamed too, matching RunExpansionSweep).
+  std::vector<double> expansion_factors;
+  /// Burst-buffer capacity axis (GB). Empty = keep the scenario's own
+  /// burst-buffer config; non-empty = each entry gets a "<name>/BB=..."
+  /// variant where 0 disables the tier and a positive capacity enables it
+  /// with `bb_drain_gbps` (and the optional knobs below).
+  std::vector<double> bb_capacities_gb;
+  /// PFS drain rate reserved by the enabled BB variants (GB/s). Must be
+  /// positive and below the scenario's storage BWmax when any capacity in
+  /// `bb_capacities_gb` is positive.
+  double bb_drain_gbps = 0.0;
+  /// Optional BB knobs applied to the enabled variants (see
+  /// storage::BurstBufferConfig for semantics).
+  double bb_absorb_gbps = 0.0;
+  double bb_per_job_quota_gb = 0.0;
+  double bb_congestion_watermark = 0.9;
+  /// When non-null, cells run concurrently (ignored for resumable sweeps,
+  /// which are sequential by design).
+  util::ThreadPool* pool = nullptr;
+  /// When set, every cell runs through a ResumableRunner rooted here:
+  /// finished cells are skipped on re-invocation and interrupted cells
+  /// resume from their checkpoints. Cell names are
+  /// "<variant scenario name>/<policy>".
+  std::optional<ResumableRunner::Options> resumable;
+
+  /// Full list of problems with this spec (empty = valid). RunSweep calls
+  /// this and throws core::ConfigValidationError when anything is wrong.
+  std::vector<core::ConfigIssue> Validate() const;
+};
+
+/// Sweep output: the runs plus the axes that shaped them, so tables and
+/// CSV emitters need no side-band bookkeeping. `runs` is row-major
+/// [expansion factor][BB capacity][policy]; collapsed axes have exactly
+/// one entry (factor 1.0 / the scenario's own capacity).
+struct SweepResult {
+  std::vector<std::string> policies;
+  std::vector<double> expansion_factors;
+  std::vector<double> bb_capacities_gb;
+  std::vector<PolicyRun> runs;
+
+  std::size_t ef_count() const { return expansion_factors.size(); }
+  std::size_t bb_count() const { return bb_capacities_gb.size(); }
+  std::size_t policy_count() const { return policies.size(); }
+
+  /// Bounds-checked row-major access (throws std::out_of_range).
+  const PolicyRun& At(std::size_t ef, std::size_t bb,
+                      std::size_t policy) const;
+};
+
+/// Run every cell of `spec`. Throws core::ConfigValidationError on an
+/// invalid spec; individual cells propagate the usual RunSimulation /
+/// ResumableRunner exceptions.
+SweepResult RunSweep(const SweepSpec& spec);
+
+/// Burst-buffer capacity sensitivity table: rows = capacities ("off" for
+/// 0), columns = policies, cells = average wait time in minutes with the
+/// absorbed-request share in parentheses. Uses the first expansion-factor
+/// slice.
+util::Table BbCapacityTable(const SweepResult& result);
+
+}  // namespace iosched::driver

@@ -18,6 +18,9 @@ Hub::Hub(const Options& options)
   knapsack_invocations = registry_.AddCounter("core.knapsack_invocations");
   waterfill_iterations =
       registry_.AddCounter("storage.waterfill_iterations");
+  bb_absorbed_requests = registry_.AddCounter("storage.bb_absorbed_requests");
+  bb_spilled_requests = registry_.AddCounter("storage.bb_spilled_requests");
+  bb_congested_cycles = registry_.AddCounter("storage.bb_congested_cycles");
   sched_passes = registry_.AddCounter("sched.passes");
   backfill_starts = registry_.AddCounter("sched.backfill_starts");
   jobs_submitted = registry_.AddCounter("sched.jobs_submitted");

@@ -64,6 +64,15 @@ class Hub {
   /// storage.waterfill_iterations — water-filling sorted-pass steps
   /// (ADAPTIVE fair share and FairShareRates).
   Counter* waterfill_iterations = nullptr;
+  /// storage.bb_absorbed_requests — I/O requests absorbed by the
+  /// burst-buffer tier (bypassing the policy-managed PFS path).
+  Counter* bb_absorbed_requests = nullptr;
+  /// storage.bb_spilled_requests — requests that did not fit the buffer
+  /// (capacity or per-job quota) and fell back to the direct path.
+  Counter* bb_spilled_requests = nullptr;
+  /// storage.bb_congested_cycles — scheduling cycles with BB occupancy
+  /// above the configured watermark.
+  Counter* bb_congested_cycles = nullptr;
   /// sched.passes — batch-scheduler Schedule() invocations.
   Counter* sched_passes = nullptr;
   /// sched.backfill_starts — jobs started by EASY backfill (behind a

@@ -33,7 +33,7 @@ void TimeSeriesSampler::WriteCsv(std::ostream& out) const {
   util::CsvWriter csv(out);
   csv.Header({"time", "demand_gbps", "granted_gbps", "active_requests",
               "suspended_requests", "busy_nodes", "utilization",
-              "queue_depth", "running_jobs"});
+              "queue_depth", "running_jobs", "bb_queued_gb"});
   for (const SamplePoint& p : samples_) {
     csv.Row()
         .Add(p.time)
@@ -44,7 +44,8 @@ void TimeSeriesSampler::WriteCsv(std::ostream& out) const {
         .Add(p.busy_nodes)
         .Add(p.utilization)
         .Add(static_cast<long long>(p.queue_depth))
-        .Add(static_cast<long long>(p.running_jobs));
+        .Add(static_cast<long long>(p.running_jobs))
+        .Add(p.bb_queued_gb);
   }
 }
 

@@ -27,6 +27,9 @@ struct SamplePoint {
   double utilization = 0.0;
   std::size_t queue_depth = 0;
   std::size_t running_jobs = 0;
+  /// Burst-buffer drain backlog at the sample instant (GB; 0 when the tier
+  /// is disabled).
+  double bb_queued_gb = 0.0;
 };
 
 class TimeSeriesSampler {
@@ -47,7 +50,7 @@ class TimeSeriesSampler {
 
   /// CSV with header:
   ///   time,demand_gbps,granted_gbps,active_requests,suspended_requests,
-  ///   busy_nodes,utilization,queue_depth,running_jobs
+  ///   busy_nodes,utilization,queue_depth,running_jobs,bb_queued_gb
   void WriteCsv(std::ostream& out) const;
 
  private:

@@ -13,6 +13,14 @@ BurstBuffer::BurstBuffer(BurstBufferConfig config) : config_(config) {
         "BurstBuffer: construct only with an enabled config (capacity and "
         "drain bandwidth both positive)");
   }
+  if (config_.absorb_gbps < 0 || config_.per_job_quota_gb < 0) {
+    throw std::invalid_argument(
+        "BurstBuffer: absorb_gbps and per_job_quota_gb must be >= 0");
+  }
+  if (config_.congestion_watermark <= 0 || config_.congestion_watermark > 1) {
+    throw std::invalid_argument(
+        "BurstBuffer: congestion_watermark must be in (0, 1]");
+  }
 }
 
 void BurstBuffer::AdvanceTo(sim::SimTime now) {
@@ -20,31 +28,136 @@ void BurstBuffer::AdvanceTo(sim::SimTime now) {
     throw std::logic_error("BurstBuffer: time went backwards");
   }
   double dt = std::max(0.0, now - last_update_);
-  queued_gb_ = std::max(0.0, queued_gb_ - config_.drain_gbps * dt);
+  if (dt > 0 && queued_gb_ > 0) {
+    double drained = std::min(queued_gb_, config_.drain_gbps * dt);
+    // Occupancy shrinks linearly until the queue empties, then stays zero:
+    // the exact integral over [last_update_, now] is q0*td - d*td^2/2 with
+    // td the draining portion of dt.
+    double td = drained / config_.drain_gbps;
+    occupancy_integral_gbs_ +=
+        queued_gb_ * td - 0.5 * config_.drain_gbps * td * td;
+    ConsumeFifo(drained);
+    total_drained_gb_ += drained;
+    queued_gb_ -= drained;
+  }
   // Snap small remainders to empty (1 MB is physically nothing): without
   // this the drain-empty wakeup can land at a future instant that double
   // rounding maps back to `now`, re-arming the same event forever.
-  if (queued_gb_ <= 1e-3) queued_gb_ = 0.0;
+  if (queued_gb_ <= 1e-3) {
+    total_drained_gb_ += queued_gb_;
+    queued_gb_ = 0.0;
+    fifo_.clear();
+    usage_.clear();
+  }
   last_update_ = std::max(last_update_, now);
 }
 
-bool BurstBuffer::CanAbsorb(double volume_gb) const {
-  return volume_gb > 0 && queued_gb_ + volume_gb <=
-                              config_.capacity_gb + util::kVolumeEpsilon;
+void BurstBuffer::ConsumeFifo(double drained_gb) {
+  while (drained_gb > 0 && !fifo_.empty()) {
+    Segment& front = fifo_.front();
+    double take = std::min(front.remaining_gb, drained_gb);
+    front.remaining_gb -= take;
+    drained_gb -= take;
+    auto it = usage_.find(front.job_id);
+    if (it != usage_.end()) {
+      it->second.gb = std::max(0.0, it->second.gb - take);
+      if (front.remaining_gb <= 0.0) {
+        if (it->second.segments > 0) --it->second.segments;
+        if (it->second.segments == 0) usage_.erase(it);
+      }
+    }
+    if (front.remaining_gb <= 0.0) fifo_.pop_front();
+  }
 }
 
-void BurstBuffer::Absorb(double volume_gb) {
-  if (!CanAbsorb(volume_gb)) {
+bool BurstBuffer::CanAbsorb(workload::JobId job, double volume_gb) const {
+  if (volume_gb <= 0) return false;
+  if (queued_gb_ + volume_gb > config_.capacity_gb + util::kVolumeEpsilon) {
+    return false;
+  }
+  if (config_.per_job_quota_gb > 0 &&
+      JobUsageGb(job) + volume_gb >
+          config_.per_job_quota_gb + util::kVolumeEpsilon) {
+    return false;
+  }
+  return true;
+}
+
+void BurstBuffer::Absorb(workload::JobId job, double volume_gb) {
+  if (!CanAbsorb(job, volume_gb)) {
     throw std::logic_error("BurstBuffer: Absorb without capacity");
   }
   queued_gb_ += volume_gb;
   total_absorbed_gb_ += volume_gb;
+  peak_queued_gb_ = std::max(peak_queued_gb_, queued_gb_);
   ++absorbed_requests_;
+  fifo_.push_back(Segment{job, volume_gb});
+  JobUsage& usage = usage_[job];
+  usage.gb += volume_gb;
+  ++usage.segments;
+}
+
+double BurstBuffer::JobUsageGb(workload::JobId job) const {
+  auto it = usage_.find(job);
+  return it == usage_.end() ? 0.0 : it->second.gb;
 }
 
 sim::SimTime BurstBuffer::DrainEmptyTime() const {
   if (queued_gb_ <= 0) return last_update_;
   return last_update_ + queued_gb_ / config_.drain_gbps;
+}
+
+void BurstBuffer::SaveState(ckpt::Writer& w) const {
+  w.F64(queued_gb_);
+  w.F64(total_absorbed_gb_);
+  w.U64(absorbed_requests_);
+  w.F64(last_update_);
+  w.F64(total_drained_gb_);
+  w.F64(peak_queued_gb_);
+  w.F64(occupancy_integral_gbs_);
+  w.U64(spilled_requests_);
+  // The FIFO is serialized verbatim (front first) and the per-job usage by
+  // ascending id, so restore is a structural copy — required for bit-exact
+  // resume equivalence.
+  w.U32(static_cast<std::uint32_t>(fifo_.size()));
+  for (const Segment& s : fifo_) {
+    w.I64(s.job_id);
+    w.F64(s.remaining_gb);
+  }
+  w.U32(static_cast<std::uint32_t>(usage_.size()));
+  for (const auto& [job, usage] : usage_) {
+    w.I64(job);
+    w.F64(usage.gb);
+    w.U32(usage.segments);
+  }
+}
+
+void BurstBuffer::RestoreState(ckpt::Reader& r) {
+  fifo_.clear();
+  usage_.clear();
+  queued_gb_ = r.F64();
+  total_absorbed_gb_ = r.F64();
+  absorbed_requests_ = static_cast<std::size_t>(r.U64());
+  last_update_ = r.F64();
+  total_drained_gb_ = r.F64();
+  peak_queued_gb_ = r.F64();
+  occupancy_integral_gbs_ = r.F64();
+  spilled_requests_ = static_cast<std::size_t>(r.U64());
+  std::uint32_t segments = r.U32();
+  for (std::uint32_t i = 0; i < segments; ++i) {
+    Segment s;
+    s.job_id = r.I64();
+    s.remaining_gb = r.F64();
+    fifo_.push_back(s);
+  }
+  std::uint32_t jobs = r.U32();
+  for (std::uint32_t i = 0; i < jobs; ++i) {
+    workload::JobId job = r.I64();
+    JobUsage usage;
+    usage.gb = r.F64();
+    usage.segments = r.U32();
+    usage_.emplace(job, usage);
+  }
 }
 
 }  // namespace iosched::storage

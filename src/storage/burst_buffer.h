@@ -1,18 +1,27 @@
 // Burst-buffer tier (the architectural alternative the paper's related work
 // discusses: absorb bursty checkpoint I/O near the compute nodes and drain
-// it to the parallel file system in the background — Liu et al., MSST'12).
+// it to the parallel file system in the background — Liu et al., MSST'12;
+// Kopanski & Rzadca's shared-burst-buffer scheduling, arXiv:2109.00082).
 //
-// Model: an I/O request whose volume fits in the buffer's free space is
-// absorbed at the job's full link rate (no storage-side contention) and its
-// volume is queued for draining. The drain runs whenever data is queued,
+// Model: an I/O request whose volume fits in the buffer's free space (and in
+// the job's per-job quota, when one is configured) is absorbed at the
+// absorb-tier bandwidth (the job's link rate, optionally capped by
+// `absorb_gbps`) and its volume is queued for draining. The drain is
+// strictly FIFO over per-job segments and runs whenever data is queued,
 // consuming a fixed bandwidth reservation *out of BWmax* — so heavy
 // absorption shrinks the bandwidth the I/O policy can grant to direct
-// (non-absorbed) traffic. Requests that do not fit go the direct path and
-// are scheduled by the policy as usual.
+// (non-absorbed) traffic; this is the drain backlog the tier-aware policies
+// see. Requests that do not fit go the direct path and are scheduled by the
+// policy as usual (recorded here as spills).
 #pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
 
 #include "ckpt/serializer.h"
 #include "sim/time.h"
+#include "workload/job.h"
 
 namespace iosched::storage {
 
@@ -21,6 +30,14 @@ struct BurstBufferConfig {
   double capacity_gb = 0.0;
   /// Bandwidth reserved from BWmax while draining (GB/s).
   double drain_gbps = 0.0;
+  /// Absorb-tier bandwidth cap (GB/s). Requests are absorbed at
+  /// min(job link rate, absorb_gbps); 0 means "link rate" (uncapped).
+  double absorb_gbps = 0.0;
+  /// Largest simultaneous staging footprint per job (GB). 0 = uncapped.
+  double per_job_quota_gb = 0.0;
+  /// Occupancy fraction above which the tier reports congestion (used for
+  /// obs episode spans and the ADAPTIVE backlog deferral).
+  double congestion_watermark = 0.9;
 
   bool enabled() const { return capacity_gb > 0 && drain_gbps > 0; }
 };
@@ -31,18 +48,41 @@ class BurstBuffer {
 
   const BurstBufferConfig& config() const { return config_; }
 
-  /// Advance the drain to `now` (piecewise-constant drain rate).
+  /// Advance the drain to `now` (piecewise-constant drain rate, FIFO over
+  /// the absorbed segments).
   void AdvanceTo(sim::SimTime now);
 
-  /// True when `volume_gb` fits in the free space right now.
-  bool CanAbsorb(double volume_gb) const;
+  /// True when `volume_gb` fits in the free space — and in `job`'s quota,
+  /// when one is configured — right now.
+  bool CanAbsorb(workload::JobId job, double volume_gb) const;
 
-  /// Stage `volume_gb`; requires CanAbsorb. Callers AdvanceTo(now) first.
-  void Absorb(double volume_gb);
+  /// Stage `volume_gb` for `job`; requires CanAbsorb. Callers AdvanceTo(now)
+  /// first.
+  void Absorb(workload::JobId job, double volume_gb);
 
-  /// Currently staged data awaiting drain (GB).
+  /// Record a request that did not fit and fell back to the direct path.
+  void RecordSpill() { ++spilled_requests_; }
+
+  /// Rate at which the absorb tier ingests `full_rate_gbps` worth of
+  /// link-level demand (GB/s).
+  double AbsorbRate(double full_rate_gbps) const {
+    return config_.absorb_gbps > 0
+               ? (full_rate_gbps < config_.absorb_gbps ? full_rate_gbps
+                                                       : config_.absorb_gbps)
+               : full_rate_gbps;
+  }
+
+  /// Currently staged data awaiting drain (GB) — the drain backlog.
   double queued_gb() const { return queued_gb_; }
   double free_gb() const { return config_.capacity_gb - queued_gb_; }
+  /// Data staged for one job right now (GB).
+  double JobUsageGb(workload::JobId job) const;
+
+  /// Occupancy above the configured watermark: the BB-tier congestion
+  /// signal.
+  bool Congested() const {
+    return queued_gb_ >= config_.congestion_watermark * config_.capacity_gb;
+  }
 
   /// Bandwidth the drain is consuming right now (GB/s).
   double CurrentDrainRate() const {
@@ -55,27 +95,42 @@ class BurstBuffer {
 
   /// Lifetime counters (for reports).
   double total_absorbed_gb() const { return total_absorbed_gb_; }
+  double total_drained_gb() const { return total_drained_gb_; }
+  double peak_queued_gb() const { return peak_queued_gb_; }
   std::size_t absorbed_requests() const { return absorbed_requests_; }
+  std::size_t spilled_requests() const { return spilled_requests_; }
+  /// Time integral of queued_gb (GB*s): mean occupancy over a run is
+  /// integral / (capacity * elapsed).
+  double occupancy_integral_gbs() const { return occupancy_integral_gbs_; }
 
   /// Serialize queue/lifetime state (config comes from the run config).
-  void SaveState(ckpt::Writer& w) const {
-    w.F64(queued_gb_);
-    w.F64(total_absorbed_gb_);
-    w.U64(absorbed_requests_);
-    w.F64(last_update_);
-  }
-  void RestoreState(ckpt::Reader& r) {
-    queued_gb_ = r.F64();
-    total_absorbed_gb_ = r.F64();
-    absorbed_requests_ = static_cast<std::size_t>(r.U64());
-    last_update_ = r.F64();
-  }
+  void SaveState(ckpt::Writer& w) const;
+  void RestoreState(ckpt::Reader& r);
 
  private:
+  /// One absorbed request awaiting drain; drained strictly front-first.
+  struct Segment {
+    workload::JobId job_id = 0;
+    double remaining_gb = 0.0;
+  };
+  struct JobUsage {
+    double gb = 0.0;
+    std::uint32_t segments = 0;
+  };
+
+  void ConsumeFifo(double drained_gb);
+
   BurstBufferConfig config_;
   double queued_gb_ = 0.0;
   double total_absorbed_gb_ = 0.0;
+  double total_drained_gb_ = 0.0;
+  double peak_queued_gb_ = 0.0;
+  double occupancy_integral_gbs_ = 0.0;
   std::size_t absorbed_requests_ = 0;
+  std::size_t spilled_requests_ = 0;
+  std::deque<Segment> fifo_;
+  // std::map: deterministic iteration keeps SaveState byte-stable.
+  std::map<workload::JobId, JobUsage> usage_;
   sim::SimTime last_update_ = 0.0;
 };
 

@@ -192,6 +192,7 @@ void StorageModel::SetMaxBandwidth(double max_bandwidth_gbps,
   }
   AdvanceTo(now);
   config_.max_bandwidth_gbps = max_bandwidth_gbps;
+  if (bandwidth_listener_) bandwidth_listener_(max_bandwidth_gbps, now);
 }
 
 void StorageModel::SetRate(workload::JobId job, double rate_gbps) {

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -119,11 +120,20 @@ class StorageModel {
   /// repair). In-flight transfers are re-accrued up to `now` at their old
   /// rates first, so the change point attributes progress correctly. The
   /// granted rates are NOT rescaled here — after a shrink they may sum above
-  /// the new cap, so the caller must immediately run a scheduling cycle to
-  /// produce a feasible assignment before any further time passes (the
-  /// capacity validator only runs after such a cycle, so it cannot fire
-  /// spuriously across the transition). Throws on a non-positive cap.
+  /// the new cap — so after updating the cap this notifies the registered
+  /// bandwidth-change listener, which is expected to run a scheduling cycle
+  /// immediately and produce a feasible assignment before any further time
+  /// passes (the IoScheduler registers itself; without a listener the caller
+  /// must force a cycle by hand, as before). Throws on a non-positive cap.
   void SetMaxBandwidth(double max_bandwidth_gbps, sim::SimTime now);
+
+  /// Invoked by SetMaxBandwidth with (new BWmax, change time) right after
+  /// the cap is swapped. At most one listener; replace with nullptr to
+  /// detach. Never fired by RestoreState.
+  using BandwidthChangeListener = std::function<void(double, sim::SimTime)>;
+  void SetBandwidthChangeListener(BandwidthChangeListener listener) {
+    bandwidth_listener_ = std::move(listener);
+  }
 
   /// Set one transfer's granted rate (GB/s); clamped guards throw instead:
   /// negative or above full_rate (with tolerance) is an error. Callers must
@@ -186,6 +196,7 @@ class StorageModel {
   double total_demand_gbps_ = 0.0;
   long long total_nodes_ = 0;
   sim::SimTime last_update_ = 0.0;
+  BandwidthChangeListener bandwidth_listener_;
 };
 
 /// Water-filling (weighted max-min) bandwidth split: distribute

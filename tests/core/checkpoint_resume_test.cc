@@ -32,15 +32,19 @@ std::string TestDir(const std::string& leaf) {
 struct Case {
   const char* policy;
   bool faults;
+  bool burst_buffer = false;
 };
 
 std::string CaseName(const testing::TestParamInfo<Case>& info) {
   return std::string(info.param.policy) +
-         (info.param.faults ? "_faulted" : "_clean");
+         (info.param.faults ? "_faulted" : "_clean") +
+         (info.param.burst_buffer ? "_bb" : "");
 }
 
 /// Congested half-day scenario; walltime kills and (optionally) fault
 /// injection exercise the retry/backoff bookkeeping across checkpoints.
+/// The burst-buffer variants make the BB state (drain backlog, per-job
+/// usage, pending absorbed completions) part of the resume-equivalence bar.
 std::pair<core::SimulationConfig, workload::Workload> BuildCase(
     const Case& c) {
   driver::Scenario scenario = driver::MakeTestScenario(
@@ -54,6 +58,13 @@ std::pair<core::SimulationConfig, workload::Workload> BuildCase(
     config.faults.plan_config.degradation_factor = 0.5;
     config.faults.plan_config.degraded_window_seconds = 1800.0;
     config.faults.plan_config.job_kill_probability = 0.02;
+  }
+  if (c.burst_buffer) {
+    config.burst_buffer.capacity_gb = 300.0;
+    config.burst_buffer.drain_gbps = 5.0;  // BWmax here is ~21 GB/s
+    config.burst_buffer.absorb_gbps = 10.0;
+    config.burst_buffer.per_job_quota_gb = 150.0;
+    config.burst_buffer.congestion_watermark = 0.8;
   }
   return {config, std::move(scenario.jobs)};
 }
@@ -94,7 +105,11 @@ INSTANTIATE_TEST_SUITE_P(
     testing::Values(Case{"BASE_LINE", false}, Case{"FCFS", false},
                     Case{"MAX_UTIL", false}, Case{"ADAPTIVE", false},
                     Case{"BASE_LINE", true}, Case{"FCFS", true},
-                    Case{"MAX_UTIL", true}, Case{"ADAPTIVE", true}),
+                    Case{"MAX_UTIL", true}, Case{"ADAPTIVE", true},
+                    Case{"BASE_LINE", false, true},
+                    Case{"FCFS", false, true},
+                    Case{"ADAPTIVE", false, true},
+                    Case{"ADAPTIVE", true, true}),
     CaseName);
 
 TEST(CheckpointResume, MismatchedConfigIsRejected) {

@@ -216,6 +216,41 @@ TEST(IoScheduler, SubmittedRequestCounterCountsBothPaths) {
   EXPECT_EQ(f.completions.size(), 2u);
 }
 
+TEST(IoScheduler, BandwidthChangeReschedulesImmediately) {
+  // Regression: SetMaxBandwidth used to rely on the caller to
+  // ForceReschedule; the scheduler now listens on the storage model, so a
+  // mid-cycle capacity change re-runs water-filling on its own.
+  Fixture f("BASE_LINE");
+  workload::Job a = MakeJob(1, 4096, 1280.0);  // full rate 128 -> 10 s
+  f.scheduler.RegisterJob(a, 0.0);
+  f.scheduler.SubmitRequest(1, 1280.0, 0.0);
+  EXPECT_DOUBLE_EQ(f.storage.Get(1).rate_gbps, 128.0);
+
+  f.simulator.ScheduleAt(5.0, [&f] {
+    f.storage.SetMaxBandwidth(64.0, 5.0);
+    // No ForceReschedule: the rate must already be feasible against the
+    // new cap when the listener returns.
+    EXPECT_DOUBLE_EQ(f.storage.Get(1).rate_gbps, 64.0);
+  });
+  f.simulator.Run();
+  // 640 GB transferred by t=5, the remaining 640 GB at 64 GB/s -> t=15.
+  ASSERT_EQ(f.completions.size(), 1u);
+  EXPECT_DOUBLE_EQ(f.completions[0].second, 15.0);
+
+  // Repair mid-flight speeds the transfer back up symmetrically.
+  Fixture g("FCFS");
+  workload::Job b = MakeJob(1, 4096, 1280.0);
+  g.scheduler.RegisterJob(b, 0.0);
+  g.storage.SetMaxBandwidth(64.0, 0.0);
+  g.scheduler.SubmitRequest(1, 1280.0, 0.0);
+  EXPECT_DOUBLE_EQ(g.storage.Get(1).rate_gbps, 64.0);
+  g.simulator.ScheduleAt(10.0, [&g] { g.storage.SetMaxBandwidth(250.0, 10.0); });
+  g.simulator.Run();
+  // 640 GB by t=10, then the full 128 GB/s link rate -> t=15.
+  ASSERT_EQ(g.completions.size(), 1u);
+  EXPECT_DOUBLE_EQ(g.completions[0].second, 15.0);
+}
+
 TEST(IoScheduler, ManyConcurrentRequestsAllComplete) {
   Fixture f("ADAPTIVE");
   const int kJobs = 25;

@@ -55,6 +55,48 @@ expansion_factor = 1.5
   EXPECT_NE(s.name.find("seed7"), std::string::npos);
 }
 
+TEST(ConfigScenario, EveryStorageAndBurstBufferKeyRoundTrips) {
+  Scenario s = ScenarioFromConfig(util::Config::FromString(R"(
+[storage]
+bwmax_gbps = 40
+[burst_buffer]
+capacity_gb = 2000
+drain_gbps = 8
+absorb_gbps = 12
+per_job_quota_gb = 250
+congestion_watermark = 0.75
+[workload]
+days = 0.25
+)"));
+  EXPECT_DOUBLE_EQ(s.config.storage.max_bandwidth_gbps, 40.0);
+  EXPECT_DOUBLE_EQ(s.config.burst_buffer.capacity_gb, 2000.0);
+  EXPECT_DOUBLE_EQ(s.config.burst_buffer.drain_gbps, 8.0);
+  EXPECT_DOUBLE_EQ(s.config.burst_buffer.absorb_gbps, 12.0);
+  EXPECT_DOUBLE_EQ(s.config.burst_buffer.per_job_quota_gb, 250.0);
+  EXPECT_DOUBLE_EQ(s.config.burst_buffer.congestion_watermark, 0.75);
+  EXPECT_TRUE(s.config.burst_buffer.enabled());
+  EXPECT_TRUE(s.config.Validate().empty());
+}
+
+TEST(ConfigScenario, BurstBufferKeyDefaults) {
+  Scenario s = ScenarioFromConfig(util::Config::FromString(
+      "[burst_buffer]\ncapacity_gb = 100\ndrain_gbps = 2\n"
+      "[workload]\ndays = 0.25\n"));
+  EXPECT_DOUBLE_EQ(s.config.burst_buffer.absorb_gbps, 0.0);
+  EXPECT_DOUBLE_EQ(s.config.burst_buffer.per_job_quota_gb, 0.0);
+  EXPECT_DOUBLE_EQ(s.config.burst_buffer.congestion_watermark, 0.9);
+}
+
+TEST(ConfigScenario, InvalidBurstBufferConfigFailsValidation) {
+  // ScenarioFromConfig accepts the raw values; RunSimulation's validation
+  // is the gate (typed, lists every problem).
+  Scenario s = ScenarioFromConfig(util::Config::FromString(
+      "[burst_buffer]\ncapacity_gb = 100\n[workload]\ndays = 0.1\n"));
+  EXPECT_FALSE(s.config.Validate().empty());
+  EXPECT_THROW(core::RunSimulation(s.config, s.jobs),
+               core::ConfigValidationError);
+}
+
 TEST(ConfigScenario, ExpansionFactorApplied) {
   auto base = ScenarioFromConfig(util::Config::FromString(
       "[workload]\ndays = 0.5\nseed = 9\n"));

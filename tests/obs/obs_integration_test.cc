@@ -46,7 +46,7 @@ TEST(TimeSeriesSampler, CsvOutput) {
   std::string csv = os.str();
   EXPECT_NE(csv.find("time,demand_gbps,granted_gbps,active_requests,"
                      "suspended_requests,busy_nodes,utilization,"
-                     "queue_depth,running_jobs"),
+                     "queue_depth,running_jobs,bb_queued_gb"),
             std::string::npos);
   EXPECT_NE(csv.find("120"), std::string::npos);
 }

@@ -1,0 +1,82 @@
+#include "storage/backend.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace iosched::storage {
+namespace {
+
+StorageConfig Pfs(double bwmax = 250.0) { return StorageConfig{bwmax, true}; }
+
+TEST(Backend, FactorySelectsSingleTierWhenBufferDisabled) {
+  auto backend = MakeBackend(Pfs());
+  ASSERT_NE(backend, nullptr);
+  EXPECT_STREQ(backend->name(), "single_tier");
+  EXPECT_EQ(backend->burst_buffer(), nullptr);
+  EXPECT_DOUBLE_EQ(backend->UsableBandwidth(5.0), 250.0);
+
+  // Partially configured buffers (capacity XOR drain) are not enabled.
+  BurstBufferConfig partial;
+  partial.capacity_gb = 1000.0;
+  EXPECT_STREQ(MakeBackend(Pfs(), partial)->name(), "single_tier");
+}
+
+TEST(Backend, FactorySelectsBurstBufferWhenEnabled) {
+  BurstBufferConfig bb;
+  bb.capacity_gb = 1000.0;
+  bb.drain_gbps = 50.0;
+  auto backend = MakeBackend(Pfs(), bb);
+  EXPECT_STREQ(backend->name(), "burst_buffer");
+  ASSERT_NE(backend->burst_buffer(), nullptr);
+  EXPECT_DOUBLE_EQ(backend->burst_buffer()->config().capacity_gb, 1000.0);
+}
+
+TEST(Backend, DrainReservationMustStayBelowBwmax) {
+  BurstBufferConfig bb;
+  bb.capacity_gb = 1000.0;
+  bb.drain_gbps = 250.0;  // == BWmax
+  EXPECT_THROW(BurstBufferBackend(Pfs(), bb), std::invalid_argument);
+  bb.drain_gbps = 300.0;
+  EXPECT_THROW(MakeBackend(Pfs(), bb), std::invalid_argument);
+}
+
+TEST(Backend, UsableBandwidthSubtractsDrainOnlyWhileDraining) {
+  BurstBufferConfig bb;
+  bb.capacity_gb = 1000.0;
+  bb.drain_gbps = 50.0;
+  auto backend = MakeBackend(Pfs(), bb);
+  // Empty buffer: no drain running, full BWmax usable.
+  EXPECT_DOUBLE_EQ(backend->UsableBandwidth(0.0), 250.0);
+  // 100 GB queued drains for 2 s; the reservation is carved out until then.
+  backend->burst_buffer()->Absorb(1, 100.0);
+  EXPECT_DOUBLE_EQ(backend->UsableBandwidth(0.0), 200.0);
+  EXPECT_DOUBLE_EQ(backend->UsableBandwidth(1.0), 200.0);
+  EXPECT_DOUBLE_EQ(backend->UsableBandwidth(2.5), 250.0);
+}
+
+TEST(Backend, StatusSnapshotsBothTiers) {
+  BurstBufferConfig bb;
+  bb.capacity_gb = 200.0;
+  bb.drain_gbps = 10.0;
+  bb.congestion_watermark = 0.5;
+  auto backend = MakeBackend(Pfs(40.0), bb);
+  backend->burst_buffer()->Absorb(1, 150.0);
+
+  TierStatus status = backend->Status();
+  EXPECT_DOUBLE_EQ(status.pfs_bandwidth_gbps, 40.0);
+  EXPECT_DOUBLE_EQ(status.pfs_demand_gbps, 0.0);
+  EXPECT_TRUE(status.bb_enabled);
+  EXPECT_DOUBLE_EQ(status.bb_capacity_gb, 200.0);
+  EXPECT_DOUBLE_EQ(status.bb_queued_gb, 150.0);
+  EXPECT_DOUBLE_EQ(status.bb_drain_gbps, 10.0);
+  EXPECT_TRUE(status.bb_congested);  // 150/200 above the 0.5 watermark
+
+  TierStatus single = MakeBackend(Pfs())->Status();
+  EXPECT_FALSE(single.bb_enabled);
+  EXPECT_DOUBLE_EQ(single.bb_capacity_gb, 0.0);
+  EXPECT_FALSE(single.bb_congested);
+}
+
+}  // namespace
+}  // namespace iosched::storage

@@ -21,9 +21,9 @@ TEST(BurstBuffer, ConfigEnabledGate) {
 
 TEST(BurstBuffer, AbsorbAndDrain) {
   BurstBuffer bb(Cfg(1000.0, 50.0));
-  EXPECT_TRUE(bb.CanAbsorb(1000.0));
-  EXPECT_FALSE(bb.CanAbsorb(1000.1));
-  bb.Absorb(600.0);
+  EXPECT_TRUE(bb.CanAbsorb(1, 1000.0));
+  EXPECT_FALSE(bb.CanAbsorb(1, 1000.1));
+  bb.Absorb(1, 600.0);
   EXPECT_DOUBLE_EQ(bb.queued_gb(), 600.0);
   EXPECT_DOUBLE_EQ(bb.free_gb(), 400.0);
   EXPECT_DOUBLE_EQ(bb.CurrentDrainRate(), 50.0);
@@ -37,19 +37,19 @@ TEST(BurstBuffer, AbsorbAndDrain) {
 
 TEST(BurstBuffer, CapacityEnforced) {
   BurstBuffer bb(Cfg(100.0, 10.0));
-  bb.Absorb(80.0);
-  EXPECT_FALSE(bb.CanAbsorb(30.0));
-  EXPECT_THROW(bb.Absorb(30.0), std::logic_error);
+  bb.Absorb(1, 80.0);
+  EXPECT_FALSE(bb.CanAbsorb(2, 30.0));
+  EXPECT_THROW(bb.Absorb(2, 30.0), std::logic_error);
   bb.AdvanceTo(3.0);  // 50 queued
-  EXPECT_TRUE(bb.CanAbsorb(30.0));
-  bb.Absorb(30.0);
+  EXPECT_TRUE(bb.CanAbsorb(2, 30.0));
+  bb.Absorb(2, 30.0);
   EXPECT_DOUBLE_EQ(bb.queued_gb(), 80.0);
 }
 
 TEST(BurstBuffer, ZeroOrNegativeVolumeRejected) {
   BurstBuffer bb(Cfg());
-  EXPECT_FALSE(bb.CanAbsorb(0.0));
-  EXPECT_FALSE(bb.CanAbsorb(-5.0));
+  EXPECT_FALSE(bb.CanAbsorb(1, 0.0));
+  EXPECT_FALSE(bb.CanAbsorb(1, -5.0));
 }
 
 TEST(BurstBuffer, TimeBackwardsThrows) {
@@ -60,11 +60,82 @@ TEST(BurstBuffer, TimeBackwardsThrows) {
 
 TEST(BurstBuffer, LifetimeCounters) {
   BurstBuffer bb(Cfg(10000.0, 100.0));
-  bb.Absorb(100.0);
+  bb.Absorb(1, 100.0);
   bb.AdvanceTo(1000.0);
-  bb.Absorb(200.0);
+  bb.Absorb(2, 200.0);
   EXPECT_DOUBLE_EQ(bb.total_absorbed_gb(), 300.0);
   EXPECT_EQ(bb.absorbed_requests(), 2u);
+  EXPECT_DOUBLE_EQ(bb.total_drained_gb(), 100.0);
+  EXPECT_DOUBLE_EQ(bb.peak_queued_gb(), 200.0);
+  bb.RecordSpill();
+  EXPECT_EQ(bb.spilled_requests(), 1u);
+}
+
+TEST(BurstBuffer, PerJobQuotaCapsASingleJob) {
+  BurstBufferConfig cfg = Cfg(1000.0, 50.0);
+  cfg.per_job_quota_gb = 100.0;
+  BurstBuffer bb(cfg);
+  EXPECT_TRUE(bb.CanAbsorb(1, 100.0));
+  EXPECT_FALSE(bb.CanAbsorb(1, 100.1));
+  bb.Absorb(1, 80.0);
+  EXPECT_DOUBLE_EQ(bb.JobUsageGb(1), 80.0);
+  // Job 1 has 20 GB of quota left; job 2 has the full 100.
+  EXPECT_FALSE(bb.CanAbsorb(1, 30.0));
+  EXPECT_TRUE(bb.CanAbsorb(2, 100.0));
+  EXPECT_THROW(bb.Absorb(1, 30.0), std::logic_error);
+  // Draining job 1's segment frees its quota again.
+  bb.AdvanceTo(2.0);  // 80 - 100 GB drained: segment gone
+  EXPECT_DOUBLE_EQ(bb.JobUsageGb(1), 0.0);
+  EXPECT_TRUE(bb.CanAbsorb(1, 100.0));
+}
+
+TEST(BurstBuffer, AbsorbRateCap) {
+  BurstBufferConfig cfg = Cfg(1000.0, 50.0);
+  BurstBuffer uncapped(cfg);
+  // absorb_gbps = 0: ingest runs at the caller's full link rate.
+  EXPECT_DOUBLE_EQ(uncapped.AbsorbRate(64.0), 64.0);
+  cfg.absorb_gbps = 40.0;
+  BurstBuffer capped(cfg);
+  EXPECT_DOUBLE_EQ(capped.AbsorbRate(64.0), 40.0);
+  EXPECT_DOUBLE_EQ(capped.AbsorbRate(10.0), 10.0);  // link is the bottleneck
+}
+
+TEST(BurstBuffer, CongestionWatermark) {
+  BurstBufferConfig cfg = Cfg(1000.0, 50.0);
+  cfg.congestion_watermark = 0.5;
+  BurstBuffer bb(cfg);
+  EXPECT_FALSE(bb.Congested());
+  bb.Absorb(1, 499.0);
+  EXPECT_FALSE(bb.Congested());
+  bb.Absorb(2, 2.0);
+  EXPECT_TRUE(bb.Congested());
+  bb.AdvanceTo(1.0);  // 451 queued: below the 500 GB watermark
+  EXPECT_FALSE(bb.Congested());
+}
+
+TEST(BurstBuffer, OccupancyIntegralIsExact) {
+  BurstBuffer bb(Cfg(1000.0, 50.0));
+  bb.Absorb(1, 100.0);
+  // Backlog decays 100 -> 0 over 2 s: integral = 0.5 * 100 * 2 = 100 GB*s,
+  // then stays empty (no further accrual).
+  bb.AdvanceTo(10.0);
+  EXPECT_NEAR(bb.occupancy_integral_gbs(), 100.0, 1e-9);
+  bb.AdvanceTo(20.0);
+  EXPECT_NEAR(bb.occupancy_integral_gbs(), 100.0, 1e-9);
+}
+
+TEST(BurstBuffer, InvalidConfigRejected) {
+  BurstBufferConfig bad = Cfg();
+  bad.absorb_gbps = -1.0;
+  EXPECT_THROW(BurstBuffer{bad}, std::invalid_argument);
+  bad = Cfg();
+  bad.per_job_quota_gb = -1.0;
+  EXPECT_THROW(BurstBuffer{bad}, std::invalid_argument);
+  bad = Cfg();
+  bad.congestion_watermark = 0.0;
+  EXPECT_THROW(BurstBuffer{bad}, std::invalid_argument);
+  bad.congestion_watermark = 1.5;
+  EXPECT_THROW(BurstBuffer{bad}, std::invalid_argument);
 }
 
 // ----------------------------------------------------------- end to end

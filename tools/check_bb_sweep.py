@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Sanity-check a `iosched bbsweep --csv` output file.
+
+Validates the CSV schema (every expected column present, rows well-formed)
+and the physics the sweep must obey regardless of workload noise:
+
+  * BB=off rows report zero burst-buffer activity.
+  * Absorbed volume / absorbed-request share are non-decreasing in
+    capacity (per policy) — a bigger buffer never absorbs less.
+  * Spilled requests are non-increasing in capacity (per policy).
+  * Peak occupancy never exceeds the configured capacity.
+
+Wait times are intentionally NOT checked for monotonicity: on short smoke
+workloads the scheduling noise dominates the buffer's effect.
+
+Usage: check_bb_sweep.py <sweep.csv>
+"""
+import csv
+import sys
+
+EXPECTED_COLUMNS = [
+    "scenario", "policy", "jobs", "avg_wait_min", "avg_response_min",
+    "utilization", "p90_wait_min", "avg_expansion", "avg_io_slowdown",
+    "events", "io_cycles", "wall_seconds", "bb_capacity_gb",
+    "bb_absorbed_gb", "bb_absorbed_requests", "bb_spilled_requests",
+    "bb_peak_queued_gb", "bb_mean_occupancy",
+]
+
+
+def fail(message):
+    print(f"check_bb_sweep: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_bb_sweep.py <sweep.csv>")
+    with open(sys.argv[1], newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames != EXPECTED_COLUMNS:
+            fail(f"unexpected header {reader.fieldnames};"
+                 f" want {EXPECTED_COLUMNS}")
+        rows = list(reader)
+    if not rows:
+        fail("no data rows")
+
+    by_policy = {}
+    for i, row in enumerate(rows, start=2):
+        try:
+            capacity = float(row["bb_capacity_gb"])
+            absorbed_gb = float(row["bb_absorbed_gb"])
+            absorbed = int(row["bb_absorbed_requests"])
+            spilled = int(row["bb_spilled_requests"])
+            peak = float(row["bb_peak_queued_gb"])
+            jobs = int(row["jobs"])
+        except ValueError as error:
+            fail(f"line {i}: malformed number: {error}")
+        if jobs <= 0:
+            fail(f"line {i}: no jobs completed")
+        if capacity == 0 and (absorbed_gb or absorbed or spilled or peak):
+            fail(f"line {i}: BB=off row reports burst-buffer activity")
+        if peak > capacity + 1e-6:
+            fail(f"line {i}: peak queued {peak} GB exceeds"
+                 f" capacity {capacity} GB")
+        share = absorbed / (absorbed + spilled) if absorbed + spilled else 0.0
+        by_policy.setdefault(row["policy"], []).append(
+            (capacity, absorbed_gb, share, spilled))
+
+    for policy, cells in by_policy.items():
+        cells.sort()
+        for (c0, gb0, share0, sp0), (c1, gb1, share1, sp1) in zip(
+                cells, cells[1:]):
+            if gb1 < gb0 - 1e-6:
+                fail(f"{policy}: absorbed GB dropped from {gb0} (BB={c0})"
+                     f" to {gb1} (BB={c1})")
+            if share1 < share0 - 1e-9:
+                fail(f"{policy}: absorbed share dropped from {share0:.4f}"
+                     f" (BB={c0}) to {share1:.4f} (BB={c1})")
+            if sp1 > sp0 and c0 > 0:
+                fail(f"{policy}: spills grew from {sp0} (BB={c0})"
+                     f" to {sp1} (BB={c1})")
+
+    capacities = sorted({c for cells in by_policy.values()
+                         for c, _, _, _ in cells})
+    print(f"check_bb_sweep: OK: {len(rows)} rows,"
+          f" {len(by_policy)} policies, capacities {capacities}")
+
+
+if __name__ == "__main__":
+    main()

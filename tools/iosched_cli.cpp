@@ -5,13 +5,16 @@
 //   simulate     run one policy over a trace pair (or a built-in workload)
 //   sweep        compare all policies on a workload (Fig. 8/9/10 content)
 //   sensitivity  expansion-factor sweep (Fig. 11 content)
+//   bbsweep      burst-buffer capacity sensitivity sweep
 //
 // Examples:
 //   iosched generate --workload 1 --days 30 --out /tmp/wl1
 //   iosched simulate --swf /tmp/wl1.swf --io /tmp/wl1_io.csv --policy ADAPTIVE
 //   iosched simulate --workload 2 --days 14 --policy MIN_AGGR_SLD
+//   iosched simulate --workload 1 --days 30 --bb-capacity 4000  # with a BB
 //   iosched sweep --workload 1 --days 30 --csv
 //   iosched sensitivity --workload 1 --factors 0.3,0.7,1.5
+//   iosched bbsweep --workload 1 --days 30 --bb-capacities 0,2000,8000
 //   iosched simulate --workload 1 --days 365 --checkpoint-dir /tmp/ck \
 //       --checkpoint-every-wall 60 --watchdog 300   # crash-safe long run
 //   iosched simulate --workload 1 --days 365 --checkpoint-dir /tmp/ck \
@@ -29,11 +32,12 @@
 #include "core/event_log.h"
 #include "core/policy_factory.h"
 #include "core/simulation.h"
-#include "driver/config_scenario.h"
+#include "driver/cli_flags.h"
 #include "driver/experiment.h"
 #include "driver/replication.h"
 #include "driver/resumable.h"
 #include "driver/scenario.h"
+#include "driver/sweep.h"
 #include "driver/watchdog.h"
 #include "metrics/breakdown.h"
 #include "metrics/timeline.h"
@@ -56,40 +60,6 @@ int Fail(const std::string& message) {
   return 1;
 }
 
-/// Build a workload from --swf/--io or --workload/--days flags.
-driver::Scenario LoadScenario(const util::CliParser& cli) {
-  driver::Scenario scenario;
-  if (cli.Provided("config")) {
-    scenario = driver::ScenarioFromConfigFile(cli.GetString("config"));
-    if (cli.Provided("bwmax")) {
-      scenario.config.storage.max_bandwidth_gbps = cli.GetDouble("bwmax");
-    }
-    return scenario;
-  }
-  scenario.config.machine = machine::MachineConfig::Mira();
-  scenario.config.storage.max_bandwidth_gbps = cli.GetDouble("bwmax");
-  if (cli.Provided("swf")) {
-    workload::SwfTrace swf = workload::ReadSwfFile(cli.GetString("swf"));
-    workload::IoTrace io;
-    if (cli.Provided("io")) {
-      io = workload::ReadIoTraceFile(cli.GetString("io"));
-    }
-    workload::PairingOptions opts;
-    opts.node_bandwidth_gbps = scenario.config.machine.node_bandwidth_gbps;
-    scenario.jobs = workload::PairTraces(swf, io, opts);
-    scenario.name = cli.GetString("swf");
-  } else {
-    int index = static_cast<int>(cli.GetInt("workload"));
-    scenario = driver::MakeEvaluationScenario(index, cli.GetDouble("days"));
-    scenario.config.storage.max_bandwidth_gbps = cli.GetDouble("bwmax");
-  }
-  double factor = cli.GetDouble("factor");
-  if (factor != 1.0) {
-    scenario = driver::WithExpansionFactor(scenario, factor);
-  }
-  return scenario;
-}
-
 int CmdGenerate(const util::CliParser& cli) {
   int index = static_cast<int>(cli.GetInt("workload"));
   workload::SyntheticConfig cfg = workload::EvaluationMonthConfig(index);
@@ -108,7 +78,7 @@ int CmdGenerate(const util::CliParser& cli) {
 }
 
 int CmdSimulate(const util::CliParser& cli) {
-  driver::Scenario scenario = LoadScenario(cli);
+  driver::Scenario scenario = driver::ScenarioFromFlags(cli);
   core::SimulationConfig config = scenario.config;
   if (cli.Provided("policy") || !cli.Provided("config")) {
     config.policy = cli.GetString("policy");
@@ -116,6 +86,7 @@ int CmdSimulate(const util::CliParser& cli) {
   if (cli.Provided("walltime-kill")) {
     config.enforce_walltime = cli.GetBool("walltime-kill");
   }
+  driver::ApplyBurstBufferFlags(cli, config);
 
   config.keep_bandwidth_samples = cli.GetBool("timeline");
   core::EventLog log;
@@ -288,7 +259,8 @@ int CmdSimulate(const util::CliParser& cli) {
 }
 
 int CmdSweep(const util::CliParser& cli) {
-  driver::Scenario scenario = LoadScenario(cli);
+  driver::Scenario scenario = driver::ScenarioFromFlags(cli);
+  driver::ApplyBurstBufferFlags(cli, scenario.config);
   std::vector<std::string> policies = core::AllPolicyNames();
   if (cli.Provided("policies")) {
     policies = util::Split(cli.GetString("policies"), ',');
@@ -318,7 +290,7 @@ int CmdSweep(const util::CliParser& cli) {
 }
 
 int CmdSensitivity(const util::CliParser& cli) {
-  driver::Scenario scenario = LoadScenario(cli);
+  driver::Scenario scenario = driver::ScenarioFromFlags(cli);
   std::vector<double> factors;
   for (const std::string& f : util::Split(cli.GetString("factors"), ',')) {
     auto v = util::ParseDouble(f);
@@ -339,6 +311,45 @@ int CmdSensitivity(const util::CliParser& cli) {
               driver::SensitivityTable(runs, factors, policies)
                   .ToString()
                   .c_str());
+  return 0;
+}
+
+int CmdBbSweep(const util::CliParser& cli) {
+  driver::Scenario scenario = driver::ScenarioFromFlags(cli);
+  driver::SweepSpec spec;
+  spec.scenario = &scenario;
+  spec.policies = core::AllPolicyNames();
+  if (cli.Provided("policies")) {
+    spec.policies = util::Split(cli.GetString("policies"), ',');
+  }
+  for (const std::string& c : util::Split(cli.GetString("bb-capacities"),
+                                          ',')) {
+    auto v = util::ParseDouble(c);
+    if (!v || *v < 0) return Fail("bad BB capacity: " + c);
+    spec.bb_capacities_gb.push_back(*v);
+  }
+  spec.bb_drain_gbps = cli.GetDouble("bb-drain");
+  spec.bb_absorb_gbps = cli.GetDouble("bb-absorb");
+  spec.bb_per_job_quota_gb = cli.GetDouble("bb-quota");
+  spec.bb_congestion_watermark = cli.GetDouble("bb-watermark");
+  util::ThreadPool pool;
+  if (cli.Provided("state-dir")) {
+    driver::ResumableRunner::Options opt;
+    opt.root_directory = cli.GetString("state-dir");
+    opt.checkpoint_every_wall_seconds = 30.0;
+    opt.watchdog_no_progress_seconds = cli.GetDouble("watchdog");
+    spec.resumable = opt;
+  } else {
+    spec.pool = &pool;
+  }
+  driver::SweepResult result = driver::RunSweep(spec);
+  if (cli.GetBool("csv")) {
+    std::fputs(driver::RunsToCsv(result.runs).c_str(), stdout);
+    return 0;
+  }
+  std::printf("avg wait (min) by burst-buffer capacity, absorbed-request "
+              "share in parentheses\n%s\n",
+              driver::BbCapacityTable(result).ToString().c_str());
   return 0;
 }
 
@@ -366,21 +377,19 @@ int CmdReplications(const util::CliParser& cli) {
 
 int main(int argc, char** argv) {
   util::CliParser cli(
-      "iosched <generate|simulate|sweep|sensitivity|replications> [flags]\n"
+      "iosched <generate|simulate|sweep|sensitivity|bbsweep|replications> "
+      "[flags]\n"
       "I/O-aware batch scheduling framework (CLUSTER'15 reproduction)");
-  cli.AddFlag("workload", "1", "built-in evaluation month (1..3)");
-  cli.AddFlag("config", "", "INI scenario file (overrides workload flags)");
-  cli.AddFlag("days", "30", "trace duration in days");
+  driver::AddScenarioFlags(cli);
+  driver::AddBurstBufferFlags(cli);
   cli.AddFlag("seed", "101", "generator seed (generate)");
   cli.AddFlag("out", "workload", "output path stem (generate)");
-  cli.AddFlag("swf", "", "SWF job trace to simulate");
-  cli.AddFlag("io", "", "Darshan-lite I/O trace paired with --swf");
   cli.AddFlag("policy", "ADAPTIVE", "I/O policy (simulate)");
   cli.AddFlag("policies", "", "comma list of policies (sweep/sensitivity)");
-  cli.AddFlag("bwmax", "250", "storage bandwidth cap BWmax in GB/s");
-  cli.AddFlag("factor", "1.0", "I/O expansion factor applied to the workload");
   cli.AddFlag("factors", "0.3,0.5,0.7,0.9,1.2,1.5",
               "expansion factors (sensitivity)");
+  cli.AddFlag("bb-capacities", "0,1000,2000,4000,8000",
+              "comma list of BB capacities in GB (bbsweep; 0 = tier off)");
   cli.AddFlag("seeds", "101,202,303", "seeds (replications)");
   cli.AddFlag("records", "", "write per-job records CSV here (simulate)");
   cli.AddFlag("event-log", "", "write scheduling-event CSV here (simulate)");
@@ -414,16 +423,15 @@ int main(int argc, char** argv) {
   cli.AddBoolFlag("walltime-kill", "kill jobs at their requested walltime");
   cli.AddBoolFlag("breakdown", "print per-size-class metrics (simulate)");
   cli.AddBoolFlag("timeline", "print occupancy/demand strip charts (simulate)");
-  cli.AddBoolFlag("csv", "emit CSV instead of tables (sweep/sensitivity)");
-  cli.AddBoolFlag("help", "show usage");
+  cli.AddBoolFlag("csv",
+                  "emit CSV instead of tables (sweep/sensitivity/bbsweep)");
 
-  if (!cli.Parse(argc - 1, argv + 1)) {
-    std::fprintf(stderr, "%s\n%s", cli.error().c_str(), cli.Help().c_str());
-    return 1;
+  if (auto exit_code = driver::ParseStandardFlags(cli, argc - 1, argv + 1)) {
+    return *exit_code;
   }
-  if (cli.GetBool("help") || cli.positional().empty()) {
+  if (cli.positional().empty()) {
     std::fputs(cli.Help().c_str(), stdout);
-    return cli.positional().empty() && !cli.GetBool("help") ? 1 : 0;
+    return 1;
   }
   const std::string& command = cli.positional().front();
   try {
@@ -431,6 +439,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return CmdSimulate(cli);
     if (command == "sweep") return CmdSweep(cli);
     if (command == "sensitivity") return CmdSensitivity(cli);
+    if (command == "bbsweep") return CmdBbSweep(cli);
     if (command == "replications") return CmdReplications(cli);
   } catch (const std::exception& e) {
     return Fail(e.what());

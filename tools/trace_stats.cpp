@@ -10,52 +10,30 @@
 #include <map>
 #include <string>
 
+#include "driver/cli_flags.h"
 #include "driver/scenario.h"
 #include "util/cli.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "util/units.h"
-#include "workload/iotrace.h"
-#include "workload/swf.h"
 #include "workload/workload.h"
 
 int main(int argc, char** argv) {
   using namespace iosched;
   util::CliParser cli("trace_stats [flags] — characterize a workload trace");
-  cli.AddFlag("workload", "1", "built-in evaluation month (1..3)");
-  cli.AddFlag("days", "30", "duration for the built-in workload");
-  cli.AddFlag("swf", "", "SWF job trace");
-  cli.AddFlag("io", "", "Darshan-lite I/O trace");
-  cli.AddBoolFlag("help", "show usage");
-  if (!cli.Parse(argc - 1, argv + 1)) {
-    std::fprintf(stderr, "%s\n%s", cli.error().c_str(), cli.Help().c_str());
-    return 1;
-  }
-  if (cli.GetBool("help")) {
-    std::fputs(cli.Help().c_str(), stdout);
-    return 0;
+  driver::AddScenarioFlags(cli);
+  if (auto exit_code = driver::ParseStandardFlags(cli, argc - 1, argv + 1)) {
+    return *exit_code;
   }
 
-  machine::MachineConfig machine = machine::MachineConfig::Mira();
+  machine::MachineConfig machine;
   workload::Workload jobs;
   std::string name;
   try {
-    if (cli.Provided("swf")) {
-      workload::SwfTrace swf = workload::ReadSwfFile(cli.GetString("swf"));
-      workload::IoTrace io;
-      if (cli.Provided("io")) {
-        io = workload::ReadIoTraceFile(cli.GetString("io"));
-      }
-      workload::PairingOptions opts;
-      opts.node_bandwidth_gbps = machine.node_bandwidth_gbps;
-      jobs = workload::PairTraces(swf, io, opts);
-      name = cli.GetString("swf");
-    } else {
-      driver::Scenario scenario = driver::MakeEvaluationScenario(
-          static_cast<int>(cli.GetInt("workload")), cli.GetDouble("days"));
-      jobs = std::move(scenario.jobs);
-      name = scenario.name;
-    }
+    driver::Scenario scenario = driver::ScenarioFromFlags(cli);
+    machine = scenario.config.machine;
+    jobs = std::move(scenario.jobs);
+    name = scenario.name;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
