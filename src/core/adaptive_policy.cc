@@ -210,11 +210,15 @@ std::vector<RateGrant> AdaptivePolicy::Assign(
       continue;
     }
     if (tiers_.bb_enabled &&
-        tiers_.bb_queued_gb >
-            kBacklogDeferralFraction * tiers_.bb_capacity_gb) {
-      // Deep drain backlog: over-admitting would stretch the direct
-      // transfers the drain reservation is already squeezing. Defer like
-      // Cons-FCFS until the buffer drains below the threshold.
+        (tiers_.bb_queued_gb >
+             kBacklogDeferralFraction * tiers_.bb_capacity_gb ||
+         tiers_.bb_faulted || tiers_.drain_factor < 1.0)) {
+      // Deep drain backlog — or a degraded/failed buffer, which is the same
+      // congestion signal arriving early: a faulted buffer spills every new
+      // request onto the direct path, and a degraded drain holds its
+      // reservation longer than planned. Over-admitting would stretch the
+      // direct transfers either way; defer like Cons-FCFS until the tier
+      // recovers.
       continue;
     }
 

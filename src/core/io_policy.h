@@ -71,6 +71,11 @@ struct TierState {
   double drain_gbps = 0.0;
   /// Occupancy above the configured watermark.
   bool bb_congested = false;
+  /// The buffer is down (absorbing nothing) — fault injection.
+  bool bb_faulted = false;
+  /// Drain-rate multiplier from fault injection (1.0 = nominal; below 1 the
+  /// backlog clears slower than the capacity planning assumed).
+  double drain_factor = 1.0;
 };
 
 class IoPolicy {

@@ -48,6 +48,10 @@ void IoScheduler::UnregisterJob(workload::JobId id) {
     throw std::logic_error("IoScheduler: job " + std::to_string(id) +
                            " still has an in-flight transfer");
   }
+  if (pending_retries_.count(id) != 0) {
+    throw std::logic_error("IoScheduler: job " + std::to_string(id) +
+                           " still has a pending transfer retry");
+  }
   if (jobs_.erase(id) == 0) {
     throw std::logic_error("IoScheduler: job " + std::to_string(id) +
                            " not registered");
@@ -86,22 +90,55 @@ void IoScheduler::SubmitRequest(workload::JobId id, double volume_gb,
       // Absorbed: the write lands in the buffer at the absorb-tier rate
       // (the link rate unless `absorb_gbps` caps it), never touching the
       // policy-managed storage path. The drain it triggers reduces the
-      // policy's usable bandwidth, so run a cycle.
+      // policy's usable bandwidth, so run a cycle. A straggling absorb
+      // stretches the duration; when the stretch would blow the transfer
+      // deadline the request spills to the direct path instead, where the
+      // timeout/retry machinery can act on it.
+      double factor = straggler_draw_ ? straggler_draw_() : 1.0;
+      double duration = volume_gb / burst_buffer_->AbsorbRate(full_rate);
+      if (factor < 1.0) duration /= factor;
+      if (retry_config_.enabled() && factor < 1.0 &&
+          duration > retry_config_.timeout_seconds) {
+        ++straggler_spills_;
+        burst_buffer_->RecordSpill();
+        if (hub_ != nullptr) {
+          hub_->io_straggler_spills->Inc();
+          hub_->bb_spilled_requests->Inc();
+        }
+        BeginDirectTransfer(id, volume_gb, now, /*retries=*/0);
+        Reschedule(now);
+        return;
+      }
       burst_buffer_->Absorb(id, volume_gb);
       if (hub_ != nullptr) hub_->bb_absorbed_requests->Inc();
-      double duration = volume_gb / burst_buffer_->AbsorbRate(full_rate);
       sim::EventId event =
           simulator_.ScheduleAfter(duration, AbsorbedAction(id, duration));
-      absorbed_events_[id] = AbsorbedEvent{event, now + duration, duration};
+      absorbed_events_[id] =
+          AbsorbedEvent{event, now + duration, duration, volume_gb};
       Reschedule(now);
       return;
     }
-    // Spill: no room (or over quota) — the request takes the direct path.
+    // Spill: no room (or over quota or faulted) — the request takes the
+    // direct path.
     burst_buffer_->RecordSpill();
     if (hub_ != nullptr) hub_->bb_spilled_requests->Inc();
   }
-  storage_.Begin(id, job.nodes, full_rate, volume_gb, now);
+  BeginDirectTransfer(id, volume_gb, now, /*retries=*/0);
   Reschedule(now);
+}
+
+void IoScheduler::BeginDirectTransfer(workload::JobId id, double volume_gb,
+                                      sim::SimTime now, int retries) {
+  const workload::Job& job = *jobs_.at(id).job;
+  double full_rate = job.FullIoRate(node_bandwidth_gbps_);
+  double factor = straggler_draw_ ? straggler_draw_() : 1.0;
+  storage_.Begin(id, job.nodes, full_rate, volume_gb, now, factor);
+  if (retry_config_.enabled() && retries < retry_config_.max_retries) {
+    sim::EventId event = simulator_.ScheduleAfter(
+        retry_config_.timeout_seconds, DeadlineAction(id));
+    deadline_events_[id] = DeadlineEvent{
+        event, now + retry_config_.timeout_seconds, retries};
+  }
 }
 
 void IoScheduler::ForceReschedule(sim::SimTime now) {
@@ -144,6 +181,18 @@ void IoScheduler::AbortRequest(workload::JobId id, sim::SimTime now) {
     simulator_.Cancel(absorbed->second.event);
     absorbed_events_.erase(absorbed);
     return;
+  }
+  auto retry = pending_retries_.find(id);
+  if (retry != pending_retries_.end()) {
+    // The job was waiting out a retry backoff; it holds no transfer.
+    simulator_.Cancel(retry->second.event);
+    pending_retries_.erase(retry);
+    return;
+  }
+  auto deadline = deadline_events_.find(id);
+  if (deadline != deadline_events_.end()) {
+    simulator_.Cancel(deadline->second.event);
+    deadline_events_.erase(deadline);
   }
   if (!storage_.Has(id)) return;
   storage_.AdvanceTo(now);
@@ -218,6 +267,8 @@ void IoScheduler::Reschedule(sim::SimTime now) {
     tiers.bb_queued_gb = burst_buffer_->queued_gb();
     tiers.drain_gbps = burst_buffer_->CurrentDrainRate();
     tiers.bb_congested = burst_buffer_->Congested();
+    tiers.bb_faulted = burst_buffer_->faulted();
+    tiers.drain_factor = burst_buffer_->drain_factor();
     policy_->ObserveTiers(tiers);
   }
 
@@ -317,6 +368,136 @@ std::function<void()> IoScheduler::AbsorbedAction(workload::JobId id,
   };
 }
 
+std::string TransferRetryConfig::Validate() const {
+  if (timeout_seconds < 0) return "timeout_seconds must be >= 0";
+  if (max_retries < 0) return "max_retries must be >= 0";
+  if (backoff_base_seconds <= 0) return "backoff_base_seconds must be > 0";
+  if (backoff_max_seconds < backoff_base_seconds) {
+    return "backoff_max_seconds must be >= backoff_base_seconds";
+  }
+  if (backoff_jitter_fraction < 0 || backoff_jitter_fraction >= 1.0) {
+    return "backoff_jitter_fraction must be in [0, 1)";
+  }
+  return "";
+}
+
+void IoScheduler::SetRetryConfig(const TransferRetryConfig& config) {
+  std::string err = config.Validate();
+  if (!err.empty()) {
+    throw std::invalid_argument("IoScheduler::SetRetryConfig: " + err);
+  }
+  retry_config_ = config;
+  jitter_rng_ = util::Rng(config.jitter_seed, /*stream=*/31);
+}
+
+double IoScheduler::BackoffDelay(int retries) {
+  // Multiply-until-clamped instead of pow(): at high retry counts repeated
+  // doubling would overflow to inf before a final min() could clamp it.
+  double backoff = retry_config_.backoff_base_seconds;
+  for (int i = 0; i < retries && backoff < retry_config_.backoff_max_seconds;
+       ++i) {
+    backoff *= 2.0;
+  }
+  backoff = std::min(backoff, retry_config_.backoff_max_seconds);
+  if (retry_config_.backoff_jitter_fraction > 0) {
+    backoff *= 1.0 + retry_config_.backoff_jitter_fraction *
+                         jitter_rng_.Uniform(-1.0, 1.0);
+  }
+  return std::max(backoff, 1e-3);
+}
+
+std::function<void()> IoScheduler::DeadlineAction(workload::JobId id) {
+  return [this, id] { OnTransferDeadline(id); };
+}
+
+std::function<void()> IoScheduler::RetryAction(workload::JobId id) {
+  return [this, id] { OnTransferRetry(id); };
+}
+
+void IoScheduler::OnTransferDeadline(workload::JobId id) {
+  auto it = deadline_events_.find(id);
+  if (it == deadline_events_.end()) return;
+  int retries = it->second.retries;
+  deadline_events_.erase(it);
+  if (!storage_.Has(id)) return;
+  sim::SimTime now = simulator_.Now();
+  storage_.AdvanceTo(now);
+  const storage::Transfer& t = storage_.Get(id);
+  if (t.Complete()) {
+    // The completion event shares this timestamp; let it finish the job.
+    return;
+  }
+  // Keep the progress: credit the moved volume's uncongested equivalent and
+  // resubmit only the remainder after the backoff.
+  double remaining = t.RemainingGb();
+  jobs_.at(id).completed_io_seconds += t.transferred_gb / t.full_rate_gbps;
+  storage_.Abort(id);
+  ++transfer_timeouts_;
+  if (hub_ != nullptr) hub_->io_transfer_timeouts->Inc();
+  double delay = BackoffDelay(retries);
+  sim::EventId event = simulator_.ScheduleAfter(delay, RetryAction(id));
+  pending_retries_[id] =
+      PendingRetry{event, now + delay, remaining, retries + 1};
+  Reschedule(now);
+}
+
+void IoScheduler::OnTransferRetry(workload::JobId id) {
+  auto it = pending_retries_.find(id);
+  if (it == pending_retries_.end()) return;
+  PendingRetry retry = it->second;
+  pending_retries_.erase(it);
+  sim::SimTime now = simulator_.Now();
+  ++transfer_retries_;
+  if (hub_ != nullptr) hub_->io_transfer_retries->Inc();
+  // A fresh attempt draws a fresh straggler factor: a transient straggler
+  // window clears on retry, a persistent one times out again until the
+  // budget is spent and the attempt runs unwatched.
+  BeginDirectTransfer(id, retry.remaining_gb, now, retry.retries);
+  Reschedule(now);
+}
+
+void IoScheduler::OnBurstBufferFault(bool faulted, bool lose_data,
+                                     sim::SimTime now) {
+  if (burst_buffer_ == nullptr) {
+    throw std::logic_error(
+        "IoScheduler::OnBurstBufferFault without an attached buffer");
+  }
+  burst_buffer_->AdvanceTo(now);
+  burst_buffer_->SetFaulted(faulted);
+  if (faulted && lose_data) {
+    burst_buffer_->DropBufferedData();
+    // Every in-flight absorbed request lost its staged data: cancel its
+    // completion and re-flush the full volume over the direct path (in job
+    // order, so the straggler draw sequence is deterministic).
+    std::vector<workload::JobId> ids;
+    ids.reserve(absorbed_events_.size());
+    for (const auto& [id, _] : absorbed_events_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (workload::JobId id : ids) {
+      const AbsorbedEvent& ab = absorbed_events_.at(id);
+      simulator_.Cancel(ab.event);
+      double volume = ab.volume_gb;
+      absorbed_events_.erase(id);
+      ++reflushed_requests_;
+      if (hub_ != nullptr) hub_->bb_reflushed_requests->Inc();
+      BeginDirectTransfer(id, volume, now, /*retries=*/0);
+    }
+  }
+  Reschedule(now);
+}
+
+void IoScheduler::OnDrainFactorChange(double factor, sim::SimTime now) {
+  if (burst_buffer_ == nullptr) {
+    throw std::logic_error(
+        "IoScheduler::OnDrainFactorChange without an attached buffer");
+  }
+  // Settle the backlog at the old rate before the factor applies, then
+  // re-plan: the drain wakeup and the usable bandwidth both move.
+  burst_buffer_->AdvanceTo(now);
+  burst_buffer_->SetDrainFactor(factor);
+  Reschedule(now);
+}
+
 void IoScheduler::SaveState(ckpt::Writer& w) const {
   std::vector<workload::JobId> ids;
   ids.reserve(jobs_.size());
@@ -356,7 +537,41 @@ void IoScheduler::SaveState(ckpt::Writer& w) const {
     w.U64(ab.event);
     w.F64(ab.fire_time);
     w.F64(ab.duration);
+    w.F64(ab.volume_gb);
   }
+  // Deadline/retry state (appended so the layout above is unchanged).
+  util::Rng::State jitter = jitter_rng_.SaveState();
+  w.U64(jitter.engine.state);
+  w.U64(jitter.engine.inc);
+  w.Bool(jitter.has_spare);
+  w.F64(jitter.spare);
+  ids.clear();
+  for (const auto& [id, _] : deadline_events_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  w.U32(static_cast<std::uint32_t>(ids.size()));
+  for (workload::JobId id : ids) {
+    const DeadlineEvent& dl = deadline_events_.at(id);
+    w.I64(id);
+    w.U64(dl.event);
+    w.F64(dl.fire_time);
+    w.I64(dl.retries);
+  }
+  ids.clear();
+  for (const auto& [id, _] : pending_retries_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  w.U32(static_cast<std::uint32_t>(ids.size()));
+  for (workload::JobId id : ids) {
+    const PendingRetry& pr = pending_retries_.at(id);
+    w.I64(id);
+    w.U64(pr.event);
+    w.F64(pr.fire_time);
+    w.F64(pr.remaining_gb);
+    w.I64(pr.retries);
+  }
+  w.U64(transfer_timeouts_);
+  w.U64(transfer_retries_);
+  w.U64(straggler_spills_);
+  w.U64(reflushed_requests_);
 }
 
 void IoScheduler::RestoreState(
@@ -364,6 +579,8 @@ void IoScheduler::RestoreState(
     const std::function<const workload::Job*(workload::JobId)>& resolve) {
   jobs_.clear();
   absorbed_events_.clear();
+  deadline_events_.clear();
+  pending_retries_.clear();
   std::uint32_t job_count = r.U32();
   for (std::uint32_t i = 0; i < job_count; ++i) {
     workload::JobId id = r.I64();
@@ -409,10 +626,42 @@ void IoScheduler::RestoreState(
     ab.event = r.U64();
     ab.fire_time = r.F64();
     ab.duration = r.F64();
+    ab.volume_gb = r.F64();
     absorbed_events_.emplace(id, ab);
     simulator_.RestoreEvent(ab.fire_time, ab.event,
                             AbsorbedAction(id, ab.duration));
   }
+  util::Rng::State jitter;
+  jitter.engine.state = r.U64();
+  jitter.engine.inc = r.U64();
+  jitter.has_spare = r.Bool();
+  jitter.spare = r.F64();
+  jitter_rng_.RestoreState(jitter);
+  std::uint32_t deadlines = r.U32();
+  for (std::uint32_t i = 0; i < deadlines; ++i) {
+    workload::JobId id = r.I64();
+    DeadlineEvent dl;
+    dl.event = r.U64();
+    dl.fire_time = r.F64();
+    dl.retries = static_cast<int>(r.I64());
+    deadline_events_.emplace(id, dl);
+    simulator_.RestoreEvent(dl.fire_time, dl.event, DeadlineAction(id));
+  }
+  std::uint32_t retries = r.U32();
+  for (std::uint32_t i = 0; i < retries; ++i) {
+    workload::JobId id = r.I64();
+    PendingRetry pr;
+    pr.event = r.U64();
+    pr.fire_time = r.F64();
+    pr.remaining_gb = r.F64();
+    pr.retries = static_cast<int>(r.I64());
+    pending_retries_.emplace(id, pr);
+    simulator_.RestoreEvent(pr.fire_time, pr.event, RetryAction(id));
+  }
+  transfer_timeouts_ = r.U64();
+  transfer_retries_ = r.U64();
+  straggler_spills_ = r.U64();
+  reflushed_requests_ = r.U64();
 }
 
 void IoScheduler::OnCompletionEvent() {
@@ -434,8 +683,8 @@ void IoScheduler::OnCompletionEvent() {
     // at an unrepresentable future instant would spin forever.
     for (const storage::Transfer* t : active_scratch_) {
       if (t->rate_gbps > 0 &&
-          t->RemainingGb() <= t->rate_gbps * 1e-4) {
-        storage_.ForceComplete(t->job_id, t->rate_gbps * 1e-4);
+          t->RemainingGb() <= t->EffectiveRate() * 1e-4) {
+        storage_.ForceComplete(t->job_id, t->EffectiveRate() * 1e-4);
         done.push_back(t->job_id);
       }
     }
@@ -451,6 +700,11 @@ void IoScheduler::OnCompletionEvent() {
     storage::Transfer t = storage_.End(id);
     jobs_.find(id)->second.completed_io_seconds +=
         t.volume_gb / t.full_rate_gbps;
+    auto deadline = deadline_events_.find(id);
+    if (deadline != deadline_events_.end()) {
+      simulator_.Cancel(deadline->second.event);
+      deadline_events_.erase(deadline);
+    }
   }
   Reschedule(now);
   // Notify after rates are re-assigned so callbacks observing the storage

@@ -23,6 +23,7 @@
 #include "storage/backend.h"
 #include "storage/burst_buffer.h"
 #include "storage/storage_model.h"
+#include "util/rng.h"
 #include "workload/job.h"
 
 namespace iosched::obs {
@@ -30,6 +31,33 @@ class Hub;
 }  // namespace iosched::obs
 
 namespace iosched::core {
+
+/// Deadline/timeout semantics for direct PFS transfers (the graceful-
+/// degradation response to straggling storage). A transfer still in flight
+/// `timeout_seconds` after submission is aborted (its progress is kept) and
+/// the remaining volume is resubmitted after a jittered exponential backoff;
+/// after `max_retries` resubmissions the transfer runs unwatched to
+/// completion, so a pathological straggler degrades throughput but can never
+/// wedge a job.
+struct TransferRetryConfig {
+  /// Deadline per transfer attempt (seconds); 0 disables timeouts entirely.
+  double timeout_seconds = 0.0;
+  /// Resubmissions before the transfer runs unwatched.
+  int max_retries = 3;
+  /// First backoff delay (seconds); doubles per retry.
+  double backoff_base_seconds = 30.0;
+  /// Backoff ceiling (seconds); the doubling clamps here.
+  double backoff_max_seconds = 600.0;
+  /// Optional seeded jitter: each delay is scaled by a uniform factor in
+  /// [1 - f, 1 + f]. 0 disables (no RNG draws).
+  double backoff_jitter_fraction = 0.0;
+  /// Seed for the jitter draws.
+  std::uint64_t jitter_seed = 1;
+
+  bool enabled() const { return timeout_seconds > 0; }
+  /// Error description, or empty when valid.
+  std::string Validate() const;
+};
 
 class IoScheduler {
  public:
@@ -122,6 +150,35 @@ class IoScheduler {
   /// Total I/O requests submitted (absorbed + direct).
   std::uint64_t submitted_requests() const { return submitted_requests_; }
 
+  /// Configure transfer deadlines/retries (call before the run starts).
+  /// Throws std::invalid_argument on invalid fields.
+  void SetRetryConfig(const TransferRetryConfig& config);
+
+  /// Install the seeded per-transfer straggler draw (fault injection): the
+  /// callback returns the effective-rate multiplier for the next direct
+  /// submission (1.0 = nominal). Null detaches — with no draw installed,
+  /// submissions never consume RNG state, keeping fault-free runs
+  /// digest-identical.
+  void SetStragglerDraw(std::function<double()> draw) {
+    straggler_draw_ = std::move(draw);
+  }
+
+  /// Burst-buffer fault edge (fault injection). On fault the buffer stops
+  /// absorbing; with `lose_data` the staged data is dropped and every
+  /// in-flight absorbed request re-flushes its full volume over the direct
+  /// path. On repair the buffer absorbs again. Requires an attached buffer.
+  void OnBurstBufferFault(bool faulted, bool lose_data, sim::SimTime now);
+
+  /// Drain-rate degradation edge (fault injection): settle the drain at the
+  /// old rate, apply the factor, and re-plan. Requires an attached buffer.
+  void OnDrainFactorChange(double factor, sim::SimTime now);
+
+  /// Robustness counters (for reports).
+  std::uint64_t transfer_timeouts() const { return transfer_timeouts_; }
+  std::uint64_t transfer_retries() const { return transfer_retries_; }
+  std::uint64_t straggler_spills() const { return straggler_spills_; }
+  std::uint64_t reflushed_requests() const { return reflushed_requests_; }
+
   /// Build the policy view of the active set at `now` (exposed for tests).
   std::vector<IoJobView> BuildViews(sim::SimTime now) const;
 
@@ -163,6 +220,23 @@ class IoScheduler {
   /// burst-buffer-absorbed completion.
   std::function<void()> AbsorbedAction(workload::JobId id, double duration);
 
+  /// Closures for deadline/retry events (fresh scheduling and re-arming).
+  std::function<void()> DeadlineAction(workload::JobId id);
+  std::function<void()> RetryAction(workload::JobId id);
+
+  /// Begin a direct PFS transfer for `id` (drawing a straggler factor when
+  /// one is installed) and arm its deadline when timeouts are enabled and
+  /// the retry budget allows.
+  void BeginDirectTransfer(workload::JobId id, double volume_gb,
+                           sim::SimTime now, int retries);
+  /// Deadline fired: abort the straggling transfer (progress kept) and
+  /// schedule the resubmission after a jittered exponential backoff.
+  void OnTransferDeadline(workload::JobId id);
+  /// Backoff elapsed: resubmit the remaining volume as a fresh transfer.
+  void OnTransferRetry(workload::JobId id);
+  /// Clamped, optionally jittered exponential backoff for retry `retries`.
+  double BackoffDelay(int retries);
+
   sim::Simulator& simulator_;
   storage::StorageModel& storage_;
   double node_bandwidth_gbps_;
@@ -184,9 +258,37 @@ class IoScheduler {
     sim::EventId event = 0;
     sim::SimTime fire_time = 0.0;
     double duration = 0.0;
+    /// Request volume — needed to re-flush when a lossy BB fault drops the
+    /// staged data out from under the pending completion.
+    double volume_gb = 0.0;
   };
   /// Keyed by job; one request per job at a time.
   std::unordered_map<workload::JobId, AbsorbedEvent> absorbed_events_;
+  /// An armed per-transfer deadline: cancelled on completion/abort; on fire
+  /// the transfer is aborted and resubmitted after backoff.
+  struct DeadlineEvent {
+    sim::EventId event = 0;
+    sim::SimTime fire_time = 0.0;
+    /// Retries already consumed by this job's current request.
+    int retries = 0;
+  };
+  std::unordered_map<workload::JobId, DeadlineEvent> deadline_events_;
+  /// A resubmission waiting out its backoff (the job holds no transfer).
+  struct PendingRetry {
+    sim::EventId event = 0;
+    sim::SimTime fire_time = 0.0;
+    double remaining_gb = 0.0;
+    /// Retries consumed including the upcoming resubmission.
+    int retries = 0;
+  };
+  std::unordered_map<workload::JobId, PendingRetry> pending_retries_;
+  TransferRetryConfig retry_config_;
+  util::Rng jitter_rng_{1, /*stream=*/31};
+  std::function<double()> straggler_draw_;
+  std::uint64_t transfer_timeouts_ = 0;
+  std::uint64_t transfer_retries_ = 0;
+  std::uint64_t straggler_spills_ = 0;
+  std::uint64_t reflushed_requests_ = 0;
   metrics::BandwidthTracker* bandwidth_tracker_ = nullptr;
   storage::BurstBuffer* burst_buffer_ = nullptr;
   obs::Hub* hub_ = nullptr;

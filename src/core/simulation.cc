@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ckpt/serializer.h"
+#include "core/invariants.h"
 #include "core/io_scheduler.h"
 #include "core/policy_factory.h"
 #include "core/trace_adapter.h"
@@ -89,10 +90,15 @@ class Engine {
                       }),
         base_bwmax_(config.storage.max_bandwidth_gbps) {
     burst_buffer_ = backend_->burst_buffer();
+    io_scheduler_.SetRetryConfig(config.transfer_retry);
     if (config_.track_bandwidth) {
       io_scheduler_.SetBandwidthTracker(&bandwidth_tracker_);
     }
     if (event_log_ != nullptr) sinks_.push_back(event_log_);
+    if (config_.check_invariants) {
+      checker_.emplace(machine_, storage_, batch_, burst_buffer_);
+      sinks_.push_back(&*checker_);
+    }
     if (hub_ != nullptr) {
       trace_adapter_.emplace(&hub_->tracer());
       sinks_.push_back(&*trace_adapter_);
@@ -123,8 +129,24 @@ class Engine {
       hooks.kill_job = [this](workload::JobId id, sim::SimTime now) {
         return FailJob(id, now);
       };
+      hooks.set_bb_faulted = [this](bool faulted, bool lose_data,
+                                    sim::SimTime now) {
+        io_scheduler_.OnBurstBufferFault(faulted, lose_data, now);
+      };
+      hooks.set_drain_factor = [this](double factor, sim::SimTime now) {
+        io_scheduler_.OnDrainFactorChange(factor, now);
+      };
+      const bool stragglers = plan.straggler_probability > 0;
       injector_.emplace(simulator_, std::move(plan), std::move(hooks),
                         &fault_stats_);
+      if (stragglers) {
+        // Only installed when the plan can actually produce stragglers:
+        // with no draw attached, submissions never touch the RNG and a
+        // straggler-free run stays digest-identical to pre-straggler
+        // builds.
+        io_scheduler_.SetStragglerDraw(
+            [this] { return injector_->DrawStragglerFactor(); });
+      }
     }
   }
 
@@ -143,6 +165,7 @@ class Engine {
       }
     }
     if (!restored_) {
+      if (checker_.has_value()) checker_->MarkCompleteHistory();
       for (const workload::Job& job : jobs_) {
         pending_submits_[job.id] =
             simulator_.ScheduleAt(job.submit_time, SubmitAction(job));
@@ -160,6 +183,7 @@ class Engine {
       throw std::logic_error(
           "RunSimulation: event queue drained with unfinished jobs");
     }
+    if (checker_.has_value()) RunInvariantCheck();
     if (hub_ != nullptr) {
       sim::SimTime end = simulator_.Now();
       io_scheduler_.FlushObs(end);
@@ -195,6 +219,16 @@ class Engine {
     }
     if (injector_.has_value()) injector_->FinalizeStats(simulator_.Now());
     result.faults = std::move(fault_stats_);
+    result.transfer_timeouts = io_scheduler_.transfer_timeouts();
+    result.transfer_retries = io_scheduler_.transfer_retries();
+    result.straggler_spills = io_scheduler_.straggler_spills();
+    result.bb_reflushed_requests = io_scheduler_.reflushed_requests();
+    if (burst_buffer_ != nullptr) {
+      result.bb_lost_gb = burst_buffer_->total_lost_gb();
+    }
+    if (checker_.has_value()) {
+      result.invariant_checks = checker_->checks_run();
+    }
     result.io_requests = io_scheduler_.submitted_requests();
     result.events_processed = simulator_.processed_events();
     result.io_scheduling_cycles = io_scheduler_.cycles();
@@ -558,8 +592,17 @@ class Engine {
             ? simulator_.processed_events() + opt.every_events
             : 0;
     Clock::time_point next_wall_save = Clock::now() + wall_period;
+    const std::uint64_t check_every =
+        checker_.has_value() ? config_.invariant_check_every_events : 0;
+    std::uint64_t next_invariant_check =
+        check_every > 0 ? simulator_.processed_events() + check_every : 0;
 
     while (simulator_.RunOne()) {
+      if (check_every > 0 &&
+          simulator_.processed_events() >= next_invariant_check) {
+        RunInvariantCheck();
+        next_invariant_check = simulator_.processed_events() + check_every;
+      }
       if (control != nullptr) {
         control->progress_events.store(simulator_.processed_events(),
                                        std::memory_order_relaxed);
@@ -606,10 +649,35 @@ class Engine {
     }
   }
 
+  /// One full InvariantChecker sweep, counted on the hub when one is
+  /// attached. Strictly read-only with respect to simulation state.
+  void RunInvariantCheck() {
+    checker_->CheckNow(simulator_.Now());
+    if (hub_ != nullptr) hub_->invariant_checks->Inc();
+  }
+
   /// Snapshot the complete engine state and atomically publish it under the
   /// next sequence number, pruning old checkpoints. Returns the path.
   std::string SaveCheckpointNow() {
     const ckpt::Options& opt = config_.checkpoint;
+    // Flag the write on the control handle so a watchdog can tell "long
+    // checkpoint write" apart from "stuck simulation"; cleared on every
+    // exit path (WriteAtomic can throw on a full disk).
+    struct CkptFlag {
+      RunControl* control;
+      explicit CkptFlag(RunControl* c) : control(c) {
+        if (control != nullptr) {
+          control->checkpoint_in_progress.store(true,
+                                                std::memory_order_relaxed);
+        }
+      }
+      ~CkptFlag() {
+        if (control != nullptr) {
+          control->checkpoint_in_progress.store(false,
+                                                std::memory_order_relaxed);
+        }
+      }
+    } flag(config_.control);
     std::filesystem::create_directories(std::filesystem::path(opt.directory));
     ckpt::CheckpointFile file = BuildCheckpoint();
     std::string path = ckpt::CheckpointFileName(
@@ -1021,6 +1089,10 @@ class Engine {
   double base_bwmax_ = 0.0;
   metrics::FaultStats fault_stats_;
   std::optional<faults::FaultInjector> injector_;
+  /// The chaos-harness invariant checker (config.check_invariants only);
+  /// registered as a sink for lifecycle legality and swept periodically by
+  /// RunLoop.
+  std::optional<InvariantChecker> checker_;
   std::unordered_map<workload::JobId, ExecState> running_;
   std::unordered_map<workload::JobId, RetryContext> retry_;
   metrics::JobRecords records_;
@@ -1123,6 +1195,18 @@ std::vector<ConfigIssue> SimulationConfig::Validate() const {
   if (batch.max_backoff_seconds < 0) {
     add("batch.max_backoff_seconds", "must be >= 0");
   }
+  if (batch.backoff_jitter_fraction < 0 || batch.backoff_jitter_fraction >= 1) {
+    add("batch.backoff_jitter_fraction", "must be in [0, 1)");
+  }
+
+  {
+    std::string err = transfer_retry.Validate();
+    if (!err.empty()) add("transfer_retry", std::move(err));
+  }
+  if (check_invariants && invariant_check_every_events == 0) {
+    add("invariant_check_every_events",
+        "must be positive when check_invariants is set");
+  }
 
   const storage::BurstBufferConfig& bb = burst_buffer;
   if (bb.capacity_gb < 0) add("burst_buffer.capacity_gb", "must be >= 0");
@@ -1165,9 +1249,42 @@ std::vector<ConfigIssue> SimulationConfig::Validate() const {
   if (fp.job_kill_probability < 0 || fp.job_kill_probability > 1) {
     add("faults.plan_config.job_kill_probability", "must be in [0, 1]");
   }
+  if (fp.bb_faults < 0) add("faults.plan_config.bb_faults", "must be >= 0");
+  if (fp.bb_fault_seconds < 0) {
+    add("faults.plan_config.bb_fault_seconds", "must be >= 0");
+  }
+  if (fp.drain_degraded_fraction < 0 || fp.drain_degraded_fraction >= 1) {
+    add("faults.plan_config.drain_degraded_fraction", "must be in [0, 1)");
+  }
+  if (fp.drain_degradation_factor <= 0 || fp.drain_degradation_factor > 1) {
+    add("faults.plan_config.drain_degradation_factor", "must be in (0, 1]");
+  }
+  if (fp.drain_window_seconds < 0) {
+    add("faults.plan_config.drain_window_seconds", "must be >= 0");
+  }
+  if (fp.straggler_probability < 0 || fp.straggler_probability > 1) {
+    add("faults.plan_config.straggler_probability", "must be in [0, 1]");
+  }
+  if (fp.straggler_probability > 0 &&
+      (fp.straggler_factor <= 0 || fp.straggler_factor >= 1)) {
+    add("faults.plan_config.straggler_factor", "must be in (0, 1)");
+  }
   if (!faults.explicit_plan.Empty()) {
     std::string err = faults.explicit_plan.Validate();
     if (!err.empty()) add("faults.explicit_plan", err);
+  }
+  {
+    // Burst-buffer fault windows are meaningless without the tier.
+    const bool wants_bb_faults =
+        (fp.enabled &&
+         (fp.bb_faults > 0 || fp.drain_degraded_fraction > 0)) ||
+        !faults.explicit_plan.bb_faults.empty() ||
+        !faults.explicit_plan.drain_degradations.empty();
+    if (wants_bb_faults && !bb.enabled()) {
+      add("faults",
+          "burst-buffer fault / drain-degradation windows require the "
+          "burst-buffer tier to be enabled");
+    }
   }
 
   if (obs.sample_dt_seconds < 0) {
@@ -1218,6 +1335,16 @@ std::uint64_t SimulationConfigHash(const SimulationConfig& config,
   h = FnvMix(h, static_cast<std::uint64_t>(config.batch.max_retries));
   h = FnvMix(h, config.batch.requeue_backoff_seconds);
   h = FnvMix(h, config.batch.max_backoff_seconds);
+  h = FnvMix(h, config.batch.backoff_jitter_fraction);
+  h = FnvMix(h, config.batch.backoff_jitter_seed);
+  // Transfer deadlines/retries reshape the event schedule when enabled.
+  h = FnvMix(h, config.transfer_retry.timeout_seconds);
+  h = FnvMix(h, static_cast<std::uint64_t>(config.transfer_retry.max_retries));
+  h = FnvMix(h, config.transfer_retry.backoff_base_seconds);
+  h = FnvMix(h, config.transfer_retry.backoff_max_seconds);
+  h = FnvMix(h, config.transfer_retry.backoff_jitter_fraction);
+  h = FnvMix(h, config.transfer_retry.jitter_seed);
+  // check_invariants is deliberately excluded: the checker is read-only.
   // Policy + engine switches that shape the schedule.
   h = MixStr(h, config.policy);
   h = FnvMix(h, static_cast<std::uint64_t>(config.track_bandwidth));
@@ -1239,6 +1366,14 @@ std::uint64_t SimulationConfigHash(const SimulationConfig& config,
   h = FnvMix(h, static_cast<std::uint64_t>(fp.midplane_outages));
   h = FnvMix(h, fp.midplane_outage_seconds);
   h = FnvMix(h, fp.job_kill_probability);
+  h = FnvMix(h, static_cast<std::uint64_t>(fp.bb_faults));
+  h = FnvMix(h, fp.bb_fault_seconds);
+  h = FnvMix(h, static_cast<std::uint64_t>(fp.bb_fault_lose_data));
+  h = FnvMix(h, fp.drain_degraded_fraction);
+  h = FnvMix(h, fp.drain_degradation_factor);
+  h = FnvMix(h, fp.drain_window_seconds);
+  h = FnvMix(h, fp.straggler_probability);
+  h = FnvMix(h, fp.straggler_factor);
   const faults::FaultPlan& plan = config.faults.explicit_plan;
   h = FnvMix(h, static_cast<std::uint64_t>(plan.degradations.size()));
   for (const faults::StorageDegradation& d : plan.degradations) {
@@ -1254,6 +1389,21 @@ std::uint64_t SimulationConfigHash(const SimulationConfig& config,
   }
   h = FnvMix(h, plan.job_kill_probability);
   h = FnvMix(h, plan.kill_seed);
+  h = FnvMix(h, static_cast<std::uint64_t>(plan.bb_faults.size()));
+  for (const faults::BurstBufferFault& f : plan.bb_faults) {
+    h = FnvMix(h, f.start);
+    h = FnvMix(h, f.end);
+    h = FnvMix(h, static_cast<std::uint64_t>(f.lose_data));
+  }
+  h = FnvMix(h, static_cast<std::uint64_t>(plan.drain_degradations.size()));
+  for (const faults::DrainDegradation& d : plan.drain_degradations) {
+    h = FnvMix(h, d.start);
+    h = FnvMix(h, d.end);
+    h = FnvMix(h, d.drain_factor);
+  }
+  h = FnvMix(h, plan.straggler_probability);
+  h = FnvMix(h, plan.straggler_factor);
+  h = FnvMix(h, plan.straggler_seed);
   h = FnvMix(h, static_cast<std::uint64_t>(config.faults.restart_mode));
   // Observability: sampler ticks consume event ids, so sampling must match.
   h = FnvMix(h, static_cast<std::uint64_t>(config.obs.enabled));

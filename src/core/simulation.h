@@ -18,6 +18,7 @@
 
 #include "ckpt/checkpoint.h"
 #include "core/event_log.h"
+#include "core/io_scheduler.h"
 #include "faults/fault_plan.h"
 #include "machine/machine.h"
 #include "metrics/bandwidth.h"
@@ -45,6 +46,12 @@ struct RunControl {
   std::atomic<std::uint64_t> progress_events{0};
   std::atomic<double> progress_sim_time{0.0};
   std::atomic<bool> abort{false};
+  /// Set by the engine for the duration of a checkpoint write. Event
+  /// progress stalls while a snapshot is serialized and fsynced, so a
+  /// monitor must not confuse a long checkpoint write with a stuck
+  /// simulation (the driver's Watchdog suspends its normal budget while
+  /// this flag is up).
+  std::atomic<bool> checkpoint_in_progress{false};
 };
 
 /// Thrown when a run is stopped via RunControl::abort. Carries the path of
@@ -106,6 +113,18 @@ struct SimulationConfig {
   /// Either an explicit plan or seeded generation parameters; killed jobs
   /// requeue with exponential backoff under `batch` retry options.
   faults::FaultOptions faults;
+  /// Deadline/timeout semantics for direct PFS transfers (disabled by
+  /// default — timeout_seconds 0 leaves every transfer unwatched, exactly
+  /// the pre-timeout behavior).
+  TransferRetryConfig transfer_retry;
+  /// Run the from-scratch InvariantChecker alongside the simulation: every
+  /// `invariant_check_every_events` events (and once after the queue
+  /// drains) all incremental aggregates are recomputed and any mismatch
+  /// throws InvariantViolation. Strictly read-only — enabling it never
+  /// changes a run's records or digest. Off by default (the sweep is a
+  /// full scan of the active sets).
+  bool check_invariants = false;
+  std::uint64_t invariant_check_every_events = 64;
   /// Observability settings (counters + tracer + time-series sampler).
   /// Drivers that honor `obs.enabled` construct an obs::Hub from these and
   /// pass it to RunSimulation; the engine itself only sees the Hub pointer.
@@ -178,6 +197,15 @@ class SimulationConfig::Builder {
     config_.faults = std::move(faults);
     return *this;
   }
+  Builder& TransferRetry(TransferRetryConfig retry) {
+    config_.transfer_retry = retry;
+    return *this;
+  }
+  Builder& CheckInvariants(bool on, std::uint64_t every_events = 64) {
+    config_.check_invariants = on;
+    config_.invariant_check_every_events = every_events;
+    return *this;
+  }
   Builder& Obs(obs::Options options) {
     config_.obs = options;
     return *this;
@@ -216,6 +244,17 @@ struct SimulationResult {
   double bb_mean_occupancy = 0.0;
   /// Fault accounting (empty when fault injection is disabled).
   metrics::FaultStats faults;
+  /// Robustness accounting (all zero when timeouts/fault injection are
+  /// disabled).
+  std::uint64_t transfer_timeouts = 0;
+  std::uint64_t transfer_retries = 0;
+  std::uint64_t straggler_spills = 0;
+  /// Absorbed requests re-flushed over the direct path after a lossy
+  /// burst-buffer fault, and the staged volume those faults dropped.
+  std::uint64_t bb_reflushed_requests = 0;
+  double bb_lost_gb = 0.0;
+  /// Full InvariantChecker sweeps executed (0 unless check_invariants).
+  std::uint64_t invariant_checks = 0;
   /// Engine statistics.
   std::uint64_t io_requests = 0;
   std::uint64_t events_processed = 0;

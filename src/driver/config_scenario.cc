@@ -78,6 +78,20 @@ Scenario ScenarioFromConfig(const util::Config& config) {
         config.GetDoubleOr("faults.midplane_outage_seconds", 4.0 * 3600.0);
     fp.job_kill_probability =
         config.GetDoubleOr("faults.job_kill_probability", 0.0);
+    fp.bb_faults = static_cast<int>(config.GetIntOr("faults.bb_faults", 0));
+    fp.bb_fault_seconds =
+        config.GetDoubleOr("faults.bb_fault_seconds", 2.0 * 3600.0);
+    fp.bb_fault_lose_data =
+        config.GetBoolOr("faults.bb_fault_lose_data", false);
+    fp.drain_degraded_fraction =
+        config.GetDoubleOr("faults.drain_degraded_fraction", 0.0);
+    fp.drain_degradation_factor =
+        config.GetDoubleOr("faults.drain_degradation_factor", 0.5);
+    fp.drain_window_seconds =
+        config.GetDoubleOr("faults.drain_window_seconds", 3600.0);
+    fp.straggler_probability =
+        config.GetDoubleOr("faults.straggler_probability", 0.0);
+    fp.straggler_factor = config.GetDoubleOr("faults.straggler_factor", 0.25);
     if (fp.enabled) {
       std::string err = fp.Validate();
       if (!err.empty()) throw std::runtime_error("config: [faults] " + err);
@@ -91,6 +105,42 @@ Scenario ScenarioFromConfig(const util::Config& config) {
         config.GetDoubleOr("faults.backoff_seconds", 300.0);
     scenario.config.batch.max_backoff_seconds =
         config.GetDoubleOr("faults.max_backoff_seconds", 4.0 * 3600.0);
+    scenario.config.batch.backoff_jitter_fraction =
+        config.GetDoubleOr("faults.backoff_jitter_fraction", 0.0);
+    scenario.config.batch.backoff_jitter_seed = static_cast<std::uint64_t>(
+        config.GetIntOr("faults.backoff_jitter_seed", 1));
+  }
+
+  // Transfer deadline/timeout semantics (off unless timeout_seconds > 0).
+  {
+    core::TransferRetryConfig& tr = scenario.config.transfer_retry;
+    tr.timeout_seconds =
+        config.GetDoubleOr("transfer_retry.timeout_seconds", 0.0);
+    tr.max_retries =
+        static_cast<int>(config.GetIntOr("transfer_retry.max_retries", 3));
+    tr.backoff_base_seconds =
+        config.GetDoubleOr("transfer_retry.backoff_base_seconds", 30.0);
+    tr.backoff_max_seconds =
+        config.GetDoubleOr("transfer_retry.backoff_max_seconds", 600.0);
+    tr.backoff_jitter_fraction =
+        config.GetDoubleOr("transfer_retry.backoff_jitter_fraction", 0.0);
+    tr.jitter_seed = static_cast<std::uint64_t>(
+        config.GetIntOr("transfer_retry.jitter_seed", 1));
+  }
+
+  // Invariant checking (read-only; never changes records or digests).
+  scenario.config.check_invariants =
+      config.GetBoolOr("simulation.check_invariants", false);
+  {
+    long long every =
+        config.GetIntOr("simulation.invariant_check_every_events", 64);
+    if (every <= 0) {
+      throw std::runtime_error(
+          "config: 'simulation.invariant_check_every_events' must be "
+          "positive");
+    }
+    scenario.config.invariant_check_every_events =
+        static_cast<std::uint64_t>(every);
   }
 
   // Observability.

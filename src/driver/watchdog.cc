@@ -17,6 +17,11 @@ Watchdog::Watchdog(core::RunControl& control, Options options,
         ", poll_interval_seconds=" +
         std::to_string(options_.poll_interval_seconds) + ")");
   }
+  if (options_.checkpoint_write_seconds < 0) {
+    throw std::invalid_argument(
+        "Watchdog: checkpoint_write_seconds must be >= 0 (0 waits "
+        "indefinitely for a checkpoint write)");
+  }
   thread_ = std::thread([this] { Loop(); });
 }
 
@@ -47,28 +52,53 @@ void Watchdog::Loop() {
       std::chrono::duration<double>(options_.poll_interval_seconds));
   std::uint64_t last_events =
       control_.progress_events.load(std::memory_order_relaxed);
+  bool last_in_checkpoint =
+      control_.checkpoint_in_progress.load(std::memory_order_relaxed);
   Clock::time_point last_change = Clock::now();
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     if (cv_.wait_for(lock, poll, [this] { return stop_requested_; })) return;
     std::uint64_t events =
         control_.progress_events.load(std::memory_order_relaxed);
+    bool in_checkpoint =
+        control_.checkpoint_in_progress.load(std::memory_order_relaxed);
     Clock::time_point now = Clock::now();
-    if (events != last_events) {
+    // Event progress resets the stall clock; so does a checkpoint write
+    // starting or finishing — crossing that boundary proves the engine is
+    // alive even though the event counter stands still.
+    if (events != last_events || in_checkpoint != last_in_checkpoint) {
       last_events = events;
+      last_in_checkpoint = in_checkpoint;
       last_change = now;
       continue;
     }
     double stalled = std::chrono::duration<double>(now - last_change).count();
-    if (stalled < options_.no_progress_seconds) continue;
+    if (in_checkpoint) {
+      // A long checkpoint write is not a stalled simulation: hold fire
+      // under the (usually laxer) checkpoint budget.
+      if (options_.checkpoint_write_seconds <= 0 ||
+          stalled < options_.checkpoint_write_seconds) {
+        continue;
+      }
+    } else if (stalled < options_.no_progress_seconds) {
+      continue;
+    }
     control_.abort.store(true, std::memory_order_relaxed);
     fired_ = true;
     diagnostic_ =
-        "watchdog: no event progress for " + std::to_string(stalled) +
-        " s (stuck at " + std::to_string(events) + " events, sim t=" +
-        std::to_string(
-            control_.progress_sim_time.load(std::memory_order_relaxed)) +
-        ")";
+        in_checkpoint
+            ? "watchdog: checkpoint write in progress for " +
+                  std::to_string(stalled) + " s without completing (at " +
+                  std::to_string(events) + " events, sim t=" +
+                  std::to_string(control_.progress_sim_time.load(
+                      std::memory_order_relaxed)) +
+                  ")"
+            : "watchdog: no event progress for " + std::to_string(stalled) +
+                  " s (stuck at " + std::to_string(events) +
+                  " events, sim t=" +
+                  std::to_string(control_.progress_sim_time.load(
+                      std::memory_order_relaxed)) +
+                  ")";
     std::string diagnostic = diagnostic_;
     lock.unlock();
     if (on_stall_) on_stall_(diagnostic);

@@ -28,6 +28,11 @@ class Watchdog {
     double no_progress_seconds = 300.0;
     /// How often the monitor thread samples the counters (seconds).
     double poll_interval_seconds = 1.0;
+    /// A long checkpoint write is not a stalled simulation: while the
+    /// engine reports RunControl::checkpoint_in_progress the normal budget
+    /// is suspended and this one applies instead. 0 = wait indefinitely
+    /// for the write to finish (the stall clock restarts when it does).
+    double checkpoint_write_seconds = 0.0;
   };
 
   /// Starts the monitor thread immediately. `control` must outlive the

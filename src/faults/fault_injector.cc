@@ -13,7 +13,8 @@ FaultInjector::FaultInjector(sim::Simulator& simulator, FaultPlan plan,
       plan_(std::move(plan)),
       hooks_(std::move(hooks)),
       stats_(stats),
-      kill_rng_(plan_.kill_seed, /*stream=*/23) {
+      kill_rng_(plan_.kill_seed, /*stream=*/23),
+      straggler_rng_(plan_.straggler_seed, /*stream=*/29) {
   std::string err = plan_.Validate();
   if (!err.empty()) throw std::invalid_argument("FaultInjector: " + err);
   if (!plan_.degradations.empty() && !hooks_.set_bandwidth_factor) {
@@ -29,10 +30,19 @@ FaultInjector::FaultInjector(sim::Simulator& simulator, FaultPlan plan,
     throw std::invalid_argument(
         "FaultInjector: plan kills jobs but no kill hook");
   }
+  if (!plan_.bb_faults.empty() && !hooks_.set_bb_faulted) {
+    throw std::invalid_argument(
+        "FaultInjector: plan faults the burst buffer but no BB hook");
+  }
+  if (!plan_.drain_degradations.empty() && !hooks_.set_drain_factor) {
+    throw std::invalid_argument(
+        "FaultInjector: plan degrades the drain but no drain hook");
+  }
 }
 
 std::size_t FaultInjector::EdgeCount() const {
-  return 2 * (plan_.degradations.size() + plan_.outages.size());
+  return 2 * (plan_.degradations.size() + plan_.outages.size() +
+              plan_.bb_faults.size() + plan_.drain_degradations.size());
 }
 
 sim::SimTime FaultInjector::EdgeTime(std::size_t edge) const {
@@ -42,8 +52,20 @@ sim::SimTime FaultInjector::EdgeTime(std::size_t edge) const {
     return (edge % 2 == 0) ? d.start : d.end;
   }
   std::size_t k = edge - degradation_edges;
-  const MidplaneOutage& o = plan_.outages[k / 2];
-  return (k % 2 == 0) ? o.start : o.end;
+  std::size_t outage_edges = 2 * plan_.outages.size();
+  if (k < outage_edges) {
+    const MidplaneOutage& o = plan_.outages[k / 2];
+    return (k % 2 == 0) ? o.start : o.end;
+  }
+  k -= outage_edges;
+  std::size_t bb_edges = 2 * plan_.bb_faults.size();
+  if (k < bb_edges) {
+    const BurstBufferFault& f = plan_.bb_faults[k / 2];
+    return (k % 2 == 0) ? f.start : f.end;
+  }
+  k -= bb_edges;
+  const DrainDegradation& d = plan_.drain_degradations[k / 2];
+  return (k % 2 == 0) ? d.start : d.end;
 }
 
 std::function<void()> FaultInjector::EdgeAction(std::size_t edge) {
@@ -59,11 +81,31 @@ std::function<void()> FaultInjector::EdgeAction(std::size_t edge) {
     };
   }
   std::size_t k = edge - degradation_edges;
-  int midplane = plan_.outages[k / 2].midplane;
+  std::size_t outage_edges = 2 * plan_.outages.size();
+  if (k < outage_edges) {
+    int midplane = plan_.outages[k / 2].midplane;
+    bool begin = k % 2 == 0;
+    return [this, edge, midplane, begin] {
+      pending_edges_.erase(edge);
+      OnOutageEdge(midplane, begin);
+    };
+  }
+  k -= outage_edges;
+  std::size_t bb_edges = 2 * plan_.bb_faults.size();
+  if (k < bb_edges) {
+    bool lose_data = plan_.bb_faults[k / 2].lose_data;
+    bool begin = k % 2 == 0;
+    return [this, edge, lose_data, begin] {
+      pending_edges_.erase(edge);
+      OnBbFaultEdge(lose_data, begin);
+    };
+  }
+  k -= bb_edges;
+  double factor = plan_.drain_degradations[k / 2].drain_factor;
   bool begin = k % 2 == 0;
-  return [this, edge, midplane, begin] {
+  return [this, edge, factor, begin] {
     pending_edges_.erase(edge);
-    OnOutageEdge(midplane, begin);
+    OnDrainEdge(factor, begin);
   };
 }
 
@@ -109,6 +151,65 @@ void FaultInjector::AccrueDegradedTime(sim::SimTime now) {
     stats_->degraded_seconds += now - last_factor_change_;
   }
   last_factor_change_ = now;
+}
+
+void FaultInjector::OnBbFaultEdge(bool lose_data, bool begin) {
+  sim::SimTime now = simulator_.Now();
+  if (begin) {
+    ++active_bb_faults_;
+    if (active_bb_faults_ == 1) {
+      if (stats_ != nullptr) {
+        stats_->Add(now, metrics::FaultEventKind::kBbFault, 0,
+                    lose_data ? 1.0 : 0.0);
+      }
+      hooks_.set_bb_faulted(/*faulted=*/true, lose_data, now);
+    } else if (lose_data) {
+      // An overlapping lossy window still drops whatever drained in.
+      hooks_.set_bb_faulted(/*faulted=*/true, lose_data, now);
+    }
+  } else {
+    --active_bb_faults_;
+    if (active_bb_faults_ <= 0) {
+      active_bb_faults_ = 0;
+      if (stats_ != nullptr) {
+        stats_->Add(now, metrics::FaultEventKind::kBbRepair);
+      }
+      hooks_.set_bb_faulted(/*faulted=*/false, /*lose_data=*/false, now);
+    }
+  }
+}
+
+void FaultInjector::OnDrainEdge(double factor, bool begin) {
+  int& count = active_drain_factors_[factor];
+  count += begin ? 1 : -1;
+  if (count <= 0) active_drain_factors_.erase(factor);
+  ApplyDrainFactor();
+}
+
+void FaultInjector::ApplyDrainFactor() {
+  double factor = 1.0;
+  for (const auto& [f, count] : active_drain_factors_) {
+    factor = std::min(factor, f);
+  }
+  if (factor == current_drain_factor_) return;
+  sim::SimTime now = simulator_.Now();
+  bool degrading = factor < current_drain_factor_;
+  current_drain_factor_ = factor;
+  if (stats_ != nullptr) {
+    stats_->Add(now,
+                degrading ? metrics::FaultEventKind::kDrainDegrade
+                          : metrics::FaultEventKind::kDrainRestore,
+                0, factor);
+    stats_->min_drain_factor = std::min(stats_->min_drain_factor, factor);
+  }
+  hooks_.set_drain_factor(factor, now);
+}
+
+double FaultInjector::DrawStragglerFactor() {
+  if (plan_.straggler_probability <= 0) return 1.0;
+  return straggler_rng_.Bernoulli(plan_.straggler_probability)
+             ? plan_.straggler_factor
+             : 1.0;
 }
 
 void FaultInjector::OnOutageEdge(int midplane, bool begin) {
@@ -211,6 +312,22 @@ void FaultInjector::SaveState(ckpt::Writer& w) const {
     w.U64(kill.event);
     w.F64(kill.fire_time);
   }
+  // Storage-tier fault state (appended so the layout above is unchanged).
+  util::Rng::State straggler = straggler_rng_.SaveState();
+  w.U64(straggler.engine.state);
+  w.U64(straggler.engine.inc);
+  w.Bool(straggler.has_spare);
+  w.F64(straggler.spare);
+  w.F64(current_drain_factor_);
+  std::vector<std::pair<double, int>> drains(active_drain_factors_.begin(),
+                                             active_drain_factors_.end());
+  std::sort(drains.begin(), drains.end());
+  w.U32(static_cast<std::uint32_t>(drains.size()));
+  for (const auto& [factor, count] : drains) {
+    w.F64(factor);
+    w.I64(count);
+  }
+  w.I64(active_bb_faults_);
 }
 
 void FaultInjector::RestoreState(ckpt::Reader& r) {
@@ -257,6 +374,19 @@ void FaultInjector::RestoreState(ckpt::Reader& r) {
     pending_kills_[id] = kill;
     simulator_.RestoreEvent(kill.fire_time, kill.event, KillAction(id));
   }
+  util::Rng::State straggler;
+  straggler.engine.state = r.U64();
+  straggler.engine.inc = r.U64();
+  straggler.has_spare = r.Bool();
+  straggler.spare = r.F64();
+  straggler_rng_.RestoreState(straggler);
+  current_drain_factor_ = r.F64();
+  std::uint32_t drains = r.U32();
+  for (std::uint32_t i = 0; i < drains; ++i) {
+    double factor = r.F64();
+    active_drain_factors_[factor] = static_cast<int>(r.I64());
+  }
+  active_bb_faults_ = static_cast<int>(r.I64());
 }
 
 }  // namespace iosched::faults

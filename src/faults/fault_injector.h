@@ -37,6 +37,14 @@ struct FaultHooks {
   /// Kill a running job (fault-kill path, distinct from the walltime kill).
   /// Must be a no-op returning false when the job is no longer running.
   std::function<bool(workload::JobId id, sim::SimTime now)> kill_job;
+  /// The burst buffer went down (`faulted`) or came back. On fault with
+  /// `lose_data`, the receiver must drop all buffered data and re-flush
+  /// in-flight absorbed requests over the direct path.
+  std::function<void(bool faulted, bool lose_data, sim::SimTime now)>
+      set_bb_faulted;
+  /// BB drain-rate factor changed (1.0 = nominal). Called at most once per
+  /// distinct factor transition.
+  std::function<void(double factor, sim::SimTime now)> set_drain_factor;
 };
 
 class FaultInjector {
@@ -63,6 +71,19 @@ class FaultInjector {
   /// Smallest active degradation factor (1.0 when storage is nominal).
   double current_bandwidth_factor() const { return current_factor_; }
 
+  /// Smallest active drain factor (1.0 when the BB drain is nominal).
+  double current_drain_factor() const { return current_drain_factor_; }
+
+  /// True while at least one burst-buffer fault window is active.
+  bool bb_faulted() const { return active_bb_faults_ > 0; }
+
+  /// Seeded per-transfer straggler draw: the effective-rate multiplier for
+  /// the next direct PFS transfer (1.0 = nominal, `straggler_factor` when
+  /// the Bernoulli draw straggles). Call exactly once per direct-transfer
+  /// submission, in deterministic event order. Returns 1.0 without drawing
+  /// when the plan has no stragglers.
+  double DrawStragglerFactor();
+
   /// Close the degraded-seconds accounting at the end of the run.
   void FinalizeStats(sim::SimTime end);
 
@@ -82,14 +103,18 @@ class FaultInjector {
  private:
   void OnDegradationEdge(double factor, bool begin);
   void OnOutageEdge(int midplane, bool begin);
+  void OnBbFaultEdge(bool lose_data, bool begin);
+  void OnDrainEdge(double factor, bool begin);
   /// Recompute the effective factor from active windows and fire the hook
   /// on transitions.
   void ApplyFactor();
+  void ApplyDrainFactor();
   void AccrueDegradedTime(sim::SimTime now);
 
   /// Plan edges are enumerated canonically for checkpointing: index 2i /
   /// 2i+1 are degradation i's start/end, then outage edges follow at offset
-  /// 2 * degradations.size(). Firing time and action are derived from the
+  /// 2 * degradations.size(), then burst-buffer fault edges, then
+  /// drain-degradation edges. Firing time and action are derived from the
   /// plan, so a checkpoint stores only (edge index, event id).
   std::size_t EdgeCount() const;
   sim::SimTime EdgeTime(std::size_t edge) const;
@@ -108,9 +133,15 @@ class FaultInjector {
   FaultHooks hooks_;
   metrics::FaultStats* stats_;
   util::Rng kill_rng_;
+  util::Rng straggler_rng_;
   /// Multiset of active degradation factors (value -> active count).
   std::unordered_map<double, int> active_factors_;
   double current_factor_ = 1.0;
+  /// Multiset of active drain-degradation factors (value -> active count).
+  std::unordered_map<double, int> active_drain_factors_;
+  double current_drain_factor_ = 1.0;
+  /// Number of currently active burst-buffer fault windows.
+  int active_bb_faults_ = 0;
   /// Active outage count per midplane (overlapping outages must not
   /// double-repair).
   std::unordered_map<int, int> active_outages_;

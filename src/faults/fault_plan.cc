@@ -25,8 +25,28 @@ std::string FaultPlan::Validate() const {
     }
     if (o.midplane < 0) return "outage midplane must be non-negative";
   }
+  for (const BurstBufferFault& f : bb_faults) {
+    if (f.start < 0 || f.end <= f.start) {
+      return "bb fault window must have 0 <= start < end";
+    }
+  }
+  for (const DrainDegradation& d : drain_degradations) {
+    if (d.start < 0 || d.end <= d.start) {
+      return "drain degradation window must have 0 <= start < end";
+    }
+    if (d.drain_factor <= 0 || d.drain_factor > 1.0) {
+      return "drain_factor must be in (0, 1]";
+    }
+  }
   if (job_kill_probability < 0 || job_kill_probability > 1.0) {
     return "job_kill_probability must be in [0, 1]";
+  }
+  if (straggler_probability < 0 || straggler_probability > 1.0) {
+    return "straggler_probability must be in [0, 1]";
+  }
+  if (straggler_probability > 0 &&
+      (straggler_factor <= 0 || straggler_factor >= 1.0)) {
+    return "straggler_factor must be in (0, 1)";
   }
   return "";
 }
@@ -47,6 +67,24 @@ std::string FaultPlanConfig::Validate() const {
   }
   if (job_kill_probability < 0 || job_kill_probability > 1.0) {
     return "job_kill_probability must be in [0, 1]";
+  }
+  if (bb_faults < 0) return "bb_faults must be non-negative";
+  if (bb_fault_seconds <= 0) return "bb_fault_seconds must be positive";
+  if (drain_degraded_fraction < 0 || drain_degraded_fraction >= 1.0) {
+    return "drain_degraded_fraction must be in [0, 1)";
+  }
+  if (drain_degradation_factor <= 0 || drain_degradation_factor > 1.0) {
+    return "drain_degradation_factor must be in (0, 1]";
+  }
+  if (drain_window_seconds <= 0) {
+    return "drain_window_seconds must be positive";
+  }
+  if (straggler_probability < 0 || straggler_probability > 1.0) {
+    return "straggler_probability must be in [0, 1]";
+  }
+  if (straggler_probability > 0 &&
+      (straggler_factor <= 0 || straggler_factor >= 1.0)) {
+    return "straggler_factor must be in (0, 1)";
   }
   return "";
 }
@@ -104,6 +142,46 @@ FaultPlan BuildFaultPlan(const FaultPlanConfig& config, double horizon_seconds,
               if (a.start != b.start) return a.start < b.start;
               return a.midplane < b.midplane;
             });
+
+  // Storage-tier fault kinds are drawn strictly after the original kinds so
+  // enabling them never perturbs the degradation/outage schedule a seed
+  // produced before they existed.
+  for (int i = 0; i < config.bb_faults; ++i) {
+    BurstBufferFault f;
+    f.start = rng.Uniform(0.0, horizon_seconds);
+    f.end = f.start + config.bb_fault_seconds;
+    f.lose_data = config.bb_fault_lose_data;
+    plan.bb_faults.push_back(f);
+  }
+  std::sort(plan.bb_faults.begin(), plan.bb_faults.end(),
+            [](const BurstBufferFault& a, const BurstBufferFault& b) {
+              return a.start < b.start;
+            });
+
+  if (config.drain_degraded_fraction > 0) {
+    auto tiles = static_cast<std::size_t>(
+        std::ceil(horizon_seconds / config.drain_window_seconds));
+    auto degraded = static_cast<std::size_t>(std::llround(
+        config.drain_degraded_fraction * static_cast<double>(tiles)));
+    degraded = std::min(degraded, tiles);
+    if (degraded == 0) degraded = 1;
+    std::vector<std::size_t> order(tiles);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    util::Shuffle(order, rng.engine());
+    order.resize(degraded);
+    std::sort(order.begin(), order.end());
+    for (std::size_t tile : order) {
+      DrainDegradation d;
+      d.start = static_cast<double>(tile) * config.drain_window_seconds;
+      d.end = std::min(horizon_seconds, d.start + config.drain_window_seconds);
+      d.drain_factor = config.drain_degradation_factor;
+      if (d.end > d.start) plan.drain_degradations.push_back(d);
+    }
+  }
+
+  plan.straggler_probability = config.straggler_probability;
+  plan.straggler_factor = config.straggler_factor;
+  plan.straggler_seed = config.seed;
 
   err = plan.Validate();
   if (!err.empty()) throw std::logic_error("BuildFaultPlan: " + err);

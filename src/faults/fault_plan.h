@@ -37,18 +37,49 @@ struct MidplaneOutage {
   int midplane = 0;
 };
 
+/// One burst-buffer fault window: while active, the buffer absorbs nothing
+/// (every request takes the direct PFS path). With `lose_data` set, any data
+/// buffered at the window start is dropped and the affected in-flight
+/// absorbed requests must re-flush over the direct path.
+struct BurstBufferFault {
+  sim::SimTime start = 0.0;
+  sim::SimTime end = 0.0;
+  bool lose_data = false;
+};
+
+/// One drain-rate degradation window: while active, the burst buffer drains
+/// at `drain_factor * drain_gbps`. Overlapping windows do not stack; the
+/// smallest active factor wins.
+struct DrainDegradation {
+  sim::SimTime start = 0.0;
+  sim::SimTime end = 0.0;
+  /// Multiplier in (0, 1]; 0.25 quarters the drain rate for the window.
+  double drain_factor = 1.0;
+};
+
 /// The full fault schedule for one run.
 struct FaultPlan {
   std::vector<StorageDegradation> degradations;
   std::vector<MidplaneOutage> outages;
+  std::vector<BurstBufferFault> bb_faults;
+  std::vector<DrainDegradation> drain_degradations;
   /// Per-attempt probability that a job is killed mid-run (0 disables).
   double job_kill_probability = 0.0;
   /// Seed for the kill draws (independent of the workload seed).
   std::uint64_t kill_seed = 1;
+  /// Per-transfer probability that a direct PFS transfer straggles — its
+  /// effective rate collapses to `straggler_factor` of its grant for the
+  /// whole attempt (0 disables).
+  double straggler_probability = 0.0;
+  /// Effective-rate multiplier for straggling transfers, in (0, 1).
+  double straggler_factor = 0.25;
+  /// Seed for the straggler draws (independent of kill draws).
+  std::uint64_t straggler_seed = 1;
 
   bool Empty() const {
-    return degradations.empty() && outages.empty() &&
-           job_kill_probability <= 0.0;
+    return degradations.empty() && outages.empty() && bb_faults.empty() &&
+           drain_degradations.empty() && job_kill_probability <= 0.0 &&
+           straggler_probability <= 0.0;
   }
 
   /// Invariant check: windows well-formed (end > start >= 0), factors in
@@ -73,6 +104,22 @@ struct FaultPlanConfig {
   double midplane_outage_seconds = 4.0 * 3600.0;
   /// Per-attempt mid-run kill probability, in [0, 1].
   double job_kill_probability = 0.0;
+  /// Number of burst-buffer fault windows over the horizon.
+  int bb_faults = 0;
+  /// Length of each burst-buffer fault window (seconds).
+  double bb_fault_seconds = 2.0 * 3600.0;
+  /// Whether buffered data is dropped when a BB fault window opens.
+  bool bb_fault_lose_data = false;
+  /// Target fraction of the horizon with a degraded drain rate, in [0, 1).
+  double drain_degraded_fraction = 0.0;
+  /// Drain-rate multiplier inside degraded windows, in (0, 1].
+  double drain_degradation_factor = 0.5;
+  /// Length of each drain-degradation window (seconds).
+  double drain_window_seconds = 3600.0;
+  /// Per-transfer straggler probability, in [0, 1].
+  double straggler_probability = 0.0;
+  /// Effective-rate multiplier for straggling transfers, in (0, 1).
+  double straggler_factor = 0.25;
 
   std::string Validate() const;
 };

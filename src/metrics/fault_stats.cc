@@ -15,6 +15,10 @@ const char* ToString(FaultEventKind kind) {
     case FaultEventKind::kJobKill: return "job_kill";
     case FaultEventKind::kRequeue: return "requeue";
     case FaultEventKind::kAbandon: return "abandon";
+    case FaultEventKind::kBbFault: return "bb_fault";
+    case FaultEventKind::kBbRepair: return "bb_repair";
+    case FaultEventKind::kDrainDegrade: return "drain_degrade";
+    case FaultEventKind::kDrainRestore: return "drain_restore";
   }
   return "?";
 }
@@ -28,8 +32,12 @@ void FaultStats::Add(sim::SimTime time, FaultEventKind kind,
     case FaultEventKind::kJobKill: ++fault_kills; break;
     case FaultEventKind::kRequeue: ++requeues; break;
     case FaultEventKind::kAbandon: ++abandoned_jobs; break;
+    case FaultEventKind::kBbFault: ++bb_faults; break;
+    case FaultEventKind::kDrainDegrade: ++drain_degradations; break;
     case FaultEventKind::kStorageRestore:
     case FaultEventKind::kMidplaneRepair:
+    case FaultEventKind::kBbRepair:
+    case FaultEventKind::kDrainRestore:
       break;
   }
 }

@@ -22,6 +22,10 @@ enum class FaultEventKind {
   kJobKill,         // a running job was killed by fault injection
   kRequeue,         // a killed job re-entered the queue (detail = eligible t)
   kAbandon,         // retry budget exhausted; job permanently failed
+  kBbFault,         // burst buffer went down (detail = 1 if data was lost)
+  kBbRepair,        // burst buffer came back
+  kDrainDegrade,    // BB drain rate scaled down (detail = new drain factor)
+  kDrainRestore,    // drain degradation ended (detail = new factor)
 };
 
 const char* ToString(FaultEventKind kind);
@@ -48,6 +52,10 @@ struct FaultStats {
   std::uint64_t fault_kills = 0;
   std::uint64_t requeues = 0;
   std::uint64_t abandoned_jobs = 0;
+  std::uint64_t bb_faults = 0;
+  std::uint64_t drain_degradations = 0;
+  /// Smallest BB drain factor observed (1.0 = never degraded).
+  double min_drain_factor = 1.0;
 
   bool Empty() const { return timeline.empty(); }
 
@@ -72,6 +80,9 @@ struct FaultStats {
     w.U64(fault_kills);
     w.U64(requeues);
     w.U64(abandoned_jobs);
+    w.U64(bb_faults);
+    w.U64(drain_degradations);
+    w.F64(min_drain_factor);
   }
   void RestoreState(ckpt::Reader& r) {
     timeline.resize(r.U32());
@@ -88,6 +99,9 @@ struct FaultStats {
     fault_kills = r.U64();
     requeues = r.U64();
     abandoned_jobs = r.U64();
+    bb_faults = r.U64();
+    drain_degradations = r.U64();
+    min_drain_factor = r.F64();
   }
 };
 

@@ -21,6 +21,12 @@ Hub::Hub(const Options& options)
   bb_absorbed_requests = registry_.AddCounter("storage.bb_absorbed_requests");
   bb_spilled_requests = registry_.AddCounter("storage.bb_spilled_requests");
   bb_congested_cycles = registry_.AddCounter("storage.bb_congested_cycles");
+  bb_reflushed_requests =
+      registry_.AddCounter("storage.bb_reflushed_requests");
+  io_transfer_timeouts = registry_.AddCounter("core.io_transfer_timeouts");
+  io_transfer_retries = registry_.AddCounter("core.io_transfer_retries");
+  io_straggler_spills = registry_.AddCounter("core.io_straggler_spills");
+  invariant_checks = registry_.AddCounter("core.invariant_checks");
   sched_passes = registry_.AddCounter("sched.passes");
   backfill_starts = registry_.AddCounter("sched.backfill_starts");
   jobs_submitted = registry_.AddCounter("sched.jobs_submitted");

@@ -73,6 +73,19 @@ class Hub {
   /// storage.bb_congested_cycles — scheduling cycles with BB occupancy
   /// above the configured watermark.
   Counter* bb_congested_cycles = nullptr;
+  /// storage.bb_reflushed_requests — absorbed requests whose staged data a
+  /// lossy BB fault dropped, forcing a re-flush over the direct path.
+  Counter* bb_reflushed_requests = nullptr;
+  /// core.io_transfer_timeouts — direct transfers aborted at their deadline
+  /// (progress kept, remainder resubmitted after backoff).
+  Counter* io_transfer_timeouts = nullptr;
+  /// core.io_transfer_retries — timed-out transfers resubmitted.
+  Counter* io_transfer_retries = nullptr;
+  /// core.io_straggler_spills — BB-absorbable requests routed to the direct
+  /// path because a straggling absorb would have blown the deadline.
+  Counter* io_straggler_spills = nullptr;
+  /// core.invariant_checks — full from-scratch InvariantChecker sweeps.
+  Counter* invariant_checks = nullptr;
   /// sched.passes — batch-scheduler Schedule() invocations.
   Counter* sched_passes = nullptr;
   /// sched.backfill_starts — jobs started by EASY backfill (behind a

@@ -11,7 +11,15 @@
 namespace iosched::sched {
 
 BatchScheduler::BatchScheduler(machine::Machine& machine, Options options)
-    : machine_(machine), options_(options) {}
+    : machine_(machine),
+      options_(options),
+      jitter_rng_(options.backoff_jitter_seed, /*stream=*/37) {
+  if (options_.backoff_jitter_fraction < 0 ||
+      options_.backoff_jitter_fraction >= 1.0) {
+    throw std::invalid_argument(
+        "BatchScheduler: backoff_jitter_fraction must be in [0, 1)");
+  }
+}
 
 void BatchScheduler::Submit(const workload::Job& job) {
   std::string err = job.Validate();
@@ -205,14 +213,28 @@ BatchScheduler::RequeueDecision BatchScheduler::OnJobFailed(
     eligible_after_.erase(id);
     return decision;
   }
-  double backoff = options_.requeue_backoff_seconds;
-  for (int i = 1; i < decision.retries; ++i) backoff *= 2.0;
-  backoff = std::min(backoff, options_.max_backoff_seconds);
   decision.requeued = true;
-  decision.eligible_time = now + std::max(0.0, backoff);
+  decision.eligible_time = now + BackoffDelay(decision.retries);
   eligible_after_[id] = decision.eligible_time;
   queue_.push_back(job);
   return decision;
+}
+
+double BatchScheduler::BackoffDelay(int retries) {
+  // Stop doubling once the cap is reached: a naive 2^(retries-1) loop
+  // overflows to inf at high retry counts before a final min() could clamp
+  // it, and inf poisons the eligible time.
+  double backoff = options_.requeue_backoff_seconds;
+  for (int i = 1; i < retries && backoff < options_.max_backoff_seconds;
+       ++i) {
+    backoff *= 2.0;
+  }
+  backoff = std::min(backoff, options_.max_backoff_seconds);
+  if (options_.backoff_jitter_fraction > 0) {
+    backoff *= 1.0 + options_.backoff_jitter_fraction *
+                         jitter_rng_.Uniform(-1.0, 1.0);
+  }
+  return std::max(0.0, backoff);
 }
 
 sim::SimTime BatchScheduler::NextEligibleTime(sim::SimTime now) const {
@@ -268,6 +290,11 @@ void BatchScheduler::SaveState(ckpt::Writer& w) const {
   WriteSortedById(w, retries_, [&w](int retries) { w.I64(retries); });
   WriteSortedById(w, eligible_after_,
                   [&w](sim::SimTime t) { w.F64(t); });
+  util::Rng::State jitter = jitter_rng_.SaveState();
+  w.U64(jitter.engine.state);
+  w.U64(jitter.engine.inc);
+  w.Bool(jitter.has_spare);
+  w.F64(jitter.spare);
 }
 
 void BatchScheduler::RestoreState(
@@ -313,6 +340,12 @@ void BatchScheduler::RestoreState(
     workload::JobId id = r.I64();
     eligible_after_.emplace(id, r.F64());
   }
+  util::Rng::State jitter;
+  jitter.engine.state = r.U64();
+  jitter.engine.inc = r.U64();
+  jitter.has_spare = r.Bool();
+  jitter.spare = r.F64();
+  jitter_rng_.RestoreState(jitter);
 }
 
 }  // namespace iosched::sched

@@ -19,6 +19,7 @@
 #include "machine/machine.h"
 #include "sched/queue_policy.h"
 #include "sim/time.h"
+#include "util/rng.h"
 #include "workload/job.h"
 
 namespace iosched::obs {
@@ -57,6 +58,12 @@ class BatchScheduler {
     /// with each retry of the same job, capped at `max_backoff_seconds`.
     double requeue_backoff_seconds = 300.0;
     double max_backoff_seconds = 4.0 * 3600.0;
+    /// Optional seeded jitter: each backoff is scaled by a uniform factor
+    /// in [1 - f, 1 + f], decorrelating the requeue herd after a midplane
+    /// outage. 0 disables (no RNG draws, bit-identical to the unjittered
+    /// schedule).
+    double backoff_jitter_fraction = 0.0;
+    std::uint64_t backoff_jitter_seed = 1;
   };
 
   /// `machine` must outlive the scheduler.
@@ -136,10 +143,15 @@ class BatchScheduler {
   Options options_;
   std::vector<const workload::Job*> queue_;
   std::unordered_map<workload::JobId, RunningJob> running_;
+  /// Overflow-safe clamped exponential backoff for retry attempt `retries`
+  /// (1-based), with the optional seeded jitter applied.
+  double BackoffDelay(int retries);
+
   /// Retry attempts consumed per job (erased on successful completion).
   std::unordered_map<workload::JobId, int> retries_;
   /// Backoff gate: queued jobs absent from this map are always eligible.
   std::unordered_map<workload::JobId, sim::SimTime> eligible_after_;
+  util::Rng jitter_rng_;
   obs::Hub* hub_ = nullptr;
 };
 

@@ -28,14 +28,14 @@ void BurstBuffer::AdvanceTo(sim::SimTime now) {
     throw std::logic_error("BurstBuffer: time went backwards");
   }
   double dt = std::max(0.0, now - last_update_);
+  double rate = config_.drain_gbps * drain_factor_;
   if (dt > 0 && queued_gb_ > 0) {
-    double drained = std::min(queued_gb_, config_.drain_gbps * dt);
+    double drained = std::min(queued_gb_, rate * dt);
     // Occupancy shrinks linearly until the queue empties, then stays zero:
     // the exact integral over [last_update_, now] is q0*td - d*td^2/2 with
     // td the draining portion of dt.
-    double td = drained / config_.drain_gbps;
-    occupancy_integral_gbs_ +=
-        queued_gb_ * td - 0.5 * config_.drain_gbps * td * td;
+    double td = drained / rate;
+    occupancy_integral_gbs_ += queued_gb_ * td - 0.5 * rate * td * td;
     ConsumeFifo(drained);
     total_drained_gb_ += drained;
     queued_gb_ -= drained;
@@ -71,6 +71,7 @@ void BurstBuffer::ConsumeFifo(double drained_gb) {
 }
 
 bool BurstBuffer::CanAbsorb(workload::JobId job, double volume_gb) const {
+  if (faulted_) return false;
   if (volume_gb <= 0) return false;
   if (queued_gb_ + volume_gb > config_.capacity_gb + util::kVolumeEpsilon) {
     return false;
@@ -104,7 +105,36 @@ double BurstBuffer::JobUsageGb(workload::JobId job) const {
 
 sim::SimTime BurstBuffer::DrainEmptyTime() const {
   if (queued_gb_ <= 0) return last_update_;
-  return last_update_ + queued_gb_ / config_.drain_gbps;
+  return last_update_ + queued_gb_ / (config_.drain_gbps * drain_factor_);
+}
+
+double BurstBuffer::FifoTotalGb() const {
+  double total = 0.0;
+  for (const Segment& s : fifo_) total += s.remaining_gb;
+  return total;
+}
+
+double BurstBuffer::UsageTotalGb() const {
+  double total = 0.0;
+  for (const auto& [job, usage] : usage_) total += usage.gb;
+  return total;
+}
+
+double BurstBuffer::DropBufferedData() {
+  double dropped = queued_gb_;
+  total_lost_gb_ += dropped;
+  queued_gb_ = 0.0;
+  fifo_.clear();
+  usage_.clear();
+  return dropped;
+}
+
+void BurstBuffer::SetDrainFactor(double factor) {
+  if (factor <= 0 || factor > 1.0) {
+    throw std::invalid_argument(
+        "BurstBuffer: drain factor must be in (0, 1]");
+  }
+  drain_factor_ = factor;
 }
 
 void BurstBuffer::SaveState(ckpt::Writer& w) const {
@@ -130,6 +160,10 @@ void BurstBuffer::SaveState(ckpt::Writer& w) const {
     w.F64(usage.gb);
     w.U32(usage.segments);
   }
+  // Fault-model state (appended so the layout above is unchanged).
+  w.Bool(faulted_);
+  w.F64(drain_factor_);
+  w.F64(total_lost_gb_);
 }
 
 void BurstBuffer::RestoreState(ckpt::Reader& r) {
@@ -158,6 +192,9 @@ void BurstBuffer::RestoreState(ckpt::Reader& r) {
     usage.segments = r.U32();
     usage_.emplace(job, usage);
   }
+  faulted_ = r.Bool();
+  drain_factor_ = r.F64();
+  total_lost_gb_ = r.F64();
 }
 
 }  // namespace iosched::storage

@@ -63,6 +63,21 @@ class BurstBuffer {
   /// Record a request that did not fit and fell back to the direct path.
   void RecordSpill() { ++spilled_requests_; }
 
+  /// Fault the buffer (CanAbsorb is false while faulted) or repair it.
+  /// Draining of already-staged data continues through a non-lossy fault.
+  void SetFaulted(bool faulted) { faulted_ = faulted; }
+  bool faulted() const { return faulted_; }
+
+  /// Drop everything currently staged (a lossy capacity fault). Callers
+  /// AdvanceTo(now) first so the drain is settled. Returns the GB dropped;
+  /// the affected jobs' requests must be re-flushed by the caller.
+  double DropBufferedData();
+
+  /// Scale the drain rate (fault injection; 1.0 = nominal). Callers
+  /// AdvanceTo(now) first so the backlog is settled at the old rate.
+  void SetDrainFactor(double factor);
+  double drain_factor() const { return drain_factor_; }
+
   /// Rate at which the absorb tier ingests `full_rate_gbps` worth of
   /// link-level demand (GB/s).
   double AbsorbRate(double full_rate_gbps) const {
@@ -86,7 +101,7 @@ class BurstBuffer {
 
   /// Bandwidth the drain is consuming right now (GB/s).
   double CurrentDrainRate() const {
-    return queued_gb_ > 0 ? config_.drain_gbps : 0.0;
+    return queued_gb_ > 0 ? config_.drain_gbps * drain_factor_ : 0.0;
   }
 
   /// When the queue empties under the current rate (kTimeInfinity when
@@ -99,9 +114,19 @@ class BurstBuffer {
   double peak_queued_gb() const { return peak_queued_gb_; }
   std::size_t absorbed_requests() const { return absorbed_requests_; }
   std::size_t spilled_requests() const { return spilled_requests_; }
+  /// Data dropped by lossy capacity faults (GB).
+  double total_lost_gb() const { return total_lost_gb_; }
   /// Time integral of queued_gb (GB*s): mean occupancy over a run is
   /// integral / (capacity * elapsed).
   double occupancy_integral_gbs() const { return occupancy_integral_gbs_; }
+
+  /// From-scratch recomputations for the invariant checker: the sum of FIFO
+  /// segment remainders and of per-job usage entries. Both must equal
+  /// queued_gb() up to float tolerance — a divergence means the incremental
+  /// bookkeeping lost track of staged data.
+  double FifoTotalGb() const;
+  double UsageTotalGb() const;
+  std::size_t segment_count() const { return fifo_.size(); }
 
   /// Serialize queue/lifetime state (config comes from the run config).
   void SaveState(ckpt::Writer& w) const;
@@ -126,8 +151,12 @@ class BurstBuffer {
   double total_drained_gb_ = 0.0;
   double peak_queued_gb_ = 0.0;
   double occupancy_integral_gbs_ = 0.0;
+  double total_lost_gb_ = 0.0;
   std::size_t absorbed_requests_ = 0;
   std::size_t spilled_requests_ = 0;
+  bool faulted_ = false;
+  /// Drain-rate multiplier from fault injection (1.0 = nominal).
+  double drain_factor_ = 1.0;
   std::deque<Segment> fifo_;
   // std::map: deterministic iteration keeps SaveState byte-stable.
   std::map<workload::JobId, JobUsage> usage_;

@@ -42,13 +42,17 @@ std::vector<std::size_t>::iterator StorageModel::ArrivalPos(
 }
 
 void StorageModel::Begin(workload::JobId job, int nodes, double full_rate_gbps,
-                         double volume_gb, sim::SimTime now) {
+                         double volume_gb, sim::SimTime now,
+                         double efficiency) {
   if (Has(job)) {
     throw std::logic_error("StorageModel::Begin: job " + std::to_string(job) +
                            " already transferring");
   }
   if (nodes <= 0 || full_rate_gbps <= 0 || volume_gb < 0) {
     throw std::invalid_argument("StorageModel::Begin: bad transfer params");
+  }
+  if (efficiency <= 0 || efficiency > 1.0) {
+    throw std::invalid_argument("StorageModel::Begin: bad efficiency");
   }
   AdvanceTo(now);
   Transfer t;
@@ -57,6 +61,7 @@ void StorageModel::Begin(workload::JobId job, int nodes, double full_rate_gbps,
   t.full_rate_gbps = full_rate_gbps;
   t.volume_gb = volume_gb;
   t.request_arrival = now;
+  t.efficiency = efficiency;
   index_.emplace(job, transfers_.size());
   transfers_.push_back(t);
   arrival_order_.insert(ArrivalPos(now, job), transfers_.size() - 1);
@@ -177,7 +182,7 @@ void StorageModel::AdvanceTo(sim::SimTime now) {
     for (Transfer& t : transfers_) {
       if (t.rate_gbps > 0) {
         t.transferred_gb =
-            std::min(t.volume_gb, t.transferred_gb + t.rate_gbps * dt);
+            std::min(t.volume_gb, t.transferred_gb + t.EffectiveRate() * dt);
       }
     }
   }
@@ -224,6 +229,7 @@ void StorageModel::SaveState(ckpt::Writer& w) const {
     w.F64(t.transferred_gb);
     w.F64(t.request_arrival);
     w.F64(t.rate_gbps);
+    w.F64(t.efficiency);
   }
   // The FCFS order is a permutation of dense slots; saving it verbatim
   // avoids re-deriving it (and keeps restore a structural copy).
@@ -252,6 +258,7 @@ void StorageModel::RestoreState(ckpt::Reader& r) {
     t.transferred_gb = r.F64();
     t.request_arrival = r.F64();
     t.rate_gbps = r.F64();
+    t.efficiency = r.F64();
     index_.emplace(t.job_id, transfers_.size());
     transfers_.push_back(t);
   }
@@ -286,7 +293,7 @@ StorageModel::NextCompletion() const {
     if (t.Complete()) {
       finish = last_update_;
     } else if (t.rate_gbps > 0) {
-      finish = last_update_ + t.RemainingGb() / t.rate_gbps;
+      finish = last_update_ + t.RemainingGb() / t.EffectiveRate();
     } else {
       continue;  // suspended transfers never finish on their own
     }

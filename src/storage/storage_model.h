@@ -62,8 +62,16 @@ struct Transfer {
   sim::SimTime request_arrival = 0.0;
   /// Rate currently granted by the policy; 0 means suspended.
   double rate_gbps = 0.0;
+  /// Fraction of the granted rate the transfer actually achieves (straggler
+  /// injection; 1.0 = nominal). The policy keeps granting — and the
+  /// aggregates keep accounting — `rate_gbps`, while volume accrues at
+  /// `rate_gbps * efficiency`: that gap is exactly what timeout/retry and
+  /// the invariant checker exist to surface.
+  double efficiency = 1.0;
 
   double RemainingGb() const { return volume_gb - transferred_gb; }
+  /// Rate at which volume actually accrues (GB/s).
+  double EffectiveRate() const { return rate_gbps * efficiency; }
   bool Complete() const;
 };
 
@@ -75,10 +83,12 @@ class StorageModel {
   const StorageConfig& config() const { return config_; }
 
   /// Register a new I/O request. The transfer starts suspended (rate 0);
-  /// the policy assigns rates afterwards. Throws if the job already has an
-  /// in-flight transfer or volume is negative.
+  /// the policy assigns rates afterwards. `efficiency` in (0, 1] scales the
+  /// achieved rate below the grant (straggler injection). Throws if the job
+  /// already has an in-flight transfer, volume is negative, or efficiency is
+  /// out of range.
   void Begin(workload::JobId job, int nodes, double full_rate_gbps,
-             double volume_gb, sim::SimTime now);
+             double volume_gb, sim::SimTime now, double efficiency = 1.0);
 
   /// Remove a transfer; requires it to be complete (all volume moved).
   /// Returns the removed transfer's final state so callers don't need a

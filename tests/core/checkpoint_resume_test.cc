@@ -33,12 +33,17 @@ struct Case {
   const char* policy;
   bool faults;
   bool burst_buffer = false;
+  /// Storage-tier fault kinds: lossy BB capacity faults, drain
+  /// degradations, transfer stragglers with timeout/retry armed. Implies
+  /// burst_buffer.
+  bool bb_faults = false;
 };
 
 std::string CaseName(const testing::TestParamInfo<Case>& info) {
   return std::string(info.param.policy) +
          (info.param.faults ? "_faulted" : "_clean") +
-         (info.param.burst_buffer ? "_bb" : "");
+         (info.param.burst_buffer ? "_bb" : "") +
+         (info.param.bb_faults ? "_bbfaults" : "");
 }
 
 /// Congested half-day scenario; walltime kills and (optionally) fault
@@ -65,6 +70,33 @@ std::pair<core::SimulationConfig, workload::Workload> BuildCase(
     config.burst_buffer.absorb_gbps = 10.0;
     config.burst_buffer.per_job_quota_gb = 150.0;
     config.burst_buffer.congestion_watermark = 0.8;
+  }
+  if (c.bb_faults) {
+    // Slow, roomy buffer so absorbs are long-lived: the every-60-events
+    // checkpoint cadence then lands snapshots mid-drain, mid-absorb, and
+    // inside straggler and drain-degradation windows.
+    config.burst_buffer.capacity_gb = 2000.0;
+    config.burst_buffer.drain_gbps = 4.0;
+    config.burst_buffer.absorb_gbps = 2.0;
+    config.burst_buffer.per_job_quota_gb = 0.0;
+    config.burst_buffer.congestion_watermark = 0.8;
+    faults::FaultPlanConfig& fp = config.faults.plan_config;
+    fp.enabled = true;
+    fp.seed = 5;
+    fp.bb_faults = 2;
+    fp.bb_fault_seconds = 1800.0;
+    fp.bb_fault_lose_data = true;
+    fp.drain_degraded_fraction = 0.3;
+    fp.drain_degradation_factor = 0.4;
+    fp.drain_window_seconds = 1800.0;
+    fp.straggler_probability = 0.25;
+    fp.straggler_factor = 0.2;
+    config.transfer_retry = {.timeout_seconds = 600.0,
+                             .max_retries = 2,
+                             .backoff_base_seconds = 30.0,
+                             .backoff_max_seconds = 300.0,
+                             .backoff_jitter_fraction = 0.2};
+    config.batch.backoff_jitter_fraction = 0.1;
   }
   return {config, std::move(scenario.jobs)};
 }
@@ -109,7 +141,9 @@ INSTANTIATE_TEST_SUITE_P(
                     Case{"BASE_LINE", false, true},
                     Case{"FCFS", false, true},
                     Case{"ADAPTIVE", false, true},
-                    Case{"ADAPTIVE", true, true}),
+                    Case{"ADAPTIVE", true, true},
+                    Case{"BASE_LINE", false, true, true},
+                    Case{"ADAPTIVE", true, true, true}),
     CaseName);
 
 TEST(CheckpointResume, MismatchedConfigIsRejected) {

@@ -85,6 +85,55 @@ TEST(Watchdog, RejectsNonPositiveBudgets) {
   EXPECT_THROW(Watchdog(control, {-1.0, 0.01}), std::invalid_argument);
 }
 
+TEST(Watchdog, HoldsFireDuringCheckpointWrite) {
+  core::RunControl control;
+  control.checkpoint_in_progress.store(true);
+  // Default checkpoint budget is 0 = wait indefinitely: far past the
+  // no-progress budget, the dog must not have fired.
+  Watchdog dog(control, {/*no_progress_seconds=*/0.05,
+                         /*poll_interval_seconds=*/0.01});
+  std::this_thread::sleep_for(200ms);
+  EXPECT_FALSE(dog.fired());
+  EXPECT_FALSE(control.abort.load());
+  dog.Stop();
+}
+
+TEST(Watchdog, CheckpointCompletionResetsTheStallClock) {
+  core::RunControl control;
+  control.checkpoint_in_progress.store(true);
+  Watchdog dog(control, {/*no_progress_seconds=*/0.15,
+                         /*poll_interval_seconds=*/0.01});
+  std::this_thread::sleep_for(100ms);
+  // The write finishes: crossing the boundary proves liveness, so the
+  // normal budget restarts from here rather than from the original stall.
+  control.checkpoint_in_progress.store(false);
+  std::this_thread::sleep_for(100ms);
+  EXPECT_FALSE(dog.fired());
+  // With no further progress the normal budget eventually expires.
+  ASSERT_TRUE(WaitFor([&] { return dog.fired(); }));
+  EXPECT_NE(dog.diagnostic().find("no event progress"), std::string::npos)
+      << dog.diagnostic();
+  dog.Stop();
+}
+
+TEST(Watchdog, OverlongCheckpointWriteFiresWithDistinctDiagnostic) {
+  core::RunControl control;
+  control.checkpoint_in_progress.store(true);
+  Watchdog dog(control, {/*no_progress_seconds=*/0.03,
+                         /*poll_interval_seconds=*/0.01,
+                         /*checkpoint_write_seconds=*/0.1});
+  ASSERT_TRUE(WaitFor([&] { return dog.fired(); }));
+  EXPECT_TRUE(control.abort.load());
+  EXPECT_NE(dog.diagnostic().find("checkpoint write"), std::string::npos)
+      << dog.diagnostic();
+  dog.Stop();
+}
+
+TEST(Watchdog, RejectsNegativeCheckpointBudget) {
+  core::RunControl control;
+  EXPECT_THROW(Watchdog(control, {1.0, 0.01, -0.5}), std::invalid_argument);
+}
+
 TEST(Watchdog, DiagnosticNamesTheStallPoint) {
   core::RunControl control;
   control.progress_events.store(1234);

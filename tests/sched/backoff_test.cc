@@ -1,0 +1,132 @@
+// Regression tests for the requeue backoff: clamped doubling, overflow
+// safety at large retry counts, and the optional seeded jitter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "machine/machine.h"
+#include "sched/batch_scheduler.h"
+
+namespace iosched::sched {
+namespace {
+
+class BackoffTest : public ::testing::Test {
+ protected:
+  BackoffTest() : machine_(machine::MachineConfig::Small()) {}
+
+  workload::Job* MakeJob(workload::JobId id) {
+    jobs_.push_back({});
+    workload::Job& j = jobs_.back();
+    j.id = id;
+    j.submit_time = 0;
+    j.nodes = 512;
+    j.requested_walltime = 3600;
+    j.phases = {workload::Phase::Compute(3600)};
+    return &j;
+  }
+
+  /// Fail job 1 `times` times in a row, restarting it after each backoff
+  /// expires, and return the delay (eligible_time - failure time) of each
+  /// attempt.
+  std::vector<double> FailRepeatedly(BatchScheduler& sched, int times) {
+    std::vector<double> delays;
+    sched.Submit(*MakeJob(1));
+    sim::SimTime now = 0.0;
+    EXPECT_EQ(sched.Schedule(now).size(), 1u);
+    for (int i = 0; i < times; ++i) {
+      auto decision = sched.OnJobFailed(1, now);
+      EXPECT_TRUE(decision.requeued);
+      delays.push_back(decision.eligible_time - now);
+      now = decision.eligible_time;
+      EXPECT_EQ(sched.Schedule(now).size(), 1u) << "retry " << i;
+    }
+    return delays;
+  }
+
+  machine::Machine machine_;
+  std::deque<workload::Job> jobs_;
+};
+
+TEST_F(BackoffTest, DoublesThenClampsAtMax) {
+  BatchScheduler::Options options;
+  options.max_retries = 10;
+  options.requeue_backoff_seconds = 300.0;
+  options.max_backoff_seconds = 1000.0;
+  BatchScheduler sched(machine_, options);
+  auto delays = FailRepeatedly(sched, 5);
+  EXPECT_DOUBLE_EQ(delays[0], 300.0);
+  EXPECT_DOUBLE_EQ(delays[1], 600.0);
+  EXPECT_DOUBLE_EQ(delays[2], 1000.0);  // 1200 clamped
+  EXPECT_DOUBLE_EQ(delays[3], 1000.0);
+  EXPECT_DOUBLE_EQ(delays[4], 1000.0);
+}
+
+TEST_F(BackoffTest, OverflowSafeAtHugeRetryCounts) {
+  // 2^200 overflows any double doubling that is computed before the clamp;
+  // the delay must stay exactly at the ceiling, never inf/NaN.
+  BatchScheduler::Options options;
+  options.max_retries = 200;
+  options.requeue_backoff_seconds = 300.0;
+  options.max_backoff_seconds = 3600.0;
+  BatchScheduler sched(machine_, options);
+  auto delays = FailRepeatedly(sched, 200);
+  for (double d : delays) {
+    ASSERT_TRUE(std::isfinite(d));
+    ASSERT_GT(d, 0.0);
+    ASSERT_LE(d, 3600.0);
+  }
+  EXPECT_DOUBLE_EQ(delays.back(), 3600.0);
+}
+
+TEST_F(BackoffTest, JitterStaysWithinFractionAndNeverExceedsMax) {
+  BatchScheduler::Options options;
+  options.max_retries = 30;
+  options.requeue_backoff_seconds = 300.0;
+  options.max_backoff_seconds = 2000.0;
+  options.backoff_jitter_fraction = 0.25;
+  options.backoff_jitter_seed = 7;
+  BatchScheduler sched(machine_, options);
+  auto delays = FailRepeatedly(sched, 10);
+  double unjittered = 300.0;
+  for (double d : delays) {
+    EXPECT_GE(d, 0.75 * unjittered);
+    EXPECT_LE(d, 1.25 * unjittered);
+    EXPECT_LE(d, 2000.0 * 1.25);
+    unjittered = std::min(2.0 * unjittered, 2000.0);
+  }
+}
+
+TEST_F(BackoffTest, JitterIsSeedDeterministic) {
+  BatchScheduler::Options options;
+  options.max_retries = 10;
+  options.backoff_jitter_fraction = 0.25;
+  options.backoff_jitter_seed = 42;
+  BatchScheduler a(machine_, options);
+  auto delays_a = FailRepeatedly(a, 5);
+  // Drain the machine so the second scheduler sees the same empty state.
+  a.OnJobFailed(1, 1e9);
+  jobs_.clear();
+  BatchScheduler b(machine_, options);
+  auto delays_b = FailRepeatedly(b, 5);
+  EXPECT_EQ(delays_a, delays_b);
+}
+
+TEST_F(BackoffTest, ZeroJitterMatchesUnjitteredSchedule) {
+  BatchScheduler::Options plain;
+  plain.max_retries = 10;
+  BatchScheduler a(machine_, plain);
+  auto delays_a = FailRepeatedly(a, 5);
+  a.OnJobFailed(1, 1e9);
+  jobs_.clear();
+  BatchScheduler::Options zero = plain;
+  zero.backoff_jitter_fraction = 0.0;
+  zero.backoff_jitter_seed = 999;  // must be irrelevant at fraction 0
+  BatchScheduler b(machine_, zero);
+  auto delays_b = FailRepeatedly(b, 5);
+  EXPECT_EQ(delays_a, delays_b);
+}
+
+}  // namespace
+}  // namespace iosched::sched

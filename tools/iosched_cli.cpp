@@ -6,6 +6,8 @@
 //   sweep        compare all policies on a workload (Fig. 8/9/10 content)
 //   sensitivity  expansion-factor sweep (Fig. 11 content)
 //   bbsweep      burst-buffer capacity sensitivity sweep
+//   chaos        seeded chaos soak: randomized fault schedules under every
+//                policy with the invariant checker on
 //
 // Examples:
 //   iosched generate --workload 1 --days 30 --out /tmp/wl1
@@ -20,6 +22,7 @@
 //   iosched simulate --workload 1 --days 365 --checkpoint-dir /tmp/ck \
 //       --resume                                    # continue after a crash
 //   iosched sweep --workload 1 --days 30 --state-dir /tmp/sweep  # resumable
+//   iosched chaos --chaos-schedules 50 --chaos-out /tmp/chaos.csv
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -32,6 +35,7 @@
 #include "core/event_log.h"
 #include "core/policy_factory.h"
 #include "core/simulation.h"
+#include "driver/chaos.h"
 #include "driver/cli_flags.h"
 #include "driver/experiment.h"
 #include "driver/replication.h"
@@ -373,12 +377,45 @@ int CmdReplications(const util::CliParser& cli) {
   return 0;
 }
 
+int CmdChaos(const util::CliParser& cli) {
+  driver::ChaosOptions options;
+  options.base_seed = static_cast<std::uint64_t>(cli.GetInt("chaos-seed"));
+  options.schedules = static_cast<int>(cli.GetInt("chaos-schedules"));
+  options.duration_days = cli.GetDouble("chaos-days");
+  if (cli.Provided("policies")) {
+    options.policies = util::Split(cli.GetString("policies"), ',');
+  }
+  options.verify_reproducible = !cli.GetBool("no-repro-check");
+  double watchdog_seconds = cli.GetDouble("watchdog");
+  if (watchdog_seconds > 0) options.watchdog_seconds = watchdog_seconds;
+
+  driver::ChaosSummary summary = driver::RunChaos(options);
+  std::string csv_path = cli.GetString("chaos-out");
+  if (!csv_path.empty()) {
+    util::WriteFileAtomic(csv_path, driver::ChaosCsv(summary));
+    std::printf("wrote %zu cells to %s\n", summary.cells.size(),
+                csv_path.c_str());
+  }
+  for (const driver::ChaosCell& cell : summary.cells) {
+    if (cell.ok()) continue;
+    std::fprintf(stderr, "FAIL schedule=%d seed=%llu policy=%s: %s\n",
+                 cell.schedule,
+                 static_cast<unsigned long long>(cell.seed),
+                 cell.policy.c_str(),
+                 cell.reproducible ? cell.error.c_str()
+                                   : "non-reproducible digest");
+  }
+  std::printf("chaos soak: %zu cells, %d failure(s)\n", summary.cells.size(),
+              summary.failures);
+  return summary.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::CliParser cli(
-      "iosched <generate|simulate|sweep|sensitivity|bbsweep|replications> "
-      "[flags]\n"
+      "iosched <generate|simulate|sweep|sensitivity|bbsweep|replications|"
+      "chaos> [flags]\n"
       "I/O-aware batch scheduling framework (CLUSTER'15 reproduction)");
   driver::AddScenarioFlags(cli);
   driver::AddBurstBufferFlags(cli);
@@ -425,6 +462,14 @@ int main(int argc, char** argv) {
   cli.AddBoolFlag("timeline", "print occupancy/demand strip charts (simulate)");
   cli.AddBoolFlag("csv",
                   "emit CSV instead of tables (sweep/sensitivity/bbsweep)");
+  cli.AddFlag("chaos-seed", "1", "base seed for fault schedules (chaos)");
+  cli.AddFlag("chaos-schedules", "50",
+              "number of randomized fault schedules (chaos)");
+  cli.AddFlag("chaos-days", "0.25",
+              "simulated days per chaos schedule (chaos)");
+  cli.AddFlag("chaos-out", "", "write per-cell summary CSV here (chaos)");
+  cli.AddBoolFlag("no-repro-check",
+                  "skip the same-seed re-run digest comparison (chaos)");
 
   if (auto exit_code = driver::ParseStandardFlags(cli, argc - 1, argv + 1)) {
     return *exit_code;
@@ -441,6 +486,7 @@ int main(int argc, char** argv) {
     if (command == "sensitivity") return CmdSensitivity(cli);
     if (command == "bbsweep") return CmdBbSweep(cli);
     if (command == "replications") return CmdReplications(cli);
+    if (command == "chaos") return CmdChaos(cli);
   } catch (const std::exception& e) {
     return Fail(e.what());
   }
