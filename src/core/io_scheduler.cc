@@ -35,12 +35,22 @@ IoScheduler::~IoScheduler() {
   storage_.SetBandwidthChangeListener(nullptr);
 }
 
+namespace {
+/// Lookup with the scheduler's historical error message (the map's .at()
+/// used to serve this role).
+JobContext& MustFind(JobStore& jobs, workload::JobId id) {
+  JobContext* ctx = jobs.Find(id);
+  if (ctx == nullptr) {
+    throw std::logic_error("IoScheduler: job " + std::to_string(id) +
+                           " not registered");
+  }
+  return *ctx;
+}
+}  // namespace
+
 void IoScheduler::RegisterJob(const workload::Job& job,
                               sim::SimTime start_time) {
-  if (!jobs_.emplace(job.id, JobContext{&job, start_time, 0.0, 0.0}).second) {
-    throw std::logic_error("IoScheduler: job " + std::to_string(job.id) +
-                           " already registered");
-  }
+  jobs_.Add(job.id, JobContext{&job, start_time, 0.0, 0.0});
 }
 
 void IoScheduler::UnregisterJob(workload::JobId id) {
@@ -52,28 +62,16 @@ void IoScheduler::UnregisterJob(workload::JobId id) {
     throw std::logic_error("IoScheduler: job " + std::to_string(id) +
                            " still has a pending transfer retry");
   }
-  if (jobs_.erase(id) == 0) {
-    throw std::logic_error("IoScheduler: job " + std::to_string(id) +
-                           " not registered");
-  }
+  jobs_.Remove(id);
 }
 
 void IoScheduler::AddCompletedCompute(workload::JobId id, double seconds) {
-  auto it = jobs_.find(id);
-  if (it == jobs_.end()) {
-    throw std::logic_error("IoScheduler: job " + std::to_string(id) +
-                           " not registered");
-  }
-  it->second.completed_compute_seconds += seconds;
+  MustFind(jobs_, id).completed_compute_seconds += seconds;
 }
 
 void IoScheduler::SubmitRequest(workload::JobId id, double volume_gb,
                                 sim::SimTime now) {
-  auto it = jobs_.find(id);
-  if (it == jobs_.end()) {
-    throw std::logic_error("IoScheduler: job " + std::to_string(id) +
-                           " not registered");
-  }
+  const JobContext& ctx = MustFind(jobs_, id);
   if (volume_gb <= 0) {
     throw std::invalid_argument("IoScheduler: non-positive volume");
   }
@@ -82,7 +80,7 @@ void IoScheduler::SubmitRequest(workload::JobId id, double volume_gb,
     hub_->io_requests->Inc();
     hub_->io_request_gb->Observe(volume_gb);
   }
-  const workload::Job& job = *it->second.job;
+  const workload::Job& job = *ctx.job;
   double full_rate = job.FullIoRate(node_bandwidth_gbps_);
   if (burst_buffer_ != nullptr) {
     burst_buffer_->AdvanceTo(now);
@@ -129,10 +127,18 @@ void IoScheduler::SubmitRequest(workload::JobId id, double volume_gb,
 
 void IoScheduler::BeginDirectTransfer(workload::JobId id, double volume_gb,
                                       sim::SimTime now, int retries) {
-  const workload::Job& job = *jobs_.at(id).job;
+  std::uint32_t slot = jobs_.SlotOf(id);
+  if (slot == JobStore::kInvalidSlot) {
+    throw std::logic_error("IoScheduler: job " + std::to_string(id) +
+                           " not registered");
+  }
+  const workload::Job& job = *jobs_.At(slot).job;
   double full_rate = job.FullIoRate(node_bandwidth_gbps_);
   double factor = straggler_draw_ ? straggler_draw_() : 1.0;
   storage_.Begin(id, job.nodes, full_rate, volume_gb, now, factor);
+  // Cache the job-context slot on the transfer: the slot is stable while
+  // the job stays registered, so every later view build is hash-free.
+  storage_.SetUserSlot(id, slot);
   if (retry_config_.enabled() && retries < retry_config_.max_retries) {
     sim::EventId event = simulator_.ScheduleAfter(
         retry_config_.timeout_seconds, DeadlineAction(id));
@@ -209,22 +215,24 @@ std::vector<IoJobView> IoScheduler::BuildViews(sim::SimTime now) const {
 
 void IoScheduler::FillViews(std::vector<IoJobView>& views) const {
   views.clear();
-  storage_.ActiveByArrival(active_scratch_);
-  views.reserve(active_scratch_.size());
-  for (const storage::Transfer* t : active_scratch_) {
-    auto it = jobs_.find(t->job_id);
-    if (it == jobs_.end()) {
+  // Column walk in arrival order: the transfer carries its job-context slot
+  // (cached at Begin), so building the views touches no hash table.
+  const storage::StorageModel::ActiveColumns cols = storage_.Columns();
+  views.reserve(cols.arrival_order.size());
+  for (std::size_t slot : cols.arrival_order) {
+    std::uint32_t user = cols.user_slots[slot];
+    if (user == storage::StorageModel::kNoUserSlot) {
       throw std::logic_error("IoScheduler: transfer for unregistered job " +
-                             std::to_string(t->job_id));
+                             std::to_string(cols.job_ids[slot]));
     }
-    const JobContext& ctx = it->second;
+    const JobContext& ctx = jobs_.At(user);
     IoJobView v;
-    v.id = t->job_id;
-    v.nodes = t->nodes;
-    v.full_rate_gbps = t->full_rate_gbps;
-    v.volume_gb = t->volume_gb;
-    v.transferred_gb = t->transferred_gb;
-    v.request_arrival = t->request_arrival;
+    v.id = cols.job_ids[slot];
+    v.nodes = cols.nodes[slot];
+    v.full_rate_gbps = cols.full_rates[slot];
+    v.volume_gb = cols.volumes[slot];
+    v.transferred_gb = cols.transferred[slot];
+    v.request_arrival = cols.arrivals[slot];
     v.job_start = ctx.start_time;
     v.completed_compute_seconds = ctx.completed_compute_seconds;
     v.completed_io_seconds = ctx.completed_io_seconds;
@@ -276,8 +284,18 @@ void IoScheduler::Reschedule(sim::SimTime now) {
   const std::vector<IoJobView>& views = views_scratch_;
   std::vector<RateGrant> grants = policy_->Assign(views, usable_bandwidth, now);
   ValidateGrants(views, grants);
-  for (const RateGrant& g : grants) {
-    storage_.SetRate(g.id, g.rate_gbps);
+  // Views were built in arrival order, so grant i addresses the slot at
+  // arrival_order[i] whenever the policy preserved positions (they all do);
+  // the id check falls back to the hash probe if one ever reorders.
+  const storage::StorageModel::ActiveColumns cols = storage_.Columns();
+  for (std::size_t i = 0; i < grants.size(); ++i) {
+    const RateGrant& g = grants[i];
+    if (i < cols.arrival_order.size() &&
+        cols.job_ids[cols.arrival_order[i]] == g.id) {
+      storage_.SetRateAtSlot(cols.arrival_order[i], g.rate_gbps);
+    } else {
+      storage_.SetRate(g.id, g.rate_gbps);
+    }
   }
   // Physics check: even the adaptive policy only over-admits *demand*; the
   // granted rates must always fit the disks.
@@ -363,7 +381,7 @@ std::function<void()> IoScheduler::AbsorbedAction(workload::JobId id,
     // A buffer-absorbed request runs contention-free at the absorb-tier
     // rate: its completed uncongested time equals its actual time.
     absorbed_events_.erase(id);
-    jobs_.at(id).completed_io_seconds += duration;
+    MustFind(jobs_, id).completed_io_seconds += duration;
     on_complete_(id, simulator_.Now());
   };
 }
@@ -430,7 +448,7 @@ void IoScheduler::OnTransferDeadline(workload::JobId id) {
   // Keep the progress: credit the moved volume's uncongested equivalent and
   // resubmit only the remainder after the backoff.
   double remaining = t.RemainingGb();
-  jobs_.at(id).completed_io_seconds += t.transferred_gb / t.full_rate_gbps;
+  MustFind(jobs_, id).completed_io_seconds += t.transferred_gb / t.full_rate_gbps;
   storage_.Abort(id);
   ++transfer_timeouts_;
   if (hub_ != nullptr) hub_->io_transfer_timeouts->Inc();
@@ -500,12 +518,10 @@ void IoScheduler::OnDrainFactorChange(double factor, sim::SimTime now) {
 
 void IoScheduler::SaveState(ckpt::Writer& w) const {
   std::vector<workload::JobId> ids;
-  ids.reserve(jobs_.size());
-  for (const auto& [id, _] : jobs_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
+  jobs_.SortedIds(ids);
   w.U32(static_cast<std::uint32_t>(ids.size()));
   for (workload::JobId id : ids) {
-    const JobContext& ctx = jobs_.at(id);
+    const JobContext& ctx = *jobs_.Find(id);
     w.I64(id);
     w.F64(ctx.start_time);
     w.F64(ctx.completed_compute_seconds);
@@ -528,6 +544,7 @@ void IoScheduler::SaveState(ckpt::Writer& w) const {
   w.Bool(bb_congested_);
   w.F64(bb_congestion_start_);
   ids.clear();
+  ids.reserve(absorbed_events_.size());
   for (const auto& [id, _] : absorbed_events_) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
   w.U32(static_cast<std::uint32_t>(ids.size()));
@@ -546,6 +563,7 @@ void IoScheduler::SaveState(ckpt::Writer& w) const {
   w.Bool(jitter.has_spare);
   w.F64(jitter.spare);
   ids.clear();
+  ids.reserve(deadline_events_.size());
   for (const auto& [id, _] : deadline_events_) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
   w.U32(static_cast<std::uint32_t>(ids.size()));
@@ -557,6 +575,7 @@ void IoScheduler::SaveState(ckpt::Writer& w) const {
     w.I64(dl.retries);
   }
   ids.clear();
+  ids.reserve(pending_retries_.size());
   for (const auto& [id, _] : pending_retries_) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
   w.U32(static_cast<std::uint32_t>(ids.size()));
@@ -577,7 +596,7 @@ void IoScheduler::SaveState(ckpt::Writer& w) const {
 void IoScheduler::RestoreState(
     ckpt::Reader& r,
     const std::function<const workload::Job*(workload::JobId)>& resolve) {
-  jobs_.clear();
+  jobs_.Clear();
   absorbed_events_.clear();
   deadline_events_.clear();
   pending_retries_.clear();
@@ -595,7 +614,7 @@ void IoScheduler::RestoreState(
     ctx.start_time = r.F64();
     ctx.completed_compute_seconds = r.F64();
     ctx.completed_io_seconds = r.F64();
-    jobs_.emplace(id, ctx);
+    jobs_.Add(id, ctx);
   }
   has_pending_event_ = r.Bool();
   if (has_pending_event_) {
@@ -662,6 +681,22 @@ void IoScheduler::RestoreState(
   transfer_retries_ = r.U64();
   straggler_spills_ = r.U64();
   reflushed_requests_ = r.U64();
+  // User slots are runtime-only (not serialized); relink every restored
+  // transfer to its owner's JobStore slot. The engine restores the storage
+  // model before this component, so the transfers are already in place.
+  {
+    const storage::StorageModel::ActiveColumns cols = storage_.Columns();
+    for (std::size_t slot = 0; slot < cols.job_ids.size(); ++slot) {
+      workload::JobId id = cols.job_ids[slot];
+      std::uint32_t user = jobs_.SlotOf(id);
+      if (user == JobStore::kInvalidSlot) {
+        throw std::runtime_error(
+            "IoScheduler::RestoreState: transfer for job " +
+            std::to_string(id) + " has no registered context");
+      }
+      storage_.SetUserSlot(id, user);
+    }
+  }
 }
 
 void IoScheduler::OnCompletionEvent() {
@@ -673,19 +708,26 @@ void IoScheduler::OnCompletionEvent() {
   // can align several completions on one timestamp).
   std::vector<workload::JobId>& done = done_scratch_;
   done.clear();
-  storage_.ActiveByArrival(active_scratch_);
-  for (const storage::Transfer* t : active_scratch_) {
-    if (t->Complete()) done.push_back(t->job_id);
-  }
-  if (done.empty()) {
-    // Float round-off left a sliver. If a transfer would finish within the
-    // clock's resolution anyway, write the sliver off — re-arming an event
-    // at an unrepresentable future instant would spin forever.
-    for (const storage::Transfer* t : active_scratch_) {
-      if (t->rate_gbps > 0 &&
-          t->RemainingGb() <= t->EffectiveRate() * 1e-4) {
-        storage_.ForceComplete(t->job_id, t->EffectiveRate() * 1e-4);
-        done.push_back(t->job_id);
+  {
+    const storage::StorageModel::ActiveColumns cols = storage_.Columns();
+    for (std::size_t slot : cols.arrival_order) {
+      if (storage_.CompleteAt(slot)) done.push_back(cols.job_ids[slot]);
+    }
+    if (done.empty()) {
+      // Float round-off left a sliver. If a transfer would finish within the
+      // clock's resolution anyway, write the sliver off — re-arming an event
+      // at an unrepresentable future instant would spin forever.
+      std::vector<std::pair<workload::JobId, double>> slivers;
+      for (const std::size_t slot : cols.arrival_order) {
+        double epsilon = storage_.EffectiveRateAt(slot) * 1e-4;
+        if (cols.rates[slot] > 0 && storage_.RemainingAt(slot) <= epsilon) {
+          slivers.emplace_back(cols.job_ids[slot], epsilon);
+        }
+      }
+      // ForceComplete mutates the store, so it runs after the column walk.
+      for (const auto& [id, epsilon] : slivers) {
+        storage_.ForceComplete(id, epsilon);
+        done.push_back(id);
       }
     }
   }
@@ -698,7 +740,7 @@ void IoScheduler::OnCompletionEvent() {
     // End returns the removed transfer, so accounting and teardown share
     // one index lookup.
     storage::Transfer t = storage_.End(id);
-    jobs_.find(id)->second.completed_io_seconds +=
+    MustFind(jobs_, id).completed_io_seconds +=
         t.volume_gb / t.full_rate_gbps;
     auto deadline = deadline_events_.find(id);
     if (deadline != deadline_events_.end()) {

@@ -18,6 +18,7 @@
 
 #include "ckpt/serializer.h"
 #include "core/io_policy.h"
+#include "core/job_store.h"
 #include "metrics/bandwidth.h"
 #include "sim/simulator.h"
 #include "storage/backend.h"
@@ -195,13 +196,6 @@ class IoScheduler {
       const std::function<const workload::Job*(workload::JobId)>& resolve);
 
  private:
-  struct JobContext {
-    const workload::Job* job = nullptr;
-    sim::SimTime start_time = 0.0;
-    double completed_compute_seconds = 0.0;
-    double completed_io_seconds = 0.0;  // uncongested equivalents
-  };
-
   /// Run one scheduling cycle: advance progress, re-assign rates, and
   /// reschedule the completion event.
   void Reschedule(sim::SimTime now);
@@ -242,7 +236,10 @@ class IoScheduler {
   double node_bandwidth_gbps_;
   std::unique_ptr<IoPolicy> policy_;
   CompletionCallback on_complete_;
-  std::unordered_map<workload::JobId, JobContext> jobs_;
+  /// Slot-stable per-job accounting: each active transfer caches its job's
+  /// slot on the storage model (SetUserSlot), so the per-cycle view build
+  /// is pure array indexing — no hash probes on the hot path.
+  JobStore jobs_;
   sim::EventId pending_event_ = 0;
   bool has_pending_event_ = false;
   sim::SimTime pending_event_time_ = 0.0;
@@ -300,7 +297,6 @@ class IoScheduler {
   sim::SimTime bb_congestion_start_ = 0.0;
   /// Cycle-scratch buffers (capacity reused across the ~1 cycle per event
   /// of a month-long replay; cleared each use).
-  mutable std::vector<const storage::Transfer*> active_scratch_;
   std::vector<IoJobView> views_scratch_;
   std::vector<workload::JobId> done_scratch_;
 };

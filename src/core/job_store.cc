@@ -1,0 +1,69 @@
+#include "core/job_store.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace iosched::core {
+
+std::uint32_t JobStore::Add(workload::JobId id, const JobContext& ctx) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+  } else {
+    slot = static_cast<std::uint32_t>(contexts_.size());
+  }
+  if (!index_.emplace(id, slot).second) {
+    throw std::logic_error("JobStore: job " + std::to_string(id) +
+                           " already registered");
+  }
+  if (slot == contexts_.size()) {
+    contexts_.push_back(ctx);
+  } else {
+    free_slots_.pop_back();
+    contexts_[slot] = ctx;
+  }
+  return slot;
+}
+
+void JobStore::Remove(workload::JobId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    throw std::logic_error("JobStore: job " + std::to_string(id) +
+                           " not registered");
+  }
+  std::uint32_t slot = it->second;
+  index_.erase(it);
+  contexts_[slot] = JobContext{};
+  free_slots_.push_back(slot);
+}
+
+std::uint32_t JobStore::SlotOf(workload::JobId id) const {
+  auto it = index_.find(id);
+  return it == index_.end() ? kInvalidSlot : it->second;
+}
+
+JobContext* JobStore::Find(workload::JobId id) {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &contexts_[it->second];
+}
+
+const JobContext* JobStore::Find(workload::JobId id) const {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &contexts_[it->second];
+}
+
+void JobStore::SortedIds(std::vector<workload::JobId>& out) const {
+  out.clear();
+  out.reserve(index_.size());
+  for (const auto& [id, _] : index_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+}
+
+void JobStore::Clear() {
+  contexts_.clear();
+  free_slots_.clear();
+  index_.clear();
+}
+
+}  // namespace iosched::core

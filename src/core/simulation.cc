@@ -1329,7 +1329,9 @@ std::uint64_t SimulationConfigHash(const SimulationConfig& config,
   // Storage.
   h = FnvMix(h, config.storage.max_bandwidth_gbps);
   h = FnvMix(h, static_cast<std::uint64_t>(config.storage.enforce_capacity));
-  // Batch scheduler.
+  // Batch scheduler. incremental_order is deliberately excluded: both order
+  // paths produce bit-identical schedules, so checkpoints are
+  // interchangeable across the toggle.
   h = FnvMix(h, static_cast<std::uint64_t>(config.batch.order));
   h = FnvMix(h, static_cast<std::uint64_t>(config.batch.easy_backfill));
   h = FnvMix(h, static_cast<std::uint64_t>(config.batch.max_retries));

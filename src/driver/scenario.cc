@@ -19,6 +19,34 @@ Scenario MakeEvaluationScenario(int index, double duration_days) {
   return scenario;
 }
 
+Scenario MakeYearScenario(double duration_days) {
+  Scenario scenario;
+  scenario.name = "YEAR";
+  scenario.config.machine = machine::MachineConfig::Mira();
+  scenario.config.storage.max_bandwidth_gbps = 250.0;
+
+  workload::SyntheticConfig wl_cfg;
+  wl_cfg.duration_days = duration_days;
+  wl_cfg.jobs_per_day = 2800.0;
+  // Throughput-class mix: mean ~750 nodes and ~20 min runtimes put the
+  // steady-state demand near 65% of the machine, so the queue drains
+  // overnight instead of growing without bound across the year.
+  wl_cfg.size_menu = {512, 1024, 2048};
+  wl_cfg.size_weights = {0.70, 0.22, 0.08};
+  wl_cfg.runtime_log_mean = 7.0;   // exp(7.0) ~ 1,097 s ~ 18 min
+  wl_cfg.runtime_log_sigma = 0.6;
+  wl_cfg.min_runtime_seconds = 300.0;
+  wl_cfg.max_runtime_seconds = 2.0 * 3600.0;
+  wl_cfg.checkpoint_period_seconds = 600.0;
+  wl_cfg.max_io_phases = 6;
+  wl_cfg.node_bandwidth_gbps = scenario.config.machine.node_bandwidth_gbps;
+  wl_cfg.io_efficiency_lo = 0.2;
+  wl_cfg.io_efficiency_hi = 0.9;
+
+  scenario.jobs = workload::GenerateWorkload(wl_cfg, /*seed=*/777);
+  return scenario;
+}
+
 Scenario MakeTestScenario(std::uint64_t seed, double duration_days,
                           double jobs_per_day) {
   Scenario scenario;

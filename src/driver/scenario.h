@@ -23,6 +23,15 @@ struct Scenario {
 /// the benchmarks use the full 30).
 Scenario MakeEvaluationScenario(int index, double duration_days = 30.0);
 
+/// A year-scale throughput scenario on the Mira model: ~2,800 scaled-down
+/// jobs per day, so the default 365 days generate just over one million
+/// jobs. The mix trades the evaluation months' capability-class footprint
+/// (big nodes, day-long runtimes) for throughput-class jobs (mean ~750
+/// nodes, ~20 min runtimes) so the machine sustains the arrival rate at
+/// ~65% utilization instead of building an unbounded backlog. Deterministic
+/// in `duration_days`; shrink it for smoke runs and mode-equality tests.
+Scenario MakeYearScenario(double duration_days = 365.0);
+
 /// A reduced-scale scenario (Small machine, few days, scaled BWmax) used by
 /// unit/integration tests so they run in milliseconds. The storage cap is
 /// scaled with the machine so the congestion regime matches Mira's

@@ -1,0 +1,24 @@
+#include "metrics/speedup.h"
+
+#include <cmath>
+
+namespace iosched::metrics {
+
+double Speedup(double baseline_seconds, double current_seconds) {
+  if (baseline_seconds <= 0.0 || current_seconds <= 0.0) return 0.0;
+  return baseline_seconds / current_seconds;
+}
+
+double SpeedupGeomean(std::span<const SpeedupSample> samples) {
+  double log_sum = 0.0;
+  int count = 0;
+  for (const SpeedupSample& s : samples) {
+    double ratio = Speedup(s.baseline_seconds, s.current_seconds);
+    if (ratio <= 0.0) continue;
+    log_sum += std::log(ratio);
+    ++count;
+  }
+  return count > 0 ? std::exp(log_sum / static_cast<double>(count)) : 0.0;
+}
+
+}  // namespace iosched::metrics

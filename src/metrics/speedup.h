@@ -1,0 +1,29 @@
+// Speedup arithmetic for the benchmark regression harness.
+//
+// Pulled out of bench/micro_components.cpp so the zero/missing-baseline
+// guards are unit-testable: a baseline entry recorded as 0 seconds (a replay
+// too fast for the clock, or a hand-edited file) must not poison the
+// geometric mean with an infinity or NaN, and a replay with no matching
+// baseline entry must simply not participate.
+#pragma once
+
+#include <span>
+
+namespace iosched::metrics {
+
+/// One replay's timing pair. `baseline_seconds <= 0` marks a missing or
+/// degenerate baseline entry; `current_seconds <= 0` a degenerate run.
+struct SpeedupSample {
+  double baseline_seconds = 0.0;
+  double current_seconds = 0.0;
+};
+
+/// baseline/current, or 0.0 when either side is non-positive (unknown).
+double Speedup(double baseline_seconds, double current_seconds);
+
+/// Geometric mean of the valid samples' speedups. Samples where either side
+/// is non-positive are skipped; returns 0.0 when no sample is valid, so a
+/// missing baseline reads as "no comparison" rather than as a 1.0x result.
+double SpeedupGeomean(std::span<const SpeedupSample> samples);
+
+}  // namespace iosched::metrics

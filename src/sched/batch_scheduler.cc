@@ -13,6 +13,8 @@ namespace iosched::sched {
 BatchScheduler::BatchScheduler(machine::Machine& machine, Options options)
     : machine_(machine),
       options_(options),
+      wait_queue_(options.order),
+      probe_scratch_(machine),
       jitter_rng_(options.backoff_jitter_seed, /*stream=*/37) {
   if (options_.backoff_jitter_fraction < 0 ||
       options_.backoff_jitter_fraction >= 1.0) {
@@ -27,11 +29,13 @@ void BatchScheduler::Submit(const workload::Job& job) {
     throw std::invalid_argument("Submit: invalid job " +
                                 std::to_string(job.id) + ": " + err);
   }
-  if (!machine_.BlockNodesFor(job.nodes)) {
+  std::optional<int> block_nodes = machine_.BlockNodesFor(job.nodes);
+  if (!block_nodes) {
     throw std::invalid_argument("Submit: job " + std::to_string(job.id) +
                                 " larger than the machine");
   }
   queue_.push_back(&job);
+  wait_queue_.Insert(job, *block_nodes);
 }
 
 sim::SimTime BatchScheduler::ShadowTime(const workload::Job& head,
@@ -55,11 +59,13 @@ sim::SimTime BatchScheduler::ShadowTime(const workload::Job& head,
   // scans the whole machine, so probing O(log R) prefixes instead of every
   // one is the win. The result is identical to the linear scan's.
   auto fits_after = [&](std::size_t prefix) {
-    machine::Machine scratch = machine_;
+    // Copy-assign into the standing scratch machine: reuses its buffers
+    // instead of heap-allocating a snapshot per probe.
+    probe_scratch_ = machine_;
     for (std::size_t k = 0; k < prefix; ++k) {
-      scratch.Release(by_end[k]->partition);
+      probe_scratch_.Release(by_end[k]->partition);
     }
-    return scratch.CanAllocate(head.nodes);
+    return probe_scratch_.CanAllocate(head.nodes);
   };
   std::size_t lo = 1, hi = by_end.size();
   if (hi == 0 || !fits_after(hi)) {
@@ -96,13 +102,13 @@ bool BatchScheduler::BackfillOk(const workload::Job& candidate,
   // Otherwise the head must still fit at shadow time with the candidate's
   // partition occupied. machine_ already contains the candidate (the caller
   // allocated it tentatively), so replay the releases up to `shadow`.
-  machine::Machine scratch = machine_;
+  probe_scratch_ = machine_;
   for (const auto& [id, rj] : running_) {
     if (std::max(rj.predicted_end, now) <= shadow + util::kTimeEpsilon) {
-      scratch.Release(rj.partition);
+      probe_scratch_.Release(rj.partition);
     }
   }
-  return scratch.CanAllocate(head.nodes);
+  return probe_scratch_.CanAllocate(head.nodes);
 }
 
 std::vector<StartDecision> BatchScheduler::Schedule(sim::SimTime now) {
@@ -115,21 +121,36 @@ std::vector<StartDecision> BatchScheduler::Schedule(sim::SimTime now) {
   std::vector<StartDecision> decisions;
   if (queue_.empty()) return decisions;
 
-  // Jobs still inside their requeue backoff are invisible to this pass
-  // (they neither start nor hold the EASY reservation).
-  std::vector<const workload::Job*> eligible;
-  eligible.reserve(queue_.size());
-  for (const workload::Job* job : queue_) {
-    auto it = eligible_after_.find(job->id);
-    if (it != eligible_after_.end() && it->second > now + util::kTimeEpsilon) {
-      continue;
+  // Build the eligible candidates in service order. Jobs still inside
+  // their requeue backoff are invisible to this pass (they neither start
+  // nor hold the EASY reservation). The incremental path orders the whole
+  // standing queue and filters afterwards — identical to ordering the
+  // filtered subset, because the order is a total order independent of
+  // membership.
+  candidates_.clear();
+  if (options_.incremental_order) {
+    for (const WaitQueue::Entry& e : wait_queue_.Ordered(now)) {
+      if (InBackoff(e.id, now)) continue;
+      candidates_.push_back(Candidate{e.job, e.block_nodes});
     }
-    eligible.push_back(job);
+  } else {
+    // Reference path: full re-sort from scratch via OrderQueue. Kept so
+    // tests and benchmarks can diff the two orders; schedules are
+    // bit-identical.
+    std::vector<const workload::Job*> eligible;
+    eligible.reserve(queue_.size());
+    for (const workload::Job* job : queue_) {
+      if (InBackoff(job->id, now)) continue;
+      eligible.push_back(job);
+    }
+    for (const workload::Job* job :
+         OrderQueue(eligible, options_.order, now)) {
+      // Block size exists: Submit validated the job fits the machine.
+      candidates_.push_back(
+          Candidate{job, *machine_.BlockNodesFor(job->nodes)});
+    }
   }
-  if (eligible.empty()) return decisions;
-
-  std::vector<const workload::Job*> ordered =
-      OrderQueue(eligible, options_.order, now);
+  if (candidates_.empty()) return decisions;
 
   const workload::Job* blocked_head = nullptr;
   sim::SimTime shadow = 0.0;
@@ -141,7 +162,8 @@ std::vector<StartDecision> BatchScheduler::Schedule(sim::SimTime now) {
   // candidates outright avoids the allocator probe entirely.
   int min_failed_block_nodes = std::numeric_limits<int>::max();
 
-  for (const workload::Job* job : ordered) {
+  for (const Candidate& candidate : candidates_) {
+    const workload::Job* job = candidate.job;
     if (blocked_head == nullptr) {
       auto partition = machine_.Allocate(job->nodes);
       if (partition) {
@@ -156,9 +178,8 @@ std::vector<StartDecision> BatchScheduler::Schedule(sim::SimTime now) {
       shadow = ShadowTime(*job, now);
       continue;
     }
-    // Backfill phase. Block size exists: Submit validated the job fits the
-    // machine.
-    int block_nodes = *machine_.BlockNodesFor(job->nodes);
+    // Backfill phase.
+    int block_nodes = candidate.block_nodes;
     if (block_nodes >= min_failed_block_nodes) continue;
     auto partition = machine_.Allocate(job->nodes);
     if (!partition) {
@@ -189,9 +210,16 @@ std::vector<StartDecision> BatchScheduler::Schedule(sim::SimTime now) {
                  queue_.end());
     for (const StartDecision& d : decisions) {
       eligible_after_.erase(d.job->id);
+      wait_queue_.Remove(d.job->id);
     }
   }
   return decisions;
+}
+
+bool BatchScheduler::InBackoff(workload::JobId id, sim::SimTime now) const {
+  if (eligible_after_.empty()) return false;
+  auto it = eligible_after_.find(id);
+  return it != eligible_after_.end() && it->second > now + util::kTimeEpsilon;
 }
 
 BatchScheduler::RequeueDecision BatchScheduler::OnJobFailed(
@@ -217,6 +245,8 @@ BatchScheduler::RequeueDecision BatchScheduler::OnJobFailed(
   decision.eligible_time = now + BackoffDelay(decision.retries);
   eligible_after_[id] = decision.eligible_time;
   queue_.push_back(job);
+  // Block size exists: Submit validated the job fits the machine.
+  wait_queue_.Insert(*job, *machine_.BlockNodesFor(job->nodes));
   return decision;
 }
 
@@ -310,13 +340,16 @@ void BatchScheduler::RestoreState(
     return job;
   };
   queue_.clear();
+  wait_queue_.Clear();
   running_.clear();
   retries_.clear();
   eligible_after_.clear();
   std::uint32_t queued = r.U32();
   queue_.reserve(queued);
   for (std::uint32_t i = 0; i < queued; ++i) {
-    queue_.push_back(must_resolve(r.I64()));
+    const workload::Job* job = must_resolve(r.I64());
+    queue_.push_back(job);
+    wait_queue_.Insert(*job, *machine_.BlockNodesFor(job->nodes));
   }
   std::uint32_t running = r.U32();
   for (std::uint32_t i = 0; i < running; ++i) {

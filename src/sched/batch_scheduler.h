@@ -18,6 +18,7 @@
 #include "ckpt/serializer.h"
 #include "machine/machine.h"
 #include "sched/queue_policy.h"
+#include "sched/wait_queue.h"
 #include "sim/time.h"
 #include "util/rng.h"
 #include "workload/job.h"
@@ -64,6 +65,13 @@ class BatchScheduler {
     /// schedule).
     double backoff_jitter_fraction = 0.0;
     std::uint64_t backoff_jitter_seed = 1;
+    /// Maintain the service order incrementally between dispatch passes
+    /// (sched/wait_queue.h) instead of re-sorting the queue from scratch
+    /// each pass. Both paths produce bit-identical schedules — the toggle
+    /// exists so tests can diff them and benchmarks can measure the full
+    /// re-sort reference. Excluded from the checkpoint config hash for the
+    /// same reason.
+    bool incremental_order = true;
   };
 
   /// `machine` must outlive the scheduler.
@@ -108,6 +116,11 @@ class BatchScheduler {
 
   std::size_t queue_size() const { return queue_.size(); }
   std::size_t running_count() const { return running_.size(); }
+  /// Comparator invocations consumed by the most recent incremental-order
+  /// dispatch pass (0 until Schedule runs; see WaitQueue).
+  std::uint64_t last_order_comparisons() const {
+    return wait_queue_.last_pass_comparisons();
+  }
   const std::unordered_map<workload::JobId, RunningJob>& running() const {
     return running_;
   }
@@ -139,10 +152,30 @@ class BatchScheduler {
                   const workload::Job& head, sim::SimTime now,
                   sim::SimTime shadow) const;
 
+  /// One eligible queue entry in service order, with the allocation block
+  /// size cached so the backfill loop never re-derives machine geometry.
+  struct Candidate {
+    const workload::Job* job = nullptr;
+    int block_nodes = 0;
+  };
+
+  /// True when `id` is still inside its requeue backoff at `now`.
+  bool InBackoff(workload::JobId id, sim::SimTime now) const;
+
   machine::Machine& machine_;
   Options options_;
+  /// Submission-order view of the wait queue: checkpoint layout and the
+  /// NextEligibleTime scan key off it. The service order lives in
+  /// wait_queue_ and is maintained incrementally.
   std::vector<const workload::Job*> queue_;
+  WaitQueue wait_queue_;
   std::unordered_map<workload::JobId, RunningJob> running_;
+  /// Reusable machine snapshot for ShadowTime/BackfillOk probes; copy-assign
+  /// reuses its buffers instead of heap-allocating a fresh Machine per
+  /// probe (millions of probes per replay).
+  mutable machine::Machine probe_scratch_;
+  /// Per-pass scratch for the ordered eligible candidates.
+  std::vector<Candidate> candidates_;
   /// Overflow-safe clamped exponential backoff for retry attempt `retries`
   /// (1-based), with the optional seeded jitter applied.
   double BackoffDelay(int retries);

@@ -29,11 +29,28 @@ double WfpScore(const workload::Job& job, sim::SimTime now) {
   return ratio * ratio * ratio * static_cast<double>(job.nodes);
 }
 
+namespace {
+struct Ranked {
+  double score;
+  const workload::Job* job;
+};
+// Scratch reused across dispatch passes (policies may run on the driver's
+// pool threads, hence thread_local). Namespace scope so the capacity test
+// hook below can observe it.
+thread_local std::vector<Ranked> wfp_ranked_scratch;
+}  // namespace
+
+std::size_t OrderQueueScratchCapacity() {
+  return wfp_ranked_scratch.capacity();
+}
+
 std::vector<const workload::Job*> OrderQueue(
     std::span<const workload::Job* const> queue, QueueOrder order,
-    sim::SimTime now) {
+    sim::SimTime now, std::uint64_t* comparisons) {
   std::vector<const workload::Job*> out(queue.begin(), queue.end());
-  auto fcfs_tie = [](const workload::Job* a, const workload::Job* b) {
+  std::uint64_t count = 0;
+  auto fcfs_tie = [&count](const workload::Job* a, const workload::Job* b) {
+    ++count;
     if (a->submit_time != b->submit_time) {
       return a->submit_time < b->submit_time;
     }
@@ -41,31 +58,41 @@ std::vector<const workload::Job*> OrderQueue(
   };
   switch (order) {
     case QueueOrder::kFcfs:
-      std::sort(out.begin(), out.end(), fcfs_tie);
+      // The scheduler keeps its queue in submission order, which for
+      // monotone arrival times is already (submit_time, id) — detect that
+      // with one O(n) sweep instead of paying the O(n log n) sort on every
+      // dispatch pass.
+      if (!std::is_sorted(out.begin(), out.end(), fcfs_tie)) {
+        std::sort(out.begin(), out.end(), fcfs_tie);
+      }
       break;
     case QueueOrder::kWfp: {
       // Precompute each job's score once — a comparator-side WfpScore costs
       // O(n log n) evaluations per sort and this runs on every dispatch
       // pass.
-      struct Ranked {
-        double score;
-        const workload::Job* job;
-      };
-      // Scratch reused across dispatch passes (policies may run on the
-      // driver's pool threads, hence thread_local).
-      thread_local std::vector<Ranked> ranked;
+      std::vector<Ranked>& ranked = wfp_ranked_scratch;
       ranked.clear();
       ranked.reserve(out.size());
       for (const workload::Job* j : out) ranked.push_back({WfpScore(*j, now), j});
       std::sort(ranked.begin(), ranked.end(),
                 [&](const Ranked& a, const Ranked& b) {
-                  if (a.score != b.score) return a.score > b.score;
+                  if (a.score != b.score) {
+                    ++count;
+                    return a.score > b.score;
+                  }
                   return fcfs_tie(a.job, b.job);
                 });
       for (std::size_t i = 0; i < ranked.size(); ++i) out[i] = ranked[i].job;
+      // One oversized pass must not pin peak capacity on a pool thread for
+      // the rest of a sweep; release anything beyond the cap.
+      if (ranked.capacity() > kOrderQueueScratchCapacityCap) {
+        ranked.clear();
+        ranked.shrink_to_fit();
+      }
       break;
     }
   }
+  if (comparisons != nullptr) *comparisons += count;
   return out;
 }
 

@@ -7,6 +7,7 @@
 // plus plain FCFS for comparison.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -27,8 +28,20 @@ double WfpScore(const workload::Job& job, sim::SimTime now);
 
 /// Return queue entries sorted into service order (descending priority).
 /// Ties break by (submit time, id) so the order is total and deterministic.
+/// `comparisons`, when non-null, is incremented by the number of comparator
+/// invocations the call consumed (regression tests pin the FCFS fast path).
 std::vector<const workload::Job*> OrderQueue(
     std::span<const workload::Job* const> queue, QueueOrder order,
-    sim::SimTime now);
+    sim::SimTime now, std::uint64_t* comparisons = nullptr);
+
+/// Retained capacity of this thread's WFP ranking scratch, in entries.
+/// Test hook for the capacity cap (see kOrderQueueScratchCapacityCap).
+std::size_t OrderQueueScratchCapacity();
+
+/// Ceiling on the WFP scratch retained between passes. One oversized pass
+/// (a driver sweep cell with a very deep queue) must not pin peak capacity
+/// on a pool thread forever; anything above the cap is freed after the
+/// pass.
+inline constexpr std::size_t kOrderQueueScratchCapacityCap = 4096;
 
 }  // namespace iosched::sched

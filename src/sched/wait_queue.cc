@@ -1,0 +1,90 @@
+#include "sched/wait_queue.h"
+
+#include <algorithm>
+
+namespace iosched::sched {
+
+namespace {
+/// (submit_time, id) — the FCFS order and the WFP tie-break.
+bool FcfsLess(const WaitQueue::Entry& a, const WaitQueue::Entry& b) {
+  if (a.submit_time != b.submit_time) return a.submit_time < b.submit_time;
+  return a.id < b.id;
+}
+}  // namespace
+
+void WaitQueue::Insert(const workload::Job& job, int block_nodes) {
+  Entry e;
+  e.job = &job;
+  e.submit_time = job.submit_time;
+  e.id = job.id;
+  e.walltime = std::max(1.0, job.requested_walltime);
+  e.nodes = static_cast<double>(job.nodes);
+  e.block_nodes = block_nodes;
+  if (order_ == QueueOrder::kFcfs) {
+    // Submissions arrive in non-decreasing submit time, so this is almost
+    // always an append; a requeued job re-enters at its original position.
+    entries_.insert(
+        std::upper_bound(entries_.begin(), entries_.end(), e, FcfsLess),
+        e);
+  } else {
+    entries_.push_back(e);
+  }
+}
+
+void WaitQueue::Remove(workload::JobId id) {
+  // Started jobs sit at the front of the last pass's order, so the scan is
+  // short in practice; erase (not swap-erase) keeps the standing order.
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [id](const Entry& e) { return e.id == id; });
+  if (it != entries_.end()) entries_.erase(it);
+}
+
+std::span<const WaitQueue::Entry> WaitQueue::Ordered(sim::SimTime now) {
+  last_pass_comparisons_ = 0;
+  if (order_ == QueueOrder::kFcfs) {
+    // Maintained at insert: zero comparator invocations per pass.
+    return entries_;
+  }
+  // Refresh scores with the exact arithmetic of WfpScore() — wait clamped at
+  // zero, divided by the clamped walltime — so both order paths agree to the
+  // last ulp and the schedules are bit-identical.
+  for (Entry& e : entries_) {
+    double wait = std::max(0.0, now - e.submit_time);
+    double ratio = wait / e.walltime;
+    e.score = ratio * ratio * ratio * e.nodes;
+  }
+  SortByScore();
+  return entries_;
+}
+
+void WaitQueue::SortByScore() {
+  const std::size_t n = entries_.size();
+  if (n < 2) return;
+  auto less = [this](const Entry& a, const Entry& b) {
+    ++last_pass_comparisons_;
+    if (a.score != b.score) return a.score > b.score;
+    return FcfsLess(a, b);
+  };
+  // Adaptive insertion re-sort from the previous pass's order. Score curves
+  // cross at most once per pair, so inversions between passes are few and
+  // the common case is a single O(n) sortedness sweep. The displacement
+  // budget bounds the worst case (mass requeue after an outage): once spent,
+  // finish with std::sort — the comparator is a strict total order, so the
+  // result is identical either way.
+  std::size_t budget = 4 * n + 64;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (!less(entries_[i], entries_[i - 1])) continue;
+    auto pos = std::upper_bound(entries_.begin(), entries_.begin() + i,
+                                entries_[i], less);
+    std::size_t displacement =
+        static_cast<std::size_t>((entries_.begin() + i) - pos);
+    if (displacement > budget) {
+      std::sort(entries_.begin(), entries_.end(), less);
+      return;
+    }
+    budget -= displacement;
+    std::rotate(pos, entries_.begin() + i, entries_.begin() + i + 1);
+  }
+}
+
+}  // namespace iosched::sched

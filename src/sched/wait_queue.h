@@ -1,0 +1,91 @@
+// Incrementally maintained wait-queue order (ROADMAP item 3).
+//
+// OrderQueue() recomputes the full service order from scratch on every
+// dispatch pass — an O(n log n) sort that dominates the scheduling cycle at
+// deep queue depths. WaitQueue keeps the order standing between passes and
+// exploits two structural facts:
+//
+//  * FCFS order is (submit_time, id) — independent of `now` — so it can be
+//    maintained at insert time and a dispatch pass costs zero comparator
+//    invocations.
+//  * WFP scores are monotone in wait time: for any two queued jobs the score
+//    curves c_a(x - s_a)^3 and c_b(x - s_b)^3 cross at most once as `now`
+//    advances, so consecutive passes see a nearly sorted sequence. An
+//    adaptive insertion re-sort from the previous pass's order runs in
+//    O(n + inversions), falling back to std::sort when the displacement
+//    budget is exhausted (rare: mass requeues after an outage).
+//
+// The comparator is a strict total order (ties break by submit time then by
+// unique id), so every comparison sort yields the identical sequence — the
+// incremental order is exactly equal, element for element, to the full
+// re-sort's. tests/sched/wait_queue_test.cc proves this property under
+// randomized arrivals/completions/requeues.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sched/queue_policy.h"
+#include "sim/time.h"
+#include "workload/job.h"
+
+namespace iosched::sched {
+
+/// Standing service-order structure for the batch scheduler's wait queue.
+class WaitQueue {
+ public:
+  /// One queued job plus everything the dispatch pass needs, cached so the
+  /// hot loop never dereferences the Job or re-derives machine geometry.
+  struct Entry {
+    const workload::Job* job = nullptr;
+    sim::SimTime submit_time = 0.0;
+    workload::JobId id = 0;
+    /// max(1, requested_walltime) — WfpScore's clamp, cached once.
+    double walltime = 1.0;
+    double nodes = 0.0;
+    /// Allocation block size (nodes) for this job; a pure function of
+    /// job->nodes, cached to spare the backfill loop a lookup per probe.
+    int block_nodes = 0;
+    /// Score as of the most recent Ordered() call; WFP only.
+    double score = 0.0;
+  };
+
+  explicit WaitQueue(QueueOrder order) : order_(order) {}
+
+  /// Add a job. FCFS inserts at its (submit_time, id) position; WFP appends
+  /// (the next Ordered() pass places it — a fresh submission has score 0 and
+  /// belongs at the tail anyway).
+  void Insert(const workload::Job& job, int block_nodes);
+
+  /// Drop a job by id; no-op when absent. Preserves the standing order of
+  /// the remaining entries.
+  void Remove(workload::JobId id);
+
+  void Clear() { entries_.clear(); }
+
+  /// Entries in service order at `now` (descending priority). The returned
+  /// span is invalidated by Insert/Remove/Clear and by the next Ordered()
+  /// call.
+  std::span<const Entry> Ordered(sim::SimTime now);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  QueueOrder order() const { return order_; }
+
+  /// Comparator invocations consumed by the most recent Ordered() call.
+  /// FCFS passes cost 0; a WFP pass over an already sorted queue costs
+  /// n - 1. Regression tests pin these bounds.
+  std::uint64_t last_pass_comparisons() const {
+    return last_pass_comparisons_;
+  }
+
+ private:
+  void SortByScore();
+
+  QueueOrder order_;
+  std::vector<Entry> entries_;
+  std::uint64_t last_pass_comparisons_ = 0;
+};
+
+}  // namespace iosched::sched

@@ -20,6 +20,11 @@ StorageModel::StorageModel(StorageConfig config) : config_(config) {
   }
 }
 
+bool StorageModel::CompleteAt(std::size_t slot) const {
+  return RemainingAt(slot) <=
+         util::kVolumeEpsilon * std::max(1.0, volumes_[slot]);
+}
+
 std::vector<std::size_t>::const_iterator StorageModel::ArrivalPos(
     sim::SimTime arrival, workload::JobId job) const {
   return std::lower_bound(
@@ -27,11 +32,10 @@ std::vector<std::size_t>::const_iterator StorageModel::ArrivalPos(
       std::pair<sim::SimTime, workload::JobId>(arrival, job),
       [this](std::size_t lhs,
              const std::pair<sim::SimTime, workload::JobId>& rhs) {
-        const Transfer& t = transfers_[lhs];
-        if (t.request_arrival != rhs.first) {
-          return t.request_arrival < rhs.first;
+        if (arrivals_[lhs] != rhs.first) {
+          return arrivals_[lhs] < rhs.first;
         }
-        return t.job_id < rhs.second;
+        return job_ids_[lhs] < rhs.second;
       });
 }
 
@@ -55,46 +59,75 @@ void StorageModel::Begin(workload::JobId job, int nodes, double full_rate_gbps,
     throw std::invalid_argument("StorageModel::Begin: bad efficiency");
   }
   AdvanceTo(now);
-  Transfer t;
-  t.job_id = job;
-  t.nodes = nodes;
-  t.full_rate_gbps = full_rate_gbps;
-  t.volume_gb = volume_gb;
-  t.request_arrival = now;
-  t.efficiency = efficiency;
-  index_.emplace(job, transfers_.size());
-  transfers_.push_back(t);
-  arrival_order_.insert(ArrivalPos(now, job), transfers_.size() - 1);
+  index_.emplace(job, job_ids_.size());
+  job_ids_.push_back(job);
+  nodes_.push_back(nodes);
+  full_rates_.push_back(full_rate_gbps);
+  volumes_.push_back(volume_gb);
+  transferred_.push_back(0.0);
+  arrivals_.push_back(now);
+  rates_.push_back(0.0);
+  efficiencies_.push_back(efficiency);
+  user_slots_.push_back(kNoUserSlot);
+  arrival_order_.insert(ArrivalPos(now, job), job_ids_.size() - 1);
   total_demand_gbps_ += full_rate_gbps;
   total_nodes_ += nodes;
 }
 
-Transfer& StorageModel::GetMutable(workload::JobId job) {
+std::size_t StorageModel::SlotOf(workload::JobId job) const {
   auto it = index_.find(job);
   if (it == index_.end()) {
     throw std::logic_error("StorageModel: no transfer for job " +
                            std::to_string(job));
   }
-  return transfers_[it->second];
+  return it->second;
+}
+
+Transfer StorageModel::AssembleAt(std::size_t slot) const {
+  Transfer t;
+  t.job_id = job_ids_[slot];
+  t.nodes = nodes_[slot];
+  t.full_rate_gbps = full_rates_[slot];
+  t.volume_gb = volumes_[slot];
+  t.transferred_gb = transferred_[slot];
+  t.request_arrival = arrivals_[slot];
+  t.rate_gbps = rates_[slot];
+  t.efficiency = efficiencies_[slot];
+  return t;
 }
 
 void StorageModel::EraseAt(std::size_t idx) {
-  const Transfer& t = transfers_[idx];
-  total_demand_gbps_ -= t.full_rate_gbps;
-  total_nodes_ -= t.nodes;
-  total_assigned_rate_ -= t.rate_gbps;
-  arrival_order_.erase(ArrivalPos(t.request_arrival, t.job_id));
-  index_.erase(t.job_id);
-  if (idx + 1 != transfers_.size()) {
-    transfers_[idx] = std::move(transfers_.back());
-    index_[transfers_[idx].job_id] = idx;
+  total_demand_gbps_ -= full_rates_[idx];
+  total_nodes_ -= nodes_[idx];
+  total_assigned_rate_ -= rates_[idx];
+  arrival_order_.erase(ArrivalPos(arrivals_[idx], job_ids_[idx]));
+  index_.erase(job_ids_[idx]);
+  const std::size_t last = job_ids_.size() - 1;
+  if (idx != last) {
+    job_ids_[idx] = job_ids_[last];
+    nodes_[idx] = nodes_[last];
+    full_rates_[idx] = full_rates_[last];
+    volumes_[idx] = volumes_[last];
+    transferred_[idx] = transferred_[last];
+    arrivals_[idx] = arrivals_[last];
+    rates_[idx] = rates_[last];
+    efficiencies_[idx] = efficiencies_[last];
+    user_slots_[idx] = user_slots_[last];
+    index_[job_ids_[idx]] = idx;
     // The moved transfer's FCFS entry still points at the old back slot;
     // re-point it (its sort key is unchanged, so the order is intact).
-    *ArrivalPos(transfers_[idx].request_arrival, transfers_[idx].job_id) =
-        idx;
+    *ArrivalPos(arrivals_[idx], job_ids_[idx]) = idx;
   }
-  transfers_.pop_back();
-  if (transfers_.empty()) {
+  job_ids_.pop_back();
+  nodes_.pop_back();
+  full_rates_.pop_back();
+  volumes_.pop_back();
+  transferred_.pop_back();
+  arrivals_.pop_back();
+  rates_.pop_back();
+  efficiencies_.pop_back();
+  user_slots_.pop_back();
+  if (job_ids_.empty()) {
     // Pin the aggregates back to exact zero so incremental-update round-off
     // cannot accumulate across a month of transfers.
     total_demand_gbps_ = 0.0;
@@ -104,18 +137,14 @@ void StorageModel::EraseAt(std::size_t idx) {
 }
 
 Transfer StorageModel::End(workload::JobId job) {
-  auto it = index_.find(job);
-  if (it == index_.end()) {
-    throw std::logic_error("StorageModel: no transfer for job " +
-                           std::to_string(job));
-  }
-  Transfer t = transfers_[it->second];
+  std::size_t slot = SlotOf(job);
+  Transfer t = AssembleAt(slot);
   if (!t.Complete()) {
     throw std::logic_error("StorageModel::End: job " + std::to_string(job) +
                            " not complete (" + std::to_string(t.RemainingGb()) +
                            " GB remaining)");
   }
-  EraseAt(it->second);
+  EraseAt(slot);
   return t;
 }
 
@@ -124,39 +153,55 @@ void StorageModel::Abort(workload::JobId job) {
   if (it == index_.end()) {
     throw std::logic_error("StorageModel::Abort: no transfer for job " +
                            std::to_string(job) + " (" +
-                           std::to_string(transfers_.size()) +
+                           std::to_string(job_ids_.size()) +
                            " active transfers)");
   }
   EraseAt(it->second);
 }
 
 void StorageModel::ForceComplete(workload::JobId job, double max_sliver_gb) {
-  Transfer& t = GetMutable(job);
-  double sliver = t.RemainingGb();
+  std::size_t slot = SlotOf(job);
+  double sliver = RemainingAt(slot);
   if (sliver > max_sliver_gb) {
     throw std::logic_error("StorageModel::ForceComplete: remaining " +
                            std::to_string(sliver) + " GB exceeds the sliver "
                            "threshold");
   }
-  t.transferred_gb = t.volume_gb;
+  transferred_[slot] = volumes_[slot];
 }
 
 bool StorageModel::Has(workload::JobId job) const {
   return index_.find(job) != index_.end();
 }
 
-const Transfer& StorageModel::Get(workload::JobId job) const {
+Transfer StorageModel::Get(workload::JobId job) const {
   auto it = index_.find(job);
   if (it == index_.end()) {
     throw std::logic_error("StorageModel::Get: no transfer for job " +
                            std::to_string(job));
   }
-  return transfers_[it->second];
+  return AssembleAt(it->second);
 }
 
-const Transfer* StorageModel::TryGet(workload::JobId job) const {
+std::optional<Transfer> StorageModel::TryGet(workload::JobId job) const {
   auto it = index_.find(job);
-  return it == index_.end() ? nullptr : &transfers_[it->second];
+  if (it == index_.end()) return std::nullopt;
+  return AssembleAt(it->second);
+}
+
+StorageModel::ActiveColumns StorageModel::Columns() const {
+  ActiveColumns c;
+  c.job_ids = job_ids_;
+  c.nodes = nodes_;
+  c.full_rates = full_rates_;
+  c.volumes = volumes_;
+  c.transferred = transferred_;
+  c.arrivals = arrivals_;
+  c.rates = rates_;
+  c.efficiencies = efficiencies_;
+  c.user_slots = user_slots_;
+  c.arrival_order = arrival_order_;
+  return c;
 }
 
 std::vector<const Transfer*> StorageModel::ActiveByArrival() const {
@@ -167,9 +212,14 @@ std::vector<const Transfer*> StorageModel::ActiveByArrival() const {
 
 void StorageModel::ActiveByArrival(std::vector<const Transfer*>& out) const {
   out.clear();
-  out.reserve(transfers_.size());
+  out.reserve(job_ids_.size());
+  materialized_.clear();
+  materialized_.reserve(job_ids_.size());
   for (std::size_t slot : arrival_order_) {
-    out.push_back(&transfers_[slot]);
+    materialized_.push_back(AssembleAt(slot));
+  }
+  for (const Transfer& t : materialized_) {
+    out.push_back(&t);
   }
 }
 
@@ -179,10 +229,12 @@ void StorageModel::AdvanceTo(sim::SimTime now) {
   }
   double dt = std::max(0.0, now - last_update_);
   if (dt > 0) {
-    for (Transfer& t : transfers_) {
-      if (t.rate_gbps > 0) {
-        t.transferred_gb =
-            std::min(t.volume_gb, t.transferred_gb + t.EffectiveRate() * dt);
+    const std::size_t n = job_ids_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rates_[i] > 0) {
+        transferred_[i] = std::min(
+            volumes_[i],
+            transferred_[i] + rates_[i] * efficiencies_[i] * dt);
       }
     }
   }
@@ -201,17 +253,24 @@ void StorageModel::SetMaxBandwidth(double max_bandwidth_gbps,
 }
 
 void StorageModel::SetRate(workload::JobId job, double rate_gbps) {
-  Transfer& t = GetMutable(job);
+  SetRateAtSlot(SlotOf(job), rate_gbps);
+}
+
+void StorageModel::SetRateAtSlot(std::size_t slot, double rate_gbps) {
   if (rate_gbps < 0) {
     throw std::invalid_argument("StorageModel::SetRate: negative rate");
   }
-  if (rate_gbps > util::MaxGrantableRate(t.full_rate_gbps)) {
+  if (rate_gbps > util::MaxGrantableRate(full_rates_[slot])) {
     throw std::invalid_argument(
         "StorageModel::SetRate: rate exceeds job's full rate");
   }
-  double clamped = std::min(rate_gbps, t.full_rate_gbps);
-  total_assigned_rate_ += clamped - t.rate_gbps;
-  t.rate_gbps = clamped;
+  double clamped = std::min(rate_gbps, full_rates_[slot]);
+  total_assigned_rate_ += clamped - rates_[slot];
+  rates_[slot] = clamped;
+}
+
+void StorageModel::SetUserSlot(workload::JobId job, std::uint32_t user_slot) {
+  user_slots_[SlotOf(job)] = user_slot;
 }
 
 void StorageModel::SaveState(ckpt::Writer& w) const {
@@ -220,16 +279,19 @@ void StorageModel::SaveState(ckpt::Writer& w) const {
   w.F64(total_assigned_rate_);
   w.F64(total_demand_gbps_);
   w.I64(total_nodes_);
-  w.U32(static_cast<std::uint32_t>(transfers_.size()));
-  for (const Transfer& t : transfers_) {
-    w.I64(t.job_id);
-    w.I64(t.nodes);
-    w.F64(t.full_rate_gbps);
-    w.F64(t.volume_gb);
-    w.F64(t.transferred_gb);
-    w.F64(t.request_arrival);
-    w.F64(t.rate_gbps);
-    w.F64(t.efficiency);
+  const std::size_t n = job_ids_.size();
+  w.U32(static_cast<std::uint32_t>(n));
+  // Field sequence matches the pre-SoA per-Transfer layout byte for byte;
+  // user slots are runtime-only and excluded.
+  for (std::size_t i = 0; i < n; ++i) {
+    w.I64(job_ids_[i]);
+    w.I64(nodes_[i]);
+    w.F64(full_rates_[i]);
+    w.F64(volumes_[i]);
+    w.F64(transferred_[i]);
+    w.F64(arrivals_[i]);
+    w.F64(rates_[i]);
+    w.F64(efficiencies_[i]);
   }
   // The FCFS order is a permutation of dense slots; saving it verbatim
   // avoids re-deriving it (and keeps restore a structural copy).
@@ -239,7 +301,15 @@ void StorageModel::SaveState(ckpt::Writer& w) const {
 }
 
 void StorageModel::RestoreState(ckpt::Reader& r) {
-  transfers_.clear();
+  job_ids_.clear();
+  nodes_.clear();
+  full_rates_.clear();
+  volumes_.clear();
+  transferred_.clear();
+  arrivals_.clear();
+  rates_.clear();
+  efficiencies_.clear();
+  user_slots_.clear();
   index_.clear();
   arrival_order_.clear();
   config_.max_bandwidth_gbps = r.F64();
@@ -248,27 +318,35 @@ void StorageModel::RestoreState(ckpt::Reader& r) {
   total_demand_gbps_ = r.F64();
   total_nodes_ = r.I64();
   std::uint32_t count = r.U32();
-  transfers_.reserve(count);
+  job_ids_.reserve(count);
+  nodes_.reserve(count);
+  full_rates_.reserve(count);
+  volumes_.reserve(count);
+  transferred_.reserve(count);
+  arrivals_.reserve(count);
+  rates_.reserve(count);
+  efficiencies_.reserve(count);
+  user_slots_.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
-    Transfer t;
-    t.job_id = r.I64();
-    t.nodes = static_cast<int>(r.I64());
-    t.full_rate_gbps = r.F64();
-    t.volume_gb = r.F64();
-    t.transferred_gb = r.F64();
-    t.request_arrival = r.F64();
-    t.rate_gbps = r.F64();
-    t.efficiency = r.F64();
-    index_.emplace(t.job_id, transfers_.size());
-    transfers_.push_back(t);
+    workload::JobId id = r.I64();
+    index_.emplace(id, job_ids_.size());
+    job_ids_.push_back(id);
+    nodes_.push_back(static_cast<int>(r.I64()));
+    full_rates_.push_back(r.F64());
+    volumes_.push_back(r.F64());
+    transferred_.push_back(r.F64());
+    arrivals_.push_back(r.F64());
+    rates_.push_back(r.F64());
+    efficiencies_.push_back(r.F64());
+    user_slots_.push_back(kNoUserSlot);
   }
   arrival_order_.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     std::size_t slot = r.U32();
-    if (slot >= transfers_.size()) {
+    if (slot >= job_ids_.size()) {
       throw std::runtime_error(
           "StorageModel::RestoreState: arrival order references slot " +
-          std::to_string(slot) + " of " + std::to_string(transfers_.size()));
+          std::to_string(slot) + " of " + std::to_string(job_ids_.size()));
     }
     arrival_order_.push_back(slot);
   }
@@ -288,18 +366,19 @@ void StorageModel::ValidateAssignment() const {
 std::optional<std::pair<sim::SimTime, workload::JobId>>
 StorageModel::NextCompletion() const {
   std::optional<std::pair<sim::SimTime, workload::JobId>> best;
-  for (const Transfer& t : transfers_) {
+  const std::size_t n = job_ids_.size();
+  for (std::size_t i = 0; i < n; ++i) {
     sim::SimTime finish;
-    if (t.Complete()) {
+    if (CompleteAt(i)) {
       finish = last_update_;
-    } else if (t.rate_gbps > 0) {
-      finish = last_update_ + t.RemainingGb() / t.EffectiveRate();
+    } else if (rates_[i] > 0) {
+      finish = last_update_ + RemainingAt(i) / EffectiveRateAt(i);
     } else {
       continue;  // suspended transfers never finish on their own
     }
     if (!best || finish < best->first ||
-        (finish == best->first && t.job_id < best->second)) {
-      best = {finish, t.job_id};
+        (finish == best->first && job_ids_[i] < best->second)) {
+      best = {finish, job_ids_[i]};
     }
   }
   return best;

@@ -13,17 +13,21 @@
 // sum — the BASE_LINE fair-share helper and the policies are responsible for
 // producing feasible assignments, and the model validates them.
 //
-// Performance invariants (see DESIGN.md "Performance notes"): transfers live
-// in a dense vector with a job-id hash index, so Begin/End/Abort/Has/Get/
-// SetRate are O(1) (End/Abort swap-erase the dense slot and patch the index
-// of the transfer that moved into it). Aggregates over the active set —
+// Performance invariants (see DESIGN.md "Performance notes"): the transfer
+// set is stored struct-of-arrays — one dense column per field, indexed by
+// slot — with a job-id hash index, so Begin/End/Abort/Has/Get/SetRate are
+// O(1) (End/Abort swap-erase every column and patch the index of the
+// transfer that moved into the hole). The per-cycle hot loops (AdvanceTo,
+// NextCompletion, the I/O scheduler's view building and rate imposition) run
+// down the columns without touching the hash index; Columns() exposes them
+// so the grant cycle can do the same. Aggregates over the active set —
 // TotalAssignedRate, total demand, total node count — are maintained
 // incrementally on every mutation instead of being recomputed by scans, and
 // are reset to exactly zero whenever the active set empties so float drift
 // cannot accumulate across a month-long replay. The (request_arrival,
 // job_id) FCFS order is kept as a sorted vector of dense slot indices,
-// updated on Begin/End/Abort, so ActiveByArrival is a hash-free gather and
-// never re-sorts.
+// updated on Begin/End/Abort, so arrival-order iteration is a hash-free
+// gather and never re-sorts.
 #pragma once
 
 #include <cstdint>
@@ -47,7 +51,9 @@ struct StorageConfig {
   bool enforce_capacity = true;
 };
 
-/// One in-flight I/O request (the k-th I/O of some job).
+/// Value snapshot of one in-flight I/O request (the k-th I/O of some job).
+/// The model stores these fields column-wise; Get/End/ActiveByArrival
+/// assemble snapshots on demand.
 struct Transfer {
   workload::JobId job_id = 0;
   /// Nodes participating in the transfer (N_i).
@@ -78,6 +84,27 @@ struct Transfer {
 /// The set of in-flight transfers with piecewise-constant-rate progression.
 class StorageModel {
  public:
+  /// Sentinel for an unset per-transfer user slot (see SetUserSlot).
+  static constexpr std::uint32_t kNoUserSlot = 0xffffffffu;
+
+  /// Read-only view of the dense columns plus the FCFS slot permutation.
+  /// Spans are invalidated by any mutation (Begin/End/Abort/SetRate keeps
+  /// the spans themselves valid but SetRate changes values; Begin/End/Abort
+  /// may reallocate or permute slots).
+  struct ActiveColumns {
+    std::span<const workload::JobId> job_ids;
+    std::span<const int> nodes;
+    std::span<const double> full_rates;
+    std::span<const double> volumes;
+    std::span<const double> transferred;
+    std::span<const sim::SimTime> arrivals;
+    std::span<const double> rates;
+    std::span<const double> efficiencies;
+    std::span<const std::uint32_t> user_slots;
+    /// Dense slot indices sorted by (request_arrival, job_id).
+    std::span<const std::size_t> arrival_order;
+  };
+
   explicit StorageModel(StorageConfig config);
 
   const StorageConfig& config() const { return config_; }
@@ -107,15 +134,35 @@ class StorageModel {
   void ForceComplete(workload::JobId job, double max_sliver_gb);
 
   bool Has(workload::JobId job) const;
-  const Transfer& Get(workload::JobId job) const;
-  /// Like Get, but returns nullptr instead of throwing when the job has no
+  /// Value snapshot of the job's transfer; throws when absent. Binding the
+  /// result to a const reference keeps it alive (lifetime extension), but
+  /// the snapshot does NOT track later mutations — re-Get after AdvanceTo
+  /// or SetRate.
+  Transfer Get(workload::JobId job) const;
+  /// Like Get, but returns nullopt instead of throwing when the job has no
   /// in-flight transfer — lets callers replace Has+Get pairs with one
   /// lookup.
-  const Transfer* TryGet(workload::JobId job) const;
-  std::size_t active_count() const { return transfers_.size(); }
+  std::optional<Transfer> TryGet(workload::JobId job) const;
+  std::size_t active_count() const { return job_ids_.size(); }
+
+  /// Dense column view for hash-free hot-loop iteration in arrival order.
+  ActiveColumns Columns() const;
+
+  /// Per-slot derived quantities (slot = dense index from Columns()).
+  double RemainingAt(std::size_t slot) const {
+    return volumes_[slot] - transferred_[slot];
+  }
+  double EffectiveRateAt(std::size_t slot) const {
+    return rates_[slot] * efficiencies_[slot];
+  }
+  bool CompleteAt(std::size_t slot) const;
 
   /// All in-flight transfers ordered by (request_arrival, job_id) — the
-  /// FCFS order the paper's policies start from.
+  /// FCFS order the paper's policies start from. The returned pointers
+  /// address value snapshots materialized into an internal scratch buffer:
+  /// they are invalidated by the next ActiveByArrival call or any mutation,
+  /// and do not track later mutations. Compatibility/reporting path — hot
+  /// loops use Columns() instead.
   std::vector<const Transfer*> ActiveByArrival() const;
   /// Allocation-free variant: clears and refills `out` (capacity is
   /// reused across cycles by the scheduler's scratch buffer).
@@ -149,6 +196,14 @@ class StorageModel {
   /// negative or above full_rate (with tolerance) is an error. Callers must
   /// AdvanceTo(now) first.
   void SetRate(workload::JobId job, double rate_gbps);
+  /// Same, addressed by dense slot (skips the hash lookup; the grant cycle
+  /// already knows the slot from Columns()).
+  void SetRateAtSlot(std::size_t slot, double rate_gbps);
+
+  /// Attach an opaque user slot to the job's transfer (the I/O scheduler
+  /// caches its job-context slot here so view building never hashes).
+  /// Runtime-only state: NOT serialized; re-attach after RestoreState.
+  void SetUserSlot(workload::JobId job, std::uint32_t user_slot);
 
   /// Sum of currently granted rates (GB/s). Maintained incrementally.
   double TotalAssignedRate() const { return total_assigned_rate_; }
@@ -175,17 +230,21 @@ class StorageModel {
   /// degradation window), and the incrementally-maintained aggregates.
   /// The aggregates are saved verbatim rather than recomputed on restore:
   /// they carry accumulated float state, and resume-equivalence requires
-  /// the restored values to be bit-identical to the live ones.
+  /// the restored values to be bit-identical to the live ones. User slots
+  /// are runtime-only and excluded (the byte layout predates them).
   void SaveState(ckpt::Writer& w) const;
   /// Restore onto a model constructed from the same StorageConfig. Replaces
-  /// any current transfer set.
+  /// any current transfer set; user slots come back as kNoUserSlot.
   void RestoreState(ckpt::Reader& r);
 
  private:
-  Transfer& GetMutable(workload::JobId job);
-  /// Swap-erase the transfer at dense index `idx`, patching the hash index
-  /// of the element moved into the hole, removing the job from the FCFS
-  /// order, and unwinding the incremental aggregates.
+  /// Dense slot of `job`; throws when absent.
+  std::size_t SlotOf(workload::JobId job) const;
+  /// Assemble a value snapshot of the transfer in `slot`.
+  Transfer AssembleAt(std::size_t slot) const;
+  /// Swap-erase the transfer at dense index `idx` across every column,
+  /// patching the hash index of the element moved into the hole, removing
+  /// the job from the FCFS order, and unwinding the incremental aggregates.
   void EraseAt(std::size_t idx);
   /// Position of `job` (arrival `t`) in the FCFS arrival_order_ vector.
   std::vector<std::size_t>::iterator ArrivalPos(sim::SimTime arrival,
@@ -194,14 +253,27 @@ class StorageModel {
       sim::SimTime arrival, workload::JobId job) const;
 
   StorageConfig config_;
-  // Dense storage; `index_` maps job id -> slot in `transfers_`.
-  std::vector<Transfer> transfers_;
+  // Struct-of-arrays transfer storage: one column per Transfer field, all
+  // indexed by the same dense slot; `index_` maps job id -> slot.
+  std::vector<workload::JobId> job_ids_;
+  std::vector<int> nodes_;
+  std::vector<double> full_rates_;
+  std::vector<double> volumes_;
+  std::vector<double> transferred_;
+  std::vector<sim::SimTime> arrivals_;
+  std::vector<double> rates_;
+  std::vector<double> efficiencies_;
+  // Opaque per-transfer user slot (see SetUserSlot); runtime-only.
+  std::vector<std::uint32_t> user_slots_;
   std::unordered_map<workload::JobId, std::size_t> index_;
   // Dense slot indices sorted by (request_arrival, job_id); maintained on
   // Begin/End/Abort (including re-pointing the slot that a swap-erase
-  // moves) so ActiveByArrival is a hash-free gather, never a sort.
+  // moves) so arrival-order iteration is a hash-free gather, never a sort.
   std::vector<std::size_t> arrival_order_;
-  // Incremental aggregates over `transfers_` (reset to 0 when empty).
+  // Scratch for the ActiveByArrival compatibility path: value snapshots the
+  // returned pointers address.
+  mutable std::vector<Transfer> materialized_;
+  // Incremental aggregates over the active set (reset to 0 when empty).
   double total_assigned_rate_ = 0.0;
   double total_demand_gbps_ = 0.0;
   long long total_nodes_ = 0;

@@ -109,8 +109,13 @@ TEST_P(CheckpointResumeTest, EveryCheckpointResumesToIdenticalRecords) {
       metrics::DigestRecords(core::RunSimulation(config, jobs).records);
 
   // Pass 1: the checkpointing run itself must not perturb the schedule.
+  // The directory must be unique per case — ctest runs the parameterized
+  // cases as parallel processes, and a shared directory gets remove_all'd
+  // by one case while another is still reading its snapshots.
   std::string dir = TestDir(std::string(GetParam().policy) +
-                            (GetParam().faults ? "_faulted" : "_clean"));
+                            (GetParam().faults ? "_faulted" : "_clean") +
+                            (GetParam().burst_buffer ? "_bb" : "") +
+                            (GetParam().bb_faults ? "_bbfaults" : ""));
   core::SimulationConfig saving = config;
   saving.checkpoint.directory = dir;
   saving.checkpoint.every_events = 60;

@@ -1,0 +1,70 @@
+// The incremental wait-queue order (BatchScheduler::Options::incremental_
+// order) is a pure speedup: both order paths must produce bit-identical
+// schedules. These tests replay real scenarios — the evaluation month and a
+// reduced cut of the year-scale throughput workload — under both modes and
+// require digest equality of the per-job metric records. This is why the
+// toggle is deliberately excluded from the checkpoint config hash.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/simulation.h"
+#include "driver/scenario.h"
+#include "metrics/digest.h"
+#include "sched/queue_policy.h"
+
+namespace iosched {
+namespace {
+
+std::uint64_t ReplayDigest(driver::Scenario scenario,
+                           const std::string& policy, sched::QueueOrder order,
+                           bool incremental) {
+  core::SimulationConfig config = scenario.config;
+  config.policy = policy;
+  config.batch.order = order;
+  config.batch.incremental_order = incremental;
+  core::SimulationResult result =
+      core::RunSimulation(config, scenario.jobs);
+  EXPECT_GT(result.records.size(), 0u);
+  return metrics::DigestRecords(result.records);
+}
+
+TEST(OrderModeEquivalence, EvaluationMonthWfpBaseline) {
+  EXPECT_EQ(ReplayDigest(driver::MakeEvaluationScenario(1, 4.0), "BASE_LINE",
+                         sched::QueueOrder::kWfp, true),
+            ReplayDigest(driver::MakeEvaluationScenario(1, 4.0), "BASE_LINE",
+                         sched::QueueOrder::kWfp, false));
+}
+
+TEST(OrderModeEquivalence, EvaluationMonthWfpMaxUtil) {
+  EXPECT_EQ(ReplayDigest(driver::MakeEvaluationScenario(1, 4.0), "MAX_UTIL",
+                         sched::QueueOrder::kWfp, true),
+            ReplayDigest(driver::MakeEvaluationScenario(1, 4.0), "MAX_UTIL",
+                         sched::QueueOrder::kWfp, false));
+}
+
+TEST(OrderModeEquivalence, EvaluationMonthFcfs) {
+  EXPECT_EQ(ReplayDigest(driver::MakeEvaluationScenario(1, 4.0), "BASE_LINE",
+                         sched::QueueOrder::kFcfs, true),
+            ReplayDigest(driver::MakeEvaluationScenario(1, 4.0), "BASE_LINE",
+                         sched::QueueOrder::kFcfs, false));
+}
+
+TEST(OrderModeEquivalence, YearScaleReducedReplay) {
+  // Two days of the year workload: ~5,600 throughput-class jobs with deep
+  // diurnal queue swings — the regime the adaptive re-sort actually faces.
+  EXPECT_EQ(ReplayDigest(driver::MakeYearScenario(2.0), "BASE_LINE",
+                         sched::QueueOrder::kWfp, true),
+            ReplayDigest(driver::MakeYearScenario(2.0), "BASE_LINE",
+                         sched::QueueOrder::kWfp, false));
+}
+
+TEST(OrderModeEquivalence, YearScaleReducedReplayMaxUtil) {
+  EXPECT_EQ(ReplayDigest(driver::MakeYearScenario(2.0), "MAX_UTIL",
+                         sched::QueueOrder::kWfp, true),
+            ReplayDigest(driver::MakeYearScenario(2.0), "MAX_UTIL",
+                         sched::QueueOrder::kWfp, false));
+}
+
+}  // namespace
+}  // namespace iosched

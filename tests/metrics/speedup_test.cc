@@ -1,0 +1,46 @@
+#include "metrics/speedup.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace iosched::metrics {
+namespace {
+
+TEST(SpeedupTest, RatioOfValidPair) {
+  EXPECT_DOUBLE_EQ(Speedup(2.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(Speedup(1.0, 4.0), 0.25);
+}
+
+TEST(SpeedupTest, NonPositiveSidesReadAsUnknown) {
+  // A zero-seconds baseline (sub-resolution replay or hand-edited file)
+  // must not become an infinity; a zero current run must not become 0-div.
+  EXPECT_DOUBLE_EQ(Speedup(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Speedup(1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Speedup(-3.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Speedup(1.0, -3.0), 0.0);
+}
+
+TEST(SpeedupGeomeanTest, GeometricMeanOfValidSamples) {
+  std::vector<SpeedupSample> samples = {{2.0, 1.0}, {8.0, 1.0}};
+  EXPECT_NEAR(SpeedupGeomean(samples), 4.0, 1e-12);
+}
+
+TEST(SpeedupGeomeanTest, EmptyIsZeroNotOne) {
+  // No baseline entries -> "no comparison", which must not read as 1.0x.
+  EXPECT_DOUBLE_EQ(SpeedupGeomean({}), 0.0);
+}
+
+TEST(SpeedupGeomeanTest, SkipsDegenerateSamples) {
+  std::vector<SpeedupSample> samples = {
+      {2.0, 1.0}, {0.0, 5.0}, {5.0, 0.0}, {-1.0, -1.0}};
+  EXPECT_NEAR(SpeedupGeomean(samples), 2.0, 1e-12);
+}
+
+TEST(SpeedupGeomeanTest, AllDegenerateIsZero) {
+  std::vector<SpeedupSample> samples = {{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_DOUBLE_EQ(SpeedupGeomean(samples), 0.0);
+}
+
+}  // namespace
+}  // namespace iosched::metrics

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "workload/job.h"
@@ -93,6 +95,54 @@ TEST(OrderQueueTest, WfpTieBreaksFcfs) {
 TEST(OrderQueueTest, EmptyQueue) {
   std::vector<const workload::Job*> q;
   EXPECT_TRUE(OrderQueue(q, QueueOrder::kWfp, 0).empty());
+}
+
+TEST(OrderQueueTest, FcfsSortedInputSkipsSort) {
+  // The scheduler's queue arrives in submission order, so the sorted-input
+  // detection must cost exactly the n-1 comparisons of the is_sorted sweep
+  // — regression guard against re-sorting every dispatch pass.
+  std::vector<workload::Job> jobs(64);
+  std::vector<const workload::Job*> q(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i] = MakeJob(static_cast<workload::JobId>(i + 1),
+                      10.0 * static_cast<double>(i), 512, 1000);
+    q[i] = &jobs[i];
+  }
+  std::uint64_t sorted_cost = 0;
+  auto ordered = OrderQueue(q, QueueOrder::kFcfs, 1e6, &sorted_cost);
+  EXPECT_EQ(sorted_cost, q.size() - 1);
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    EXPECT_EQ(ordered[i], q[i]);
+  }
+
+  std::reverse(q.begin(), q.end());
+  std::uint64_t reversed_cost = 0;
+  ordered = OrderQueue(q, QueueOrder::kFcfs, 1e6, &reversed_cost);
+  EXPECT_GT(reversed_cost, q.size() - 1);  // detection failed -> full sort
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    EXPECT_EQ(ordered[i]->id, static_cast<workload::JobId>(i + 1));
+  }
+}
+
+TEST(OrderQueueTest, WfpScratchCapacityStaysCapped) {
+  // One oversized pass (e.g. the backlog after an outage) must not pin its
+  // peak scratch capacity on this thread for the rest of the run.
+  const std::size_t depth = kOrderQueueScratchCapacityCap + 1000;
+  std::vector<workload::Job> jobs(depth);
+  std::vector<const workload::Job*> q(depth);
+  for (std::size_t i = 0; i < depth; ++i) {
+    jobs[i] = MakeJob(static_cast<workload::JobId>(i + 1),
+                      static_cast<double>(i), 512, 1000);
+    q[i] = &jobs[i];
+  }
+  OrderQueue(q, QueueOrder::kWfp, 1e7);
+  EXPECT_LE(OrderQueueScratchCapacity(), kOrderQueueScratchCapacityCap);
+
+  // A subsequent normal-depth pass works and stays under the cap.
+  q.resize(128);
+  auto ordered = OrderQueue(q, QueueOrder::kWfp, 1e7);
+  EXPECT_EQ(ordered.size(), 128u);
+  EXPECT_LE(OrderQueueScratchCapacity(), kOrderQueueScratchCapacityCap);
 }
 
 }  // namespace

@@ -130,9 +130,9 @@ TEST(StorageModel, EndReturnsFinalTransferState) {
 TEST(StorageModel, TryGetFindsOrReturnsNull) {
   StorageModel sm(Cfg());
   sm.Begin(1, 512, 16.0, 100.0, 0.0);
-  ASSERT_NE(sm.TryGet(1), nullptr);
+  ASSERT_TRUE(sm.TryGet(1).has_value());
   EXPECT_EQ(sm.TryGet(1)->job_id, 1);
-  EXPECT_EQ(sm.TryGet(2), nullptr);
+  EXPECT_FALSE(sm.TryGet(2).has_value());
 }
 
 TEST(StorageModel, IncrementalAggregatesTrackActiveSet) {

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Year-replay smoke gate for CI.
+
+Compares the YEAR_SMOKE replay entry of a freshly generated BENCH_core.json
+against the committed baseline:
+
+  * the metric-record digest must match bit-for-bit (the year-scale
+    workload exercises deep diurnal queue swings the evaluation months
+    don't, so a digest drift here can pass the monthly replays); and
+  * the wall-clock must not regress by more than --max-slowdown (default
+    1.2, i.e. a >20% slowdown fails).
+
+Usage: check_year_smoke.py CURRENT.json BASELINE.json [--max-slowdown=X]
+"""
+
+import json
+import sys
+
+ENTRY = "YEAR_SMOKE"
+
+
+def find_replay(doc, path):
+    for replay in doc.get("replays", []):
+        if replay.get("name") == ENTRY:
+            return replay
+    raise SystemExit(f"{path}: no {ENTRY} replay entry")
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    max_slowdown = 1.2
+    for a in argv[1:]:
+        if a.startswith("--max-slowdown="):
+            max_slowdown = float(a.split("=", 1)[1])
+    if len(args) != 2:
+        raise SystemExit(__doc__)
+    current_path, baseline_path = args
+    with open(current_path) as f:
+        current = find_replay(json.load(f), current_path)
+    with open(baseline_path) as f:
+        baseline = find_replay(json.load(f), baseline_path)
+
+    failures = []
+    if current.get("digest") != baseline.get("digest"):
+        failures.append(
+            f"digest changed: {baseline.get('digest')} -> "
+            f"{current.get('digest')} (schedule results differ)"
+        )
+    base_s = float(baseline.get("seconds", 0.0))
+    cur_s = float(current.get("seconds", 0.0))
+    if base_s > 0 and cur_s > base_s * max_slowdown:
+        failures.append(
+            f"wall-clock regression: {base_s:.3f}s -> {cur_s:.3f}s "
+            f"(>{(max_slowdown - 1) * 100:.0f}% slower)"
+        )
+
+    status = "FAIL" if failures else "ok"
+    print(
+        f"{ENTRY}: jobs={current.get('jobs')} "
+        f"seconds={cur_s:.3f} (baseline {base_s:.3f}) "
+        f"digest={'identical' if current.get('digest') == baseline.get('digest') else 'CHANGED'} "
+        f"{status}"
+    )
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
