@@ -4,7 +4,7 @@
 
 int main() {
   using namespace iosched;
-  std::printf("== Figure 8: average wait time (6 policies x 3 workloads, "
+  std::printf("== Figure 8: average wait time (all policies x 3 workloads, "
               "%.0f days) ==\n\n", bench::BenchDays());
   util::ThreadPool pool;
   bench::PaperSeries paper = bench::PaperFig8Wait();

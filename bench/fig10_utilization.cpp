@@ -4,7 +4,7 @@
 
 int main() {
   using namespace iosched;
-  std::printf("== Figure 10: normalized system utilization (6 policies x 3 "
+  std::printf("== Figure 10: normalized system utilization (all policies x 3 "
               "workloads, %.0f days) ==\n\n", bench::BenchDays());
   util::ThreadPool pool;
   bench::PaperSeries paper = bench::PaperFig10Utilization();
@@ -15,11 +15,14 @@ int main() {
     double base = runs.front().report.utilization;
     for (const auto& run : runs) {
       double normalized = base > 0 ? run.report.utilization / base : 0.0;
+      // Prediction-aware policies have no paper series; leave the cell blank.
+      auto series = paper.find(run.policy);
       table.AddRow(
           {run.policy,
            util::Table::Num(run.report.utilization * 100.0, 1) + "%",
            util::Table::Ratio(normalized, 3),
-           util::Table::Ratio(paper.at(run.policy)[wl - 1], 2)});
+           series != paper.end() ? util::Table::Ratio(series->second[wl - 1], 2)
+                                 : "-"});
     }
     std::printf("Fig. 10: normalized utilization — Workload %d\n%s\n", wl,
                 table.ToString().c_str());

@@ -76,14 +76,22 @@ inline void PrintTimeFigure(const char* figure, int workload_index,
   double base_paper = paper.at("BASE_LINE")[workload_index - 1];
   for (const auto& run : runs) {
     double measured = metric_seconds(run.report);
-    double paper_value = paper.at(run.policy)[workload_index - 1];
+    // Prediction-aware policies have no paper series; leave their paper
+    // cells blank instead of throwing.
+    auto series = paper.find(run.policy);
+    std::string paper_cell = "-";
+    std::string paper_delta_cell = "-";
+    if (series != paper.end()) {
+      double paper_value = series->second[workload_index - 1];
+      paper_cell = util::Table::Num(paper_value, 0);
+      paper_delta_cell = util::Table::Percent(paper_value / base_paper - 1.0, 1);
+    }
     table.AddRow({run.policy,
                   util::Table::Num(util::SecondsToMinutes(measured), 1),
                   util::Table::Percent(
                       base_measured > 0 ? measured / base_measured - 1.0 : 0.0,
                       1),
-                  util::Table::Num(paper_value, 0),
-                  util::Table::Percent(paper_value / base_paper - 1.0, 1)});
+                  paper_cell, paper_delta_cell});
   }
   std::printf("%s — Workload %d\n%s\n", figure, workload_index,
               table.ToString().c_str());

@@ -11,7 +11,8 @@ namespace iosched::core {
 
 const std::string& AdaptivePolicy::name() const {
   static const std::string kName = "ADAPTIVE";
-  return kName;
+  static const std::string kPredictiveName = "PREDICTIVE_ADAPTIVE";
+  return predictive_ ? kPredictiveName : kName;
 }
 
 void AdaptivePolicy::BindObs(obs::Hub* hub) {
@@ -219,6 +220,15 @@ std::vector<RateGrant> AdaptivePolicy::Assign(
       // reservation longer than planned. Over-admitting would stretch the
       // direct transfers either way; defer like Cons-FCFS until the tier
       // recovers.
+      continue;
+    }
+    if (predictive_ && prediction_.enabled &&
+        prediction_.imminent_rate_gbps >=
+            kStormDeferralFraction * max_bandwidth_gbps) {
+      // Predicted burst storm: the forecast demand due within the horizon
+      // rivals the channel itself. Over-admitting now would stretch exactly
+      // the transfers the storm is about to pile onto; defer discretionary
+      // admissions like Cons-FCFS until the predicted pressure passes.
       continue;
     }
 

@@ -27,6 +27,14 @@ namespace iosched::core {
 
 class AdaptivePolicy final : public IoPolicy {
  public:
+  /// With `predictive` set the policy runs as PREDICTIVE_ADAPTIVE: identical
+  /// to ADAPTIVE except that the over-admission branch is also suspended
+  /// while the prediction snapshot forecasts an imminent burst storm —
+  /// aggregate imminent demand of at least kStormDeferralFraction of BWmax
+  /// within the horizon. FCFS admissions are untouched; with prediction
+  /// off or never signalling, behavior is grant-for-grant ADAPTIVE.
+  explicit AdaptivePolicy(bool predictive = false) : predictive_(predictive) {}
+
   const std::string& name() const override;
   std::vector<RateGrant> Assign(std::span<const IoJobView> active,
                                 double max_bandwidth_gbps,
@@ -40,16 +48,30 @@ class AdaptivePolicy final : public IoPolicy {
   /// time as described in DESIGN.md §9. No-op in single-tier runs.
   void ObserveTiers(const TierState& tiers) override { tiers_ = tiers; }
 
+  /// Prediction awareness (PREDICTIVE_ADAPTIVE only; the base ADAPTIVE
+  /// ignores the snapshot even if delivered).
+  void ObservePrediction(const PredictionState& prediction) override {
+    if (predictive_) prediction_ = prediction;
+  }
+
   /// Backlog fraction of BB capacity above which over-admission pauses.
   static constexpr double kBacklogDeferralFraction = 0.5;
 
+  /// Imminent predicted demand, as a fraction of BWmax, above which
+  /// PREDICTIVE_ADAPTIVE defers discretionary (over-)admissions.
+  static constexpr double kStormDeferralFraction = 0.5;
+
  private:
+  bool predictive_ = false;
   /// Accumulates water-filling steps across cycles; null when obs is off.
   obs::Counter* waterfill_counter_ = nullptr;
   /// Refreshed every cycle (before Assign) when a burst buffer is attached;
   /// defaults to "no tier" so single-tier behavior is untouched. Not
   /// checkpointed: the scheduler re-delivers it each cycle before use.
   TierState tiers_;
+  /// Refreshed every cycle while prediction is enabled; defaults to "no
+  /// prediction". Like tiers_, deliberately not checkpointed.
+  PredictionState prediction_;
 };
 
 /// Earliest time J_i (index `candidate`) could start I/O if not admitted

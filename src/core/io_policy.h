@@ -78,6 +78,38 @@ struct TierState {
   double drain_factor = 1.0;
 };
 
+/// One job's predicted next I/O burst, derived by the scheduler from the
+/// configured predictor (learned / oracle / null).
+struct PredictedBurst {
+  workload::JobId id = 0;
+  /// Seconds until the burst is expected to start (0 = due now).
+  sim::SimTime eta_seconds = 0.0;
+  /// Expected transfer rate once it starts (GB/s, efficiency-adjusted).
+  double rate_gbps = 0.0;
+  /// Expected volume of the burst (GB).
+  double volume_gb = 0.0;
+  /// Evidence behind the prediction (IoPrediction::support).
+  std::size_t support = 0;
+};
+
+/// Prediction snapshot handed to prediction-aware policies once per
+/// scheduling cycle, before Assign, when prediction is enabled. Jobs whose
+/// prediction has support 0 ("no signal") are omitted entirely, so an
+/// unseen-project job never biases a consumer toward treating it as
+/// I/O-free. Like TierState, the policy-side copy is deliberately not
+/// checkpointed: the scheduler re-delivers it each cycle before use.
+struct PredictionState {
+  bool enabled = false;
+  /// Look-ahead window the scheduler used to classify bursts as imminent.
+  double horizon_seconds = 0.0;
+  /// Predicted bursts of currently computing jobs, sorted by job id.
+  std::vector<PredictedBurst> upcoming;
+  /// Aggregate demand rate of bursts due within the horizon (GB/s).
+  double imminent_rate_gbps = 0.0;
+  /// Aggregate volume of bursts due within the horizon (GB).
+  double imminent_volume_gb = 0.0;
+};
+
 class IoPolicy {
  public:
   virtual ~IoPolicy() = default;
@@ -102,6 +134,14 @@ class IoPolicy {
   /// about tiers ignore it (the default), so single-tier behavior is
   /// untouched.
   virtual void ObserveTiers(const TierState& tiers) { (void)tiers; }
+
+  /// Prediction snapshot, delivered once per scheduling cycle before Assign
+  /// — only when prediction is enabled. Policies that do not consume
+  /// predictions ignore it (the default), so prediction-off behavior is
+  /// untouched.
+  virtual void ObservePrediction(const PredictionState& prediction) {
+    (void)prediction;
+  }
 
   /// Checkpoint hooks. Every shipped policy (BASE_LINE, the conservative
   /// family, ADAPTIVE) is stateless across scheduling cycles — per-call

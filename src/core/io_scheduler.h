@@ -19,6 +19,7 @@
 #include "ckpt/serializer.h"
 #include "core/io_policy.h"
 #include "core/job_store.h"
+#include "core/predictor.h"
 #include "metrics/bandwidth.h"
 #include "sim/simulator.h"
 #include "storage/backend.h"
@@ -155,6 +156,22 @@ class IoScheduler {
   /// Throws std::invalid_argument on invalid fields.
   void SetRetryConfig(const TransferRetryConfig& config);
 
+  /// Enable prediction-driven scheduling (call before the run starts).
+  /// In "learned" mode an IoBehaviorPredictor is trained online from
+  /// completed jobs (ObserveCompletion); "oracle" reads each job's exact
+  /// profile from the trace; "null" never produces a signal. While enabled,
+  /// every scheduling cycle delivers a PredictionState to the policy before
+  /// Assign. When disabled (the default) no predictor exists, no per-cycle
+  /// work happens, and results are bit-identical to a prediction-free build.
+  void ConfigurePrediction(const PredictionConfig& config);
+
+  /// Feed a job that ran to normal completion to the learned predictor.
+  /// Call before UnregisterJob. No-op unless learned prediction is enabled.
+  void ObserveCompletion(workload::JobId id);
+
+  /// The learned predictor, or nullptr when not in learned mode (tests).
+  const IoBehaviorPredictor* predictor() const { return predictor_.get(); }
+
   /// Install the seeded per-transfer straggler draw (fault injection): the
   /// callback returns the effective-rate multiplier for the next direct
   /// submission (1.0 = nominal). Null detaches — with no draw installed,
@@ -202,6 +219,15 @@ class IoScheduler {
 
   /// Refill `views` (cleared first) with the policy view of the active set.
   void FillViews(std::vector<IoJobView>& views) const;
+
+  /// Rebuild prediction_scratch_ for the current cycle: one PredictedBurst
+  /// per computing job with a usable (support > 0) prediction, plus the
+  /// imminent aggregates over the configured horizon.
+  void BuildPredictionState(sim::SimTime now);
+
+  /// The mode's prediction for `job`: learned predictor, exact trace
+  /// profile (oracle), or the support-0 default (null).
+  IoPrediction PredictFor(const workload::Job& job) const;
 
   /// Completion event handler: finish every complete transfer, then cycle.
   void OnCompletionEvent();
@@ -295,10 +321,17 @@ class IoScheduler {
   /// Burst-buffer-tier congestion episode (occupancy above the watermark).
   bool bb_congested_ = false;
   sim::SimTime bb_congestion_start_ = 0.0;
+  /// Prediction-driven scheduling (off by default). The predictor only
+  /// exists in learned mode; the per-cycle PredictionState is rebuilt from
+  /// scratch each cycle, so only the predictor itself is checkpointed.
+  PredictionConfig prediction_config_;
+  std::unique_ptr<IoBehaviorPredictor> predictor_;
+  PredictionState prediction_scratch_;
   /// Cycle-scratch buffers (capacity reused across the ~1 cycle per event
   /// of a month-long replay; cleared each use).
   std::vector<IoJobView> views_scratch_;
   std::vector<workload::JobId> done_scratch_;
+  std::vector<workload::JobId> ids_scratch_;
 };
 
 }  // namespace iosched::core

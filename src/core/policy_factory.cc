@@ -5,6 +5,7 @@
 #include "core/adaptive_policy.h"
 #include "core/baseline_policy.h"
 #include "core/conservative_policy.h"
+#include "core/predictive_policy.h"
 #include "util/strings.h"
 
 namespace iosched::core {
@@ -12,7 +13,7 @@ namespace iosched::core {
 const std::vector<std::string>& AllPolicyNames() {
   static const std::vector<std::string> kNames = {
       "BASE_LINE", "FCFS", "MAX_UTIL", "MIN_INST_SLD", "MIN_AGGR_SLD",
-      "ADAPTIVE"};
+      "ADAPTIVE", "PREDICTIVE", "PREDICTIVE_ADAPTIVE"};
   return kNames;
 }
 
@@ -40,6 +41,12 @@ std::unique_ptr<IoPolicy> MakePolicy(const std::string& name) {
   }
   if (n == "adaptive") {
     return std::make_unique<AdaptivePolicy>();
+  }
+  if (n == "predictive" || n == "cons_predictive") {
+    return std::make_unique<PredictivePolicy>();
+  }
+  if (n == "predictive_adaptive" || n == "predictive-adaptive") {
+    return std::make_unique<AdaptivePolicy>(/*predictive=*/true);
   }
   if (n == "sjf") {
     return std::make_unique<ConservativePolicy>(

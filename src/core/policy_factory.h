@@ -9,9 +9,10 @@
 
 namespace iosched::core {
 
-/// Policy names exactly as the paper's figures label them.
+/// Policy names exactly as the paper's figures label them, plus the
+/// prediction-aware extensions (which have no paper series).
 /// {"BASE_LINE", "FCFS", "MAX_UTIL", "MIN_INST_SLD", "MIN_AGGR_SLD",
-///  "ADAPTIVE"}.
+///  "ADAPTIVE", "PREDICTIVE", "PREDICTIVE_ADAPTIVE"}.
 const std::vector<std::string>& AllPolicyNames();
 
 /// Build a policy by name (case-insensitive); throws std::invalid_argument

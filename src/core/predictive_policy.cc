@@ -1,0 +1,80 @@
+#include "core/predictive_policy.h"
+
+#include <algorithm>
+
+#include "core/conservative_policy.h"
+
+namespace iosched::core {
+
+const std::string& PredictivePolicy::name() const {
+  static const std::string kName = "PREDICTIVE";
+  return kName;
+}
+
+double PredictivePolicy::ReservedHeadroomGbps(
+    double max_bandwidth_gbps) const {
+  if (!prediction_.enabled || prediction_.imminent_volume_gb <= 0.0) {
+    return 0.0;
+  }
+  // Spread the predicted imminent volume over the horizon: reserving this
+  // rate lets the forecast bursts drain within roughly one horizon once
+  // they arrive, without handing them more than half the channel.
+  double horizon = std::max(prediction_.horizon_seconds, 1.0);
+  return std::min(prediction_.imminent_volume_gb / horizon,
+                  kMaxHeadroomFraction * max_bandwidth_gbps);
+}
+
+std::vector<RateGrant> PredictivePolicy::Assign(
+    std::span<const IoJobView> active, double max_bandwidth_gbps,
+    sim::SimTime now) {
+  std::vector<RateGrant> grants(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    grants[i] = {active[i].id, 0.0};
+  }
+  if (active.empty()) return grants;
+
+  double budget =
+      max_bandwidth_gbps - ReservedHeadroomGbps(max_bandwidth_gbps);
+
+  std::vector<bool> admitted(active.size(), false);
+  std::size_t admitted_count = 0;
+
+  // Same demand capping as the conservative family: a solo-saturating job
+  // (b*N_i > BWmax) counts as BWmax so it can be admitted at the head of
+  // the order instead of starving.
+  auto demand = [&](const IoJobView& v) {
+    return std::min(v.full_rate_gbps, max_bandwidth_gbps);
+  };
+
+  std::vector<std::size_t> priority =
+      ConservativePriorityOrder(active, ConservativeOrder::kFcfs, now);
+  double available = budget;
+  for (std::size_t i : priority) {
+    if (demand(active[i]) <= available) {
+      admitted[i] = true;
+      ++admitted_count;
+      available -= demand(active[i]);
+    }
+  }
+
+  if (admitted_count == 0) {
+    // Starvation guard (reservation-proof): when nothing fits the reduced
+    // budget, the head job is admitted against the full BWmax, so a
+    // predicted storm can delay discretionary admissions but never stall
+    // the queue outright.
+    std::size_t head = priority.front();
+    grants[head].rate_gbps =
+        std::min(active[head].full_rate_gbps, max_bandwidth_gbps);
+    return grants;
+  }
+
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    if (admitted[i]) {
+      grants[i].rate_gbps =
+          std::min(active[i].full_rate_gbps, max_bandwidth_gbps);
+    }
+  }
+  return grants;
+}
+
+}  // namespace iosched::core

@@ -1,9 +1,25 @@
 #include "core/predictor.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
+
+#include "ckpt/serializer.h"
 
 namespace iosched::core {
+namespace {
+
+/// Evidence ramp of one provenance level: full trust at min_support
+/// observations, linear below, zero without any observation.
+double LevelWeight(std::size_t count, std::size_t min_support) {
+  if (count == 0) return 0.0;
+  if (min_support == 0) return 1.0;
+  double w = static_cast<double>(count) / static_cast<double>(min_support);
+  return w < 1.0 ? w : 1.0;
+}
+
+}  // namespace
 
 IoBehaviorPredictor::IoBehaviorPredictor(Options options) : options_(options) {
   if (options_.alpha <= 0 || options_.alpha > 1) {
@@ -42,27 +58,103 @@ void IoBehaviorPredictor::Observe(const workload::Job& job) {
   }
 }
 
-const IoBehaviorPredictor::Ewma* IoBehaviorPredictor::Lookup(
+const IoBehaviorPredictor::Ewma* IoBehaviorPredictor::Find(
     const std::unordered_map<std::string, Ewma>& table,
     const std::string& key) const {
   if (key.empty()) return nullptr;
   auto it = table.find(key);
-  if (it == table.end()) return nullptr;
-  if (it->second.count < options_.min_support) return nullptr;
-  return &it->second;
+  return it == table.end() ? nullptr : &it->second;
 }
 
 IoPrediction IoBehaviorPredictor::Predict(const workload::Job& job) const {
-  const Ewma* source = Lookup(by_project_, job.project);
-  if (source == nullptr) source = Lookup(by_user_, job.user);
-  if (source == nullptr && global_.count > 0) source = &global_;
   IoPrediction prediction;
-  if (source == nullptr) return prediction;  // no history at all
-  prediction.io_fraction = source->io_fraction;
-  prediction.io_phases = source->io_phases;
-  prediction.io_efficiency = source->io_efficiency;
-  prediction.support = source->count;
+  if (global_.count == 0) return prediction;  // no history at all
+  // Start from the global average and blend in the more specific levels,
+  // each weighted by its evidence ramp: w = min(1, count / min_support).
+  // A well-supported project overrides everything (w = 1); a thin one
+  // contributes proportionally and the coarser levels fill the rest.
+  prediction.io_fraction = global_.io_fraction;
+  prediction.io_phases = global_.io_phases;
+  prediction.io_efficiency = global_.io_efficiency;
+  auto blend = [&prediction](const Ewma& src, double w) {
+    prediction.io_fraction += w * (src.io_fraction - prediction.io_fraction);
+    prediction.io_phases += w * (src.io_phases - prediction.io_phases);
+    prediction.io_efficiency +=
+        w * (src.io_efficiency - prediction.io_efficiency);
+  };
+  const Ewma* user = Find(by_user_, job.user);
+  double weight_user = 0.0;
+  if (user != nullptr) {
+    weight_user = LevelWeight(user->count, options_.min_support);
+    blend(*user, weight_user);
+  }
+  const Ewma* project = Find(by_project_, job.project);
+  double weight_project = 0.0;
+  if (project != nullptr) {
+    weight_project = LevelWeight(project->count, options_.min_support);
+    blend(*project, weight_project);
+  }
+  // Report the evidence behind the strongest contributing level; ties go to
+  // the more specific level. Never zero here: global_ has history.
+  double eff_project = weight_project;
+  double eff_user = (1.0 - weight_project) * weight_user;
+  double eff_global = (1.0 - weight_project) * (1.0 - weight_user);
+  if (project != nullptr && eff_project >= eff_user &&
+      eff_project >= eff_global) {
+    prediction.support = project->count;
+  } else if (user != nullptr && eff_user >= eff_global) {
+    prediction.support = user->count;
+  } else {
+    prediction.support = global_.count;
+  }
   return prediction;
+}
+
+void IoBehaviorPredictor::SaveState(ckpt::Writer& writer) const {
+  auto save_ewma = [&writer](const Ewma& e) {
+    writer.F64(e.io_fraction);
+    writer.F64(e.io_phases);
+    writer.F64(e.io_efficiency);
+    writer.U64(e.count);
+  };
+  save_ewma(global_);
+  auto save_table =
+      [&](const std::unordered_map<std::string, Ewma>& table) {
+        std::vector<const std::string*> keys;
+        keys.reserve(table.size());
+        for (const auto& [key, value] : table) keys.push_back(&key);
+        std::sort(keys.begin(), keys.end(),
+                  [](const std::string* a, const std::string* b) {
+                    return *a < *b;
+                  });
+        writer.U64(table.size());
+        for (const std::string* key : keys) {
+          writer.Str(*key);
+          save_ewma(table.at(*key));
+        }
+      };
+  save_table(by_project_);
+  save_table(by_user_);
+}
+
+void IoBehaviorPredictor::RestoreState(ckpt::Reader& reader) {
+  auto load_ewma = [&reader](Ewma& e) {
+    e.io_fraction = reader.F64();
+    e.io_phases = reader.F64();
+    e.io_efficiency = reader.F64();
+    e.count = static_cast<std::size_t>(reader.U64());
+  };
+  load_ewma(global_);
+  auto load_table = [&](std::unordered_map<std::string, Ewma>& table) {
+    table.clear();
+    std::uint64_t n = reader.U64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::string key = reader.Str();
+      load_ewma(table[key]);
+    }
+  };
+  load_table(by_project_);
+  load_table(by_user_);
 }
 
 double EvaluateFractionError(const IoBehaviorPredictor& predictor,
@@ -75,6 +167,24 @@ double EvaluateFractionError(const IoBehaviorPredictor& predictor,
     total += std::abs(p.io_fraction - job.IoFraction(node_bandwidth_gbps));
   }
   return total / static_cast<double>(jobs.size());
+}
+
+PrequentialResult EvaluatePrequential(IoBehaviorPredictor& predictor,
+                                      const workload::Workload& jobs,
+                                      double node_bandwidth_gbps) {
+  PrequentialResult result;
+  double total = 0.0;
+  for (const workload::Job& job : jobs) {
+    IoPrediction p = predictor.Predict(job);
+    if (p.support == 0) ++result.cold_jobs;
+    total += std::abs(p.io_fraction - job.IoFraction(node_bandwidth_gbps));
+    predictor.Observe(job);
+    ++result.evaluated;
+  }
+  if (result.evaluated > 0) {
+    result.mae_fraction = total / static_cast<double>(result.evaluated);
+  }
+  return result;
 }
 
 }  // namespace iosched::core

@@ -117,6 +117,13 @@ struct SimulationConfig {
   /// default — timeout_seconds 0 leaves every transfer unwatched, exactly
   /// the pre-timeout behavior).
   TransferRetryConfig transfer_retry;
+  /// Prediction-driven scheduling (disabled by default — the scheduler then
+  /// builds no predictions and results are bit-identical to a
+  /// prediction-free build). In "learned" mode the engine feeds every
+  /// normally completed job to the predictor; "oracle"/"null" bound the
+  /// value of prediction from above/below. Consumed by the PREDICTIVE and
+  /// PREDICTIVE_ADAPTIVE policies; other policies ignore the snapshots.
+  PredictionConfig prediction;
   /// Run the from-scratch InvariantChecker alongside the simulation: every
   /// `invariant_check_every_events` events (and once after the queue
   /// drains) all incremental aggregates are recomputed and any mismatch
@@ -199,6 +206,10 @@ class SimulationConfig::Builder {
   }
   Builder& TransferRetry(TransferRetryConfig retry) {
     config_.transfer_retry = retry;
+    return *this;
+  }
+  Builder& Prediction(PredictionConfig prediction) {
+    config_.prediction = std::move(prediction);
     return *this;
   }
   Builder& CheckInvariants(bool on, std::uint64_t every_events = 64) {

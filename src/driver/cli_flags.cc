@@ -32,6 +32,17 @@ void AddBurstBufferFlags(util::CliParser& cli) {
               "occupancy fraction above which the buffer reports congestion");
 }
 
+void AddPredictionFlags(util::CliParser& cli) {
+  cli.AddFlag("predict", "off",
+              "I/O behaviour prediction mode: off, learned, oracle, or null");
+  cli.AddFlag("predict-alpha", "0.25",
+              "EWMA smoothing factor for the learned predictor");
+  cli.AddFlag("predict-min-support", "3",
+              "observations before a user/project level is fully trusted");
+  cli.AddFlag("predict-horizon", "300",
+              "lookahead window in seconds for imminent-burst aggregation");
+}
+
 std::optional<int> ParseStandardFlags(util::CliParser& cli, int argc,
                                       const char* const* argv) {
   cli.AddBoolFlag("help", "show usage");
@@ -97,6 +108,30 @@ void ApplyBurstBufferFlags(const util::CliParser& cli,
   }
   if (cli.Provided("bb-watermark")) {
     bb.congestion_watermark = cli.GetDouble("bb-watermark");
+  }
+}
+
+void ApplyPredictionFlags(const util::CliParser& cli,
+                          core::SimulationConfig& config) {
+  core::PredictionConfig& pred = config.prediction;
+  if (cli.Provided("predict")) {
+    std::string mode = cli.GetString("predict");
+    if (mode == "off") {
+      pred.enabled = false;
+    } else {
+      pred.enabled = true;
+      pred.mode = mode;  // Validate() rejects unknown modes.
+    }
+  }
+  if (cli.Provided("predict-alpha")) {
+    pred.alpha = cli.GetDouble("predict-alpha");
+  }
+  if (cli.Provided("predict-min-support")) {
+    pred.min_support = static_cast<std::size_t>(
+        cli.GetInt("predict-min-support"));
+  }
+  if (cli.Provided("predict-horizon")) {
+    pred.horizon_seconds = cli.GetDouble("predict-horizon");
   }
 }
 

@@ -24,6 +24,11 @@ void AddScenarioFlags(util::CliParser& cli);
 /// --bb-capacity, --bb-drain, --bb-absorb, --bb-quota, --bb-watermark.
 void AddBurstBufferFlags(util::CliParser& cli);
 
+/// Declare the prediction flags ApplyPredictionFlags reads:
+/// --predict (off|learned|oracle|null), --predict-alpha,
+/// --predict-min-support, --predict-horizon.
+void AddPredictionFlags(util::CliParser& cli);
+
 /// Parse argv and run the standard preamble: a parse error prints the
 /// message plus usage to stderr and yields exit code 1; --help (declared
 /// here) prints usage to stdout and yields 0. Returns nullopt when the
@@ -42,5 +47,11 @@ Scenario ScenarioFromFlags(const util::CliParser& cli);
 /// pulls in the --bb-drain default so a single flag enables the tier.
 void ApplyBurstBufferFlags(const util::CliParser& cli,
                            core::SimulationConfig& config);
+
+/// Overlay the prediction flags onto `config`. --predict off disables the
+/// subsystem (the default); any other mode enables it. The tuning flags
+/// override their fields only when explicitly provided.
+void ApplyPredictionFlags(const util::CliParser& cli,
+                          core::SimulationConfig& config);
 
 }  // namespace iosched::driver

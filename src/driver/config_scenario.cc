@@ -128,6 +128,22 @@ Scenario ScenarioFromConfig(const util::Config& config) {
         config.GetIntOr("transfer_retry.jitter_seed", 1));
   }
 
+  // I/O behaviour prediction (off unless [prediction] enabled=true).
+  {
+    core::PredictionConfig& pred = scenario.config.prediction;
+    pred.enabled = config.GetBoolOr("prediction.enabled", false);
+    pred.mode = config.GetStringOr("prediction.mode", "learned");
+    pred.alpha = config.GetDoubleOr("prediction.alpha", 0.25);
+    long long min_support = config.GetIntOr("prediction.min_support", 3);
+    if (min_support < 0) {
+      throw std::runtime_error(
+          "config: 'prediction.min_support' must be >= 0");
+    }
+    pred.min_support = static_cast<std::size_t>(min_support);
+    pred.horizon_seconds =
+        config.GetDoubleOr("prediction.horizon_seconds", 300.0);
+  }
+
   // Invariant checking (read-only; never changes records or digests).
   scenario.config.check_invariants =
       config.GetBoolOr("simulation.check_invariants", false);

@@ -22,7 +22,11 @@ void WaitQueue::Insert(const workload::Job& job, int block_nodes) {
   e.block_nodes = block_nodes;
   if (order_ == QueueOrder::kFcfs) {
     // Submissions arrive in non-decreasing submit time, so this is almost
-    // always an append; a requeued job re-enters at its original position.
+    // always an append. A requeued job re-enters at exactly its original
+    // position — (submit_time, id) is unique per job, so upper_bound lands
+    // one past every entry that sorts before it and nowhere else — which
+    // keeps requeues invisible to the FCFS order even among tied submit
+    // times.
     entries_.insert(
         std::upper_bound(entries_.begin(), entries_.end(), e, FcfsLess),
         e);

@@ -37,13 +37,20 @@ struct Case {
   /// degradations, transfer stragglers with timeout/retry armed. Implies
   /// burst_buffer.
   bool bb_faults = false;
+  /// Prediction mode (nullptr = subsystem off). "learned" makes the
+  /// predictor's EWMA tables part of the resume-equivalence bar: dropping
+  /// them on resume would change post-resume grants and diverge the digest.
+  const char* predict = nullptr;
 };
 
+std::string CaseSlug(const Case& c) {
+  return std::string(c.policy) + (c.faults ? "_faulted" : "_clean") +
+         (c.burst_buffer ? "_bb" : "") + (c.bb_faults ? "_bbfaults" : "") +
+         (c.predict != nullptr ? std::string("_pred_") + c.predict : "");
+}
+
 std::string CaseName(const testing::TestParamInfo<Case>& info) {
-  return std::string(info.param.policy) +
-         (info.param.faults ? "_faulted" : "_clean") +
-         (info.param.burst_buffer ? "_bb" : "") +
-         (info.param.bb_faults ? "_bbfaults" : "");
+  return CaseSlug(info.param);
 }
 
 /// Congested half-day scenario; walltime kills and (optionally) fault
@@ -98,6 +105,11 @@ std::pair<core::SimulationConfig, workload::Workload> BuildCase(
                              .backoff_jitter_fraction = 0.2};
     config.batch.backoff_jitter_fraction = 0.1;
   }
+  if (c.predict != nullptr) {
+    config.prediction.enabled = true;
+    config.prediction.mode = c.predict;
+    config.prediction.min_support = 2;  // thin-evidence blending mid-run
+  }
   return {config, std::move(scenario.jobs)};
 }
 
@@ -112,10 +124,7 @@ TEST_P(CheckpointResumeTest, EveryCheckpointResumesToIdenticalRecords) {
   // The directory must be unique per case — ctest runs the parameterized
   // cases as parallel processes, and a shared directory gets remove_all'd
   // by one case while another is still reading its snapshots.
-  std::string dir = TestDir(std::string(GetParam().policy) +
-                            (GetParam().faults ? "_faulted" : "_clean") +
-                            (GetParam().burst_buffer ? "_bb" : "") +
-                            (GetParam().bb_faults ? "_bbfaults" : ""));
+  std::string dir = TestDir(CaseSlug(GetParam()));
   core::SimulationConfig saving = config;
   saving.checkpoint.directory = dir;
   saving.checkpoint.every_events = 60;
@@ -148,7 +157,11 @@ INSTANTIATE_TEST_SUITE_P(
                     Case{"ADAPTIVE", false, true},
                     Case{"ADAPTIVE", true, true},
                     Case{"BASE_LINE", false, true, true},
-                    Case{"ADAPTIVE", true, true, true}),
+                    Case{"ADAPTIVE", true, true, true},
+                    Case{"PREDICTIVE", false, false, false, "learned"},
+                    Case{"PREDICTIVE_ADAPTIVE", true, true, false, "learned"},
+                    Case{"PREDICTIVE_ADAPTIVE", false, false, false,
+                         "oracle"}),
     CaseName);
 
 TEST(CheckpointResume, MismatchedConfigIsRejected) {
@@ -187,6 +200,16 @@ TEST(CheckpointResume, ReportOnlyKnobsDoNotChangeTheHash) {
   core::SimulationConfig different = config;
   different.storage.max_bandwidth_gbps *= 2;
   EXPECT_NE(core::SimulationConfigHash(different, jobs), base);
+
+  // Prediction knobs shape the schedule (and the checkpoint layout), so
+  // they must pin the hash.
+  core::SimulationConfig predicted = config;
+  predicted.prediction.enabled = true;
+  EXPECT_NE(core::SimulationConfigHash(predicted, jobs), base);
+  core::SimulationConfig oracle = predicted;
+  oracle.prediction.mode = "oracle";
+  EXPECT_NE(core::SimulationConfigHash(oracle, jobs),
+            core::SimulationConfigHash(predicted, jobs));
 }
 
 TEST(CheckpointResume, ResumeLatestStartsFreshWhenDirectoryIsEmpty) {

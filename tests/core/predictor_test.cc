@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "ckpt/serializer.h"
 #include "workload/synthetic.h"
 
 namespace iosched::core {
@@ -72,15 +75,55 @@ TEST(Predictor, MinSupportGatesSpecificLevels) {
   opts.min_support = 5;
   IoBehaviorPredictor p(opts);
   // 2 observations of pA (below min_support of 5) with 50% I/O, plus 8
-  // unrelated pure-compute jobs -> pA job must use the global estimate.
+  // unrelated pure-compute jobs -> the thin project level only gets weight
+  // 2/5 and the estimate stays dominated by the global average.
   p.Observe(MakeJob(1, "pA", "u1", 10.0, 320.0, 4));
   p.Observe(MakeJob(2, "pA", "u2", 10.0, 320.0, 4));
   for (int i = 0; i < 8; ++i) {
     p.Observe(MakeJob(10 + i, "pB", "u3", 100.0, 0.0, 0));
   }
   IoPrediction pred = p.Predict(MakeJob(99, "pA", "uNew", 10, 0, 0));
-  EXPECT_EQ(pred.support, 10u);           // global
+  EXPECT_EQ(pred.support, 10u);           // global carries the most weight
   EXPECT_LT(pred.io_fraction, 0.3);       // dominated by compute-only jobs
+  EXPECT_GT(pred.io_fraction, 0.05);      // but the project still shows
+}
+
+TEST(Predictor, BlendsThinProjectWithGlobalByEvidenceRamp) {
+  // Pin the blending semantics exactly: with min_support 4, a project seen
+  // twice gets weight 2/4 = 0.5 and the global average fills the rest.
+  IoBehaviorPredictor::Options opts = Opts();
+  opts.min_support = 4;
+  IoBehaviorPredictor p(opts);
+  p.Observe(MakeJob(1, "pA", "uA", 10.0, 320.0, 4));  // 50% I/O
+  p.Observe(MakeJob(2, "pA", "uA", 10.0, 320.0, 4));
+  for (int i = 0; i < 6; ++i) {
+    p.Observe(MakeJob(10 + i, "pB", "uB", 100.0, 0.0, 0));
+  }
+  // Global EWMA (alpha 0.25): two 0.5s keep it at 0.5, then six decays
+  // toward zero leave 0.5 * 0.75^6; project pA sits exactly at 0.5.
+  double global = 0.5 * std::pow(0.75, 6);
+  IoPrediction pred = p.Predict(MakeJob(99, "pA", "uNew", 10, 0, 0));
+  EXPECT_NEAR(pred.io_fraction, 0.5 * global + 0.5 * 0.5, 1e-12);
+  EXPECT_NEAR(pred.io_phases, 0.5 * 4.0 * std::pow(0.75, 6) + 0.5 * 4.0,
+              1e-12);
+  // Project weight 0.5 ties residual global weight 0.5; ties go to the
+  // more specific level, so support reports the project's evidence.
+  EXPECT_EQ(pred.support, 2u);
+}
+
+TEST(Predictor, BlendsUserLevelWhenProjectUnseen) {
+  IoBehaviorPredictor::Options opts = Opts();
+  opts.min_support = 4;
+  IoBehaviorPredictor p(opts);
+  p.Observe(MakeJob(1, "pA", "uA", 10.0, 320.0, 4));  // 50% I/O, user uA
+  for (int i = 0; i < 6; ++i) {
+    p.Observe(MakeJob(10 + i, "pB", "uB", 100.0, 0.0, 0));
+  }
+  double global = 0.5 * std::pow(0.75, 6);
+  // Unseen project, thin user (1 obs, weight 1/4).
+  IoPrediction pred = p.Predict(MakeJob(99, "pNew", "uA", 10, 0, 0));
+  EXPECT_NEAR(pred.io_fraction, 0.75 * global + 0.25 * 0.5, 1e-12);
+  EXPECT_EQ(pred.support, 7u);  // residual global weight 0.75 dominates
 }
 
 TEST(Predictor, EwmaTracksDrift) {
@@ -115,6 +158,84 @@ TEST(Predictor, InvalidOptionsThrow) {
   opts = Opts();
   opts.node_bandwidth_gbps = 0.0;
   EXPECT_THROW(IoBehaviorPredictor{opts}, std::invalid_argument);
+}
+
+TEST(Predictor, PrequentialPredictsBeforeObserving) {
+  // Three identical 50%-I/O jobs from one project, min_support 1 so a
+  // single observation already gives full weight. The first prediction is
+  // cold (error 0.5), the next two are exact -> MAE 0.5 / 3.
+  IoBehaviorPredictor::Options opts = Opts();
+  opts.min_support = 1;
+  IoBehaviorPredictor p(opts);
+  workload::Workload jobs;
+  for (int i = 0; i < 3; ++i) {
+    jobs.push_back(MakeJob(i, "pA", "uA", 10.0, 320.0, 4));
+  }
+  PrequentialResult r = EvaluatePrequential(p, jobs, kNodeBw);
+  EXPECT_EQ(r.evaluated, 3u);
+  EXPECT_EQ(r.cold_jobs, 1u);
+  EXPECT_NEAR(r.mae_fraction, 0.5 / 3.0, 1e-12);
+  // The predictor was trained as a side effect.
+  EXPECT_EQ(p.observed_jobs(), 3u);
+}
+
+TEST(Predictor, PrequentialIsHonestWhereInSampleIsNot) {
+  // In-sample evaluation of the training set reports near-zero error for a
+  // perfectly consistent project; the prequential protocol charges the cold
+  // start and so must report strictly more.
+  workload::Workload jobs;
+  for (int i = 0; i < 20; ++i) {
+    jobs.push_back(MakeJob(i, "pA", "uA", 10.0, 320.0, 4));
+  }
+  IoBehaviorPredictor trained(Opts());
+  for (const workload::Job& j : jobs) trained.Observe(j);
+  double in_sample = EvaluateFractionError(trained, jobs, kNodeBw);
+
+  IoBehaviorPredictor fresh(Opts());
+  PrequentialResult r = EvaluatePrequential(fresh, jobs, kNodeBw);
+  EXPECT_GT(r.mae_fraction, in_sample);
+  EXPECT_NEAR(in_sample, 0.0, 1e-12);
+}
+
+TEST(Predictor, CheckpointRoundTripPreservesPredictions) {
+  workload::SyntheticConfig cfg = workload::EvaluationMonthConfig(1);
+  cfg.duration_days = 3.0;
+  workload::Workload jobs = workload::GenerateWorkload(cfg, 77007);
+  ASSERT_GT(jobs.size(), 100u);
+
+  IoBehaviorPredictor::Options opts;
+  opts.node_bandwidth_gbps = cfg.node_bandwidth_gbps;
+  IoBehaviorPredictor original(opts);
+  for (std::size_t i = 0; i + 20 < jobs.size(); ++i) original.Observe(jobs[i]);
+
+  ckpt::Writer writer;
+  original.SaveState(writer);
+  ckpt::Reader reader(writer.buffer(), "predictor");
+  IoBehaviorPredictor restored(opts);
+  restored.RestoreState(reader);
+  reader.ExpectEnd();
+
+  EXPECT_EQ(restored.observed_jobs(), original.observed_jobs());
+  EXPECT_EQ(restored.known_projects(), original.known_projects());
+  EXPECT_EQ(restored.known_users(), original.known_users());
+  for (std::size_t i = jobs.size() - 20; i < jobs.size(); ++i) {
+    IoPrediction a = original.Predict(jobs[i]);
+    IoPrediction b = restored.Predict(jobs[i]);
+    EXPECT_EQ(a.io_fraction, b.io_fraction);
+    EXPECT_EQ(a.io_phases, b.io_phases);
+    EXPECT_EQ(a.io_efficiency, b.io_efficiency);
+    EXPECT_EQ(a.support, b.support);
+  }
+  // Continued training diverges identically: observe the tail in both and
+  // predictions must stay bit-equal.
+  for (std::size_t i = jobs.size() - 20; i < jobs.size(); ++i) {
+    original.Observe(jobs[i]);
+    restored.Observe(jobs[i]);
+  }
+  IoPrediction a = original.Predict(jobs.back());
+  IoPrediction b = restored.Predict(jobs.back());
+  EXPECT_EQ(a.io_fraction, b.io_fraction);
+  EXPECT_EQ(a.support, b.support);
 }
 
 TEST(Predictor, BeatsGlobalBaselineOnProjectStructuredWorkload) {

@@ -124,6 +124,72 @@ TEST(WaitQueueTest, WfpSteadyQueueCostsLinearComparisons) {
   EXPECT_EQ(wq.last_pass_comparisons(), pool.size() - 1);
 }
 
+TEST(WaitQueueTest, FcfsRequeueKeepsOriginalPositionAmongTiedSubmitTimes) {
+  // Three jobs submitted at the same instant: the FCFS order is the id
+  // tie-break (1, 3, 5) regardless of insertion order, and a requeued job
+  // must slot back into exactly its original position — (submit_time, id)
+  // is unique, so Insert's upper_bound has only one legal landing spot.
+  std::vector<workload::Job> pool(3);
+  workload::JobId ids[] = {5, 1, 3};
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    pool[i].id = ids[i];
+    pool[i].submit_time = 1000.0;
+    pool[i].nodes = 512;
+    pool[i].requested_walltime = 3600.0;
+    pool[i].phases = {workload::Phase::Compute(100.0)};
+  }
+  WaitQueue wq(QueueOrder::kFcfs);
+  for (const workload::Job& j : pool) wq.Insert(j, j.nodes);
+
+  auto ordered_ids = [&wq] {
+    std::vector<workload::JobId> out;
+    for (const WaitQueue::Entry& e : wq.Ordered(2000.0)) out.push_back(e.id);
+    return out;
+  };
+  EXPECT_EQ(ordered_ids(), (std::vector<workload::JobId>{1, 3, 5}));
+
+  wq.Remove(3);
+  wq.Insert(pool[2], pool[2].nodes);  // requeue the middle of the tie group
+  EXPECT_EQ(ordered_ids(), (std::vector<workload::JobId>{1, 3, 5}));
+}
+
+TEST(WaitQueueTest, WfpBudgetExhaustionFallsBackToFullSort) {
+  // Insert in descending-score order's mirror image: jobs submitted later
+  // sit earlier in the standing vector, so the first WFP pass sees a fully
+  // reversed queue. Total displacement is n(n-1)/2 = 2016, far beyond the
+  // 4n + 64 = 320 budget, forcing the std::sort fallback — whose output
+  // must still match the full re-sort exactly.
+  const std::size_t n = 64;
+  std::vector<workload::Job> pool(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pool[i].id = static_cast<workload::JobId>(i + 1);
+    // Later insertions have earlier submit times => higher wait => higher
+    // score => belong earlier: every pair is inverted.
+    pool[i].submit_time = 100.0 * static_cast<double>(n - i);
+    pool[i].nodes = 1024;
+    pool[i].requested_walltime = 3600.0;
+    pool[i].phases = {workload::Phase::Compute(100.0)};
+  }
+  WaitQueue wq(QueueOrder::kWfp);
+  std::vector<const workload::Job*> mirror;
+  for (const workload::Job& j : pool) {
+    wq.Insert(j, j.nodes);
+    mirror.push_back(&j);
+  }
+
+  const double now = 50000.0;
+  std::vector<const workload::Job*> expected =
+      OrderQueue(mirror, QueueOrder::kWfp, now);
+  std::span<const WaitQueue::Entry> got = wq.Ordered(now);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(got[i].job, expected[i]) << "position " << i;
+  }
+  // The cheap paths cost 0 (FCFS) or n - 1 (already-sorted sweep)
+  // comparisons; blowing the displacement budget costs strictly more.
+  EXPECT_GT(wq.last_pass_comparisons(), n - 1);
+}
+
 TEST(WaitQueueTest, RemoveAbsentIsNoOp) {
   std::vector<workload::Job> pool = MakeJobPool(4, 11);
   WaitQueue wq(QueueOrder::kWfp);

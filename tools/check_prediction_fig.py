@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Prediction figure gate for CI.
+
+Validates a fig_prediction JSON (schema fig-prediction-v1) against the
+committed BENCH_core.json:
+
+  * accuracy ordering: the learned predictor's prequential MAE must land
+    strictly between the oracle (lower bound) and the null predictor
+    (upper bound) — oracle < learned < null;
+  * no-op guarantee: every prediction-off replay digest present in both
+    files must match the baseline bit-for-bit (enabling the subsystem in
+    the build must not perturb prediction-free runs);
+  * degradation guarantee: under the null mode each prediction-aware
+    policy must reproduce its base policy's metrics exactly (PREDICTIVE
+    == FCFS, PREDICTIVE_ADAPTIVE == ADAPTIVE).
+
+Usage: check_prediction_fig.py FIG.json BENCH_core.json
+"""
+
+import json
+import sys
+
+
+def mae_by_mode(doc, path):
+    out = {}
+    for entry in doc.get("accuracy", []):
+        out[entry.get("mode")] = float(entry.get("mae_fraction", -1.0))
+    for mode in ("null", "learned", "oracle"):
+        if mode not in out:
+            raise SystemExit(f"{path}: no accuracy entry for mode {mode}")
+    return out
+
+
+def digests_by_name(doc):
+    return {
+        r.get("name"): r.get("digest")
+        for r in doc.get("replays", [])
+        if r.get("name") and r.get("digest")
+    }
+
+
+def main(argv):
+    if len(argv) != 3:
+        raise SystemExit(__doc__)
+    fig_path, baseline_path = argv[1], argv[2]
+    with open(fig_path) as f:
+        fig = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    failures = []
+
+    mae = mae_by_mode(fig, fig_path)
+    print(
+        f"accuracy: oracle={mae['oracle']:.4f} learned={mae['learned']:.4f} "
+        f"null={mae['null']:.4f}"
+    )
+    if not mae["oracle"] < mae["learned"]:
+        failures.append(
+            f"learned MAE {mae['learned']:.4f} not strictly above the "
+            f"oracle bound {mae['oracle']:.4f} (suspicious: is the learner "
+            "peeking at the answer?)"
+        )
+    if not mae["learned"] < mae["null"]:
+        failures.append(
+            f"learned MAE {mae['learned']:.4f} not strictly below the "
+            f"null bound {mae['null']:.4f} (the predictor learned nothing)"
+        )
+
+    fig_digests = digests_by_name(fig)
+    base_digests = digests_by_name(baseline)
+    compared = 0
+    for name, digest in sorted(fig_digests.items()):
+        pinned = base_digests.get(name)
+        if pinned is None:
+            continue
+        compared += 1
+        match = digest == pinned
+        print(f"replay {name}: digest {'identical' if match else 'CHANGED'}")
+        if not match:
+            failures.append(
+                f"{name}: prediction-off digest {digest} != pinned {pinned}"
+            )
+    if compared == 0:
+        failures.append("no replay overlaps the baseline; gate is vacuous")
+
+    for delta in fig.get("policy_deltas", []):
+        if delta.get("mode") != "null":
+            continue
+        policy = delta.get("policy")
+        base = delta.get("baseline_policy")
+        for key, base_key in (
+            ("wait_minutes", "baseline_wait_minutes"),
+            ("bounded_slowdown", "baseline_bounded_slowdown"),
+        ):
+            if delta.get(key) != delta.get(base_key):
+                failures.append(
+                    f"null-mode {policy} {key} {delta.get(key)} != "
+                    f"{base} {delta.get(base_key)} (degradation guarantee)"
+                )
+
+    print("FAIL" if failures else "ok")
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -16,8 +16,12 @@ work="$(mktemp -d)"
 trap 'rm -rf "${work}"' EXIT
 
 # A year-long replay runs for several seconds — a wide window to land the
-# kill in — while the first checkpoint appears within milliseconds.
-args=(simulate --workload 1 --days 365 --policy ADAPTIVE)
+# kill in — while the first checkpoint appears within milliseconds. The
+# prediction-aware policy with a learned predictor makes the smoke cover
+# the predictor's checkpoint section too: resuming must restore the EWMA
+# tables exactly or the post-resume schedule (and records) diverge.
+args=(simulate --workload 1 --days 365 --policy PREDICTIVE_ADAPTIVE
+      --predict learned)
 
 echo "== reference run (uninterrupted)"
 "${iosched}" "${args[@]}" --records "${work}/reference.csv" > /dev/null
