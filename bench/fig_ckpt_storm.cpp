@@ -1,0 +1,177 @@
+// Beyond the paper: checkpoint storms under MTBF-driven failures. Jobs
+// write Young/Daly-optimal checkpoint flushes sized to the application
+// MTBF; the same MTBF drives per-job failures with restart-from-checkpoint
+// semantics. The sweep crosses the fault rate (application MTBF) with the
+// burst-buffer capacity and the two bracketing policies, and reports the
+// resilience metrics: rework ratio (share of delivered cycles that was
+// repeated work), goodput, and the wait-time penalty vs the same workload
+// with resilience off.
+//
+// The question this bench answers: does staging capacity buy back rework?
+// A flush is durable only once it reaches the PFS; a burst buffer lets the
+// application resume computing immediately and drains the checkpoint at
+// the reserved rate, instead of fighting congested direct-path traffic —
+// so bigger buffers should pull the durable point earlier and shrink the
+// window a failure can claw back.
+//
+// With a CSV path argument the per-cell rows are also written for
+// tools/check_ckpt_storm.py (the CI physics gate).
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "figure_common.h"
+#include "util/csv.h"
+#include "workload/app_checkpoint.h"
+
+int main(int argc, char** argv) {
+  using namespace iosched;
+  std::vector<double> mtbf_hours = {8.0, 2.0};
+  std::vector<double> capacities_gb = {0.0, 8192.0, 65536.0};
+  const std::vector<std::string> policies = {"BASE_LINE", "ADAPTIVE"};
+  double drain_gbps = 50.0;
+  // Axis overrides for smoke/CI runs (same spirit as IOSCHED_BENCH_DAYS):
+  // short runs carry few failures, so the CI gate narrows to the
+  // failure-rich MTBF row where the rework signal beats placement noise.
+  auto parse_list = [](const char* env, std::vector<double>& out) {
+    out.clear();
+    for (const char* p = env; *p != '\0';) {
+      char* end = nullptr;
+      out.push_back(std::strtod(p, &end));
+      p = (*end == ',') ? end + 1 : end;
+    }
+  };
+  if (const char* env = std::getenv("IOSCHED_CKPT_CAPS")) {
+    parse_list(env, capacities_gb);
+  }
+  if (const char* env = std::getenv("IOSCHED_CKPT_MTBF")) {
+    parse_list(env, mtbf_hours);
+  }
+  if (const char* env = std::getenv("IOSCHED_CKPT_DRAIN")) {
+    drain_gbps = std::atof(env);
+  }
+
+  driver::Scenario base =
+      driver::MakeEvaluationScenario(1, bench::BenchDays());
+  util::ThreadPool pool;
+
+  std::printf("== Checkpoint storms: rework vs application MTBF and "
+              "burst-buffer capacity (Workload 1, %.0f days, drain %.0f "
+              "GB/s, Young/Daly intervals) ==\n\n",
+              bench::BenchDays(), drain_gbps);
+
+  // The resilience-off reference per policy: same workload, no flushes, no
+  // failures — the wait-time delta isolates what the checkpoint traffic
+  // and the restarts cost.
+  std::vector<driver::PolicyRun> clean =
+      driver::RunPolicySweep(base, policies, &pool);
+
+  // Row-major: runs[(m * capacities + c) * policies + p].
+  std::vector<driver::PolicyRun> runs;
+  for (double hours : mtbf_hours) {
+    driver::Scenario storm = base;
+    workload::AppCheckpointConfig ac;
+    ac.enabled = true;
+    ac.mtbf_seconds = hours * 3600.0;
+    // Heavy defensive-I/O applications (full-memory checkpoints): these are
+    // the flushes that turn into PFS storms, and the regime where staging
+    // capacity visibly moves the durable point.
+    ac.classes = {{2.0, 0.45}, {8.0, 0.40}, {32.0, 0.15}};
+    workload::ApplyCheckpointTraffic(
+        storm.jobs, ac, storm.config.machine.node_bandwidth_gbps);
+    storm.config.app_checkpoint.enabled = true;
+    storm.config.app_checkpoint.max_defer_seconds = 600.0;
+    storm.config.faults.plan_config.enabled = true;
+    storm.config.faults.plan_config.seed = 42;
+    storm.config.faults.plan_config.job_mtbf_seconds = hours * 3600.0;
+    storm.config.faults.restart_mode =
+        faults::RestartMode::kRestartFromAppCheckpoint;
+    for (double capacity : capacities_gb) {
+      driver::Scenario cell = storm;
+      if (capacity > 0) {
+        cell.config.burst_buffer.capacity_gb = capacity;
+        cell.config.burst_buffer.drain_gbps = drain_gbps;
+      }
+      auto sweep = driver::RunPolicySweep(cell, policies, &pool);
+      runs.insert(runs.end(), sweep.begin(), sweep.end());
+    }
+  }
+
+  util::Table table({"MTBF", "BB (GB)", "policy", "flushes", "rework",
+                     "goodput", "wait (min)", "vs clean", "requeued"});
+  for (std::size_t m = 0; m < mtbf_hours.size(); ++m) {
+    for (std::size_t c = 0; c < capacities_gb.size(); ++c) {
+      for (std::size_t p = 0; p < policies.size(); ++p) {
+        const driver::PolicyRun& run =
+            runs[(m * capacities_gb.size() + c) * policies.size() + p];
+        double clean_wait = clean[p].report.avg_wait_seconds;
+        table.AddRow(
+            {util::Table::Num(mtbf_hours[m], 0) + "h",
+             util::Table::Num(capacities_gb[c], 0), run.policy,
+             util::Table::Num(double(run.report.total_flushes), 0),
+             util::Table::Percent(run.report.rework_ratio, 2),
+             util::Table::Num(run.report.goodput, 4),
+             util::Table::Num(
+                 util::SecondsToMinutes(run.report.avg_wait_seconds), 1),
+             util::Table::Percent(
+                 clean_wait > 0
+                     ? run.report.avg_wait_seconds / clean_wait - 1.0
+                     : 0.0,
+                 1),
+             util::Table::Num(double(run.report.requeued_job_count), 0)});
+      }
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Headline: rework bought back by the largest buffer at the worst MTBF.
+  auto rework = [&](std::size_t m, std::size_t c, std::size_t p) {
+    return runs[(m * capacities_gb.size() + c) * policies.size() + p]
+        .report.rework_ratio;
+  };
+  std::size_t worst = mtbf_hours.size() - 1;
+  std::size_t big = capacities_gb.size() - 1;
+  std::printf("ADAPTIVE rework at %.0fh MTBF: %.2f%% without a buffer, "
+              "%.2f%% with %.0f GB staged\n",
+              mtbf_hours[worst], rework(worst, 0, 1) * 100.0,
+              rework(worst, big, 1) * 100.0, capacities_gb[big]);
+
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    util::CsvWriter csv(out);
+    csv.Header({"mtbf_hours", "bb_capacity_gb", "policy", "jobs", "flushes",
+                "rework_ratio", "goodput", "avg_wait_min", "wait_vs_clean",
+                "requeued", "abandoned", "lost_node_hours"});
+    for (std::size_t m = 0; m < mtbf_hours.size(); ++m) {
+      for (std::size_t c = 0; c < capacities_gb.size(); ++c) {
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+          const driver::PolicyRun& run =
+              runs[(m * capacities_gb.size() + c) * policies.size() + p];
+          double clean_wait = clean[p].report.avg_wait_seconds;
+          csv.Row()
+              .Add(mtbf_hours[m])
+              .Add(capacities_gb[c])
+              .Add(run.policy)
+              .Add(run.report.job_count)
+              .Add(static_cast<unsigned long long>(run.report.total_flushes))
+              .Add(run.report.rework_ratio)
+              .Add(run.report.goodput)
+              .Add(util::SecondsToMinutes(run.report.avg_wait_seconds))
+              .Add(clean_wait > 0
+                       ? run.report.avg_wait_seconds / clean_wait - 1.0
+                       : 0.0)
+              .Add(run.report.requeued_job_count)
+              .Add(run.report.abandoned_job_count)
+              .Add(run.report.lost_node_seconds / 3600.0);
+        }
+      }
+    }
+    if (!out.flush()) {
+      std::fprintf(stderr, "failed writing %s\n", argv[1]);
+      return 1;
+    }
+    std::printf("wrote %s\n", argv[1]);
+  }
+  return 0;
+}

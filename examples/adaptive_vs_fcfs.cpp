@@ -54,7 +54,7 @@ void RunScenario(const std::string& policy_name) {
   std::printf("--- %s ---\n", policy_name.c_str());
   core::IoScheduler scheduler(
       simulator, storage, node_bw, core::MakePolicy(policy_name),
-      [&](workload::JobId id, sim::SimTime t) {
+      [&](workload::JobId id, sim::SimTime t, const core::IoCompletionInfo&) {
         std::printf("  t=%5.2fs  request %s finished\n", t,
                     requests[static_cast<std::size_t>(id - 1)].label);
       });

@@ -222,6 +222,15 @@ std::vector<RateGrant> AdaptivePolicy::Assign(
       // recovers.
       continue;
     }
+    if (flush_backlog_gb_ >=
+            kFlushBacklogDeferralSeconds * max_bandwidth_gbps &&
+        flush_backlog_count_ > 0) {
+      // Deep parked-flush backlog: the checkpoint flushes this policy
+      // benched are pent-up demand that reclaims the channel the moment it
+      // clears. Over-admitting would push that moment out (and with it
+      // every flush's durability point); defer like Cons-FCFS instead.
+      continue;
+    }
     if (predictive_ && prediction_.enabled &&
         prediction_.imminent_rate_gbps >=
             kStormDeferralFraction * max_bandwidth_gbps) {
@@ -273,6 +282,25 @@ std::vector<RateGrant> AdaptivePolicy::Assign(
     grants[i].rate_gbps = rates[i];
   }
   return grants;
+}
+
+bool AdaptivePolicy::DeferFlush(const FlushView& flush,
+                                double active_demand_gbps,
+                                double max_bandwidth_gbps, sim::SimTime now) {
+  (void)flush;
+  (void)now;
+  // Hold flushes while the burst-buffer drain is behind: releasing one now
+  // would add direct traffic to exactly the channel the drain reservation
+  // is competing with. A faulted buffer does NOT defer — the flush data can
+  // only reach the PFS over the direct path then.
+  if (tiers_.bb_enabled &&
+      (tiers_.bb_queued_gb >
+           kBacklogDeferralFraction * tiers_.bb_capacity_gb ||
+       tiers_.drain_factor < 1.0)) {
+    return true;
+  }
+  // Otherwise release as soon as the direct channel has headroom.
+  return active_demand_gbps >= max_bandwidth_gbps - util::kVolumeEpsilon;
 }
 
 }  // namespace iosched::core

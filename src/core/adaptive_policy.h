@@ -54,12 +54,31 @@ class AdaptivePolicy final : public IoPolicy {
     if (predictive_) prediction_ = prediction;
   }
 
+  /// Checkpoint-flush awareness: the parked-flush backlog is demand this
+  /// policy itself benched, so while it is deep (kFlushBacklogDeferralSeconds
+  /// worth of full-bandwidth work) over-admission pauses — the benched
+  /// flushes will reclaim the channel the moment it clears.
+  void ObserveFlushBacklog(double pending_gb, std::size_t count) override {
+    flush_backlog_gb_ = pending_gb;
+    flush_backlog_count_ = count;
+  }
+
+  /// Hold a ready flush while the direct channel is saturated or the
+  /// burst-buffer drain is behind; release as soon as there is headroom
+  /// (the scheduler force-releases at the deadline regardless).
+  bool DeferFlush(const FlushView& flush, double active_demand_gbps,
+                  double max_bandwidth_gbps, sim::SimTime now) override;
+
   /// Backlog fraction of BB capacity above which over-admission pauses.
   static constexpr double kBacklogDeferralFraction = 0.5;
 
   /// Imminent predicted demand, as a fraction of BWmax, above which
   /// PREDICTIVE_ADAPTIVE defers discretionary (over-)admissions.
   static constexpr double kStormDeferralFraction = 0.5;
+
+  /// Parked-flush backlog, in seconds of full-bandwidth work, above which
+  /// over-admission pauses.
+  static constexpr double kFlushBacklogDeferralSeconds = 30.0;
 
  private:
   bool predictive_ = false;
@@ -72,6 +91,10 @@ class AdaptivePolicy final : public IoPolicy {
   /// Refreshed every cycle while prediction is enabled; defaults to "no
   /// prediction". Like tiers_, deliberately not checkpointed.
   PredictionState prediction_;
+  /// Refreshed every cycle while flush-aware scheduling is enabled;
+  /// defaults to "no backlog". Like tiers_, deliberately not checkpointed.
+  double flush_backlog_gb_ = 0.0;
+  std::size_t flush_backlog_count_ = 0;
 };
 
 /// Earliest time J_i (index `candidate`) could start I/O if not admitted

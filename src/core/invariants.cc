@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "core/io_scheduler.h"
 #include "util/units.h"
 
 namespace iosched::core {
@@ -108,6 +110,7 @@ void InvariantChecker::CheckNow(sim::SimTime now) {
   CheckMachine();
   if (burst_buffer_ != nullptr) CheckBurstBuffer(now);
   CheckLifecycle();
+  if (io_scheduler_ != nullptr) CheckDeferredFlushes();
   ++checks_;
 }
 
@@ -254,6 +257,45 @@ void InvariantChecker::CheckBurstBuffer(sim::SimTime now) {
   if (bb.drain_factor() <= 0 || bb.drain_factor() > 1.0) {
     Fail(now, "burst-buffer drain factor " + Num(bb.drain_factor()) +
                   " outside (0, 1]");
+  }
+}
+
+void InvariantChecker::CheckDeferredFlushes() const {
+  sim::SimTime now = last_check_time_;
+  const IoScheduler& io = *io_scheduler_;
+  std::unordered_set<workload::JobId> transferring;
+  for (const storage::Transfer* t : storage_.ActiveByArrival()) {
+    transferring.insert(t->job_id);
+  }
+  double sum_gb = 0.0;
+  io.ForEachDeferredFlush([&](workload::JobId id, double volume_gb,
+                              sim::SimTime submit_time,
+                              sim::SimTime deadline) {
+    if (volume_gb <= 0) {
+      Fail(now, "deferred flush of job " + std::to_string(id) +
+                    " has non-positive volume " + Num(volume_gb));
+    }
+    if (deadline < submit_time - util::kTimeEpsilon) {
+      Fail(now, "deferred flush of job " + std::to_string(id) +
+                    " has release deadline " + Num(deadline) +
+                    " before its submission at " + Num(submit_time));
+    }
+    // A parked flush means the job's I/O request never reached the storage
+    // model: a job both parked and transferring is double-submitted.
+    if (transferring.count(id) != 0) {
+      Fail(now, "job " + std::to_string(id) +
+                    " holds a deferred flush and an active transfer");
+    }
+    if (batch_.running().count(id) == 0) {
+      Fail(now, "job " + std::to_string(id) +
+                    " holds a deferred flush but is not running");
+    }
+    sum_gb += volume_gb;
+  });
+  if (!Close(io.deferred_flush_gb(), sum_gb)) {
+    Fail(now, "incremental deferred-flush backlog " +
+                  Num(io.deferred_flush_gb()) + " != recomputed " +
+                  Num(sum_gb));
   }
 }
 

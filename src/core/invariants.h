@@ -33,6 +33,8 @@
 
 namespace iosched::core {
 
+class IoScheduler;
+
 /// A broken simulation invariant. Derives from std::logic_error: a
 /// violation is always a bug in the engine (or the checker), never a
 /// property of the workload or the fault schedule.
@@ -49,6 +51,14 @@ class InvariantChecker : public SchedEventSink {
                    const storage::StorageModel& storage,
                    const sched::BatchScheduler& batch,
                    const storage::BurstBuffer* burst_buffer);
+
+  /// Attach the I/O scheduler to extend the sweep with the checkpoint-flush
+  /// lifecycle checks (parked-flush backlog conservation, parked jobs not
+  /// simultaneously transferring, deadlines ordered after submission).
+  /// Nullptr detaches. The scheduler must outlive the checker.
+  void AttachIoScheduler(const IoScheduler* io_scheduler) {
+    io_scheduler_ = io_scheduler;
+  }
 
   /// Call when the checker observes the run from event zero (a fresh, not
   /// resumed, engine): enables the strict lifecycle census — every
@@ -82,6 +92,7 @@ class InvariantChecker : public SchedEventSink {
   void CheckMachine() const;
   void CheckBurstBuffer(sim::SimTime now);
   void CheckLifecycle() const;
+  void CheckDeferredFlushes() const;
 
   [[noreturn]] void Fail(sim::SimTime now, const std::string& what) const;
 
@@ -89,6 +100,7 @@ class InvariantChecker : public SchedEventSink {
   const storage::StorageModel& storage_;
   const sched::BatchScheduler& batch_;
   const storage::BurstBuffer* burst_buffer_;
+  const IoScheduler* io_scheduler_ = nullptr;
 
   std::unordered_map<workload::JobId, JobPhase> lifecycle_;
   bool complete_history_ = false;

@@ -55,6 +55,22 @@ struct RateGrant {
   double rate_gbps = 0.0;
 };
 
+/// A checkpoint flush waiting on the deferral bench: ready to take the
+/// direct PFS path but held back while the policy reports congestion. The
+/// scheduler re-queries the policy every cycle and force-releases the flush
+/// at `deadline` regardless of the answer.
+struct FlushView {
+  workload::JobId id = 0;
+  /// Remaining flush volume (GB).
+  double volume_gb = 0.0;
+  /// Full-speed demand the flush would add if released (GB/s).
+  double full_rate_gbps = 0.0;
+  /// When the flush became ready.
+  sim::SimTime submitted = 0.0;
+  /// Forced-release time (submitted + the configured deferral bound).
+  sim::SimTime deadline = 0.0;
+};
+
 /// Storage-tier snapshot handed to tier-aware policies once per scheduling
 /// cycle, *before* Assign, when a burst buffer is attached. The
 /// `max_bandwidth_gbps` that Assign receives already has the drain
@@ -141,6 +157,32 @@ class IoPolicy {
   /// untouched.
   virtual void ObservePrediction(const PredictionState& prediction) {
     (void)prediction;
+  }
+
+  /// Deferred checkpoint-flush backlog (total parked volume and count),
+  /// delivered once per scheduling cycle before Assign — only when
+  /// flush-aware scheduling is enabled. Tier-aware policies treat a deep
+  /// backlog as congestion pressure; the default ignores it, so runs
+  /// without checkpoint traffic are untouched.
+  virtual void ObserveFlushBacklog(double pending_gb, std::size_t count) {
+    (void)pending_gb;
+    (void)count;
+  }
+
+  /// Should `flush` stay parked? Queried when a checkpoint flush becomes
+  /// ready for the direct path and again every scheduling cycle while it
+  /// waits; the scheduler releases it as soon as this returns false (and
+  /// unconditionally at the deadline). `active_demand_gbps` is the summed
+  /// full-rate demand of the in-flight direct transfers. Must be
+  /// deterministic. The default never defers, so flush phases behave as
+  /// ordinary I/O under policies that do not opt in.
+  virtual bool DeferFlush(const FlushView& flush, double active_demand_gbps,
+                          double max_bandwidth_gbps, sim::SimTime now) {
+    (void)flush;
+    (void)active_demand_gbps;
+    (void)max_bandwidth_gbps;
+    (void)now;
+    return false;
   }
 
   /// Checkpoint hooks. Every shipped policy (BASE_LINE, the conservative

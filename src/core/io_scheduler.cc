@@ -62,6 +62,10 @@ void IoScheduler::UnregisterJob(workload::JobId id) {
     throw std::logic_error("IoScheduler: job " + std::to_string(id) +
                            " still has a pending transfer retry");
   }
+  if (deferred_flushes_.count(id) != 0) {
+    throw std::logic_error("IoScheduler: job " + std::to_string(id) +
+                           " still has a deferred flush");
+  }
   jobs_.Remove(id);
 }
 
@@ -70,7 +74,7 @@ void IoScheduler::AddCompletedCompute(workload::JobId id, double seconds) {
 }
 
 void IoScheduler::SubmitRequest(workload::JobId id, double volume_gb,
-                                sim::SimTime now) {
+                                sim::SimTime now, bool is_flush) {
   const JobContext& ctx = MustFind(jobs_, id);
   if (volume_gb <= 0) {
     throw std::invalid_argument("IoScheduler: non-positive volume");
@@ -111,8 +115,13 @@ void IoScheduler::SubmitRequest(workload::JobId id, double volume_gb,
       if (hub_ != nullptr) hub_->bb_absorbed_requests->Inc();
       sim::EventId event =
           simulator_.ScheduleAfter(duration, AbsorbedAction(id, duration));
+      // Durability threshold: the FIFO drain must move everything queued up
+      // to and including this request before its bytes are on the PFS.
+      double durable_gb =
+          burst_buffer_->total_drained_gb() + burst_buffer_->queued_gb();
       absorbed_events_[id] =
-          AbsorbedEvent{event, now + duration, duration, volume_gb};
+          AbsorbedEvent{event, now + duration, duration, volume_gb,
+                        durable_gb};
       Reschedule(now);
       return;
     }
@@ -121,8 +130,120 @@ void IoScheduler::SubmitRequest(workload::JobId id, double volume_gb,
     burst_buffer_->RecordSpill();
     if (hub_ != nullptr) hub_->bb_spilled_requests->Inc();
   }
+  if (flush_config_.enabled && is_flush &&
+      flush_config_.max_defer_seconds > 0) {
+    // A checkpoint flush headed for the direct path is deferrable: ask the
+    // policy whether to bench it while the channel is congested.
+    double usable = storage_.config().max_bandwidth_gbps;
+    if (burst_buffer_ != nullptr) {
+      usable = std::max(0.0, usable - burst_buffer_->CurrentDrainRate());
+    }
+    FlushView view{id, volume_gb, full_rate, now,
+                   now + flush_config_.max_defer_seconds};
+    if (policy_->DeferFlush(view, storage_.TotalDemand(), usable, now)) {
+      ParkFlush(id, volume_gb, now);
+      Reschedule(now);
+      return;
+    }
+  }
   BeginDirectTransfer(id, volume_gb, now, /*retries=*/0);
   Reschedule(now);
+}
+
+void IoScheduler::ParkFlush(workload::JobId id, double volume_gb,
+                            sim::SimTime now) {
+  sim::SimTime deadline = now + flush_config_.max_defer_seconds;
+  sim::EventId event = simulator_.ScheduleAt(deadline, FlushReleaseAction(id));
+  deferred_flushes_[id] = DeferredFlush{event, deadline, now, volume_gb};
+  deferred_backlog_gb_ += volume_gb;
+  ++flush_deferrals_;
+  if (hub_ != nullptr) hub_->tracer().Instant(
+      obs::kStorageTrack, "flush_deferred", now, volume_gb);
+}
+
+std::function<void()> IoScheduler::FlushReleaseAction(workload::JobId id) {
+  return [this, id] {
+    auto it = deferred_flushes_.find(id);
+    if (it == deferred_flushes_.end()) return;
+    double volume = it->second.volume_gb;
+    deferred_backlog_gb_ -= volume;
+    deferred_flushes_.erase(it);
+    if (deferred_flushes_.empty()) deferred_backlog_gb_ = 0.0;
+    ++forced_flush_releases_;
+    sim::SimTime now = simulator_.Now();
+    BeginDirectTransfer(id, volume, now, /*retries=*/0);
+    Reschedule(now);
+  };
+}
+
+void IoScheduler::ReleaseDeferredFlushes(sim::SimTime now) {
+  if (releasing_flushes_) return;
+  releasing_flushes_ = true;
+  std::size_t released = 0;
+  for (;;) {
+    // Pick one release per pass: each release changes the demand the
+    // policy's answer depends on, so re-query after every start.
+    double usable = storage_.config().max_bandwidth_gbps;
+    if (burst_buffer_ != nullptr) {
+      usable = std::max(0.0, usable - burst_buffer_->CurrentDrainRate());
+    }
+    double demand = storage_.TotalDemand();
+    workload::JobId release_id = 0;
+    double release_volume = 0.0;
+    bool forced = false;
+    bool found = false;
+    for (const auto& [id, df] : deferred_flushes_) {
+      if (now >= df.fire_time - 1e-9) {
+        // Past the deadline at this very timestamp; don't wait for the
+        // forced-release event to drain from the queue.
+        release_id = id;
+        release_volume = df.volume_gb;
+        forced = true;
+        found = true;
+        break;
+      }
+      const JobContext& ctx = MustFind(jobs_, id);
+      FlushView view{id, df.volume_gb,
+                     ctx.job->FullIoRate(node_bandwidth_gbps_),
+                     df.submit_time, df.fire_time};
+      if (!policy_->DeferFlush(view, demand, usable, now)) {
+        release_id = id;
+        release_volume = df.volume_gb;
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;
+    auto it = deferred_flushes_.find(release_id);
+    simulator_.Cancel(it->second.event);
+    deferred_backlog_gb_ -= it->second.volume_gb;
+    deferred_flushes_.erase(it);
+    if (deferred_flushes_.empty()) deferred_backlog_gb_ = 0.0;
+    if (forced) ++forced_flush_releases_;
+    BeginDirectTransfer(release_id, release_volume, now, /*retries=*/0);
+    ++released;
+  }
+  if (released > 0) {
+    // Grant rates to the newly released transfers (the sweep guard keeps
+    // this nested cycle from re-entering the sweep).
+    Reschedule(now);
+  }
+  releasing_flushes_ = false;
+}
+
+void IoScheduler::ConfigureFlushScheduling(const FlushDeferralConfig& config) {
+  if (config.max_defer_seconds < 0) {
+    throw std::invalid_argument(
+        "IoScheduler::ConfigureFlushScheduling: max_defer_seconds must be "
+        ">= 0");
+  }
+  flush_config_ = config;
+}
+
+double IoScheduler::TotalDrainedGb(sim::SimTime now) {
+  if (burst_buffer_ == nullptr) return 0.0;
+  burst_buffer_->AdvanceTo(now);
+  return burst_buffer_->total_drained_gb();
 }
 
 void IoScheduler::BeginDirectTransfer(workload::JobId id, double volume_gb,
@@ -180,6 +301,15 @@ void IoScheduler::FlushObs(sim::SimTime now) {
 }
 
 void IoScheduler::AbortRequest(workload::JobId id, sim::SimTime now) {
+  auto deferred = deferred_flushes_.find(id);
+  if (deferred != deferred_flushes_.end()) {
+    // The flush was parked on the deferral bench; it holds no transfer.
+    simulator_.Cancel(deferred->second.event);
+    deferred_backlog_gb_ -= deferred->second.volume_gb;
+    deferred_flushes_.erase(deferred);
+    if (deferred_flushes_.empty()) deferred_backlog_gb_ = 0.0;
+    return;
+  }
   auto absorbed = absorbed_events_.find(id);
   if (absorbed != absorbed_events_.end()) {
     // The request was absorbed by the burst buffer; its completion event
@@ -285,6 +415,11 @@ void IoScheduler::Reschedule(sim::SimTime now) {
     policy_->ObservePrediction(prediction_scratch_);
   }
 
+  if (flush_config_.enabled) {
+    policy_->ObserveFlushBacklog(deferred_backlog_gb_,
+                                 deferred_flushes_.size());
+  }
+
   FillViews(views_scratch_);
   const std::vector<IoJobView>& views = views_scratch_;
   std::vector<RateGrant> grants = policy_->Assign(views, usable_bandwidth, now);
@@ -378,6 +513,12 @@ void IoScheduler::Reschedule(sim::SimTime now) {
     has_pending_event_ = true;
     pending_event_time_ = next->first;
   }
+
+  // Benched checkpoint flushes get a fresh release query every cycle: the
+  // congestion that parked them may just have cleared.
+  if (flush_config_.enabled && !deferred_flushes_.empty()) {
+    ReleaseDeferredFlushes(now);
+  }
 }
 
 std::function<void()> IoScheduler::AbsorbedAction(workload::JobId id,
@@ -385,11 +526,17 @@ std::function<void()> IoScheduler::AbsorbedAction(workload::JobId id,
   return [this, id, duration] {
     // A buffer-absorbed request runs contention-free at the absorb-tier
     // rate: its completed uncongested time equals its actual time.
-    absorbed_events_.erase(id);
+    IoCompletionInfo info;
+    info.absorbed = true;
+    auto it = absorbed_events_.find(id);
+    if (it != absorbed_events_.end()) {
+      info.durable_drain_gb = it->second.durable_gb;
+      absorbed_events_.erase(it);
+    }
     JobContext& ctx = MustFind(jobs_, id);
     ctx.completed_io_seconds += duration;
     ctx.last_io_end_time = simulator_.Now();
-    on_complete_(id, simulator_.Now());
+    on_complete_(id, simulator_.Now(), info);
   };
 }
 
@@ -639,6 +786,7 @@ void IoScheduler::SaveState(ckpt::Writer& w) const {
     w.F64(ab.fire_time);
     w.F64(ab.duration);
     w.F64(ab.volume_gb);
+    w.F64(ab.durable_gb);
   }
   // Deadline/retry state (appended so the layout above is unchanged).
   util::Rng::State jitter = jitter_rng_.SaveState();
@@ -689,6 +837,21 @@ void IoScheduler::SaveState(ckpt::Writer& w) const {
     w.Bool(predictor_ != nullptr);
     if (predictor_ != nullptr) predictor_->SaveState(w);
   }
+  // Deferred-flush state (appended, gated on the feature so checkpoint
+  // streams from flush-unaware runs stay byte-stable).
+  w.Bool(flush_config_.enabled);
+  if (flush_config_.enabled) {
+    w.U32(static_cast<std::uint32_t>(deferred_flushes_.size()));
+    for (const auto& [id, df] : deferred_flushes_) {
+      w.I64(id);
+      w.U64(df.event);
+      w.F64(df.fire_time);
+      w.F64(df.submit_time);
+      w.F64(df.volume_gb);
+    }
+    w.U64(flush_deferrals_);
+    w.U64(forced_flush_releases_);
+  }
 }
 
 void IoScheduler::RestoreState(
@@ -698,6 +861,8 @@ void IoScheduler::RestoreState(
   absorbed_events_.clear();
   deadline_events_.clear();
   pending_retries_.clear();
+  deferred_flushes_.clear();
+  deferred_backlog_gb_ = 0.0;
   std::uint32_t job_count = r.U32();
   for (std::uint32_t i = 0; i < job_count; ++i) {
     workload::JobId id = r.I64();
@@ -746,6 +911,7 @@ void IoScheduler::RestoreState(
     ab.fire_time = r.F64();
     ab.duration = r.F64();
     ab.volume_gb = r.F64();
+    ab.durable_gb = r.F64();
     absorbed_events_.emplace(id, ab);
     simulator_.RestoreEvent(ab.fire_time, ab.event,
                             AbsorbedAction(id, ab.duration));
@@ -795,6 +961,22 @@ void IoScheduler::RestoreState(
       }
       predictor_->RestoreState(r);
     }
+  }
+  if (r.Bool()) {
+    std::uint32_t deferred = r.U32();
+    for (std::uint32_t i = 0; i < deferred; ++i) {
+      workload::JobId id = r.I64();
+      DeferredFlush df;
+      df.event = r.U64();
+      df.fire_time = r.F64();
+      df.submit_time = r.F64();
+      df.volume_gb = r.F64();
+      deferred_flushes_.emplace(id, df);
+      deferred_backlog_gb_ += df.volume_gb;
+      simulator_.RestoreEvent(df.fire_time, df.event, FlushReleaseAction(id));
+    }
+    flush_deferrals_ = r.U64();
+    forced_flush_releases_ = r.U64();
   }
   // User slots are runtime-only (not serialized); relink every restored
   // transfer to its owner's JobStore slot. The engine restores the storage
@@ -869,8 +1051,10 @@ void IoScheduler::OnCompletionEvent() {
   // see a consistent post-cycle state. Callbacks may submit new requests
   // (the next phase is compute, so in practice they do not re-enter I/O at
   // the same instant, but nested Reschedule calls are safe regardless).
+  // Direct-path completions are durable on the PFS immediately.
+  const IoCompletionInfo direct_info;
   for (workload::JobId id : done) {
-    on_complete_(id, now);
+    on_complete_(id, now, direct_info);
   }
 }
 

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
 
@@ -61,11 +62,36 @@ struct TransferRetryConfig {
   std::string Validate() const;
 };
 
+/// Checkpoint-flush-aware scheduling (application checkpoint traffic). When
+/// enabled, I/O requests submitted with the flush flag become *deferrable*:
+/// a policy may park a direct-path flush while it reports congestion, and
+/// the scheduler force-releases it `max_defer_seconds` after submission —
+/// the durability of an application checkpoint may be delayed, never
+/// denied. Disabled (the default), flush requests behave exactly like
+/// ordinary I/O and no flush state exists.
+struct FlushDeferralConfig {
+  bool enabled = false;
+  /// Longest a policy may hold a ready flush (seconds). 0 = flushes are
+  /// never parked even when the feature is enabled.
+  double max_defer_seconds = 0.0;
+};
+
+/// How a completed I/O request reached (or will reach) the PFS — delivered
+/// with every completion callback. A direct-path request is durable on the
+/// PFS the instant it completes. A burst-buffer-absorbed request is only
+/// *staged* at completion: its bytes are durable once the buffer's
+/// cumulative drained volume passes `durable_drain_gb` (captured when the
+/// request was absorbed, FIFO drain order makes the threshold exact).
+struct IoCompletionInfo {
+  bool absorbed = false;
+  double durable_drain_gb = 0.0;
+};
+
 class IoScheduler {
  public:
   /// Called when a job's current I/O request has fully transferred.
-  using CompletionCallback =
-      std::function<void(workload::JobId, sim::SimTime)>;
+  using CompletionCallback = std::function<void(
+      workload::JobId, sim::SimTime, const IoCompletionInfo&)>;
 
   /// All references must outlive the IoScheduler. `node_bandwidth_gbps` is
   /// the per-node link speed b used to derive each job's full I/O rate.
@@ -102,7 +128,11 @@ class IoScheduler {
 
   /// A job issues its next I/O request of `volume_gb`; triggers a
   /// scheduling cycle. Volume must be > 0 (callers skip empty phases).
-  void SubmitRequest(workload::JobId id, double volume_gb, sim::SimTime now);
+  /// `is_flush` marks a checkpoint flush: with flush-aware scheduling
+  /// enabled the request becomes deferrable on the direct path (see
+  /// FlushDeferralConfig); otherwise the flag is ignored.
+  void SubmitRequest(workload::JobId id, double volume_gb, sim::SimTime now,
+                     bool is_flush = false);
 
   /// Abort a job's in-flight request without completing it (walltime or
   /// fault kill). No completion callback fires; a scheduling cycle
@@ -155,6 +185,35 @@ class IoScheduler {
   /// Configure transfer deadlines/retries (call before the run starts).
   /// Throws std::invalid_argument on invalid fields.
   void SetRetryConfig(const TransferRetryConfig& config);
+
+  /// Configure checkpoint-flush-aware scheduling (call before the run
+  /// starts). Throws std::invalid_argument on a negative deferral bound.
+  void ConfigureFlushScheduling(const FlushDeferralConfig& config);
+
+  /// Cumulative volume the burst buffer has drained to the PFS by `now`
+  /// (0 without a buffer). Settles the drain to `now` first, so callers can
+  /// compare it against IoCompletionInfo::durable_drain_gb thresholds.
+  double TotalDrainedGb(sim::SimTime now);
+
+  /// Flush-deferral counters (for reports).
+  std::uint64_t flush_deferrals() const { return flush_deferrals_; }
+  std::uint64_t forced_flush_releases() const {
+    return forced_flush_releases_;
+  }
+  /// Parked flushes right now (GB / count).
+  double deferred_flush_gb() const { return deferred_backlog_gb_; }
+  std::size_t deferred_flush_count() const {
+    return deferred_flushes_.size();
+  }
+
+  /// Enumerate parked flushes in job-id order (invariant checking): the
+  /// callback receives (job, volume_gb, submit_time, release_deadline).
+  template <typename Fn>
+  void ForEachDeferredFlush(Fn&& fn) const {
+    for (const auto& [id, flush] : deferred_flushes_) {
+      fn(id, flush.volume_gb, flush.submit_time, flush.fire_time);
+    }
+  }
 
   /// Enable prediction-driven scheduling (call before the run starts).
   /// In "learned" mode an IoBehaviorPredictor is trained online from
@@ -240,6 +299,14 @@ class IoScheduler {
   /// burst-buffer-absorbed completion.
   std::function<void()> AbsorbedAction(workload::JobId id, double duration);
 
+  /// Closure for a deferred flush's forced-release deadline.
+  std::function<void()> FlushReleaseAction(workload::JobId id);
+  /// Park a ready direct-path flush on the deferral bench.
+  void ParkFlush(workload::JobId id, double volume_gb, sim::SimTime now);
+  /// End-of-cycle sweep: release every parked flush that is past its
+  /// deadline or that the policy no longer defers.
+  void ReleaseDeferredFlushes(sim::SimTime now);
+
   /// Closures for deadline/retry events (fresh scheduling and re-arming).
   std::function<void()> DeadlineAction(workload::JobId id);
   std::function<void()> RetryAction(workload::JobId id);
@@ -284,6 +351,10 @@ class IoScheduler {
     /// Request volume — needed to re-flush when a lossy BB fault drops the
     /// staged data out from under the pending completion.
     double volume_gb = 0.0;
+    /// Durability threshold delivered with the completion: the buffer's
+    /// cumulative drained volume at which this request's bytes are on the
+    /// PFS (captured at absorb time; see IoCompletionInfo).
+    double durable_gb = 0.0;
   };
   /// Keyed by job; one request per job at a time.
   std::unordered_map<workload::JobId, AbsorbedEvent> absorbed_events_;
@@ -305,6 +376,26 @@ class IoScheduler {
     int retries = 0;
   };
   std::unordered_map<workload::JobId, PendingRetry> pending_retries_;
+  /// A checkpoint flush parked by the policy: its forced-release event,
+  /// that event's firing time (= the deferral deadline), the submit time,
+  /// and the flush volume. std::map: deterministic release order and
+  /// checkpoint bytes.
+  struct DeferredFlush {
+    sim::EventId event = 0;
+    sim::SimTime fire_time = 0.0;
+    sim::SimTime submit_time = 0.0;
+    double volume_gb = 0.0;
+  };
+  std::map<workload::JobId, DeferredFlush> deferred_flushes_;
+  FlushDeferralConfig flush_config_;
+  /// Sum of parked volumes (maintained incrementally; the per-cycle policy
+  /// observation).
+  double deferred_backlog_gb_ = 0.0;
+  std::uint64_t flush_deferrals_ = 0;
+  std::uint64_t forced_flush_releases_ = 0;
+  /// Guards the release sweep against re-entering itself through the
+  /// nested Reschedule a release triggers.
+  bool releasing_flushes_ = false;
   TransferRetryConfig retry_config_;
   util::Rng jitter_rng_{1, /*stream=*/31};
   std::function<double()> straggler_draw_;

@@ -25,6 +25,19 @@ namespace iosched::core {
 
 namespace {
 
+/// A burst-buffer-absorbed checkpoint flush awaiting drain: the restart
+/// point it will establish once the buffer's cumulative drained volume
+/// passes `threshold_gb`. The threshold is captured at absorb time as
+/// (total drained + queued), which the FIFO drain makes exact: the flush's
+/// bytes are on the PFS precisely when the cumulative counter passes it.
+struct DurableMarker {
+  std::size_t resume_phase = 0;
+  /// When the application finished writing the flush (work after this
+  /// instant is rework if the job restarts from this marker).
+  sim::SimTime completion_time = 0.0;
+  double threshold_gb = 0.0;
+};
+
 /// Per-running-job execution state: walks the phase list.
 struct ExecState {
   const workload::Job* job = nullptr;
@@ -47,6 +60,18 @@ struct ExecState {
   sim::SimTime compute_fire_time = 0.0;
   double compute_duration = 0.0;
   bool has_compute_event = false;
+  /// App-checkpoint durability (app_checkpoint runs only; all dormant
+  /// otherwise). `durable_phase` is the first phase a restart would
+  /// re-execute given the flushes durably on the PFS; `durable_anchor_time`
+  /// is when that durability point was established (work after it is
+  /// rework on failure). Starts at the attempt's own resume point.
+  std::size_t durable_phase = 0;
+  sim::SimTime durable_anchor_time = 0.0;
+  /// Checkpoint flushes completed during this attempt.
+  int flush_count = 0;
+  /// Absorbed flushes not yet drained, in completion order (thresholds are
+  /// monotone because the cumulative drained volume is).
+  std::vector<DurableMarker> pending_durables;
 };
 
 /// Bookkeeping for a fault-killed job across its attempts.
@@ -57,6 +82,11 @@ struct RetryContext {
   double lost_seconds = 0.0;
   /// First phase the next attempt executes (restart-mode dependent).
   std::size_t resume_phase = 0;
+  /// Checkpoint flushes completed across failed attempts.
+  int flush_count = 0;
+  /// Machine time re-executed because it postdated the last durable flush
+  /// (kRestartFromAppCheckpoint only; 0 under the other modes).
+  double rework_seconds = 0.0;
 };
 
 std::uint64_t MixStr(std::uint64_t hash, const std::string& value) {
@@ -85,19 +115,22 @@ class Engine {
         io_scheduler_(simulator_, *backend_,
                       config.machine.node_bandwidth_gbps,
                       MakePolicy(config.policy),
-                      [this](workload::JobId id, sim::SimTime now) {
-                        OnIoComplete(id, now);
+                      [this](workload::JobId id, sim::SimTime now,
+                             const IoCompletionInfo& info) {
+                        OnIoComplete(id, now, info);
                       }),
         base_bwmax_(config.storage.max_bandwidth_gbps) {
     burst_buffer_ = backend_->burst_buffer();
     io_scheduler_.SetRetryConfig(config.transfer_retry);
     io_scheduler_.ConfigurePrediction(config.prediction);
+    io_scheduler_.ConfigureFlushScheduling(config.app_checkpoint);
     if (config_.track_bandwidth) {
       io_scheduler_.SetBandwidthTracker(&bandwidth_tracker_);
     }
     if (event_log_ != nullptr) sinks_.push_back(event_log_);
     if (config_.check_invariants) {
       checker_.emplace(machine_, storage_, batch_, burst_buffer_);
+      checker_->AttachIoScheduler(&io_scheduler_);
       sinks_.push_back(&*checker_);
     }
     if (hub_ != nullptr) {
@@ -132,7 +165,15 @@ class Engine {
       };
       hooks.set_bb_faulted = [this](bool faulted, bool lose_data,
                                     sim::SimTime now) {
+        // A lossy buffer fault drops staged flush data. Settle durability
+        // markers against what actually reached the PFS first, then
+        // invalidate whatever was still queued — those flushes are gone.
+        const bool ckpt_markers = config_.app_checkpoint.enabled;
+        if (ckpt_markers && faulted && lose_data) SettleAllMarkers(now);
         io_scheduler_.OnBurstBufferFault(faulted, lose_data, now);
+        if (ckpt_markers && faulted && lose_data) {
+          for (auto& [id, state] : running_) state.pending_durables.clear();
+        }
       };
       hooks.set_drain_factor = [this](double factor, sim::SimTime now) {
         io_scheduler_.OnDrainFactorChange(factor, now);
@@ -224,6 +265,8 @@ class Engine {
     result.transfer_retries = io_scheduler_.transfer_retries();
     result.straggler_spills = io_scheduler_.straggler_spills();
     result.bb_reflushed_requests = io_scheduler_.reflushed_requests();
+    result.flush_deferrals = io_scheduler_.flush_deferrals();
+    result.forced_flush_releases = io_scheduler_.forced_flush_releases();
     if (burst_buffer_ != nullptr) {
       result.bb_lost_gb = burst_buffer_->total_lost_gb();
     }
@@ -369,6 +412,10 @@ class Engine {
     state.start_time = now;
     auto rit = retry_.find(job.id);
     if (rit != retry_.end()) state.next_phase = rit->second.resume_phase;
+    // Until a flush drains, a failure rolls back to the attempt's own
+    // starting point — everything since `now` would be rework.
+    state.durable_phase = state.next_phase;
+    state.durable_anchor_time = now;
     Log(SchedEventKind::kStart, job.id, static_cast<double>(partition.nodes));
     if (config_.enforce_walltime) {
       state.kill_fire_time = now + job.requested_walltime;
@@ -423,15 +470,28 @@ class Engine {
     io_scheduler_.UnregisterJob(id);
     if (injector_.has_value()) injector_->OnJobStop(id);
 
+    const bool app_ckpt = config_.faults.restart_mode ==
+                          faults::RestartMode::kRestartFromAppCheckpoint;
+    if (app_ckpt) {
+      // Late flushes may have drained since the last settlement; count
+      // them before deciding how far back this failure rolls the job.
+      SettleJobMarkers(state, io_scheduler_.TotalDrainedGb(now));
+    }
     sched::BatchScheduler::RequeueDecision decision =
         batch_.OnJobFailed(id, now);
     RetryContext& rc = retry_[id];
     rc.failures = decision.retries;
     rc.lost_seconds += now - state.start_time;
-    rc.resume_phase =
-        config_.faults.restart_mode == faults::RestartMode::kResumeFromLastPhase
-            ? (state.next_phase > 0 ? state.next_phase - 1 : 0)
-            : 0;
+    if (app_ckpt) {
+      rc.resume_phase = state.durable_phase;
+      rc.rework_seconds += now - state.durable_anchor_time;
+    } else {
+      rc.resume_phase = config_.faults.restart_mode ==
+                                faults::RestartMode::kResumeFromLastPhase
+                            ? (state.next_phase > 0 ? state.next_phase - 1 : 0)
+                            : 0;
+    }
+    rc.flush_count += state.flush_count;
     Log(SchedEventKind::kFaultKill, id, static_cast<double>(decision.retries));
 
     if (decision.requeued) {
@@ -451,6 +511,9 @@ class Engine {
       record.abandoned = true;
       record.attempts = rc.failures;
       record.lost_seconds = rc.lost_seconds;
+      // rc already folded this attempt's flushes in above.
+      record.flush_count = rc.flush_count;
+      record.rework_seconds = rc.rework_seconds;
       records_.push_back(record);
       retry_.erase(id);
     }
@@ -518,17 +581,58 @@ class Engine {
       state.io_request_start = now;
       state.in_io = true;
       Log(SchedEventKind::kIoRequest, id, phase.io_volume_gb);
-      io_scheduler_.SubmitRequest(id, phase.io_volume_gb, now);
+      io_scheduler_.SubmitRequest(id, phase.io_volume_gb, now,
+                                  phase.is_flush);
       return;
     }
   }
 
-  void OnIoComplete(workload::JobId id, sim::SimTime now) {
+  void OnIoComplete(workload::JobId id, sim::SimTime now,
+                    const IoCompletionInfo& info) {
     ExecState& state = running_.at(id);
     state.io_time_actual += now - state.io_request_start;
     state.in_io = false;
     Log(SchedEventKind::kIoComplete, id);
+    if (config_.app_checkpoint.enabled && state.next_phase > 0 &&
+        state.job->phases[state.next_phase - 1].is_flush) {
+      ++state.flush_count;
+      if (info.absorbed) {
+        // Staged in the burst buffer: durable only once the drain has
+        // pushed the flush's bytes to the PFS.
+        state.pending_durables.push_back(
+            DurableMarker{state.next_phase, now, info.durable_drain_gb});
+      } else {
+        // Direct path: durable now. This point postdates every pending
+        // marker, so they are superseded.
+        state.durable_phase = state.next_phase;
+        state.durable_anchor_time = now;
+        state.pending_durables.clear();
+      }
+      SettleJobMarkers(state, io_scheduler_.TotalDrainedGb(now));
+    }
     AdvancePhase(id);
+  }
+
+  /// Promote every pending marker the drain has caught up with into the
+  /// job's durable restart point. Markers are in completion order with
+  /// monotone thresholds, so a prefix settles.
+  static void SettleJobMarkers(ExecState& state, double drained_gb) {
+    std::size_t settled = 0;
+    for (const DurableMarker& m : state.pending_durables) {
+      if (m.threshold_gb > drained_gb + util::kVolumeEpsilon) break;
+      state.durable_phase = m.resume_phase;
+      state.durable_anchor_time = m.completion_time;
+      ++settled;
+    }
+    if (settled > 0) {
+      state.pending_durables.erase(state.pending_durables.begin(),
+                                   state.pending_durables.begin() + settled);
+    }
+  }
+
+  void SettleAllMarkers(sim::SimTime now) {
+    double drained = io_scheduler_.TotalDrainedGb(now);
+    for (auto& [id, state] : running_) SettleJobMarkers(state, drained);
   }
 
   metrics::JobRecord MakeRecord(const ExecState& state, sim::SimTime now,
@@ -548,6 +652,7 @@ class Engine {
         state.job->UncongestedIoSeconds(config_.machine.node_bandwidth_gbps);
     record.io_phase_count = state.job->IoPhaseCount();
     record.killed = killed;
+    record.flush_count = state.flush_count;
     return record;
   }
 
@@ -568,6 +673,8 @@ class Engine {
     if (rit != retry_.end()) {
       record.attempts = rit->second.failures + 1;
       record.lost_seconds = rit->second.lost_seconds;
+      record.flush_count += rit->second.flush_count;
+      record.rework_seconds = rit->second.rework_seconds;
       retry_.erase(rit);
     }
     records_.push_back(record);
@@ -813,6 +920,15 @@ class Engine {
         w.F64(s.compute_fire_time);
         w.F64(s.compute_duration);
       }
+      w.U64(s.durable_phase);
+      w.F64(s.durable_anchor_time);
+      w.I64(s.flush_count);
+      w.U32(static_cast<std::uint32_t>(s.pending_durables.size()));
+      for (const DurableMarker& m : s.pending_durables) {
+        w.U64(m.resume_phase);
+        w.F64(m.completion_time);
+        w.F64(m.threshold_gb);
+      }
     }
     // Retry contexts.
     ids.clear();
@@ -825,6 +941,8 @@ class Engine {
       w.I64(rc.failures);
       w.F64(rc.lost_seconds);
       w.U64(rc.resume_phase);
+      w.I64(rc.flush_count);
+      w.F64(rc.rework_seconds);
     }
     // Finished-job records, in completion order (sorted by id only at the
     // end of Run, so the order must be preserved across a resume).
@@ -845,6 +963,8 @@ class Engine {
       w.I64(r.attempts);
       w.Bool(r.abandoned);
       w.F64(r.lost_seconds);
+      w.I64(r.flush_count);
+      w.F64(r.rework_seconds);
     }
     // Pending submit events (fire time = the job's submit time).
     ids.clear();
@@ -909,6 +1029,18 @@ class Engine {
         simulator_.RestoreEvent(s.compute_fire_time, s.compute_event,
                                 ComputeAction(id, s.compute_duration));
       }
+      s.durable_phase = static_cast<std::size_t>(r.U64());
+      s.durable_anchor_time = r.F64();
+      s.flush_count = static_cast<int>(r.I64());
+      std::uint32_t markers = r.U32();
+      s.pending_durables.reserve(markers);
+      for (std::uint32_t m = 0; m < markers; ++m) {
+        DurableMarker marker;
+        marker.resume_phase = static_cast<std::size_t>(r.U64());
+        marker.completion_time = r.F64();
+        marker.threshold_gb = r.F64();
+        s.pending_durables.push_back(marker);
+      }
       running_.emplace(id, s);
     }
     n = r.U32();
@@ -918,6 +1050,8 @@ class Engine {
       rc.failures = static_cast<int>(r.I64());
       rc.lost_seconds = r.F64();
       rc.resume_phase = static_cast<std::size_t>(r.U64());
+      rc.flush_count = static_cast<int>(r.I64());
+      rc.rework_seconds = r.F64();
       retry_.emplace(id, rc);
     }
     n = r.U32();
@@ -939,6 +1073,8 @@ class Engine {
       rec.attempts = static_cast<int>(r.I64());
       rec.abandoned = r.Bool();
       rec.lost_seconds = r.F64();
+      rec.flush_count = static_cast<int>(r.I64());
+      rec.rework_seconds = r.F64();
       records_.push_back(rec);
     }
     n = r.U32();
@@ -1208,6 +1344,16 @@ std::vector<ConfigIssue> SimulationConfig::Validate() const {
     if (!err.empty()) add("transfer_retry", std::move(err));
   }
 
+  if (app_checkpoint.max_defer_seconds < 0) {
+    add("app_checkpoint.max_defer_seconds", "must be >= 0");
+  }
+  if (faults.restart_mode == faults::RestartMode::kRestartFromAppCheckpoint &&
+      !app_checkpoint.enabled) {
+    add("faults.restart_mode",
+        "restart mode app_checkpoint requires app_checkpoint.enabled (the "
+        "engine must track flush durability to know where to restart)");
+  }
+
   if (prediction.mode != "learned" && prediction.mode != "oracle" &&
       prediction.mode != "null") {
     add("prediction.mode",
@@ -1363,6 +1509,10 @@ std::uint64_t SimulationConfigHash(const SimulationConfig& config,
   h = FnvMix(h, config.transfer_retry.backoff_max_seconds);
   h = FnvMix(h, config.transfer_retry.backoff_jitter_fraction);
   h = FnvMix(h, config.transfer_retry.jitter_seed);
+  // App-checkpoint flush scheduling: deferral decisions reshape the event
+  // schedule, and the enabled flag changes the checkpoint layout.
+  h = FnvMix(h, static_cast<std::uint64_t>(config.app_checkpoint.enabled));
+  h = FnvMix(h, config.app_checkpoint.max_defer_seconds);
   // Prediction: shapes both the schedule (prediction-aware policies) and
   // the checkpoint layout (predictor state section).
   h = FnvMix(h, static_cast<std::uint64_t>(config.prediction.enabled));

@@ -117,6 +117,14 @@ struct SimulationConfig {
   /// default — timeout_seconds 0 leaves every transfer unwatched, exactly
   /// the pre-timeout behavior).
   TransferRetryConfig transfer_retry;
+  /// Application-checkpoint semantics (disabled by default — flush phases
+  /// then behave as ordinary I/O and restart accounting is untouched).
+  /// When enabled, I/O phases marked `is_flush` become deferrable flush
+  /// sub-jobs (policies may park them up to `max_defer_seconds` under
+  /// congestion) and the engine tracks per-job durability points so
+  /// RestartMode::kRestartFromAppCheckpoint can requeue a failed job owing
+  /// only the compute since its last fully drained flush.
+  FlushDeferralConfig app_checkpoint;
   /// Prediction-driven scheduling (disabled by default — the scheduler then
   /// builds no predictions and results are bit-identical to a
   /// prediction-free build). In "learned" mode the engine feeds every
@@ -208,6 +216,10 @@ class SimulationConfig::Builder {
     config_.transfer_retry = retry;
     return *this;
   }
+  Builder& AppCheckpoint(FlushDeferralConfig app_checkpoint) {
+    config_.app_checkpoint = app_checkpoint;
+    return *this;
+  }
   Builder& Prediction(PredictionConfig prediction) {
     config_.prediction = std::move(prediction);
     return *this;
@@ -264,6 +276,11 @@ struct SimulationResult {
   /// burst-buffer fault, and the staged volume those faults dropped.
   std::uint64_t bb_reflushed_requests = 0;
   double bb_lost_gb = 0.0;
+  /// Checkpoint-flush scheduling (all zero when app_checkpoint is off):
+  /// flushes parked by the policy, and parked flushes the scheduler
+  /// force-released at their deferral deadline.
+  std::uint64_t flush_deferrals = 0;
+  std::uint64_t forced_flush_releases = 0;
   /// Full InvariantChecker sweeps executed (0 unless check_invariants).
   std::uint64_t invariant_checks = 0;
   /// Engine statistics.

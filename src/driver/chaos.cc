@@ -13,6 +13,7 @@
 #include "driver/watchdog.h"
 #include "metrics/digest.h"
 #include "util/rng.h"
+#include "workload/app_checkpoint.h"
 
 namespace iosched::driver {
 namespace {
@@ -77,6 +78,28 @@ Scenario MakeChaosScenario(std::uint64_t seed, const ChaosOptions& options) {
   scenario.config.check_invariants = true;
   scenario.config.invariant_check_every_events =
       options.invariant_check_every_events;
+  // Every fourth schedule additionally arms the application-resilience
+  // stack: Young/Daly checkpoint traffic rewritten into the workload, the
+  // MTBF failure process, restart-from-checkpoint semantics, and deferrable
+  // flushes — so flush parking/forced release, durable-marker settling, and
+  // rework accounting all soak against the same fault schedules as the base
+  // cells. The short MTBF keeps flush phases and failures frequent inside
+  // the reduced-duration run.
+  if (seed % 4 == 3) {
+    workload::AppCheckpointConfig ac;
+    ac.enabled = true;
+    ac.mtbf_seconds = 1800.0;
+    ac.min_interval_seconds = 60.0;
+    ac.min_compute_seconds = 120.0;
+    ac.seed = seed;
+    workload::ApplyCheckpointTraffic(
+        scenario.jobs, ac, scenario.config.machine.node_bandwidth_gbps);
+    scenario.config.app_checkpoint.enabled = true;
+    scenario.config.app_checkpoint.max_defer_seconds = 300.0;
+    scenario.config.faults.plan_config.job_mtbf_seconds = 1800.0;
+    scenario.config.faults.restart_mode =
+        faults::RestartMode::kRestartFromAppCheckpoint;
+  }
   return scenario;
 }
 
@@ -152,6 +175,9 @@ ChaosSummary RunChaos(const ChaosOptions& options) {
         cell.transfer_retries = first.result.transfer_retries;
         cell.straggler_spills = first.result.straggler_spills;
         cell.bb_reflushed_requests = first.result.bb_reflushed_requests;
+        cell.flushes = first.result.report.total_flushes;
+        cell.flush_deferrals = first.result.flush_deferrals;
+        cell.forced_flush_releases = first.result.forced_flush_releases;
         if (options.verify_reproducible) {
           CellRun second = ExecuteOnce(scenario, policy, options);
           if (!second.error.empty()) {
@@ -172,7 +198,8 @@ std::string ChaosCsv(const ChaosSummary& summary) {
   std::ostringstream out;
   out << "schedule,seed,policy,ok,digest,jobs,events,invariant_checks,"
          "fault_kills,transfer_timeouts,transfer_retries,straggler_spills,"
-         "bb_reflushed_requests,reproducible,error\n";
+         "bb_reflushed_requests,flushes,flush_deferrals,"
+         "forced_flush_releases,reproducible,error\n";
   for (const ChaosCell& cell : summary.cells) {
     std::string error = cell.error;
     for (char& c : error) {
@@ -184,6 +211,8 @@ std::string ChaosCsv(const ChaosSummary& summary) {
         << cell.invariant_checks << ',' << cell.fault_kills << ','
         << cell.transfer_timeouts << ',' << cell.transfer_retries << ','
         << cell.straggler_spills << ',' << cell.bb_reflushed_requests << ','
+        << cell.flushes << ',' << cell.flush_deferrals << ','
+        << cell.forced_flush_releases << ','
         << (cell.reproducible ? 1 : 0) << ',' << error << '\n';
   }
   return out.str();

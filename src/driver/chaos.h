@@ -53,6 +53,10 @@ struct ChaosCell {
   std::uint64_t transfer_retries = 0;
   std::uint64_t straggler_spills = 0;
   std::uint64_t bb_reflushed_requests = 0;
+  /// Checkpoint-flush activity (0 on the cells without checkpoint traffic).
+  std::uint64_t flushes = 0;
+  std::uint64_t flush_deferrals = 0;
+  std::uint64_t forced_flush_releases = 0;
   /// False when the same-seed re-run produced a different digest.
   bool reproducible = true;
   /// Empty = cell passed; otherwise the violation/abort/error description.

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "driver/config_scenario.h"
+#include "workload/app_checkpoint.h"
 #include "workload/iotrace.h"
 #include "workload/swf.h"
 
@@ -41,6 +42,20 @@ void AddPredictionFlags(util::CliParser& cli) {
               "observations before a user/project level is fully trusted");
   cli.AddFlag("predict-horizon", "300",
               "lookahead window in seconds for imminent-burst aggregation");
+}
+
+void AddAppCheckpointFlags(util::CliParser& cli) {
+  cli.AddFlag("app-ckpt-mtbf", "0",
+              "application MTBF in seconds; a positive value enables "
+              "checkpoint traffic (Young/Daly flushes), the MTBF failure "
+              "process, and restart-from-checkpoint semantics");
+  cli.AddFlag("app-ckpt-defer", "600",
+              "maximum seconds a checkpoint flush may be deferred under "
+              "congestion (0 = flushes are never deferred)");
+  cli.AddFlag("app-ckpt-min-interval", "120",
+              "lower clamp on the Young/Daly checkpoint interval in seconds");
+  cli.AddFlag("app-ckpt-seed", "1",
+              "seed for the per-job application-class draws");
 }
 
 std::optional<int> ParseStandardFlags(util::CliParser& cli, int argc,
@@ -133,6 +148,29 @@ void ApplyPredictionFlags(const util::CliParser& cli,
   if (cli.Provided("predict-horizon")) {
     pred.horizon_seconds = cli.GetDouble("predict-horizon");
   }
+}
+
+void ApplyAppCheckpointFlags(const util::CliParser& cli, Scenario& scenario) {
+  double mtbf = cli.GetDouble("app-ckpt-mtbf");
+  if (mtbf <= 0) return;
+  workload::AppCheckpointConfig ac;
+  ac.enabled = true;
+  ac.mtbf_seconds = mtbf;
+  if (cli.Provided("app-ckpt-min-interval")) {
+    ac.min_interval_seconds = cli.GetDouble("app-ckpt-min-interval");
+  }
+  if (cli.Provided("app-ckpt-seed")) {
+    ac.seed = static_cast<std::uint64_t>(cli.GetInt("app-ckpt-seed"));
+  }
+  workload::ApplyCheckpointTraffic(
+      scenario.jobs, ac, scenario.config.machine.node_bandwidth_gbps);
+  scenario.config.app_checkpoint.enabled = true;
+  scenario.config.app_checkpoint.max_defer_seconds =
+      cli.GetDouble("app-ckpt-defer");
+  scenario.config.faults.plan_config.enabled = true;
+  scenario.config.faults.plan_config.job_mtbf_seconds = mtbf;
+  scenario.config.faults.restart_mode =
+      faults::RestartMode::kRestartFromAppCheckpoint;
 }
 
 }  // namespace iosched::driver

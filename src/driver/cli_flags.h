@@ -29,6 +29,11 @@ void AddBurstBufferFlags(util::CliParser& cli);
 /// --predict-min-support, --predict-horizon.
 void AddPredictionFlags(util::CliParser& cli);
 
+/// Declare the application-checkpoint flags ApplyAppCheckpointFlags reads:
+/// --app-ckpt-mtbf (0 = off), --app-ckpt-defer, --app-ckpt-min-interval,
+/// --app-ckpt-seed.
+void AddAppCheckpointFlags(util::CliParser& cli);
+
 /// Parse argv and run the standard preamble: a parse error prints the
 /// message plus usage to stderr and yields exit code 1; --help (declared
 /// here) prints usage to stdout and yields 0. Returns nullopt when the
@@ -53,5 +58,14 @@ void ApplyBurstBufferFlags(const util::CliParser& cli,
 /// override their fields only when explicitly provided.
 void ApplyPredictionFlags(const util::CliParser& cli,
                           core::SimulationConfig& config);
+
+/// Overlay the app-checkpoint flags onto `scenario`. A positive
+/// --app-ckpt-mtbf enables the whole resilience stack in one step: the
+/// workload is rewritten with Young/Daly flush phases for that MTBF, flush
+/// scheduling is enabled with the --app-ckpt-defer deferral bound, the
+/// MTBF-driven failure process is armed, and restart mode switches to
+/// app_checkpoint. Mutates both the workload and the config, so it must
+/// run after ScenarioFromFlags.
+void ApplyAppCheckpointFlags(const util::CliParser& cli, Scenario& scenario);
 
 }  // namespace iosched::driver

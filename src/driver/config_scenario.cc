@@ -6,6 +6,7 @@
 #include "faults/fault_plan.h"
 #include "sched/queue_policy.h"
 #include "util/strings.h"
+#include "workload/app_checkpoint.h"
 #include "workload/synthetic.h"
 
 namespace iosched::driver {
@@ -92,6 +93,7 @@ Scenario ScenarioFromConfig(const util::Config& config) {
     fp.straggler_probability =
         config.GetDoubleOr("faults.straggler_probability", 0.0);
     fp.straggler_factor = config.GetDoubleOr("faults.straggler_factor", 0.25);
+    fp.job_mtbf_seconds = config.GetDoubleOr("faults.job_mtbf_seconds", 0.0);
     if (fp.enabled) {
       std::string err = fp.Validate();
       if (!err.empty()) throw std::runtime_error("config: [faults] " + err);
@@ -109,6 +111,16 @@ Scenario ScenarioFromConfig(const util::Config& config) {
         config.GetDoubleOr("faults.backoff_jitter_fraction", 0.0);
     scenario.config.batch.backoff_jitter_seed = static_cast<std::uint64_t>(
         config.GetIntOr("faults.backoff_jitter_seed", 1));
+  }
+
+  // Application checkpoint traffic + deferrable flush scheduling (off
+  // unless [app_checkpoint] enabled=true). The workload transform itself
+  // runs after workload generation below.
+  {
+    scenario.config.app_checkpoint.enabled =
+        config.GetBoolOr("app_checkpoint.enabled", false);
+    scenario.config.app_checkpoint.max_defer_seconds =
+        config.GetDoubleOr("app_checkpoint.max_defer_seconds", 0.0);
   }
 
   // Transfer deadline/timeout semantics (off unless timeout_seconds > 0).
@@ -253,6 +265,24 @@ Scenario ScenarioFromConfig(const util::Config& config) {
     }
     workload::ApplyExpansionFactor(scenario.jobs, factor);
     scenario.name += "/ef" + std::to_string(factor);
+  }
+
+  // Checkpoint-traffic transform, last so Young/Daly intervals see the
+  // final (expansion-scaled) compute durations.
+  if (scenario.config.app_checkpoint.enabled) {
+    workload::AppCheckpointConfig ac;
+    ac.enabled = true;
+    ac.mtbf_seconds =
+        config.GetDoubleOr("app_checkpoint.mtbf_seconds", 4.0 * 3600.0);
+    ac.min_interval_seconds =
+        config.GetDoubleOr("app_checkpoint.min_interval_seconds", 120.0);
+    ac.min_compute_seconds =
+        config.GetDoubleOr("app_checkpoint.min_compute_seconds", 300.0);
+    ac.seed = static_cast<std::uint64_t>(
+        config.GetIntOr("app_checkpoint.seed", 1));
+    workload::ApplyCheckpointTraffic(
+        scenario.jobs, ac, scenario.config.machine.node_bandwidth_gbps);
+    scenario.name += "/ckpt";
   }
   return scenario;
 }

@@ -55,6 +55,10 @@ void WriteReport(ckpt::Writer& w, const metrics::Report& r) {
   w.F64(r.avg_wait_clean_seconds);
   w.F64(r.avg_wait_requeued_seconds);
   w.F64(r.avg_response_requeued_seconds);
+  w.U64(r.total_flushes);
+  w.F64(r.rework_node_seconds);
+  w.F64(r.rework_ratio);
+  w.F64(r.goodput);
 }
 
 metrics::Report ReadReport(ckpt::Reader& r) {
@@ -79,6 +83,10 @@ metrics::Report ReadReport(ckpt::Reader& r) {
   out.avg_wait_clean_seconds = r.F64();
   out.avg_wait_requeued_seconds = r.F64();
   out.avg_response_requeued_seconds = r.F64();
+  out.total_flushes = r.U64();
+  out.rework_node_seconds = r.F64();
+  out.rework_ratio = r.F64();
+  out.goodput = r.F64();
   return out;
 }
 

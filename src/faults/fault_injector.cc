@@ -1,6 +1,7 @@
 #include "faults/fault_injector.h"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -14,7 +15,8 @@ FaultInjector::FaultInjector(sim::Simulator& simulator, FaultPlan plan,
       hooks_(std::move(hooks)),
       stats_(stats),
       kill_rng_(plan_.kill_seed, /*stream=*/23),
-      straggler_rng_(plan_.straggler_seed, /*stream=*/29) {
+      straggler_rng_(plan_.straggler_seed, /*stream=*/29),
+      mtbf_rng_(plan_.mtbf_seed, /*stream=*/43) {
   std::string err = plan_.Validate();
   if (!err.empty()) throw std::invalid_argument("FaultInjector: " + err);
   if (!plan_.degradations.empty() && !hooks_.set_bandwidth_factor) {
@@ -25,7 +27,8 @@ FaultInjector::FaultInjector(sim::Simulator& simulator, FaultPlan plan,
     throw std::invalid_argument(
         "FaultInjector: plan has outages but no midplane hook");
   }
-  if ((plan_.job_kill_probability > 0 || !plan_.outages.empty()) &&
+  if ((plan_.job_kill_probability > 0 || !plan_.outages.empty() ||
+       plan_.job_mtbf_seconds > 0) &&
       !hooks_.kill_job) {
     throw std::invalid_argument(
         "FaultInjector: plan kills jobs but no kill hook");
@@ -112,7 +115,26 @@ std::function<void()> FaultInjector::EdgeAction(std::size_t edge) {
 void FaultInjector::Arm() {
   if (armed_) throw std::logic_error("FaultInjector: already armed");
   armed_ = true;
-  for (std::size_t edge = 0; edge < EdgeCount(); ++edge) {
+  // Same-timestamp events pop in scheduling order, so arm start edges
+  // before end edges at a shared timestamp. Two windows meeting at a
+  // boundary (adjacent degraded tiles, back-to-back outages of one
+  // midplane) must hand over without a pulse: firing the end edge first
+  // would transiently lift the fault — restore full bandwidth, repair the
+  // midplane — and the scheduler would re-plan against state that never
+  // really existed. Every edge-kind block has even size, so global parity
+  // identifies start edges.
+  std::vector<std::size_t> order(EdgeCount());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    double ta = EdgeTime(a);
+    double tb = EdgeTime(b);
+    if (ta != tb) return ta < tb;
+    bool a_start = a % 2 == 0;
+    bool b_start = b % 2 == 0;
+    if (a_start != b_start) return a_start;
+    return a < b;
+  });
+  for (std::size_t edge : order) {
     pending_edges_[edge] =
         simulator_.ScheduleAt(EdgeTime(edge), EdgeAction(edge));
   }
@@ -246,8 +268,30 @@ std::function<void()> FaultInjector::KillAction(workload::JobId id) {
   };
 }
 
+std::function<void()> FaultInjector::FailureAction(workload::JobId id) {
+  return [this, id] {
+    pending_failures_.erase(id);
+    sim::SimTime now = simulator_.Now();
+    if (hooks_.kill_job(id, now) && stats_ != nullptr) {
+      stats_->Add(now, metrics::FaultEventKind::kMtbfFailure, id);
+      stats_->Add(now, metrics::FaultEventKind::kJobKill, id);
+    }
+  };
+}
+
 void FaultInjector::OnJobStart(workload::JobId id, sim::SimTime now,
                                double expected_runtime) {
+  if (plan_.job_mtbf_seconds > 0) {
+    // Memoryless per-attempt failure process: exponential time-to-failure
+    // with mean MTBF, drawn once per attempt in deterministic job-start
+    // order. The event is armed unconditionally — a congested attempt can
+    // run far past its uncongested expected runtime and must still be
+    // exposed to late failures; OnJobStop cancels the event if the attempt
+    // finishes first.
+    double ttf = mtbf_rng_.Exponential(1.0 / plan_.job_mtbf_seconds);
+    sim::EventId event = simulator_.ScheduleAfter(ttf, FailureAction(id));
+    pending_failures_[id] = PendingKill{event, now + ttf};
+  }
   if (plan_.job_kill_probability <= 0) return;
   // One Bernoulli per attempt keeps the draw sequence aligned with the
   // deterministic job-start order, so replays are bit-identical.
@@ -261,6 +305,11 @@ void FaultInjector::OnJobStart(workload::JobId id, sim::SimTime now,
 }
 
 void FaultInjector::OnJobStop(workload::JobId id) {
+  auto failure = pending_failures_.find(id);
+  if (failure != pending_failures_.end()) {
+    simulator_.Cancel(failure->second.event);
+    pending_failures_.erase(failure);
+  }
   auto it = pending_kills_.find(id);
   if (it == pending_kills_.end()) return;
   simulator_.Cancel(it->second.event);
@@ -328,6 +377,25 @@ void FaultInjector::SaveState(ckpt::Writer& w) const {
     w.I64(count);
   }
   w.I64(active_bb_faults_);
+  // MTBF failure-process state (appended; gated on the plan so runs without
+  // the process keep the exact section layout they had before it existed).
+  if (plan_.job_mtbf_seconds > 0) {
+    util::Rng::State mtbf = mtbf_rng_.SaveState();
+    w.U64(mtbf.engine.state);
+    w.U64(mtbf.engine.inc);
+    w.Bool(mtbf.has_spare);
+    w.F64(mtbf.spare);
+    std::vector<std::pair<workload::JobId, PendingKill>> failures(
+        pending_failures_.begin(), pending_failures_.end());
+    std::sort(failures.begin(), failures.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    w.U32(static_cast<std::uint32_t>(failures.size()));
+    for (const auto& [id, failure] : failures) {
+      w.I64(id);
+      w.U64(failure.event);
+      w.F64(failure.fire_time);
+    }
+  }
 }
 
 void FaultInjector::RestoreState(ckpt::Reader& r) {
@@ -387,6 +455,24 @@ void FaultInjector::RestoreState(ckpt::Reader& r) {
     active_drain_factors_[factor] = static_cast<int>(r.I64());
   }
   active_bb_faults_ = static_cast<int>(r.I64());
+  if (plan_.job_mtbf_seconds > 0) {
+    util::Rng::State mtbf;
+    mtbf.engine.state = r.U64();
+    mtbf.engine.inc = r.U64();
+    mtbf.has_spare = r.Bool();
+    mtbf.spare = r.F64();
+    mtbf_rng_.RestoreState(mtbf);
+    std::uint32_t failures = r.U32();
+    for (std::uint32_t i = 0; i < failures; ++i) {
+      workload::JobId id = r.I64();
+      PendingKill failure;
+      failure.event = r.U64();
+      failure.fire_time = r.F64();
+      pending_failures_[id] = failure;
+      simulator_.RestoreEvent(failure.fire_time, failure.event,
+                              FailureAction(id));
+    }
+  }
 }
 
 }  // namespace iosched::faults

@@ -127,6 +127,7 @@ class FaultInjector {
     sim::SimTime fire_time = 0.0;
   };
   std::function<void()> KillAction(workload::JobId id);
+  std::function<void()> FailureAction(workload::JobId id);
 
   sim::Simulator& simulator_;
   FaultPlan plan_;
@@ -134,6 +135,9 @@ class FaultInjector {
   metrics::FaultStats* stats_;
   util::Rng kill_rng_;
   util::Rng straggler_rng_;
+  /// MTBF time-to-failure draws (stream 43, independent of the kill and
+  /// straggler streams so enabling MTBF never perturbs their sequences).
+  util::Rng mtbf_rng_;
   /// Multiset of active degradation factors (value -> active count).
   std::unordered_map<double, int> active_factors_;
   double current_factor_ = 1.0;
@@ -146,6 +150,10 @@ class FaultInjector {
   /// double-repair).
   std::unordered_map<int, int> active_outages_;
   std::unordered_map<workload::JobId, PendingKill> pending_kills_;
+  /// Pending MTBF failures (one per running attempt while the MTBF process
+  /// is enabled; the event may outlive the attempt's expected runtime and
+  /// is cancelled by OnJobStop).
+  std::unordered_map<workload::JobId, PendingKill> pending_failures_;
   /// Not-yet-fired plan edges: canonical edge index -> scheduled event id.
   /// Ordered so checkpoint bytes are deterministic.
   std::map<std::size_t, sim::EventId> pending_edges_;

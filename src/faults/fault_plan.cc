@@ -48,6 +48,7 @@ std::string FaultPlan::Validate() const {
       (straggler_factor <= 0 || straggler_factor >= 1.0)) {
     return "straggler_factor must be in (0, 1)";
   }
+  if (job_mtbf_seconds < 0) return "job_mtbf_seconds must be >= 0";
   return "";
 }
 
@@ -86,6 +87,7 @@ std::string FaultPlanConfig::Validate() const {
       (straggler_factor <= 0 || straggler_factor >= 1.0)) {
     return "straggler_factor must be in (0, 1)";
   }
+  if (job_mtbf_seconds < 0) return "job_mtbf_seconds must be >= 0";
   return "";
 }
 
@@ -182,6 +184,8 @@ FaultPlan BuildFaultPlan(const FaultPlanConfig& config, double horizon_seconds,
   plan.straggler_probability = config.straggler_probability;
   plan.straggler_factor = config.straggler_factor;
   plan.straggler_seed = config.seed;
+  plan.job_mtbf_seconds = config.job_mtbf_seconds;
+  plan.mtbf_seed = config.seed;
 
   err = plan.Validate();
   if (!err.empty()) throw std::logic_error("BuildFaultPlan: " + err);
@@ -196,6 +200,10 @@ RestartMode ParseRestartMode(const std::string& name) {
   if (lower == "resume" || lower == "checkpoint") {
     return RestartMode::kResumeFromLastPhase;
   }
+  if (lower == "app_checkpoint" || lower == "app-checkpoint" ||
+      lower == "app_ckpt") {
+    return RestartMode::kRestartFromAppCheckpoint;
+  }
   throw std::invalid_argument("unknown restart mode: " + name);
 }
 
@@ -203,6 +211,7 @@ const char* ToString(RestartMode mode) {
   switch (mode) {
     case RestartMode::kRestartFromZero: return "zero";
     case RestartMode::kResumeFromLastPhase: return "resume";
+    case RestartMode::kRestartFromAppCheckpoint: return "app_checkpoint";
   }
   return "?";
 }

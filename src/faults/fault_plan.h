@@ -75,11 +75,19 @@ struct FaultPlan {
   double straggler_factor = 0.25;
   /// Seed for the straggler draws (independent of kill draws).
   std::uint64_t straggler_seed = 1;
+  /// MTBF-driven per-job failure process (distinct from the Bernoulli kill
+  /// windows above): each attempt draws an exponential time-to-failure with
+  /// this mean and is killed if it fires before the attempt finishes. 0
+  /// disables. This is the failure process checkpoint traffic defends
+  /// against (Young/Daly; see workload/app_checkpoint.h).
+  double job_mtbf_seconds = 0.0;
+  /// Seed for the MTBF draws (independent of kill and straggler draws).
+  std::uint64_t mtbf_seed = 1;
 
   bool Empty() const {
     return degradations.empty() && outages.empty() && bb_faults.empty() &&
            drain_degradations.empty() && job_kill_probability <= 0.0 &&
-           straggler_probability <= 0.0;
+           straggler_probability <= 0.0 && job_mtbf_seconds <= 0.0;
   }
 
   /// Invariant check: windows well-formed (end > start >= 0), factors in
@@ -120,6 +128,8 @@ struct FaultPlanConfig {
   double straggler_probability = 0.0;
   /// Effective-rate multiplier for straggling transfers, in (0, 1).
   double straggler_factor = 0.25;
+  /// Mean time between MTBF-driven per-job failures (seconds); 0 disables.
+  double job_mtbf_seconds = 0.0;
 
   std::string Validate() const;
 };
@@ -141,9 +151,16 @@ enum class RestartMode {
   /// Approximate checkpointing: completed phases are not re-run; the
   /// interrupted phase restarts from its beginning.
   kResumeFromLastPhase,
+  /// Application checkpointing: the job restarts after its last *durable*
+  /// checkpoint flush — one whose data reached the PFS (directly, or fully
+  /// drained out of the burst buffer) before the failure. Requires
+  /// checkpoint-traffic workloads (workload/app_checkpoint.h); jobs without
+  /// flush phases restart from zero under this mode.
+  kRestartFromAppCheckpoint,
 };
 
-/// Parse "zero" / "resume" (case-insensitive); throws on unknown names.
+/// Parse "zero" / "resume" / "app_checkpoint" (case-insensitive); throws on
+/// unknown names.
 RestartMode ParseRestartMode(const std::string& name);
 const char* ToString(RestartMode mode);
 

@@ -36,6 +36,11 @@ std::uint64_t DigestRecords(const JobRecords& records) {
     h = FnvMix(h, static_cast<std::uint64_t>(r.attempts));
     h = FnvMix(h, static_cast<std::uint64_t>(r.abandoned ? 1 : 0));
     h = FnvMix(h, r.lost_seconds);
+    // Mixed only when set so runs without checkpoint traffic keep the
+    // digests pinned by BENCH_core.json.
+    if (r.flush_count != 0)
+      h = FnvMix(h, static_cast<std::uint64_t>(r.flush_count));
+    if (r.rework_seconds != 0.0) h = FnvMix(h, r.rework_seconds);
   }
   return h;
 }

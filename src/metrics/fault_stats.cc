@@ -19,6 +19,7 @@ const char* ToString(FaultEventKind kind) {
     case FaultEventKind::kBbRepair: return "bb_repair";
     case FaultEventKind::kDrainDegrade: return "drain_degrade";
     case FaultEventKind::kDrainRestore: return "drain_restore";
+    case FaultEventKind::kMtbfFailure: return "mtbf_failure";
   }
   return "?";
 }
@@ -34,6 +35,9 @@ void FaultStats::Add(sim::SimTime time, FaultEventKind kind,
     case FaultEventKind::kAbandon: ++abandoned_jobs; break;
     case FaultEventKind::kBbFault: ++bb_faults; break;
     case FaultEventKind::kDrainDegrade: ++drain_degradations; break;
+    // MTBF failures also deliver a kJobKill event (which counts the kill);
+    // this kind only attributes it to the MTBF process.
+    case FaultEventKind::kMtbfFailure: ++mtbf_failures; break;
     case FaultEventKind::kStorageRestore:
     case FaultEventKind::kMidplaneRepair:
     case FaultEventKind::kBbRepair:

@@ -26,6 +26,8 @@ enum class FaultEventKind {
   kBbRepair,        // burst buffer came back
   kDrainDegrade,    // BB drain rate scaled down (detail = new drain factor)
   kDrainRestore,    // drain degradation ended (detail = new factor)
+  // Appended (U8 serialization): never reorder the values above.
+  kMtbfFailure,     // MTBF process failed a running job
 };
 
 const char* ToString(FaultEventKind kind);
@@ -56,6 +58,8 @@ struct FaultStats {
   std::uint64_t drain_degradations = 0;
   /// Smallest BB drain factor observed (1.0 = never degraded).
   double min_drain_factor = 1.0;
+  /// Kills delivered by the MTBF failure process (subset of fault_kills).
+  std::uint64_t mtbf_failures = 0;
 
   bool Empty() const { return timeline.empty(); }
 
@@ -83,6 +87,7 @@ struct FaultStats {
     w.U64(bb_faults);
     w.U64(drain_degradations);
     w.F64(min_drain_factor);
+    w.U64(mtbf_failures);
   }
   void RestoreState(ckpt::Reader& r) {
     timeline.resize(r.U32());
@@ -102,6 +107,7 @@ struct FaultStats {
     bb_faults = r.U64();
     drain_degradations = r.U64();
     min_drain_factor = r.F64();
+    mtbf_failures = r.U64();
   }
 };
 

@@ -34,6 +34,14 @@ struct JobRecord {
   bool abandoned = false;
   /// Machine time burned by failed attempts (start-to-kill, summed).
   double lost_seconds = 0.0;
+  /// Checkpoint flushes completed across all attempts (checkpoint-traffic
+  /// workloads only; 0 otherwise).
+  int flush_count = 0;
+  /// Simulated seconds of progress discarded by failures — per failed
+  /// attempt, the span from the attempt's last restart anchor (job start,
+  /// last completed phase, or last durable flush, by restart mode) to the
+  /// kill, summed. The work a restart must redo.
+  double rework_seconds = 0.0;
 
   double WaitTime() const { return start_time - submit_time; }
   double ResponseTime() const { return end_time - submit_time; }

@@ -34,11 +34,15 @@ Report Summarize(const JobRecords& records, const UtilizationTracker& util,
   constexpr double kSlowdownBoundSeconds = 600.0;
   double first_submit = records.front().submit_time;
   double last_end = records.front().end_time;
+  double useful_node_seconds = 0.0;
   for (const JobRecord& r : records) {
     report.total_attempts += static_cast<std::uint64_t>(r.attempts);
     report.lost_node_seconds += r.lost_seconds * r.allocated_nodes;
+    report.total_flushes += static_cast<std::uint64_t>(r.flush_count);
+    report.rework_node_seconds += r.rework_seconds * r.allocated_nodes;
     first_submit = std::min(first_submit, r.submit_time);
     last_end = std::max(last_end, r.end_time);
+    if (!r.abandoned) useful_node_seconds += r.Runtime() * r.allocated_nodes;
     if (r.abandoned) {
       // The job never completed; its wait/response are undefined.
       ++report.abandoned_job_count;
@@ -65,6 +69,15 @@ Report Summarize(const JobRecords& records, const UtilizationTracker& util,
       requeued_wait_stats.count() ? requeued_wait_stats.mean() : 0.0;
   report.avg_response_requeued_seconds =
       requeued_response_stats.count() ? requeued_response_stats.mean() : 0.0;
+  if (useful_node_seconds + report.rework_node_seconds > 0) {
+    report.rework_ratio =
+        report.rework_node_seconds /
+        (useful_node_seconds + report.rework_node_seconds);
+  }
+  if (useful_node_seconds + report.lost_node_seconds > 0) {
+    report.goodput = useful_node_seconds /
+                     (useful_node_seconds + report.lost_node_seconds);
+  }
   if (waits.empty()) {
     report.makespan_seconds = last_end - first_submit;
     return report;
@@ -92,7 +105,7 @@ void WriteRecordsCsv(std::ostream& out, const JobRecords& records) {
               "start", "end", "wait", "response", "runtime",
               "uncongested_runtime", "expansion", "io_time_actual",
               "io_time_uncongested", "io_phases", "killed", "attempts",
-              "abandoned", "lost_seconds"});
+              "abandoned", "lost_seconds", "flush_count", "rework_seconds"});
   for (const JobRecord& r : records) {
     csv.Row()
         .Add(static_cast<long long>(r.id))
@@ -112,7 +125,9 @@ void WriteRecordsCsv(std::ostream& out, const JobRecords& records) {
         .Add(std::string_view(r.killed ? "1" : "0"))
         .Add(r.attempts)
         .Add(std::string_view(r.abandoned ? "1" : "0"))
-        .Add(r.lost_seconds);
+        .Add(r.lost_seconds)
+        .Add(r.flush_count)
+        .Add(r.rework_seconds);
   }
 }
 
@@ -132,6 +147,11 @@ std::string ToString(const Report& report) {
        << util::SecondsToMinutes(report.avg_wait_requeued_seconds -
                                  report.avg_wait_clean_seconds)
        << "min";
+  }
+  if (report.total_flushes > 0 || report.rework_node_seconds > 0) {
+    os << " flushes=" << report.total_flushes
+       << " rework_ratio=" << report.rework_ratio
+       << " goodput=" << report.goodput;
   }
   return os.str();
 }

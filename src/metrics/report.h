@@ -49,6 +49,18 @@ struct Report {
   double avg_wait_clean_seconds = 0.0;
   double avg_wait_requeued_seconds = 0.0;
   double avg_response_requeued_seconds = 0.0;
+
+  /// Checkpoint-traffic accounting (zero without flush phases / failures).
+  std::uint64_t total_flushes = 0;
+  /// Node-seconds of discarded progress (rework_seconds x allocated nodes).
+  double rework_node_seconds = 0.0;
+  /// rework / (useful + rework) node-seconds, in [0, 1): the share of the
+  /// machine's delivered cycles that was repeated work. Useful node-seconds
+  /// are final-attempt runtimes of completed jobs.
+  double rework_ratio = 0.0;
+  /// useful / (useful + lost) node-seconds, in (0, 1]: goodput of the
+  /// delivered cycles (lost covers every failed attempt's machine time).
+  double goodput = 1.0;
 };
 
 /// Build a report from per-job records and the utilization tracker.

@@ -24,12 +24,21 @@ struct Phase {
   double compute_seconds = 0.0;
   /// Data to transfer in GB (I/O phases only).
   double io_volume_gb = 0.0;
+  /// True for defensive checkpoint flushes emitted by the checkpoint-traffic
+  /// generator (see workload/app_checkpoint.h). Flush phases are I/O phases
+  /// the scheduler may defer under congestion and that establish restart
+  /// points under RESTART_FROM_APP_CHECKPOINT; plain I/O phases never set
+  /// this, so untouched workloads keep their fingerprints.
+  bool is_flush = false;
 
   static Phase Compute(double seconds) {
     return Phase{PhaseKind::kCompute, seconds, 0.0};
   }
   static Phase Io(double volume_gb) {
     return Phase{PhaseKind::kIo, 0.0, volume_gb};
+  }
+  static Phase Flush(double volume_gb) {
+    return Phase{PhaseKind::kIo, 0.0, volume_gb, /*is_flush=*/true};
   }
 };
 

@@ -65,7 +65,12 @@ Workload GenerateWorkload(const SyntheticConfig& config, std::uint64_t seed) {
   JobId next_id = config.first_job_id;
   double t = 0.0;
   for (;;) {
-    t += rng.Exponential(peak_rate);
+    // An exponential draw can land exactly on 0 (u = 0 in -log(1-u)/rate),
+    // which would emit two jobs at the same instant or, worse, stall the
+    // arrival clock. Clamp to a strictly positive gap; real draws at any
+    // sane rate are orders of magnitude above the floor, so existing seeds
+    // generate identical workloads.
+    t += std::max(rng.Exponential(peak_rate), kMinInterArrivalSeconds);
     if (t >= horizon) break;
     double accept = base_rate * DiurnalFactor(t, config.diurnal_depth) /
                     peak_rate;

@@ -22,6 +22,12 @@
 
 namespace iosched::workload {
 
+/// Floor on the synthetic inter-arrival gap (seconds). An exponential draw
+/// can return exactly 0; the generator clamps every gap to at least this so
+/// no seed can emit two jobs at the same instant or a non-advancing clock.
+/// Far below any realistic draw, so existing seeds are unaffected.
+inline constexpr double kMinInterArrivalSeconds = 1e-6;
+
 /// Mixture component for I/O intensity: a fraction of jobs whose I/O time
 /// fraction (of uncongested runtime) is uniform in [lo, hi].
 struct IoIntensityBand {

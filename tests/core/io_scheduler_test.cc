@@ -30,7 +30,8 @@ struct Fixture {
                    double bwmax = 250.0)
       : storage(storage::StorageConfig{bwmax, true}),
         scheduler(simulator, storage, kNodeBw, MakePolicy(policy),
-                  [this](workload::JobId id, sim::SimTime t) {
+                  [this](workload::JobId id, sim::SimTime t,
+                         const IoCompletionInfo&) {
                     completions.emplace_back(id, t);
                   }) {}
 
@@ -137,7 +138,7 @@ TEST(IoScheduler, LifecycleErrors) {
 TEST(IoScheduler, ConstructorValidation) {
   sim::Simulator simulator;
   storage::StorageModel storage(storage::StorageConfig{});
-  auto cb = [](workload::JobId, sim::SimTime) {};
+  auto cb = [](workload::JobId, sim::SimTime, const IoCompletionInfo&) {};
   EXPECT_THROW(IoScheduler(simulator, storage, 0.0, MakePolicy("FCFS"), cb),
                std::invalid_argument);
   EXPECT_THROW(IoScheduler(simulator, storage, kNodeBw, nullptr, cb),

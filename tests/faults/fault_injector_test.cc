@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <vector>
 
+#include "ckpt/serializer.h"
 #include "faults/fault_plan.h"
 #include "metrics/fault_stats.h"
 #include "sim/simulator.h"
@@ -170,6 +172,119 @@ TEST_F(FaultInjectorTest, IdenticalFactorWindowsCoalesce) {
   EXPECT_DOUBLE_EQ(factor_changes_[1].time, 300.0);
 }
 
+TEST_F(FaultInjectorTest, AdjacentWindowBoundaryKeepsMostRestrictiveFactor) {
+  // Two windows sharing the t=200 boundary. The first window's end edge
+  // must not transiently restore full bandwidth before the second window's
+  // start edge fires at the same timestamp: the hook would see 1.0 and the
+  // scheduler would re-plan against a cap that never really existed.
+  FaultPlan plan;
+  plan.degradations.push_back({100.0, 200.0, 0.5});
+  plan.degradations.push_back({200.0, 300.0, 0.25});
+  FaultInjector injector(simulator_, plan, RecordingHooks(), &stats_);
+  injector.Arm();
+  simulator_.Run();
+  injector.FinalizeStats(simulator_.Now());
+
+  ASSERT_EQ(factor_changes_.size(), 3u);
+  EXPECT_DOUBLE_EQ(factor_changes_[0].factor, 0.5);
+  EXPECT_DOUBLE_EQ(factor_changes_[0].time, 100.0);
+  EXPECT_DOUBLE_EQ(factor_changes_[1].factor, 0.25);
+  EXPECT_DOUBLE_EQ(factor_changes_[1].time, 200.0);
+  EXPECT_DOUBLE_EQ(factor_changes_[2].factor, 1.0);
+  EXPECT_DOUBLE_EQ(factor_changes_[2].time, 300.0);
+  EXPECT_DOUBLE_EQ(stats_.degraded_seconds, 200.0);
+  EXPECT_EQ(stats_.storage_degradations, 2u);
+}
+
+TEST_F(FaultInjectorTest, AdjacentSameFactorWindowsHaveNoSeam) {
+  // BuildFaultPlan's tiling emits back-to-back degraded tiles as separate
+  // windows sharing a boundary timestamp; they must behave as one window —
+  // no restore/degrade pulse (and no extra stat events) at the seam.
+  FaultPlan plan;
+  plan.degradations.push_back({100.0, 200.0, 0.5});
+  plan.degradations.push_back({200.0, 300.0, 0.5});
+  FaultInjector injector(simulator_, plan, RecordingHooks(), &stats_);
+  injector.Arm();
+  simulator_.Run();
+  injector.FinalizeStats(simulator_.Now());
+
+  ASSERT_EQ(factor_changes_.size(), 2u);
+  EXPECT_DOUBLE_EQ(factor_changes_[0].factor, 0.5);
+  EXPECT_DOUBLE_EQ(factor_changes_[0].time, 100.0);
+  EXPECT_DOUBLE_EQ(factor_changes_[1].factor, 1.0);
+  EXPECT_DOUBLE_EQ(factor_changes_[1].time, 300.0);
+  EXPECT_DOUBLE_EQ(stats_.degraded_seconds, 200.0);
+  EXPECT_EQ(stats_.storage_degradations, 1u);
+}
+
+TEST_F(FaultInjectorTest, AdjacentOutageWindowsHaveNoSeam) {
+  // Back-to-back outages of the same midplane sharing a boundary: the
+  // repair edge must not fire before the adjacent fault edge, or the
+  // midplane flaps (and jobs could be placed on it) at the seam.
+  FaultPlan plan;
+  plan.outages.push_back({100.0, 200.0, 3});
+  plan.outages.push_back({200.0, 300.0, 3});
+  FaultInjector injector(simulator_, plan, RecordingHooks(), &stats_);
+  injector.Arm();
+  simulator_.Run();
+
+  ASSERT_EQ(midplane_changes_.size(), 2u);
+  EXPECT_EQ(midplane_changes_[0].first, 3);
+  EXPECT_DOUBLE_EQ(midplane_changes_[0].second, 100.0);
+  EXPECT_EQ(midplane_changes_[1].first, -3);
+  EXPECT_DOUBLE_EQ(midplane_changes_[1].second, 300.0);
+  EXPECT_EQ(stats_.midplane_outages, 1u);
+}
+
+TEST_F(FaultInjectorTest, MidOverlapCheckpointRestoresFactorTimeline) {
+  // Checkpoint while two windows overlap (and a third, boundary-adjacent
+  // one is still pending); the restored injector must replay the exact
+  // factor timeline the uninterrupted run produces.
+  FaultPlan plan;
+  plan.degradations.push_back({100.0, 400.0, 0.5});
+  plan.degradations.push_back({200.0, 300.0, 0.25});
+  plan.degradations.push_back({400.0, 500.0, 0.5});
+
+  // Uninterrupted reference run.
+  FaultInjector reference(simulator_, plan, RecordingHooks(), &stats_);
+  reference.Arm();
+  simulator_.Run();
+  std::vector<FactorChange> expected = factor_changes_;
+  ASSERT_EQ(expected.size(), 4u);
+
+  // Victim run: stop mid-overlap at t=250, checkpoint, restore into a
+  // fresh simulator + injector, and finish.
+  factor_changes_.clear();
+  sim::Simulator victim_sim;
+  FaultInjector victim(victim_sim, plan, RecordingHooks());
+  victim.Arm();
+  victim_sim.Run(250.0);
+  ckpt::Writer w;
+  victim.SaveState(w);
+  sim::SimTime saved_now = victim_sim.Now();
+  sim::EventId saved_next = victim_sim.NextEventId();
+  std::vector<FactorChange> prefix = factor_changes_;
+
+  factor_changes_.clear();
+  sim::Simulator resumed_sim;
+  resumed_sim.RestoreClock(saved_now, 0, saved_next);
+  FaultInjector resumed(resumed_sim, plan, RecordingHooks());
+  ckpt::Reader r(w.buffer());
+  resumed.RestoreState(r);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_DOUBLE_EQ(resumed.current_bandwidth_factor(), 0.25);
+  resumed_sim.Run();
+
+  std::vector<FactorChange> stitched = prefix;
+  stitched.insert(stitched.end(), factor_changes_.begin(),
+                  factor_changes_.end());
+  ASSERT_EQ(stitched.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(stitched[i].factor, expected[i].factor) << "entry " << i;
+    EXPECT_DOUBLE_EQ(stitched[i].time, expected[i].time) << "entry " << i;
+  }
+}
+
 TEST_F(FaultInjectorTest, OverlappingOutagesFireOnce) {
   FaultPlan plan;
   plan.outages.push_back({100.0, 300.0, 2});
@@ -251,6 +366,110 @@ TEST_F(FaultInjectorTest, KillScheduleIsSeedDeterministic) {
     differs = c[i].factor != a[i].factor || c[i].time != a[i].time;
   }
   EXPECT_TRUE(differs);
+}
+
+TEST_F(FaultInjectorTest, MtbfFailureProcessFiresExponentialDraws) {
+  // With MTBF = 1000 s, 200 independent attempts see roughly
+  // 1 - exp(-5) = 99.3% failures within a 5000 s exposure each. Check the
+  // draws actually spread out (not degenerate) and land after start.
+  FaultPlan plan;
+  plan.job_mtbf_seconds = 1000.0;
+  plan.mtbf_seed = 5;
+  FaultInjector injector(simulator_, plan, RecordingHooks(), &stats_);
+  injector.Arm();
+  for (workload::JobId id = 1; id <= 200; ++id) {
+    injector.OnJobStart(id, 0.0, 5000.0);
+  }
+  simulator_.Run();
+
+  ASSERT_GT(kills_.size(), 150u);
+  EXPECT_EQ(stats_.mtbf_failures, kills_.size());
+  EXPECT_EQ(stats_.fault_kills, kills_.size());
+  double sum = 0.0;
+  double longest = 0.0;
+  for (const FactorChange& kill : kills_) {
+    EXPECT_GT(kill.time, 0.0);
+    sum += kill.time;
+    longest = std::max(longest, kill.time);
+  }
+  // Mean time-to-failure within a factor of 2 of the MTBF; some draw far
+  // out in the tail (an exponential, not a constant).
+  double mean = sum / static_cast<double>(kills_.size());
+  EXPECT_GT(mean, 500.0);
+  EXPECT_LT(mean, 2000.0);
+  EXPECT_GT(longest, 2.0 * mean);
+}
+
+TEST_F(FaultInjectorTest, OnJobStopCancelsPendingMtbfFailure) {
+  FaultPlan plan;
+  plan.job_mtbf_seconds = 1000.0;
+  FaultInjector injector(simulator_, plan, RecordingHooks(), &stats_);
+  injector.Arm();
+  injector.OnJobStart(7, 0.0, 5000.0);
+  injector.OnJobStop(7);
+  simulator_.Run();
+  EXPECT_TRUE(kills_.empty());
+  EXPECT_EQ(stats_.mtbf_failures, 0u);
+}
+
+TEST_F(FaultInjectorTest, MtbfStateSurvivesCheckpointRoundTrip) {
+  // Two jobs with pending failures; checkpoint before either fires,
+  // restore into a fresh injector, and require the same failures at the
+  // same times — the pending events and the RNG stream both round-trip.
+  FaultPlan plan;
+  plan.job_mtbf_seconds = 1000.0;
+  plan.mtbf_seed = 9;
+
+  auto run_reference = [&plan] {
+    sim::Simulator simulator;
+    std::vector<FactorChange> kills;
+    FaultHooks hooks;
+    hooks.kill_job = [&kills](workload::JobId id, sim::SimTime now) {
+      kills.push_back({static_cast<double>(id), now});
+      return true;
+    };
+    FaultInjector injector(simulator, plan, hooks);
+    injector.Arm();
+    injector.OnJobStart(1, 0.0, 5000.0);
+    injector.OnJobStart(2, 0.0, 5000.0);
+    simulator.Run();
+    // A third job started later consumes the next RNG draw.
+    injector.OnJobStart(3, simulator.Now(), 5000.0);
+    simulator.Run();
+    return kills;
+  };
+  std::vector<FactorChange> expected = run_reference();
+  ASSERT_EQ(expected.size(), 3u);
+
+  std::vector<FactorChange> kills;
+  FaultHooks hooks;
+  hooks.kill_job = [&kills](workload::JobId id, sim::SimTime now) {
+    kills.push_back({static_cast<double>(id), now});
+    return true;
+  };
+  sim::Simulator victim_sim;
+  FaultInjector victim(victim_sim, plan, hooks);
+  victim.Arm();
+  victim.OnJobStart(1, 0.0, 5000.0);
+  victim.OnJobStart(2, 0.0, 5000.0);
+  ckpt::Writer w;
+  victim.SaveState(w);
+
+  sim::Simulator resumed_sim;
+  resumed_sim.RestoreClock(0.0, 0, victim_sim.NextEventId());
+  FaultInjector resumed(resumed_sim, plan, hooks);
+  ckpt::Reader r(w.buffer());
+  resumed.RestoreState(r);
+  EXPECT_TRUE(r.AtEnd());
+  resumed_sim.Run();
+  resumed.OnJobStart(3, resumed_sim.Now(), 5000.0);
+  resumed_sim.Run();
+
+  ASSERT_EQ(kills.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(kills[i].factor, expected[i].factor) << "kill " << i;
+    EXPECT_DOUBLE_EQ(kills[i].time, expected[i].time) << "kill " << i;
+  }
 }
 
 TEST_F(FaultInjectorTest, MissingHooksThrow) {

@@ -13,6 +13,7 @@
 #include "driver/scenario.h"
 #include "faults/fault_plan.h"
 #include "metrics/report.h"
+#include "workload/app_checkpoint.h"
 
 namespace iosched {
 namespace {
@@ -168,6 +169,220 @@ TEST(FaultedSimulationDetailTest, RetryBudgetExhaustionAbandonsJob) {
   EXPECT_EQ(result.report.abandoned_job_count, 1u);
   // Both burned attempts count as lost machine time: 50 + 50 seconds.
   EXPECT_DOUBLE_EQ(result.records[0].lost_seconds, 100.0);
+}
+
+// ------------------------------------ restart-from-app-checkpoint mode --
+
+/// One 512-node job on the Small machine (full I/O rate 16 GB/s): compute,
+/// then a checkpoint flush, then more compute. Timings below assume the
+/// job runs alone, so every transfer goes at full rate.
+workload::Workload OneCheckpointingJob(double tail_compute_seconds) {
+  workload::Job job;
+  job.id = 1;
+  job.submit_time = 0.0;
+  job.nodes = 512;
+  job.requested_walltime = 8000.0;
+  job.phases = {workload::Phase::Compute(100.0),
+                workload::Phase::Flush(160.0),  // 10 s at 16 GB/s
+                workload::Phase::Compute(tail_compute_seconds)};
+  workload::Workload jobs;
+  jobs.push_back(job);
+  return jobs;
+}
+
+core::SimulationConfig AppCkptConfig() {
+  core::SimulationConfig config;
+  config.machine = machine::MachineConfig::Small();
+  config.app_checkpoint.enabled = true;
+  config.faults.restart_mode = faults::RestartMode::kRestartFromAppCheckpoint;
+  config.batch.requeue_backoff_seconds = 300.0;
+  return config;
+}
+
+TEST(AppCheckpointRestartTest, DirectFlushEstablishesRestartPoint) {
+  // Direct-path flush completes at t=110 and is durable immediately. The
+  // outage kill at t=250 rolls the job back to the flush, not to zero:
+  // rework is the 140 s since the durable anchor, and the retry re-runs
+  // only the final compute phase (no second flush).
+  workload::Workload jobs = OneCheckpointingJob(200.0);
+  core::SimulationConfig config = AppCkptConfig();
+  config.faults.explicit_plan.outages.push_back({250.0, 300.0, 0});
+
+  core::SimulationResult result = core::RunSimulation(config, jobs);
+  ASSERT_EQ(result.records.size(), 1u);
+  const metrics::JobRecord& r = result.records[0];
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_FALSE(r.abandoned);
+  EXPECT_EQ(r.flush_count, 1);
+  EXPECT_DOUBLE_EQ(r.rework_seconds, 140.0);
+  EXPECT_DOUBLE_EQ(r.lost_seconds, 250.0);
+  // Eligible at 250 + 300; attempt 2 runs the 200 s tail only.
+  EXPECT_DOUBLE_EQ(r.start_time, 550.0);
+  EXPECT_DOUBLE_EQ(r.end_time, 750.0);
+
+  EXPECT_EQ(result.report.total_flushes, 1u);
+  EXPECT_EQ(result.report.requeued_job_count, 1u);
+  EXPECT_DOUBLE_EQ(result.report.rework_node_seconds, 140.0 * 512);
+  double useful = r.Runtime() * 512;
+  EXPECT_DOUBLE_EQ(result.report.rework_ratio,
+                   140.0 * 512 / (useful + 140.0 * 512));
+  EXPECT_DOUBLE_EQ(result.report.goodput, useful / (useful + 250.0 * 512));
+}
+
+TEST(AppCheckpointRestartTest, ReworkAnchorsToMostRecentDurableFlush) {
+  // Two flush boundaries; the kill lands after the second one, so only
+  // the compute since flush #2 (which completed at t=202) is rework and
+  // the retry resumes at the final compute phase.
+  workload::Job job;
+  job.id = 1;
+  job.submit_time = 0.0;
+  job.nodes = 512;
+  job.requested_walltime = 8000.0;
+  job.phases = {workload::Phase::Compute(100.0),
+                workload::Phase::Flush(16.0),  // 1 s at 16 GB/s
+                workload::Phase::Compute(100.0),
+                workload::Phase::Flush(16.0),
+                workload::Phase::Compute(100.0)};
+  workload::Workload jobs;
+  jobs.push_back(job);
+
+  core::SimulationConfig config = AppCkptConfig();
+  config.faults.explicit_plan.outages.push_back({250.0, 260.0, 0});
+
+  core::SimulationResult result = core::RunSimulation(config, jobs);
+  ASSERT_EQ(result.records.size(), 1u);
+  const metrics::JobRecord& r = result.records[0];
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_EQ(r.flush_count, 2);
+  EXPECT_DOUBLE_EQ(r.rework_seconds, 250.0 - 202.0);
+  // Attempt 2 replays only the final 100 s compute phase.
+  EXPECT_DOUBLE_EQ(r.end_time, 250.0 + 300.0 + 100.0);
+  EXPECT_EQ(result.report.total_flushes, 2u);
+}
+
+TEST(AppCheckpointRestartTest, StagedFlushIsDurableOnlyAfterDrain) {
+  // With a burst buffer the flush is absorbed and the job resumes
+  // computing, but the restart point is established only once the buffer
+  // has drained the checkpoint to the PFS. A slow drain (0.5 GB/s needs
+  // 320 s for 160 GB) has not finished by the kill at t=250, so the job
+  // rolls back to zero and flushes again; a fast drain (50 GB/s) settles
+  // the marker and the retry skips the flush.
+  core::SimulationConfig config = AppCkptConfig();
+  config.faults.explicit_plan.outages.push_back({250.0, 300.0, 0});
+  config.burst_buffer.capacity_gb = 1000.0;
+
+  config.burst_buffer.drain_gbps = 0.5;
+  core::SimulationResult slow =
+      core::RunSimulation(config, OneCheckpointingJob(400.0));
+  config.burst_buffer.drain_gbps = 50.0;
+  core::SimulationResult fast =
+      core::RunSimulation(config, OneCheckpointingJob(400.0));
+
+  ASSERT_EQ(slow.records.size(), 1u);
+  ASSERT_EQ(fast.records.size(), 1u);
+  // Slow drain: nothing durable at the kill -> full rollback to the
+  // attempt start (rework equals the whole lost attempt), second flush.
+  EXPECT_DOUBLE_EQ(slow.records[0].rework_seconds, 250.0);
+  EXPECT_DOUBLE_EQ(slow.records[0].lost_seconds, 250.0);
+  EXPECT_EQ(slow.records[0].flush_count, 2);
+  // Fast drain: the checkpoint reached the PFS long before the kill; the
+  // rollback stops at the flush and the retry does not flush again.
+  EXPECT_LT(fast.records[0].rework_seconds, 250.0);
+  EXPECT_EQ(fast.records[0].flush_count, 1);
+  EXPECT_LT(fast.records[0].end_time, slow.records[0].end_time);
+  EXPECT_GT(slow.report.rework_ratio, fast.report.rework_ratio);
+}
+
+TEST(AppCheckpointRestartTest, LossyBufferFaultDropsStagedRestartPoint) {
+  // Drain at 0.5 GB/s: the 160 GB checkpoint reaches the PFS around
+  // t=430. Without a buffer fault, the t=450 kill finds it durable; with
+  // a lossy buffer fault at t=200 the staged (still-draining) data is
+  // gone, so the same kill rolls the job back to zero.
+  core::SimulationConfig config = AppCkptConfig();
+  config.faults.explicit_plan.outages.push_back({450.0, 500.0, 0});
+  config.burst_buffer.capacity_gb = 1000.0;
+  config.burst_buffer.drain_gbps = 0.5;
+
+  core::SimulationResult intact =
+      core::RunSimulation(config, OneCheckpointingJob(600.0));
+
+  config.faults.explicit_plan.bb_faults.push_back(
+      {200.0, 260.0, /*lose_data=*/true});
+  core::SimulationResult lossy =
+      core::RunSimulation(config, OneCheckpointingJob(600.0));
+
+  ASSERT_EQ(intact.records.size(), 1u);
+  ASSERT_EQ(lossy.records.size(), 1u);
+  EXPECT_LT(intact.records[0].rework_seconds, 450.0);
+  EXPECT_EQ(intact.records[0].flush_count, 1);
+  EXPECT_DOUBLE_EQ(lossy.records[0].rework_seconds, 450.0);
+  EXPECT_EQ(lossy.records[0].flush_count, 2);
+  EXPECT_GT(lossy.report.rework_node_seconds,
+            intact.report.rework_node_seconds);
+}
+
+TEST(AppCheckpointRestartTest, MtbfStormAccountingIsConsistent) {
+  // A failure-rich end-to-end run: Young/Daly flush traffic + MTBF
+  // failures + restart-from-checkpoint. The per-record columns must obey
+  // the accounting identities, and the whole run must replay
+  // bit-identically.
+  driver::Scenario scenario = driver::MakeTestScenario(/*seed=*/19,
+                                                       /*duration_days=*/1.0,
+                                                       /*jobs_per_day=*/200.0);
+  workload::AppCheckpointConfig ac;
+  ac.enabled = true;
+  ac.mtbf_seconds = 1800.0;
+  ac.min_interval_seconds = 60.0;
+  ac.min_compute_seconds = 120.0;
+  workload::ApplyCheckpointTraffic(
+      scenario.jobs, ac, scenario.config.machine.node_bandwidth_gbps);
+
+  core::SimulationConfig config = scenario.config;
+  config.app_checkpoint.enabled = true;
+  config.app_checkpoint.max_defer_seconds = 300.0;
+  config.faults.plan_config.enabled = true;
+  config.faults.plan_config.seed = 19;
+  config.faults.plan_config.job_mtbf_seconds = 1800.0;
+  config.faults.restart_mode = faults::RestartMode::kRestartFromAppCheckpoint;
+
+  core::SimulationResult first = core::RunSimulation(config, scenario.jobs);
+  core::SimulationResult second = core::RunSimulation(config, scenario.jobs);
+  EXPECT_EQ(Fingerprint(first), Fingerprint(second));
+
+  const metrics::Report& report = first.report;
+  EXPECT_GT(report.total_flushes, 0u);
+  EXPECT_GT(report.requeued_job_count, 0u);
+  EXPECT_GT(report.rework_node_seconds, 0.0);
+  EXPECT_GE(report.rework_ratio, 0.0);
+  EXPECT_LT(report.rework_ratio, 1.0);
+  EXPECT_GT(report.goodput, 0.0);
+  EXPECT_LE(report.goodput, 1.0);
+  // Requeued jobs waited through at least one backoff; their average wait
+  // cannot undercut the clean population's.
+  EXPECT_GT(report.avg_wait_requeued_seconds, 0.0);
+
+  std::size_t requeued = 0;
+  std::size_t abandoned = 0;
+  for (const metrics::JobRecord& r : first.records) {
+    EXPECT_GE(r.attempts, 1);
+    EXPECT_GE(r.flush_count, 0);
+    // Rework is measured from the durable anchor, which never precedes
+    // the attempt start: per job, rework <= lost.
+    EXPECT_LE(r.rework_seconds, r.lost_seconds + 1e-9) << "job " << r.id;
+    if (r.attempts == 1 && !r.abandoned) {
+      EXPECT_DOUBLE_EQ(r.rework_seconds, 0.0) << "job " << r.id;
+      EXPECT_DOUBLE_EQ(r.lost_seconds, 0.0) << "job " << r.id;
+    }
+    if (r.abandoned) {
+      ++abandoned;
+    } else if (r.attempts > 1) {
+      ++requeued;
+    }
+  }
+  EXPECT_EQ(report.requeued_job_count, requeued);
+  EXPECT_EQ(report.abandoned_job_count, abandoned);
+  EXPECT_EQ(first.faults.requeues + first.faults.abandoned_jobs,
+            first.faults.fault_kills);
 }
 
 TEST(FaultedSimulationDetailTest, DegradationStretchesIoButPreservesJobs) {

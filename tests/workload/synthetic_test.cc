@@ -66,6 +66,27 @@ TEST(Synthetic, SubmitTimesSortedWithinHorizon) {
   }
 }
 
+TEST(Synthetic, InterArrivalGapsStrictlyPositiveAcrossSeeds) {
+  // Property test over 1000 seeds: the arrival clock must advance by a
+  // strictly positive amount between consecutive jobs. An exponential draw
+  // can land exactly on zero (u = 0 in -log(1-u)/rate); without the
+  // generator's clamp, two jobs would share a submit instant — or the
+  // clock would stall — and downstream consumers that assume strictly
+  // increasing submit times (incremental queue maintenance, the SWF
+  // round-trip) would quietly misbehave.
+  SyntheticConfig cfg = QuickConfig();
+  cfg.duration_days = 1.0;
+  for (std::uint64_t seed = 0; seed < 1000; ++seed) {
+    Workload w = GenerateWorkload(cfg, seed);
+    ASSERT_FALSE(w.empty()) << "seed " << seed;
+    EXPECT_GT(w.front().submit_time, 0.0) << "seed " << seed;
+    for (std::size_t i = 1; i < w.size(); ++i) {
+      ASSERT_GT(w[i].submit_time, w[i - 1].submit_time)
+          << "seed " << seed << " jobs " << w[i - 1].id << "," << w[i].id;
+    }
+  }
+}
+
 TEST(Synthetic, SizesComeFromMenu) {
   SyntheticConfig cfg = QuickConfig();
   Workload w = GenerateWorkload(cfg, 17);

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Sanity-check a `fig_ckpt_storm <out.csv>` output file.
+
+Validates the CSV schema and the resilience physics the checkpoint-storm
+study must obey on its gated axis (a failure-rich MTBF with capacities
+inside the drain-sustainable regime):
+
+  * Rework ratio in [0, 1), goodput in (0, 1], flush and failure activity
+    present on every cell (the resilience stack actually ran).
+  * Job counts agree across cells of the same policy — staging capacity
+    must not change how many jobs complete.
+  * Per (MTBF, policy): the largest burst-buffer capacity strictly reduces
+    the rework ratio vs running without a buffer — staging absorbs the
+    checkpoint storm, pulling the durable point earlier than a congested
+    direct-path flush.
+  * Per (MTBF, policy): no intermediate capacity inflates rework by more
+    than 5% over the bufferless run (soft band for placement noise).
+
+Usage: check_ckpt_storm.py <ckpt_storm.csv>
+"""
+import csv
+import sys
+
+EXPECTED_COLUMNS = [
+    "mtbf_hours", "bb_capacity_gb", "policy", "jobs", "flushes",
+    "rework_ratio", "goodput", "avg_wait_min", "wait_vs_clean",
+    "requeued", "abandoned", "lost_node_hours",
+]
+
+SOFT_BAND = 1.05
+
+
+def fail(message):
+    print(f"check_ckpt_storm: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_ckpt_storm.py <ckpt_storm.csv>")
+    with open(sys.argv[1], newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames != EXPECTED_COLUMNS:
+            fail(f"unexpected header {reader.fieldnames};"
+                 f" want {EXPECTED_COLUMNS}")
+        rows = list(reader)
+    if not rows:
+        fail("no data rows")
+
+    cells = {}
+    jobs_by_policy = {}
+    for i, row in enumerate(rows, start=2):
+        try:
+            mtbf = float(row["mtbf_hours"])
+            capacity = float(row["bb_capacity_gb"])
+            jobs = int(row["jobs"])
+            flushes = int(row["flushes"])
+            rework = float(row["rework_ratio"])
+            goodput = float(row["goodput"])
+            requeued = int(row["requeued"])
+        except ValueError as error:
+            fail(f"line {i}: malformed number: {error}")
+        if jobs <= 0:
+            fail(f"line {i}: no jobs completed")
+        if flushes <= 0:
+            fail(f"line {i}: no checkpoint flushes — generator not armed")
+        if requeued <= 0:
+            fail(f"line {i}: no requeued jobs — failure process not armed")
+        if not 0.0 <= rework < 1.0:
+            fail(f"line {i}: rework ratio {rework} outside [0, 1)")
+        if not 0.0 < goodput <= 1.0:
+            fail(f"line {i}: goodput {goodput} outside (0, 1]")
+        jobs_by_policy.setdefault(row["policy"], set()).add(jobs)
+        key = (mtbf, row["policy"])
+        if capacity in dict(cells.get(key, [])):
+            fail(f"line {i}: duplicate cell {key} capacity {capacity}")
+        cells.setdefault(key, []).append((capacity, rework))
+
+    for policy, counts in jobs_by_policy.items():
+        if len(counts) != 1:
+            fail(f"{policy}: completed-job counts differ across cells:"
+                 f" {sorted(counts)}")
+
+    for (mtbf, policy), points in cells.items():
+        points.sort()
+        capacities = [c for c, _ in points]
+        if capacities[0] != 0.0 or len(capacities) < 2:
+            fail(f"MTBF {mtbf}h {policy}: need a BB=0 cell plus at least"
+                 f" one buffered cell, got capacities {capacities}")
+        base = points[0][1]
+        largest_cap, largest = points[-1]
+        if largest >= base:
+            fail(f"MTBF {mtbf}h {policy}: rework ratio did not improve with"
+                 f" staging: {base:.4f} (BB=0) -> {largest:.4f}"
+                 f" (BB={largest_cap:.0f} GB)")
+        for capacity, rework in points[1:-1]:
+            if rework > base * SOFT_BAND:
+                fail(f"MTBF {mtbf}h {policy}: rework {rework:.4f} at"
+                     f" BB={capacity:.0f} GB exceeds the {SOFT_BAND}x band"
+                     f" over the bufferless {base:.4f}")
+
+    mtbfs = sorted({m for m, _ in cells})
+    print(f"check_ckpt_storm: OK: {len(rows)} rows, MTBF hours {mtbfs},"
+          f" {len(jobs_by_policy)} policies; largest buffer reduces rework"
+          f" on every axis")
+
+
+if __name__ == "__main__":
+    main()

@@ -85,6 +85,7 @@ int CmdGenerate(const util::CliParser& cli) {
 
 int CmdSimulate(const util::CliParser& cli) {
   driver::Scenario scenario = driver::ScenarioFromFlags(cli);
+  driver::ApplyAppCheckpointFlags(cli, scenario);
   core::SimulationConfig config = scenario.config;
   if (cli.Provided("policy") || !cli.Provided("config")) {
     config.policy = cli.GetString("policy");
@@ -201,6 +202,14 @@ int CmdSimulate(const util::CliParser& cli) {
                 result.faults.requeues, result.faults.abandoned_jobs,
                 r.lost_node_seconds / util::kSecondsPerHour);
   }
+  if (r.total_flushes > 0 || r.rework_node_seconds > 0) {
+    std::printf("  checkpoints    %llu flushes (%llu deferred, %llu forced "
+                "releases), rework ratio %.3f, goodput %.3f\n",
+                static_cast<unsigned long long>(r.total_flushes),
+                static_cast<unsigned long long>(result.flush_deferrals),
+                static_cast<unsigned long long>(result.forced_flush_releases),
+                r.rework_ratio, r.goodput);
+  }
 
   if (cli.GetBool("timeline")) {
     const double bucket = 2.0 * util::kSecondsPerHour;
@@ -267,6 +276,7 @@ int CmdSimulate(const util::CliParser& cli) {
 
 int CmdSweep(const util::CliParser& cli) {
   driver::Scenario scenario = driver::ScenarioFromFlags(cli);
+  driver::ApplyAppCheckpointFlags(cli, scenario);
   driver::ApplyBurstBufferFlags(cli, scenario.config);
   driver::ApplyPredictionFlags(cli, scenario.config);
   std::vector<std::string> policies = core::AllPolicyNames();
@@ -424,6 +434,7 @@ int main(int argc, char** argv) {
   driver::AddScenarioFlags(cli);
   driver::AddBurstBufferFlags(cli);
   driver::AddPredictionFlags(cli);
+  driver::AddAppCheckpointFlags(cli);
   cli.AddFlag("seed", "101", "generator seed (generate)");
   cli.AddFlag("out", "workload", "output path stem (generate)");
   cli.AddFlag("policy", "ADAPTIVE", "I/O policy (simulate)");
