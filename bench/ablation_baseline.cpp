@@ -26,7 +26,11 @@ int main() {
   for (int wl = 1; wl <= 3; ++wl) {
     driver::Scenario scenario =
         driver::MakeEvaluationScenario(wl, bench::BenchDays());
-    auto runs = driver::RunPolicySweep(scenario, policies, &pool);
+    driver::SweepSpec spec;
+    spec.scenario = &scenario;
+    spec.policies = policies;
+    spec.pool = &pool;
+    auto runs = driver::RunSweep(spec).runs;
     util::Table table({"policy", "avg wait (min)", "avg response (min)",
                        "utilization", "avg runtime expansion"});
     for (const auto& run : runs) {

@@ -11,8 +11,12 @@ int main() {
   driver::Scenario scenario =
       driver::MakeEvaluationScenario(1, bench::BenchDays());
   util::ThreadPool pool;
-  auto runs = driver::RunExpansionSweep(scenario, factors,
-                                        core::AllPolicyNames(), &pool);
+  driver::SweepSpec spec;
+  spec.scenario = &scenario;
+  spec.policies = core::AllPolicyNames();
+  spec.expansion_factors = factors;
+  spec.pool = &pool;
+  auto runs = driver::RunSweep(spec).runs;
   util::Table table =
       driver::SensitivityTable(runs, factors, core::AllPolicyNames());
   std::printf("%s\n", table.ToString().c_str());

@@ -64,8 +64,11 @@ int main(int argc, char** argv) {
   // The resilience-off reference per policy: same workload, no flushes, no
   // failures — the wait-time delta isolates what the checkpoint traffic
   // and the restarts cost.
-  std::vector<driver::PolicyRun> clean =
-      driver::RunPolicySweep(base, policies, &pool);
+  driver::SweepSpec clean_spec;
+  clean_spec.scenario = &base;
+  clean_spec.policies = policies;
+  clean_spec.pool = &pool;
+  std::vector<driver::PolicyRun> clean = driver::RunSweep(clean_spec).runs;
 
   // Row-major: runs[(m * capacities + c) * policies + p].
   std::vector<driver::PolicyRun> runs;
@@ -93,7 +96,11 @@ int main(int argc, char** argv) {
         cell.config.burst_buffer.capacity_gb = capacity;
         cell.config.burst_buffer.drain_gbps = drain_gbps;
       }
-      auto sweep = driver::RunPolicySweep(cell, policies, &pool);
+      driver::SweepSpec spec;
+      spec.scenario = &cell;
+      spec.policies = policies;
+      spec.pool = &pool;
+      auto sweep = driver::RunSweep(spec).runs;
       runs.insert(runs.end(), sweep.begin(), sweep.end());
     }
   }

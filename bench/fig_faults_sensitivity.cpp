@@ -26,7 +26,7 @@ int main() {
       driver::MakeEvaluationScenario(1, bench::BenchDays());
   util::ThreadPool pool;
 
-  // Row-major like RunExpansionSweep: runs[f * policies + p].
+  // Row-major: runs[f * policies + p].
   std::vector<driver::PolicyRun> runs;
   for (double fraction : fractions) {
     driver::Scenario faulted = scenario;
@@ -36,7 +36,11 @@ int main() {
     faulted.config.faults.plan_config.degradation_factor = 0.5;
     faulted.config.faults.plan_config.job_kill_probability =
         fraction > 0.0 ? 0.01 : 0.0;
-    auto sweep = driver::RunPolicySweep(faulted, policies, &pool);
+    driver::SweepSpec spec;
+    spec.scenario = &faulted;
+    spec.policies = policies;
+    spec.pool = &pool;
+    auto sweep = driver::RunSweep(spec).runs;
     runs.insert(runs.end(), sweep.begin(), sweep.end());
   }
 

@@ -1,0 +1,235 @@
+// Plan-quality figure: does planning ahead beat deciding greedily?
+//
+// Three sections:
+//   month        the BB-constrained month-1 evaluation workload (tight
+//                burst-buffer, oracle prediction so the planner sees real
+//                bursts) under the EASY-greedy baseline (BASE_LINE), plain
+//                FCFS, and the two planning policies PERIODIC and PLAN_BF.
+//                The reproduction claim: PLAN_BF's backfill reservations of
+//                absorb capacity and drain bandwidth keep the buffer out of
+//                congestion collapse, so its mean wait must not exceed the
+//                EASY-greedy baseline here.
+//   replan cost  plans built and the wall-clock spent inside Plan() for
+//                each planning policy, absolute and as a share of the run's
+//                simulation wall time — the price of looking ahead.
+//   year smoke   a short cut of the year-scale workload under the same
+//                tiered config, to catch planning pathologies the month
+//                misses (deep diurnal queue swings).
+//
+// Run with
+//   fig_plan_quality --json=OUT.json [--days=N]
+// Honors IOSCHED_BENCH_DAYS like the other figure benches when --days is
+// absent. tools/check_plan_fig.py gates CI on the emitted JSON.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/simulation.h"
+#include "driver/scenario.h"
+#include "figure_common.h"
+#include "util/atomic_file.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace iosched;
+using Clock = std::chrono::steady_clock;
+
+/// The tiered-storage setup every policy runs under. The buffer is sized
+/// well below the month's burst volume (the 4 TB point of the capacity
+/// sweep is where absorption starts to matter but congestion is still
+/// common), so promising absorb space to the wrong backfill job hurts.
+double g_bb_capacity_gb = 4096.0;
+double g_bb_drain_gbps = 50.0;
+
+void ApplyTieredConfig(core::SimulationConfig& config) {
+  config.burst_buffer = storage::BurstBufferConfig{};
+  config.burst_buffer.capacity_gb = g_bb_capacity_gb;
+  config.burst_buffer.drain_gbps = g_bb_drain_gbps;
+  config.prediction.enabled = true;
+  config.prediction.mode = "oracle";
+}
+
+struct PolicyResult {
+  std::string policy;
+  double wait_minutes = 0.0;
+  double response_minutes = 0.0;
+  double bounded_slowdown = 0.0;
+  double utilization = 0.0;
+  std::uint64_t plan_replans = 0;
+  double plan_wall_seconds = 0.0;
+  double sim_wall_seconds = 0.0;
+  double bb_absorbed_gb = 0.0;
+  std::uint64_t bb_spilled_requests = 0;
+  double bb_peak_queued_gb = 0.0;
+};
+
+PolicyResult RunPolicy(const driver::Scenario& scenario,
+                       const std::string& policy) {
+  core::SimulationConfig config = scenario.config;
+  config.policy = policy;
+  auto t0 = Clock::now();
+  core::SimulationResult sim = core::RunSimulation(config, scenario.jobs);
+  auto t1 = Clock::now();
+  PolicyResult r;
+  r.policy = policy;
+  r.wait_minutes = util::SecondsToMinutes(sim.report.avg_wait_seconds);
+  r.response_minutes =
+      util::SecondsToMinutes(sim.report.avg_response_seconds);
+  r.bounded_slowdown = sim.report.avg_bounded_slowdown;
+  r.utilization = sim.report.utilization;
+  r.plan_replans = sim.plan_replans;
+  r.plan_wall_seconds = sim.plan_wall_seconds;
+  r.sim_wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.bb_absorbed_gb = sim.bb_absorbed_gb;
+  r.bb_spilled_requests = sim.bb_spilled_requests;
+  r.bb_peak_queued_gb = sim.bb_peak_queued_gb;
+  return r;
+}
+
+void PrintSection(const char* title,
+                  const std::vector<PolicyResult>& results) {
+  std::printf("%s\n", title);
+  std::printf("  %-10s %10s %10s %8s %9s %9s %10s\n", "policy", "wait(min)",
+              "resp(min)", "bsld", "replans", "plan(s)", "spilled");
+  for (const PolicyResult& r : results) {
+    std::printf("  %-10s %10.1f %10.1f %8.2f %9llu %9.3f %10llu\n",
+                r.policy.c_str(), r.wait_minutes, r.response_minutes,
+                r.bounded_slowdown,
+                static_cast<unsigned long long>(r.plan_replans),
+                r.plan_wall_seconds,
+                static_cast<unsigned long long>(r.bb_spilled_requests));
+  }
+  std::printf("\n");
+}
+
+void EmitResults(std::ostream& out, const char* key,
+                 const std::vector<PolicyResult>& results, bool last) {
+  char buf[512];
+  out << "  \"" << key << "\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const PolicyResult& r = results[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"policy\": \"%s\", \"wait_minutes\": %.3f, "
+        "\"response_minutes\": %.3f, \"bounded_slowdown\": %.4f, "
+        "\"utilization\": %.4f, \"plan_replans\": %llu, "
+        "\"plan_wall_seconds\": %.4f, \"sim_wall_seconds\": %.4f, "
+        "\"bb_absorbed_gb\": %.1f, \"bb_spilled_requests\": %llu, "
+        "\"bb_peak_queued_gb\": %.1f}%s\n",
+        r.policy.c_str(), r.wait_minutes, r.response_minutes,
+        r.bounded_slowdown, r.utilization,
+        static_cast<unsigned long long>(r.plan_replans), r.plan_wall_seconds,
+        r.sim_wall_seconds, r.bb_absorbed_gb,
+        static_cast<unsigned long long>(r.bb_spilled_requests),
+        r.bb_peak_queued_gb, i + 1 < results.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]" << (last ? "\n" : ",\n");
+}
+
+bool TakeFlag(int& argc, char** argv, const char* flag, std::string* value) {
+  std::string prefix = std::string(flag) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      *value = argv[i] + prefix.size();
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string days_str;
+  std::string bb_str;
+  std::string drain_str;
+  TakeFlag(argc, argv, "--json", &json_path);
+  TakeFlag(argc, argv, "--days", &days_str);
+  if (TakeFlag(argc, argv, "--bb", &bb_str)) {
+    g_bb_capacity_gb = std::strtod(bb_str.c_str(), nullptr);
+  }
+  if (TakeFlag(argc, argv, "--drain", &drain_str)) {
+    g_bb_drain_gbps = std::strtod(drain_str.c_str(), nullptr);
+  }
+  double days = days_str.empty() ? bench::BenchDays()
+                                 : std::strtod(days_str.c_str(), nullptr);
+  if (days <= 0) {
+    std::fprintf(stderr, "bad --days\n");
+    return 2;
+  }
+
+  const std::vector<std::string> policies = {
+      "BASE_LINE", "BASE_LINE_MAXMIN", "FCFS", "PERIODIC", "PLAN_BF"};
+
+  driver::Scenario month = driver::MakeEvaluationScenario(1, days);
+  ApplyTieredConfig(month.config);
+  std::printf("== Plan quality: BB-constrained month (WL1, %.0f days, "
+              "BB %.0f GB / drain %.0f GB/s, oracle prediction) ==\n\n",
+              days, month.config.burst_buffer.capacity_gb,
+              month.config.burst_buffer.drain_gbps);
+
+  std::vector<PolicyResult> month_results;
+  for (const std::string& policy : policies) {
+    month_results.push_back(RunPolicy(month, policy));
+  }
+  PrintSection("month:", month_results);
+
+  // Replan cost, the price of looking ahead: a planning policy that spends
+  // a visible fraction of the whole simulation inside Plan() has lost the
+  // cheap-Execute property the two-phase split exists for.
+  for (const PolicyResult& r : month_results) {
+    if (r.plan_replans == 0) continue;
+    double share =
+        r.sim_wall_seconds > 0 ? r.plan_wall_seconds / r.sim_wall_seconds : 0;
+    std::printf("replan cost %-10s %llu plans, %.3f s in Plan() "
+                "(%.1f%% of the run)\n",
+                r.policy.c_str(),
+                static_cast<unsigned long long>(r.plan_replans),
+                r.plan_wall_seconds, share * 100.0);
+  }
+  std::printf("\n");
+
+  // Year-smoke cut: same tiered config on the year-scale workload.
+  double smoke_days = std::min(5.0, days);
+  driver::Scenario year = driver::MakeYearScenario(smoke_days);
+  ApplyTieredConfig(year.config);
+  std::printf("== Year smoke (%.0f days) ==\n\n", smoke_days);
+  std::vector<PolicyResult> year_results;
+  for (const std::string& policy : policies) {
+    year_results.push_back(RunPolicy(year, policy));
+  }
+  PrintSection("year_smoke:", year_results);
+
+  double base_wait = month_results.front().wait_minutes;
+  double plan_bf_wait = month_results.back().wait_minutes;
+  std::printf("PLAN_BF vs EASY-greedy baseline: %+.1f%% wait\n",
+              base_wait > 0 ? (plan_bf_wait / base_wait - 1.0) * 100.0 : 0.0);
+
+  if (!json_path.empty()) {
+    util::AtomicFileWriter json_file(json_path);
+    std::ostream& out = json_file.stream();
+    char buf[256];
+    out << "{\n";
+    out << "  \"schema\": \"fig-plan-quality-v1\",\n";
+    out << "  \"baseline_policy\": \"BASE_LINE\",\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  \"days\": %g,\n  \"bb_capacity_gb\": %g,\n"
+                  "  \"bb_drain_gbps\": %g,\n",
+                  days, month.config.burst_buffer.capacity_gb,
+                  month.config.burst_buffer.drain_gbps);
+    out << buf;
+    EmitResults(out, "month", month_results, /*last=*/false);
+    EmitResults(out, "year_smoke", year_results, /*last=*/true);
+    out << "}\n";
+    json_file.Commit();
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include "core/policy_factory.h"
 #include "driver/experiment.h"
 #include "driver/scenario.h"
+#include "driver/sweep.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 #include "util/units.h"
@@ -62,7 +63,11 @@ inline std::vector<driver::PolicyRun> RunMonth(int index,
                                                util::ThreadPool& pool) {
   driver::Scenario scenario =
       driver::MakeEvaluationScenario(index, BenchDays());
-  return driver::RunPolicySweep(scenario, core::AllPolicyNames(), &pool);
+  driver::SweepSpec spec;
+  spec.scenario = &scenario;
+  spec.policies = core::AllPolicyNames();
+  spec.pool = &pool;
+  return driver::RunSweep(spec).runs;
 }
 
 /// Print one workload's measured-vs-paper table for a time metric.

@@ -9,6 +9,7 @@
 
 #include "driver/experiment.h"
 #include "driver/scenario.h"
+#include "driver/sweep.h"
 #include "core/policy_factory.h"
 #include "util/units.h"
 
@@ -33,8 +34,11 @@ int main(int argc, char** argv) {
       stats.mean_nodes, stats.mean_io_fraction, stats.total_io_gb / 1024.0);
 
   util::ThreadPool pool;
-  std::vector<driver::PolicyRun> runs = driver::RunPolicySweep(
-      scenario, core::AllPolicyNames(), &pool);
+  driver::SweepSpec spec;
+  spec.scenario = &scenario;
+  spec.policies = core::AllPolicyNames();
+  spec.pool = &pool;
+  std::vector<driver::PolicyRun> runs = driver::RunSweep(spec).runs;
 
   std::printf("-- Average wait time (Fig. 8 shape) --\n%s\n",
               driver::WaitTimeTable(runs).ToString().c_str());

@@ -9,6 +9,7 @@
 #include "core/simulation.h"
 #include "driver/experiment.h"
 #include "driver/scenario.h"
+#include "driver/sweep.h"
 #include "util/units.h"
 
 int main() {
@@ -24,9 +25,10 @@ int main() {
   std::printf("workload: %zu jobs, offered load %.2f, mean I/O fraction %.2f\n",
               stats.job_count, stats.offered_load, stats.mean_io_fraction);
 
-  const std::vector<std::string> policies = {"BASE_LINE", "ADAPTIVE"};
-  std::vector<driver::PolicyRun> runs =
-      driver::RunPolicySweep(scenario, policies);
+  driver::SweepSpec spec;
+  spec.scenario = &scenario;
+  spec.policies = {"BASE_LINE", "ADAPTIVE"};
+  std::vector<driver::PolicyRun> runs = driver::RunSweep(spec).runs;
 
   for (const driver::PolicyRun& run : runs) {
     std::printf(

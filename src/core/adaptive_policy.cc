@@ -210,10 +210,10 @@ std::vector<RateGrant> AdaptivePolicy::Assign(
       rates_dirty = true;
       continue;
     }
-    if (tiers_.bb_enabled &&
-        (tiers_.bb_queued_gb >
-             kBacklogDeferralFraction * tiers_.bb_capacity_gb ||
-         tiers_.bb_faulted || tiers_.drain_factor < 1.0)) {
+    if (tiers().bb_enabled &&
+        (tiers().bb_queued_gb >
+             kBacklogDeferralFraction * tiers().bb_capacity_gb ||
+         tiers().bb_faulted || tiers().drain_factor < 1.0)) {
       // Deep drain backlog — or a degraded/failed buffer, which is the same
       // congestion signal arriving early: a faulted buffer spills every new
       // request onto the direct path, and a degraded drain holds its
@@ -222,17 +222,17 @@ std::vector<RateGrant> AdaptivePolicy::Assign(
       // recovers.
       continue;
     }
-    if (flush_backlog_gb_ >=
+    if (flush_backlog_gb() >=
             kFlushBacklogDeferralSeconds * max_bandwidth_gbps &&
-        flush_backlog_count_ > 0) {
+        flush_backlog_count() > 0) {
       // Deep parked-flush backlog: the checkpoint flushes this policy
       // benched are pent-up demand that reclaims the channel the moment it
       // clears. Over-admitting would push that moment out (and with it
       // every flush's durability point); defer like Cons-FCFS instead.
       continue;
     }
-    if (predictive_ && prediction_.enabled &&
-        prediction_.imminent_rate_gbps >=
+    if (predictive_ && prediction().enabled &&
+        prediction().imminent_rate_gbps >=
             kStormDeferralFraction * max_bandwidth_gbps) {
       // Predicted burst storm: the forecast demand due within the horizon
       // rivals the channel itself. Over-admitting now would stretch exactly
@@ -293,10 +293,10 @@ bool AdaptivePolicy::DeferFlush(const FlushView& flush,
   // would add direct traffic to exactly the channel the drain reservation
   // is competing with. A faulted buffer does NOT defer — the flush data can
   // only reach the PFS over the direct path then.
-  if (tiers_.bb_enabled &&
-      (tiers_.bb_queued_gb >
-           kBacklogDeferralFraction * tiers_.bb_capacity_gb ||
-       tiers_.drain_factor < 1.0)) {
+  if (tiers().bb_enabled &&
+      (tiers().bb_queued_gb >
+           kBacklogDeferralFraction * tiers().bb_capacity_gb ||
+       tiers().drain_factor < 1.0)) {
     return true;
   }
   // Otherwise release as soon as the direct channel has headroom.

@@ -25,7 +25,7 @@ class Counter;
 
 namespace iosched::core {
 
-class AdaptivePolicy final : public IoPolicy {
+class AdaptivePolicy final : public GreedyAdapter {
  public:
   /// With `predictive` set the policy runs as PREDICTIVE_ADAPTIVE: identical
   /// to ADAPTIVE except that the over-admission branch is also suspended
@@ -33,6 +33,14 @@ class AdaptivePolicy final : public IoPolicy {
   /// aggregate imminent demand of at least kStormDeferralFraction of BWmax
   /// within the horizon. FCFS admissions are untouched; with prediction
   /// off or never signalling, behavior is grant-for-grant ADAPTIVE.
+  ///
+  /// Tier / prediction / flush-backlog awareness all read the per-cycle
+  /// CycleInputs (GreedyAdapter::inputs()): while the burst-buffer drain
+  /// backlog is deep (above kBacklogDeferralFraction of capacity) or the
+  /// parked-flush backlog holds kFlushBacklogDeferralSeconds of
+  /// full-bandwidth work, the over-admission branch is suspended and the
+  /// policy degrades to Cons-FCFS — see DESIGN.md §9. All no-ops when the
+  /// respective feature is off.
   explicit AdaptivePolicy(bool predictive = false) : predictive_(predictive) {}
 
   const std::string& name() const override;
@@ -40,28 +48,6 @@ class AdaptivePolicy final : public IoPolicy {
                                 double max_bandwidth_gbps,
                                 sim::SimTime now) override;
   void BindObs(obs::Hub* hub) override;
-  /// Two-tier awareness: while the burst-buffer drain backlog is deep
-  /// (above kBacklogDeferralFraction of capacity) the over-admission branch
-  /// is suspended and the policy degrades to Cons-FCFS — over-admitting
-  /// direct traffic would stretch exactly the transfers the drain is
-  /// already competing with, trading BB occupancy against direct-path stall
-  /// time as described in DESIGN.md §9. No-op in single-tier runs.
-  void ObserveTiers(const TierState& tiers) override { tiers_ = tiers; }
-
-  /// Prediction awareness (PREDICTIVE_ADAPTIVE only; the base ADAPTIVE
-  /// ignores the snapshot even if delivered).
-  void ObservePrediction(const PredictionState& prediction) override {
-    if (predictive_) prediction_ = prediction;
-  }
-
-  /// Checkpoint-flush awareness: the parked-flush backlog is demand this
-  /// policy itself benched, so while it is deep (kFlushBacklogDeferralSeconds
-  /// worth of full-bandwidth work) over-admission pauses — the benched
-  /// flushes will reclaim the channel the moment it clears.
-  void ObserveFlushBacklog(double pending_gb, std::size_t count) override {
-    flush_backlog_gb_ = pending_gb;
-    flush_backlog_count_ = count;
-  }
 
   /// Hold a ready flush while the direct channel is saturated or the
   /// burst-buffer drain is behind; release as soon as there is headroom
@@ -84,17 +70,6 @@ class AdaptivePolicy final : public IoPolicy {
   bool predictive_ = false;
   /// Accumulates water-filling steps across cycles; null when obs is off.
   obs::Counter* waterfill_counter_ = nullptr;
-  /// Refreshed every cycle (before Assign) when a burst buffer is attached;
-  /// defaults to "no tier" so single-tier behavior is untouched. Not
-  /// checkpointed: the scheduler re-delivers it each cycle before use.
-  TierState tiers_;
-  /// Refreshed every cycle while prediction is enabled; defaults to "no
-  /// prediction". Like tiers_, deliberately not checkpointed.
-  PredictionState prediction_;
-  /// Refreshed every cycle while flush-aware scheduling is enabled;
-  /// defaults to "no backlog". Like tiers_, deliberately not checkpointed.
-  double flush_backlog_gb_ = 0.0;
-  std::size_t flush_backlog_count_ = 0;
 };
 
 /// Earliest time J_i (index `candidate`) could start I/O if not admitted

@@ -18,7 +18,7 @@
 
 namespace iosched::core {
 
-class BaselinePolicy final : public IoPolicy {
+class BaselinePolicy final : public GreedyAdapter {
  public:
   const std::string& name() const override;
   std::vector<RateGrant> Assign(std::span<const IoJobView> active,
@@ -27,7 +27,7 @@ class BaselinePolicy final : public IoPolicy {
 };
 
 /// Ablation: work-conserving even split (max-min fairness per application).
-class MaxMinPolicy final : public IoPolicy {
+class MaxMinPolicy final : public GreedyAdapter {
  public:
   const std::string& name() const override;
   std::vector<RateGrant> Assign(std::span<const IoJobView> active,

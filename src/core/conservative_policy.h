@@ -36,7 +36,7 @@ enum class ConservativeOrder {
                    // at which blocked partitions are released
 };
 
-class ConservativePolicy final : public IoPolicy {
+class ConservativePolicy final : public GreedyAdapter {
  public:
   explicit ConservativePolicy(ConservativeOrder order);
 

@@ -1,6 +1,8 @@
 #include "core/io_scheduler.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -25,6 +27,7 @@ IoScheduler::IoScheduler(sim::Simulator& simulator,
   }
   if (!policy_) throw std::invalid_argument("IoScheduler: null policy");
   if (!on_complete_) throw std::invalid_argument("IoScheduler: null callback");
+  policy_is_planning_ = policy_->WantsPlanning();
   storage_.SetBandwidthChangeListener(
       [this](double new_bwmax, sim::SimTime now) {
         OnBandwidthChange(new_bwmax, now);
@@ -279,6 +282,10 @@ void IoScheduler::OnBandwidthChange(double new_bwmax_gbps, sim::SimTime now) {
                            new_bwmax_gbps);
     hub_->forced_reschedules->Inc();
   }
+  // A standing plan was budgeted against the old resource envelope; its
+  // promises may exceed the degraded BWmax (which the reservation audit
+  // would rightly flag). Replan inside this very cycle.
+  if (policy_is_planning_) has_plan_ = false;
   Reschedule(now);
 }
 
@@ -398,31 +405,19 @@ void IoScheduler::Reschedule(sim::SimTime now) {
       has_drain_event_ = true;
       drain_event_time_ = wake;
     }
-    // Tier snapshot for tier-aware policies (delivered before Assign).
-    TierState tiers;
-    tiers.bb_enabled = true;
-    tiers.bb_capacity_gb = burst_buffer_->config().capacity_gb;
-    tiers.bb_queued_gb = burst_buffer_->queued_gb();
-    tiers.drain_gbps = burst_buffer_->CurrentDrainRate();
-    tiers.bb_congested = burst_buffer_->Congested();
-    tiers.bb_faulted = burst_buffer_->faulted();
-    tiers.drain_factor = burst_buffer_->drain_factor();
-    policy_->ObserveTiers(tiers);
   }
-
-  if (prediction_config_.enabled) {
-    BuildPredictionState(now);
-    policy_->ObservePrediction(prediction_scratch_);
-  }
-
-  if (flush_config_.enabled) {
-    policy_->ObserveFlushBacklog(deferred_backlog_gb_,
-                                 deferred_flushes_.size());
-  }
+  RefreshCycleInputs(now);
 
   FillViews(views_scratch_);
   const std::vector<IoJobView>& views = views_scratch_;
-  std::vector<RateGrant> grants = policy_->Assign(views, usable_bandwidth, now);
+  PlanContext ctx;
+  ctx.active = views;
+  ctx.inputs = &cycle_inputs_;
+  ctx.max_bandwidth_gbps = usable_bandwidth;
+  ctx.now = now;
+  ctx.window_seconds = plan_config_.window_seconds;
+  ctx.slice_seconds = plan_config_.slice_seconds;
+  std::vector<RateGrant> grants = PlanAndExecute(ctx);
   ValidateGrants(views, grants);
   // Views were built in arrival order, so grant i addresses the slot at
   // arrival_order[i] whenever the policy preserved positions (they all do);
@@ -514,11 +509,106 @@ void IoScheduler::Reschedule(sim::SimTime now) {
     pending_event_time_ = next->first;
   }
 
+  // Planning policies may want a cycle at the next plan boundary (slice
+  // edge, reservation edge, window expiry) even if no request arrives or
+  // completes there. Greedy policies never take this branch, so their
+  // event-id sequences — and replay digests — are untouched.
+  if (policy_is_planning_) ArmPlanReview(ctx);
+
   // Benched checkpoint flushes get a fresh release query every cycle: the
   // congestion that parked them may just have cleared.
   if (flush_config_.enabled && !deferred_flushes_.empty()) {
     ReleaseDeferredFlushes(now);
   }
+}
+
+void IoScheduler::RefreshCycleInputs(sim::SimTime now) {
+  if (burst_buffer_ != nullptr) {
+    // Tier snapshot for tier-aware policies (the buffer was already settled
+    // to `now` by the caller).
+    TierState& tiers = cycle_inputs_.tiers;
+    tiers.bb_enabled = true;
+    tiers.bb_capacity_gb = burst_buffer_->config().capacity_gb;
+    tiers.bb_queued_gb = burst_buffer_->queued_gb();
+    tiers.drain_gbps = burst_buffer_->CurrentDrainRate();
+    tiers.bb_congested = burst_buffer_->Congested();
+    tiers.bb_faulted = burst_buffer_->faulted();
+    tiers.drain_factor = burst_buffer_->drain_factor();
+  }
+  if (prediction_config_.enabled) {
+    BuildPredictionState(now);
+  }
+  if (flush_config_.enabled) {
+    cycle_inputs_.flush_backlog_gb = deferred_backlog_gb_;
+    cycle_inputs_.flush_backlog_count = deferred_flushes_.size();
+  }
+}
+
+std::vector<RateGrant> IoScheduler::PlanAndExecute(const PlanContext& ctx) {
+  bool replan = !has_plan_;
+  if (policy_is_planning_ && has_plan_) {
+    replan = ctx.now >= plan_valid_until_ ||
+             (plan_config_.churn_cycles > 0 &&
+              cycles_in_plan_ >= plan_config_.churn_cycles) ||
+             policy_->PlanInvalidated(ctx);
+  }
+  if (replan) {
+    auto wall_start = std::chrono::steady_clock::now();
+    IoPlan plan = policy_->Plan(ctx);
+    plan_wall_seconds_ += std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - wall_start)
+                              .count();
+    has_plan_ = true;
+    plan_computed_at_ = ctx.now;
+    plan_valid_until_ = plan.valid_until;
+    if (policy_is_planning_ && plan_config_.window_seconds > 0) {
+      plan_valid_until_ = std::min(
+          plan_valid_until_, ctx.now + plan_config_.window_seconds);
+    }
+    ++replans_;
+    cycles_in_plan_ = 0;
+  }
+  PlanCursor cursor{replans_, plan_computed_at_, cycles_in_plan_};
+  ++cycles_in_plan_;
+  return policy_->Execute(ctx, cursor);
+}
+
+void IoScheduler::ArmPlanReview(const PlanContext& ctx) {
+  if (has_review_event_) {
+    simulator_.Cancel(review_event_);
+    has_review_event_ = false;
+  }
+  // The policy folds its own plan expiry into NextPlanEvent while it has
+  // standing traffic and returns infinity when idle — an unconditional
+  // expiry wakeup would keep the event queue non-empty forever and the
+  // simulation would never drain.
+  sim::SimTime next = policy_->NextPlanEvent(ctx);
+  if (!std::isfinite(next)) return;
+  sim::SimTime wake = std::max(next, ctx.now + 1e-4);
+  review_event_ = simulator_.ScheduleAt(wake, PlanReviewAction());
+  has_review_event_ = true;
+  review_event_time_ = wake;
+}
+
+std::function<void()> IoScheduler::PlanReviewAction() {
+  return [this] {
+    has_review_event_ = false;
+    Reschedule(simulator_.Now());
+  };
+}
+
+std::string PlanConfig::Validate() const {
+  if (window_seconds <= 0) return "window_seconds must be > 0";
+  if (slice_seconds <= 0) return "slice_seconds must be > 0";
+  return "";
+}
+
+void IoScheduler::ConfigurePlanning(const PlanConfig& config) {
+  std::string err = config.Validate();
+  if (!err.empty()) {
+    throw std::invalid_argument("IoScheduler::ConfigurePlanning: " + err);
+  }
+  plan_config_ = config;
 }
 
 std::function<void()> IoScheduler::AbsorbedAction(workload::JobId id,
@@ -595,7 +685,7 @@ IoPrediction IoScheduler::PredictFor(const workload::Job& job) const {
 }
 
 void IoScheduler::BuildPredictionState(sim::SimTime now) {
-  PredictionState& ps = prediction_scratch_;
+  PredictionState& ps = cycle_inputs_.prediction;
   ps.enabled = true;
   ps.horizon_seconds = prediction_config_.horizon_seconds;
   ps.upcoming.clear();
@@ -852,6 +942,25 @@ void IoScheduler::SaveState(ckpt::Writer& w) const {
     w.U64(flush_deferrals_);
     w.U64(forced_flush_releases_);
   }
+  // Two-phase plan state (appended, gated on the policy actually planning,
+  // so checkpoint streams from greedy-policy runs only gain the gate byte).
+  // A planning policy's standing plan — cadence bookkeeping, the review
+  // event, and the policy's own cross-cycle state — must survive a resume
+  // bit-exactly or the resumed run diverges from the uninterrupted one.
+  w.Bool(policy_is_planning_);
+  if (policy_is_planning_) {
+    w.Bool(has_plan_);
+    w.F64(plan_computed_at_);
+    w.F64(plan_valid_until_);
+    w.U64(replans_);
+    w.U64(cycles_in_plan_);
+    w.Bool(has_review_event_);
+    if (has_review_event_) {
+      w.U64(review_event_);
+      w.F64(review_event_time_);
+    }
+    policy_->SaveState(w);
+  }
 }
 
 void IoScheduler::RestoreState(
@@ -977,6 +1086,26 @@ void IoScheduler::RestoreState(
     }
     flush_deferrals_ = r.U64();
     forced_flush_releases_ = r.U64();
+  }
+  if (r.Bool()) {
+    if (!policy_is_planning_) {
+      throw std::runtime_error(
+          "IoScheduler::RestoreState: checkpoint carries plan state but the "
+          "configured policy is not a planning policy");
+    }
+    has_plan_ = r.Bool();
+    plan_computed_at_ = r.F64();
+    plan_valid_until_ = r.F64();
+    replans_ = r.U64();
+    cycles_in_plan_ = r.U64();
+    has_review_event_ = r.Bool();
+    if (has_review_event_) {
+      review_event_ = r.U64();
+      review_event_time_ = r.F64();
+      simulator_.RestoreEvent(review_event_time_, review_event_,
+                              PlanReviewAction());
+    }
+    policy_->RestoreState(r);
   }
   // User slots are runtime-only (not serialized); relink every restored
   // transfer to its owner's JobStore slot. The engine restores the storage

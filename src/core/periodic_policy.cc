@@ -1,0 +1,128 @@
+#include "core/periodic_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ckpt/serializer.h"
+#include "util/units.h"
+
+namespace iosched::core {
+
+const std::string& PeriodicPolicy::name() const {
+  static const std::string kName = "PERIODIC";
+  return kName;
+}
+
+IoPlan PeriodicPolicy::Plan(const PlanContext& ctx) {
+  slice_seconds_ = ctx.slice_seconds > 0.0 ? ctx.slice_seconds
+                                           : kDefaultSliceSeconds;
+  double window = ctx.window_seconds > 0.0 ? ctx.window_seconds
+                                           : kDefaultWindowSeconds;
+  anchor_ = ctx.now;
+  valid_until_ = ctx.now + window;
+
+  rotation_.clear();
+  rotation_.reserve(ctx.active.size());
+  for (const IoJobView& v : ctx.active) {
+    rotation_.push_back(v.id);
+  }
+  members_ = rotation_;
+  std::sort(members_.begin(), members_.end());
+
+  IoPlan plan;
+  plan.valid_until = valid_until_;
+  plan.planned_items = rotation_.size();
+  return plan;
+}
+
+workload::JobId PeriodicPolicy::SliceOwner(sim::SimTime now) const {
+  if (rotation_.empty()) return 0;
+  double offset = now - anchor_;
+  if (offset < 0.0) offset = 0.0;
+  auto slice = static_cast<std::uint64_t>(offset / slice_seconds_);
+  return rotation_[slice % rotation_.size()];
+}
+
+std::vector<RateGrant> PeriodicPolicy::Execute(const PlanContext& ctx,
+                                               const PlanCursor& cursor) {
+  (void)cursor;
+  std::vector<RateGrant> grants(ctx.active.size());
+  for (std::size_t i = 0; i < ctx.active.size(); ++i) {
+    grants[i] = {ctx.active[i].id, 0.0};
+  }
+  if (ctx.active.empty()) return grants;
+
+  double budget = ctx.max_bandwidth_gbps;
+
+  // The slice owner drinks first: O(1) pattern lookup, then one pass over
+  // the views to locate its grant slot.
+  workload::JobId owner = SliceOwner(ctx.now);
+  if (owner != 0) {
+    for (std::size_t i = 0; i < ctx.active.size(); ++i) {
+      if (ctx.active[i].id != owner) continue;
+      double r = std::min(ctx.active[i].full_rate_gbps, budget);
+      grants[i].rate_gbps = r;
+      budget -= r;
+      break;
+    }
+  }
+
+  // Residual channel: FCFS water-fill over the remaining transfers so the
+  // PFS never idles inside a slice its owner cannot fill.
+  for (std::size_t i = 0; i < ctx.active.size(); ++i) {
+    if (budget <= util::kVolumeEpsilon) break;
+    if (ctx.active[i].id == owner) continue;
+    double r = std::min(ctx.active[i].full_rate_gbps, budget);
+    grants[i].rate_gbps = r;
+    budget -= r;
+  }
+  return grants;
+}
+
+bool PeriodicPolicy::PlanInvalidated(const PlanContext& ctx) const {
+  // The pattern is recomputed whenever the application mix changes: any
+  // arrival or departure relative to the planned rotation invalidates it.
+  if (ctx.active.size() != members_.size()) return true;
+  for (const IoJobView& v : ctx.active) {
+    if (!std::binary_search(members_.begin(), members_.end(), v.id)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+sim::SimTime PeriodicPolicy::NextPlanEvent(const PlanContext& ctx) const {
+  // No standing traffic: no wakeup, or an idle simulation would never
+  // drain its event queue.
+  if (ctx.active.empty() || rotation_.empty()) return sim::kTimeInfinity;
+  double offset = ctx.now - anchor_;
+  if (offset < 0.0) offset = 0.0;
+  auto slice = static_cast<std::uint64_t>(offset / slice_seconds_);
+  sim::SimTime boundary =
+      anchor_ + static_cast<double>(slice + 1) * slice_seconds_;
+  return std::min(boundary, valid_until_);
+}
+
+void PeriodicPolicy::SaveState(ckpt::Writer& w) const {
+  w.F64(anchor_);
+  w.F64(slice_seconds_);
+  w.F64(valid_until_);
+  w.U64(rotation_.size());
+  for (workload::JobId id : rotation_) {
+    w.I64(id);
+  }
+}
+
+void PeriodicPolicy::RestoreState(ckpt::Reader& r) {
+  anchor_ = r.F64();
+  slice_seconds_ = r.F64();
+  valid_until_ = r.F64();
+  rotation_.resize(r.U64());
+  for (workload::JobId& id : rotation_) {
+    id = r.I64();
+  }
+  members_ = rotation_;
+  std::sort(members_.begin(), members_.end());
+}
+
+}  // namespace iosched::core

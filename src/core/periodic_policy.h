@@ -1,0 +1,64 @@
+// PERIODIC policy — periodic I/O scheduling after Aupy, Gainaru & Le Fèvre,
+// "Periodic I/O scheduling for super-computers" (the planning family's
+// pattern-based member; see DESIGN.md §13).
+//
+// Plan computes a repeating per-job I/O pattern over the configured window:
+// the active applications, in arrival order, each own one slice of
+// `slice_seconds` in a round-robin rotation anchored at plan time. Execute
+// is O(1) in the pattern — the slice owner at `now` is pure modular
+// arithmetic off the anchor — and work-conserving: the owner is granted
+// first (up to its full rate), then the residual channel is water-filled
+// FCFS across the other transfers, so an application that cannot use its
+// slice never idles the PFS.
+//
+// Replan triggers: the plan expires after `window_seconds`, and any change
+// in the active-application set invalidates it immediately (the paper
+// recomputes the pattern when the application mix changes). Between
+// replans the framework wakes the scheduler at slice boundaries
+// (NextPlanEvent), so ownership rotates even while no request arrives or
+// completes.
+//
+// The pattern (anchor, slice, rotation) is cross-cycle state and is
+// checkpointed; a resumed run continues the same rotation bit-exactly.
+#pragma once
+
+#include "core/io_policy.h"
+
+namespace iosched::core {
+
+class PeriodicPolicy final : public IoPolicy {
+ public:
+  const std::string& name() const override;
+
+  IoPlan Plan(const PlanContext& ctx) override;
+  std::vector<RateGrant> Execute(const PlanContext& ctx,
+                                 const PlanCursor& cursor) override;
+  bool PlanInvalidated(const PlanContext& ctx) const override;
+  sim::SimTime NextPlanEvent(const PlanContext& ctx) const override;
+  bool WantsPlanning() const override { return true; }
+
+  void SaveState(ckpt::Writer& w) const override;
+  void RestoreState(ckpt::Reader& r) override;
+
+  /// Slice owner at `now` under the standing pattern, or 0 when the
+  /// rotation is empty (exposed for tests).
+  workload::JobId SliceOwner(sim::SimTime now) const;
+  /// Rotation size (exposed for tests).
+  std::size_t rotation_size() const { return rotation_.size(); }
+
+  /// Fallback pattern geometry when the configured values are unusable.
+  static constexpr double kDefaultWindowSeconds = 600.0;
+  static constexpr double kDefaultSliceSeconds = 30.0;
+
+ private:
+  /// Pattern anchor: slice k covers [anchor + k*slice, anchor + (k+1)*slice).
+  sim::SimTime anchor_ = 0.0;
+  double slice_seconds_ = kDefaultSliceSeconds;
+  sim::SimTime valid_until_ = 0.0;
+  /// Slice owners in arrival order at plan time.
+  std::vector<workload::JobId> rotation_;
+  /// Sorted copy of rotation_ for the O(log k) membership probe.
+  std::vector<workload::JobId> members_;
+};
+
+}  // namespace iosched::core

@@ -1,0 +1,82 @@
+// PLAN_BF policy — plan-based scheduling with shared burst-buffer
+// reservations after Kopanski & Rzadca, "Plan-Based Job Scheduling for
+// Supercomputers with Shared Burst Buffers" (the planning family's
+// reservation-based member; see DESIGN.md §13).
+//
+// Plan builds a reservation table over the coming window from the cycle
+// inputs: one infrastructure reservation (job 0) covering the burst-buffer
+// drain backlog, then one reservation per predicted imminent burst in ETA
+// order — each promising a starvation floor of PFS bandwidth over the
+// burst's expected interval (capped at the burst's fair share of the
+// channel, so promise-keeping cannot distort the allocation) and absorb
+// capacity in the buffer at its start. Promised rates are capped so the
+// table can never oversubscribe BWmax, and absorb promises never exceed
+// the capacity left above the current drain queue; the InvariantChecker
+// audits exactly these properties through Reservations().
+//
+// Execute honors the table: transfers holding an active reservation drink
+// their reserved rate first (their floor was promised), then the residual
+// budget is max-min water-filled across the remaining demand, with the
+// usual solo-saturating starvation guard.
+//
+// The policy also extends EASY backfill: AdmitBackfill rejects a backfill
+// candidate whose largest I/O burst would not fit the buffer's projected
+// free capacity net of the absorb promises still pending — such a job would
+// spill to the direct PFS path mid-run, stretch past its walltime estimate,
+// and push out the very reservation backfilling must protect. A pending
+// promise is discounted by what the drain clears while its burst absorbs
+// (occupancy added by a burst is volume - drain*duration, not the full
+// volume); without the discount every oracle-predicted burst would pin its
+// whole volume for the window and the veto would reject essentially all
+// backfill whenever prediction is good, which inverts the feature.
+//
+// The table and window are cross-cycle state and are checkpointed; a
+// resumed run honors the same promises bit-exactly.
+#pragma once
+
+#include "core/io_policy.h"
+
+namespace iosched::core {
+
+class PlanBfPolicy final : public IoPolicy {
+ public:
+  const std::string& name() const override;
+
+  IoPlan Plan(const PlanContext& ctx) override;
+  std::vector<RateGrant> Execute(const PlanContext& ctx,
+                                 const PlanCursor& cursor) override;
+  sim::SimTime NextPlanEvent(const PlanContext& ctx) const override;
+  bool WantsPlanning() const override { return true; }
+  std::span<const PlanReservation> Reservations() const override {
+    return reservations_;
+  }
+  bool AdmitBackfill(const workload::Job& job, sim::SimTime now,
+                     double projected_free_bb_gb) const override;
+
+  void SaveState(ckpt::Writer& w) const override;
+  void RestoreState(ckpt::Reader& r) override;
+
+  /// Summed gross absorb promises currently on the table (exposed for
+  /// tests; AdmitBackfill uses the net-of-drain PendingAbsorbGb instead).
+  double CommittedAbsorbGb() const;
+
+  /// Absorb promises still outstanding at `now`, each discounted by what
+  /// the drain clears over its burst's own interval (exposed for tests).
+  double PendingAbsorbGb(sim::SimTime now) const;
+
+  /// Fallback window when the configured value is unusable.
+  static constexpr double kDefaultWindowSeconds = 600.0;
+
+ private:
+  std::vector<PlanReservation> reservations_;
+  sim::SimTime valid_until_ = 0.0;
+  /// Drain rate observed when the table was built; prices the net
+  /// occupancy of pending promises in AdmitBackfill. Checkpointed with
+  /// the table so a resumed run prices them identically.
+  double plan_drain_gbps_ = 0.0;
+  /// Buffer capacity observed when the table was built; bursts larger
+  /// than this bypass the veto (they spill whenever the job runs).
+  double plan_bb_capacity_gb_ = 0.0;
+};
+
+}  // namespace iosched::core

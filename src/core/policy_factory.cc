@@ -5,6 +5,8 @@
 #include "core/adaptive_policy.h"
 #include "core/baseline_policy.h"
 #include "core/conservative_policy.h"
+#include "core/periodic_policy.h"
+#include "core/plan_bf_policy.h"
 #include "core/predictive_policy.h"
 #include "util/strings.h"
 
@@ -17,7 +19,26 @@ const std::vector<std::string>& AllPolicyNames() {
   return kNames;
 }
 
-std::unique_ptr<IoPolicy> MakePolicy(const std::string& name) {
+const std::vector<std::string>& PlanningPolicyNames() {
+  static const std::vector<std::string> kNames = {"PERIODIC", "PLAN_BF"};
+  return kNames;
+}
+
+std::string PolicyNamesHelp() {
+  std::string help;
+  for (const std::string& name : AllPolicyNames()) {
+    if (!help.empty()) help += "|";
+    help += name;
+  }
+  for (const std::string& name : PlanningPolicyNames()) {
+    help += "|";
+    help += name;
+  }
+  return help;
+}
+
+namespace {
+std::unique_ptr<IoPolicy> TryMakePolicy(const std::string& name) {
   std::string n = util::ToLower(name);
   if (n == "base_line" || n == "baseline") {
     return std::make_unique<BaselinePolicy>();
@@ -55,7 +76,32 @@ std::unique_ptr<IoPolicy> MakePolicy(const std::string& name) {
   if (n == "wsjf" || n == "smith") {
     return std::make_unique<ConservativePolicy>(ConservativeOrder::kSmithRule);
   }
-  throw std::invalid_argument("MakePolicy: unknown policy '" + name + "'");
+  if (n == "periodic") {
+    return std::make_unique<PeriodicPolicy>();
+  }
+  if (n == "plan_bf" || n == "plan-bf" || n == "planbf") {
+    return std::make_unique<PlanBfPolicy>();
+  }
+  return nullptr;
+}
+}  // namespace
+
+bool KnownPolicyName(const std::string& name) {
+  return TryMakePolicy(name) != nullptr;
+}
+
+bool IsPlanningPolicyName(const std::string& name) {
+  std::unique_ptr<IoPolicy> policy = TryMakePolicy(name);
+  return policy != nullptr && policy->WantsPlanning();
+}
+
+std::unique_ptr<IoPolicy> MakePolicy(const std::string& name) {
+  std::unique_ptr<IoPolicy> policy = TryMakePolicy(name);
+  if (policy == nullptr) {
+    throw std::invalid_argument("MakePolicy: unknown policy '" + name +
+                                "' (valid: " + PolicyNamesHelp() + ")");
+  }
+  return policy;
 }
 
 }  // namespace iosched::core

@@ -13,14 +13,15 @@ const std::string& PredictivePolicy::name() const {
 
 double PredictivePolicy::ReservedHeadroomGbps(
     double max_bandwidth_gbps) const {
-  if (!prediction_.enabled || prediction_.imminent_volume_gb <= 0.0) {
+  const PredictionState& p = prediction();
+  if (!p.enabled || p.imminent_volume_gb <= 0.0) {
     return 0.0;
   }
   // Spread the predicted imminent volume over the horizon: reserving this
   // rate lets the forecast bursts drain within roughly one horizon once
   // they arrive, without handing them more than half the channel.
-  double horizon = std::max(prediction_.horizon_seconds, 1.0);
-  return std::min(prediction_.imminent_volume_gb / horizon,
+  double horizon = std::max(p.horizon_seconds, 1.0);
+  return std::min(p.imminent_volume_gb / horizon,
                   kMaxHeadroomFraction * max_bandwidth_gbps);
 }
 

@@ -21,30 +21,23 @@
 
 namespace iosched::core {
 
-class PredictivePolicy final : public IoPolicy {
+class PredictivePolicy final : public GreedyAdapter {
  public:
   const std::string& name() const override;
   std::vector<RateGrant> Assign(std::span<const IoJobView> active,
                                 double max_bandwidth_gbps,
                                 sim::SimTime now) override;
 
-  /// Refreshed every cycle (before Assign) while prediction is enabled;
-  /// defaults to "no prediction" so the policy degrades to Cons-FCFS. Not
-  /// checkpointed: the scheduler re-delivers it each cycle before use.
-  void ObservePrediction(const PredictionState& prediction) override {
-    prediction_ = prediction;
-  }
-
   /// Ceiling on the reserved headroom, as a fraction of BWmax.
   static constexpr double kMaxHeadroomFraction = 0.5;
 
   /// The headroom (GB/s) the policy would reserve out of `max_bandwidth_gbps`
-  /// given the current prediction snapshot (exposed for tests): predicted
-  /// imminent volume spread over the horizon, capped at the ceiling.
+  /// given the current prediction snapshot — GreedyAdapter::prediction(),
+  /// refreshed by the framework each cycle while prediction is enabled and
+  /// all-default ("no prediction" = Cons-FCFS) otherwise. Exposed for
+  /// tests: predicted imminent volume spread over the horizon, capped at
+  /// the ceiling.
   double ReservedHeadroomGbps(double max_bandwidth_gbps) const;
-
- private:
-  PredictionState prediction_;
 };
 
 }  // namespace iosched::core

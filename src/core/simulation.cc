@@ -124,6 +124,20 @@ class Engine {
     io_scheduler_.SetRetryConfig(config.transfer_retry);
     io_scheduler_.ConfigurePrediction(config.prediction);
     io_scheduler_.ConfigureFlushScheduling(config.app_checkpoint);
+    io_scheduler_.ConfigurePlanning(config.plan);
+    if (io_scheduler_.policy().WantsPlanning()) {
+      // Reservation-aware backfill (PLAN_BF): after the geometric EASY
+      // probe passes, the planning policy may veto a candidate whose bursts
+      // would not fit the buffer's projected free capacity at shadow time,
+      // net of the absorb promises already on its table.
+      batch_.SetBackfillAdmission(
+          [this](const workload::Job& job, sim::SimTime now,
+                 sim::SimTime shadow) {
+            double projected =
+                backend_->ProjectedFreeCapacityGb(now, shadow);
+            return io_scheduler_.policy().AdmitBackfill(job, now, projected);
+          });
+    }
     if (config_.track_bandwidth) {
       io_scheduler_.SetBandwidthTracker(&bandwidth_tracker_);
     }
@@ -277,6 +291,8 @@ class Engine {
     result.events_processed = simulator_.processed_events();
     result.io_scheduling_cycles = io_scheduler_.cycles();
     result.policy_name = io_scheduler_.policy().name();
+    result.plan_replans = io_scheduler_.replans();
+    result.plan_wall_seconds = io_scheduler_.plan_wall_seconds();
     result.checkpoints_written = checkpoints_written_;
     result.resumed_from = resumed_from_;
     return result;
@@ -1298,23 +1314,16 @@ std::vector<ConfigIssue> SimulationConfig::Validate() const {
     add("storage.max_bandwidth_gbps", "must be positive");
   }
 
+  // The factory registry is the single source of truth for names (it also
+  // accepts the lowercase aliases the figure list omits).
+  if (!KnownPolicyName(policy)) {
+    add("policy", "unknown policy \"" + policy + "\" (known: " +
+                      PolicyNamesHelp() + ")");
+  }
+
   {
-    // MakePolicy matches case-insensitively; mirror that here.
-    std::string upper = policy;
-    for (char& c : upper) {
-      c = static_cast<char>(
-          std::toupper(static_cast<unsigned char>(c)));
-    }
-    const std::vector<std::string>& names = AllPolicyNames();
-    if (std::find(names.begin(), names.end(), upper) == names.end()) {
-      std::string known;
-      for (const std::string& name : names) {
-        if (!known.empty()) known += ", ";
-        known += name;
-      }
-      add("policy", "unknown policy \"" + policy + "\" (known: " + known +
-                        ")");
-    }
+    std::string err = plan.Validate();
+    if (!err.empty()) add("plan", std::move(err));
   }
 
   if (warmup_fraction < 0 || warmup_fraction >= 1) {
@@ -1523,6 +1532,15 @@ std::uint64_t SimulationConfigHash(const SimulationConfig& config,
   // check_invariants is deliberately excluded: the checker is read-only.
   // Policy + engine switches that shape the schedule.
   h = MixStr(h, config.policy);
+  // Replan cadence: shapes the schedule (and checkpoint plan section) only
+  // under a planning policy. Mixing it conditionally keeps every greedy
+  // config hash identical to pre-planning builds, so their checkpoints stay
+  // mutually resumable.
+  if (IsPlanningPolicyName(config.policy)) {
+    h = FnvMix(h, config.plan.window_seconds);
+    h = FnvMix(h, config.plan.slice_seconds);
+    h = FnvMix(h, config.plan.churn_cycles);
+  }
   h = FnvMix(h, static_cast<std::uint64_t>(config.track_bandwidth));
   h = FnvMix(h, static_cast<std::uint64_t>(config.enforce_walltime));
   // Burst buffer. The congestion watermark is deliberately excluded: it

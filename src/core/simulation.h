@@ -132,6 +132,11 @@ struct SimulationConfig {
   /// value of prediction from above/below. Consumed by the PREDICTIVE and
   /// PREDICTIVE_ADAPTIVE policies; other policies ignore the snapshots.
   PredictionConfig prediction;
+  /// Replan cadence for planning policies (PERIODIC, PLAN_BF): window
+  /// length, pattern slice length, optional churn-cycle trigger. Ignored by
+  /// the greedy family, and excluded from the checkpoint config hash for
+  /// greedy policies so their hashes are untouched by the defaults.
+  PlanConfig plan;
   /// Run the from-scratch InvariantChecker alongside the simulation: every
   /// `invariant_check_every_events` events (and once after the queue
   /// drains) all incremental aggregates are recomputed and any mismatch
@@ -224,6 +229,10 @@ class SimulationConfig::Builder {
     config_.prediction = std::move(prediction);
     return *this;
   }
+  Builder& Plan(PlanConfig plan) {
+    config_.plan = plan;
+    return *this;
+  }
   Builder& CheckInvariants(bool on, std::uint64_t every_events = 64) {
     config_.check_invariants = on;
     config_.invariant_check_every_events = every_events;
@@ -288,6 +297,10 @@ struct SimulationResult {
   std::uint64_t events_processed = 0;
   std::uint64_t io_scheduling_cycles = 0;
   std::string policy_name;
+  /// Two-phase planning statistics (1 plan per process for greedy
+  /// policies; the wall-clock cost is host-side measurement only).
+  std::uint64_t plan_replans = 0;
+  double plan_wall_seconds = 0.0;
   /// Checkpoints written during this run (periodic + emergency).
   std::uint64_t checkpoints_written = 0;
   /// Checkpoint file the run resumed from ("" for a fresh run).

@@ -202,8 +202,26 @@ Scenario ScenarioFromConfig(const util::Config& config) {
     ck.resume_latest = config.GetBoolOr("checkpoint.resume_latest", false);
   }
 
-  // Policy & simulation knobs.
+  // Policy & simulation knobs. The name is validated (against the factory
+  // registry, which covers the planning family too) by
+  // SimulationConfig::Validate at run time.
   scenario.config.policy = config.GetStringOr("policy.name", "BASE_LINE");
+
+  // Planning cadence ([plan], used only by PERIODIC / PLAN_BF; greedy
+  // policies ignore it and it stays out of their config hashes).
+  {
+    core::PlanConfig& plan = scenario.config.plan;
+    plan.window_seconds =
+        config.GetDoubleOr("plan.window_seconds", plan.window_seconds);
+    plan.slice_seconds =
+        config.GetDoubleOr("plan.slice_seconds", plan.slice_seconds);
+    long long churn = config.GetIntOr(
+        "plan.churn_cycles", static_cast<long long>(plan.churn_cycles));
+    if (churn < 0) {
+      throw std::runtime_error("config: 'plan.churn_cycles' must be >= 0");
+    }
+    plan.churn_cycles = static_cast<std::uint64_t>(churn);
+  }
   scenario.config.enforce_walltime =
       config.GetBoolOr("simulation.enforce_walltime", false);
   scenario.config.warmup_fraction =

@@ -16,7 +16,12 @@
 //   easy_backfill = <bool>           (true)
 //
 //   [policy]
-//   name = BASE_LINE | ... | ADAPTIVE (BASE_LINE)
+//   name = BASE_LINE | ... | ADAPTIVE | PERIODIC | PLAN_BF (BASE_LINE)
+//
+//   [plan]                             # planning policies only
+//   window_seconds = <double>        (600)   # replan horizon
+//   slice_seconds = <double>         (30)    # PERIODIC pattern slice
+//   churn_cycles = <int>             (0 = off) # replan after N cycles
 //
 //   [burst_buffer]
 //   capacity_gb = <double>           (0 = disabled)

@@ -44,28 +44,6 @@ PolicyRun RunSingle(const Scenario& scenario, const std::string& policy) {
   return run;
 }
 
-std::vector<PolicyRun> RunPolicySweep(const Scenario& scenario,
-                                      std::span<const std::string> policies,
-                                      util::ThreadPool* pool) {
-  SweepSpec spec;
-  spec.scenario = &scenario;
-  spec.policies.assign(policies.begin(), policies.end());
-  spec.pool = pool;
-  return RunSweep(spec).runs;
-}
-
-std::vector<PolicyRun> RunExpansionSweep(
-    const Scenario& scenario, std::span<const double> expansion_factors,
-    std::span<const std::string> policies, util::ThreadPool* pool) {
-  SweepSpec spec;
-  spec.scenario = &scenario;
-  spec.policies.assign(policies.begin(), policies.end());
-  spec.expansion_factors.assign(expansion_factors.begin(),
-                                expansion_factors.end());
-  spec.pool = pool;
-  return RunSweep(spec).runs;
-}
-
 namespace {
 util::Table MetricTable(std::span<const PolicyRun> runs, const char* header,
                         double (*metric)(const metrics::Report&)) {

@@ -41,22 +41,6 @@ struct PolicyRun {
 /// through; it honors the scenario's obs settings with a run-private Hub.
 PolicyRun RunSingle(const Scenario& scenario, const std::string& policy);
 
-/// DEPRECATED: thin wrapper over driver::RunSweep (see driver/sweep.h),
-/// kept for source compatibility. Run one scenario under each policy. When
-/// `pool` is non-null the runs execute concurrently (each simulation stays
-/// single-threaded and deterministic). Results follow `policies` order.
-std::vector<PolicyRun> RunPolicySweep(const Scenario& scenario,
-                                      std::span<const std::string> policies,
-                                      util::ThreadPool* pool = nullptr);
-
-/// DEPRECATED: thin wrapper over driver::RunSweep (see driver/sweep.h),
-/// kept for source compatibility. Expansion-factor sweep (paper Fig. 11):
-/// run `scenario` at each EF under each policy. Result is row-major:
-/// result[f * policies.size() + p].
-std::vector<PolicyRun> RunExpansionSweep(
-    const Scenario& scenario, std::span<const double> expansion_factors,
-    std::span<const std::string> policies, util::ThreadPool* pool = nullptr);
-
 /// Fig. 8-style table: average wait time (minutes) per policy, with the
 /// change vs the first row's policy (BASE_LINE in the paper).
 util::Table WaitTimeTable(std::span<const PolicyRun> runs);

@@ -252,14 +252,4 @@ CellOutcome ResumableRunner::Run(const SweepCell& cell) {
   return outcome;
 }
 
-std::vector<PolicyRun> RunResumablePolicySweep(
-    const Scenario& scenario, std::span<const std::string> policies,
-    const ResumableRunner::Options& options) {
-  SweepSpec spec;
-  spec.scenario = &scenario;
-  spec.policies.assign(policies.begin(), policies.end());
-  spec.resumable = options;
-  return RunSweep(spec).runs;
-}
-
 }  // namespace iosched::driver

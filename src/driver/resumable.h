@@ -109,14 +109,4 @@ class ResumableRunner {
   Options options_;
 };
 
-/// DEPRECATED: thin wrapper over driver::RunSweep (see driver/sweep.h),
-/// kept for source compatibility. The resumable equivalent of
-/// RunPolicySweep: cells are named "<scenario>/<policy>" and executed
-/// sequentially (each cell is watchdog-protected and checkpointed per
-/// `options`). Results follow `policies` order; reused cells carry
-/// wall_seconds == 0.
-std::vector<PolicyRun> RunResumablePolicySweep(
-    const Scenario& scenario, std::span<const std::string> policies,
-    const ResumableRunner::Options& options);
-
 }  // namespace iosched::driver

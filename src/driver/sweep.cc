@@ -22,17 +22,6 @@ std::string BbLabel(double capacity_gb) {
   return buf;
 }
 
-bool KnownPolicy(const std::string& name) {
-  std::string upper = name;
-  for (char& c : upper) {
-    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
-  }
-  for (const std::string& known : core::AllPolicyNames()) {
-    if (known == upper) return true;
-  }
-  return false;
-}
-
 }  // namespace
 
 std::vector<core::ConfigIssue> SweepSpec::Validate() const {
@@ -43,8 +32,9 @@ std::vector<core::ConfigIssue> SweepSpec::Validate() const {
   if (scenario == nullptr) add("scenario", "must be set");
   if (policies.empty()) add("policies", "must name at least one policy");
   for (const std::string& policy : policies) {
-    if (!KnownPolicy(policy)) {
-      add("policies", "unknown policy \"" + policy + "\"");
+    if (!core::KnownPolicyName(policy)) {
+      add("policies", "unknown policy \"" + policy + "\" (known: " +
+                          core::PolicyNamesHelp() + ")");
     }
   }
   for (double factor : expansion_factors) {

@@ -1,9 +1,8 @@
-// Unified sweep API: one declarative SweepSpec covers everything the older
-// entrypoints (RunPolicySweep, RunExpansionSweep, RunResumablePolicySweep)
-// did separately, plus the burst-buffer capacity axis — policies ×
+// Unified sweep API: one declarative SweepSpec covers policies ×
 // expansion factors × BB capacities, optionally parallel and optionally
-// crash-safe. The older functions survive as thin wrappers and should not
-// gain new callers.
+// crash-safe. This is the only sweep entrypoint — the former
+// RunPolicySweep / RunExpansionSweep / RunResumablePolicySweep wrappers
+// have been removed; build a SweepSpec instead.
 //
 //   driver::SweepSpec spec;
 //   spec.scenario = &scenario;
@@ -38,7 +37,7 @@ struct SweepSpec {
   std::vector<std::string> policies;
   /// Expansion-factor axis (paper Fig. 11). Empty = run the scenario's own
   /// workload; non-empty = each factor gets a "<name>/EF=<f>%" variant
-  /// (including 1.0, which is renamed too, matching RunExpansionSweep).
+  /// (including 1.0, which is renamed too).
   std::vector<double> expansion_factors;
   /// Burst-buffer capacity axis (GB). Empty = keep the scenario's own
   /// burst-buffer config; non-empty = each entry gets a "<name>/BB=..."

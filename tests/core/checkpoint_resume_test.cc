@@ -161,7 +161,15 @@ INSTANTIATE_TEST_SUITE_P(
                     Case{"PREDICTIVE", false, false, false, "learned"},
                     Case{"PREDICTIVE_ADAPTIVE", true, true, false, "learned"},
                     Case{"PREDICTIVE_ADAPTIVE", false, false, false,
-                         "oracle"}),
+                         "oracle"},
+                    // Planning family: the every-60-events cadence lands
+                    // snapshots mid-window, so rotations, anchors, and
+                    // reservation tables must survive the round trip
+                    // bit-exactly.
+                    Case{"PERIODIC", false}, Case{"PERIODIC", true, true},
+                    Case{"PLAN_BF", false},
+                    Case{"PLAN_BF", false, true, false, "oracle"},
+                    Case{"PLAN_BF", true, true, false, "oracle"}),
     CaseName);
 
 TEST(CheckpointResume, MismatchedConfigIsRejected) {
@@ -210,6 +218,20 @@ TEST(CheckpointResume, ReportOnlyKnobsDoNotChangeTheHash) {
   oracle.prediction.mode = "oracle";
   EXPECT_NE(core::SimulationConfigHash(oracle, jobs),
             core::SimulationConfigHash(predicted, jobs));
+
+  // Plan cadence only shapes planning policies: for the greedy family the
+  // [plan] knobs are report-inert and must not move the hash, while for a
+  // planner they pin the schedule.
+  core::SimulationConfig greedy_plan = config;
+  greedy_plan.plan.window_seconds = 120.0;
+  greedy_plan.plan.churn_cycles = 7;
+  EXPECT_EQ(core::SimulationConfigHash(greedy_plan, jobs), base);
+  core::SimulationConfig planner = config;
+  planner.policy = "PERIODIC";
+  core::SimulationConfig planner_tweaked = planner;
+  planner_tweaked.plan.window_seconds = 120.0;
+  EXPECT_NE(core::SimulationConfigHash(planner_tweaked, jobs),
+            core::SimulationConfigHash(planner, jobs));
 }
 
 TEST(CheckpointResume, ResumeLatestStartsFreshWhenDirectoryIsEmpty) {

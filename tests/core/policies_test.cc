@@ -441,7 +441,15 @@ TEST_P(PolicyPropertySweep, GrantsAlwaysFeasible) {
       v.transferred_gb = (x % 3 == 0) ? volume * 0.25 : 0.0;
       active.push_back(v);
     }
-    auto grants = policy->Assign(active, kBwMax, 100.0);
+    // Drive through the two-phase API, as the framework does.
+    CycleInputs inputs;
+    PlanContext ctx;
+    ctx.active = active;
+    ctx.inputs = &inputs;
+    ctx.max_bandwidth_gbps = kBwMax;
+    ctx.now = 100.0;
+    policy->Plan(ctx);
+    auto grants = policy->Execute(ctx, PlanCursor{seed, 100.0, 0});
     EXPECT_NO_THROW(ValidateGrants(active, grants));
     EXPECT_LE(TotalRate(grants), kBwMax + 1e-6);
     // At least one job must make progress (no deadlock).

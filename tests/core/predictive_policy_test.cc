@@ -38,6 +38,15 @@ std::vector<double> Rates(const std::vector<core::RateGrant>& grants) {
   return out;
 }
 
+// Latch a CycleInputs into the policy the way the framework does: Plan
+// pins the pointer, after which the accessors read the live snapshot.
+// `inputs` must outlive the policy's use of it.
+void Deliver(core::GreedyAdapter& policy, const core::CycleInputs& inputs) {
+  core::PlanContext ctx;
+  ctx.inputs = &inputs;
+  policy.Plan(ctx);
+}
+
 TEST(PredictivePolicy, FactoryBuildsBothPolicies) {
   EXPECT_EQ(core::MakePolicy("PREDICTIVE")->name(), "PREDICTIVE");
   EXPECT_EQ(core::MakePolicy("predictive_adaptive")->name(),
@@ -61,10 +70,10 @@ TEST(PredictivePolicy, NoSignalMatchesConsFcfsGrants) {
   EXPECT_EQ(Rates(fresh.Assign(active, 100.0, 10.0)), expected);
 
   core::PredictivePolicy no_signal;
-  core::PredictionState empty;
-  empty.enabled = true;
-  empty.horizon_seconds = 300.0;
-  no_signal.ObservePrediction(empty);
+  core::CycleInputs inputs;
+  inputs.prediction.enabled = true;
+  inputs.prediction.horizon_seconds = 300.0;
+  Deliver(no_signal, inputs);
   EXPECT_EQ(Rates(no_signal.Assign(active, 100.0, 10.0)), expected);
 }
 
@@ -72,21 +81,20 @@ TEST(PredictivePolicy, ReservedHeadroomSpreadsImminentVolumeOverHorizon) {
   core::PredictivePolicy policy;
   EXPECT_EQ(policy.ReservedHeadroomGbps(100.0), 0.0);  // nothing observed
 
-  core::PredictionState ps;
+  core::CycleInputs inputs;
+  core::PredictionState& ps = inputs.prediction;
   ps.enabled = true;
   ps.horizon_seconds = 300.0;
   ps.imminent_volume_gb = 3000.0;
-  policy.ObservePrediction(ps);
+  Deliver(policy, inputs);
   EXPECT_DOUBLE_EQ(policy.ReservedHeadroomGbps(100.0), 10.0);
 
   ps.imminent_volume_gb = 1e9;  // capped at half the channel
-  policy.ObservePrediction(ps);
   EXPECT_DOUBLE_EQ(
       policy.ReservedHeadroomGbps(100.0),
       core::PredictivePolicy::kMaxHeadroomFraction * 100.0);
 
   ps.enabled = false;  // disabled snapshot reserves nothing
-  policy.ObservePrediction(ps);
   EXPECT_EQ(policy.ReservedHeadroomGbps(100.0), 0.0);
 }
 
@@ -102,11 +110,11 @@ TEST(PredictivePolicy, ReservationDefersDiscretionaryAdmission) {
   std::vector<double> unreserved = Rates(policy.Assign(active, 100.0, 10.0));
   EXPECT_EQ(unreserved, (std::vector<double>{60.0, 30.0}));
 
-  core::PredictionState ps;
-  ps.enabled = true;
-  ps.horizon_seconds = 300.0;
-  ps.imminent_volume_gb = 6000.0;
-  policy.ObservePrediction(ps);
+  core::CycleInputs inputs;
+  inputs.prediction.enabled = true;
+  inputs.prediction.horizon_seconds = 300.0;
+  inputs.prediction.imminent_volume_gb = 6000.0;
+  Deliver(policy, inputs);
   std::vector<double> reserved = Rates(policy.Assign(active, 100.0, 10.0));
   EXPECT_EQ(reserved, (std::vector<double>{60.0, 0.0}));
 }
@@ -117,11 +125,11 @@ TEST(PredictivePolicy, StarvationGuardIsReservationProof) {
   // admitted against the full channel.
   std::vector<core::IoJobView> active = {MakeView(1, 0.0, 90.0, 900.0)};
   core::PredictivePolicy policy;
-  core::PredictionState ps;
-  ps.enabled = true;
-  ps.horizon_seconds = 300.0;
-  ps.imminent_volume_gb = 1e9;
-  policy.ObservePrediction(ps);
+  core::CycleInputs inputs;
+  inputs.prediction.enabled = true;
+  inputs.prediction.horizon_seconds = 300.0;
+  inputs.prediction.imminent_volume_gb = 1e9;
+  Deliver(policy, inputs);
   std::vector<double> grants = Rates(policy.Assign(active, 100.0, 10.0));
   EXPECT_EQ(grants, (std::vector<double>{90.0}));
 }
@@ -144,16 +152,16 @@ TEST(PredictiveAdaptivePolicy, StormDeferralBlocksOveradmission) {
 
   // ...and defers the over-admission when a storm rivaling the channel is
   // forecast within the horizon.
-  core::PredictionState storm;
-  storm.enabled = true;
-  storm.horizon_seconds = 300.0;
-  storm.imminent_rate_gbps = 60.0;  // >= 0.5 * BWmax
-  predictive.ObservePrediction(storm);
+  core::CycleInputs storm;
+  storm.prediction.enabled = true;
+  storm.prediction.horizon_seconds = 300.0;
+  storm.prediction.imminent_rate_gbps = 60.0;  // >= 0.5 * BWmax
+  Deliver(predictive, storm);
   std::vector<double> deferred = Rates(predictive.Assign(active, 100.0, 10.0));
   EXPECT_EQ(deferred, (std::vector<double>{80.0, 0.0}));
 
   // Plain ADAPTIVE must ignore prediction snapshots entirely.
-  plain.ObservePrediction(storm);
+  Deliver(plain, storm);
   EXPECT_EQ(Rates(plain.Assign(active, 100.0, 10.0)), shared);
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "driver/scenario.h"
+#include "driver/sweep.h"
 
 namespace iosched::driver {
 namespace {
@@ -11,6 +12,20 @@ Scenario QuickScenario() {
   // Half a day keeps each simulation in the low milliseconds.
   return MakeTestScenario(/*seed=*/5, /*duration_days=*/0.5,
                           /*jobs_per_day=*/200.0);
+}
+
+/// Shorthand for the one-axis sweeps these tests exercise: one scenario x
+/// `policies`, optionally parallel, optionally with an expansion axis.
+std::vector<PolicyRun> Sweep(const Scenario& scenario,
+                             const std::vector<std::string>& policies,
+                             util::ThreadPool* pool = nullptr,
+                             const std::vector<double>& factors = {}) {
+  SweepSpec spec;
+  spec.scenario = &scenario;
+  spec.policies = policies;
+  spec.expansion_factors = factors;
+  spec.pool = pool;
+  return RunSweep(spec).runs;
 }
 
 TEST(ScenarioTest, EvaluationScenariosDiffer) {
@@ -44,12 +59,12 @@ TEST(ScenarioTest, ExpansionFactorScalesVolumes) {
   EXPECT_EQ(base.name, "TEST");
 }
 
-TEST(RunPolicySweepTest, SerialMatchesParallel) {
+TEST(SweepRuns, SerialMatchesParallel) {
   Scenario s = QuickScenario();
   const std::vector<std::string> policies = {"BASE_LINE", "FCFS", "ADAPTIVE"};
-  auto serial = RunPolicySweep(s, policies, nullptr);
+  auto serial = Sweep(s, policies);
   util::ThreadPool pool(3);
-  auto parallel = RunPolicySweep(s, policies, &pool);
+  auto parallel = Sweep(s, policies, &pool);
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(serial[i].policy, parallel[i].policy);
@@ -60,10 +75,10 @@ TEST(RunPolicySweepTest, SerialMatchesParallel) {
   }
 }
 
-TEST(RunPolicySweepTest, ResultsCarryMetadata) {
+TEST(SweepRuns, ResultsCarryMetadata) {
   Scenario s = QuickScenario();
   const std::vector<std::string> policies = {"MAX_UTIL"};
-  auto runs = RunPolicySweep(s, policies);
+  auto runs = Sweep(s, policies);
   ASSERT_EQ(runs.size(), 1u);
   EXPECT_EQ(runs[0].policy, "MAX_UTIL");
   EXPECT_EQ(runs[0].scenario, "TEST");
@@ -72,11 +87,11 @@ TEST(RunPolicySweepTest, ResultsCarryMetadata) {
   EXPECT_GT(runs[0].report.job_count, 0u);
 }
 
-TEST(RunExpansionSweepTest, RowMajorLayout) {
+TEST(SweepRuns, ExpansionRowMajorLayout) {
   Scenario s = QuickScenario();
   const std::vector<std::string> policies = {"BASE_LINE", "ADAPTIVE"};
   const std::vector<double> factors = {0.5, 1.0};
-  auto runs = RunExpansionSweep(s, factors, policies);
+  auto runs = Sweep(s, policies, nullptr, factors);
   ASSERT_EQ(runs.size(), 4u);
   EXPECT_NE(runs[0].scenario.find("EF=50%"), std::string::npos);
   EXPECT_EQ(runs[0].policy, "BASE_LINE");
@@ -87,7 +102,7 @@ TEST(RunExpansionSweepTest, RowMajorLayout) {
 TEST(Tables, WaitResponseUtilizationRender) {
   Scenario s = QuickScenario();
   const std::vector<std::string> policies = {"BASE_LINE", "ADAPTIVE"};
-  auto runs = RunPolicySweep(s, policies);
+  auto runs = Sweep(s, policies);
   std::string wait = WaitTimeTable(runs).ToString();
   EXPECT_NE(wait.find("BASE_LINE"), std::string::npos);
   EXPECT_NE(wait.find("avg wait (min)"), std::string::npos);
@@ -103,7 +118,7 @@ TEST(Tables, SensitivityShape) {
   Scenario s = QuickScenario();
   const std::vector<std::string> policies = {"BASE_LINE", "ADAPTIVE"};
   const std::vector<double> factors = {0.5, 1.5};
-  auto runs = RunExpansionSweep(s, factors, policies);
+  auto runs = Sweep(s, policies, nullptr, factors);
   util::Table t = SensitivityTable(runs, factors, policies);
   EXPECT_EQ(t.row_count(), 2u);
   std::string str = t.ToString();
@@ -122,7 +137,7 @@ TEST(Tables, EmptyRunsThrow) {
 TEST(RunsToCsvTest, OneLinePerRun) {
   Scenario s = QuickScenario();
   const std::vector<std::string> policies = {"BASE_LINE", "FCFS"};
-  auto runs = RunPolicySweep(s, policies);
+  auto runs = Sweep(s, policies);
   std::string csv = RunsToCsv(runs);
   std::size_t lines = 0;
   for (char c : csv) lines += (c == '\n') ? 1 : 0;

@@ -13,6 +13,7 @@
 
 #include "core/simulation.h"
 #include "driver/scenario.h"
+#include "driver/sweep.h"
 #include "metrics/digest.h"
 
 namespace iosched::driver {
@@ -150,20 +151,22 @@ TEST(ResumableRunner, InterruptedCellResumesFromItsCheckpoints) {
   EXPECT_EQ(again.record_digest, reference);
 }
 
-TEST(ResumablePolicySweep, SecondInvocationIsAllCacheHits) {
+TEST(ResumableSweep, SecondInvocationIsAllCacheHits) {
   Scenario scenario = SmallScenario();
   std::vector<std::string> policies = {"BASE_LINE", "ADAPTIVE"};
   ResumableRunner::Options options;
   options.root_directory = TestDir("sweep");
 
-  std::vector<PolicyRun> first =
-      RunResumablePolicySweep(scenario, policies, options);
+  SweepSpec spec;
+  spec.scenario = &scenario;
+  spec.policies = policies;
+  spec.resumable = options;
+  std::vector<PolicyRun> first = RunSweep(spec).runs;
   ASSERT_EQ(first.size(), 2u);
   EXPECT_EQ(first[0].policy, "BASE_LINE");
   EXPECT_EQ(first[1].policy, "ADAPTIVE");
 
-  std::vector<PolicyRun> second =
-      RunResumablePolicySweep(scenario, policies, options);
+  std::vector<PolicyRun> second = RunSweep(spec).runs;
   ASSERT_EQ(second.size(), 2u);
   for (std::size_t i = 0; i < second.size(); ++i) {
     EXPECT_DOUBLE_EQ(second[i].wall_seconds, 0.0);

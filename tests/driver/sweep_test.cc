@@ -122,20 +122,21 @@ TEST(RunSweep, BbAxisIsRowMajorAndNamed) {
   EXPECT_NE(rendered.find("ADAPTIVE"), std::string::npos);
 }
 
-TEST(RunSweep, MatchesDeprecatedPolicySweepWrapper) {
+TEST(RunSweep, MatchesPerCellRunSingle) {
+  // A one-axis sweep is exactly RunSingle per cell, in policy order.
   Scenario scenario = SmallScenario();
   std::vector<std::string> policies = {"FCFS", "MAX_UTIL"};
-  std::vector<PolicyRun> old_api = RunPolicySweep(scenario, policies);
   SweepSpec spec;
   spec.scenario = &scenario;
   spec.policies = policies;
-  SweepResult new_api = RunSweep(spec);
-  ASSERT_EQ(old_api.size(), new_api.runs.size());
-  for (std::size_t i = 0; i < old_api.size(); ++i) {
-    EXPECT_EQ(old_api[i].policy, new_api.runs[i].policy);
-    EXPECT_EQ(old_api[i].scenario, new_api.runs[i].scenario);
-    EXPECT_DOUBLE_EQ(old_api[i].report.avg_wait_seconds,
-                     new_api.runs[i].report.avg_wait_seconds);
+  SweepResult result = RunSweep(spec);
+  ASSERT_EQ(result.runs.size(), policies.size());
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    PolicyRun single = RunSingle(scenario, policies[i]);
+    EXPECT_EQ(result.runs[i].policy, single.policy);
+    EXPECT_EQ(result.runs[i].scenario, single.scenario);
+    EXPECT_DOUBLE_EQ(result.runs[i].report.avg_wait_seconds,
+                     single.report.avg_wait_seconds);
   }
 }
 

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Plan-quality figure gate for CI.
+
+Validates a fig_plan_quality JSON (schema fig-plan-quality-v1):
+
+  * plan quality: on the BB-constrained month, PLAN_BF's mean wait must
+    not exceed the EASY-greedy baseline's (the file names it in
+    "baseline_policy") — reservation-aware planning has to at least pay
+    for itself where the buffer is the constraint;
+  * replan cost: every planning policy (PERIODIC, PLAN_BF) must report a
+    positive replan count and its Plan() wall time, and Plan() must stay
+    under --max-plan-share (default 0.25) of the run's wall time — past
+    that the cheap-Execute property of the two-phase split is gone;
+  * year smoke: the planning policies must still be planning (replans > 0)
+    on the year-scale cut, not silently degrading to greedy.
+
+Usage: check_plan_fig.py FIG.json [--max-plan-share=X]
+"""
+
+import json
+import sys
+
+PLANNING_POLICIES = ("PERIODIC", "PLAN_BF")
+
+
+def by_policy(rows, path, section):
+    out = {}
+    for row in rows:
+        out[row.get("policy")] = row
+    if not out:
+        raise SystemExit(f"{path}: empty {section} section")
+    return out
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    max_plan_share = 0.25
+    for a in argv[1:]:
+        if a.startswith("--max-plan-share="):
+            max_plan_share = float(a.split("=", 1)[1])
+    if len(args) != 1:
+        raise SystemExit(__doc__)
+    fig_path = args[0]
+    with open(fig_path) as f:
+        fig = json.load(f)
+    if fig.get("schema") != "fig-plan-quality-v1":
+        raise SystemExit(f"{fig_path}: unexpected schema {fig.get('schema')}")
+
+    failures = []
+    month = by_policy(fig.get("month", []), fig_path, "month")
+    year = by_policy(fig.get("year_smoke", []), fig_path, "year_smoke")
+
+    baseline_name = fig.get("baseline_policy", "BASE_LINE")
+    for need in (baseline_name, "PLAN_BF"):
+        if need not in month:
+            raise SystemExit(f"{fig_path}: month section lacks {need}")
+
+    base_wait = float(month[baseline_name]["wait_minutes"])
+    plan_wait = float(month["PLAN_BF"]["wait_minutes"])
+    print(
+        f"month wait: {baseline_name}={base_wait:.1f} min "
+        f"PLAN_BF={plan_wait:.1f} min "
+        f"({(plan_wait / base_wait - 1.0) * 100.0:+.1f}%)"
+        if base_wait > 0
+        else f"month wait: baseline {base_wait}, PLAN_BF {plan_wait}"
+    )
+    if plan_wait > base_wait:
+        failures.append(
+            f"PLAN_BF mean wait {plan_wait:.1f} min exceeds the "
+            f"{baseline_name} baseline {base_wait:.1f} min on the "
+            "BB-constrained month"
+        )
+
+    for policy in PLANNING_POLICIES:
+        for section_name, section in (("month", month), ("year_smoke", year)):
+            row = section.get(policy)
+            if row is None:
+                failures.append(f"{section_name} section lacks {policy}")
+                continue
+            replans = int(row.get("plan_replans", 0))
+            if replans <= 0:
+                failures.append(
+                    f"{section_name} {policy}: no replans recorded — the "
+                    "policy is not actually planning"
+                )
+            if "plan_wall_seconds" not in row:
+                failures.append(
+                    f"{section_name} {policy}: replan cost not reported"
+                )
+                continue
+            plan_s = float(row["plan_wall_seconds"])
+            sim_s = float(row.get("sim_wall_seconds", 0.0))
+            share = plan_s / sim_s if sim_s > 0 else 0.0
+            print(
+                f"{section_name} {policy}: {replans} replans, "
+                f"{plan_s:.4f}s in Plan() ({share * 100.0:.1f}% of the run)"
+            )
+            if share > max_plan_share:
+                failures.append(
+                    f"{section_name} {policy}: Plan() took "
+                    f"{share * 100.0:.1f}% of the run wall time "
+                    f"(> {max_plan_share * 100.0:.0f}%)"
+                )
+
+    print("FAIL" if failures else "ok")
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -93,6 +93,17 @@ int CmdSimulate(const util::CliParser& cli) {
   if (cli.Provided("walltime-kill")) {
     config.enforce_walltime = cli.GetBool("walltime-kill");
   }
+  if (cli.Provided("plan-window")) {
+    config.plan.window_seconds = cli.GetDouble("plan-window");
+  }
+  if (cli.Provided("plan-slice")) {
+    config.plan.slice_seconds = cli.GetDouble("plan-slice");
+  }
+  if (cli.Provided("plan-churn")) {
+    long long churn = cli.GetInt("plan-churn");
+    if (churn < 0) return Fail("--plan-churn must be >= 0");
+    config.plan.churn_cycles = static_cast<std::uint64_t>(churn);
+  }
   driver::ApplyBurstBufferFlags(cli, config);
   driver::ApplyPredictionFlags(cli, config);
 
@@ -283,7 +294,10 @@ int CmdSweep(const util::CliParser& cli) {
   if (cli.Provided("policies")) {
     policies = util::Split(cli.GetString("policies"), ',');
   }
-  std::vector<driver::PolicyRun> runs;
+  driver::SweepSpec spec;
+  spec.scenario = &scenario;
+  spec.policies = policies;
+  util::ThreadPool pool;
   if (cli.Provided("state-dir")) {
     // Crash-safe sweep: completed cells are skipped on re-invocation, the
     // interrupted cell resumes from its newest valid checkpoint, and a
@@ -292,11 +306,11 @@ int CmdSweep(const util::CliParser& cli) {
     opt.root_directory = cli.GetString("state-dir");
     opt.checkpoint_every_wall_seconds = 30.0;
     opt.watchdog_no_progress_seconds = cli.GetDouble("watchdog");
-    runs = driver::RunResumablePolicySweep(scenario, policies, opt);
+    spec.resumable = opt;
   } else {
-    util::ThreadPool pool;
-    runs = driver::RunPolicySweep(scenario, policies, &pool);
+    spec.pool = &pool;
   }
+  std::vector<driver::PolicyRun> runs = driver::RunSweep(spec).runs;
   if (cli.GetBool("csv")) {
     std::fputs(driver::RunsToCsv(runs).c_str(), stdout);
     return 0;
@@ -320,7 +334,12 @@ int CmdSensitivity(const util::CliParser& cli) {
     policies = util::Split(cli.GetString("policies"), ',');
   }
   util::ThreadPool pool;
-  auto runs = driver::RunExpansionSweep(scenario, factors, policies, &pool);
+  driver::SweepSpec spec;
+  spec.scenario = &scenario;
+  spec.policies = policies;
+  spec.expansion_factors = factors;
+  spec.pool = &pool;
+  auto runs = driver::RunSweep(spec).runs;
   if (cli.GetBool("csv")) {
     std::fputs(driver::RunsToCsv(runs).c_str(), stdout);
     return 0;
@@ -437,8 +456,15 @@ int main(int argc, char** argv) {
   driver::AddAppCheckpointFlags(cli);
   cli.AddFlag("seed", "101", "generator seed (generate)");
   cli.AddFlag("out", "workload", "output path stem (generate)");
-  cli.AddFlag("policy", "ADAPTIVE", "I/O policy (simulate)");
+  cli.AddFlag("policy", "ADAPTIVE",
+              "I/O policy (simulate): " + core::PolicyNamesHelp());
   cli.AddFlag("policies", "", "comma list of policies (sweep/sensitivity)");
+  cli.AddFlag("plan-window", "600",
+              "planning-window length in seconds (PERIODIC/PLAN_BF)");
+  cli.AddFlag("plan-slice", "30",
+              "pattern slice length in seconds (PERIODIC)");
+  cli.AddFlag("plan-churn", "0",
+              "replan after N scheduling cycles (planning policies; 0 = off)");
   cli.AddFlag("factors", "0.3,0.5,0.7,0.9,1.2,1.5",
               "expansion factors (sensitivity)");
   cli.AddFlag("bb-capacities", "0,1000,2000,4000,8000",
